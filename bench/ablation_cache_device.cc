@@ -1,0 +1,88 @@
+// Ablation: where should the cache tables live? The paper places them on
+// SSDs attached to each database node ("the cache tables reside on SSDs
+// ... retrieving the data is always done through a clustered index
+// lookup", Sec. 5.4) and argues disk-resident caches beat memory caches
+// on capacity. This ablation quantifies the choice by running the same
+// hit workload with the cache tables on SSD (default), on the HDD
+// arrays, and with the cache disabled.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+namespace {
+
+double RunHitWorkload(turbdb::TurbDB* db, int64_t n, double rms,
+                      double factor) {
+  using namespace turbdb;
+  using namespace turbdb::bench;
+  const ClusterConfig& config = db->mediator().config();
+  double total = 0.0;
+  for (double multiple : {4.4, 6.0, 8.0}) {
+    ThresholdQuery query;
+    query.dataset = "mhd";
+    query.raw_field = "velocity";
+    query.derived_field = "vorticity";
+    query.timestep = 0;
+    query.box = Box3::WholeGrid(n, n, n);
+    query.threshold = multiple * rms;
+    auto warm = db->Threshold(query);  // Populate (or recompute).
+    if (!warm.ok()) return -1.0;
+    auto hit = db->Threshold(query);
+    if (!hit.ok()) return -1.0;
+    total += ProjectToPaperScale(*hit, config, factor).Total();
+  }
+  return total / 3.0;
+}
+
+}  // namespace
+
+int main() {
+  using namespace turbdb;
+  using namespace turbdb::bench;
+
+  const int64_t n = BenchGridN();
+  const double factor = PaperScaleFactor(n);
+  PrintHeader("Ablation: cache placement (SSD vs HDD vs no cache)");
+
+  struct Config {
+    const char* label;
+    DeviceSpec device;
+    uint64_t capacity;
+  } configs[] = {
+      {"SSD cache (paper)", DeviceSpec::Ssd(), 200ULL << 30},
+      {"HDD cache", DeviceSpec::HddArray(), 200ULL << 30},
+      {"no cache", DeviceSpec::Ssd(), 0},
+  };
+
+  std::printf("\n%-22s %20s\n", "configuration",
+              "mean query time (s)");
+  for (const Config& config : configs) {
+    TurbDBConfig db_config;
+    db_config.cluster.num_nodes = 4;
+    db_config.cluster.processes_per_node = 4;
+    db_config.cluster.cost.ssd = config.device;
+    db_config.cluster.cost.cache_capacity_bytes = config.capacity;
+    auto db = TurbDB::Open(db_config);
+    if (!db.ok()) return 1;
+    if (!(*db)->CreateDataset(MakeMhdDataset("mhd", n, 1)).ok()) return 1;
+    if (!(*db)
+             ->IngestSyntheticField("mhd", "velocity", DefaultMhdSpec(2015),
+                                    0, 1)
+             .ok()) {
+      return 1;
+    }
+    const double rms =
+        MeasureRms(db->get(), "mhd", "velocity", "vorticity", 0, n);
+    const double mean = RunHitWorkload(db->get(), n, rms, factor);
+    if (mean < 0) return 1;
+    std::printf("%-22s %18.2f\n", config.label, mean);
+  }
+  std::printf("\nexpected: most of the win over 'no cache' (~50-100x) comes "
+              "from skipping the raw I/O and kernel computation regardless "
+              "of the cache medium; the SSD buys another ~4-5x over HDD "
+              "cache tables because hit scans are seek-bound on the "
+              "contended arrays — supporting the paper's placement of the "
+              "cache tables on dedicated SSDs (Secs. 4, 5.4).\n");
+  return 0;
+}

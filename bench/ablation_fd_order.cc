@@ -1,0 +1,65 @@
+// Ablation: finite-difference order. The kernel half-width sets the
+// boundary band exchanged between nodes (DESIGN.md, "halo exchange vs
+// redundant reads"); higher orders read more halo atoms and cost more
+// flops per point. This quantifies the I/O and compute cost of orders
+// 2-8 for the same vorticity threshold query, plus the remote (cross-
+// node) byte volume the halo exchange generates.
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace turbdb;
+  using namespace turbdb::bench;
+
+  const int64_t n = BenchGridN();
+  const double factor = PaperScaleFactor(n);
+  PrintHeader("Ablation: finite-difference order (vorticity threshold)");
+
+  auto db = MakeMhdBenchDb(4, 4, n, 1);
+  if (!db) return 1;
+  const ClusterConfig& config = db->mediator().config();
+  const double rms =
+      MeasureRms(db.get(), "mhd", "velocity", "vorticity", 0, n);
+
+  std::printf("\n%-7s %8s %10s %10s %12s %12s %10s\n", "order", "halo",
+              "io (s)", "compute(s)", "local MB", "remote MB", "points");
+  for (int order : {2, 4, 6, 8}) {
+    ThresholdQuery query;
+    query.dataset = "mhd";
+    query.raw_field = "velocity";
+    query.derived_field = "vorticity";
+    query.timestep = 0;
+    query.box = Box3::WholeGrid(n, n, n);
+    query.threshold = 6.0 * rms;
+    query.fd_order = order;
+    QueryOptions options;
+    options.use_cache = false;
+    auto result = db->Threshold(query, options);
+    if (!result.ok()) {
+      std::fprintf(stderr, "query failed: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    IoCounters io;
+    for (const NodeExecutionStats& stats : result->node_stats) {
+      io += stats.io;
+    }
+    const TimeBreakdown time = ProjectToPaperScale(*result, config, factor);
+    std::printf("%-7d %8d %10.1f %10.1f %12.1f %12.1f %10zu\n", order,
+                order / 2, time.io_s, time.compute_s,
+                static_cast<double>(io.bytes_read_local) / 1e6,
+                static_cast<double>(io.bytes_read_remote) / 1e6,
+                result->points.size());
+  }
+  std::printf("\nexpected: compute grows linearly with the stencil width, "
+              "but I/O is IDENTICAL for orders 2-8 — the boundary band is "
+              "read at database-atom (8^3) granularity and a half-width of "
+              "1-4 points always lands in the same one-atom halo layer. "
+              "This is why the JHTDB can offer high-order derivatives at "
+              "no extra I/O cost. The point count shifts slightly as the "
+              "derivative estimates sharpen.\n");
+  return 0;
+}

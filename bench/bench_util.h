@@ -1,0 +1,159 @@
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "core/turbdb.h"
+
+namespace turbdb {
+namespace bench {
+
+/// Grid edge used by the figure benchmarks. The paper's datasets are
+/// 1024^3; the reproduction defaults to 128^3 so every figure regenerates
+/// in seconds (override with TURBDB_BENCH_N). All headline comparisons
+/// are ratios/shapes, which are scale-invariant here; EXPERIMENTS.md
+/// records the mapping.
+inline int64_t BenchGridN() {
+  const char* env = std::getenv("TURBDB_BENCH_N");
+  if (env != nullptr) {
+    const long value = std::strtol(env, nullptr, 10);
+    if (value >= 32) return value;
+  }
+  return 128;
+}
+
+inline int32_t BenchTimesteps() {
+  const char* env = std::getenv("TURBDB_BENCH_T");
+  if (env != nullptr) {
+    const long value = std::strtol(env, nullptr, 10);
+    if (value >= 1) return static_cast<int32_t>(value);
+  }
+  return 4;
+}
+
+/// Builds the benchmark stand-in for the paper's MHD dataset: velocity
+/// and magnetic fields (independent seeds) on an n^3 periodic grid,
+/// sharded over `nodes` database nodes.
+inline std::unique_ptr<TurbDB> MakeMhdBenchDb(int nodes, int processes,
+                                              int64_t n, int32_t timesteps,
+                                              uint64_t seed = 2015) {
+  TurbDBConfig config;
+  config.cluster.num_nodes = nodes;
+  config.cluster.processes_per_node = processes;
+  auto db = TurbDB::Open(config);
+  if (!db.ok()) {
+    std::fprintf(stderr, "TurbDB::Open failed: %s\n",
+                 db.status().ToString().c_str());
+    return nullptr;
+  }
+  Status status =
+      (*db)->CreateDataset(MakeMhdDataset("mhd", n, timesteps));
+  if (status.ok()) {
+    status = (*db)->IngestSyntheticField("mhd", "velocity",
+                                         DefaultMhdSpec(seed), 0, timesteps);
+  }
+  if (status.ok()) {
+    status = (*db)->IngestSyntheticField(
+        "mhd", "magnetic", DefaultMhdSpec(seed * 7919 + 13), 0, timesteps);
+  }
+  if (!status.ok()) {
+    std::fprintf(stderr, "ingest failed: %s\n", status.ToString().c_str());
+    return nullptr;
+  }
+  return std::move(db).value();
+}
+
+/// RMS of a derived field's norm over one whole time-step.
+inline double MeasureRms(TurbDB* db, const std::string& dataset,
+                         const std::string& raw, const std::string& derived,
+                         int32_t timestep, int64_t n) {
+  FieldStatsQuery query;
+  query.dataset = dataset;
+  query.raw_field = raw;
+  query.derived_field = derived;
+  query.timestep = timestep;
+  query.box = Box3::WholeGrid(n, n, n);
+  auto stats = db->FieldStats(query);
+  if (!stats.ok()) {
+    std::fprintf(stderr, "stats failed: %s\n",
+                 stats.status().ToString().c_str());
+    return 0.0;
+  }
+  return stats->rms;
+}
+
+inline void PrintHeader(const char* title) {
+  std::printf("\n=== %s ===\n", title);
+}
+
+/// Volume ratio between the paper's 1024^3 time-steps and the benchmark
+/// grid. Because I/O bytes, kernel work and result sizes all scale with
+/// the point count (the threshold fractions are scale-free), multiplying
+/// the volume-proportional time components by this factor projects the
+/// modeled times onto the paper's dataset size; per-call latencies stay
+/// fixed. EXPERIMENTS.md compares these projections against the paper's
+/// absolute numbers.
+inline double PaperScaleFactor(int64_t n) {
+  const double r = 1024.0 / static_cast<double>(n);
+  return r * r * r;
+}
+
+/// Projects a threshold result's modeled breakdown to paper scale.
+///
+/// Interior (owned) bytes and kernel work scale with the volume ratio
+/// `factor`, but halo bytes scale with the shard *surface*, i.e. with
+/// factor^(2/3): at 128^3 a node's boundary band is ~50-100% of its
+/// interior, while at the paper's 1024^3 it is only a few percent ("only
+/// a small amount of data along the boundary", Sec. 4). The projection
+/// therefore splits the measured I/O time by the real interior/halo byte
+/// counters before scaling.
+inline TimeBreakdown ProjectToPaperScale(const ThresholdResult& result,
+                                         const ClusterConfig& config,
+                                         double factor) {
+  TimeBreakdown out;
+  out.cache_lookup_s = result.time.cache_lookup_s * factor;
+  out.compute_s = result.time.compute_s * factor;
+
+  uint64_t atoms_read = 0;
+  uint64_t bytes_read = 0;
+  uint64_t points_evaluated = 0;
+  for (const NodeExecutionStats& stats : result.node_stats) {
+    atoms_read += stats.io.atoms_read_local + stats.io.atoms_read_remote;
+    bytes_read += stats.io.bytes_read_local + stats.io.bytes_read_remote;
+    points_evaluated += stats.io.points_evaluated;
+  }
+  double io_scale = factor;
+  if (atoms_read > 0 && points_evaluated > 0) {
+    const double bytes_per_point =
+        static_cast<double>(bytes_read) /
+        (static_cast<double>(atoms_read) * 512.0);
+    const double interior_bytes =
+        static_cast<double>(points_evaluated) * bytes_per_point;
+    const double halo_bytes =
+        std::max(0.0, static_cast<double>(bytes_read) - interior_bytes);
+    const double projected_bytes =
+        interior_bytes * factor + halo_bytes * std::cbrt(factor * factor);
+    io_scale = projected_bytes / static_cast<double>(bytes_read);
+  }
+  out.io_s = result.time.io_s * io_scale;
+  const double participants =
+      result.node_stats.empty()
+          ? static_cast<double>(config.num_nodes)
+          : static_cast<double>(result.node_stats.size());
+  out.mediator_db_comm_s =
+      participants *
+          (config.cost.mediator_dispatch_s + config.cost.lan.latency_s) +
+      static_cast<double>(result.result_bytes_binary) * factor /
+          config.cost.lan.bandwidth_bps;
+  out.mediator_user_comm_s =
+      config.cost.wan.latency_s +
+      static_cast<double>(result.result_bytes_xml) * factor /
+          config.cost.wan.bandwidth_bps;
+  return out;
+}
+
+}  // namespace bench
+}  // namespace turbdb

@@ -1,0 +1,65 @@
+// Reproduces Figure 2: the probability density function of the norm of
+// the vorticity field for a representative time-step of the MHD dataset.
+// The paper plots point counts per 10-unit vorticity bin on a log axis;
+// with thresholds rescaled by the RMS, the shape to reproduce is a heavy
+// right tail spanning ~8 decades from the modal bin to the extreme bin.
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace turbdb;
+  using namespace turbdb::bench;
+
+  const int64_t n = BenchGridN();
+  PrintHeader("Figure 2: PDF of the vorticity norm (MHD dataset)");
+  std::printf("grid %lldx%lldx%lld, 4 nodes, 4 processes/node\n",
+              static_cast<long long>(n), static_cast<long long>(n),
+              static_cast<long long>(n));
+
+  auto db = MakeMhdBenchDb(/*nodes=*/4, /*processes=*/4, n, /*timesteps=*/1);
+  if (!db) return 1;
+
+  const double rms =
+      MeasureRms(db.get(), "mhd", "velocity", "vorticity", 0, n);
+  std::printf("vorticity norm RMS = %.3f (paper: ~10.0)\n", rms);
+
+  // The paper's bins are 10 vorticity units wide with RMS ~10, i.e. one
+  // RMS per bin; we use the same relative binning.
+  PdfQuery query;
+  query.dataset = "mhd";
+  query.raw_field = "velocity";
+  query.derived_field = "vorticity";
+  query.timestep = 0;
+  query.box = Box3::WholeGrid(n, n, n);
+  query.bin_width = rms;
+  query.num_bins = 9;
+  auto pdf = db->Pdf(query);
+  if (!pdf.ok()) {
+    std::fprintf(stderr, "pdf failed: %s\n", pdf.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("\n%-18s %14s %12s\n", "vorticity bin", "points", "fraction");
+  for (size_t bin = 0; bin < pdf->counts.size(); ++bin) {
+    char label[64];
+    if (bin + 1 < pdf->counts.size()) {
+      std::snprintf(label, sizeof(label), "[%.0f,%.0f)",
+                    bin * query.bin_width, (bin + 1) * query.bin_width);
+    } else {
+      std::snprintf(label, sizeof(label), "[%.0f,..)",
+                    bin * query.bin_width);
+    }
+    std::printf("%-18s %14" PRIu64 " %12.3e\n", label, pdf->counts[bin],
+                static_cast<double>(pdf->counts[bin]) /
+                    static_cast<double>(pdf->total_points));
+  }
+  std::printf("\nmodeled query time: %s\n", pdf->time.ToString().c_str());
+  std::printf("wall time: %.3fs\n", pdf->wall_seconds);
+  std::printf("paper shape check: counts fall monotonically over ~6-8 "
+              "decades with a non-empty extreme bin.\n");
+  return 0;
+}

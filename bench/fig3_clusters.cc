@@ -1,0 +1,92 @@
+// Reproduces the Figure 3 analysis: the locations of maximum vorticity
+// across all time-steps are clustered with a friends-of-friends
+// algorithm in 4-D (space + time), and the cluster containing the most
+// intense event is examined. The paper's observations to reproduce:
+// the top cluster spans multiple time-steps (it develops and decays
+// within the stored time span), and several "worms" interact — i.e. the
+// intense points form a small number of elongated spatial clusters
+// rather than a diffuse cloud.
+
+#include <cstdio>
+
+#include "analysis/fof.h"
+#include "bench_util.h"
+
+int main() {
+  using namespace turbdb;
+  using namespace turbdb::bench;
+
+  const int64_t n = BenchGridN();
+  const int32_t timesteps = BenchTimesteps();
+  PrintHeader("Figure 3: 4-D friends-of-friends clustering of intense "
+              "vorticity events");
+  std::printf("grid %lld^3, %d time-steps\n", static_cast<long long>(n),
+              timesteps);
+
+  auto db = MakeMhdBenchDb(4, 4, n, timesteps);
+  if (!db) return 1;
+  const double rms =
+      MeasureRms(db.get(), "mhd", "velocity", "vorticity", 0, n);
+
+  // Gather the extreme points of every time-step (threshold well into
+  // the intermittent tail).
+  std::vector<FofPoint> all_points;
+  for (int32_t t = 0; t < timesteps; ++t) {
+    ThresholdQuery query;
+    query.dataset = "mhd";
+    query.raw_field = "velocity";
+    query.derived_field = "vorticity";
+    query.timestep = t;
+    query.box = Box3::WholeGrid(n, n, n);
+    query.threshold = 5.0 * rms;
+    auto result = db->Threshold(query);
+    if (!result.ok()) {
+      std::fprintf(stderr, "threshold failed: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    std::vector<FofPoint> points = ToFofPoints(result->points, t);
+    all_points.insert(all_points.end(), points.begin(), points.end());
+    std::printf("t=%d: %zu points above 5x RMS\n", t, points.size());
+  }
+
+  // 4-D clustering: spatial linking length of 3 grid cells, temporal
+  // linking of 1 step (as in the paper's friends-of-friends analysis).
+  auto clusters = db->ClusterPoints("mhd", all_points,
+                                    /*linking_length=*/3.0,
+                                    /*time_linking=*/1);
+  if (!clusters.ok()) {
+    std::fprintf(stderr, "clustering failed: %s\n",
+                 clusters.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("\n%zu spacetime clusters; top 5 by peak vorticity:\n",
+              clusters->size());
+  std::printf("%-6s %8s %10s %8s %8s %24s\n", "rank", "points", "max|w|/rms",
+              "t_min", "t_max", "centroid (x,y,z)");
+  int rank = 0;
+  for (const FofCluster& cluster : *clusters) {
+    if (rank >= 5) break;
+    std::printf("%-6d %8zu %10.1f %8d %8d     (%6.1f, %6.1f, %6.1f)\n",
+                ++rank, cluster.size(), cluster.max_norm / rms,
+                cluster.t_min, cluster.t_max, cluster.centroid[0],
+                cluster.centroid[1], cluster.centroid[2]);
+  }
+
+  if (!clusters->empty()) {
+    const FofCluster& top = clusters->front();
+    // Record the most intense event in the landmark database (Sec. 7).
+    db->landmarks().AddCluster("mhd", "velocity:vorticity", 5.0 * rms,
+                               all_points, top);
+    std::printf("\nmost intense event: cluster of %zu points spanning "
+                "time-steps [%d, %d] (%s)\n",
+                top.size(), top.t_min, top.t_max,
+                top.t_max > top.t_min
+                    ? "persists across steps, as in the paper"
+                    : "single-step event");
+    std::printf("landmark database now holds %zu landmark(s).\n",
+                db->landmarks().size());
+  }
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Reproduces Figure 7(b): horizontal scaling of cold-cache threshold
+// queries across 1-8 database nodes (one worker process per node).
+// Paper shape: nearly perfect linear speedup, because the computation is
+// embarrassingly parallel and each added node contributes its own disks
+// and memory.
+
+#include <cstdio>
+#include <map>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace turbdb;
+  using namespace turbdb::bench;
+
+  const int64_t n = BenchGridN();
+  const double factor = PaperScaleFactor(n);
+  PrintHeader("Figure 7(b): scale-out across database nodes (1 proc/node)");
+  std::printf("(each column is a separately provisioned cluster ingesting "
+              "the same dataset)\n");
+
+  const struct {
+    const char* label;
+    double multiple;
+  } kLevels[] = {{"low (44.0)", 4.4}, {"medium (60.0)", 6.0},
+                 {"high (80.0)", 8.0}};
+
+  // nodes -> level -> projected total seconds.
+  std::map<int, std::map<int, double>> times;
+  double rms = 0.0;
+  for (int nodes : {1, 2, 4, 8}) {
+    auto db = MakeMhdBenchDb(nodes, 1, n, 1);
+    if (!db) return 1;
+    const ClusterConfig& config = db->mediator().config();
+    if (rms == 0.0) {
+      rms = MeasureRms(db.get(), "mhd", "velocity", "vorticity", 0, n);
+    }
+    for (int level = 0; level < 3; ++level) {
+      ThresholdQuery query;
+      query.dataset = "mhd";
+      query.raw_field = "velocity";
+      query.derived_field = "vorticity";
+      query.timestep = 0;
+      query.box = Box3::WholeGrid(n, n, n);
+      query.threshold = kLevels[level].multiple * rms;
+      QueryOptions options;
+      options.use_cache = false;
+      auto result = db->Threshold(query, options);
+      if (!result.ok()) {
+        std::fprintf(stderr, "query failed: %s\n",
+                     result.status().ToString().c_str());
+        return 1;
+      }
+      times[nodes][level] = ProjectToPaperScale(*result, config, factor).Total();
+    }
+  }
+
+  std::printf("\n%-15s", "nodes:");
+  for (int nodes : {1, 2, 4, 8}) std::printf(" %9d", nodes);
+  std::printf("\n");
+  for (int level = 0; level < 3; ++level) {
+    std::printf("%-15s", kLevels[level].label);
+    const double base = times[1][level];
+    for (int nodes : {1, 2, 4, 8}) {
+      std::printf(" %8.2fx", base / times[nodes][level]);
+    }
+    std::printf("\n");
+  }
+  std::printf("%-15s %9s %9s %9s %9s\n", "linear", "1.00x", "2.00x", "4.00x",
+              "8.00x");
+  std::printf("paper: nearly perfect linear speedup at all thresholds.\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Reproduces Figure 8: total running time of medium-threshold queries vs
+// the time taken to perform the I/O only, for 1-8 processes per node.
+// Paper shape: I/O is about half the total at low process counts; I/O
+// time decreases mildly with processes (partitioned files drive the disk
+// arrays in parallel) but far from linearly; and the total at 4-8
+// processes is about equal to the I/O-only time at 1 process.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace turbdb;
+  using namespace turbdb::bench;
+
+  const int64_t n = BenchGridN();
+  const double factor = PaperScaleFactor(n);
+  PrintHeader("Figure 8: total vs I/O-only execution time (medium threshold)");
+
+  auto db = MakeMhdBenchDb(4, 1, n, 1);
+  if (!db) return 1;
+  const ClusterConfig& config = db->mediator().config();
+  const double rms =
+      MeasureRms(db.get(), "mhd", "velocity", "vorticity", 0, n);
+
+  std::printf("\n%-12s %14s %14s %10s\n", "procs/node", "total (s)",
+              "I/O only (s)", "io/total");
+  double total_1proc = 0.0;
+  double io_only_1proc = 0.0;
+  for (int procs : {1, 2, 4, 8}) {
+    ThresholdQuery query;
+    query.dataset = "mhd";
+    query.raw_field = "velocity";
+    query.derived_field = "vorticity";
+    query.timestep = 0;
+    query.box = Box3::WholeGrid(n, n, n);
+    query.threshold = 6.0 * rms;
+
+    QueryOptions options;
+    options.use_cache = false;
+    options.processes_per_node = procs;
+    auto total = db->Threshold(query, options);
+    if (!total.ok()) return 1;
+
+    options.io_only = true;
+    auto io_only = db->Threshold(query, options);
+    if (!io_only.ok()) return 1;
+
+    const double total_s = ProjectToPaperScale(*total, config, factor).Total();
+    const double io_s =
+        ProjectToPaperScale(*io_only, config, factor).Total();
+    if (procs == 1) {
+      total_1proc = total_s;
+      io_only_1proc = io_s;
+    }
+    std::printf("%-12d %14.1f %14.1f %9.0f%%\n", procs, total_s, io_s,
+                100.0 * io_s / total_s);
+  }
+  std::printf("\npaper: ~260/130 s at 1 proc, ~120/70 s at 4, ~110/65 s at "
+              "8; total@4-8 procs ~= I/O-only@1 proc (here: %.1f vs %.1f).\n",
+              total_1proc, io_only_1proc);
+  return 0;
+}

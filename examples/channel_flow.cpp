@@ -1,0 +1,105 @@
+// Channel flow: the wall-bounded dataset of the JHTDB ("the channel
+// flow data ... has an irregular y dimension", Sec. 2). The grid is
+// periodic in x/z only, with tanh-stretched nodes clustered toward the
+// walls; derivatives on the y axis use per-node Fornberg weights and
+// shifted stencils at the walls. This example thresholds the vorticity
+// and shows where the intense events live as a function of wall
+// distance — near-wall shear dominates, as in real channel DNS.
+//
+//   $ ./build/examples/channel_flow
+
+#include <cstdio>
+#include <vector>
+
+#include "core/turbdb.h"
+
+using namespace turbdb;
+
+int main() {
+  TurbDBConfig config;
+  config.cluster.num_nodes = 4;
+  config.cluster.processes_per_node = 2;
+  auto db_or = TurbDB::Open(config);
+  if (!db_or.ok()) return 1;
+  std::unique_ptr<TurbDB> db = std::move(db_or).value();
+
+  // Streamwise x, wall-normal y, spanwise z.
+  const int64_t nx = 96, ny = 64, nz = 48;
+  if (!db->CreateDataset(MakeChannelDataset("channel", nx, ny, nz, 1)).ok()) {
+    return 1;
+  }
+  if (!db->IngestSyntheticField("channel", "velocity",
+                                DefaultChannelSpec(55), 0, 1)
+           .ok()) {
+    return 1;
+  }
+
+  FieldStatsQuery stats_query;
+  stats_query.dataset = "channel";
+  stats_query.raw_field = "velocity";
+  stats_query.derived_field = "vorticity";
+  stats_query.timestep = 0;
+  stats_query.box = Box3::WholeGrid(nx, ny, nz);
+  auto stats = db->FieldStats(stats_query);
+  if (!stats.ok()) {
+    std::fprintf(stderr, "stats failed: %s\n",
+                 stats.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("channel %lldx%lldx%lld, vorticity rms %.2f max %.2f\n",
+              static_cast<long long>(nx), static_cast<long long>(ny),
+              static_cast<long long>(nz), stats->rms, stats->max);
+
+  ThresholdQuery query;
+  query.dataset = "channel";
+  query.raw_field = "velocity";
+  query.derived_field = "vorticity";
+  query.timestep = 0;
+  query.box = Box3::WholeGrid(nx, ny, nz);
+  query.threshold = 1.5 * stats->rms;
+  auto result = db->Threshold(query);
+  if (!result.ok()) {
+    std::fprintf(stderr, "threshold failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%zu points above 1.5x RMS\n", result->points.size());
+
+  // Wall-normal profile of the intense events: counts per y band. The
+  // parabolic mean profile U(y) = U0 (1 - y^2) concentrates |du/dy| —
+  // and with it the intense vorticity — near the walls.
+  const int kBands = 8;
+  std::vector<uint64_t> bands(kBands, 0);
+  for (const ThresholdPoint& point : result->points) {
+    uint32_t x, y, z;
+    point.Coords(&x, &y, &z);
+    bands[static_cast<size_t>(y * kBands / ny)]++;
+  }
+  std::printf("\nwall-normal distribution of intense events:\n");
+  for (int band = 0; band < kBands; ++band) {
+    std::printf("  y band %d (%s): %6llu ", band,
+                band == 0 || band == kBands - 1 ? "wall  "
+                : band == kBands / 2 - 1 || band == kBands / 2
+                    ? "center"
+                    : "      ",
+                static_cast<unsigned long long>(bands[band]));
+    const int bars =
+        static_cast<int>(60 * bands[static_cast<size_t>(band)] /
+                         std::max<uint64_t>(1, *std::max_element(
+                                                   bands.begin(), bands.end())));
+    for (int i = 0; i < bars; ++i) std::printf("#");
+    std::printf("\n");
+  }
+  std::printf("\n(events cluster in the near-wall bands, where the mean "
+              "shear du/dx is strongest)\n");
+
+  // A sub-box query restricted to the lower near-wall region.
+  ThresholdQuery near_wall = query;
+  near_wall.box = Box3(0, 0, 0, nx, ny / 8, nz);
+  auto wall_result = db->Threshold(near_wall);
+  if (!wall_result.ok()) return 1;
+  std::printf("\nnear-wall sub-box holds %zu of those points (cache %s)\n",
+              wall_result->points.size(),
+              wall_result->all_cache_hits ? "hit" : "miss");
+  return 0;
+}

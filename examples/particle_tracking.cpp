@@ -1,0 +1,101 @@
+// Lagrangian particle tracking: seed tracers at the most intense
+// vorticity locations found by a threshold query, then advect them
+// through the stored velocity field with RK4 + Lagrange interpolation —
+// the workflow behind the paper's statement that "the ability to analyze
+// time-series datasets both forward and backward in time has transformed
+// our understanding of turbulence" (Sec. 1; the flux-freezing study of
+// [12] tracked millions of such particles through the MHD dataset).
+//
+//   $ ./build/examples/particle_tracking
+
+#include <cmath>
+#include <cstdio>
+
+#include "analysis/particles.h"
+#include "core/turbdb.h"
+
+using namespace turbdb;
+
+int main() {
+  TurbDBConfig config;
+  config.cluster.num_nodes = 4;
+  config.cluster.processes_per_node = 2;
+  auto db_or = TurbDB::Open(config);
+  if (!db_or.ok()) return 1;
+  std::unique_ptr<TurbDB> db = std::move(db_or).value();
+
+  const int64_t n = 64;
+  const int32_t timesteps = 4;
+  if (!db->CreateDataset(MakeIsotropicDataset("iso", n, timesteps)).ok()) {
+    return 1;
+  }
+  if (!db->IngestSyntheticField("iso", "velocity", DefaultIsotropicSpec(9),
+                                0, timesteps)
+           .ok()) {
+    return 1;
+  }
+  const GridGeometry geometry = GridGeometry::Isotropic(n);
+  const double dx = geometry.Spacing(0);
+
+  // 1. Find where the action is: the 12 strongest vorticity locations.
+  TopKQuery topk;
+  topk.dataset = "iso";
+  topk.raw_field = "velocity";
+  topk.derived_field = "vorticity";
+  topk.timestep = 0;
+  topk.box = Box3::WholeGrid(n, n, n);
+  topk.k = 12;
+  auto peaks = db->TopK(topk);
+  if (!peaks.ok()) {
+    std::fprintf(stderr, "topk failed: %s\n",
+                 peaks.status().ToString().c_str());
+    return 1;
+  }
+
+  // 2. Seed tracers at those grid locations (physical coordinates).
+  std::vector<std::array<double, 3>> seeds;
+  for (const ThresholdPoint& point : peaks->points) {
+    uint32_t x, y, z;
+    point.Coords(&x, &y, &z);
+    seeds.push_back({x * dx, y * dx, z * dx});
+  }
+  std::printf("seeded %zu tracers at the strongest vortices\n", seeds.size());
+
+  // 3. Advect them across the stored time span.
+  TrackingParams params;
+  params.substeps = 4;
+  params.support = 6;  // Lag6 spatial interpolation.
+  auto tracks = TrackParticles(&db->mediator(), "iso", "velocity", seeds, 0,
+                               timesteps - 1, params);
+  if (!tracks.ok()) {
+    std::fprintf(stderr, "tracking failed: %s\n",
+                 tracks.status().ToString().c_str());
+    return 1;
+  }
+
+  // 4. Report trajectories and dispersion.
+  std::printf("\ntracer 0 trajectory (x, y, z):\n");
+  for (size_t k = 0; k < tracks->positions.size(); ++k) {
+    const auto& p = tracks->positions[k][0];
+    std::printf("  t=%zu  (%6.3f, %6.3f, %6.3f)\n", k, p[0], p[1], p[2]);
+  }
+  double mean_displacement = 0.0;
+  const double length = geometry.domain_length(0);
+  for (size_t i = 0; i < seeds.size(); ++i) {
+    double squared = 0.0;
+    for (size_t c = 0; c < 3; ++c) {
+      double delta =
+          tracks->positions.back()[i][c] - tracks->positions.front()[i][c];
+      delta -= length * std::floor(delta / length + 0.5);
+      squared += delta * delta;
+    }
+    mean_displacement += std::sqrt(squared);
+  }
+  mean_displacement /= static_cast<double>(seeds.size());
+  std::printf("\nmean tracer displacement over %d steps: %.3f "
+              "(%.1f grid cells)\n",
+              timesteps - 1, mean_displacement, mean_displacement / dx);
+  std::printf("modeled sampling time accumulated: %.3fs\n",
+              tracks->time.Total());
+  return 0;
+}

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "array/geometry.h"
+#include "array/point.h"
+#include "common/result.h"
+
+namespace turbdb {
+
+/// A point fed to friends-of-friends clustering: grid coordinates plus
+/// the time-step (for 4-D clustering) and the derived-field norm.
+struct FofPoint {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+  int32_t timestep = 0;
+  float norm = 0.0f;
+};
+
+/// Converts threshold-query rows to FoF inputs.
+std::vector<FofPoint> ToFofPoints(const std::vector<ThresholdPoint>& points,
+                                  int32_t timestep);
+
+struct FofParams {
+  /// Spatial linking length, in grid units. Two points are friends if
+  /// their (periodic) distance is at most this.
+  double linking_length = 2.0;
+  /// Maximum time-step difference for 4-D linking; 0 restricts links to
+  /// the same time-step (pure 3-D clustering).
+  int32_t time_linking = 0;
+  /// Per-axis periodic wrapping with the given extents (grid units);
+  /// extent 0 disables wrapping for that axis.
+  std::array<double, 3> periodic_extent = {0.0, 0.0, 0.0};
+};
+
+/// One friends-of-friends cluster, with the statistics a landmark
+/// database records (Sec. 7: "locations of the highest vorticity regions
+/// ... and their associated statistics").
+struct FofCluster {
+  std::vector<size_t> members;  ///< Indices into the input point vector.
+  float max_norm = 0.0f;
+  size_t peak_index = 0;        ///< Input index of the max-norm member.
+  std::array<double, 3> centroid = {0.0, 0.0, 0.0};
+  int32_t t_min = 0;
+  int32_t t_max = 0;
+
+  size_t size() const { return members.size(); }
+};
+
+/// Friends-of-friends clustering via a spatial hash grid and union-find.
+/// Complexity is O(N * neighbors) with cells sized to the linking length.
+/// Clusters are returned sorted by max_norm, descending — the paper's
+/// use case is isolating the most intense event (Fig. 3).
+///
+/// With time_linking > 0 this is the 4-D clustering the paper applies to
+/// per-time-step threshold results: worms that persist across steps merge
+/// into one spacetime cluster.
+Result<std::vector<FofCluster>> FriendsOfFriends(
+    const std::vector<FofPoint>& points, const FofParams& params);
+
+}  // namespace turbdb

@@ -1,0 +1,157 @@
+#include "analysis/landmark.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+namespace turbdb {
+
+uint64_t LandmarkDatabase::Add(Landmark landmark) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  landmark.id = next_id_++;
+  const uint64_t id = landmark.id;
+  landmarks_.emplace(id, std::move(landmark));
+  return id;
+}
+
+uint64_t LandmarkDatabase::AddCluster(const std::string& dataset,
+                                      const std::string& field,
+                                      double threshold,
+                                      const std::vector<FofPoint>& points,
+                                      const FofCluster& cluster) {
+  Landmark landmark;
+  landmark.dataset = dataset;
+  landmark.field = field;
+  landmark.threshold = threshold;
+  landmark.t_min = cluster.t_min;
+  landmark.t_max = cluster.t_max;
+  landmark.centroid = cluster.centroid;
+  landmark.max_norm = cluster.max_norm;
+  landmark.num_points = cluster.size();
+  bool first = true;
+  for (size_t index : cluster.members) {
+    const FofPoint& point = points[index];
+    const int64_t x = static_cast<int64_t>(point.x);
+    const int64_t y = static_cast<int64_t>(point.y);
+    const int64_t z = static_cast<int64_t>(point.z);
+    if (first) {
+      landmark.bounding_box = Box3(x, y, z, x + 1, y + 1, z + 1);
+      first = false;
+    } else {
+      landmark.bounding_box.lo[0] = std::min(landmark.bounding_box.lo[0], x);
+      landmark.bounding_box.lo[1] = std::min(landmark.bounding_box.lo[1], y);
+      landmark.bounding_box.lo[2] = std::min(landmark.bounding_box.lo[2], z);
+      landmark.bounding_box.hi[0] = std::max(landmark.bounding_box.hi[0], x + 1);
+      landmark.bounding_box.hi[1] = std::max(landmark.bounding_box.hi[1], y + 1);
+      landmark.bounding_box.hi[2] = std::max(landmark.bounding_box.hi[2], z + 1);
+    }
+  }
+  return Add(std::move(landmark));
+}
+
+Result<Landmark> LandmarkDatabase::Get(uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = landmarks_.find(id);
+  if (it == landmarks_.end()) {
+    return Status::NotFound("no landmark with id " + std::to_string(id));
+  }
+  return it->second;
+}
+
+std::vector<Landmark> LandmarkDatabase::List(const std::string& dataset,
+                                             const std::string& field) const {
+  std::vector<Landmark> out;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [id, landmark] : landmarks_) {
+      if (landmark.dataset != dataset) continue;
+      if (!field.empty() && landmark.field != field) continue;
+      out.push_back(landmark);
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const Landmark& a, const Landmark& b) {
+    return a.max_norm > b.max_norm;
+  });
+  return out;
+}
+
+std::vector<Landmark> LandmarkDatabase::AtTimestep(const std::string& dataset,
+                                                   int32_t timestep) const {
+  std::vector<Landmark> out;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [id, landmark] : landmarks_) {
+    if (landmark.dataset == dataset && timestep >= landmark.t_min &&
+        timestep <= landmark.t_max) {
+      out.push_back(landmark);
+    }
+  }
+  return out;
+}
+
+size_t LandmarkDatabase::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return landmarks_.size();
+}
+
+Status LandmarkDatabase::SaveTo(const std::string& path) const {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) return Status::IOError("cannot open " + path);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [id, lm] : landmarks_) {
+      std::fprintf(
+          file,
+          "%" PRIu64 "|%s|%s|%d|%d|%lld %lld %lld %lld %lld %lld|"
+          "%.17g %.17g %.17g|%.17g|%" PRIu64 "|%.17g\n",
+          lm.id, lm.dataset.c_str(), lm.field.c_str(), lm.t_min, lm.t_max,
+          static_cast<long long>(lm.bounding_box.lo[0]),
+          static_cast<long long>(lm.bounding_box.lo[1]),
+          static_cast<long long>(lm.bounding_box.lo[2]),
+          static_cast<long long>(lm.bounding_box.hi[0]),
+          static_cast<long long>(lm.bounding_box.hi[1]),
+          static_cast<long long>(lm.bounding_box.hi[2]), lm.centroid[0],
+          lm.centroid[1], lm.centroid[2], lm.max_norm, lm.num_points,
+          lm.threshold);
+    }
+  }
+  std::fclose(file);
+  return Status::OK();
+}
+
+Status LandmarkDatabase::LoadFrom(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "r");
+  if (file == nullptr) return Status::IOError("cannot open " + path);
+  std::map<uint64_t, Landmark> loaded;
+  uint64_t max_id = 0;
+  char dataset[256];
+  char field[256];
+  char line[1024];
+  while (std::fgets(line, sizeof(line), file) != nullptr) {
+    Landmark lm;
+    long long lo0, lo1, lo2, hi0, hi1, hi2;
+    const int matched = std::sscanf(
+        line,
+        "%" SCNu64 "|%255[^|]|%255[^|]|%d|%d|%lld %lld %lld %lld %lld %lld|"
+        "%lg %lg %lg|%lg|%" SCNu64 "|%lg",
+        &lm.id, dataset, field, &lm.t_min, &lm.t_max, &lo0, &lo1, &lo2, &hi0,
+        &hi1, &hi2, &lm.centroid[0], &lm.centroid[1], &lm.centroid[2],
+        &lm.max_norm, &lm.num_points, &lm.threshold);
+    if (matched != 17) {
+      std::fclose(file);
+      return Status::Corruption("malformed landmark line: " +
+                                std::string(line));
+    }
+    lm.dataset = dataset;
+    lm.field = field;
+    lm.bounding_box = Box3(lo0, lo1, lo2, hi0, hi1, hi2);
+    max_id = std::max(max_id, lm.id);
+    loaded.emplace(lm.id, std::move(lm));
+  }
+  std::fclose(file);
+  std::lock_guard<std::mutex> lock(mutex_);
+  landmarks_ = std::move(loaded);
+  next_id_ = max_id + 1;
+  return Status::OK();
+}
+
+}  // namespace turbdb

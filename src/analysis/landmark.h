@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "analysis/fof.h"
+#include "array/box.h"
+#include "common/result.h"
+
+namespace turbdb {
+
+/// One landmark: a region of special interest (typically an intense
+/// vortex cluster) and its statistics. The paper's conclusions propose a
+/// "landmark database ... [that] can store the locations of the highest
+/// vorticity regions in the dataset or more broadly regions of interest
+/// and their associated statistics" (Sec. 7); this module implements it.
+struct Landmark {
+  uint64_t id = 0;
+  std::string dataset;
+  std::string field;    ///< Cache-style key, e.g. "velocity:vorticity".
+  int32_t t_min = 0;
+  int32_t t_max = 0;
+  Box3 bounding_box;    ///< Spatial extent, grid coordinates.
+  std::array<double, 3> centroid = {0.0, 0.0, 0.0};
+  double max_norm = 0.0;
+  uint64_t num_points = 0;
+  double threshold = 0.0;  ///< Threshold used to extract the region.
+};
+
+/// In-memory landmark store with text-file persistence. Thread-safe.
+class LandmarkDatabase {
+ public:
+  LandmarkDatabase() = default;
+
+  /// Registers a landmark; assigns and returns its id.
+  uint64_t Add(Landmark landmark);
+
+  /// Builds a landmark from a FoF cluster over `points`.
+  uint64_t AddCluster(const std::string& dataset, const std::string& field,
+                      double threshold, const std::vector<FofPoint>& points,
+                      const FofCluster& cluster);
+
+  Result<Landmark> Get(uint64_t id) const;
+
+  /// Landmarks of a dataset (all if `field` empty), sorted by max_norm
+  /// descending.
+  std::vector<Landmark> List(const std::string& dataset,
+                             const std::string& field = "") const;
+
+  /// Landmarks whose [t_min, t_max] intersects `timestep`.
+  std::vector<Landmark> AtTimestep(const std::string& dataset,
+                                   int32_t timestep) const;
+
+  size_t size() const;
+
+  /// Whole-database persistence as a line-oriented text file.
+  Status SaveTo(const std::string& path) const;
+  Status LoadFrom(const std::string& path);
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<uint64_t, Landmark> landmarks_;
+  uint64_t next_id_ = 1;
+};
+
+}  // namespace turbdb

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "cluster/mediator.h"
+#include "common/result.h"
+
+namespace turbdb {
+
+/// Parameters of Lagrangian particle tracking (one of the JHTDB's
+/// built-in data-intensive analysis routines, Sec. 2; the paper's Fig. 3
+/// science — following worms through time — builds on it).
+struct TrackingParams {
+  /// RK substeps between consecutive stored time-steps.
+  int substeps = 4;
+  /// Lagrange interpolation support (4, 6 or 8).
+  int support = 4;
+};
+
+/// Trajectories: positions[k][p] is particle p at stored step
+/// t_begin + k, for k in [0, t_end - t_begin].
+struct Trajectories {
+  std::vector<std::vector<std::array<double, 3>>> positions;
+  TimeBreakdown time;  ///< Accumulated over all sampling calls.
+};
+
+/// Advects tracer particles through the stored velocity field from
+/// `t_begin` to `t_end` with classical RK4. The velocity between stored
+/// steps is interpolated linearly in time (each RK stage samples the two
+/// bracketing stored steps); space uses Lagrange interpolation of order
+/// `params.support`. Positions wrap along periodic axes.
+///
+/// `field` must be a stored vector field ("velocity"). Fails if the
+/// requested steps are not ingested.
+Result<Trajectories> TrackParticles(
+    Mediator* mediator, const std::string& dataset, const std::string& field,
+    std::vector<std::array<double, 3>> seeds, int32_t t_begin, int32_t t_end,
+    const TrackingParams& params = {});
+
+}  // namespace turbdb

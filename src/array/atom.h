@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <tuple>
+#include <vector>
+
+#include "array/box.h"
+#include "array/morton.h"
+
+namespace turbdb {
+
+/// Identifies one database atom within a (dataset, field) table: the
+/// time-step it belongs to and the Morton code of its lower-left corner in
+/// atom coordinates. This pair is the clustered primary key of the data
+/// tables in the paper's SQL Server deployment.
+struct AtomKey {
+  int32_t timestep = 0;
+  uint64_t zindex = 0;
+
+  bool operator==(const AtomKey& other) const {
+    return timestep == other.timestep && zindex == other.zindex;
+  }
+  bool operator<(const AtomKey& other) const {
+    return std::tie(timestep, zindex) < std::tie(other.timestep, other.zindex);
+  }
+};
+
+struct AtomKeyHash {
+  size_t operator()(const AtomKey& key) const {
+    return std::hash<uint64_t>()(key.zindex * 1000003ULL +
+                                 static_cast<uint64_t>(
+                                     static_cast<uint32_t>(key.timestep)));
+  }
+};
+
+/// One 8^3 (atom_width^3) block of field data, stored point-major
+/// ("array of structures"): data[((k*w + j)*w + i)*ncomp + c] where
+/// (i, j, k) are local offsets. Point-major layout keeps all components
+/// of a point adjacent, which is what derived-field kernels consume.
+struct Atom {
+  AtomKey key;
+  int32_t width = 8;
+  int32_t ncomp = 0;
+  std::vector<float> data;
+
+  Atom() = default;
+  Atom(AtomKey k, int32_t w, int32_t nc)
+      : key(k), width(w), ncomp(nc),
+        data(static_cast<size_t>(w) * w * w * nc, 0.0f) {}
+
+  float At(int i, int j, int k, int c) const {
+    return data[(((static_cast<size_t>(k) * width + j) * width + i) * ncomp) +
+                c];
+  }
+  float& At(int i, int j, int k, int c) {
+    return data[(((static_cast<size_t>(k) * width + j) * width + i) * ncomp) +
+                c];
+  }
+
+  /// Payload size in bytes (what disk and network cost models charge for).
+  uint64_t SizeBytes() const { return data.size() * sizeof(float); }
+
+  /// Atom coordinates (grid coords / width) recovered from the z-index.
+  void AtomCoords(uint32_t* ax, uint32_t* ay, uint32_t* az) const {
+    MortonDecode3(key.zindex, ax, ay, az);
+  }
+
+  /// The grid-point box covered by this atom.
+  Box3 GridBox() const {
+    uint32_t ax, ay, az;
+    AtomCoords(&ax, &ay, &az);
+    const int64_t w = width;
+    return Box3(ax * w, ay * w, az * w, (ax + 1) * w, (ay + 1) * w,
+                (az + 1) * w);
+  }
+};
+
+/// Builds the key of the atom holding grid point (x, y, z) at `timestep`.
+inline AtomKey AtomKeyForPoint(int32_t timestep, int64_t x, int64_t y,
+                               int64_t z, int64_t atom_width) {
+  return AtomKey{timestep,
+                 MortonEncode3(static_cast<uint32_t>(x / atom_width),
+                               static_cast<uint32_t>(y / atom_width),
+                               static_cast<uint32_t>(z / atom_width))};
+}
+
+}  // namespace turbdb

@@ -1,0 +1,36 @@
+#include "array/box.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace turbdb {
+
+Box3 Box3::Intersection(const Box3& other) const {
+  Box3 out;
+  for (int d = 0; d < 3; ++d) {
+    out.lo[d] = std::max(lo[d], other.lo[d]);
+    out.hi[d] = std::min(hi[d], other.hi[d]);
+  }
+  if (out.Empty()) return Box3();
+  return out;
+}
+
+Box3 Box3::Grown(int64_t halo) const {
+  Box3 out = *this;
+  for (int d = 0; d < 3; ++d) {
+    out.lo[d] -= halo;
+    out.hi[d] += halo;
+  }
+  return out;
+}
+
+std::string Box3::ToString() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "[%lld,%lld,%lld)x(%lld,%lld,%lld]",
+                static_cast<long long>(lo[0]), static_cast<long long>(lo[1]),
+                static_cast<long long>(lo[2]), static_cast<long long>(hi[0]),
+                static_cast<long long>(hi[1]), static_cast<long long>(hi[2]));
+  return buf;
+}
+
+}  // namespace turbdb

@@ -1,0 +1,91 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace turbdb {
+
+/// Axis-aligned half-open box of grid indices: [lo[d], hi[d]) per axis.
+/// The paper's query boxes [xl..xu] are inclusive; use FromInclusive to
+/// convert at the API boundary.
+struct Box3 {
+  std::array<int64_t, 3> lo{0, 0, 0};
+  std::array<int64_t, 3> hi{0, 0, 0};
+
+  Box3() = default;
+  Box3(int64_t xl, int64_t yl, int64_t zl, int64_t xu, int64_t yu, int64_t zu)
+      : lo{xl, yl, zl}, hi{xu, yu, zu} {}
+
+  static Box3 FromInclusive(int64_t xl, int64_t yl, int64_t zl, int64_t xu,
+                            int64_t yu, int64_t zu) {
+    return Box3(xl, yl, zl, xu + 1, yu + 1, zu + 1);
+  }
+
+  /// The whole [0, n)^3 domain of a grid with per-axis extents.
+  static Box3 WholeGrid(int64_t nx, int64_t ny, int64_t nz) {
+    return Box3(0, 0, 0, nx, ny, nz);
+  }
+
+  bool Empty() const {
+    return hi[0] <= lo[0] || hi[1] <= lo[1] || hi[2] <= lo[2];
+  }
+
+  int64_t Extent(int axis) const { return hi[axis] - lo[axis]; }
+
+  /// Number of grid points in the box (0 if empty).
+  int64_t Volume() const {
+    if (Empty()) return 0;
+    return Extent(0) * Extent(1) * Extent(2);
+  }
+
+  bool ContainsPoint(int64_t x, int64_t y, int64_t z) const {
+    return x >= lo[0] && x < hi[0] && y >= lo[1] && y < hi[1] && z >= lo[2] &&
+           z < hi[2];
+  }
+
+  /// True if `other` lies entirely inside this box. Empty boxes are
+  /// contained in everything.
+  bool ContainsBox(const Box3& other) const {
+    if (other.Empty()) return true;
+    for (int d = 0; d < 3; ++d) {
+      if (other.lo[d] < lo[d] || other.hi[d] > hi[d]) return false;
+    }
+    return true;
+  }
+
+  bool Intersects(const Box3& other) const {
+    for (int d = 0; d < 3; ++d) {
+      if (other.hi[d] <= lo[d] || other.lo[d] >= hi[d]) return false;
+    }
+    return true;
+  }
+
+  /// Component-wise intersection (may be empty).
+  Box3 Intersection(const Box3& other) const;
+
+  /// Grows the box by `halo` points on every side (no clamping).
+  Box3 Grown(int64_t halo) const;
+
+  bool operator==(const Box3& other) const {
+    return lo == other.lo && hi == other.hi;
+  }
+
+  std::string ToString() const;
+};
+
+/// A Box3 plus a half-open time-step interval; used by 4-D analyses
+/// (friends-of-friends clustering across time, Fig. 3).
+struct Box4 {
+  Box3 space;
+  int64_t t_lo = 0;
+  int64_t t_hi = 0;
+
+  bool Empty() const { return t_hi <= t_lo || space.Empty(); }
+  int64_t Volume() const { return Empty() ? 0 : space.Volume() * (t_hi - t_lo); }
+  bool Contains(int64_t x, int64_t y, int64_t z, int64_t t) const {
+    return t >= t_lo && t < t_hi && space.ContainsPoint(x, y, z);
+  }
+};
+
+}  // namespace turbdb

@@ -1,0 +1,116 @@
+#include "array/geometry.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace turbdb {
+
+namespace {
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+}
+
+GridGeometry GridGeometry::Isotropic(int64_t n, int64_t atom_width) {
+  GridGeometry g;
+  g.extent_ = {n, n, n};
+  g.length_ = {kTwoPi, kTwoPi, kTwoPi};
+  g.periodic_ = {true, true, true};
+  g.atom_width_ = atom_width;
+  return g;
+}
+
+GridGeometry GridGeometry::Channel(int64_t nx, int64_t ny, int64_t nz,
+                                   double stretch, int64_t atom_width) {
+  GridGeometry g;
+  g.extent_ = {nx, ny, nz};
+  // Channel half-height 1: y in [-1, 1]; streamwise 8*pi, spanwise 3*pi
+  // (the proportions of the JHTDB channel-flow dataset).
+  g.length_ = {4 * kTwoPi, 2.0, 1.5 * kTwoPi};
+  g.periodic_ = {true, false, true};
+  g.atom_width_ = atom_width;
+  g.stretched_y_.resize(static_cast<size_t>(ny));
+  const double denom = std::tanh(stretch);
+  for (int64_t j = 0; j < ny; ++j) {
+    // Map xi in [-1, 1] through tanh clustering toward the walls.
+    const double xi =
+        -1.0 + 2.0 * static_cast<double>(j) / static_cast<double>(ny - 1);
+    g.stretched_y_[static_cast<size_t>(j)] =
+        std::tanh(stretch * xi) / denom;
+  }
+  return g;
+}
+
+Status GridGeometry::Validate() const {
+  for (int d = 0; d < 3; ++d) {
+    if (extent_[d] <= 0) {
+      return Status::InvalidArgument("grid extent must be positive");
+    }
+    if (length_[d] <= 0.0) {
+      return Status::InvalidArgument("domain length must be positive");
+    }
+  }
+  if (atom_width_ <= 0) {
+    return Status::InvalidArgument("atom width must be positive");
+  }
+  for (int d = 0; d < 3; ++d) {
+    if (extent_[d] % atom_width_ != 0) {
+      return Status::InvalidArgument(
+          "atom width must divide every grid extent");
+    }
+  }
+  if (!stretched_y_.empty()) {
+    if (static_cast<int64_t>(stretched_y_.size()) != extent_[1]) {
+      return Status::InvalidArgument(
+          "stretched y coordinate array must have ny entries");
+    }
+    for (size_t j = 1; j < stretched_y_.size(); ++j) {
+      if (stretched_y_[j] <= stretched_y_[j - 1]) {
+        return Status::InvalidArgument(
+            "stretched y coordinates must be strictly increasing");
+      }
+    }
+    if (periodic_[1]) {
+      return Status::InvalidArgument(
+          "a stretched axis cannot be periodic");
+    }
+  }
+  return Status::OK();
+}
+
+Result<Box3> GridGeometry::ClipToDomain(const Box3& box) const {
+  Box3 out = box;
+  for (int d = 0; d < 3; ++d) {
+    if (!periodic_[d]) {
+      out.lo[d] = std::max<int64_t>(out.lo[d], 0);
+      out.hi[d] = std::min<int64_t>(out.hi[d], extent_[d]);
+    } else {
+      // A query box wider than the domain along a periodic axis would
+      // visit points twice; clamp its extent to one period.
+      if (out.hi[d] - out.lo[d] > extent_[d]) {
+        return Status::InvalidArgument(
+            "query box exceeds one period along a periodic axis");
+      }
+    }
+  }
+  if (out.Empty()) {
+    return Status::InvalidArgument("query box is empty after clipping: " +
+                                   box.ToString());
+  }
+  return out;
+}
+
+Box3 GridGeometry::AtomCover(const Box3& points_box) const {
+  const int64_t w = atom_width_;
+  Box3 out;
+  for (int d = 0; d < 3; ++d) {
+    // Floor-divide lo, ceil-divide hi (handles negative coords from halos
+    // along periodic axes).
+    int64_t lo = points_box.lo[d];
+    int64_t hi = points_box.hi[d];
+    out.lo[d] = (lo >= 0) ? lo / w : -((-lo + w - 1) / w);
+    out.hi[d] = (hi >= 0) ? (hi + w - 1) / w : -((-hi) / w);
+  }
+  return out;
+}
+
+}  // namespace turbdb

@@ -1,0 +1,112 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "array/box.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace turbdb {
+
+/// Geometry of one simulation grid: extents, physical domain, periodicity,
+/// atom decomposition, and (for channel-flow-like datasets) a stretched,
+/// non-uniform y coordinate.
+///
+/// All JHTDB datasets except channel flow live on regular periodic
+/// [0, 2*pi)^3 grids; the channel-flow dataset is periodic in x and z and
+/// wall-bounded with tanh-clustered nodes in y. Both are supported.
+class GridGeometry {
+ public:
+  GridGeometry() = default;
+
+  /// A periodic isotropic cube of n^3 points with physical size 2*pi.
+  static GridGeometry Isotropic(int64_t n, int64_t atom_width = 8);
+
+  /// A channel-like grid: periodic in x/z, wall-bounded in y with nodes
+  /// clustered toward the walls via a tanh mapping with the given
+  /// stretching factor (typical DNS values ~2).
+  static GridGeometry Channel(int64_t nx, int64_t ny, int64_t nz,
+                              double stretch = 2.0, int64_t atom_width = 8);
+
+  /// Validates invariants (positive extents, atom width divides extents,
+  /// stretched coordinates strictly increasing, ...).
+  Status Validate() const;
+
+  int64_t extent(int axis) const { return extent_[axis]; }
+  int64_t nx() const { return extent_[0]; }
+  int64_t ny() const { return extent_[1]; }
+  int64_t nz() const { return extent_[2]; }
+  int64_t NumPoints() const { return extent_[0] * extent_[1] * extent_[2]; }
+
+  double domain_length(int axis) const { return length_[axis]; }
+  bool periodic(int axis) const { return periodic_[axis]; }
+
+  int64_t atom_width() const { return atom_width_; }
+  int64_t AtomsAlong(int axis) const { return extent_[axis] / atom_width_; }
+  int64_t NumAtoms() const {
+    return AtomsAlong(0) * AtomsAlong(1) * AtomsAlong(2);
+  }
+
+  /// Uniform spacing along `axis`. For a stretched axis this is the mean
+  /// spacing; use Coord() / LocalSpacing() for pointwise values.
+  double Spacing(int axis) const {
+    return length_[axis] / static_cast<double>(extent_[axis]);
+  }
+
+  bool stretched(int axis) const {
+    return axis == 1 && !stretched_y_.empty();
+  }
+
+  /// Physical coordinate of grid node i along `axis`.
+  double Coord(int axis, int64_t i) const {
+    if (stretched(axis)) return stretched_y_[static_cast<size_t>(i)];
+    return Spacing(axis) * static_cast<double>(i);
+  }
+
+  /// Wraps a (possibly out-of-range) index along a periodic axis; clamps
+  /// are a caller error on non-periodic axes (checked via InDomain).
+  int64_t WrapIndex(int axis, int64_t i) const {
+    const int64_t n = extent_[axis];
+    i %= n;
+    if (i < 0) i += n;
+    return i;
+  }
+
+  /// True if index i is a valid node along `axis` without wrapping.
+  bool InDomain(int axis, int64_t i) const {
+    return i >= 0 && i < extent_[axis];
+  }
+
+  /// The whole grid as a half-open box.
+  Box3 Bounds() const {
+    return Box3::WholeGrid(extent_[0], extent_[1], extent_[2]);
+  }
+
+  /// Returns `box` clipped to the domain along non-periodic axes and
+  /// checked (via status) to be non-empty and within [-n, 2n) sanity
+  /// bounds along periodic ones.
+  Result<Box3> ClipToDomain(const Box3& box) const;
+
+  /// The box of whole atoms (in atom coordinates) covering `points_box`
+  /// (in grid coordinates, not wrapped).
+  Box3 AtomCover(const Box3& points_box) const;
+
+  const std::vector<double>& stretched_y() const { return stretched_y_; }
+
+  bool operator==(const GridGeometry& other) const {
+    return extent_ == other.extent_ && length_ == other.length_ &&
+           periodic_ == other.periodic_ && atom_width_ == other.atom_width_ &&
+           stretched_y_ == other.stretched_y_;
+  }
+
+ private:
+  std::array<int64_t, 3> extent_{0, 0, 0};
+  std::array<double, 3> length_{0.0, 0.0, 0.0};
+  std::array<bool, 3> periodic_{true, true, true};
+  int64_t atom_width_ = 8;
+  std::vector<double> stretched_y_;  ///< Empty when y is uniform.
+};
+
+}  // namespace turbdb

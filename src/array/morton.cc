@@ -1,0 +1,138 @@
+#include "array/morton.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace turbdb {
+
+namespace {
+
+/// Spreads the low 21 bits of v so that bit i lands at bit 3i.
+uint64_t SpreadBits3(uint32_t v) {
+  uint64_t x = v & 0x1FFFFF;  // 21 bits
+  x = (x | (x << 32)) & 0x001F00000000FFFFULL;
+  x = (x | (x << 16)) & 0x001F0000FF0000FFULL;
+  x = (x | (x << 8)) & 0x100F00F00F00F00FULL;
+  x = (x | (x << 4)) & 0x10C30C30C30C30C3ULL;
+  x = (x | (x << 2)) & 0x1249249249249249ULL;
+  return x;
+}
+
+/// Inverse of SpreadBits3.
+uint32_t CompactBits3(uint64_t x) {
+  x &= 0x1249249249249249ULL;
+  x = (x | (x >> 2)) & 0x10C30C30C30C30C3ULL;
+  x = (x | (x >> 4)) & 0x100F00F00F00F00FULL;
+  x = (x | (x >> 8)) & 0x001F0000FF0000FFULL;
+  x = (x | (x >> 16)) & 0x001F00000000FFFFULL;
+  x = (x | (x >> 32)) & 0x00000000001FFFFFULL;
+  return static_cast<uint32_t>(x);
+}
+
+struct BoxRef {
+  const uint32_t* lo;
+  const uint32_t* hi;
+};
+
+/// Recursively covers the intersection of the octree cell anchored at
+/// (cx, cy, cz) with side 2^level and the target box.
+void CoverCell(uint32_t cx, uint32_t cy, uint32_t cz, int level,
+               const BoxRef& box, std::vector<MortonRange>* out) {
+  const uint64_t side = 1ULL << level;
+  // Cell bounds (half-open).
+  const uint64_t cell_lo[3] = {cx, cy, cz};
+  const uint64_t cell_hi[3] = {cx + side, cy + side, cz + side};
+  // Disjoint?
+  for (int d = 0; d < 3; ++d) {
+    if (cell_hi[d] <= box.lo[d] || cell_lo[d] >= box.hi[d]) return;
+  }
+  // Fully contained?
+  bool contained = true;
+  for (int d = 0; d < 3; ++d) {
+    if (cell_lo[d] < box.lo[d] || cell_hi[d] > box.hi[d]) {
+      contained = false;
+      break;
+    }
+  }
+  if (contained) {
+    const uint64_t base = MortonEncode3(cx, cy, cz);
+    out->push_back(MortonRange{base, base + (1ULL << (3 * level))});
+    return;
+  }
+  assert(level > 0);
+  const uint32_t half = static_cast<uint32_t>(side >> 1);
+  // Visit children in Morton order so the output is sorted.
+  for (uint32_t octant = 0; octant < 8; ++octant) {
+    const uint32_t ox = cx + ((octant & 1u) ? half : 0);
+    const uint32_t oy = cy + ((octant & 2u) ? half : 0);
+    const uint32_t oz = cz + ((octant & 4u) ? half : 0);
+    CoverCell(ox, oy, oz, level - 1, box, out);
+  }
+}
+
+/// Merges adjacent ranges in-place (input must be sorted and disjoint).
+void MergeAdjacent(std::vector<MortonRange>* ranges) {
+  if (ranges->empty()) return;
+  size_t w = 0;
+  for (size_t r = 1; r < ranges->size(); ++r) {
+    if ((*ranges)[r].lo == (*ranges)[w].hi) {
+      (*ranges)[w].hi = (*ranges)[r].hi;
+    } else {
+      (*ranges)[++w] = (*ranges)[r];
+    }
+  }
+  ranges->resize(w + 1);
+}
+
+/// Coalesces the pairs with the smallest gaps until at most `max_ranges`
+/// remain. The result is a superset of the original coverage.
+void CoalesceToLimit(std::vector<MortonRange>* ranges, int max_ranges) {
+  while (static_cast<int>(ranges->size()) > max_ranges) {
+    size_t best = 0;
+    uint64_t best_gap = UINT64_MAX;
+    for (size_t i = 0; i + 1 < ranges->size(); ++i) {
+      const uint64_t gap = (*ranges)[i + 1].lo - (*ranges)[i].hi;
+      if (gap < best_gap) {
+        best_gap = gap;
+        best = i;
+      }
+    }
+    (*ranges)[best].hi = (*ranges)[best + 1].hi;
+    ranges->erase(ranges->begin() + best + 1);
+  }
+}
+
+}  // namespace
+
+uint64_t MortonEncode3(uint32_t x, uint32_t y, uint32_t z) {
+  assert(x <= kMortonMaxCoord && y <= kMortonMaxCoord && z <= kMortonMaxCoord);
+  return SpreadBits3(x) | (SpreadBits3(y) << 1) | (SpreadBits3(z) << 2);
+}
+
+void MortonDecode3(uint64_t code, uint32_t* x, uint32_t* y, uint32_t* z) {
+  *x = CompactBits3(code);
+  *y = CompactBits3(code >> 1);
+  *z = CompactBits3(code >> 2);
+}
+
+std::vector<MortonRange> MortonRangesForBox(const uint32_t lo[3],
+                                            const uint32_t hi[3],
+                                            int max_ranges) {
+  std::vector<MortonRange> out;
+  for (int d = 0; d < 3; ++d) {
+    if (hi[d] <= lo[d]) return out;  // Empty box.
+  }
+  // Find the smallest power-of-two cell that contains the box.
+  int level = 0;
+  const uint32_t max_hi = std::max({hi[0], hi[1], hi[2]});
+  while ((1u << level) < max_hi) ++level;
+  BoxRef box{lo, hi};
+  CoverCell(0, 0, 0, level, box, &out);
+  MergeAdjacent(&out);
+  if (max_ranges > 0 && static_cast<int>(out.size()) > max_ranges) {
+    CoalesceToLimit(&out, max_ranges);
+  }
+  return out;
+}
+
+}  // namespace turbdb

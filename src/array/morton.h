@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace turbdb {
+
+/// 3-D Morton (z-order) curve utilities.
+///
+/// The JHTDB partitions every time-step into 8^3 "database atoms" and keys
+/// each atom by the Morton code of its lower-left corner; contiguous Morton
+/// ranges are assigned to database nodes. We use the standard interleaving
+/// with the x bit in the least-significant position of each triple:
+/// bit i of x maps to code bit 3i, y to 3i+1, z to 3i+2. Each coordinate
+/// may use at most 21 bits (grids up to 2097152^3).
+constexpr int kMortonBitsPerDim = 21;
+constexpr uint32_t kMortonMaxCoord = (1u << kMortonBitsPerDim) - 1;
+
+/// Interleaves (x, y, z) into a 63-bit Morton code.
+uint64_t MortonEncode3(uint32_t x, uint32_t y, uint32_t z);
+
+/// Inverse of MortonEncode3.
+void MortonDecode3(uint64_t code, uint32_t* x, uint32_t* y, uint32_t* z);
+
+/// A half-open interval [lo, hi) of Morton codes.
+struct MortonRange {
+  uint64_t lo = 0;
+  uint64_t hi = 0;
+
+  bool Contains(uint64_t code) const { return code >= lo && code < hi; }
+  uint64_t Size() const { return hi - lo; }
+  bool operator==(const MortonRange& other) const {
+    return lo == other.lo && hi == other.hi;
+  }
+};
+
+/// Computes the minimal set of disjoint, sorted Morton ranges that exactly
+/// cover the axis-aligned box [lo, hi) (half-open, in atom coordinates).
+///
+/// Implemented by recursive octree descent: an octree cell occupies a
+/// contiguous Morton interval, so cells fully inside the box are emitted
+/// as whole intervals and boundary cells are split. Adjacent intervals are
+/// merged. This is how a range scan over the clustered (timestep, zindex)
+/// index is translated into contiguous disk reads.
+///
+/// `max_ranges`, if positive, caps the output size: once reached, boundary
+/// cells are emitted whole (a superset of the box), trading read
+/// amplification for fewer seeks — callers must then post-filter by box.
+std::vector<MortonRange> MortonRangesForBox(const uint32_t lo[3],
+                                            const uint32_t hi[3],
+                                            int max_ranges = 0);
+
+}  // namespace turbdb

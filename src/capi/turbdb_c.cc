@@ -1,0 +1,124 @@
+#include "capi/turbdb_c.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/turbdb.h"
+
+struct turbdb_t {
+  std::unique_ptr<turbdb::TurbDB> db;
+  std::string last_error;
+};
+
+namespace {
+
+int Fail(turbdb_t* handle, const turbdb::Status& status) {
+  handle->last_error = status.ToString();
+  return static_cast<int>(status.code());
+}
+
+}  // namespace
+
+extern "C" {
+
+turbdb_t* turbdb_open(int num_nodes, int processes_per_node) {
+  turbdb::TurbDBConfig config;
+  config.cluster.num_nodes = num_nodes;
+  config.cluster.processes_per_node = processes_per_node;
+  auto db = turbdb::TurbDB::Open(config);
+  if (!db.ok()) return nullptr;
+  auto* handle = new turbdb_t;
+  handle->db = std::move(db).value();
+  return handle;
+}
+
+void turbdb_close(turbdb_t* db) { delete db; }
+
+const char* turbdb_status_message(const turbdb_t* db) {
+  return db->last_error.c_str();
+}
+
+int turbdb_create_isotropic_dataset(turbdb_t* db, const char* name,
+                                    int64_t n, int32_t timesteps) {
+  turbdb::Status status = db->db->CreateDataset(
+      turbdb::MakeIsotropicDataset(name, n, timesteps));
+  if (!status.ok()) return Fail(db, status);
+  return 0;
+}
+
+int turbdb_ingest_synthetic(turbdb_t* db, const char* dataset, uint64_t seed,
+                            int32_t t_begin, int32_t t_end) {
+  turbdb::Status status = db->db->IngestSyntheticField(
+      dataset, "velocity", turbdb::DefaultIsotropicSpec(seed), t_begin,
+      t_end);
+  if (!status.ok()) return Fail(db, status);
+  return 0;
+}
+
+int turbdb_get_threshold(turbdb_t* db, const char* dataset, const char* raw,
+                         const char* derived, int32_t timestep, int64_t xl,
+                         int64_t yl, int64_t zl, int64_t xu, int64_t yu,
+                         int64_t zu, double threshold,
+                         turbdb_result_t* result) {
+  std::memset(result, 0, sizeof(*result));
+  turbdb::ThresholdQuery query;
+  query.dataset = dataset;
+  query.raw_field = raw;
+  query.derived_field = derived;
+  query.timestep = timestep;
+  query.box = turbdb::Box3::FromInclusive(xl, yl, zl, xu, yu, zu);
+  query.threshold = threshold;
+  auto answer = db->db->Threshold(query);
+  if (!answer.ok()) return Fail(db, answer.status());
+
+  result->num_points = answer->points.size();
+  if (result->num_points > 0) {
+    result->points = static_cast<turbdb_point_t*>(
+        std::malloc(result->num_points * sizeof(turbdb_point_t)));
+    if (result->points == nullptr) {
+      return Fail(db, turbdb::Status::Internal("out of memory"));
+    }
+    for (size_t i = 0; i < result->num_points; ++i) {
+      uint32_t x, y, z;
+      answer->points[i].Coords(&x, &y, &z);
+      result->points[i] =
+          turbdb_point_t{x, y, z, answer->points[i].norm};
+    }
+  }
+  result->total_seconds = answer->time.Total();
+  result->cache_lookup_seconds = answer->time.cache_lookup_s;
+  result->io_seconds = answer->time.io_s;
+  result->compute_seconds = answer->time.compute_s;
+  result->mediator_db_seconds = answer->time.mediator_db_comm_s;
+  result->mediator_user_seconds = answer->time.mediator_user_comm_s;
+  result->all_cache_hits = answer->all_cache_hits ? 1 : 0;
+  return 0;
+}
+
+int turbdb_get_field_stats(turbdb_t* db, const char* dataset, const char* raw,
+                           const char* derived, int32_t timestep,
+                           double* mean, double* rms, double* max) {
+  auto info = db->db->mediator().GetDataset(dataset);
+  if (!info.ok()) return Fail(db, info.status());
+  turbdb::FieldStatsQuery query;
+  query.dataset = dataset;
+  query.raw_field = raw;
+  query.derived_field = derived;
+  query.timestep = timestep;
+  query.box = (*info)->geometry.Bounds();
+  auto stats = db->db->FieldStats(query);
+  if (!stats.ok()) return Fail(db, stats.status());
+  if (mean != nullptr) *mean = stats->mean;
+  if (rms != nullptr) *rms = stats->rms;
+  if (max != nullptr) *max = stats->max;
+  return 0;
+}
+
+void turbdb_result_free(turbdb_result_t* result) {
+  std::free(result->points);
+  result->points = nullptr;
+  result->num_points = 0;
+}
+
+}  // extern "C"

@@ -1,0 +1,84 @@
+#ifndef TURBDB_CAPI_TURBDB_C_H_
+#define TURBDB_CAPI_TURBDB_C_H_
+
+/* C client API for turbdb.
+ *
+ * The production JHTDB ships C/Fortran/Matlab client libraries on top of
+ * its web services (Sec. 7 of the paper); this header is the equivalent
+ * binding for the in-process library, so non-C++ tooling (or Fortran via
+ * ISO_C_BINDING) can issue threshold queries.
+ *
+ * All functions return 0 on success or a non-zero turbdb StatusCode (see
+ * turbdb_status_message for the last error text of a handle).
+ */
+
+#include <stddef.h>
+#include <stdint.h>
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+typedef struct turbdb_t turbdb_t;
+
+typedef struct turbdb_point_t {
+  uint32_t x;
+  uint32_t y;
+  uint32_t z;
+  float norm;
+} turbdb_point_t;
+
+typedef struct turbdb_result_t {
+  turbdb_point_t* points;
+  size_t num_points;
+  /* Modeled end-to-end seconds and the Fig. 9 breakdown. */
+  double total_seconds;
+  double cache_lookup_seconds;
+  double io_seconds;
+  double compute_seconds;
+  double mediator_db_seconds;
+  double mediator_user_seconds;
+  int all_cache_hits; /* 1 if every node answered from its cache. */
+} turbdb_result_t;
+
+/* Opens an in-process cluster with `num_nodes` database nodes and
+ * `processes_per_node` workers each. Returns NULL on failure. */
+turbdb_t* turbdb_open(int num_nodes, int processes_per_node);
+
+void turbdb_close(turbdb_t* db);
+
+/* Message text of the last failed call on this handle ("" if none). */
+const char* turbdb_status_message(const turbdb_t* db);
+
+/* Registers an isotropic periodic dataset of n^3 points with a stored
+ * 3-component "velocity" field and `timesteps` steps. */
+int turbdb_create_isotropic_dataset(turbdb_t* db, const char* name,
+                                    int64_t n, int32_t timesteps);
+
+/* Generates and ingests synthetic turbulence (seeded) for
+ * [t_begin, t_end) of the dataset's velocity field. */
+int turbdb_ingest_synthetic(turbdb_t* db, const char* dataset, uint64_t seed,
+                            int32_t t_begin, int32_t t_end);
+
+/* Threshold query over the inclusive box [xl..xu]x[yl..yu]x[zl..zu].
+ * On success, *result holds a malloc'd point array; release it with
+ * turbdb_result_free. `derived` is a kernel name such as "vorticity",
+ * "q_criterion" or "magnitude". */
+int turbdb_get_threshold(turbdb_t* db, const char* dataset, const char* raw,
+                         const char* derived, int32_t timestep, int64_t xl,
+                         int64_t yl, int64_t zl, int64_t xu, int64_t yu,
+                         int64_t zu, double threshold,
+                         turbdb_result_t* result);
+
+/* Mean/RMS/max of a derived field's norm over a whole time-step. */
+int turbdb_get_field_stats(turbdb_t* db, const char* dataset, const char* raw,
+                           const char* derived, int32_t timestep,
+                           double* mean, double* rms, double* max);
+
+void turbdb_result_free(turbdb_result_t* result);
+
+#ifdef __cplusplus
+} /* extern "C" */
+#endif
+
+#endif /* TURBDB_CAPI_TURBDB_C_H_ */

@@ -1,0 +1,572 @@
+#include "cluster/mediator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <future>
+#include <thread>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "wire/serializer.h"
+
+namespace turbdb {
+
+Mediator::Mediator(const ClusterConfig& config) : config_(config) {
+  registry_ = FieldRegistry::Default();
+}
+
+Result<std::unique_ptr<Mediator>> Mediator::Create(
+    const ClusterConfig& config) {
+  if (config.num_nodes <= 0) {
+    return Status::InvalidArgument("need at least one database node");
+  }
+  if (config.processes_per_node <= 0) {
+    return Status::InvalidArgument("need at least one process per node");
+  }
+  auto mediator = std::unique_ptr<Mediator>(new Mediator(config));
+  mediator->nodes_.reserve(static_cast<size_t>(config.num_nodes));
+  for (int i = 0; i < config.num_nodes; ++i) {
+    mediator->nodes_.push_back(
+        std::make_unique<DatabaseNode>(i, config.cost, config.storage_dir));
+  }
+  // Wire the halo-exchange hook: a worker on one node fetches boundary
+  // atoms by a batched read served from the owning node's disks plus a
+  // LAN round trip.
+  Mediator* raw = mediator.get();
+  for (auto& node : mediator->nodes_) {
+    node->set_remote_fetch(
+        [raw](int owner, const std::string& dataset, const std::string& field,
+              int32_t timestep, const std::vector<uint64_t>& codes,
+              int concurrent, double* cost_s) -> Result<std::vector<Atom>> {
+          if (owner < 0 || owner >= raw->num_nodes()) {
+            return Status::InvalidArgument("no such node");
+          }
+          uint64_t bytes = 0;
+          TURBDB_ASSIGN_OR_RETURN(
+              std::vector<Atom> atoms,
+              raw->nodes_[static_cast<size_t>(owner)]->ServeAtoms(
+                  dataset, field, timestep, codes, concurrent, cost_s,
+                  &bytes));
+          if (cost_s != nullptr) {
+            *cost_s += raw->config_.cost.lan.TransferCost(bytes);
+          }
+          return atoms;
+        });
+  }
+  const int worker_threads =
+      config.worker_threads > 0
+          ? config.worker_threads
+          : static_cast<int>(std::thread::hardware_concurrency());
+  mediator->scheduler_ = std::make_unique<ThreadPool>(config.num_nodes);
+  mediator->workers_ = std::make_unique<ThreadPool>(worker_threads);
+  return mediator;
+}
+
+Status Mediator::CreateDataset(const DatasetInfo& info) {
+  TURBDB_RETURN_NOT_OK(info.geometry.Validate());
+  if (info.name.empty()) {
+    return Status::InvalidArgument("dataset name is empty");
+  }
+  if (datasets_.count(info.name)) {
+    return Status::AlreadyExists("dataset '" + info.name +
+                                 "' already exists");
+  }
+  TURBDB_ASSIGN_OR_RETURN(
+      MortonPartitioner partitioner,
+      MortonPartitioner::Create(info.geometry, config_.num_nodes,
+                                config_.partition_strategy));
+  auto state = std::make_unique<DatasetState>(
+      DatasetState{info, std::move(partitioner)});
+  for (int i = 0; i < num_nodes(); ++i) {
+    nodes_[static_cast<size_t>(i)]->RegisterDataset(
+        info.name, state->partitioner.NodeAtoms(i));
+  }
+  datasets_.emplace(info.name, std::move(state));
+  return Status::OK();
+}
+
+Result<const Mediator::DatasetState*> Mediator::GetDatasetState(
+    const std::string& name) const {
+  auto it = datasets_.find(name);
+  if (it == datasets_.end()) {
+    return Status::NotFound("no dataset named '" + name + "'");
+  }
+  return const_cast<const DatasetState*>(it->second.get());
+}
+
+Result<const DatasetInfo*> Mediator::GetDataset(const std::string& name) const {
+  TURBDB_ASSIGN_OR_RETURN(const DatasetState* state, GetDatasetState(name));
+  return &state->info;
+}
+
+Status Mediator::IngestTimestep(
+    const std::string& dataset, const std::string& field, int32_t timestep,
+    const std::function<Result<Atom>(int32_t, uint64_t)>& generate) {
+  TURBDB_ASSIGN_OR_RETURN(const DatasetState* state, GetDatasetState(dataset));
+  TURBDB_ASSIGN_OR_RETURN(const int ncomp, state->info.FieldNcomp(field));
+  (void)ncomp;
+  std::vector<std::future<Status>> futures;
+  for (int node_id = 0; node_id < num_nodes(); ++node_id) {
+    const std::vector<uint64_t> codes =
+        state->partitioner.NodeAtoms(node_id);
+    // Slice each node's shard so ingestion saturates the worker pool.
+    const size_t slices =
+        std::max<size_t>(1, static_cast<size_t>(workers_->num_threads()));
+    for (size_t s = 0; s < slices; ++s) {
+      const size_t begin = codes.size() * s / slices;
+      const size_t end = codes.size() * (s + 1) / slices;
+      if (begin == end) continue;
+      std::vector<uint64_t> slice(codes.begin() + begin, codes.begin() + end);
+      DatabaseNode* node = nodes_[static_cast<size_t>(node_id)].get();
+      futures.push_back(workers_->Submit(
+          [node, &dataset, &field, timestep, &generate,
+           slice = std::move(slice)]() -> Status {
+            for (uint64_t code : slice) {
+              auto atom = generate(timestep, code);
+              if (!atom.ok()) return atom.status();
+              TURBDB_RETURN_NOT_OK(
+                  node->IngestAtom(dataset, field, atom.value()));
+            }
+            return Status::OK();
+          }));
+    }
+  }
+  Status failure;
+  for (auto& future : futures) {
+    Status status = future.get();
+    if (!status.ok() && failure.ok()) failure = status;
+  }
+  return failure;
+}
+
+const Differentiator* Mediator::GetDifferentiator(const std::string& dataset,
+                                                  const GridGeometry& geometry,
+                                                  int order) {
+  std::lock_guard<std::mutex> lock(diff_mutex_);
+  auto key = std::make_pair(dataset, order);
+  auto it = differentiators_.find(key);
+  if (it != differentiators_.end()) return it->second.get();
+  auto diff = Differentiator::Create(geometry, order);
+  if (!diff.ok()) return nullptr;
+  auto owned = std::make_unique<Differentiator>(std::move(diff).value());
+  const Differentiator* raw = owned.get();
+  differentiators_.emplace(key, std::move(owned));
+  return raw;
+}
+
+Result<NodeQuery> Mediator::BuildNodeQuery(
+    NodeQuery::Mode mode, const std::string& dataset,
+    const std::string& raw_field, const std::string& derived_field,
+    int32_t timestep, const Box3& box, int fd_order,
+    const QueryOptions& options) {
+  TURBDB_ASSIGN_OR_RETURN(const DatasetState* state, GetDatasetState(dataset));
+  TURBDB_ASSIGN_OR_RETURN(const int ncomp,
+                          state->info.FieldNcomp(raw_field));
+  TURBDB_ASSIGN_OR_RETURN(auto kernel,
+                          registry_.Create(derived_field, ncomp));
+  if (timestep < 0 || timestep >= state->info.num_timesteps) {
+    return Status::OutOfRange("timestep " + std::to_string(timestep) +
+                              " outside [0, " +
+                              std::to_string(state->info.num_timesteps) + ")");
+  }
+  const Box3 clipped = box.Intersection(state->info.geometry.Bounds());
+  if (clipped.Empty()) {
+    return Status::InvalidArgument("query box is outside the grid");
+  }
+  const Differentiator* diff =
+      GetDifferentiator(dataset, state->info.geometry, fd_order);
+  if (diff == nullptr) {
+    return Status::InvalidArgument("cannot build differentiator of order " +
+                                   std::to_string(fd_order));
+  }
+  NodeQuery node_query;
+  node_query.mode = mode;
+  node_query.dataset = &state->info;
+  node_query.partitioner = &state->partitioner;
+  node_query.raw_field = raw_field;
+  node_query.raw_ncomp = ncomp;
+  node_query.cache_field_key = raw_field + ":" + derived_field;
+  node_query.kernel = std::move(kernel);
+  node_query.diff = diff;
+  node_query.fd_order = fd_order;
+  node_query.timestep = timestep;
+  node_query.box = clipped;
+  node_query.processes = options.processes_per_node > 0
+                             ? options.processes_per_node
+                             : config_.processes_per_node;
+  node_query.options = options;
+  node_query.flops_per_process = config_.cost.flops_per_process;
+  node_query.effective_cores = config_.cost.effective_cores_per_node;
+  return node_query;
+}
+
+Result<std::vector<NodeOutcome>> Mediator::Dispatch(
+    const NodeQuery& node_query) {
+  // Split the query along the spatial layout and submit each part
+  // asynchronously to the node storing the data (Fig. 1).
+  const Box3 cover =
+      node_query.dataset->geometry.AtomCover(node_query.box);
+  std::vector<int> participants;
+  for (int i = 0; i < num_nodes(); ++i) {
+    if (!node_query.partitioner->NodeAtomsInBox(i, cover).empty()) {
+      participants.push_back(i);
+    }
+  }
+  std::vector<std::future<Result<NodeOutcome>>> futures;
+  futures.reserve(participants.size());
+  for (int node_id : participants) {
+    DatabaseNode* node = nodes_[static_cast<size_t>(node_id)].get();
+    futures.push_back(scheduler_->Submit(
+        [node, &node_query, this]() -> Result<NodeOutcome> {
+          return node->Execute(node_query, workers_.get());
+        }));
+  }
+  std::vector<NodeOutcome> outcomes;
+  outcomes.reserve(participants.size());
+  Status failure;
+  for (size_t i = 0; i < futures.size(); ++i) {
+    auto outcome = futures[i].get();
+    if (!outcome.ok()) {
+      if (failure.ok()) failure = outcome.status();
+      continue;
+    }
+    NodeOutcome value = std::move(outcome).value();
+    value.io.points_returned = value.points.size();
+    outcomes.push_back(std::move(value));
+    outcomes.back().node_id = participants[i];
+  }
+  if (!failure.ok()) return failure;
+  return outcomes;
+}
+
+namespace {
+
+/// Elapsed node phase = component-wise max across nodes (they execute
+/// concurrently); the mediator terms are added by the caller.
+TimeBreakdown MergeNodeTimes(const std::vector<NodeOutcome>& outcomes) {
+  TimeBreakdown merged;
+  for (const NodeOutcome& outcome : outcomes) {
+    merged = merged.MaxWith(outcome.time);
+  }
+  return merged;
+}
+
+void FillNodeStats(const std::vector<NodeOutcome>& outcomes,
+                   std::vector<NodeExecutionStats>* stats) {
+  stats->reserve(outcomes.size());
+  for (const NodeOutcome& outcome : outcomes) {
+    NodeExecutionStats entry;
+    entry.node_id = outcome.node_id;
+    entry.cache_hit = outcome.cache_hit;
+    entry.time = outcome.time;
+    entry.io = outcome.io;
+    stats->push_back(entry);
+  }
+}
+
+}  // namespace
+
+Result<ThresholdResult> Mediator::GetThreshold(const ThresholdQuery& query,
+                                               const QueryOptions& options) {
+  Stopwatch watch;
+  TURBDB_RETURN_NOT_OK(ValidateThresholdQuery(query));
+  TURBDB_ASSIGN_OR_RETURN(
+      NodeQuery node_query,
+      BuildNodeQuery(NodeQuery::Mode::kThreshold, query.dataset,
+                     query.raw_field, query.derived_field, query.timestep,
+                     query.box, query.fd_order, options));
+  node_query.threshold = query.threshold;
+  TURBDB_ASSIGN_OR_RETURN(std::vector<NodeOutcome> outcomes,
+                          Dispatch(node_query));
+
+  ThresholdResult result;
+  uint64_t total_points = 0;
+  for (const NodeOutcome& outcome : outcomes) {
+    total_points += outcome.points.size();
+  }
+  if (total_points > options.max_result_points) {
+    return Status::ThresholdTooLow(
+        "threshold produced " + std::to_string(total_points) +
+        " points; the limit is " +
+        std::to_string(options.max_result_points) +
+        " (raise the threshold, or request the field values directly)");
+  }
+  result.points.reserve(total_points);
+  for (NodeOutcome& outcome : outcomes) {
+    result.points.insert(result.points.end(), outcome.points.begin(),
+                         outcome.points.end());
+  }
+  std::sort(result.points.begin(), result.points.end(),
+            [](const ThresholdPoint& a, const ThresholdPoint& b) {
+              return a.zindex < b.zindex;
+            });
+  result.all_cache_hits =
+      !outcomes.empty() &&
+      std::all_of(outcomes.begin(), outcomes.end(),
+                  [](const NodeOutcome& o) { return o.cache_hit; });
+
+  // Modeled time: concurrent node phases, then the serial mediator work.
+  result.time = MergeNodeTimes(outcomes);
+  result.result_bytes_binary = EncodePointsBinary(result.points).size();
+  result.result_bytes_xml = EncodePointsXml(result.points).size();
+  const auto& cost = config_.cost;
+  result.time.mediator_db_comm_s =
+      static_cast<double>(outcomes.size()) *
+          (cost.mediator_dispatch_s + cost.lan.latency_s) +
+      static_cast<double>(result.result_bytes_binary) /
+          cost.lan.bandwidth_bps;
+  result.time.mediator_user_comm_s =
+      cost.wan.TransferCost(result.result_bytes_xml);
+  FillNodeStats(outcomes, &result.node_stats);
+  result.wall_seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+Result<PdfResult> Mediator::GetPdf(const PdfQuery& query) {
+  Stopwatch watch;
+  TURBDB_RETURN_NOT_OK(ValidatePdfQuery(query));
+  QueryOptions options;
+  options.use_cache = false;  // Only threshold results are cached (Sec. 4).
+  TURBDB_ASSIGN_OR_RETURN(
+      NodeQuery node_query,
+      BuildNodeQuery(NodeQuery::Mode::kPdf, query.dataset, query.raw_field,
+                     query.derived_field, query.timestep, query.box,
+                     query.fd_order, options));
+  node_query.bin_width = query.bin_width;
+  node_query.num_bins = query.num_bins;
+  TURBDB_ASSIGN_OR_RETURN(std::vector<NodeOutcome> outcomes,
+                          Dispatch(node_query));
+
+  PdfResult result;
+  result.bin_width = query.bin_width;
+  result.counts.assign(static_cast<size_t>(query.num_bins) + 1, 0);
+  for (const NodeOutcome& outcome : outcomes) {
+    for (size_t bin = 0; bin < outcome.histogram.size(); ++bin) {
+      result.counts[bin] += outcome.histogram[bin];
+    }
+  }
+  for (uint64_t count : result.counts) result.total_points += count;
+  result.time = MergeNodeTimes(outcomes);
+  const uint64_t result_bytes = result.counts.size() * 16;
+  const auto& cost = config_.cost;
+  result.time.mediator_db_comm_s =
+      static_cast<double>(outcomes.size()) *
+          (cost.mediator_dispatch_s + cost.lan.latency_s) +
+      static_cast<double>(result_bytes) / cost.lan.bandwidth_bps;
+  result.time.mediator_user_comm_s =
+      cost.wan.TransferCost(result_bytes * 8);  // XML-wrapped bins.
+  result.wall_seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+Result<TopKResult> Mediator::GetTopK(const TopKQuery& query) {
+  Stopwatch watch;
+  TURBDB_RETURN_NOT_OK(ValidateTopKQuery(query));
+  QueryOptions options;
+  options.use_cache = false;
+  TURBDB_ASSIGN_OR_RETURN(
+      NodeQuery node_query,
+      BuildNodeQuery(NodeQuery::Mode::kTopK, query.dataset, query.raw_field,
+                     query.derived_field, query.timestep, query.box,
+                     query.fd_order, options));
+  node_query.k = query.k;
+  TURBDB_ASSIGN_OR_RETURN(std::vector<NodeOutcome> outcomes,
+                          Dispatch(node_query));
+
+  TopKResult result;
+  for (NodeOutcome& outcome : outcomes) {
+    result.points.insert(result.points.end(), outcome.points.begin(),
+                         outcome.points.end());
+  }
+  std::sort(result.points.begin(), result.points.end(),
+            [](const ThresholdPoint& a, const ThresholdPoint& b) {
+              return a.norm > b.norm;
+            });
+  if (result.points.size() > query.k) result.points.resize(query.k);
+  result.time = MergeNodeTimes(outcomes);
+  const uint64_t bytes_binary = EncodePointsBinary(result.points).size();
+  const uint64_t bytes_xml = EncodePointsXml(result.points).size();
+  const auto& cost = config_.cost;
+  result.time.mediator_db_comm_s =
+      static_cast<double>(outcomes.size()) *
+          (cost.mediator_dispatch_s + cost.lan.latency_s) +
+      static_cast<double>(bytes_binary) / cost.lan.bandwidth_bps;
+  result.time.mediator_user_comm_s = cost.wan.TransferCost(bytes_xml);
+  result.wall_seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+Result<FieldStatsResult> Mediator::GetFieldStats(const FieldStatsQuery& query) {
+  Stopwatch watch;
+  ThresholdQuery probe;  // Reuse the common validation.
+  probe.dataset = query.dataset;
+  probe.raw_field = query.raw_field;
+  probe.derived_field = query.derived_field;
+  probe.timestep = query.timestep;
+  probe.box = query.box;
+  probe.threshold = 0.0;
+  probe.fd_order = query.fd_order;
+  TURBDB_RETURN_NOT_OK(ValidateThresholdQuery(probe));
+  QueryOptions options;
+  options.use_cache = false;
+  TURBDB_ASSIGN_OR_RETURN(
+      NodeQuery node_query,
+      BuildNodeQuery(NodeQuery::Mode::kMoments, query.dataset,
+                     query.raw_field, query.derived_field, query.timestep,
+                     query.box, query.fd_order, options));
+  TURBDB_ASSIGN_OR_RETURN(std::vector<NodeOutcome> outcomes,
+                          Dispatch(node_query));
+
+  FieldStatsResult result;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (const NodeOutcome& outcome : outcomes) {
+    sum += outcome.norm_sum;
+    sum_sq += outcome.norm_sum_sq;
+    result.max = std::max(result.max, outcome.norm_max);
+    result.count += outcome.io.points_evaluated;
+  }
+  if (result.count > 0) {
+    result.mean = sum / static_cast<double>(result.count);
+    result.rms = std::sqrt(sum_sq / static_cast<double>(result.count));
+  }
+  result.time = MergeNodeTimes(outcomes);
+  const auto& cost = config_.cost;
+  result.time.mediator_db_comm_s =
+      static_cast<double>(outcomes.size()) *
+      (cost.mediator_dispatch_s + cost.lan.latency_s);
+  result.time.mediator_user_comm_s = cost.wan.TransferCost(256);
+  result.wall_seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+Result<SampleResult> Mediator::GetSamples(const SampleQuery& query) {
+  Stopwatch watch;
+  TURBDB_RETURN_NOT_OK(ValidateSampleQuery(query));
+  TURBDB_ASSIGN_OR_RETURN(const DatasetState* state,
+                          GetDatasetState(query.dataset));
+  TURBDB_ASSIGN_OR_RETURN(const int ncomp,
+                          state->info.FieldNcomp(query.raw_field));
+  if (query.timestep >= state->info.num_timesteps) {
+    return Status::OutOfRange("timestep out of range");
+  }
+
+  // One shared interpolator per (dataset, support).
+  std::shared_ptr<const LagrangeInterpolator> interpolator;
+  {
+    std::lock_guard<std::mutex> lock(diff_mutex_);
+    auto key = std::make_pair(query.dataset, query.support);
+    auto it = interpolators_.find(key);
+    if (it != interpolators_.end()) {
+      interpolator = it->second;
+    } else {
+      TURBDB_ASSIGN_OR_RETURN(
+          LagrangeInterpolator built,
+          LagrangeInterpolator::Create(state->info.geometry, query.support));
+      interpolator =
+          std::make_shared<const LagrangeInterpolator>(std::move(built));
+      interpolators_.emplace(key, interpolator);
+    }
+  }
+
+  // Route each target to the node owning the atom of its containing grid
+  // cell (the bulk of its stencil data lives there).
+  const GridGeometry& geometry = state->info.geometry;
+  std::map<int, std::vector<std::pair<uint32_t, std::array<double, 3>>>>
+      per_node;
+  for (size_t i = 0; i < query.positions.size(); ++i) {
+    const std::array<double, 3>& position = query.positions[i];
+    const int64_t bx = interpolator->BaseNode(0, position[0]);
+    const int64_t by = interpolator->BaseNode(1, position[1]);
+    const int64_t bz = interpolator->BaseNode(2, position[2]);
+    const AtomKey key = AtomKeyForPoint(query.timestep, bx, by, bz,
+                                        geometry.atom_width());
+    const int owner = state->partitioner.OwnerOfAtom(key.zindex);
+    if (owner < 0) {
+      return Status::Internal("target outside the partitioned domain");
+    }
+    per_node[owner].push_back({static_cast<uint32_t>(i), position});
+  }
+
+  // Base node query shared by all parts.
+  NodeQuery node_query;
+  node_query.mode = NodeQuery::Mode::kSample;
+  node_query.dataset = &state->info;
+  node_query.partitioner = &state->partitioner;
+  node_query.raw_field = query.raw_field;
+  node_query.raw_ncomp = ncomp;
+  node_query.timestep = query.timestep;
+  node_query.box = geometry.Bounds();
+  node_query.interpolator = interpolator;
+  node_query.processes = config_.processes_per_node;
+  node_query.options.use_cache = false;
+  node_query.flops_per_process = config_.cost.flops_per_process;
+  node_query.effective_cores = config_.cost.effective_cores_per_node;
+
+  std::vector<NodeQuery> parts;
+  parts.reserve(per_node.size());
+  std::vector<std::future<Result<NodeOutcome>>> futures;
+  for (auto& [node_id, targets] : per_node) {
+    parts.push_back(node_query);
+    parts.back().targets = std::move(targets);
+  }
+  size_t part = 0;
+  for (auto& [node_id, targets] : per_node) {
+    DatabaseNode* node = nodes_[static_cast<size_t>(node_id)].get();
+    const NodeQuery* query_ptr = &parts[part++];
+    futures.push_back(scheduler_->Submit(
+        [node, query_ptr, this]() -> Result<NodeOutcome> {
+          return node->Execute(*query_ptr, workers_.get());
+        }));
+  }
+
+  SampleResult result;
+  result.ncomp = ncomp;
+  result.values.assign(query.positions.size(), {0.0, 0.0, 0.0});
+  Status failure;
+  TimeBreakdown node_phase;
+  size_t filled = 0;
+  for (auto& future : futures) {
+    auto outcome = future.get();
+    if (!outcome.ok()) {
+      if (failure.ok()) failure = outcome.status();
+      continue;
+    }
+    node_phase = node_phase.MaxWith(outcome->time);
+    for (const auto& [index, value] : outcome->samples) {
+      result.values[index] = value;
+      ++filled;
+    }
+  }
+  TURBDB_RETURN_NOT_OK(failure);
+  if (filled != query.positions.size()) {
+    return Status::Internal("some sample targets were not evaluated");
+  }
+  result.time = node_phase;
+  const auto& cost = config_.cost;
+  const uint64_t request_bytes = query.positions.size() * 24;
+  const uint64_t reply_bytes = query.positions.size() * 12;
+  result.time.mediator_db_comm_s =
+      static_cast<double>(per_node.size()) *
+          (cost.mediator_dispatch_s + cost.lan.latency_s) +
+      static_cast<double>(request_bytes + reply_bytes) /
+          cost.lan.bandwidth_bps;
+  // XML-wrapped component values back to the user (~30 B per scalar).
+  result.time.mediator_user_comm_s = cost.wan.TransferCost(
+      query.positions.size() * static_cast<uint64_t>(ncomp) * 30);
+  result.wall_seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+Status Mediator::DropCacheEntries(const std::string& dataset,
+                                  const std::string& raw_field,
+                                  const std::string& derived_field,
+                                  int32_t timestep) {
+  const std::string key = raw_field + ":" + derived_field;
+  for (auto& node : nodes_) {
+    TURBDB_RETURN_NOT_OK(node->DropCacheEntries(dataset, key, timestep));
+  }
+  return Status::OK();
+}
+
+}  // namespace turbdb

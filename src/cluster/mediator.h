@@ -1,0 +1,132 @@
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cluster/cost_model.h"
+#include "cluster/dataset.h"
+#include "cluster/node.h"
+#include "cluster/partitioner.h"
+#include "common/thread_pool.h"
+#include "fields/field_registry.h"
+#include "query/query.h"
+
+namespace turbdb {
+
+/// Cluster-level configuration (the paper's deployment: 4-8 database
+/// nodes, 1-8 worker processes per node, Sec. 5.1).
+struct ClusterConfig {
+  int num_nodes = 4;
+  int processes_per_node = 4;
+  CostModelConfig cost;
+  /// Host threads actually executing node work; defaults to the hardware
+  /// concurrency. This affects only real wall time, never modeled time.
+  int worker_threads = 0;
+  /// How datasets are sharded across nodes (Morton, as in the JHTDB, or
+  /// z-slabs for the partitioning ablation).
+  PartitionStrategy partition_strategy = PartitionStrategy::kMorton;
+  /// When non-empty, each node persists its atoms in checksummed
+  /// append-only files under this directory (one file per node, dataset
+  /// and field) instead of holding them in memory; reopening a cluster
+  /// over the same directory recovers the data. Device *time* still
+  /// comes from the cost models either way.
+  std::string storage_dir;
+};
+
+/// The front-end Web-server of Fig. 1: mediates between clients and the
+/// database nodes. Splits each query along the spatial partitioning of
+/// the data, submits the parts asynchronously to the owning nodes,
+/// assembles their results and accounts the end-to-end (modeled) time.
+class Mediator {
+ public:
+  static Result<std::unique_ptr<Mediator>> Create(const ClusterConfig& config);
+
+  /// Registers a dataset and partitions its atoms across the nodes.
+  Status CreateDataset(const DatasetInfo& info);
+
+  /// Ingests one (field, timestep) by materializing every atom through
+  /// `generate` (in parallel) and storing it on its owner node.
+  Status IngestTimestep(
+      const std::string& dataset, const std::string& field, int32_t timestep,
+      const std::function<Result<Atom>(int32_t, uint64_t)>& generate);
+
+  /// Evaluates a threshold query (the paper's GetThreshold entry point).
+  Result<ThresholdResult> GetThreshold(const ThresholdQuery& query,
+                                       const QueryOptions& options = {});
+
+  /// Histogram of the derived-field norm (Fig. 2).
+  Result<PdfResult> GetPdf(const PdfQuery& query);
+
+  /// The k largest-norm locations.
+  Result<TopKResult> GetTopK(const TopKQuery& query);
+
+  /// Mean/RMS/max of the derived-field norm.
+  Result<FieldStatsResult> GetFieldStats(const FieldStatsQuery& query);
+
+  /// Interpolates a stored field at arbitrary physical positions
+  /// (Lag4/6/8), each evaluated on the node owning its grid cell — the
+  /// GetVelocity-style service calls of Sec. 2.
+  Result<SampleResult> GetSamples(const SampleQuery& query);
+
+  /// Drops cached results of (dataset, raw:derived) for `timestep`
+  /// (-1 = all timesteps) on every node; benchmark hook matching the
+  /// paper's procedure of dropping cache entries before cache-miss runs.
+  Status DropCacheEntries(const std::string& dataset,
+                          const std::string& raw_field,
+                          const std::string& derived_field, int32_t timestep);
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  DatabaseNode& node(int i) { return *nodes_[static_cast<size_t>(i)]; }
+  const ClusterConfig& config() const { return config_; }
+  FieldRegistry& registry() { return registry_; }
+
+  Result<const DatasetInfo*> GetDataset(const std::string& name) const;
+
+ private:
+  struct DatasetState {
+    DatasetInfo info;
+    MortonPartitioner partitioner;
+  };
+
+  explicit Mediator(const ClusterConfig& config);
+
+  Result<const DatasetState*> GetDatasetState(const std::string& name) const;
+
+  /// Resolves catalog/kernel/differentiator and builds the node query.
+  Result<NodeQuery> BuildNodeQuery(
+      NodeQuery::Mode mode, const std::string& dataset,
+      const std::string& raw_field, const std::string& derived_field,
+      int32_t timestep, const Box3& box, int fd_order,
+      const QueryOptions& options);
+
+  /// Dispatches `node_query` to every node owning data in its box and
+  /// merges the outcomes; fills the modeled time breakdown.
+  Result<std::vector<NodeOutcome>> Dispatch(const NodeQuery& node_query);
+
+  const Differentiator* GetDifferentiator(const std::string& dataset,
+                                          const GridGeometry& geometry,
+                                          int order);
+
+  ClusterConfig config_;
+  FieldRegistry registry_;
+  std::vector<std::unique_ptr<DatabaseNode>> nodes_;
+  std::map<std::string, std::unique_ptr<DatasetState>> datasets_;
+
+  /// Runs per-node sub-queries (the asynchronous query scheduling layer).
+  std::unique_ptr<ThreadPool> scheduler_;
+  /// Runs the per-process chunks inside each node.
+  std::unique_ptr<ThreadPool> workers_;
+
+  mutable std::mutex diff_mutex_;
+  std::map<std::pair<std::string, int>, std::unique_ptr<Differentiator>>
+      differentiators_;
+  std::map<std::pair<std::string, int>,
+           std::shared_ptr<const LagrangeInterpolator>>
+      interpolators_;
+};
+
+}  // namespace turbdb

@@ -1,0 +1,24 @@
+#include "cluster/network_model.h"
+
+namespace turbdb {
+
+NetworkSpec NetworkSpec::Lan() {
+  NetworkSpec spec;
+  spec.name = "lan-1gbe";
+  spec.latency_s = 0.0002;
+  spec.bandwidth_bps = 1.0e9 / 8.0;
+  return spec;
+}
+
+NetworkSpec NetworkSpec::Wan() {
+  NetworkSpec spec;
+  spec.name = "user-wan";
+  // Effective SOAP throughput to the end user implied by Table 1's
+  // cache-hit rows: ~9 s to deliver ~9e5 XML-wrapped points (~70 MB),
+  // i.e. ~60 Mbit/s, with ~0.15 s of per-call service overhead.
+  spec.latency_s = 0.15;
+  spec.bandwidth_bps = 60.0e6 / 8.0;
+  return spec;
+}
+
+}  // namespace turbdb

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace turbdb {
+
+/// Analytic cost model for one network segment. Two segments matter in
+/// the deployment (Fig. 1): the cluster LAN between the mediator
+/// Web-server and the database nodes, and the WAN between the mediator
+/// and the end user (where SOAP/XML inflation applies).
+struct NetworkSpec {
+  std::string name;
+  double latency_s = 0.0;
+  double bandwidth_bps = 0.0;
+
+  /// Gigabit cluster interconnect.
+  static NetworkSpec Lan();
+
+  /// End-user WAN. Calibrated so that shipping a full derived field of a
+  /// large time-step wrapped in XML takes tens of hours, matching the
+  /// collaborator's reported 20+ hours for local evaluation (Sec. 1, 5.3).
+  static NetworkSpec Wan();
+
+  /// Modeled seconds for transferring `bytes` in one message.
+  double TransferCost(uint64_t bytes) const {
+    double cost = latency_s;
+    if (bandwidth_bps > 0.0) {
+      cost += static_cast<double>(bytes) / bandwidth_bps;
+    }
+    return cost;
+  }
+};
+
+}  // namespace turbdb

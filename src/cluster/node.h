@@ -1,0 +1,210 @@
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "array/point.h"
+#include "cache/semantic_cache.h"
+#include "cluster/cost_model.h"
+#include "cluster/dataset.h"
+#include "cluster/partitioner.h"
+#include "common/thread_pool.h"
+#include "fields/derived_field.h"
+#include "fields/differentiator.h"
+#include "fields/interpolator.h"
+#include "query/query.h"
+#include "storage/atom_store.h"
+#include "txn/txn_manager.h"
+
+namespace turbdb {
+
+/// What a node is asked to evaluate. Built by the mediator after catalog
+/// resolution; everything pointed to outlives the call.
+struct NodeQuery {
+  /// kMoments accumulates sum/sum-of-squares/max of the norm, which is
+  /// how thresholds are chosen in practice (the paper expresses them as
+  /// multiples of the field's RMS). kSample interpolates the raw field
+  /// at arbitrary positions (the GetVelocity-style service calls).
+  enum class Mode { kThreshold, kPdf, kTopK, kMoments, kSample };
+
+  Mode mode = Mode::kThreshold;
+  const DatasetInfo* dataset = nullptr;
+  const MortonPartitioner* partitioner = nullptr;
+  std::string raw_field;
+  int raw_ncomp = 3;
+  /// Cache identity of the derived quantity: "<raw>:<derived>", so that
+  /// e.g. the curl of the velocity and the curl of the magnetic field
+  /// occupy distinct cache entries.
+  std::string cache_field_key;
+  std::shared_ptr<const DerivedField> kernel;
+  const Differentiator* diff = nullptr;
+  int fd_order = 4;
+  int32_t timestep = 0;
+  Box3 box;  ///< Clipped, half-open, grid coordinates.
+  double threshold = 0.0;
+
+  // PDF parameters (mode == kPdf).
+  double bin_width = 10.0;
+  int num_bins = 9;
+
+  // Top-k parameter (mode == kTopK).
+  uint64_t k = 100;
+
+  // Sampling parameters (mode == kSample): the interpolator and this
+  // node's share of the targets, tagged with their original indices.
+  std::shared_ptr<const LagrangeInterpolator> interpolator;
+  std::vector<std::pair<uint32_t, std::array<double, 3>>> targets;
+
+  int processes = 1;
+  QueryOptions options;
+  double flops_per_process = 1.25e8;
+  /// Cores effectively available per node; processes beyond this count
+  /// time-share the CPUs (CostModelConfig::effective_cores_per_node).
+  double effective_cores = 4.0;
+};
+
+/// A node's answer to its part of a query.
+struct NodeOutcome {
+  int node_id = 0;                     ///< Filled by the mediator.
+  std::vector<ThresholdPoint> points;  ///< Threshold/top-k rows, z-sorted.
+  std::vector<uint64_t> histogram;     ///< PDF counts (num_bins + 1).
+  double norm_sum = 0.0;               ///< kMoments accumulators.
+  double norm_sum_sq = 0.0;
+  double norm_max = 0.0;
+  /// kSample outputs: (original index, interpolated components).
+  std::vector<std::pair<uint32_t, std::array<double, 3>>> samples;
+  bool cache_hit = false;
+  TimeBreakdown time;  ///< cache_lookup/io/compute categories only.
+  IoCounters io;
+};
+
+/// One database node of the analysis cluster: its shard of every
+/// dataset's atoms (keyed by Morton range), its disks, and its local
+/// semantic cache, mirroring Fig. 5. The node evaluates its part of each
+/// query with `processes` data-parallel workers, fetching the boundary
+/// band it does not own from adjacent nodes through the mediator-provided
+/// fetch hook.
+class DatabaseNode {
+ public:
+  /// Batched halo fetch from a peer node: returns the atoms for `codes`
+  /// (sorted) of (dataset, field, timestep) owned by node `owner`, and
+  /// adds the modeled cost (peer disk + LAN) to `*cost_s`.
+  using RemoteFetchFn = std::function<Result<std::vector<Atom>>(
+      int owner, const std::string& dataset, const std::string& field,
+      int32_t timestep, const std::vector<uint64_t>& codes, int concurrent,
+      double* cost_s)>;
+
+  /// `storage_dir` empty = in-memory stores; otherwise atoms persist in
+  /// FileAtomStore files under that directory.
+  DatabaseNode(int id, const CostModelConfig& cost,
+               std::string storage_dir = "");
+
+  int id() const { return id_; }
+
+  void set_remote_fetch(RemoteFetchFn fn) { remote_fetch_ = std::move(fn); }
+
+  /// Registers this node's shard of `dataset` (sorted atom codes).
+  void RegisterDataset(const std::string& dataset,
+                       std::vector<uint64_t> shard_atoms);
+
+  /// Stores one atom of (dataset, field). Creation path; not timed.
+  Status IngestAtom(const std::string& dataset, const std::string& field,
+                    const Atom& atom);
+
+  /// Point-reads `codes` (sorted) on behalf of a peer's halo gather,
+  /// charging this node's disk; used by the mediator's fetch hook.
+  Result<std::vector<Atom>> ServeAtoms(const std::string& dataset,
+                                       const std::string& field,
+                                       int32_t timestep,
+                                       const std::vector<uint64_t>& codes,
+                                       int concurrent, double* cost_s,
+                                       uint64_t* bytes_out);
+
+  /// Evaluates this node's part of a query (Algorithm 1 for thresholds),
+  /// running its data-parallel chunks on `workers`.
+  Result<NodeOutcome> Execute(const NodeQuery& query, ThreadPool* workers);
+
+  /// Drops cache entries (benchmark hook; see SemanticCache::Evict).
+  Status DropCacheEntries(const std::string& dataset, const std::string& field,
+                          int32_t timestep) {
+    return cache_.Evict(dataset, field, timestep);
+  }
+
+  SemanticCache& cache() { return cache_; }
+  DeviceModel& hdd() { return hdd_; }
+
+  /// Number of atoms this node stores for (dataset, field).
+  uint64_t StoredAtomCount(const std::string& dataset,
+                           const std::string& field) const;
+
+ private:
+  struct ChunkOutcome {
+    std::vector<ThresholdPoint> points;
+    std::vector<uint64_t> histogram;
+    double norm_sum = 0.0;
+    double norm_sum_sq = 0.0;
+    double norm_max = 0.0;
+    std::vector<std::pair<uint32_t, std::array<double, 3>>> samples;
+    double io_s = 0.0;
+    double compute_s = 0.0;
+    IoCounters io;
+    Status status;
+  };
+
+  /// Destination atom position (unwrapped atom coords) -> wrapped code.
+  using DestMap = std::map<std::array<int64_t, 3>, uint64_t>;
+
+  AtomStore* FindStore(const std::string& dataset,
+                       const std::string& field) const;
+  AtomStore* GetOrCreateStore(const std::string& dataset,
+                              const std::string& field);
+
+  /// Adds the atoms of `cover` (atom coordinates, possibly out of range)
+  /// to `dest`, wrapping periodic axes and skipping beyond-wall entries.
+  static void InsertCover(const GridGeometry& geometry, const Box3& cover,
+                          DestMap* dest);
+
+  /// Fetches every atom of `dest` (local reads + batched peer fetches)
+  /// and assembles them into a slab covering the destinations. On
+  /// failure only `out->status` is meaningful.
+  Slab GatherDest(const NodeQuery& query, const DestMap& dest,
+                  ChunkOutcome* out);
+
+  /// Point-sampling worker (mode == kSample).
+  ChunkOutcome ProcessSampleChunk(
+      const NodeQuery& query,
+      const std::vector<std::pair<uint32_t, std::array<double, 3>>>& targets);
+
+  /// Data-parallel sampling across this node's targets.
+  Result<NodeOutcome> ExecuteSample(const NodeQuery& query,
+                                    ThreadPool* workers);
+
+  /// Evaluates one worker's contiguous run of owned atoms: gathers the
+  /// run plus halo into a slab (local reads from this node's store,
+  /// remote reads via remote_fetch_), then applies the kernel at every
+  /// owned grid point inside the query box.
+  ChunkOutcome ProcessChunk(const NodeQuery& query,
+                            const std::vector<uint64_t>& chunk_atoms);
+
+  /// Threshold evaluation against the raw data (Algorithm 1 lines 29-38).
+  Result<NodeOutcome> ExecuteFromRaw(const NodeQuery& query,
+                                     ThreadPool* workers);
+
+  int id_;
+  std::string storage_dir_;
+  DeviceModel hdd_;
+  TransactionManager txn_manager_;
+  SemanticCache cache_;
+  RemoteFetchFn remote_fetch_;
+
+  mutable std::mutex stores_mutex_;
+  std::map<std::pair<std::string, std::string>, std::unique_ptr<AtomStore>>
+      stores_;
+  std::map<std::string, std::vector<uint64_t>> shards_;
+};
+
+}  // namespace turbdb

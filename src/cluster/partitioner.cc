@@ -1,0 +1,87 @@
+#include "cluster/partitioner.h"
+
+#include <algorithm>
+
+namespace turbdb {
+
+Result<MortonPartitioner> MortonPartitioner::Create(
+    const GridGeometry& geometry, int num_nodes, PartitionStrategy strategy) {
+  TURBDB_RETURN_NOT_OK(geometry.Validate());
+  if (num_nodes <= 0) {
+    return Status::InvalidArgument("need at least one node");
+  }
+  const uint64_t total = static_cast<uint64_t>(geometry.NumAtoms());
+  if (total < static_cast<uint64_t>(num_nodes)) {
+    return Status::InvalidArgument("fewer atoms than nodes");
+  }
+  MortonPartitioner partitioner;
+  partitioner.strategy_ = strategy;
+
+  // Enumerate valid atoms in the order that defines contiguous shards:
+  // Morton order for kMorton, (z, y, x)-major for kZSlabs.
+  std::vector<uint64_t> layout_order;
+  layout_order.reserve(total);
+  const uint32_t nax = static_cast<uint32_t>(geometry.AtomsAlong(0));
+  const uint32_t nay = static_cast<uint32_t>(geometry.AtomsAlong(1));
+  const uint32_t naz = static_cast<uint32_t>(geometry.AtomsAlong(2));
+  for (uint32_t az = 0; az < naz; ++az) {
+    for (uint32_t ay = 0; ay < nay; ++ay) {
+      for (uint32_t ax = 0; ax < nax; ++ax) {
+        layout_order.push_back(MortonEncode3(ax, ay, az));
+      }
+    }
+  }
+  if (strategy == PartitionStrategy::kMorton) {
+    std::sort(layout_order.begin(), layout_order.end());
+  }
+  // (For kZSlabs the construction order above already is z-major.)
+
+  partitioner.per_node_.resize(static_cast<size_t>(num_nodes));
+  std::vector<std::pair<uint64_t, int32_t>> code_owner;
+  code_owner.reserve(total);
+  for (int node = 0; node < num_nodes; ++node) {
+    const size_t begin = static_cast<size_t>(
+        total * static_cast<uint64_t>(node) / static_cast<uint64_t>(num_nodes));
+    const size_t end = static_cast<size_t>(
+        total * static_cast<uint64_t>(node + 1) /
+        static_cast<uint64_t>(num_nodes));
+    auto& shard = partitioner.per_node_[static_cast<size_t>(node)];
+    shard.assign(layout_order.begin() + begin, layout_order.begin() + end);
+    std::sort(shard.begin(), shard.end());
+    for (uint64_t code : shard) code_owner.push_back({code, node});
+  }
+  std::sort(code_owner.begin(), code_owner.end());
+  partitioner.all_atoms_.reserve(total);
+  partitioner.owners_.reserve(total);
+  for (const auto& [code, owner] : code_owner) {
+    partitioner.all_atoms_.push_back(code);
+    partitioner.owners_.push_back(owner);
+  }
+  return partitioner;
+}
+
+int MortonPartitioner::OwnerOfAtom(uint64_t zindex) const {
+  auto it =
+      std::lower_bound(all_atoms_.begin(), all_atoms_.end(), zindex);
+  if (it == all_atoms_.end() || *it != zindex) return -1;
+  return owners_[static_cast<size_t>(it - all_atoms_.begin())];
+}
+
+MortonRange MortonPartitioner::NodeRange(int node) const {
+  const auto& shard = per_node_[static_cast<size_t>(node)];
+  if (shard.empty()) return MortonRange{0, 0};
+  return MortonRange{shard.front(), shard.back() + 1};
+}
+
+std::vector<uint64_t> MortonPartitioner::NodeAtomsInBox(
+    int node, const Box3& atom_box) const {
+  std::vector<uint64_t> out;
+  for (uint64_t code : per_node_[static_cast<size_t>(node)]) {
+    uint32_t ax, ay, az;
+    MortonDecode3(code, &ax, &ay, &az);
+    if (atom_box.ContainsPoint(ax, ay, az)) out.push_back(code);
+  }
+  return out;
+}
+
+}  // namespace turbdb

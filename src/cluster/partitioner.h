@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "array/box.h"
+#include "array/geometry.h"
+#include "array/morton.h"
+#include "common/result.h"
+
+namespace turbdb {
+
+/// How a dataset's atoms are divided among database nodes.
+enum class PartitionStrategy {
+  /// Contiguous ranges of the Morton z-order curve — the JHTDB layout
+  /// ("We use the Morton z-order space-filling curve to distribute the
+  /// data across nodes and databases", Sec. 2). Shards are compact
+  /// (cube-ish), minimizing the boundary band exchanged for kernel halos.
+  kMorton,
+  /// Contiguous z-slabs (split along the last axis). Simpler, but shards
+  /// are thin slices whose surface area — and with it the cross-node halo
+  /// traffic — grows with the node count. Provided as the baseline for
+  /// the partitioning ablation (bench/ablation_partitioning).
+  kZSlabs,
+};
+
+/// Assigns the atoms of a dataset to database nodes.
+///
+/// Construction enumerates the dataset's valid atom codes (grids whose
+/// atom counts per axis are not powers of two have gaps in Morton code
+/// space) and splits them into `num_nodes` shards of near-equal size
+/// according to the strategy.
+class MortonPartitioner {
+ public:
+  static Result<MortonPartitioner> Create(
+      const GridGeometry& geometry, int num_nodes,
+      PartitionStrategy strategy = PartitionStrategy::kMorton);
+
+  int num_nodes() const { return static_cast<int>(per_node_.size()); }
+  PartitionStrategy strategy() const { return strategy_; }
+
+  /// Node owning the atom with the given z-index.
+  int OwnerOfAtom(uint64_t zindex) const;
+
+  /// Half-open code interval spanned by `node`'s shard (tight for the
+  /// Morton strategy — codes in between always belong to the node; for
+  /// z-slabs merely a bounding interval).
+  MortonRange NodeRange(int node) const;
+
+  /// Sorted z-indices of the atoms assigned to `node`.
+  const std::vector<uint64_t>& NodeAtoms(int node) const {
+    return per_node_[static_cast<size_t>(node)];
+  }
+
+  /// Sorted z-indices of `node`'s atoms whose atom coordinates intersect
+  /// `atom_box` (a half-open box in atom coordinates).
+  std::vector<uint64_t> NodeAtomsInBox(int node, const Box3& atom_box) const;
+
+  uint64_t total_atoms() const { return all_atoms_.size(); }
+
+ private:
+  MortonPartitioner() = default;
+
+  PartitionStrategy strategy_ = PartitionStrategy::kMorton;
+  std::vector<uint64_t> all_atoms_;  ///< All valid codes, sorted.
+  std::vector<int32_t> owners_;      ///< Parallel to all_atoms_.
+  std::vector<std::vector<uint64_t>> per_node_;
+};
+
+}  // namespace turbdb

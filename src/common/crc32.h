@@ -1,0 +1,14 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace turbdb {
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected). Used to checksum atom
+/// payloads in the file-backed store so that on-disk corruption is
+/// detected at read time rather than silently propagating into derived
+/// fields.
+uint32_t Crc32(const void* data, size_t length, uint32_t seed = 0);
+
+}  // namespace turbdb

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cassert>
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace turbdb {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// Process-wide minimum level; messages below it are discarded.
+/// Defaults to kWarning so that library users see problems but not chatter.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+/// Accumulates one log line and emits it (to stderr) on destruction.
+/// kFatal aborts the process after emitting.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace turbdb
+
+#define TURBDB_LOG(level)                                                  \
+  ::turbdb::internal::LogMessage(::turbdb::LogLevel::k##level, __FILE__,   \
+                                 __LINE__)
+
+/// Invariant check, active in all build types. Use for conditions that
+/// indicate a library bug rather than bad user input.
+#define TURBDB_CHECK(cond)                                        \
+  if (!(cond))                                                    \
+  TURBDB_LOG(Fatal) << "Check failed: " #cond " "
+
+#define TURBDB_CHECK_OK(expr)                                       \
+  do {                                                              \
+    ::turbdb::Status _st = (expr);                                  \
+    if (!_st.ok())                                                  \
+      TURBDB_LOG(Fatal) << "Status not OK: " << _st.ToString();     \
+  } while (0)
+
+#define TURBDB_DCHECK(cond) assert(cond)

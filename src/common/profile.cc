@@ -1,0 +1,17 @@
+#include "common/profile.h"
+
+#include <cstdio>
+
+namespace turbdb {
+
+std::string TimeBreakdown::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "total=%.3fs (cache=%.3f io=%.3f compute=%.3f db_comm=%.3f "
+                "user_comm=%.3f)",
+                Total(), cache_lookup_s, io_s, compute_s, mediator_db_comm_s,
+                mediator_user_comm_s);
+  return buf;
+}
+
+}  // namespace turbdb

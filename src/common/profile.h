@@ -1,0 +1,77 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+
+namespace turbdb {
+
+/// Modeled wall-clock breakdown of one query execution, using the same
+/// categories as Figure 9 of the paper. All values are in (modeled)
+/// seconds; see storage/device.h and cluster/network_model.h for the
+/// cost models that produce them.
+struct TimeBreakdown {
+  double cache_lookup_s = 0.0;       ///< Interrogating the semantic cache.
+  double io_s = 0.0;                 ///< Reading raw atoms from disk.
+  double compute_s = 0.0;            ///< Derived-field kernel evaluation.
+  double mediator_db_comm_s = 0.0;   ///< Mediator <-> database nodes.
+  double mediator_user_comm_s = 0.0; ///< Mediator <-> end user.
+
+  double Total() const {
+    return cache_lookup_s + io_s + compute_s + mediator_db_comm_s +
+           mediator_user_comm_s;
+  }
+
+  TimeBreakdown& operator+=(const TimeBreakdown& other) {
+    cache_lookup_s += other.cache_lookup_s;
+    io_s += other.io_s;
+    compute_s += other.compute_s;
+    mediator_db_comm_s += other.mediator_db_comm_s;
+    mediator_user_comm_s += other.mediator_user_comm_s;
+    return *this;
+  }
+
+  /// Component-wise maximum; used to combine the breakdowns of workers
+  /// that run concurrently (the slowest worker determines elapsed time).
+  TimeBreakdown MaxWith(const TimeBreakdown& other) const {
+    TimeBreakdown out;
+    out.cache_lookup_s = std::max(cache_lookup_s, other.cache_lookup_s);
+    out.io_s = std::max(io_s, other.io_s);
+    out.compute_s = std::max(compute_s, other.compute_s);
+    out.mediator_db_comm_s =
+        std::max(mediator_db_comm_s, other.mediator_db_comm_s);
+    out.mediator_user_comm_s =
+        std::max(mediator_user_comm_s, other.mediator_user_comm_s);
+    return out;
+  }
+
+  std::string ToString() const;
+};
+
+/// Byte- and record-level counters accumulated during query execution.
+/// These are *real* counts produced by the actual data movement in the
+/// simulation (including halo-read redundancy), and feed the cost models.
+struct IoCounters {
+  uint64_t atoms_read_local = 0;    ///< Atoms read from the node's own disks.
+  uint64_t atoms_read_remote = 0;   ///< Halo atoms fetched from neighbors.
+  uint64_t bytes_read_local = 0;
+  uint64_t bytes_read_remote = 0;
+  uint64_t cache_records_scanned = 0;
+  uint64_t cache_bytes_scanned = 0;
+  uint64_t points_evaluated = 0;    ///< Grid points where the kernel ran.
+  uint64_t points_returned = 0;
+
+  IoCounters& operator+=(const IoCounters& other) {
+    atoms_read_local += other.atoms_read_local;
+    atoms_read_remote += other.atoms_read_remote;
+    bytes_read_local += other.bytes_read_local;
+    bytes_read_remote += other.bytes_read_remote;
+    cache_records_scanned += other.cache_records_scanned;
+    cache_bytes_scanned += other.cache_bytes_scanned;
+    points_evaluated += other.points_evaluated;
+    points_returned += other.points_returned;
+    return *this;
+  }
+};
+
+}  // namespace turbdb

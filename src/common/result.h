@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace turbdb {
+
+/// Holds either a value of type T or a non-OK Status explaining why the
+/// value could not be produced. Modeled on arrow::Result.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value.
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT
+
+  /// Implicit construction from an error status. It is a programming error
+  /// to construct a Result from an OK status.
+  Result(Status status) : payload_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(payload_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  /// Returns the status: OK if a value is present.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(payload_);
+  }
+
+  /// Value accessors; undefined behaviour if !ok().
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(payload_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(payload_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(payload_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` if this Result holds an error.
+  T ValueOr(T fallback) const {
+    if (ok()) return value();
+    return fallback;
+  }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+/// Assigns the value of a Result expression to `lhs`, or returns its error.
+#define TURBDB_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value();
+
+#define TURBDB_ASSIGN_OR_RETURN(lhs, expr)                                  \
+  TURBDB_ASSIGN_OR_RETURN_IMPL(TURBDB_CONCAT_(_res_, __LINE__), lhs, expr)
+
+#define TURBDB_CONCAT_INNER_(a, b) a##b
+#define TURBDB_CONCAT_(a, b) TURBDB_CONCAT_INNER_(a, b)
+
+}  // namespace turbdb

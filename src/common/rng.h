@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+
+namespace turbdb {
+
+/// SplitMix64: tiny, fast, high-quality 64-bit mixer. Used for seeding and
+/// for deterministic per-key randomness in the synthetic data generator
+/// (the same (seed, key) always produces the same stream, independent of
+/// generation order — essential so that every node and process generates
+/// identical field data for the atoms it owns).
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double NextDouble(double lo, double hi) {
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  /// Uniform integer in [0, n).
+  uint64_t NextBounded(uint64_t n) { return n == 0 ? 0 : Next() % n; }
+
+ private:
+  uint64_t state_;
+};
+
+/// Stateless mix of two 64-bit values into one; used to derive independent
+/// sub-seeds (e.g. per-field, per-mode) from a dataset seed.
+inline uint64_t MixSeed(uint64_t a, uint64_t b) {
+  SplitMix64 rng(a ^ (b * 0x9E3779B97F4A7C15ULL) ^ 0xD1B54A32D192ED03ULL);
+  return rng.Next();
+}
+
+}  // namespace turbdb

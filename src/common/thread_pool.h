@@ -1,0 +1,57 @@
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace turbdb {
+
+/// A fixed-size thread pool.
+///
+/// Used in two roles that mirror the paper's deployment:
+///  - the mediator's asynchronous query scheduler, which submits one
+///    sub-query per database node and awaits all of them;
+///  - the per-node "processes" that evaluate a threshold query in
+///    data-parallel fashion (the paper uses 1-8 worker processes per
+///    SQL Server node; we use pool threads).
+class ThreadPool {
+ public:
+  /// Creates a pool with `num_threads` workers (at least 1).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Schedules `fn` and returns a future for its result.
+  template <typename Fn, typename R = std::invoke_result_t<Fn>>
+  std::future<R> Submit(Fn fn) {
+    auto task = std::make_shared<std::packaged_task<R()>>(std::move(fn));
+    std::future<R> future = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return future;
+  }
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace turbdb

@@ -1,0 +1,263 @@
+#include "datagen/turbulence.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace turbdb {
+
+namespace {
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+
+/// Box-Muller from two uniforms.
+double Gaussian(SplitMix64* rng) {
+  double u1 = rng->NextDouble();
+  double u2 = rng->NextDouble();
+  if (u1 < 1e-300) u1 = 1e-300;
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(kTwoPi * u2);
+}
+
+/// Random unit vector, isotropic.
+std::array<double, 3> RandomUnit(SplitMix64* rng) {
+  for (;;) {
+    std::array<double, 3> v = {rng->NextDouble(-1, 1), rng->NextDouble(-1, 1),
+                               rng->NextDouble(-1, 1)};
+    const double n2 = v[0] * v[0] + v[1] * v[1] + v[2] * v[2];
+    if (n2 > 1e-4 && n2 <= 1.0) {
+      const double inv = 1.0 / std::sqrt(n2);
+      return {v[0] * inv, v[1] * inv, v[2] * inv};
+    }
+  }
+}
+
+std::array<double, 3> Cross(const std::array<double, 3>& a,
+                            const std::array<double, 3>& b) {
+  return {a[1] * b[2] - a[2] * b[1], a[2] * b[0] - a[0] * b[2],
+          a[0] * b[1] - a[1] * b[0]};
+}
+
+double Dot(const std::array<double, 3>& a, const std::array<double, 3>& b) {
+  return a[0] * b[0] + a[1] * b[1] + a[2] * b[2];
+}
+
+}  // namespace
+
+SyntheticField::SyntheticField(const TurbulenceSpec& spec,
+                               const GridGeometry& geometry, int ncomp)
+    : spec_(spec), geometry_(geometry), ncomp_(ncomp) {
+  TURBDB_CHECK(ncomp == 1 || ncomp == 3) << "ncomp must be 1 or 3";
+  BuildModes();
+  if (ncomp_ == 3) BuildTubes();
+}
+
+void SyntheticField::BuildModes() {
+  SplitMix64 rng(MixSeed(spec_.seed, 0x4D4F4445 /* 'MODE' */));
+  modes_.resize(spec_.num_modes);
+  // Sample wavenumber magnitudes log-uniformly in [k_min, k_max] and give
+  // each mode the amplitude of its k-shell: E(k) ~ k^slope implies a
+  // velocity amplitude ~ k^(slope/2) (up to the shell-count factor, which
+  // log-uniform sampling makes constant per octave).
+  //
+  // Wavevector components are snapped to multiples of the fundamental
+  // wavenumber 2*pi/L_d of each periodic axis, so the field is exactly
+  // periodic over the domain. A non-periodic mode would put a
+  // discontinuity at the wrap boundary, and finite differences across it
+  // would fabricate intense spurious "vorticity" there.
+  std::array<double, 3> base;
+  for (int d = 0; d < 3; ++d) {
+    base[d] = geometry_.periodic(d)
+                  ? kTwoPi / geometry_.domain_length(d)
+                  : kTwoPi / geometry_.domain_length(d);  // Same lattice.
+  }
+  double sum_amp2 = 0.0;
+  for (Mode& mode : modes_) {
+    double k_mag = 0.0;
+    for (;;) {
+      const double log_k = rng.NextDouble(
+          std::log(spec_.k_min),
+          std::log(std::max(spec_.k_min + 1e-9, spec_.k_max)));
+      const double target_mag = std::exp(log_k);
+      const std::array<double, 3> dir = RandomUnit(&rng);
+      const std::array<double, 3> k_int = {
+          std::round(dir[0] * target_mag / base[0]) * base[0],
+          std::round(dir[1] * target_mag / base[1]) * base[1],
+          std::round(dir[2] * target_mag / base[2]) * base[2]};
+      k_mag = std::sqrt(Dot(k_int, k_int));
+      if (k_mag < std::max(1.0, spec_.k_min) || k_mag > spec_.k_max) {
+        continue;  // Rounding left the shell (or hit k = 0); resample.
+      }
+      mode.k = k_int;
+      break;
+    }
+    const std::array<double, 3> dir = {mode.k[0] / k_mag, mode.k[1] / k_mag,
+                                       mode.k[2] / k_mag};
+    // Polarization perpendicular to k => exactly divergence-free mode.
+    std::array<double, 3> helper = RandomUnit(&rng);
+    std::array<double, 3> pol = Cross(dir, helper);
+    double pol_norm = std::sqrt(Dot(pol, pol));
+    while (pol_norm < 1e-3) {
+      helper = RandomUnit(&rng);
+      pol = Cross(dir, helper);
+      pol_norm = std::sqrt(Dot(pol, pol));
+    }
+    mode.pol = {pol[0] / pol_norm, pol[1] / pol_norm, pol[2] / pol_norm};
+    mode.amplitude = std::pow(k_mag, spec_.spectrum_slope / 2.0);
+    mode.phase = rng.NextDouble(0.0, kTwoPi);
+    mode.omega = spec_.mode_omega_scale * k_mag * rng.NextDouble(0.2, 1.0);
+    sum_amp2 += mode.amplitude * mode.amplitude;
+  }
+  // Normalize so each component has RMS ~= u_rms. A mode contributes
+  // amplitude^2/2 variance split across the polarization components
+  // (averaging to 1/3 per component for isotropic polarizations).
+  const double variance_per_comp = sum_amp2 / 2.0 / 3.0;
+  const double scale =
+      spec_.u_rms / std::sqrt(std::max(variance_per_comp, 1e-30));
+  for (Mode& mode : modes_) mode.amplitude *= scale;
+}
+
+void SyntheticField::BuildTubes() {
+  SplitMix64 rng(MixSeed(spec_.seed, 0x54554245 /* 'TUBE' */));
+  tubes_.resize(spec_.num_tubes);
+  const double lx = geometry_.domain_length(0);
+  const double ly = geometry_.domain_length(1);
+  const double lz = geometry_.domain_length(2);
+  for (Tube& tube : tubes_) {
+    tube.center = {rng.NextDouble(0, lx), rng.NextDouble(0, ly),
+                   rng.NextDouble(0, lz)};
+    tube.axis = RandomUnit(&rng);
+    std::array<double, 3> drift_dir = RandomUnit(&rng);
+    const double speed = spec_.tube_drift_speed * rng.NextDouble(0.3, 1.0);
+    tube.drift = {drift_dir[0] * speed, drift_dir[1] * speed,
+                  drift_dir[2] * speed};
+    tube.half_length =
+        rng.NextDouble(spec_.tube_length_min, spec_.tube_length_max) / 2.0;
+    tube.omega0 = std::exp(spec_.tube_omega_log_mean +
+                           spec_.tube_omega_log_sigma * Gaussian(&rng));
+    // Burgers vortices carry a roughly circulation-limited core:
+    // omega0 = Gamma / (pi * rc^2), so the most intense worms are the
+    // thinnest. Coupling the core radius to 1/sqrt(omega0) (relative to
+    // the median strength) reproduces that, and with it the steep decay
+    // of the extreme tail of the vorticity PDF (Fig. 2).
+    const double reference = std::exp(spec_.tube_omega_log_mean);
+    const double shrink = std::pow(reference / tube.omega0, 0.8);
+    tube.radius =
+        rng.NextDouble(spec_.tube_radius_min, spec_.tube_radius_max) *
+        std::clamp(shrink, 0.15, 1.5);
+    tube.pulse_phase = rng.NextDouble(0.0, kTwoPi);
+    tube.pulse_rate = rng.NextDouble(0.2, 1.2);
+  }
+}
+
+void SyntheticField::AddTubeVelocity(const Tube& tube, double time, double x,
+                                     double y, double z, double* out) const {
+  // Tube center at this time (wrapped into the periodic box).
+  std::array<double, 3> center = tube.center;
+  const std::array<double, 3> pos = {x, y, z};
+  std::array<double, 3> delta;
+  for (int d = 0; d < 3; ++d) {
+    center[d] += tube.drift[d] * time;
+    const double length = geometry_.domain_length(d);
+    double diff = pos[d] - center[d];
+    if (geometry_.periodic(d)) {
+      // Minimum-image displacement.
+      diff -= length * std::floor(diff / length + 0.5);
+    }
+    delta[d] = diff;
+  }
+  const double axial = Dot(delta, tube.axis);
+  if (std::abs(axial) > 3.0 * tube.half_length) return;
+  std::array<double, 3> radial = {delta[0] - axial * tube.axis[0],
+                                  delta[1] - axial * tube.axis[1],
+                                  delta[2] - axial * tube.axis[2]};
+  const double r2 = Dot(radial, radial);
+  const double rc = tube.radius;
+  if (r2 > 36.0 * rc * rc) return;  // Beyond 6 core radii: negligible.
+  const double r = std::sqrt(r2);
+  // Burgers vortex azimuthal velocity, parameterized by the peak (axis)
+  // vorticity omega0: u_theta(r) = omega0*rc^2/(2r) * (1 - exp(-r^2/rc^2)).
+  double u_theta;
+  if (r < 1e-9) {
+    u_theta = 0.0;
+  } else {
+    u_theta = tube.omega0 * rc * rc / (2.0 * r) * (1.0 - std::exp(-r2 / (rc * rc)));
+  }
+  // Strength modulated slowly in time (keeps extreme events time-local).
+  const double pulse =
+      0.75 + 0.25 * std::sin(tube.pulse_phase + tube.pulse_rate * time);
+  // Gaussian envelope along the axis bounds the tube's length.
+  const double axial_norm = axial / tube.half_length;
+  const double envelope = std::exp(-axial_norm * axial_norm);
+  const double factor = u_theta * pulse * envelope;
+  if (r < 1e-9) return;
+  const std::array<double, 3> tangent = Cross(tube.axis, radial);
+  const double tangent_norm = std::sqrt(Dot(tangent, tangent));
+  if (tangent_norm < 1e-12) return;
+  out[0] += factor * tangent[0] / tangent_norm;
+  out[1] += factor * tangent[1] / tangent_norm;
+  out[2] += factor * tangent[2] / tangent_norm;
+}
+
+void SyntheticField::EvaluateAt(int32_t timestep, double x, double y, double z,
+                                double* out) const {
+  const double time = spec_.dt * static_cast<double>(timestep);
+  for (int c = 0; c < ncomp_; ++c) out[c] = 0.0;
+  for (const Mode& mode : modes_) {
+    const double arg = mode.k[0] * x + mode.k[1] * y + mode.k[2] * z +
+                       mode.phase + mode.omega * time;
+    const double value = mode.amplitude * std::cos(arg);
+    if (ncomp_ == 3) {
+      out[0] += value * mode.pol[0];
+      out[1] += value * mode.pol[1];
+      out[2] += value * mode.pol[2];
+    } else {
+      out[0] += value;
+    }
+  }
+  if (ncomp_ == 3) {
+    for (const Tube& tube : tubes_) {
+      AddTubeVelocity(tube, time, x, y, z, out);
+    }
+    if (spec_.shear_u0 != 0.0) {
+      // Parabolic channel profile; y is physical in [-1, 1] for channel
+      // geometry, otherwise normalized to the domain.
+      out[0] += spec_.shear_u0 * (1.0 - y * y);
+    }
+  }
+}
+
+void SyntheticField::EvaluateAtNode(int32_t timestep, int64_t i, int64_t j,
+                                    int64_t k, double* out) const {
+  EvaluateAt(timestep, geometry_.Coord(0, i), geometry_.Coord(1, j),
+             geometry_.Coord(2, k), out);
+}
+
+Result<Atom> SyntheticField::GenerateAtom(int32_t timestep,
+                                          uint64_t zindex) const {
+  uint32_t ax, ay, az;
+  MortonDecode3(zindex, &ax, &ay, &az);
+  const int64_t w = geometry_.atom_width();
+  const int64_t x0 = static_cast<int64_t>(ax) * w;
+  const int64_t y0 = static_cast<int64_t>(ay) * w;
+  const int64_t z0 = static_cast<int64_t>(az) * w;
+  if (x0 + w > geometry_.nx() || y0 + w > geometry_.ny() ||
+      z0 + w > geometry_.nz()) {
+    return Status::OutOfRange("atom outside the grid");
+  }
+  Atom atom(AtomKey{timestep, zindex}, static_cast<int32_t>(w), ncomp_);
+  double value[3];
+  for (int64_t k = 0; k < w; ++k) {
+    for (int64_t j = 0; j < w; ++j) {
+      for (int64_t i = 0; i < w; ++i) {
+        EvaluateAtNode(timestep, x0 + i, y0 + j, z0 + k, value);
+        for (int c = 0; c < ncomp_; ++c) {
+          atom.At(static_cast<int>(i), static_cast<int>(j),
+                  static_cast<int>(k), c) = static_cast<float>(value[c]);
+        }
+      }
+    }
+  }
+  return atom;
+}
+
+}  // namespace turbdb

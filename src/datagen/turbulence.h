@@ -1,0 +1,122 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "array/atom.h"
+#include "array/geometry.h"
+#include "common/result.h"
+
+namespace turbdb {
+
+/// Parameters of the synthetic turbulence generator.
+///
+/// The paper's experiments run against DNS output (isotropic turbulence
+/// and MHD at 1024^3) that we cannot ship, so the generator synthesizes
+/// fields with the two properties the experiments actually exercise:
+///
+///  1. a solenoidal, statistically homogeneous background with a
+///     Kolmogorov-like k^-5/3 spectrum (random-phase Fourier modes whose
+///     polarization is perpendicular to their wavevector, hence exactly
+///     divergence-free), and
+///  2. *intermittency*: sparse intense vortex tubes (Burgers vortices
+///     with lognormally distributed peak vorticity) so that the vorticity
+///     norm has the heavy right tail of Fig. 2 and thresholds at 4-8x RMS
+///     select a small (1e-5..1e-3) fraction of points, as in the paper.
+///
+/// Everything is deterministic in (seed, timestep, position), so every
+/// node and worker generates bit-identical data for the atoms it owns.
+struct TurbulenceSpec {
+  uint64_t seed = 42;
+
+  // -- Fourier background --
+  int num_modes = 96;
+  double k_min = 1.0;             ///< Smallest wavenumber magnitude.
+  double k_max = 16.0;            ///< Largest wavenumber magnitude.
+  double spectrum_slope = -5.0 / 3.0;
+  double u_rms = 1.0;             ///< Target RMS of each velocity component.
+
+  // -- Vortex tubes ("worms") --
+  // Defaults are calibrated (at 128^3) so the vorticity-norm PDF matches
+  // the paper's tail fractions within small factors: ~4e-4 of points
+  // above 4.4x RMS, ~1e-4 above 6x, ~2e-5 above 8x (paper: 8.5e-4,
+  // 8.1e-5, 4e-6). See EXPERIMENTS.md, Fig. 2/Fig. 4.
+  int num_tubes = 60;
+  double tube_radius_min = 0.10;  ///< Core radius, physical units.
+  double tube_radius_max = 0.17;
+  double tube_length_min = 0.3;
+  double tube_length_max = 0.9;
+  /// Peak tube vorticity is lognormal: exp(N(log_mean, log_sigma)); the
+  /// core radius shrinks as omega0^-0.8 (strong worms are thin).
+  double tube_omega_log_mean = 3.35;
+  double tube_omega_log_sigma = 0.35;
+
+  // -- Time evolution --
+  double dt = 0.02;               ///< Physical time between time-steps.
+  double mode_omega_scale = 1.0;  ///< Phase advection rate of modes.
+  double tube_drift_speed = 0.5;  ///< Tube center drift per unit time.
+
+  /// Adds a parabolic mean profile U(y) = shear_u0 * (1 - y^2) to the x
+  /// component (channel-flow-like datasets; y must be the wall-normal,
+  /// stretched axis in [-1, 1]).
+  double shear_u0 = 0.0;
+};
+
+/// Generates one synthetic vector (3-component) or scalar (1-component)
+/// field on a grid, atom by atom.
+class SyntheticField {
+ public:
+  /// `ncomp` must be 1 or 3. Scalar fields use the same machinery with
+  /// scalar mode amplitudes and Gaussian blobs instead of vortex tubes.
+  SyntheticField(const TurbulenceSpec& spec, const GridGeometry& geometry,
+                 int ncomp);
+
+  int ncomp() const { return ncomp_; }
+  const GridGeometry& geometry() const { return geometry_; }
+  const TurbulenceSpec& spec() const { return spec_; }
+
+  /// Evaluates the field at physical position (relative to grid node
+  /// coordinates) for the given time-step.
+  void EvaluateAt(int32_t timestep, double x, double y, double z,
+                  double* out) const;
+
+  /// Evaluates the field at a grid node.
+  void EvaluateAtNode(int32_t timestep, int64_t i, int64_t j, int64_t k,
+                      double* out) const;
+
+  /// Materializes the atom with the given z-index for `timestep`.
+  Result<Atom> GenerateAtom(int32_t timestep, uint64_t zindex) const;
+
+ private:
+  struct Mode {
+    std::array<double, 3> k;    ///< Wavevector.
+    std::array<double, 3> pol;  ///< Polarization (unit, perpendicular to k).
+    double amplitude = 0.0;
+    double phase = 0.0;
+    double omega = 0.0;         ///< Temporal phase rate.
+  };
+  struct Tube {
+    std::array<double, 3> center;
+    std::array<double, 3> axis;   ///< Unit direction.
+    std::array<double, 3> drift;  ///< Center velocity.
+    double radius = 0.0;
+    double half_length = 0.0;
+    double omega0 = 0.0;          ///< Peak vorticity.
+    double pulse_phase = 0.0;
+    double pulse_rate = 0.0;
+  };
+
+  void BuildModes();
+  void BuildTubes();
+  void AddTubeVelocity(const Tube& tube, double time, double x, double y,
+                       double z, double* out) const;
+
+  TurbulenceSpec spec_;
+  GridGeometry geometry_;
+  int ncomp_;
+  std::vector<Mode> modes_;
+  std::vector<Tube> tubes_;
+};
+
+}  // namespace turbdb

@@ -1,0 +1,68 @@
+#include "fields/field_registry.h"
+
+namespace turbdb {
+
+FieldRegistry FieldRegistry::Default() {
+  FieldRegistry registry;
+  registry.Register("magnitude", [](int raw_ncomp) {
+    return std::make_unique<MagnitudeField>(raw_ncomp);
+  });
+  registry.Register("vorticity", [](int) {
+    return std::make_unique<CurlField>("vorticity");
+  });
+  registry.Register("current", [](int) {
+    return std::make_unique<CurlField>("current");
+  });
+  registry.Register("velocity_gradient", [](int) {
+    return std::make_unique<VelocityGradientField>();
+  });
+  registry.Register("q_criterion", [](int) {
+    return std::make_unique<QCriterionField>();
+  });
+  registry.Register("r_invariant", [](int) {
+    return std::make_unique<RInvariantField>();
+  });
+  registry.Register("divergence", [](int) {
+    return std::make_unique<DivergenceField>();
+  });
+  registry.Register("box_filter", [](int raw_ncomp) {
+    return std::make_unique<BoxFilterField>(2, raw_ncomp);
+  });
+  registry.Register("box_filter_4", [](int raw_ncomp) {
+    return std::make_unique<BoxFilterField>(4, raw_ncomp);
+  });
+  return registry;
+}
+
+void FieldRegistry::Register(const std::string& name, Factory factory) {
+  factories_[name] = std::move(factory);
+}
+
+Result<std::shared_ptr<const DerivedField>> FieldRegistry::Create(
+    const std::string& name, int raw_ncomp) const {
+  auto it = factories_.find(name);
+  if (it == factories_.end()) {
+    return Status::NotFound("no derived field named '" + name + "'");
+  }
+  std::shared_ptr<const DerivedField> field = it->second(raw_ncomp);
+  if (field->input_ncomp() != 0 && field->input_ncomp() != raw_ncomp) {
+    return Status::InvalidArgument(
+        "derived field '" + name + "' requires a raw field with " +
+        std::to_string(field->input_ncomp()) + " components, got " +
+        std::to_string(raw_ncomp));
+  }
+  return field;
+}
+
+bool FieldRegistry::Contains(const std::string& name) const {
+  return factories_.count(name) > 0;
+}
+
+std::vector<std::string> FieldRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) names.push_back(name);
+  return names;
+}
+
+}  // namespace turbdb

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "fields/derived_field.h"
+
+namespace turbdb {
+
+/// Maps derived-field names to kernel factories.
+///
+/// The production service implements each derived field as a CLR stored
+/// procedure; the registry is our equivalent of that dispatch table, and
+/// the place where extensions plug in new quantities (the paper's "long
+/// list of Web-service calls", Sec. 7).
+class FieldRegistry {
+ public:
+  /// A registry pre-populated with the built-in fields:
+  /// magnitude (1 or 3 comp), vorticity, current, velocity_gradient,
+  /// q_criterion, r_invariant, divergence.
+  static FieldRegistry Default();
+
+  using Factory = std::function<std::unique_ptr<DerivedField>(int raw_ncomp)>;
+
+  /// Registers (or replaces) a factory under `name`.
+  void Register(const std::string& name, Factory factory);
+
+  /// Instantiates the derived field `name` for a raw field with
+  /// `raw_ncomp` components; validates component compatibility.
+  Result<std::shared_ptr<const DerivedField>> Create(const std::string& name,
+                                                     int raw_ncomp) const;
+
+  bool Contains(const std::string& name) const;
+  std::vector<std::string> Names() const;
+
+ private:
+  std::map<std::string, Factory> factories_;
+};
+
+}  // namespace turbdb

@@ -1,0 +1,123 @@
+#include "fields/interpolator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "fields/stencil.h"
+
+namespace turbdb {
+
+Result<LagrangeInterpolator> LagrangeInterpolator::Create(
+    const GridGeometry& geometry, int support) {
+  if (support != 4 && support != 6 && support != 8) {
+    return Status::InvalidArgument(
+        "interpolation support must be 4, 6 or 8 nodes (Lag4/6/8)");
+  }
+  TURBDB_RETURN_NOT_OK(geometry.Validate());
+  for (int axis = 0; axis < 3; ++axis) {
+    if (geometry.extent(axis) < support) {
+      return Status::InvalidArgument("grid too small for the stencil");
+    }
+  }
+  LagrangeInterpolator interpolator;
+  interpolator.geometry_ = geometry;
+  interpolator.support_ = support;
+  return interpolator;
+}
+
+int64_t LagrangeInterpolator::BaseNode(int axis, double position) const {
+  if (geometry_.stretched(axis)) {
+    const std::vector<double>& nodes = geometry_.stretched_y();
+    const double clamped =
+        std::clamp(position, nodes.front(), nodes.back());
+    auto it = std::upper_bound(nodes.begin(), nodes.end(), clamped);
+    int64_t index = static_cast<int64_t>(it - nodes.begin()) - 1;
+    return std::clamp<int64_t>(index, 0, geometry_.extent(axis) - 2);
+  }
+  const double length = geometry_.domain_length(axis);
+  double wrapped = position;
+  if (geometry_.periodic(axis)) {
+    wrapped -= length * std::floor(wrapped / length);
+  } else {
+    wrapped = std::clamp(wrapped, 0.0, length);
+  }
+  const int64_t index =
+      static_cast<int64_t>(std::floor(wrapped / geometry_.Spacing(axis)));
+  return std::clamp<int64_t>(index, 0, geometry_.extent(axis) - 1);
+}
+
+LagrangeInterpolator::AxisStencil LagrangeInterpolator::StencilFor(
+    int axis, double position) const {
+  AxisStencil stencil;
+  const int64_t n = geometry_.extent(axis);
+  const int half = support_ / 2;
+
+  double target = position;
+  int64_t start;
+  std::vector<double> nodes(static_cast<size_t>(support_));
+  if (geometry_.periodic(axis) && !geometry_.stretched(axis)) {
+    // Keep the unwrapped stencil centered on the (wrapped) position; the
+    // gather supplies periodic images at out-of-range node indices.
+    const double length = geometry_.domain_length(axis);
+    target -= length * std::floor(target / length);
+    const double dx = geometry_.Spacing(axis);
+    const int64_t base = static_cast<int64_t>(std::floor(target / dx));
+    start = base - (half - 1);
+    for (int m = 0; m < support_; ++m) {
+      nodes[static_cast<size_t>(m)] = static_cast<double>(start + m) * dx;
+    }
+  } else {
+    // Wall-bounded (possibly stretched): shift the stencil inward.
+    target = std::clamp(target, geometry_.Coord(axis, 0),
+                        geometry_.Coord(axis, n - 1));
+    const int64_t base = BaseNode(axis, target);
+    start = std::clamp<int64_t>(base - (half - 1), 0, n - support_);
+    for (int m = 0; m < support_; ++m) {
+      nodes[static_cast<size_t>(m)] = geometry_.Coord(axis, start + m);
+    }
+  }
+  const std::vector<double> weights = FornbergWeights(target, nodes, 0);
+  stencil.start = start;
+  for (int m = 0; m < support_; ++m) {
+    stencil.weights[static_cast<size_t>(m)] =
+        weights[static_cast<size_t>(m)];
+  }
+  return stencil;
+}
+
+Box3 LagrangeInterpolator::SupportBox(
+    const std::array<double, 3>& position) const {
+  Box3 box;
+  for (int axis = 0; axis < 3; ++axis) {
+    const AxisStencil stencil = StencilFor(axis, position[axis]);
+    box.lo[axis] = stencil.start;
+    box.hi[axis] = stencil.start + support_;
+  }
+  return box;
+}
+
+void LagrangeInterpolator::At(const Slab& slab,
+                              const std::array<double, 3>& position,
+                              int ncomp, double* out) const {
+  const AxisStencil sx = StencilFor(0, position[0]);
+  const AxisStencil sy = StencilFor(1, position[1]);
+  const AxisStencil sz = StencilFor(2, position[2]);
+  for (int c = 0; c < ncomp; ++c) out[c] = 0.0;
+  for (int mz = 0; mz < support_; ++mz) {
+    const double wz = sz.weights[static_cast<size_t>(mz)];
+    for (int my = 0; my < support_; ++my) {
+      const double wyz = wz * sy.weights[static_cast<size_t>(my)];
+      for (int mx = 0; mx < support_; ++mx) {
+        const double weight =
+            wyz * sx.weights[static_cast<size_t>(mx)];
+        for (int c = 0; c < ncomp; ++c) {
+          out[c] += weight * slab.At(sx.start + mx, sy.start + my,
+                                     sz.start + mz, c);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace turbdb

@@ -1,0 +1,83 @@
+#include "fields/stencil.h"
+
+#include "common/logging.h"
+
+namespace turbdb {
+
+bool IsSupportedFdOrder(int order) {
+  return order == 2 || order == 4 || order == 6 || order == 8;
+}
+
+int FdHalfWidth(int order) { return order / 2; }
+
+Result<std::vector<double>> CenteredFirstDerivative(int order) {
+  switch (order) {
+    case 2:
+      return std::vector<double>{-0.5, 0.0, 0.5};
+    case 4:
+      return std::vector<double>{1.0 / 12, -2.0 / 3, 0.0, 2.0 / 3,
+                                 -1.0 / 12};
+    case 6:
+      return std::vector<double>{-1.0 / 60, 3.0 / 20, -3.0 / 4, 0.0,
+                                 3.0 / 4,  -3.0 / 20, 1.0 / 60};
+    case 8:
+      return std::vector<double>{1.0 / 280, -4.0 / 105, 1.0 / 5, -4.0 / 5,
+                                 0.0,       4.0 / 5,    -1.0 / 5, 4.0 / 105,
+                                 -1.0 / 280};
+    default:
+      return Status::InvalidArgument("unsupported finite-difference order " +
+                                     std::to_string(order));
+  }
+}
+
+std::vector<double> FornbergWeights(double x0,
+                                    const std::vector<double>& nodes,
+                                    int derivative_order) {
+  const int n = static_cast<int>(nodes.size()) - 1;  // Highest node index.
+  const int m = derivative_order;
+  TURBDB_CHECK(n >= m) << "need at least m+1 nodes for an m-th derivative";
+  // delta[k][j] = weight of node j for the k-th derivative, built
+  // incrementally as nodes are introduced. This is a direct transcription
+  // of Fornberg's 1988 algorithm; note that the new node's row (j == i)
+  // must be filled from the *pre-update* values of row i-1, which is why
+  // it is computed inside the j loop at j == i-1 before that row is
+  // touched.
+  std::vector<std::vector<double>> delta(
+      m + 1, std::vector<double>(nodes.size(), 0.0));
+  delta[0][0] = 1.0;
+  double c1 = 1.0;
+  for (int i = 1; i <= n; ++i) {
+    double c2 = 1.0;
+    const double c4 = nodes[static_cast<size_t>(i)] - x0;
+    const int mn = std::min(i, m);
+    for (int j = 0; j < i; ++j) {
+      const double c3 =
+          nodes[static_cast<size_t>(i)] - nodes[static_cast<size_t>(j)];
+      c2 *= c3;
+      if (j == i - 1) {
+        const double c5 = nodes[static_cast<size_t>(i - 1)] - x0;
+        for (int k = mn; k >= 1; --k) {
+          delta[static_cast<size_t>(k)][static_cast<size_t>(i)] =
+              c1 *
+              (k * delta[static_cast<size_t>(k - 1)][static_cast<size_t>(i - 1)] -
+               c5 * delta[static_cast<size_t>(k)][static_cast<size_t>(i - 1)]) /
+              c2;
+        }
+        delta[0][static_cast<size_t>(i)] =
+            -c1 * c5 * delta[0][static_cast<size_t>(i - 1)] / c2;
+      }
+      for (int k = mn; k >= 1; --k) {
+        delta[static_cast<size_t>(k)][static_cast<size_t>(j)] =
+            (c4 * delta[static_cast<size_t>(k)][static_cast<size_t>(j)] -
+             k * delta[static_cast<size_t>(k - 1)][static_cast<size_t>(j)]) /
+            c3;
+      }
+      delta[0][static_cast<size_t>(j)] =
+          c4 * delta[0][static_cast<size_t>(j)] / c3;
+    }
+    c1 = c2;
+  }
+  return delta[static_cast<size_t>(m)];
+}
+
+}  // namespace turbdb

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <vector>
+
+#include "common/result.h"
+
+namespace turbdb {
+
+/// Supported centered finite-difference orders for first derivatives.
+/// The production JHTDB evaluates derivatives with 4th-order centered
+/// differencing by default (Eq. 2 of the paper); 2nd, 6th and 8th order
+/// variants are offered as well.
+bool IsSupportedFdOrder(int order);
+
+/// Stencil half-width: an order-p centered first derivative uses p/2
+/// neighbors on each side. This is also the halo width a worker must
+/// gather beyond its chunk (the paper's "kernel half-width" band).
+int FdHalfWidth(int order);
+
+/// Coefficients of the centered first-derivative stencil of the given
+/// order, for unit grid spacing, ordered from offset -p/2 to +p/2
+/// (the center coefficient, always 0, is included).
+Result<std::vector<double>> CenteredFirstDerivative(int order);
+
+/// Fornberg's algorithm: weights of the finite-difference approximation
+/// of the m-th derivative at `x0` given function values at the (distinct)
+/// node coordinates `nodes`. Exact for polynomials of degree
+/// nodes.size()-1. Used for one-sided stencils at non-periodic walls and
+/// for the stretched y axis of channel-flow grids.
+///
+/// Reference: B. Fornberg, "Generation of finite difference formulas on
+/// arbitrarily spaced grids", Math. Comp. 51 (1988).
+std::vector<double> FornbergWeights(double x0, const std::vector<double>& nodes,
+                                    int derivative_order);
+
+}  // namespace turbdb

@@ -1,0 +1,53 @@
+#include "storage/atom_store.h"
+
+#include <mutex>
+
+namespace turbdb {
+
+Status InMemoryAtomStore::Put(const Atom& atom) {
+  std::unique_lock lock(mutex_);
+  auto [it, inserted] = atoms_.emplace(atom.key, atom);
+  if (!inserted) {
+    return Status::AlreadyExists("atom already stored");
+  }
+  total_bytes_ += atom.SizeBytes();
+  return Status::OK();
+}
+
+Result<Atom> InMemoryAtomStore::Get(const AtomKey& key) const {
+  std::shared_lock lock(mutex_);
+  auto it = atoms_.find(key);
+  if (it == atoms_.end()) {
+    return Status::NotFound("atom not found");
+  }
+  return it->second;
+}
+
+bool InMemoryAtomStore::Contains(const AtomKey& key) const {
+  std::shared_lock lock(mutex_);
+  return atoms_.count(key) > 0;
+}
+
+Status InMemoryAtomStore::Scan(
+    int32_t timestep, const MortonRange& range,
+    const std::function<void(const Atom&)>& fn) const {
+  std::shared_lock lock(mutex_);
+  auto it = atoms_.lower_bound(AtomKey{timestep, range.lo});
+  for (; it != atoms_.end(); ++it) {
+    if (it->first.timestep != timestep || it->first.zindex >= range.hi) break;
+    fn(it->second);
+  }
+  return Status::OK();
+}
+
+uint64_t InMemoryAtomStore::AtomCount() const {
+  std::shared_lock lock(mutex_);
+  return atoms_.size();
+}
+
+uint64_t InMemoryAtomStore::TotalBytes() const {
+  std::shared_lock lock(mutex_);
+  return total_bytes_;
+}
+
+}  // namespace turbdb

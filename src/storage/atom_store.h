@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <shared_mutex>
+
+#include "array/atom.h"
+#include "array/morton.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace turbdb {
+
+/// Ordered storage for the atoms of one (dataset, field) pair, keyed by
+/// (timestep, zindex) — the clustered primary key of the paper's data
+/// tables. Implementations must support concurrent readers.
+class AtomStore {
+ public:
+  virtual ~AtomStore() = default;
+
+  /// Inserts an atom; kAlreadyExists if the key is present (simulation
+  /// output is immutable once ingested).
+  virtual Status Put(const Atom& atom) = 0;
+
+  /// Point lookup by exact key.
+  virtual Result<Atom> Get(const AtomKey& key) const = 0;
+
+  virtual bool Contains(const AtomKey& key) const = 0;
+
+  /// Ordered scan of all atoms of `timestep` whose z-index lies in
+  /// `range`; `fn` is invoked in increasing z-index order.
+  virtual Status Scan(int32_t timestep, const MortonRange& range,
+                      const std::function<void(const Atom&)>& fn) const = 0;
+
+  virtual uint64_t AtomCount() const = 0;
+
+  /// Total payload bytes stored.
+  virtual uint64_t TotalBytes() const = 0;
+};
+
+/// Heap-backed store: a sorted map guarded by a shared mutex. This is the
+/// default substrate for benchmarks (device *time* comes from the cost
+/// models, so the physical medium of the simulation data is irrelevant to
+/// the measured shapes).
+class InMemoryAtomStore : public AtomStore {
+ public:
+  Status Put(const Atom& atom) override;
+  Result<Atom> Get(const AtomKey& key) const override;
+  bool Contains(const AtomKey& key) const override;
+  Status Scan(int32_t timestep, const MortonRange& range,
+              const std::function<void(const Atom&)>& fn) const override;
+  uint64_t AtomCount() const override;
+  uint64_t TotalBytes() const override;
+
+ private:
+  mutable std::shared_mutex mutex_;
+  std::map<AtomKey, Atom> atoms_;
+  uint64_t total_bytes_ = 0;
+};
+
+}  // namespace turbdb

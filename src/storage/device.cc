@@ -1,0 +1,54 @@
+#include "storage/device.h"
+
+#include <cmath>
+
+#include <algorithm>
+
+namespace turbdb {
+
+DeviceSpec DeviceSpec::HddArray() {
+  DeviceSpec spec;
+  spec.name = "hdd-raid5";
+  spec.seek_s = 0.008;
+  spec.bandwidth_bps = 33.0 * 1024 * 1024;
+  spec.concurrency_exponent = 0.5;
+  return spec;
+}
+
+DeviceSpec DeviceSpec::Ssd() {
+  DeviceSpec spec;
+  spec.name = "ssd";
+  spec.seek_s = 0.0001;
+  spec.bandwidth_bps = 250.0 * 1024 * 1024;
+  spec.concurrency_exponent = 1.0;
+  return spec;
+}
+
+DeviceSpec DeviceSpec::Null() {
+  DeviceSpec spec;
+  spec.name = "null";
+  spec.seek_s = 0.0;
+  spec.bandwidth_bps = 0.0;  // Sentinel: no transfer cost.
+  spec.concurrency_exponent = 1.0;
+  return spec;
+}
+
+double DeviceModel::ChargeRead(uint64_t bytes, uint64_t ops, int concurrent) {
+  total_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  total_ops_.fetch_add(ops, std::memory_order_relaxed);
+  concurrent = std::max(1, concurrent);
+  double cost = static_cast<double>(ops) * spec_.seek_s;
+  if (spec_.bandwidth_bps > 0.0) {
+    const double contention = std::pow(static_cast<double>(concurrent),
+                                       1.0 - spec_.concurrency_exponent);
+    cost += static_cast<double>(bytes) * contention / spec_.bandwidth_bps;
+  }
+  return cost;
+}
+
+void DeviceModel::ResetCounters() {
+  total_bytes_.store(0);
+  total_ops_.store(0);
+}
+
+}  // namespace turbdb

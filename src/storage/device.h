@@ -1,0 +1,73 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace turbdb {
+
+/// Analytic cost model for one storage device (an HDD RAID array or an
+/// SSD attached to a database node).
+///
+/// The reproduction executes all data movement for real (bytes are read
+/// from real in-memory or on-disk stores) but *charges time* through these
+/// models, calibrated to the paper's 2008-era production hardware, so that
+/// benchmark shapes (I/O ~ half of total, no I/O scaling with process
+/// count, SSD cache lookups that are negligible) are reproduced
+/// deterministically regardless of the host machine.
+///
+/// Model: a read of `bytes` issued as `ops` operations by one of
+/// `concurrent` streams sharing the device costs
+///
+///   ops * seek_s
+///     + bytes * concurrent^(1 - concurrency_exponent) / bandwidth_bps
+///
+/// `bandwidth_bps` is the *single-stream* effective rate. The exponent
+/// captures how much extra aggregate throughput additional streams buy:
+/// 1.0 = perfectly parallel (SSD), 0.0 = one shared spindle (streams
+/// divide a fixed aggregate), 0.5 = the paper's four RAID-5 arrays per
+/// node, where Fig. 8 shows I/O time falling from ~130 s at one process
+/// to ~65 s at eight — sub-linear because the partitioned data files can
+/// drive the arrays in parallel but share controllers, caches and the
+/// production workload (Sec. 5.3).
+struct DeviceSpec {
+  std::string name;
+  double seek_s = 0.0;         ///< Per-operation positioning cost.
+  double bandwidth_bps = 0.0;  ///< Effective single-stream bandwidth.
+  double concurrency_exponent = 0.5;  ///< Aggregate-throughput scaling.
+
+  /// Four RAID-5 SATA arrays shared with the production workload;
+  /// single-stream effective rate calibrated from Fig. 8 (3.2 GB/node in
+  /// ~130 s at one process).
+  static DeviceSpec HddArray();
+
+  /// 2008-era SSD holding the cache tables: cheap seeks, fast scans.
+  static DeviceSpec Ssd();
+
+  /// Infinitely fast device (for tests and for disabling the model).
+  static DeviceSpec Null();
+};
+
+/// A device instance with usage counters. Cost computation is pure;
+/// callers pass the number of streams concurrently using the device
+/// (the per-node process count in this simulation).
+class DeviceModel {
+ public:
+  explicit DeviceModel(DeviceSpec spec) : spec_(std::move(spec)) {}
+
+  const DeviceSpec& spec() const { return spec_; }
+
+  /// Modeled seconds for a read; also accumulates the usage counters.
+  double ChargeRead(uint64_t bytes, uint64_t ops, int concurrent);
+
+  uint64_t total_bytes() const { return total_bytes_.load(); }
+  uint64_t total_ops() const { return total_ops_.load(); }
+  void ResetCounters();
+
+ private:
+  DeviceSpec spec_;
+  std::atomic<uint64_t> total_bytes_{0};
+  std::atomic<uint64_t> total_ops_{0};
+};
+
+}  // namespace turbdb

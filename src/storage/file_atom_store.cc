@@ -1,0 +1,220 @@
+#include "storage/file_atom_store.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+#include "common/crc32.h"
+#include "common/logging.h"
+
+namespace turbdb {
+
+namespace {
+
+constexpr uint32_t kRecordMagic = 0x4D544154;  // 'TATM'
+
+#pragma pack(push, 1)
+struct RecordHeader {
+  uint32_t magic;
+  int32_t timestep;
+  uint64_t zindex;
+  int32_t width;
+  int32_t ncomp;
+  uint32_t payload_bytes;
+  uint32_t crc;
+};
+#pragma pack(pop)
+
+static_assert(sizeof(RecordHeader) == 32, "unexpected header padding");
+
+Status ErrnoStatus(const std::string& op) {
+  return Status::IOError(op + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+FileAtomStore::FileAtomStore(std::string path, int fd)
+    : path_(std::move(path)), fd_(fd) {}
+
+FileAtomStore::~FileAtomStore() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<std::unique_ptr<FileAtomStore>> FileAtomStore::Open(
+    const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd < 0) return ErrnoStatus("open " + path);
+  std::unique_ptr<FileAtomStore> store(new FileAtomStore(path, fd));
+  TURBDB_RETURN_NOT_OK(store->LoadIndex());
+  return store;
+}
+
+Status FileAtomStore::LoadIndex() {
+  const off_t end = ::lseek(fd_, 0, SEEK_END);
+  if (end < 0) return ErrnoStatus("lseek");
+  uint64_t offset = 0;
+  while (offset + sizeof(RecordHeader) <= static_cast<uint64_t>(end)) {
+    RecordHeader header;
+    const ssize_t n =
+        ::pread(fd_, &header, sizeof(header), static_cast<off_t>(offset));
+    if (n != static_cast<ssize_t>(sizeof(header))) {
+      return ErrnoStatus("pread header");
+    }
+    if (header.magic != kRecordMagic) {
+      return Status::Corruption("bad record magic at offset " +
+                                std::to_string(offset));
+    }
+    const uint64_t record_size = sizeof(RecordHeader) + header.payload_bytes;
+    if (offset + record_size > static_cast<uint64_t>(end)) {
+      // Torn final record from an interrupted append: truncate it away.
+      TURBDB_LOG(Warning) << "truncating torn record at offset " << offset
+                          << " in " << path_;
+      if (::ftruncate(fd_, static_cast<off_t>(offset)) != 0) {
+        return ErrnoStatus("ftruncate");
+      }
+      break;
+    }
+    IndexEntry entry;
+    entry.offset = offset;
+    entry.payload_bytes = header.payload_bytes;
+    entry.width = header.width;
+    entry.ncomp = header.ncomp;
+    index_[AtomKey{header.timestep, header.zindex}] = entry;
+    total_payload_bytes_ += header.payload_bytes;
+    offset += record_size;
+  }
+  file_size_ = offset;
+  return Status::OK();
+}
+
+Status FileAtomStore::Put(const Atom& atom) {
+  const uint32_t payload_bytes =
+      static_cast<uint32_t>(atom.data.size() * sizeof(float));
+  RecordHeader header;
+  header.magic = kRecordMagic;
+  header.timestep = atom.key.timestep;
+  header.zindex = atom.key.zindex;
+  header.width = atom.width;
+  header.ncomp = atom.ncomp;
+  header.payload_bytes = payload_bytes;
+  header.crc = Crc32(atom.data.data(), payload_bytes);
+
+  std::lock_guard<std::mutex> write_lock(write_mutex_);
+  {
+    std::shared_lock index_lock(index_mutex_);
+    if (index_.count(atom.key)) {
+      return Status::AlreadyExists("atom already stored");
+    }
+  }
+  // Build one contiguous buffer so the append is a single pwrite (keeps
+  // torn-record handling simple: either the header+payload prefix is
+  // complete or LoadIndex truncates it).
+  std::vector<uint8_t> buffer(sizeof(header) + payload_bytes);
+  std::memcpy(buffer.data(), &header, sizeof(header));
+  std::memcpy(buffer.data() + sizeof(header), atom.data.data(), payload_bytes);
+  const ssize_t n = ::pwrite(fd_, buffer.data(), buffer.size(),
+                             static_cast<off_t>(file_size_));
+  if (n != static_cast<ssize_t>(buffer.size())) {
+    return ErrnoStatus("pwrite");
+  }
+  IndexEntry entry;
+  entry.offset = file_size_;
+  entry.payload_bytes = payload_bytes;
+  entry.width = atom.width;
+  entry.ncomp = atom.ncomp;
+  {
+    std::unique_lock index_lock(index_mutex_);
+    index_[atom.key] = entry;
+    file_size_ += buffer.size();
+    total_payload_bytes_ += payload_bytes;
+  }
+  return Status::OK();
+}
+
+Result<Atom> FileAtomStore::ReadRecord(const AtomKey& key,
+                                       const IndexEntry& entry) const {
+  RecordHeader header;
+  ssize_t n = ::pread(fd_, &header, sizeof(header),
+                      static_cast<off_t>(entry.offset));
+  if (n != static_cast<ssize_t>(sizeof(header))) {
+    return ErrnoStatus("pread header");
+  }
+  if (header.magic != kRecordMagic || header.timestep != key.timestep ||
+      header.zindex != key.zindex) {
+    return Status::Corruption("index/record mismatch at offset " +
+                              std::to_string(entry.offset));
+  }
+  Atom atom;
+  atom.key = key;
+  atom.width = header.width;
+  atom.ncomp = header.ncomp;
+  atom.data.resize(header.payload_bytes / sizeof(float));
+  n = ::pread(fd_, atom.data.data(), header.payload_bytes,
+              static_cast<off_t>(entry.offset + sizeof(header)));
+  if (n != static_cast<ssize_t>(header.payload_bytes)) {
+    return ErrnoStatus("pread payload");
+  }
+  const uint32_t crc = Crc32(atom.data.data(), header.payload_bytes);
+  if (crc != header.crc) {
+    return Status::Corruption("checksum mismatch for atom at offset " +
+                              std::to_string(entry.offset));
+  }
+  return atom;
+}
+
+Result<Atom> FileAtomStore::Get(const AtomKey& key) const {
+  IndexEntry entry;
+  {
+    std::shared_lock index_lock(index_mutex_);
+    auto it = index_.find(key);
+    if (it == index_.end()) return Status::NotFound("atom not found");
+    entry = it->second;
+  }
+  return ReadRecord(key, entry);
+}
+
+bool FileAtomStore::Contains(const AtomKey& key) const {
+  std::shared_lock index_lock(index_mutex_);
+  return index_.count(key) > 0;
+}
+
+Status FileAtomStore::Scan(int32_t timestep, const MortonRange& range,
+                           const std::function<void(const Atom&)>& fn) const {
+  // Snapshot the matching index entries, then read without the lock.
+  std::vector<std::pair<AtomKey, IndexEntry>> entries;
+  {
+    std::shared_lock index_lock(index_mutex_);
+    auto it = index_.lower_bound(AtomKey{timestep, range.lo});
+    for (; it != index_.end(); ++it) {
+      if (it->first.timestep != timestep || it->first.zindex >= range.hi) {
+        break;
+      }
+      entries.push_back(*it);
+    }
+  }
+  for (const auto& [key, entry] : entries) {
+    TURBDB_ASSIGN_OR_RETURN(Atom atom, ReadRecord(key, entry));
+    fn(atom);
+  }
+  return Status::OK();
+}
+
+uint64_t FileAtomStore::AtomCount() const {
+  std::shared_lock index_lock(index_mutex_);
+  return index_.size();
+}
+
+uint64_t FileAtomStore::TotalBytes() const {
+  std::shared_lock index_lock(index_mutex_);
+  return total_payload_bytes_;
+}
+
+Status FileAtomStore::Sync() {
+  if (::fsync(fd_) != 0) return ErrnoStatus("fsync");
+  return Status::OK();
+}
+
+}  // namespace turbdb

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "storage/atom_store.h"
+
+namespace turbdb {
+
+/// Durable atom storage: a single append-only data file plus an in-memory
+/// key -> offset index rebuilt by scanning record headers at open time.
+///
+/// On-disk record format (little-endian):
+///   u32 magic            'TATM'
+///   i32 timestep
+///   u64 zindex
+///   i32 width
+///   i32 ncomp
+///   u32 payload_bytes
+///   u32 crc32(payload)
+///   f32 payload[width^3 * ncomp]
+///
+/// Writes are serialized by a mutex; reads use pread(2) and may run
+/// concurrently with each other. CRC mismatches surface as kCorruption.
+class FileAtomStore : public AtomStore {
+ public:
+  ~FileAtomStore() override;
+
+  /// Opens (creating if needed) the store backed by `path`. Existing
+  /// records are indexed; a torn final record (e.g. crash mid-append) is
+  /// truncated away.
+  static Result<std::unique_ptr<FileAtomStore>> Open(const std::string& path);
+
+  Status Put(const Atom& atom) override;
+  Result<Atom> Get(const AtomKey& key) const override;
+  bool Contains(const AtomKey& key) const override;
+  Status Scan(int32_t timestep, const MortonRange& range,
+              const std::function<void(const Atom&)>& fn) const override;
+  uint64_t AtomCount() const override;
+  uint64_t TotalBytes() const override;
+
+  /// fsyncs the data file.
+  Status Sync();
+
+  const std::string& path() const { return path_; }
+
+ private:
+  struct IndexEntry {
+    uint64_t offset = 0;       ///< Offset of the record header.
+    uint32_t payload_bytes = 0;
+    int32_t width = 0;
+    int32_t ncomp = 0;
+  };
+
+  FileAtomStore(std::string path, int fd);
+
+  Status LoadIndex();
+  Result<Atom> ReadRecord(const AtomKey& key, const IndexEntry& entry) const;
+
+  std::string path_;
+  int fd_ = -1;
+  mutable std::mutex write_mutex_;
+  mutable std::shared_mutex index_mutex_;
+  std::map<AtomKey, IndexEntry> index_;
+  uint64_t file_size_ = 0;
+  uint64_t total_payload_bytes_ = 0;
+};
+
+}  // namespace turbdb

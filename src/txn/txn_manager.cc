@@ -1,0 +1,71 @@
+#include "txn/txn_manager.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace turbdb {
+
+void Transaction::AddParticipant(TxnParticipant* participant) {
+  if (std::find(participants_.begin(), participants_.end(), participant) ==
+      participants_.end()) {
+    participants_.push_back(participant);
+  }
+}
+
+std::unique_ptr<Transaction> TransactionManager::Begin() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto txn = std::unique_ptr<Transaction>(
+      new Transaction(next_id_++, clock_));
+  active_begin_ts_.insert(txn->begin_ts());
+  return txn;
+}
+
+Status TransactionManager::Commit(Transaction* txn) {
+  TURBDB_CHECK(!txn->finished_) << "commit of a finished transaction";
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (TxnParticipant* participant : txn->participants_) {
+    Status status = participant->CheckWriteConflicts(txn->begin_ts());
+    if (!status.ok()) {
+      for (TxnParticipant* p : txn->participants_) p->DiscardWrites();
+      Finish(txn);
+      return status;
+    }
+  }
+  const Timestamp commit_ts = ++clock_;
+  for (TxnParticipant* participant : txn->participants_) {
+    participant->ApplyWrites(commit_ts);
+  }
+  Finish(txn);
+  return Status::OK();
+}
+
+void TransactionManager::Abort(Transaction* txn) {
+  TURBDB_CHECK(!txn->finished_) << "abort of a finished transaction";
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (TxnParticipant* participant : txn->participants_) {
+    participant->DiscardWrites();
+  }
+  Finish(txn);
+}
+
+Timestamp TransactionManager::GcHorizon() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (active_begin_ts_.empty()) return clock_;
+  return *active_begin_ts_.begin();
+}
+
+Timestamp TransactionManager::last_commit_ts() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return clock_;
+}
+
+void TransactionManager::Finish(Transaction* txn) {
+  auto it = active_begin_ts_.find(txn->begin_ts());
+  TURBDB_CHECK(it != active_begin_ts_.end());
+  active_begin_ts_.erase(it);
+  txn->finished_ = true;
+  txn->participants_.clear();
+}
+
+}  // namespace turbdb

@@ -1,0 +1,150 @@
+#include "wire/serializer.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace turbdb {
+
+namespace {
+constexpr uint32_t kBinaryMagic = 0x54505453;  // 'STPT'
+}
+
+void PutVarint64(std::vector<uint8_t>* out, uint64_t value) {
+  while (value >= 0x80) {
+    out->push_back(static_cast<uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  out->push_back(static_cast<uint8_t>(value));
+}
+
+Result<uint64_t> GetVarint64(const std::vector<uint8_t>& bytes, size_t* pos) {
+  uint64_t value = 0;
+  int shift = 0;
+  while (*pos < bytes.size()) {
+    const uint8_t byte = bytes[(*pos)++];
+    if (shift >= 64 || (shift == 63 && (byte & 0x7F) > 1)) {
+      return Status::Corruption("varint overflow");
+    }
+    value |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) return value;
+    shift += 7;
+  }
+  return Status::Corruption("truncated varint");
+}
+
+std::vector<uint8_t> EncodePointsBinary(
+    const std::vector<ThresholdPoint>& points) {
+  std::vector<uint8_t> out;
+  out.reserve(16 + points.size() * 6);
+  PutVarint64(&out, kBinaryMagic);
+  PutVarint64(&out, points.size());
+  uint64_t prev = 0;
+  for (const ThresholdPoint& point : points) {
+    // Sorted input makes the deltas small; first delta is the absolute.
+    PutVarint64(&out, point.zindex - prev);
+    prev = point.zindex;
+    uint32_t bits;
+    static_assert(sizeof(bits) == sizeof(point.norm));
+    std::memcpy(&bits, &point.norm, sizeof(bits));
+    out.push_back(static_cast<uint8_t>(bits));
+    out.push_back(static_cast<uint8_t>(bits >> 8));
+    out.push_back(static_cast<uint8_t>(bits >> 16));
+    out.push_back(static_cast<uint8_t>(bits >> 24));
+  }
+  return out;
+}
+
+Result<std::vector<ThresholdPoint>> DecodePointsBinary(
+    const std::vector<uint8_t>& bytes) {
+  size_t pos = 0;
+  TURBDB_ASSIGN_OR_RETURN(uint64_t magic, GetVarint64(bytes, &pos));
+  if (magic != kBinaryMagic) return Status::Corruption("bad frame magic");
+  TURBDB_ASSIGN_OR_RETURN(uint64_t count, GetVarint64(bytes, &pos));
+  std::vector<ThresholdPoint> points;
+  points.reserve(count);
+  uint64_t prev = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    TURBDB_ASSIGN_OR_RETURN(uint64_t delta, GetVarint64(bytes, &pos));
+    prev += delta;
+    if (pos + 4 > bytes.size()) return Status::Corruption("truncated norm");
+    uint32_t bits = static_cast<uint32_t>(bytes[pos]) |
+                    (static_cast<uint32_t>(bytes[pos + 1]) << 8) |
+                    (static_cast<uint32_t>(bytes[pos + 2]) << 16) |
+                    (static_cast<uint32_t>(bytes[pos + 3]) << 24);
+    pos += 4;
+    float norm;
+    std::memcpy(&norm, &bits, sizeof(norm));
+    points.push_back(ThresholdPoint{prev, norm});
+  }
+  if (pos != bytes.size()) return Status::Corruption("trailing bytes");
+  return points;
+}
+
+std::string EncodePointsXml(const std::vector<ThresholdPoint>& points) {
+  std::string out;
+  out.reserve(64 + points.size() * 96);
+  out += "<?xml version=\"1.0\"?>\n<ThresholdResult count=\"";
+  out += std::to_string(points.size());
+  out += "\">\n";
+  char buf[128];
+  for (const ThresholdPoint& point : points) {
+    uint32_t x, y, z;
+    point.Coords(&x, &y, &z);
+    std::snprintf(buf, sizeof(buf),
+                  "  <Point><X>%u</X><Y>%u</Y><Z>%u</Z><Value>%.9g</Value>"
+                  "</Point>\n",
+                  x, y, z, point.norm);
+    out += buf;
+  }
+  out += "</ThresholdResult>\n";
+  return out;
+}
+
+namespace {
+
+/// Extracts the text between `<tag>` and `</tag>` starting at *pos;
+/// advances *pos past the close tag.
+Result<std::string> TakeElement(const std::string& xml, const char* tag,
+                                size_t* pos) {
+  const std::string open = std::string("<") + tag + ">";
+  const std::string close = std::string("</") + tag + ">";
+  const size_t start = xml.find(open, *pos);
+  if (start == std::string::npos) {
+    return Status::Corruption(std::string("missing element ") + tag);
+  }
+  const size_t value_start = start + open.size();
+  const size_t end = xml.find(close, value_start);
+  if (end == std::string::npos) {
+    return Status::Corruption(std::string("unterminated element ") + tag);
+  }
+  *pos = end + close.size();
+  return xml.substr(value_start, end - value_start);
+}
+
+}  // namespace
+
+Result<std::vector<ThresholdPoint>> DecodePointsXml(const std::string& xml) {
+  std::vector<ThresholdPoint> points;
+  size_t pos = 0;
+  while (true) {
+    const size_t next = xml.find("<Point>", pos);
+    if (next == std::string::npos) break;
+    pos = next;
+    TURBDB_ASSIGN_OR_RETURN(std::string x_str, TakeElement(xml, "X", &pos));
+    TURBDB_ASSIGN_OR_RETURN(std::string y_str, TakeElement(xml, "Y", &pos));
+    TURBDB_ASSIGN_OR_RETURN(std::string z_str, TakeElement(xml, "Z", &pos));
+    TURBDB_ASSIGN_OR_RETURN(std::string v_str,
+                            TakeElement(xml, "Value", &pos));
+    char* end = nullptr;
+    const unsigned long x = std::strtoul(x_str.c_str(), &end, 10);
+    const unsigned long y = std::strtoul(y_str.c_str(), &end, 10);
+    const unsigned long z = std::strtoul(z_str.c_str(), &end, 10);
+    const float value = std::strtof(v_str.c_str(), &end);
+    points.push_back(MakeThresholdPoint(static_cast<uint32_t>(x),
+                                        static_cast<uint32_t>(y),
+                                        static_cast<uint32_t>(z), value));
+  }
+  return points;
+}
+
+}  // namespace turbdb

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "array/point.h"
+#include "common/result.h"
+
+namespace turbdb {
+
+/// Result serialization for the two transports in the deployment:
+///
+///  - node -> mediator uses a compact binary frame (sorted z-indices are
+///    delta + varint encoded, norms are raw IEEE floats);
+///  - mediator -> user goes through the SOAP web service, which wraps
+///    values in XML. The paper observes this inflates transfers several
+///    times ("a Web-service request will be much larger due to the
+///    overhead of wrapping the data in an xml format", Sec. 5.3); the
+///    XML encoder below is what the network cost model charges for.
+///
+/// Points must be sorted by zindex for binary encoding (they are produced
+/// that way by the query engine).
+std::vector<uint8_t> EncodePointsBinary(
+    const std::vector<ThresholdPoint>& points);
+
+Result<std::vector<ThresholdPoint>> DecodePointsBinary(
+    const std::vector<uint8_t>& bytes);
+
+/// XML encoding of a result set (element per point), as the SOAP layer
+/// would emit.
+std::string EncodePointsXml(const std::vector<ThresholdPoint>& points);
+
+Result<std::vector<ThresholdPoint>> DecodePointsXml(const std::string& xml);
+
+/// Unsigned LEB128 varint primitives (exposed for tests).
+void PutVarint64(std::vector<uint8_t>* out, uint64_t value);
+Result<uint64_t> GetVarint64(const std::vector<uint8_t>& bytes, size_t* pos);
+
+}  // namespace turbdb

@@ -1,0 +1,74 @@
+#include "array/box.h"
+
+#include <gtest/gtest.h>
+
+namespace turbdb {
+namespace {
+
+TEST(Box3Test, VolumeAndEmptiness) {
+  EXPECT_TRUE(Box3().Empty());
+  EXPECT_EQ(Box3().Volume(), 0);
+  const Box3 box(1, 2, 3, 4, 6, 9);
+  EXPECT_FALSE(box.Empty());
+  EXPECT_EQ(box.Volume(), 3 * 4 * 6);
+  EXPECT_TRUE(Box3(4, 2, 3, 4, 6, 9).Empty());   // Zero width.
+  EXPECT_TRUE(Box3(5, 2, 3, 4, 6, 9).Empty());   // Inverted.
+}
+
+TEST(Box3Test, FromInclusiveMatchesPaperConvention) {
+  // The paper's query box [xl..xu] includes both endpoints.
+  const Box3 box = Box3::FromInclusive(0, 0, 0, 7, 7, 7);
+  EXPECT_EQ(box.Volume(), 512);
+  EXPECT_TRUE(box.ContainsPoint(7, 7, 7));
+  EXPECT_FALSE(box.ContainsPoint(8, 7, 7));
+}
+
+TEST(Box3Test, ContainsPointBoundaries) {
+  const Box3 box(0, 0, 0, 2, 2, 2);
+  EXPECT_TRUE(box.ContainsPoint(0, 0, 0));
+  EXPECT_TRUE(box.ContainsPoint(1, 1, 1));
+  EXPECT_FALSE(box.ContainsPoint(2, 0, 0));
+  EXPECT_FALSE(box.ContainsPoint(-1, 0, 0));
+}
+
+TEST(Box3Test, ContainsBox) {
+  const Box3 outer(0, 0, 0, 10, 10, 10);
+  EXPECT_TRUE(outer.ContainsBox(Box3(2, 2, 2, 5, 5, 5)));
+  EXPECT_TRUE(outer.ContainsBox(outer));
+  EXPECT_FALSE(outer.ContainsBox(Box3(2, 2, 2, 11, 5, 5)));
+  EXPECT_TRUE(outer.ContainsBox(Box3()));  // Empty box is contained.
+}
+
+TEST(Box3Test, Intersection) {
+  const Box3 a(0, 0, 0, 10, 10, 10);
+  const Box3 b(5, 5, 5, 15, 15, 15);
+  const Box3 expected(5, 5, 5, 10, 10, 10);
+  EXPECT_EQ(a.Intersection(b), expected);
+  EXPECT_EQ(b.Intersection(a), expected);
+  EXPECT_TRUE(a.Intersection(Box3(10, 0, 0, 12, 2, 2)).Empty());
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE(a.Intersects(Box3(10, 10, 10, 12, 12, 12)));
+}
+
+TEST(Box3Test, GrownExtendsAllSides) {
+  const Box3 box(5, 5, 5, 8, 8, 8);
+  const Box3 grown = box.Grown(2);
+  EXPECT_EQ(grown, Box3(3, 3, 3, 10, 10, 10));
+  // Growing can produce negative coordinates (periodic halo convention).
+  EXPECT_EQ(Box3(0, 0, 0, 1, 1, 1).Grown(1).lo[0], -1);
+}
+
+TEST(Box4Test, ContainsSpacetimePoints) {
+  Box4 box;
+  box.space = Box3(0, 0, 0, 4, 4, 4);
+  box.t_lo = 2;
+  box.t_hi = 5;
+  EXPECT_TRUE(box.Contains(1, 1, 1, 2));
+  EXPECT_TRUE(box.Contains(1, 1, 1, 4));
+  EXPECT_FALSE(box.Contains(1, 1, 1, 5));
+  EXPECT_FALSE(box.Contains(4, 1, 1, 3));
+  EXPECT_EQ(box.Volume(), 64 * 3);
+}
+
+}  // namespace
+}  // namespace turbdb

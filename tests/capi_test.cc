@@ -1,0 +1,71 @@
+// Exercises the C client API end to end, including its error reporting.
+
+#include "capi/turbdb_c.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace {
+
+TEST(CApiTest, FullWorkflow) {
+  turbdb_t* db = turbdb_open(2, 2);
+  ASSERT_NE(db, nullptr);
+  ASSERT_EQ(turbdb_create_isotropic_dataset(db, "iso", 32, 1), 0)
+      << turbdb_status_message(db);
+  ASSERT_EQ(turbdb_ingest_synthetic(db, "iso", 7, 0, 1), 0)
+      << turbdb_status_message(db);
+
+  double mean = 0, rms = 0, max = 0;
+  ASSERT_EQ(turbdb_get_field_stats(db, "iso", "velocity", "vorticity", 0,
+                                   &mean, &rms, &max),
+            0)
+      << turbdb_status_message(db);
+  EXPECT_GT(rms, 0.0);
+  EXPECT_GT(max, rms);
+
+  turbdb_result_t result;
+  ASSERT_EQ(turbdb_get_threshold(db, "iso", "velocity", "vorticity", 0, 0, 0,
+                                 0, 31, 31, 31, 2.0 * rms, &result),
+            0)
+      << turbdb_status_message(db);
+  EXPECT_GT(result.num_points, 0u);
+  EXPECT_GT(result.total_seconds, 0.0);
+  EXPECT_EQ(result.all_cache_hits, 0);
+  for (size_t i = 0; i < result.num_points; ++i) {
+    EXPECT_LT(result.points[i].x, 32u);
+    EXPECT_GE(result.points[i].norm, 2.0 * rms);
+  }
+  const size_t first_count = result.num_points;
+  turbdb_result_free(&result);
+  EXPECT_EQ(result.points, nullptr);
+
+  // Second call hits the cache.
+  ASSERT_EQ(turbdb_get_threshold(db, "iso", "velocity", "vorticity", 0, 0, 0,
+                                 0, 31, 31, 31, 2.0 * rms, &result),
+            0);
+  EXPECT_EQ(result.all_cache_hits, 1);
+  EXPECT_EQ(result.num_points, first_count);
+  turbdb_result_free(&result);
+
+  turbdb_close(db);
+}
+
+TEST(CApiTest, ErrorsCarryStatusCodeAndMessage) {
+  turbdb_t* db = turbdb_open(2, 2);
+  ASSERT_NE(db, nullptr);
+  turbdb_result_t result;
+  const int rc = turbdb_get_threshold(db, "missing", "velocity", "vorticity",
+                                      0, 0, 0, 0, 7, 7, 7, 1.0, &result);
+  EXPECT_EQ(rc, 2);  // StatusCode::kNotFound.
+  EXPECT_NE(std::string(turbdb_status_message(db)).find("missing"),
+            std::string::npos);
+  EXPECT_EQ(result.num_points, 0u);
+  turbdb_close(db);
+}
+
+TEST(CApiTest, OpenRejectsBadTopology) {
+  EXPECT_EQ(turbdb_open(0, 1), nullptr);
+}
+
+}  // namespace

@@ -1,0 +1,150 @@
+#include "core/turbdb.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace turbdb {
+namespace {
+
+TEST(CoreTest, PresetDatasetsAreValid) {
+  const DatasetInfo iso = MakeIsotropicDataset("iso", 64, 8);
+  EXPECT_TRUE(iso.geometry.Validate().ok());
+  EXPECT_TRUE(iso.FieldNcomp("velocity").ok());
+  EXPECT_EQ(*iso.FieldNcomp("pressure"), 1);
+  EXPECT_TRUE(iso.FieldNcomp("magnetic").status().IsNotFound());
+
+  const DatasetInfo mhd = MakeMhdDataset("mhd", 64, 8);
+  EXPECT_EQ(*mhd.FieldNcomp("magnetic"), 3);
+  EXPECT_EQ(*mhd.FieldNcomp("potential"), 3);
+
+  const DatasetInfo channel = MakeChannelDataset("ch", 64, 48, 32, 4);
+  EXPECT_TRUE(channel.geometry.Validate().ok());
+  EXPECT_TRUE(channel.geometry.stretched(1));
+  EXPECT_FALSE(channel.geometry.periodic(1));
+}
+
+TEST(CoreTest, OpenRejectsBadConfig) {
+  TurbDBConfig config;
+  config.cluster.num_nodes = 0;
+  EXPECT_FALSE(TurbDB::Open(config).ok());
+  config.cluster.num_nodes = 2;
+  config.cluster.processes_per_node = 0;
+  EXPECT_FALSE(TurbDB::Open(config).ok());
+}
+
+TEST(CoreTest, ClusterPointsAppliesDatasetPeriodicity) {
+  auto db = testing::MakeTestDb(32, 2, 1, 1);
+  ASSERT_NE(db, nullptr);
+  // Two points straddling the periodic x boundary.
+  std::vector<FofPoint> points = {FofPoint{0.5, 10, 10, 0, 1.0f},
+                                  FofPoint{31.5, 10, 10, 0, 2.0f}};
+  auto clusters = db->ClusterPoints("iso", points, 2.0);
+  ASSERT_TRUE(clusters.ok());
+  EXPECT_EQ(clusters->size(), 1u);  // Linked across the wrap.
+  EXPECT_TRUE(db->ClusterPoints("nope", points, 2.0).status().IsNotFound());
+}
+
+TEST(CoreTest, LandmarkWorkflowEndToEnd) {
+  auto db = testing::MakeTestDb(32, 2, 2, 1);
+  ASSERT_NE(db, nullptr);
+  ThresholdQuery query;
+  query.dataset = "iso";
+  query.raw_field = "velocity";
+  query.derived_field = "vorticity";
+  query.timestep = 0;
+  query.box = Box3::WholeGrid(32, 32, 32);
+  query.threshold = 2.0;
+  auto result = db->Threshold(query);
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result->points.empty());
+
+  const auto points = ToFofPoints(result->points, 0);
+  auto clusters = db->ClusterPoints("iso", points, 2.5);
+  ASSERT_TRUE(clusters.ok());
+  ASSERT_FALSE(clusters->empty());
+  const uint64_t id = db->landmarks().AddCluster(
+      "iso", "velocity:vorticity", query.threshold, points,
+      clusters->front());
+  auto landmark = db->landmarks().Get(id);
+  ASSERT_TRUE(landmark.ok());
+  EXPECT_EQ(landmark->num_points, clusters->front().size());
+  // The landmark's bounding box supports a focused follow-up query that
+  // is served from the cache (it is a sub-box of the cached region).
+  ThresholdQuery follow_up = query;
+  follow_up.box = landmark->bounding_box;
+  auto focused = db->Threshold(follow_up);
+  ASSERT_TRUE(focused.ok());
+  EXPECT_TRUE(focused->all_cache_hits);
+  EXPECT_GE(focused->points.size(), 1u);
+}
+
+TEST(CoreTest, ThresholdForCountHitsTargetSize) {
+  auto db = testing::MakeTestDb(32, 2, 2, 1);
+  ASSERT_NE(db, nullptr);
+  const Box3 box = Box3::WholeGrid(32, 32, 32);
+  auto threshold =
+      db->ThresholdForCount("iso", "velocity", "vorticity", 0, box, 100);
+  ASSERT_TRUE(threshold.ok()) << threshold.status();
+  ThresholdQuery query;
+  query.dataset = "iso";
+  query.raw_field = "velocity";
+  query.derived_field = "vorticity";
+  query.timestep = 0;
+  query.box = box;
+  query.threshold = *threshold;
+  auto result = db->Threshold(query);
+  ASSERT_TRUE(result.ok());
+  // Within float-rounding slack of the target.
+  EXPECT_NEAR(static_cast<double>(result->points.size()), 100.0, 2.0);
+
+  EXPECT_FALSE(
+      db->ThresholdForCount("iso", "velocity", "vorticity", 0, box, 0).ok());
+}
+
+TEST(CoreTest, SpecPresetsDiffer) {
+  const TurbulenceSpec iso = DefaultIsotropicSpec(1);
+  const TurbulenceSpec mhd = DefaultMhdSpec(1);
+  const TurbulenceSpec channel = DefaultChannelSpec(1);
+  EXPECT_NE(iso.tube_omega_log_sigma, mhd.tube_omega_log_sigma);
+  EXPECT_GT(channel.shear_u0, 0.0);
+  EXPECT_EQ(iso.shear_u0, 0.0);
+}
+
+TEST(CoreTest, ZSlabClusterReturnsSameAnswers) {
+  TurbDBConfig config;
+  config.cluster.num_nodes = 3;
+  config.cluster.processes_per_node = 2;
+  config.cluster.partition_strategy = PartitionStrategy::kZSlabs;
+  auto db_or = TurbDB::Open(config);
+  ASSERT_TRUE(db_or.ok());
+  auto db = std::move(db_or).value();
+  ASSERT_TRUE(db->CreateDataset(MakeIsotropicDataset("iso", 32, 1)).ok());
+  ASSERT_TRUE(db->IngestSyntheticField("iso", "velocity",
+                                       testing::SmallTestSpec(7), 0, 1)
+                  .ok());
+  auto reference = testing::MakeTestDb(32, 2, 2, 1);
+  ASSERT_NE(reference, nullptr);
+
+  ThresholdQuery query;
+  query.dataset = "iso";
+  query.raw_field = "velocity";
+  query.derived_field = "vorticity";
+  query.timestep = 0;
+  query.box = Box3::WholeGrid(32, 32, 32);
+  query.threshold = 1.5;
+  QueryOptions options;
+  options.use_cache = false;
+  auto slabs = db->Threshold(query, options);
+  auto morton = reference->Threshold(query, options);
+  ASSERT_TRUE(slabs.ok());
+  ASSERT_TRUE(morton.ok());
+  ASSERT_EQ(slabs->points.size(), morton->points.size());
+  for (size_t i = 0; i < morton->points.size(); ++i) {
+    EXPECT_EQ(slabs->points[i].zindex, morton->points[i].zindex);
+    EXPECT_EQ(slabs->points[i].norm, morton->points[i].norm);
+  }
+}
+
+}  // namespace
+}  // namespace turbdb

@@ -1,0 +1,203 @@
+#include "datagen/turbulence.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fields/derived_field.h"
+#include "fields/differentiator.h"
+#include "test_util.h"
+
+namespace turbdb {
+namespace {
+
+using testing::FullSlabWithHalo;
+using testing::SmallTestSpec;
+
+TEST(TurbulenceTest, DeterministicPerSeedAndAtom) {
+  const GridGeometry geometry = GridGeometry::Isotropic(32);
+  SyntheticField a(SmallTestSpec(11), geometry, 3);
+  SyntheticField b(SmallTestSpec(11), geometry, 3);
+  SyntheticField c(SmallTestSpec(12), geometry, 3);
+  const uint64_t code = MortonEncode3(1, 2, 3);
+  auto atom_a = a.GenerateAtom(5, code);
+  auto atom_b = b.GenerateAtom(5, code);
+  auto atom_c = c.GenerateAtom(5, code);
+  ASSERT_TRUE(atom_a.ok());
+  ASSERT_TRUE(atom_b.ok());
+  ASSERT_TRUE(atom_c.ok());
+  EXPECT_EQ(atom_a->data, atom_b->data);
+  EXPECT_NE(atom_a->data, atom_c->data);
+}
+
+TEST(TurbulenceTest, GenerationOrderIndependent) {
+  // Generating atom X after atom Y gives the same X as generating X
+  // alone — required for nodes to produce identical shard data.
+  const GridGeometry geometry = GridGeometry::Isotropic(32);
+  SyntheticField field(SmallTestSpec(3), geometry, 3);
+  auto lone = field.GenerateAtom(0, MortonEncode3(2, 2, 2));
+  (void)field.GenerateAtom(0, MortonEncode3(0, 0, 0));
+  (void)field.GenerateAtom(7, MortonEncode3(3, 1, 0));
+  auto again = field.GenerateAtom(0, MortonEncode3(2, 2, 2));
+  ASSERT_TRUE(lone.ok());
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(lone->data, again->data);
+}
+
+TEST(TurbulenceTest, AtomAgreesWithPointEvaluation) {
+  const GridGeometry geometry = GridGeometry::Isotropic(32);
+  SyntheticField field(SmallTestSpec(5), geometry, 3);
+  auto atom = field.GenerateAtom(2, MortonEncode3(3, 0, 1));
+  ASSERT_TRUE(atom.ok());
+  double value[3];
+  field.EvaluateAtNode(2, 3 * 8 + 4, 0 * 8 + 5, 1 * 8 + 6, value);
+  for (int c = 0; c < 3; ++c) {
+    EXPECT_EQ(atom->At(4, 5, 6, c), static_cast<float>(value[c]));
+  }
+}
+
+TEST(TurbulenceTest, RejectsAtomOutsideGrid) {
+  const GridGeometry geometry = GridGeometry::Isotropic(32);
+  SyntheticField field(SmallTestSpec(5), geometry, 3);
+  EXPECT_EQ(field.GenerateAtom(0, MortonEncode3(4, 0, 0)).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(TurbulenceTest, VelocityRmsNearTarget) {
+  const GridGeometry geometry = GridGeometry::Isotropic(32);
+  TurbulenceSpec spec = SmallTestSpec(9);
+  spec.num_tubes = 0;  // Background only for a clean RMS check.
+  SyntheticField field(spec, geometry, 3);
+  double sum_sq = 0.0;
+  double value[3];
+  for (int64_t k = 0; k < 32; ++k) {
+    for (int64_t j = 0; j < 32; ++j) {
+      for (int64_t i = 0; i < 32; ++i) {
+        field.EvaluateAtNode(0, i, j, k, value);
+        sum_sq += value[0] * value[0] + value[1] * value[1] +
+                  value[2] * value[2];
+      }
+    }
+  }
+  const double rms_per_comp = std::sqrt(sum_sq / (3.0 * 32 * 32 * 32));
+  EXPECT_NEAR(rms_per_comp, spec.u_rms, 0.35 * spec.u_rms);
+}
+
+TEST(TurbulenceTest, FieldIsExactlyPeriodic) {
+  // Integer-lattice wavevectors make the background exactly periodic:
+  // the value at x = 0 equals the value at x = L. (Tubes decay to zero
+  // well inside the box, so seed a tube-free field.)
+  const GridGeometry geometry = GridGeometry::Isotropic(32);
+  TurbulenceSpec spec = SmallTestSpec(13);
+  spec.num_tubes = 0;
+  SyntheticField field(spec, geometry, 3);
+  double at_zero[3];
+  double at_period[3];
+  const double length = geometry.domain_length(0);
+  field.EvaluateAt(0, 0.0, 1.0, 2.0, at_zero);
+  field.EvaluateAt(0, length, 1.0, 2.0, at_period);
+  for (int c = 0; c < 3; ++c) {
+    EXPECT_NEAR(at_zero[c], at_period[c], 1e-9);
+  }
+}
+
+TEST(TurbulenceTest, VelocityIsApproximatelySolenoidal) {
+  // div u should be tiny relative to |curl u| — the background is exactly
+  // divergence-free and tubes are nearly so.
+  const GridGeometry geometry = GridGeometry::Isotropic(32);
+  SyntheticField field(SmallTestSpec(7), geometry, 3);
+  Slab slab = FullSlabWithHalo(field, 0, 3);
+  auto diff = Differentiator::Create(geometry, 6);
+  ASSERT_TRUE(diff.ok());
+  DivergenceField divergence;
+  CurlField curl;
+  double sum_div = 0.0;
+  double sum_curl = 0.0;
+  double out[1];
+  for (int64_t i = 0; i < 32; i += 2) {
+    for (int64_t j = 0; j < 32; j += 2) {
+      for (int64_t k = 0; k < 32; k += 2) {
+        divergence.EvaluateAt(slab, *diff, i, j, k, out);
+        sum_div += std::abs(out[0]);
+        sum_curl += curl.NormAt(slab, *diff, i, j, k);
+      }
+    }
+  }
+  EXPECT_LT(sum_div, 0.1 * sum_curl);
+}
+
+TEST(TurbulenceTest, TimeEvolutionChangesField) {
+  const GridGeometry geometry = GridGeometry::Isotropic(32);
+  SyntheticField field(SmallTestSpec(21), geometry, 3);
+  auto t0 = field.GenerateAtom(0, MortonEncode3(1, 1, 1));
+  auto t1 = field.GenerateAtom(1, MortonEncode3(1, 1, 1));
+  ASSERT_TRUE(t0.ok());
+  ASSERT_TRUE(t1.ok());
+  EXPECT_NE(t0->data, t1->data);
+  // But the change over one step is a perturbation, not a reshuffle.
+  double diff_sq = 0.0;
+  double mag_sq = 0.0;
+  for (size_t i = 0; i < t0->data.size(); ++i) {
+    const double delta = t0->data[i] - t1->data[i];
+    diff_sq += delta * delta;
+    mag_sq += t0->data[i] * t0->data[i];
+  }
+  EXPECT_LT(diff_sq, 0.5 * mag_sq);
+}
+
+TEST(TurbulenceTest, ScalarFieldHasOneComponent) {
+  const GridGeometry geometry = GridGeometry::Isotropic(32);
+  SyntheticField field(SmallTestSpec(4), geometry, 1);
+  auto atom = field.GenerateAtom(0, 0);
+  ASSERT_TRUE(atom.ok());
+  EXPECT_EQ(atom->ncomp, 1);
+  EXPECT_EQ(atom->data.size(), 512u);
+}
+
+TEST(TurbulenceTest, ChannelShearProfile) {
+  const GridGeometry geometry = GridGeometry::Channel(32, 64, 32);
+  TurbulenceSpec spec = SmallTestSpec(8);
+  spec.num_tubes = 0;
+  spec.num_modes = 0;  // Mean profile only.
+  spec.shear_u0 = 2.0;
+  SyntheticField field(spec, geometry, 3);
+  double center[3];
+  double wall[3];
+  field.EvaluateAt(0, 1.0, 0.0, 1.0, center);   // y = 0: centerline.
+  field.EvaluateAt(0, 1.0, 1.0, 1.0, wall);     // y = 1: wall.
+  EXPECT_NEAR(center[0], 2.0, 1e-12);
+  EXPECT_NEAR(wall[0], 0.0, 1e-12);
+  EXPECT_EQ(center[1], 0.0);
+}
+
+TEST(TurbulenceTest, HeavyTailFromTubes) {
+  // With tubes the maximum vorticity is far above the background's; this
+  // is the intermittency that threshold queries live on. 48^3 resolves
+  // the test-spec tube cores (~2 cells) well enough for the FD vorticity
+  // to see their peaks.
+  const GridGeometry geometry = GridGeometry::Isotropic(48);
+  TurbulenceSpec with_tubes = SmallTestSpec(31);
+  TurbulenceSpec without = with_tubes;
+  without.num_tubes = 0;
+  SyntheticField field_tubes(with_tubes, geometry, 3);
+  SyntheticField field_plain(without, geometry, 3);
+  auto diff = Differentiator::Create(geometry, 4);
+  ASSERT_TRUE(diff.ok());
+  CurlField curl;
+  double max_tubes = 0.0;
+  double max_plain = 0.0;
+  Slab slab_tubes = FullSlabWithHalo(field_tubes, 0, 2);
+  Slab slab_plain = FullSlabWithHalo(field_plain, 0, 2);
+  for (int64_t i = 0; i < 48; ++i) {
+    for (int64_t j = 0; j < 48; ++j) {
+      for (int64_t k = 0; k < 48; ++k) {
+        max_tubes = std::max(max_tubes, curl.NormAt(slab_tubes, *diff, i, j, k));
+        max_plain = std::max(max_plain, curl.NormAt(slab_plain, *diff, i, j, k));
+      }
+    }
+  }
+  EXPECT_GT(max_tubes, 1.5 * max_plain);
+}
+
+}  // namespace
+}  // namespace turbdb

@@ -1,0 +1,144 @@
+#include "analysis/fof.h"
+
+#include <gtest/gtest.h>
+
+namespace turbdb {
+namespace {
+
+FofPoint P(double x, double y, double z, int32_t t = 0, float norm = 1.0f) {
+  return FofPoint{x, y, z, t, norm};
+}
+
+TEST(FofTest, RejectsBadParams) {
+  FofParams params;
+  params.linking_length = 0.0;
+  EXPECT_FALSE(FriendsOfFriends({P(0, 0, 0)}, params).ok());
+  params.linking_length = 1.0;
+  params.time_linking = -1;
+  EXPECT_FALSE(FriendsOfFriends({P(0, 0, 0)}, params).ok());
+}
+
+TEST(FofTest, EmptyInput) {
+  FofParams params;
+  auto clusters = FriendsOfFriends({}, params);
+  ASSERT_TRUE(clusters.ok());
+  EXPECT_TRUE(clusters->empty());
+}
+
+TEST(FofTest, SeparatesDistantGroups) {
+  FofParams params;
+  params.linking_length = 2.0;
+  const std::vector<FofPoint> points = {
+      P(0, 0, 0), P(1, 0, 0), P(1, 1, 0),        // Group A.
+      P(50, 50, 50), P(51, 50, 50),              // Group B.
+      P(100, 0, 0),                              // Singleton.
+  };
+  auto clusters = FriendsOfFriends(points, params);
+  ASSERT_TRUE(clusters.ok());
+  ASSERT_EQ(clusters->size(), 3u);
+  size_t total = 0;
+  for (const FofCluster& cluster : *clusters) total += cluster.size();
+  EXPECT_EQ(total, points.size());
+}
+
+TEST(FofTest, TransitiveLinking) {
+  // A chain of points each within the linking length of the next forms
+  // one cluster even though the ends are far apart.
+  FofParams params;
+  params.linking_length = 1.5;
+  std::vector<FofPoint> chain;
+  for (int i = 0; i < 20; ++i) chain.push_back(P(i * 1.2, 0, 0));
+  auto clusters = FriendsOfFriends(chain, params);
+  ASSERT_TRUE(clusters.ok());
+  ASSERT_EQ(clusters->size(), 1u);
+  EXPECT_EQ(clusters->front().size(), 20u);
+}
+
+TEST(FofTest, PeriodicWrapLinksAcrossBoundary) {
+  FofParams params;
+  params.linking_length = 3.0;
+  params.periodic_extent = {64.0, 64.0, 64.0};
+  const std::vector<FofPoint> points = {P(0.5, 10, 10), P(63.5, 10, 10)};
+  auto clusters = FriendsOfFriends(points, params);
+  ASSERT_TRUE(clusters.ok());
+  EXPECT_EQ(clusters->size(), 1u);
+
+  // Without periodicity they stay apart.
+  params.periodic_extent = {0.0, 0.0, 0.0};
+  auto open = FriendsOfFriends(points, params);
+  ASSERT_TRUE(open.ok());
+  EXPECT_EQ(open->size(), 2u);
+}
+
+TEST(FofTest, TimeLinkingMergesAcrossSteps) {
+  FofParams params;
+  params.linking_length = 2.0;
+  const std::vector<FofPoint> points = {
+      P(10, 10, 10, 0), P(10.5, 10, 10, 1), P(11, 10, 10, 2)};
+  // 3-D (no time linking): three clusters, one per step.
+  params.time_linking = 0;
+  auto separate = FriendsOfFriends(points, params);
+  ASSERT_TRUE(separate.ok());
+  EXPECT_EQ(separate->size(), 3u);
+  // 4-D with |dt| <= 1: a single spacetime cluster spanning [0, 2].
+  params.time_linking = 1;
+  auto merged = FriendsOfFriends(points, params);
+  ASSERT_TRUE(merged.ok());
+  ASSERT_EQ(merged->size(), 1u);
+  EXPECT_EQ(merged->front().t_min, 0);
+  EXPECT_EQ(merged->front().t_max, 2);
+}
+
+TEST(FofTest, TimeGapBreaksCluster) {
+  FofParams params;
+  params.linking_length = 2.0;
+  params.time_linking = 1;
+  // Same place, but time-steps 0 and 5: too far apart in time.
+  const std::vector<FofPoint> points = {P(10, 10, 10, 0), P(10, 10, 10, 5)};
+  auto clusters = FriendsOfFriends(points, params);
+  ASSERT_TRUE(clusters.ok());
+  EXPECT_EQ(clusters->size(), 2u);
+}
+
+TEST(FofTest, ClustersSortedByPeakNorm) {
+  FofParams params;
+  params.linking_length = 2.0;
+  const std::vector<FofPoint> points = {
+      P(0, 0, 0, 0, 5.0f),  P(1, 0, 0, 0, 3.0f),   // Peak 5.
+      P(50, 0, 0, 0, 9.0f),                        // Peak 9.
+      P(100, 0, 0, 0, 1.0f),                       // Peak 1.
+  };
+  auto clusters = FriendsOfFriends(points, params);
+  ASSERT_TRUE(clusters.ok());
+  ASSERT_EQ(clusters->size(), 3u);
+  EXPECT_FLOAT_EQ((*clusters)[0].max_norm, 9.0f);
+  EXPECT_FLOAT_EQ((*clusters)[1].max_norm, 5.0f);
+  EXPECT_FLOAT_EQ((*clusters)[2].max_norm, 1.0f);
+  EXPECT_EQ((*clusters)[1].peak_index, 0u);
+}
+
+TEST(FofTest, CentroidIsMeanOfMembers) {
+  FofParams params;
+  params.linking_length = 3.0;
+  const std::vector<FofPoint> points = {P(0, 0, 0), P(2, 0, 0), P(1, 2, 0)};
+  auto clusters = FriendsOfFriends(points, params);
+  ASSERT_TRUE(clusters.ok());
+  ASSERT_EQ(clusters->size(), 1u);
+  EXPECT_DOUBLE_EQ(clusters->front().centroid[0], 1.0);
+  EXPECT_DOUBLE_EQ(clusters->front().centroid[1], 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(clusters->front().centroid[2], 0.0);
+}
+
+TEST(FofTest, ToFofPointsDecodesCoordinates) {
+  std::vector<ThresholdPoint> raw = {MakeThresholdPoint(3, 5, 7, 2.5f)};
+  const auto points = ToFofPoints(raw, 9);
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_DOUBLE_EQ(points[0].x, 3.0);
+  EXPECT_DOUBLE_EQ(points[0].y, 5.0);
+  EXPECT_DOUBLE_EQ(points[0].z, 7.0);
+  EXPECT_EQ(points[0].timestep, 9);
+  EXPECT_FLOAT_EQ(points[0].norm, 2.5f);
+}
+
+}  // namespace
+}  // namespace turbdb

@@ -1,0 +1,95 @@
+#include "array/geometry.h"
+
+#include <gtest/gtest.h>
+
+namespace turbdb {
+namespace {
+
+TEST(GeometryTest, IsotropicDefaults) {
+  const GridGeometry g = GridGeometry::Isotropic(64);
+  ASSERT_TRUE(g.Validate().ok());
+  EXPECT_EQ(g.NumPoints(), 64 * 64 * 64);
+  EXPECT_EQ(g.AtomsAlong(0), 8);
+  EXPECT_EQ(g.NumAtoms(), 512);
+  EXPECT_TRUE(g.periodic(0));
+  EXPECT_DOUBLE_EQ(g.Spacing(0), g.domain_length(0) / 64.0);
+  EXPECT_FALSE(g.stretched(1));
+}
+
+TEST(GeometryTest, ValidationCatchesBadConfigs) {
+  GridGeometry g = GridGeometry::Isotropic(0);
+  EXPECT_FALSE(g.Validate().ok());
+  g = GridGeometry::Isotropic(65);  // Not divisible by atom width 8.
+  EXPECT_FALSE(g.Validate().ok());
+  g = GridGeometry::Isotropic(64, 16);
+  EXPECT_TRUE(g.Validate().ok());
+}
+
+TEST(GeometryTest, WrapIndexHandlesNegativesAndOverflow) {
+  const GridGeometry g = GridGeometry::Isotropic(32);
+  EXPECT_EQ(g.WrapIndex(0, -1), 31);
+  EXPECT_EQ(g.WrapIndex(0, 32), 0);
+  EXPECT_EQ(g.WrapIndex(0, 65), 1);
+  EXPECT_EQ(g.WrapIndex(0, -33), 31);
+  EXPECT_TRUE(g.InDomain(0, 0));
+  EXPECT_FALSE(g.InDomain(0, -1));
+  EXPECT_FALSE(g.InDomain(0, 32));
+}
+
+TEST(GeometryTest, ChannelGridIsStretchedAndWallBounded) {
+  const GridGeometry g = GridGeometry::Channel(64, 48, 32);
+  ASSERT_TRUE(g.Validate().ok());
+  EXPECT_TRUE(g.periodic(0));
+  EXPECT_FALSE(g.periodic(1));
+  EXPECT_TRUE(g.periodic(2));
+  EXPECT_TRUE(g.stretched(1));
+  // Walls at y = -1 and +1.
+  EXPECT_NEAR(g.Coord(1, 0), -1.0, 1e-12);
+  EXPECT_NEAR(g.Coord(1, 47), 1.0, 1e-12);
+  // Nodes cluster toward the walls: wall spacing < center spacing.
+  const double wall_spacing = g.Coord(1, 1) - g.Coord(1, 0);
+  const double center_spacing = g.Coord(1, 24) - g.Coord(1, 23);
+  EXPECT_LT(wall_spacing, center_spacing);
+}
+
+TEST(GeometryTest, ChannelValidatesMonotoneY) {
+  GridGeometry g = GridGeometry::Channel(64, 48, 32);
+  ASSERT_TRUE(g.Validate().ok());
+}
+
+TEST(GeometryTest, ClipToDomainClampsWallAxes) {
+  const GridGeometry g = GridGeometry::Channel(64, 48, 32);
+  auto clipped = g.ClipToDomain(Box3(-5, -5, -5, 50, 50, 20));
+  ASSERT_TRUE(clipped.ok());
+  EXPECT_EQ(clipped->lo[1], 0);
+  EXPECT_EQ(clipped->hi[1], 48);
+  // Periodic axes are not clamped...
+  EXPECT_EQ(clipped->lo[0], -5);
+  // ...but over-wide periodic boxes are rejected.
+  auto too_wide = g.ClipToDomain(Box3(0, 0, 0, 100, 10, 10));
+  EXPECT_FALSE(too_wide.ok());
+}
+
+TEST(GeometryTest, AtomCoverRoundsOutward) {
+  const GridGeometry g = GridGeometry::Isotropic(64);
+  const Box3 cover = g.AtomCover(Box3(3, 8, 15, 17, 16, 17));
+  EXPECT_EQ(cover, Box3(0, 1, 1, 3, 2, 3));
+  // Negative (halo) coordinates floor-divide correctly.
+  const Box3 halo_cover = g.AtomCover(Box3(-2, -8, -9, 1, 0, -8));
+  EXPECT_EQ(halo_cover.lo[0], -1);
+  EXPECT_EQ(halo_cover.lo[1], -1);
+  EXPECT_EQ(halo_cover.lo[2], -2);
+  EXPECT_EQ(halo_cover.hi[0], 1);
+  EXPECT_EQ(halo_cover.hi[1], 0);
+  EXPECT_EQ(halo_cover.hi[2], -1);
+}
+
+TEST(GeometryTest, EqualityComparesAllFields) {
+  EXPECT_EQ(GridGeometry::Isotropic(64), GridGeometry::Isotropic(64));
+  EXPECT_FALSE(GridGeometry::Isotropic(64) == GridGeometry::Isotropic(32));
+  EXPECT_FALSE(GridGeometry::Isotropic(64) ==
+               GridGeometry::Channel(64, 64, 64));
+}
+
+}  // namespace
+}  // namespace turbdb

@@ -1,0 +1,259 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "test_util.h"
+
+namespace turbdb {
+namespace {
+
+using testing::BruteForceThreshold;
+using testing::FullSlabWithHalo;
+using testing::MakeTestDb;
+using testing::SmallTestSpec;
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static constexpr int64_t kN = 32;
+
+  void SetUp() override {
+    db_ = MakeTestDb(kN, /*nodes=*/2, /*processes=*/2, /*timesteps=*/2);
+    ASSERT_NE(db_, nullptr);
+  }
+
+  /// Brute-force reference answer for a vorticity threshold query.
+  std::vector<ThresholdPoint> Reference(int32_t timestep, const Box3& box,
+                                        double threshold, int fd_order = 4) {
+    const GridGeometry geometry = GridGeometry::Isotropic(kN);
+    SyntheticField generator(SmallTestSpec(7), geometry, 3);
+    Slab slab = FullSlabWithHalo(generator, timestep, fd_order / 2);
+    CurlField kernel;
+    auto diff = Differentiator::Create(geometry, fd_order);
+    EXPECT_TRUE(diff.ok());
+    return BruteForceThreshold(slab, kernel, *diff, box, threshold);
+  }
+
+  ThresholdQuery VorticityQuery(int32_t timestep, double threshold) {
+    ThresholdQuery query;
+    query.dataset = "iso";
+    query.raw_field = "velocity";
+    query.derived_field = "vorticity";
+    query.timestep = timestep;
+    query.box = Box3::WholeGrid(kN, kN, kN);
+    query.threshold = threshold;
+    return query;
+  }
+
+  std::unique_ptr<TurbDB> db_;
+};
+
+TEST_F(IntegrationTest, ThresholdMatchesBruteForce) {
+  // Pick a threshold from the field statistics so the result is sparse
+  // but non-empty.
+  FieldStatsQuery stats_query;
+  stats_query.dataset = "iso";
+  stats_query.raw_field = "velocity";
+  stats_query.derived_field = "vorticity";
+  stats_query.timestep = 0;
+  stats_query.box = Box3::WholeGrid(kN, kN, kN);
+  auto stats = db_->FieldStats(stats_query);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  ASSERT_GT(stats->rms, 0.0);
+  ASSERT_GT(stats->max, stats->rms);
+  const double threshold = 2.0 * stats->rms;
+
+  auto result = db_->Threshold(VorticityQuery(0, threshold));
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_FALSE(result->all_cache_hits);
+
+  const std::vector<ThresholdPoint> expected = Reference(0, stats_query.box,
+                                                         threshold);
+  ASSERT_FALSE(expected.empty());
+  ASSERT_EQ(result->points.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(result->points[i].zindex, expected[i].zindex) << "at " << i;
+    EXPECT_NEAR(result->points[i].norm, expected[i].norm,
+                1e-4 * expected[i].norm)
+        << "at " << i;
+  }
+}
+
+TEST_F(IntegrationTest, CacheHitReturnsIdenticalAnswer) {
+  FieldStatsQuery stats_query;
+  stats_query.dataset = "iso";
+  stats_query.raw_field = "velocity";
+  stats_query.derived_field = "vorticity";
+  stats_query.timestep = 0;
+  stats_query.box = Box3::WholeGrid(kN, kN, kN);
+  auto stats = db_->FieldStats(stats_query);
+  ASSERT_TRUE(stats.ok());
+  const double threshold = 2.0 * stats->rms;
+
+  auto miss = db_->Threshold(VorticityQuery(0, threshold));
+  ASSERT_TRUE(miss.ok()) << miss.status();
+  EXPECT_FALSE(miss->all_cache_hits);
+
+  auto hit = db_->Threshold(VorticityQuery(0, threshold));
+  ASSERT_TRUE(hit.ok()) << hit.status();
+  EXPECT_TRUE(hit->all_cache_hits);
+  ASSERT_EQ(hit->points.size(), miss->points.size());
+  for (size_t i = 0; i < hit->points.size(); ++i) {
+    EXPECT_EQ(hit->points[i].zindex, miss->points[i].zindex);
+    EXPECT_EQ(hit->points[i].norm, miss->points[i].norm);
+  }
+  // A hit must be much cheaper in modeled time: no raw I/O, no compute.
+  EXPECT_EQ(hit->time.io_s, 0.0);
+  EXPECT_EQ(hit->time.compute_s, 0.0);
+  EXPECT_LT(hit->time.Total(), miss->time.Total());
+
+  // A higher threshold is subsumed by the cached entry.
+  auto higher = db_->Threshold(VorticityQuery(0, 1.5 * threshold));
+  ASSERT_TRUE(higher.ok());
+  EXPECT_TRUE(higher->all_cache_hits);
+  for (const ThresholdPoint& point : higher->points) {
+    EXPECT_GE(point.norm, 1.5 * threshold);
+  }
+  EXPECT_LT(higher->points.size(), miss->points.size());
+
+  // A lower threshold cannot be served from the cache.
+  auto lower = db_->Threshold(VorticityQuery(0, 0.5 * threshold));
+  ASSERT_TRUE(lower.ok());
+  EXPECT_FALSE(lower->all_cache_hits);
+}
+
+TEST_F(IntegrationTest, ResultsInvariantAcrossTopology) {
+  // The same query must return identical points regardless of node and
+  // process count (pure data parallelism, Sec. 5.3).
+  const double threshold = 1.0;
+  auto reference_db = MakeTestDb(kN, 1, 1, 1);
+  ASSERT_NE(reference_db, nullptr);
+  auto reference = reference_db->Threshold(VorticityQuery(0, threshold));
+  ASSERT_TRUE(reference.ok()) << reference.status();
+  ASSERT_FALSE(reference->points.empty());
+
+  for (int nodes : {2, 4}) {
+    for (int processes : {1, 3}) {
+      auto db = MakeTestDb(kN, nodes, processes, 1);
+      ASSERT_NE(db, nullptr);
+      auto result = db->Threshold(VorticityQuery(0, threshold));
+      ASSERT_TRUE(result.ok()) << result.status();
+      ASSERT_EQ(result->points.size(), reference->points.size())
+          << nodes << " nodes, " << processes << " processes";
+      for (size_t i = 0; i < result->points.size(); ++i) {
+        EXPECT_EQ(result->points[i].zindex, reference->points[i].zindex);
+        EXPECT_EQ(result->points[i].norm, reference->points[i].norm);
+      }
+    }
+  }
+}
+
+TEST_F(IntegrationTest, SubBoxQueriesAndCacheFiltering) {
+  const Box3 sub = Box3::FromInclusive(5, 6, 7, 20, 22, 24);
+  ThresholdQuery query = VorticityQuery(0, 1.2);
+  query.box = sub;
+  auto result = db_->Threshold(query);
+  ASSERT_TRUE(result.ok()) << result.status();
+  const auto expected = Reference(0, sub, 1.2);
+  ASSERT_EQ(result->points.size(), expected.size());
+
+  // Warm cache with the whole grid, then the sub-box must hit and filter.
+  ThresholdQuery whole = VorticityQuery(0, 1.2);
+  ASSERT_TRUE(db_->Threshold(whole).ok());
+  auto cached = db_->Threshold(query);
+  ASSERT_TRUE(cached.ok());
+  EXPECT_TRUE(cached->all_cache_hits);
+  ASSERT_EQ(cached->points.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(cached->points[i].zindex, expected[i].zindex);
+  }
+}
+
+TEST_F(IntegrationTest, ThresholdTooLowIsRejected) {
+  ThresholdQuery query = VorticityQuery(0, 0.0);  // Every point matches.
+  QueryOptions options;
+  options.max_result_points = 1000;  // 32^3 = 32768 points >> 1000.
+  auto result = db_->Threshold(query, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsThresholdTooLow()) << result.status();
+}
+
+TEST_F(IntegrationTest, PdfMatchesThresholdCounts) {
+  PdfQuery pdf_query;
+  pdf_query.dataset = "iso";
+  pdf_query.raw_field = "velocity";
+  pdf_query.derived_field = "vorticity";
+  pdf_query.timestep = 0;
+  pdf_query.box = Box3::WholeGrid(kN, kN, kN);
+  pdf_query.bin_width = 1.0;
+  pdf_query.num_bins = 8;
+  auto pdf = db_->Pdf(pdf_query);
+  ASSERT_TRUE(pdf.ok()) << pdf.status();
+  EXPECT_EQ(pdf->total_points, static_cast<uint64_t>(kN * kN * kN));
+
+  // Points with norm >= 4.0 = sum of bins [4, ...] + overflow; must equal
+  // the threshold query result count.
+  uint64_t tail = 0;
+  for (size_t bin = 4; bin < pdf->counts.size(); ++bin) {
+    tail += pdf->counts[bin];
+  }
+  QueryOptions no_cache;
+  no_cache.use_cache = false;
+  auto result = db_->Threshold(VorticityQuery(0, 4.0), no_cache);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->points.size(), tail);
+}
+
+TEST_F(IntegrationTest, TopKAgreesWithThreshold) {
+  TopKQuery topk_query;
+  topk_query.dataset = "iso";
+  topk_query.raw_field = "velocity";
+  topk_query.derived_field = "vorticity";
+  topk_query.timestep = 0;
+  topk_query.box = Box3::WholeGrid(kN, kN, kN);
+  topk_query.k = 50;
+  auto topk = db_->TopK(topk_query);
+  ASSERT_TRUE(topk.ok()) << topk.status();
+  ASSERT_EQ(topk->points.size(), 50u);
+  // Descending by norm.
+  for (size_t i = 1; i < topk->points.size(); ++i) {
+    EXPECT_GE(topk->points[i - 1].norm, topk->points[i].norm);
+  }
+  // A threshold just below the k-th norm returns a superset of the top-k
+  // points (the epsilon covers the float rounding of stored norms).
+  const double kth = topk->points.back().norm * (1.0 - 1e-6);
+  QueryOptions no_cache;
+  no_cache.use_cache = false;
+  auto result = db_->Threshold(VorticityQuery(0, kth), no_cache);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result->points.size(), topk->points.size());
+}
+
+TEST_F(IntegrationTest, DifferentTimestepsDiffer) {
+  QueryOptions no_cache;
+  no_cache.use_cache = false;
+  auto t0 = db_->Threshold(VorticityQuery(0, 1.5), no_cache);
+  auto t1 = db_->Threshold(VorticityQuery(1, 1.5), no_cache);
+  ASSERT_TRUE(t0.ok());
+  ASSERT_TRUE(t1.ok());
+  EXPECT_NE(t0->points.size(), t1->points.size());
+}
+
+TEST_F(IntegrationTest, UnknownNamesAreRejected) {
+  ThresholdQuery query = VorticityQuery(0, 1.0);
+  query.dataset = "nope";
+  EXPECT_TRUE(db_->Threshold(query).status().IsNotFound());
+
+  query = VorticityQuery(0, 1.0);
+  query.raw_field = "nope";
+  EXPECT_TRUE(db_->Threshold(query).status().IsNotFound());
+
+  query = VorticityQuery(0, 1.0);
+  query.derived_field = "nope";
+  EXPECT_TRUE(db_->Threshold(query).status().IsNotFound());
+
+  query = VorticityQuery(5, 1.0);  // Only 2 timesteps ingested.
+  EXPECT_EQ(db_->Threshold(query).status().code(), StatusCode::kOutOfRange);
+}
+
+}  // namespace
+}  // namespace turbdb

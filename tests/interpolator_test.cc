@@ -1,0 +1,155 @@
+#include "fields/interpolator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace turbdb {
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+
+template <typename Fn>
+Slab FillSlab(const GridGeometry& geometry, int halo, int ncomp, Fn fn) {
+  Box3 region = geometry.Bounds().Grown(halo);
+  for (int d = 0; d < 3; ++d) {
+    if (!geometry.periodic(d)) {
+      region.lo[d] = 0;
+      region.hi[d] = geometry.extent(d);
+    }
+  }
+  Slab slab(region, ncomp);
+  for (int64_t z = region.lo[2]; z < region.hi[2]; ++z) {
+    for (int64_t y = region.lo[1]; y < region.hi[1]; ++y) {
+      for (int64_t x = region.lo[0]; x < region.hi[0]; ++x) {
+        const double px = geometry.Coord(0, geometry.WrapIndex(0, x));
+        const double py =
+            geometry.Coord(1, geometry.periodic(1) ? geometry.WrapIndex(1, y)
+                                                   : y);
+        const double pz = geometry.Coord(2, geometry.WrapIndex(2, z));
+        for (int c = 0; c < ncomp; ++c) {
+          slab.At(x, y, z, c) = static_cast<float>(fn(px, py, pz, c));
+        }
+      }
+    }
+  }
+  return slab;
+}
+
+TEST(InterpolatorTest, RejectsBadSupport) {
+  EXPECT_FALSE(
+      LagrangeInterpolator::Create(GridGeometry::Isotropic(32), 3).ok());
+  EXPECT_FALSE(
+      LagrangeInterpolator::Create(GridGeometry::Isotropic(32), 5).ok());
+  EXPECT_TRUE(
+      LagrangeInterpolator::Create(GridGeometry::Isotropic(32), 6).ok());
+}
+
+TEST(InterpolatorTest, ExactAtGridNodes) {
+  const GridGeometry geometry = GridGeometry::Isotropic(32);
+  Slab slab = FillSlab(geometry, 4, 3, [](double x, double y, double z,
+                                          int c) {
+    return std::sin(x) + 0.5 * std::cos(y) + 0.25 * std::sin(2 * z) + c;
+  });
+  auto interp = LagrangeInterpolator::Create(geometry, 4);
+  ASSERT_TRUE(interp.ok());
+  double out[3];
+  for (int64_t i : {0L, 5L, 31L}) {
+    const std::array<double, 3> position = {geometry.Coord(0, i),
+                                            geometry.Coord(1, (i * 3) % 32),
+                                            geometry.Coord(2, (i * 7) % 32)};
+    interp->At(slab, position, 3, out);
+    for (int c = 0; c < 3; ++c) {
+      EXPECT_NEAR(out[c],
+                  slab.At(i, (i * 3) % 32, (i * 7) % 32, c), 1e-5)
+          << "node " << i << " comp " << c;
+    }
+  }
+}
+
+TEST(InterpolatorTest, AccurateOffGrid) {
+  const GridGeometry geometry = GridGeometry::Isotropic(32);
+  Slab slab = FillSlab(geometry, 4, 1, [](double x, double y, double, int) {
+    return std::sin(2.0 * x) * std::cos(y);
+  });
+  auto interp = LagrangeInterpolator::Create(geometry, 6);
+  ASSERT_TRUE(interp.ok());
+  double out[1];
+  for (double t : {0.13, 1.7, 3.9, 5.8}) {
+    const std::array<double, 3> position = {t, 0.7 * t, 2.0};
+    interp->At(slab, position, 1, out);
+    EXPECT_NEAR(out[0], std::sin(2.0 * t) * std::cos(0.7 * t), 2e-3)
+        << "at " << t;
+  }
+}
+
+TEST(InterpolatorTest, PeriodicWrapNearBoundary) {
+  const GridGeometry geometry = GridGeometry::Isotropic(32);
+  Slab slab = FillSlab(geometry, 4, 1, [](double x, double, double, int) {
+    return std::sin(x);
+  });
+  auto interp = LagrangeInterpolator::Create(geometry, 4);
+  ASSERT_TRUE(interp.ok());
+  double out[1];
+  // A position within one cell of the wrap: the stencil spans the seam.
+  const double x = geometry.domain_length(0) - 0.02;
+  interp->At(slab, {x, 1.0, 1.0}, 1, out);
+  EXPECT_NEAR(out[0], std::sin(x), 1e-4);
+  // Positions beyond the domain wrap around.
+  interp->At(slab, {x + geometry.domain_length(0), 1.0, 1.0}, 1, out);
+  EXPECT_NEAR(out[0], std::sin(x), 1e-4);
+}
+
+TEST(InterpolatorTest, HigherSupportIsMoreAccurate) {
+  const GridGeometry geometry = GridGeometry::Isotropic(32);
+  Slab slab = FillSlab(geometry, 4, 1, [](double x, double, double, int) {
+    return std::sin(4.0 * x);
+  });
+  auto lag4 = LagrangeInterpolator::Create(geometry, 4);
+  auto lag8 = LagrangeInterpolator::Create(geometry, 8);
+  ASSERT_TRUE(lag4.ok());
+  ASSERT_TRUE(lag8.ok());
+  double err4 = 0.0;
+  double err8 = 0.0;
+  double out[1];
+  for (int i = 0; i < 40; ++i) {
+    const double x = 0.031 + i * 0.15;
+    lag4->At(slab, {x, 1.0, 1.0}, 1, out);
+    err4 += std::abs(out[0] - std::sin(4.0 * x));
+    lag8->At(slab, {x, 1.0, 1.0}, 1, out);
+    err8 += std::abs(out[0] - std::sin(4.0 * x));
+  }
+  EXPECT_LT(err8, err4);
+}
+
+TEST(InterpolatorTest, StretchedWallBoundedAxis) {
+  const GridGeometry geometry = GridGeometry::Channel(16, 64, 16);
+  Slab slab = FillSlab(geometry, 4, 1, [](double, double y, double, int) {
+    return 1.0 + y + y * y;  // Cubic-exact for Lag4.
+  });
+  auto interp = LagrangeInterpolator::Create(geometry, 4);
+  ASSERT_TRUE(interp.ok());
+  double out[1];
+  for (double y : {-0.999, -0.5, 0.0, 0.73, 0.999}) {
+    interp->At(slab, {1.0, y, 1.0}, 1, out);
+    EXPECT_NEAR(out[0], 1.0 + y + y * y, 5e-3) << "y=" << y;
+  }
+  // Positions outside the walls clamp.
+  interp->At(slab, {1.0, -2.0, 1.0}, 1, out);
+  EXPECT_NEAR(out[0], 1.0 - 1.0 + 1.0, 2e-2);
+}
+
+TEST(InterpolatorTest, SupportBoxCoversStencil) {
+  const GridGeometry geometry = GridGeometry::Isotropic(32);
+  auto interp = LagrangeInterpolator::Create(geometry, 6);
+  ASSERT_TRUE(interp.ok());
+  const Box3 box = interp->SupportBox({0.05, 3.0, 6.2});
+  EXPECT_EQ(box.Extent(0), 6);
+  EXPECT_EQ(box.Extent(1), 6);
+  EXPECT_EQ(box.Extent(2), 6);
+  // Near x = 0 the unwrapped stencil extends below zero (periodic image).
+  EXPECT_LT(box.lo[0], 0);
+}
+
+}  // namespace
+}  // namespace turbdb

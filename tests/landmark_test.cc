@@ -1,0 +1,125 @@
+#include "analysis/landmark.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+
+namespace turbdb {
+namespace {
+
+Landmark MakeLandmark(const std::string& dataset, double max_norm,
+                      int32_t t_min = 0, int32_t t_max = 2) {
+  Landmark landmark;
+  landmark.dataset = dataset;
+  landmark.field = "velocity:vorticity";
+  landmark.t_min = t_min;
+  landmark.t_max = t_max;
+  landmark.bounding_box = Box3(1, 2, 3, 9, 10, 11);
+  landmark.centroid = {4.5, 5.5, 6.5};
+  landmark.max_norm = max_norm;
+  landmark.num_points = 42;
+  landmark.threshold = 25.0;
+  return landmark;
+}
+
+TEST(LandmarkTest, AddAssignsIdsAndGetRetrieves) {
+  LandmarkDatabase db;
+  const uint64_t a = db.Add(MakeLandmark("mhd", 100.0));
+  const uint64_t b = db.Add(MakeLandmark("mhd", 50.0));
+  EXPECT_NE(a, b);
+  auto landmark = db.Get(a);
+  ASSERT_TRUE(landmark.ok());
+  EXPECT_EQ(landmark->dataset, "mhd");
+  EXPECT_DOUBLE_EQ(landmark->max_norm, 100.0);
+  EXPECT_TRUE(db.Get(999).status().IsNotFound());
+  EXPECT_EQ(db.size(), 2u);
+}
+
+TEST(LandmarkTest, ListFiltersAndSorts) {
+  LandmarkDatabase db;
+  db.Add(MakeLandmark("mhd", 10.0));
+  db.Add(MakeLandmark("mhd", 30.0));
+  db.Add(MakeLandmark("iso", 20.0));
+  const auto mhd = db.List("mhd");
+  ASSERT_EQ(mhd.size(), 2u);
+  EXPECT_DOUBLE_EQ(mhd[0].max_norm, 30.0);
+  EXPECT_DOUBLE_EQ(mhd[1].max_norm, 10.0);
+  EXPECT_TRUE(db.List("mhd", "other:field").empty());
+  EXPECT_EQ(db.List("mhd", "velocity:vorticity").size(), 2u);
+}
+
+TEST(LandmarkTest, AtTimestepUsesInterval) {
+  LandmarkDatabase db;
+  db.Add(MakeLandmark("mhd", 10.0, 2, 5));
+  EXPECT_TRUE(db.AtTimestep("mhd", 1).empty());
+  EXPECT_EQ(db.AtTimestep("mhd", 2).size(), 1u);
+  EXPECT_EQ(db.AtTimestep("mhd", 5).size(), 1u);
+  EXPECT_TRUE(db.AtTimestep("mhd", 6).empty());
+  EXPECT_TRUE(db.AtTimestep("iso", 3).empty());
+}
+
+TEST(LandmarkTest, AddClusterComputesBoundingBox) {
+  LandmarkDatabase db;
+  const std::vector<FofPoint> points = {
+      FofPoint{3, 4, 5, 0, 10.0f}, FofPoint{8, 2, 9, 1, 30.0f}};
+  FofCluster cluster;
+  cluster.members = {0, 1};
+  cluster.max_norm = 30.0f;
+  cluster.peak_index = 1;
+  cluster.centroid = {5.5, 3.0, 7.0};
+  cluster.t_min = 0;
+  cluster.t_max = 1;
+  const uint64_t id = db.AddCluster("mhd", "velocity:vorticity", 25.0,
+                                    points, cluster);
+  auto landmark = db.Get(id);
+  ASSERT_TRUE(landmark.ok());
+  EXPECT_EQ(landmark->bounding_box, Box3(3, 2, 5, 9, 5, 10));
+  EXPECT_EQ(landmark->num_points, 2u);
+  EXPECT_EQ(landmark->t_max, 1);
+}
+
+TEST(LandmarkTest, SaveLoadRoundTrip) {
+  char tmpl[] = "/tmp/turbdb_landmarks_XXXXXX";
+  const int fd = ::mkstemp(tmpl);
+  ASSERT_GE(fd, 0);
+  ::close(fd);
+  const std::string path = tmpl;
+
+  LandmarkDatabase db;
+  db.Add(MakeLandmark("mhd", 100.0));
+  db.Add(MakeLandmark("iso", 55.5, 3, 9));
+  ASSERT_TRUE(db.SaveTo(path).ok());
+
+  LandmarkDatabase loaded;
+  ASSERT_TRUE(loaded.LoadFrom(path).ok());
+  EXPECT_EQ(loaded.size(), 2u);
+  const auto iso = loaded.List("iso");
+  ASSERT_EQ(iso.size(), 1u);
+  EXPECT_DOUBLE_EQ(iso[0].max_norm, 55.5);
+  EXPECT_EQ(iso[0].t_max, 9);
+  EXPECT_EQ(iso[0].bounding_box, Box3(1, 2, 3, 9, 10, 11));
+  EXPECT_DOUBLE_EQ(iso[0].threshold, 25.0);
+  // New ids continue after the loaded maximum.
+  const uint64_t next = loaded.Add(MakeLandmark("mhd", 1.0));
+  EXPECT_GT(next, iso[0].id);
+  ::unlink(path.c_str());
+}
+
+TEST(LandmarkTest, LoadRejectsMalformedFile) {
+  char tmpl[] = "/tmp/turbdb_landmarks_XXXXXX";
+  const int fd = ::mkstemp(tmpl);
+  ASSERT_GE(fd, 0);
+  ::close(fd);
+  const std::string path = tmpl;
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  std::fputs("this is not a landmark\n", file);
+  std::fclose(file);
+  LandmarkDatabase db;
+  EXPECT_TRUE(db.LoadFrom(path).IsCorruption());
+  EXPECT_TRUE(db.LoadFrom("/nonexistent/path").IsIOError());
+  ::unlink(path.c_str());
+}
+
+}  // namespace
+}  // namespace turbdb

@@ -1,0 +1,153 @@
+#include "array/morton.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.h"
+
+namespace turbdb {
+namespace {
+
+TEST(MortonTest, EncodesKnownValues) {
+  EXPECT_EQ(MortonEncode3(0, 0, 0), 0u);
+  EXPECT_EQ(MortonEncode3(1, 0, 0), 1u);
+  EXPECT_EQ(MortonEncode3(0, 1, 0), 2u);
+  EXPECT_EQ(MortonEncode3(0, 0, 1), 4u);
+  EXPECT_EQ(MortonEncode3(1, 1, 1), 7u);
+  EXPECT_EQ(MortonEncode3(2, 0, 0), 8u);
+  EXPECT_EQ(MortonEncode3(7, 7, 7), 511u);
+}
+
+TEST(MortonTest, RoundTripsRandomCoordinates) {
+  SplitMix64 rng(1234);
+  for (int i = 0; i < 10000; ++i) {
+    const uint32_t x = static_cast<uint32_t>(rng.NextBounded(kMortonMaxCoord));
+    const uint32_t y = static_cast<uint32_t>(rng.NextBounded(kMortonMaxCoord));
+    const uint32_t z = static_cast<uint32_t>(rng.NextBounded(kMortonMaxCoord));
+    uint32_t dx, dy, dz;
+    MortonDecode3(MortonEncode3(x, y, z), &dx, &dy, &dz);
+    ASSERT_EQ(dx, x);
+    ASSERT_EQ(dy, y);
+    ASSERT_EQ(dz, z);
+  }
+}
+
+TEST(MortonTest, RoundTripsMaxCoordinate) {
+  uint32_t x, y, z;
+  MortonDecode3(MortonEncode3(kMortonMaxCoord, kMortonMaxCoord,
+                              kMortonMaxCoord),
+                &x, &y, &z);
+  EXPECT_EQ(x, kMortonMaxCoord);
+  EXPECT_EQ(y, kMortonMaxCoord);
+  EXPECT_EQ(z, kMortonMaxCoord);
+}
+
+TEST(MortonTest, OctantsAreContiguous) {
+  // All codes within an aligned 2^k cube form a contiguous interval.
+  for (uint32_t base : {0u, 8u, 16u}) {
+    std::set<uint64_t> codes;
+    for (uint32_t z = base; z < base + 8; ++z) {
+      for (uint32_t y = base; y < base + 8; ++y) {
+        for (uint32_t x = base; x < base + 8; ++x) {
+          codes.insert(MortonEncode3(x, y, z));
+        }
+      }
+    }
+    ASSERT_EQ(codes.size(), 512u);
+    EXPECT_EQ(*codes.rbegin() - *codes.begin(), 511u);
+  }
+}
+
+/// Brute-force reference: the exact set of codes inside a box.
+std::set<uint64_t> CodesInBox(const uint32_t lo[3], const uint32_t hi[3]) {
+  std::set<uint64_t> codes;
+  for (uint32_t z = lo[2]; z < hi[2]; ++z) {
+    for (uint32_t y = lo[1]; y < hi[1]; ++y) {
+      for (uint32_t x = lo[0]; x < hi[0]; ++x) {
+        codes.insert(MortonEncode3(x, y, z));
+      }
+    }
+  }
+  return codes;
+}
+
+uint64_t RangesCodeCount(const std::vector<MortonRange>& ranges) {
+  uint64_t total = 0;
+  for (const MortonRange& range : ranges) total += range.Size();
+  return total;
+}
+
+TEST(MortonRangesTest, CoversBoxExactly) {
+  SplitMix64 rng(77);
+  for (int trial = 0; trial < 50; ++trial) {
+    uint32_t lo[3], hi[3];
+    for (int d = 0; d < 3; ++d) {
+      lo[d] = static_cast<uint32_t>(rng.NextBounded(20));
+      hi[d] = lo[d] + 1 + static_cast<uint32_t>(rng.NextBounded(12));
+    }
+    const auto ranges = MortonRangesForBox(lo, hi);
+    const auto expected = CodesInBox(lo, hi);
+    // Exact coverage: counts match and every code is in some range.
+    ASSERT_EQ(RangesCodeCount(ranges), expected.size());
+    for (uint64_t code : expected) {
+      const bool covered =
+          std::any_of(ranges.begin(), ranges.end(),
+                      [code](const MortonRange& r) { return r.Contains(code); });
+      ASSERT_TRUE(covered) << "code " << code << " not covered";
+    }
+    // Sorted and disjoint.
+    for (size_t i = 1; i < ranges.size(); ++i) {
+      ASSERT_GT(ranges[i].lo, ranges[i - 1].hi - 1);
+    }
+  }
+}
+
+TEST(MortonRangesTest, AlignedCubeIsOneRange) {
+  const uint32_t lo[3] = {8, 8, 8};
+  const uint32_t hi[3] = {16, 16, 16};
+  const auto ranges = MortonRangesForBox(lo, hi);
+  ASSERT_EQ(ranges.size(), 1u);
+  EXPECT_EQ(ranges[0].Size(), 512u);
+}
+
+TEST(MortonRangesTest, EmptyBoxYieldsNothing) {
+  const uint32_t lo[3] = {4, 4, 4};
+  const uint32_t hi[3] = {4, 8, 8};
+  EXPECT_TRUE(MortonRangesForBox(lo, hi).empty());
+}
+
+TEST(MortonRangesTest, CoalescingRespectsLimitAndCoverage) {
+  const uint32_t lo[3] = {1, 1, 1};
+  const uint32_t hi[3] = {15, 14, 13};
+  const auto exact = MortonRangesForBox(lo, hi);
+  ASSERT_GT(exact.size(), 4u);
+  const auto limited = MortonRangesForBox(lo, hi, 4);
+  EXPECT_LE(limited.size(), 4u);
+  // The limited ranges must be a superset of the exact coverage.
+  for (uint64_t code : CodesInBox(lo, hi)) {
+    const bool covered = std::any_of(
+        limited.begin(), limited.end(),
+        [code](const MortonRange& r) { return r.Contains(code); });
+    ASSERT_TRUE(covered);
+  }
+}
+
+/// Property sweep: whole-grid boxes of varying (non-power-of-two) shapes.
+class MortonGridSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MortonGridSweep, WholeGridCoverageCountMatches) {
+  const uint32_t n = static_cast<uint32_t>(GetParam());
+  const uint32_t lo[3] = {0, 0, 0};
+  const uint32_t hi[3] = {n, n + 1, n + 2};
+  const auto ranges = MortonRangesForBox(lo, hi);
+  EXPECT_EQ(RangesCodeCount(ranges),
+            static_cast<uint64_t>(n) * (n + 1) * (n + 2));
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, MortonGridSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 12, 16, 24));
+
+}  // namespace
+}  // namespace turbdb

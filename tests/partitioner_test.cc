@@ -1,0 +1,145 @@
+#include "cluster/partitioner.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace turbdb {
+namespace {
+
+TEST(PartitionerTest, RejectsBadInputs) {
+  EXPECT_FALSE(
+      MortonPartitioner::Create(GridGeometry::Isotropic(32), 0).ok());
+  // 32^3 / 8^3 = 64 atoms: cannot spread over 100 nodes.
+  EXPECT_FALSE(
+      MortonPartitioner::Create(GridGeometry::Isotropic(32), 100).ok());
+}
+
+TEST(PartitionerTest, EveryAtomOwnedExactlyOnce) {
+  for (int nodes : {1, 2, 3, 4, 8}) {
+    auto partitioner =
+        MortonPartitioner::Create(GridGeometry::Isotropic(32), nodes);
+    ASSERT_TRUE(partitioner.ok());
+    std::set<uint64_t> seen;
+    uint64_t total = 0;
+    for (int node = 0; node < nodes; ++node) {
+      for (uint64_t code : partitioner->NodeAtoms(node)) {
+        EXPECT_EQ(partitioner->OwnerOfAtom(code), node);
+        EXPECT_TRUE(seen.insert(code).second) << "atom owned twice";
+        ++total;
+      }
+    }
+    EXPECT_EQ(total, 64u) << nodes << " nodes";
+  }
+}
+
+TEST(PartitionerTest, ShardsAreBalanced) {
+  auto partitioner =
+      MortonPartitioner::Create(GridGeometry::Isotropic(64), 4);
+  ASSERT_TRUE(partitioner.ok());
+  for (int node = 0; node < 4; ++node) {
+    EXPECT_EQ(partitioner->NodeAtoms(node).size(), 128u);  // 512 / 4.
+  }
+}
+
+TEST(PartitionerTest, BalancedOnNonPowerOfTwoGrids) {
+  // 24 atoms per axis -> 13824 atoms with gaps in Morton code space.
+  auto partitioner =
+      MortonPartitioner::Create(GridGeometry::Isotropic(192), 5);
+  ASSERT_TRUE(partitioner.ok());
+  EXPECT_EQ(partitioner->total_atoms(), 13824u);
+  uint64_t min_shard = UINT64_MAX;
+  uint64_t max_shard = 0;
+  for (int node = 0; node < 5; ++node) {
+    const uint64_t size = partitioner->NodeAtoms(node).size();
+    min_shard = std::min(min_shard, size);
+    max_shard = std::max(max_shard, size);
+  }
+  EXPECT_LE(max_shard - min_shard, 1u);
+}
+
+TEST(PartitionerTest, RangesAreContiguousAndOrdered) {
+  auto partitioner =
+      MortonPartitioner::Create(GridGeometry::Isotropic(64), 4);
+  ASSERT_TRUE(partitioner.ok());
+  for (int node = 0; node < 4; ++node) {
+    const MortonRange range = partitioner->NodeRange(node);
+    EXPECT_LT(range.lo, range.hi);
+    if (node > 0) {
+      EXPECT_EQ(range.lo, partitioner->NodeRange(node - 1).hi);
+    }
+    for (uint64_t code : partitioner->NodeAtoms(node)) {
+      EXPECT_TRUE(range.Contains(code));
+    }
+  }
+}
+
+TEST(PartitionerTest, NodeAtomsInBoxMatchesBruteForce) {
+  const GridGeometry geometry = GridGeometry::Isotropic(64);
+  auto partitioner = MortonPartitioner::Create(geometry, 3);
+  ASSERT_TRUE(partitioner.ok());
+  const Box3 atom_box(1, 2, 0, 5, 7, 4);  // In atom coordinates.
+  std::set<uint64_t> from_api;
+  for (int node = 0; node < 3; ++node) {
+    for (uint64_t code : partitioner->NodeAtomsInBox(node, atom_box)) {
+      EXPECT_EQ(partitioner->OwnerOfAtom(code), node);
+      from_api.insert(code);
+    }
+  }
+  std::set<uint64_t> expected;
+  for (uint32_t az = 0; az < 8; ++az) {
+    for (uint32_t ay = 0; ay < 8; ++ay) {
+      for (uint32_t ax = 0; ax < 8; ++ax) {
+        if (atom_box.ContainsPoint(ax, ay, az)) {
+          expected.insert(MortonEncode3(ax, ay, az));
+        }
+      }
+    }
+  }
+  EXPECT_EQ(from_api, expected);
+}
+
+TEST(PartitionerTest, OwnerOfInvalidAtomIsMinusOne) {
+  auto partitioner =
+      MortonPartitioner::Create(GridGeometry::Isotropic(24), 2);
+  ASSERT_TRUE(partitioner.ok());
+  // 24/8 = 3 atoms per axis: code for (3,0,0) is not a valid atom.
+  EXPECT_EQ(partitioner->OwnerOfAtom(MortonEncode3(3, 0, 0)), -1);
+  EXPECT_EQ(partitioner->OwnerOfAtom(MortonEncode3(2, 2, 2)),
+            partitioner->OwnerOfAtom(MortonEncode3(2, 2, 2)));
+}
+
+TEST(PartitionerTest, ZSlabStrategyCutsAlongZ) {
+  auto partitioner = MortonPartitioner::Create(
+      GridGeometry::Isotropic(64), 4, PartitionStrategy::kZSlabs);
+  ASSERT_TRUE(partitioner.ok());
+  // Each node owns whole z-bands of atoms: node 0 gets az in [0, 2).
+  for (uint64_t code : partitioner->NodeAtoms(0)) {
+    uint32_t ax, ay, az;
+    MortonDecode3(code, &ax, &ay, &az);
+    EXPECT_LT(az, 2u);
+  }
+  for (uint64_t code : partitioner->NodeAtoms(3)) {
+    uint32_t ax, ay, az;
+    MortonDecode3(code, &ax, &ay, &az);
+    EXPECT_GE(az, 6u);
+  }
+  // Still a complete, disjoint partition.
+  size_t total = 0;
+  for (int node = 0; node < 4; ++node) {
+    total += partitioner->NodeAtoms(node).size();
+  }
+  EXPECT_EQ(total, 512u);
+}
+
+TEST(PartitionerTest, SingleNodeOwnsEverything) {
+  auto partitioner =
+      MortonPartitioner::Create(GridGeometry::Isotropic(32), 1);
+  ASSERT_TRUE(partitioner.ok());
+  EXPECT_EQ(partitioner->NodeAtoms(0).size(), 64u);
+  EXPECT_EQ(partitioner->OwnerOfAtom(0), 0);
+  EXPECT_EQ(partitioner->OwnerOfAtom(63), 0);
+}
+
+}  // namespace
+}  // namespace turbdb

@@ -1,0 +1,133 @@
+#include "fields/stencil.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+namespace turbdb {
+namespace {
+
+TEST(StencilTest, SupportedOrders) {
+  EXPECT_TRUE(IsSupportedFdOrder(2));
+  EXPECT_TRUE(IsSupportedFdOrder(4));
+  EXPECT_TRUE(IsSupportedFdOrder(6));
+  EXPECT_TRUE(IsSupportedFdOrder(8));
+  EXPECT_FALSE(IsSupportedFdOrder(3));
+  EXPECT_FALSE(IsSupportedFdOrder(10));
+  EXPECT_EQ(FdHalfWidth(4), 2);
+  EXPECT_EQ(FdHalfWidth(8), 4);
+}
+
+TEST(StencilTest, RejectsUnsupportedOrder) {
+  EXPECT_FALSE(CenteredFirstDerivative(5).ok());
+}
+
+TEST(StencilTest, CoefficientsSumToZeroAndAreAntisymmetric) {
+  for (int order : {2, 4, 6, 8}) {
+    auto coeffs = CenteredFirstDerivative(order);
+    ASSERT_TRUE(coeffs.ok());
+    ASSERT_EQ(static_cast<int>(coeffs->size()), order + 1);
+    const double sum =
+        std::accumulate(coeffs->begin(), coeffs->end(), 0.0);
+    EXPECT_NEAR(sum, 0.0, 1e-14) << "order " << order;
+    const int half = order / 2;
+    EXPECT_EQ((*coeffs)[static_cast<size_t>(half)], 0.0);
+    for (int m = 1; m <= half; ++m) {
+      EXPECT_DOUBLE_EQ((*coeffs)[static_cast<size_t>(half + m)],
+                       -(*coeffs)[static_cast<size_t>(half - m)]);
+    }
+  }
+}
+
+TEST(StencilTest, FourthOrderMatchesPaperEquation2) {
+  // Eq. (2): df/dx = 2/3 [f(x+1)-f(x-1)] - 1/12 [f(x+2)-f(x-2)].
+  auto coeffs = CenteredFirstDerivative(4);
+  ASSERT_TRUE(coeffs.ok());
+  EXPECT_DOUBLE_EQ((*coeffs)[0], 1.0 / 12);
+  EXPECT_DOUBLE_EQ((*coeffs)[1], -2.0 / 3);
+  EXPECT_DOUBLE_EQ((*coeffs)[3], 2.0 / 3);
+  EXPECT_DOUBLE_EQ((*coeffs)[4], -1.0 / 12);
+}
+
+/// A stencil of order p must differentiate x^k exactly for k <= p.
+TEST(StencilTest, ExactOnPolynomials) {
+  for (int order : {2, 4, 6, 8}) {
+    auto coeffs = CenteredFirstDerivative(order);
+    ASSERT_TRUE(coeffs.ok());
+    const int half = order / 2;
+    for (int degree = 0; degree <= order; ++degree) {
+      // Evaluate at x0 = 0 with unit spacing: d/dx x^k |_0 = (k==1).
+      double derivative = 0.0;
+      for (int m = -half; m <= half; ++m) {
+        derivative += (*coeffs)[static_cast<size_t>(m + half)] *
+                      std::pow(static_cast<double>(m), degree);
+      }
+      const double expected = degree == 1 ? 1.0 : 0.0;
+      EXPECT_NEAR(derivative, expected, 1e-10)
+          << "order " << order << " degree " << degree;
+    }
+  }
+}
+
+TEST(FornbergTest, ReproducesCenteredStencils) {
+  for (int order : {2, 4, 6, 8}) {
+    auto expected = CenteredFirstDerivative(order);
+    ASSERT_TRUE(expected.ok());
+    std::vector<double> nodes;
+    const int half = order / 2;
+    for (int m = -half; m <= half; ++m) {
+      nodes.push_back(static_cast<double>(m));
+    }
+    const auto weights = FornbergWeights(0.0, nodes, 1);
+    ASSERT_EQ(weights.size(), expected->size());
+    for (size_t i = 0; i < weights.size(); ++i) {
+      EXPECT_NEAR(weights[i], (*expected)[i], 1e-12)
+          << "order " << order << " index " << i;
+    }
+  }
+}
+
+TEST(FornbergTest, OneSidedSecondOrder) {
+  // Forward difference at x0 = 0 over {0, 1, 2}: (-3/2, 2, -1/2).
+  const auto weights = FornbergWeights(0.0, {0.0, 1.0, 2.0}, 1);
+  ASSERT_EQ(weights.size(), 3u);
+  EXPECT_NEAR(weights[0], -1.5, 1e-12);
+  EXPECT_NEAR(weights[1], 2.0, 1e-12);
+  EXPECT_NEAR(weights[2], -0.5, 1e-12);
+}
+
+TEST(FornbergTest, InterpolationWeights) {
+  // Zeroth derivative = Lagrange interpolation; at a node it is a delta.
+  const auto weights = FornbergWeights(1.0, {0.0, 1.0, 2.0}, 0);
+  EXPECT_NEAR(weights[0], 0.0, 1e-12);
+  EXPECT_NEAR(weights[1], 1.0, 1e-12);
+  EXPECT_NEAR(weights[2], 0.0, 1e-12);
+}
+
+TEST(FornbergTest, NonUniformNodesExactOnPolynomials) {
+  const std::vector<double> nodes = {-1.3, -0.4, 0.2, 0.9, 2.1};
+  const double x0 = 0.35;
+  const auto weights = FornbergWeights(x0, nodes, 1);
+  // Exact for polynomials up to degree nodes.size()-1 = 4.
+  for (int degree = 0; degree <= 4; ++degree) {
+    double derivative = 0.0;
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      derivative += weights[i] * std::pow(nodes[i], degree);
+    }
+    const double expected =
+        degree == 0 ? 0.0 : degree * std::pow(x0, degree - 1);
+    EXPECT_NEAR(derivative, expected, 1e-9) << "degree " << degree;
+  }
+}
+
+TEST(FornbergTest, SecondDerivativeWeights) {
+  // Classic 3-point second derivative: (1, -2, 1).
+  const auto weights = FornbergWeights(0.0, {-1.0, 0.0, 1.0}, 2);
+  EXPECT_NEAR(weights[0], 1.0, 1e-12);
+  EXPECT_NEAR(weights[1], -2.0, 1e-12);
+  EXPECT_NEAR(weights[2], 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace turbdb

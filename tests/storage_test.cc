@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "array/atom.h"
+#include "storage/atom_store.h"
+#include "storage/device.h"
+
+namespace turbdb {
+namespace {
+
+TEST(DeviceModelTest, ChargesSeekAndBandwidth) {
+  DeviceSpec spec;
+  spec.seek_s = 0.01;
+  spec.bandwidth_bps = 100.0;
+  spec.concurrency_exponent = 1.0;  // No contention penalty.
+  DeviceModel device(spec);
+  EXPECT_DOUBLE_EQ(device.ChargeRead(200, 2, 1), 0.02 + 2.0);
+  EXPECT_EQ(device.total_bytes(), 200u);
+  EXPECT_EQ(device.total_ops(), 2u);
+  device.ResetCounters();
+  EXPECT_EQ(device.total_bytes(), 0u);
+}
+
+TEST(DeviceModelTest, ConcurrencyExponentControlsContention) {
+  DeviceSpec spec;
+  spec.seek_s = 0.0;
+  spec.bandwidth_bps = 100.0;
+  spec.concurrency_exponent = 0.5;  // sqrt scaling (HDD arrays).
+  DeviceModel device(spec);
+  const double single = device.ChargeRead(100, 0, 1);
+  const double four = device.ChargeRead(100, 0, 4);
+  EXPECT_DOUBLE_EQ(four / single, 2.0);  // 4^(1-0.5) = 2.
+
+  spec.concurrency_exponent = 1.0;  // Perfectly parallel (SSD).
+  DeviceModel ssd(spec);
+  EXPECT_DOUBLE_EQ(ssd.ChargeRead(100, 0, 8), ssd.ChargeRead(100, 0, 1));
+
+  spec.concurrency_exponent = 0.0;  // One shared spindle.
+  DeviceModel spindle(spec);
+  EXPECT_DOUBLE_EQ(spindle.ChargeRead(100, 0, 4),
+                   4.0 * spindle.ChargeRead(100, 0, 1));
+}
+
+TEST(DeviceModelTest, NullDeviceIsFree) {
+  DeviceModel device(DeviceSpec::Null());
+  EXPECT_DOUBLE_EQ(device.ChargeRead(1 << 20, 100, 8), 0.0);
+}
+
+TEST(DeviceModelTest, PresetsAreOrdered) {
+  // SSD seeks are orders of magnitude cheaper than HDD seeks.
+  EXPECT_LT(DeviceSpec::Ssd().seek_s, DeviceSpec::HddArray().seek_s / 10);
+  EXPECT_GT(DeviceSpec::Ssd().bandwidth_bps,
+            DeviceSpec::HddArray().bandwidth_bps);
+}
+
+Atom MakeAtom(int32_t timestep, uint64_t zindex, float fill) {
+  Atom atom(AtomKey{timestep, zindex}, 8, 3);
+  for (float& value : atom.data) value = fill;
+  return atom;
+}
+
+TEST(InMemoryAtomStoreTest, PutGetContains) {
+  InMemoryAtomStore store;
+  ASSERT_TRUE(store.Put(MakeAtom(0, 5, 1.5f)).ok());
+  EXPECT_TRUE(store.Contains(AtomKey{0, 5}));
+  EXPECT_FALSE(store.Contains(AtomKey{1, 5}));
+  auto atom = store.Get(AtomKey{0, 5});
+  ASSERT_TRUE(atom.ok());
+  EXPECT_EQ(atom->At(3, 3, 3, 1), 1.5f);
+  EXPECT_TRUE(store.Get(AtomKey{0, 6}).status().IsNotFound());
+  EXPECT_EQ(store.AtomCount(), 1u);
+  EXPECT_EQ(store.TotalBytes(), 8u * 8 * 8 * 3 * sizeof(float));
+}
+
+TEST(InMemoryAtomStoreTest, RejectsDuplicates) {
+  InMemoryAtomStore store;
+  ASSERT_TRUE(store.Put(MakeAtom(0, 5, 1.0f)).ok());
+  EXPECT_EQ(store.Put(MakeAtom(0, 5, 2.0f)).code(),
+            StatusCode::kAlreadyExists);
+  // Original survives.
+  EXPECT_EQ(store.Get(AtomKey{0, 5})->At(0, 0, 0, 0), 1.0f);
+}
+
+TEST(InMemoryAtomStoreTest, ScanIsOrderedAndBounded) {
+  InMemoryAtomStore store;
+  for (uint64_t code : {9u, 3u, 7u, 1u, 5u}) {
+    ASSERT_TRUE(store.Put(MakeAtom(0, code, static_cast<float>(code))).ok());
+  }
+  ASSERT_TRUE(store.Put(MakeAtom(1, 4, 4.0f)).ok());  // Other timestep.
+  std::vector<uint64_t> seen;
+  ASSERT_TRUE(store
+                  .Scan(0, MortonRange{3, 8},
+                        [&](const Atom& atom) {
+                          seen.push_back(atom.key.zindex);
+                        })
+                  .ok());
+  EXPECT_EQ(seen, (std::vector<uint64_t>{3, 5, 7}));
+}
+
+TEST(AtomTest, GridBoxAndCoords) {
+  Atom atom(AtomKey{3, MortonEncode3(2, 1, 4)}, 8, 1);
+  uint32_t ax, ay, az;
+  atom.AtomCoords(&ax, &ay, &az);
+  EXPECT_EQ(ax, 2u);
+  EXPECT_EQ(ay, 1u);
+  EXPECT_EQ(az, 4u);
+  EXPECT_EQ(atom.GridBox(), Box3(16, 8, 32, 24, 16, 40));
+}
+
+TEST(AtomTest, KeyForPoint) {
+  const AtomKey key = AtomKeyForPoint(7, 17, 8, 31, 8);
+  EXPECT_EQ(key.timestep, 7);
+  EXPECT_EQ(key.zindex, MortonEncode3(2, 1, 3));
+}
+
+}  // namespace
+}  // namespace turbdb

@@ -1,0 +1,126 @@
+#include "wire/serializer.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace turbdb {
+namespace {
+
+std::vector<ThresholdPoint> SortedRandomPoints(size_t count, uint64_t seed) {
+  SplitMix64 rng(seed);
+  std::vector<ThresholdPoint> points;
+  points.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    points.push_back(MakeThresholdPoint(
+        static_cast<uint32_t>(rng.NextBounded(1 << 20)),
+        static_cast<uint32_t>(rng.NextBounded(1 << 20)),
+        static_cast<uint32_t>(rng.NextBounded(1 << 20)),
+        static_cast<float>(rng.NextDouble(0.0, 500.0))));
+  }
+  std::sort(points.begin(), points.end(),
+            [](const ThresholdPoint& a, const ThresholdPoint& b) {
+              return a.zindex < b.zindex;
+            });
+  return points;
+}
+
+TEST(VarintTest, RoundTripsBoundaries) {
+  std::vector<uint8_t> buffer;
+  const uint64_t values[] = {0,    1,    127,        128,
+                             300,  16383, 16384,     UINT64_MAX,
+                             1ULL << 62, (1ULL << 63) - 1};
+  for (uint64_t value : values) PutVarint64(&buffer, value);
+  size_t pos = 0;
+  for (uint64_t value : values) {
+    auto decoded = GetVarint64(buffer, &pos);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(*decoded, value);
+  }
+  EXPECT_EQ(pos, buffer.size());
+}
+
+TEST(VarintTest, DetectsTruncation) {
+  std::vector<uint8_t> buffer;
+  PutVarint64(&buffer, 1ULL << 40);
+  buffer.pop_back();
+  size_t pos = 0;
+  EXPECT_TRUE(GetVarint64(buffer, &pos).status().IsCorruption());
+}
+
+TEST(BinaryCodecTest, RoundTripsPoints) {
+  for (size_t count : {0u, 1u, 7u, 1000u}) {
+    const auto points = SortedRandomPoints(count, count + 1);
+    const auto bytes = EncodePointsBinary(points);
+    auto decoded = DecodePointsBinary(bytes);
+    ASSERT_TRUE(decoded.ok()) << "count " << count;
+    ASSERT_EQ(decoded->size(), points.size());
+    for (size_t i = 0; i < points.size(); ++i) {
+      EXPECT_EQ((*decoded)[i], points[i]);
+    }
+  }
+}
+
+TEST(BinaryCodecTest, DeltaCodingBeatsFixedWidth) {
+  // Sorted z-indices delta-encode to far fewer than 12 bytes/point.
+  const auto points = SortedRandomPoints(10000, 5);
+  const auto bytes = EncodePointsBinary(points);
+  EXPECT_LT(bytes.size(), points.size() * 12);
+}
+
+TEST(BinaryCodecTest, RejectsCorruptFrames) {
+  auto bytes = EncodePointsBinary(SortedRandomPoints(10, 3));
+  // Bad magic.
+  auto tampered = bytes;
+  tampered[0] ^= 0xFF;
+  EXPECT_FALSE(DecodePointsBinary(tampered).ok());
+  // Truncated payload.
+  auto truncated = bytes;
+  truncated.resize(truncated.size() - 3);
+  EXPECT_FALSE(DecodePointsBinary(truncated).ok());
+  // Trailing garbage.
+  auto padded = bytes;
+  padded.push_back(0);
+  EXPECT_FALSE(DecodePointsBinary(padded).ok());
+}
+
+TEST(XmlCodecTest, RoundTripsPoints) {
+  const auto points = SortedRandomPoints(50, 9);
+  const std::string xml = EncodePointsXml(points);
+  auto decoded = DecodePointsXml(xml);
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->size(), points.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ((*decoded)[i].zindex, points[i].zindex);
+    EXPECT_FLOAT_EQ((*decoded)[i].norm, points[i].norm);
+  }
+}
+
+TEST(XmlCodecTest, EmptyResult) {
+  const std::string xml = EncodePointsXml({});
+  EXPECT_NE(xml.find("count=\"0\""), std::string::npos);
+  auto decoded = DecodePointsXml(xml);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->empty());
+}
+
+TEST(XmlCodecTest, XmlInflationIsSubstantial) {
+  // The paper's point: SOAP/XML wrapping inflates transfers severalfold.
+  const auto points = SortedRandomPoints(5000, 11);
+  const auto binary = EncodePointsBinary(points);
+  const std::string xml = EncodePointsXml(points);
+  EXPECT_GT(xml.size(), 5 * binary.size());
+}
+
+TEST(XmlCodecTest, MalformedDocumentsFail) {
+  EXPECT_TRUE(
+      DecodePointsXml("<Point><X>1</X>").status().IsCorruption());
+  EXPECT_TRUE(DecodePointsXml("<Point><X>1</X><Y>2</Y></Point>")
+                  .status()
+                  .IsCorruption());
+}
+
+}  // namespace
+}  // namespace turbdb

@@ -1,0 +1,296 @@
+// turbdb_cli — command-line front end to the threshold-query engine.
+//
+// Builds (or reopens, with --storage-dir) an in-process cluster over a
+// synthetic dataset and runs the service's query types from the shell.
+//
+// Examples:
+//   turbdb_cli --n 64 --nodes 4 stats vorticity
+//   turbdb_cli --n 64 threshold vorticity 4.5rms
+//   turbdb_cli --n 64 threshold q_criterion 25.0 --timestep 1
+//   turbdb_cli --n 64 pdf vorticity
+//   turbdb_cli --n 64 topk current 10
+//   turbdb_cli --n 64 --storage-dir /tmp/turbdb threshold vorticity 5rms
+//
+// The first run against a --storage-dir ingests and persists the data;
+// later runs reopen it (and demonstrate the cache + durable stores).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/turbdb.h"
+
+using namespace turbdb;
+
+namespace {
+
+struct CliOptions {
+  int64_t n = 64;
+  int nodes = 4;
+  int processes = 4;
+  int32_t timesteps = 2;
+  int32_t timestep = 0;
+  uint64_t seed = 2015;
+  int fd_order = 4;
+  std::string storage_dir;
+  std::string command;
+  std::vector<std::string> args;
+};
+
+void PrintUsage() {
+  std::printf(
+      "usage: turbdb_cli [options] <command> <derived-field> [value]\n"
+      "\n"
+      "commands:\n"
+      "  stats <field>              mean/RMS/max of the field norm\n"
+      "  threshold <field> <k>      locations with norm >= k; suffix 'rms'\n"
+      "                             scales by the measured RMS (e.g. 4.5rms)\n"
+      "  pdf <field>                histogram of the norm (RMS-wide bins)\n"
+      "  topk <field> <k>           the k strongest locations\n"
+      "  fields                     list available derived fields\n"
+      "\n"
+      "options:\n"
+      "  --n N            grid edge (default 64)\n"
+      "  --nodes N        database nodes (default 4)\n"
+      "  --procs N        processes per node (default 4)\n"
+      "  --timesteps N    steps to ingest (default 2)\n"
+      "  --timestep T     step to query (default 0)\n"
+      "  --order P        finite-difference order 2/4/6/8 (default 4)\n"
+      "  --seed S         generator seed (default 2015)\n"
+      "  --storage-dir D  durable atom files (reopened across runs)\n"
+      "\n"
+      "the dataset is MHD-like: raw fields 'velocity' and 'magnetic';\n"
+      "derived fields include vorticity, current, q_criterion,\n"
+      "r_invariant, magnitude, box_filter, divergence.\n");
+}
+
+bool ParseArgs(int argc, char** argv, CliOptions* options) {
+  int i = 1;
+  for (; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](int64_t* out) {
+      if (i + 1 >= argc) return false;
+      *out = std::strtoll(argv[++i], nullptr, 10);
+      return true;
+    };
+    int64_t value = 0;
+    if (arg == "--n" && next(&value)) {
+      options->n = value;
+    } else if (arg == "--nodes" && next(&value)) {
+      options->nodes = static_cast<int>(value);
+    } else if (arg == "--procs" && next(&value)) {
+      options->processes = static_cast<int>(value);
+    } else if (arg == "--timesteps" && next(&value)) {
+      options->timesteps = static_cast<int32_t>(value);
+    } else if (arg == "--timestep" && next(&value)) {
+      options->timestep = static_cast<int32_t>(value);
+    } else if (arg == "--order" && next(&value)) {
+      options->fd_order = static_cast<int>(value);
+    } else if (arg == "--seed" && next(&value)) {
+      options->seed = static_cast<uint64_t>(value);
+    } else if (arg == "--storage-dir") {
+      if (i + 1 >= argc) return false;
+      options->storage_dir = argv[++i];
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+      return false;
+    } else {
+      options->command = arg;
+      for (++i; i < argc; ++i) options->args.push_back(argv[i]);
+      break;
+    }
+  }
+  return !options->command.empty();
+}
+
+/// The raw field a derived field is computed from on this dataset.
+std::string RawFieldFor(const std::string& derived) {
+  if (derived == "current") return "magnetic";
+  return "velocity";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions options;
+  if (!ParseArgs(argc, argv, &options)) {
+    PrintUsage();
+    return 2;
+  }
+
+  TurbDBConfig config;
+  config.cluster.num_nodes = options.nodes;
+  config.cluster.processes_per_node = options.processes;
+  config.cluster.storage_dir = options.storage_dir;
+  auto db_or = TurbDB::Open(config);
+  if (!db_or.ok()) {
+    std::fprintf(stderr, "open failed: %s\n",
+                 db_or.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<TurbDB> db = std::move(db_or).value();
+
+  if (options.command == "fields") {
+    for (const std::string& name : db->mediator().registry().Names()) {
+      std::printf("%s\n", name.c_str());
+    }
+    return 0;
+  }
+  if (options.args.empty()) {
+    PrintUsage();
+    return 2;
+  }
+  const std::string derived = options.args[0];
+  const std::string raw = RawFieldFor(derived);
+
+  Status status =
+      db->CreateDataset(MakeMhdDataset("mhd", options.n, options.timesteps));
+  if (!status.ok()) {
+    std::fprintf(stderr, "dataset failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  // With a storage dir, earlier runs may have persisted the data already.
+  const bool have_data =
+      db->mediator().node(0).StoredAtomCount("mhd", raw) > 0;
+  if (!have_data) {
+    std::fprintf(stderr, "[ingesting %lld^3 x %d steps ...]\n",
+                 static_cast<long long>(options.n), options.timesteps);
+    status = db->IngestSyntheticField(
+        "mhd", "velocity", DefaultMhdSpec(options.seed), 0,
+        options.timesteps);
+    if (status.ok()) {
+      status = db->IngestSyntheticField(
+          "mhd", "magnetic", DefaultMhdSpec(options.seed * 7919 + 13), 0,
+          options.timesteps);
+    }
+    if (!status.ok()) {
+      std::fprintf(stderr, "ingest failed: %s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
+
+  const Box3 whole = Box3::WholeGrid(options.n, options.n, options.n);
+  FieldStatsQuery stats_query;
+  stats_query.dataset = "mhd";
+  stats_query.raw_field = raw;
+  stats_query.derived_field = derived;
+  stats_query.timestep = options.timestep;
+  stats_query.box = whole;
+  stats_query.fd_order = options.fd_order;
+  auto stats = db->FieldStats(stats_query);
+  if (!stats.ok()) {
+    std::fprintf(stderr, "error: %s\n", stats.status().ToString().c_str());
+    return 1;
+  }
+
+  if (options.command == "stats") {
+    std::printf("%s of %s @ t=%d: mean %.4f  rms %.4f  max %.4f  "
+                "(%llu points)\n",
+                derived.c_str(), raw.c_str(), options.timestep, stats->mean,
+                stats->rms, stats->max,
+                static_cast<unsigned long long>(stats->count));
+    return 0;
+  }
+
+  if (options.command == "pdf") {
+    PdfQuery query;
+    query.dataset = "mhd";
+    query.raw_field = raw;
+    query.derived_field = derived;
+    query.timestep = options.timestep;
+    query.box = whole;
+    query.fd_order = options.fd_order;
+    query.bin_width = stats->rms;
+    query.num_bins = 9;
+    auto pdf = db->Pdf(query);
+    if (!pdf.ok()) {
+      std::fprintf(stderr, "error: %s\n", pdf.status().ToString().c_str());
+      return 1;
+    }
+    for (size_t bin = 0; bin < pdf->counts.size(); ++bin) {
+      std::printf("[%4.1f rms, %s)  %10llu\n", static_cast<double>(bin),
+                  bin + 1 < pdf->counts.size()
+                      ? (std::to_string(bin + 1) + " rms").c_str()
+                      : "inf",
+                  static_cast<unsigned long long>(pdf->counts[bin]));
+    }
+    return 0;
+  }
+
+  if (options.command == "topk") {
+    if (options.args.size() < 2) {
+      PrintUsage();
+      return 2;
+    }
+    TopKQuery query;
+    query.dataset = "mhd";
+    query.raw_field = raw;
+    query.derived_field = derived;
+    query.timestep = options.timestep;
+    query.box = whole;
+    query.fd_order = options.fd_order;
+    query.k = std::strtoull(options.args[1].c_str(), nullptr, 10);
+    auto result = db->TopK(query);
+    if (!result.ok()) {
+      std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    for (const ThresholdPoint& point : result->points) {
+      uint32_t x, y, z;
+      point.Coords(&x, &y, &z);
+      std::printf("(%4u, %4u, %4u)  %.4f  (%.2f rms)\n", x, y, z, point.norm,
+                  point.norm / stats->rms);
+    }
+    return 0;
+  }
+
+  if (options.command == "threshold") {
+    if (options.args.size() < 2) {
+      PrintUsage();
+      return 2;
+    }
+    std::string value = options.args[1];
+    double threshold;
+    const size_t rms_pos = value.find("rms");
+    if (rms_pos != std::string::npos) {
+      threshold = std::strtod(value.substr(0, rms_pos).c_str(), nullptr) *
+                  stats->rms;
+    } else {
+      threshold = std::strtod(value.c_str(), nullptr);
+    }
+    ThresholdQuery query;
+    query.dataset = "mhd";
+    query.raw_field = raw;
+    query.derived_field = derived;
+    query.timestep = options.timestep;
+    query.box = whole;
+    query.threshold = threshold;
+    query.fd_order = options.fd_order;
+    auto result = db->Threshold(query);
+    if (!result.ok()) {
+      std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%zu points with |%s| >= %.4f (%.2f rms)  [cache %s]\n",
+                result->points.size(), derived.c_str(), threshold,
+                threshold / stats->rms,
+                result->all_cache_hits ? "hit" : "miss");
+    std::printf("modeled time: %s\n", result->time.ToString().c_str());
+    const size_t shown = std::min<size_t>(10, result->points.size());
+    for (size_t i = 0; i < shown; ++i) {
+      uint32_t x, y, z;
+      result->points[i].Coords(&x, &y, &z);
+      std::printf("  (%4u, %4u, %4u)  %.4f\n", x, y, z,
+                  result->points[i].norm);
+    }
+    if (result->points.size() > shown) {
+      std::printf("  ... %zu more\n", result->points.size() - shown);
+    }
+    return 0;
+  }
+
+  PrintUsage();
+  return 2;
+}
