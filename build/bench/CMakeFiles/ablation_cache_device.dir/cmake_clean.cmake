@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cache_device.dir/ablation_cache_device.cc.o"
+  "CMakeFiles/ablation_cache_device.dir/ablation_cache_device.cc.o.d"
+  "ablation_cache_device"
+  "ablation_cache_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cache_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

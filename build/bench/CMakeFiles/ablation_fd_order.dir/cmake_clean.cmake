@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fd_order.dir/ablation_fd_order.cc.o"
+  "CMakeFiles/ablation_fd_order.dir/ablation_fd_order.cc.o.d"
+  "ablation_fd_order"
+  "ablation_fd_order.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fd_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

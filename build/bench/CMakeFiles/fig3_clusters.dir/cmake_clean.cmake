@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_clusters.dir/fig3_clusters.cc.o"
+  "CMakeFiles/fig3_clusters.dir/fig3_clusters.cc.o.d"
+  "fig3_clusters"
+  "fig3_clusters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_clusters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_extreme_points.dir/fig4_extreme_points.cc.o"
+  "CMakeFiles/fig4_extreme_points.dir/fig4_extreme_points.cc.o.d"
+  "fig4_extreme_points"
+  "fig4_extreme_points.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_extreme_points.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7a_scaleup.dir/fig7a_scaleup.cc.o"
+  "CMakeFiles/fig7a_scaleup.dir/fig7a_scaleup.cc.o.d"
+  "fig7a_scaleup"
+  "fig7a_scaleup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7a_scaleup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

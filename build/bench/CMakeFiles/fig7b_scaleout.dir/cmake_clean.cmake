@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7b_scaleout.dir/fig7b_scaleout.cc.o"
+  "CMakeFiles/fig7b_scaleout.dir/fig7b_scaleout.cc.o.d"
+  "fig7b_scaleout"
+  "fig7b_scaleout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7b_scaleout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

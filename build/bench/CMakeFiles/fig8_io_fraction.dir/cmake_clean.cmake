@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_io_fraction.dir/fig8_io_fraction.cc.o"
+  "CMakeFiles/fig8_io_fraction.dir/fig8_io_fraction.cc.o.d"
+  "fig8_io_fraction"
+  "fig8_io_fraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_io_fraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/local_vs_server.dir/local_vs_server.cc.o"
+  "CMakeFiles/local_vs_server.dir/local_vs_server.cc.o.d"
+  "local_vs_server"
+  "local_vs_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/local_vs_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

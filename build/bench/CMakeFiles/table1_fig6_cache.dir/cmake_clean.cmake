@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_fig6_cache.dir/table1_fig6_cache.cc.o"
+  "CMakeFiles/table1_fig6_cache.dir/table1_fig6_cache.cc.o.d"
+  "table1_fig6_cache"
+  "table1_fig6_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_fig6_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mhd_current_sheets.dir/mhd_current_sheets.cpp.o"
+  "CMakeFiles/mhd_current_sheets.dir/mhd_current_sheets.cpp.o.d"
+  "mhd_current_sheets"
+  "mhd_current_sheets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mhd_current_sheets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for mhd_current_sheets.
+# This may be replaced when dependencies are built.

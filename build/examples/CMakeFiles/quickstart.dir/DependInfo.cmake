@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/turbdb_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/turbdb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/turbdb_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/turbdb_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/turbdb_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/fields/CMakeFiles/turbdb_fields.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/turbdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/turbdb_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/turbdb_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/turbdb_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/array/CMakeFiles/turbdb_array.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/turbdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

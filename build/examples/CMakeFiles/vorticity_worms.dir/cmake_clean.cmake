@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vorticity_worms.dir/vorticity_worms.cpp.o"
+  "CMakeFiles/vorticity_worms.dir/vorticity_worms.cpp.o.d"
+  "vorticity_worms"
+  "vorticity_worms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vorticity_worms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

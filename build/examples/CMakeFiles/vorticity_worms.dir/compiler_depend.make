@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for vorticity_worms.
+# This may be replaced when dependencies are built.

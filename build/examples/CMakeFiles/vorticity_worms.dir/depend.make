@@ -1,0 +1,2 @@
+# Empty dependencies file for vorticity_worms.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turbdb_analysis.dir/fof.cc.o"
+  "CMakeFiles/turbdb_analysis.dir/fof.cc.o.d"
+  "CMakeFiles/turbdb_analysis.dir/landmark.cc.o"
+  "CMakeFiles/turbdb_analysis.dir/landmark.cc.o.d"
+  "CMakeFiles/turbdb_analysis.dir/particles.cc.o"
+  "CMakeFiles/turbdb_analysis.dir/particles.cc.o.d"
+  "libturbdb_analysis.a"
+  "libturbdb_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turbdb_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

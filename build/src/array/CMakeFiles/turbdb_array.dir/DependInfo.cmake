@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/array/box.cc" "src/array/CMakeFiles/turbdb_array.dir/box.cc.o" "gcc" "src/array/CMakeFiles/turbdb_array.dir/box.cc.o.d"
+  "/root/repo/src/array/geometry.cc" "src/array/CMakeFiles/turbdb_array.dir/geometry.cc.o" "gcc" "src/array/CMakeFiles/turbdb_array.dir/geometry.cc.o.d"
+  "/root/repo/src/array/morton.cc" "src/array/CMakeFiles/turbdb_array.dir/morton.cc.o" "gcc" "src/array/CMakeFiles/turbdb_array.dir/morton.cc.o.d"
+  "/root/repo/src/array/slab.cc" "src/array/CMakeFiles/turbdb_array.dir/slab.cc.o" "gcc" "src/array/CMakeFiles/turbdb_array.dir/slab.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/turbdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

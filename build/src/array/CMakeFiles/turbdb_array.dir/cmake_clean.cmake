@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turbdb_array.dir/box.cc.o"
+  "CMakeFiles/turbdb_array.dir/box.cc.o.d"
+  "CMakeFiles/turbdb_array.dir/geometry.cc.o"
+  "CMakeFiles/turbdb_array.dir/geometry.cc.o.d"
+  "CMakeFiles/turbdb_array.dir/morton.cc.o"
+  "CMakeFiles/turbdb_array.dir/morton.cc.o.d"
+  "CMakeFiles/turbdb_array.dir/slab.cc.o"
+  "CMakeFiles/turbdb_array.dir/slab.cc.o.d"
+  "libturbdb_array.a"
+  "libturbdb_array.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turbdb_array.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/semantic_cache.cc" "src/cache/CMakeFiles/turbdb_cache.dir/semantic_cache.cc.o" "gcc" "src/cache/CMakeFiles/turbdb_cache.dir/semantic_cache.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/array/CMakeFiles/turbdb_array.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/turbdb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/turbdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/turbdb_txn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

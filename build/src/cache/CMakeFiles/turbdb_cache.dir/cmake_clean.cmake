@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turbdb_cache.dir/semantic_cache.cc.o"
+  "CMakeFiles/turbdb_cache.dir/semantic_cache.cc.o.d"
+  "libturbdb_cache.a"
+  "libturbdb_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turbdb_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

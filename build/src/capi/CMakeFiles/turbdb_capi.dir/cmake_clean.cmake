@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turbdb_capi.dir/turbdb_c.cc.o"
+  "CMakeFiles/turbdb_capi.dir/turbdb_c.cc.o.d"
+  "libturbdb_capi.a"
+  "libturbdb_capi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turbdb_capi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libturbdb_capi.a"
+)

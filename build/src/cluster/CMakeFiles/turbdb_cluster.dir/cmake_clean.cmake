@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turbdb_cluster.dir/mediator.cc.o"
+  "CMakeFiles/turbdb_cluster.dir/mediator.cc.o.d"
+  "CMakeFiles/turbdb_cluster.dir/network_model.cc.o"
+  "CMakeFiles/turbdb_cluster.dir/network_model.cc.o.d"
+  "CMakeFiles/turbdb_cluster.dir/node.cc.o"
+  "CMakeFiles/turbdb_cluster.dir/node.cc.o.d"
+  "CMakeFiles/turbdb_cluster.dir/partitioner.cc.o"
+  "CMakeFiles/turbdb_cluster.dir/partitioner.cc.o.d"
+  "libturbdb_cluster.a"
+  "libturbdb_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turbdb_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turbdb_common.dir/crc32.cc.o"
+  "CMakeFiles/turbdb_common.dir/crc32.cc.o.d"
+  "CMakeFiles/turbdb_common.dir/logging.cc.o"
+  "CMakeFiles/turbdb_common.dir/logging.cc.o.d"
+  "CMakeFiles/turbdb_common.dir/profile.cc.o"
+  "CMakeFiles/turbdb_common.dir/profile.cc.o.d"
+  "CMakeFiles/turbdb_common.dir/status.cc.o"
+  "CMakeFiles/turbdb_common.dir/status.cc.o.d"
+  "CMakeFiles/turbdb_common.dir/thread_pool.cc.o"
+  "CMakeFiles/turbdb_common.dir/thread_pool.cc.o.d"
+  "libturbdb_common.a"
+  "libturbdb_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turbdb_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

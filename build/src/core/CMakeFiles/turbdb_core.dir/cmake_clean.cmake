@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turbdb_core.dir/turbdb.cc.o"
+  "CMakeFiles/turbdb_core.dir/turbdb.cc.o.d"
+  "libturbdb_core.a"
+  "libturbdb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turbdb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turbdb_datagen.dir/turbulence.cc.o"
+  "CMakeFiles/turbdb_datagen.dir/turbulence.cc.o.d"
+  "libturbdb_datagen.a"
+  "libturbdb_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turbdb_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

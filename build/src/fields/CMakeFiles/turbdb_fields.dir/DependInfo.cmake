@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fields/derived_field.cc" "src/fields/CMakeFiles/turbdb_fields.dir/derived_field.cc.o" "gcc" "src/fields/CMakeFiles/turbdb_fields.dir/derived_field.cc.o.d"
+  "/root/repo/src/fields/differentiator.cc" "src/fields/CMakeFiles/turbdb_fields.dir/differentiator.cc.o" "gcc" "src/fields/CMakeFiles/turbdb_fields.dir/differentiator.cc.o.d"
+  "/root/repo/src/fields/field_registry.cc" "src/fields/CMakeFiles/turbdb_fields.dir/field_registry.cc.o" "gcc" "src/fields/CMakeFiles/turbdb_fields.dir/field_registry.cc.o.d"
+  "/root/repo/src/fields/interpolator.cc" "src/fields/CMakeFiles/turbdb_fields.dir/interpolator.cc.o" "gcc" "src/fields/CMakeFiles/turbdb_fields.dir/interpolator.cc.o.d"
+  "/root/repo/src/fields/stencil.cc" "src/fields/CMakeFiles/turbdb_fields.dir/stencil.cc.o" "gcc" "src/fields/CMakeFiles/turbdb_fields.dir/stencil.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/array/CMakeFiles/turbdb_array.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/turbdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turbdb_fields.dir/derived_field.cc.o"
+  "CMakeFiles/turbdb_fields.dir/derived_field.cc.o.d"
+  "CMakeFiles/turbdb_fields.dir/differentiator.cc.o"
+  "CMakeFiles/turbdb_fields.dir/differentiator.cc.o.d"
+  "CMakeFiles/turbdb_fields.dir/field_registry.cc.o"
+  "CMakeFiles/turbdb_fields.dir/field_registry.cc.o.d"
+  "CMakeFiles/turbdb_fields.dir/interpolator.cc.o"
+  "CMakeFiles/turbdb_fields.dir/interpolator.cc.o.d"
+  "CMakeFiles/turbdb_fields.dir/stencil.cc.o"
+  "CMakeFiles/turbdb_fields.dir/stencil.cc.o.d"
+  "libturbdb_fields.a"
+  "libturbdb_fields.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turbdb_fields.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

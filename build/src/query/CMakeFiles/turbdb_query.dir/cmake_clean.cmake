@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turbdb_query.dir/query.cc.o"
+  "CMakeFiles/turbdb_query.dir/query.cc.o.d"
+  "libturbdb_query.a"
+  "libturbdb_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turbdb_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

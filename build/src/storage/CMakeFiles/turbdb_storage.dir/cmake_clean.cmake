@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turbdb_storage.dir/atom_store.cc.o"
+  "CMakeFiles/turbdb_storage.dir/atom_store.cc.o.d"
+  "CMakeFiles/turbdb_storage.dir/device.cc.o"
+  "CMakeFiles/turbdb_storage.dir/device.cc.o.d"
+  "CMakeFiles/turbdb_storage.dir/file_atom_store.cc.o"
+  "CMakeFiles/turbdb_storage.dir/file_atom_store.cc.o.d"
+  "libturbdb_storage.a"
+  "libturbdb_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turbdb_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

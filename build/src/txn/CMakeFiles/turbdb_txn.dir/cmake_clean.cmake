@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turbdb_txn.dir/txn_manager.cc.o"
+  "CMakeFiles/turbdb_txn.dir/txn_manager.cc.o.d"
+  "libturbdb_txn.a"
+  "libturbdb_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turbdb_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

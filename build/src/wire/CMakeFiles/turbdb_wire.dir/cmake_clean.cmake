@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turbdb_wire.dir/serializer.cc.o"
+  "CMakeFiles/turbdb_wire.dir/serializer.cc.o.d"
+  "libturbdb_wire.a"
+  "libturbdb_wire.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turbdb_wire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/derived_field_test.dir/derived_field_test.cc.o"
+  "CMakeFiles/derived_field_test.dir/derived_field_test.cc.o.d"
+  "derived_field_test"
+  "derived_field_test.pdb"
+  "derived_field_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/derived_field_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/differentiator_test.dir/differentiator_test.cc.o"
+  "CMakeFiles/differentiator_test.dir/differentiator_test.cc.o.d"
+  "differentiator_test"
+  "differentiator_test.pdb"
+  "differentiator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/differentiator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

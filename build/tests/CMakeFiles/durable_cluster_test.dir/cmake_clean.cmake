@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/durable_cluster_test.dir/durable_cluster_test.cc.o"
+  "CMakeFiles/durable_cluster_test.dir/durable_cluster_test.cc.o.d"
+  "durable_cluster_test"
+  "durable_cluster_test.pdb"
+  "durable_cluster_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/durable_cluster_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

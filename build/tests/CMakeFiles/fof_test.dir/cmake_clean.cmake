@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fof_test.dir/fof_test.cc.o"
+  "CMakeFiles/fof_test.dir/fof_test.cc.o.d"
+  "fof_test"
+  "fof_test.pdb"
+  "fof_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fof_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

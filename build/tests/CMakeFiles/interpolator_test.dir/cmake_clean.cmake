@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interpolator_test.dir/interpolator_test.cc.o"
+  "CMakeFiles/interpolator_test.dir/interpolator_test.cc.o.d"
+  "interpolator_test"
+  "interpolator_test.pdb"
+  "interpolator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interpolator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

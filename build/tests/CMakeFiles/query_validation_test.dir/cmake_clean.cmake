@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_validation_test.dir/query_validation_test.cc.o"
+  "CMakeFiles/query_validation_test.dir/query_validation_test.cc.o.d"
+  "query_validation_test"
+  "query_validation_test.pdb"
+  "query_validation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_validation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

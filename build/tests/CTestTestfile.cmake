@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/morton_test[1]_include.cmake")
+include("/root/repo/build/tests/box_test[1]_include.cmake")
+include("/root/repo/build/tests/geometry_test[1]_include.cmake")
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/storage_test[1]_include.cmake")
+include("/root/repo/build/tests/file_store_test[1]_include.cmake")
+include("/root/repo/build/tests/txn_test[1]_include.cmake")
+include("/root/repo/build/tests/stencil_test[1]_include.cmake")
+include("/root/repo/build/tests/differentiator_test[1]_include.cmake")
+include("/root/repo/build/tests/derived_field_test[1]_include.cmake")
+include("/root/repo/build/tests/datagen_test[1]_include.cmake")
+include("/root/repo/build/tests/cache_test[1]_include.cmake")
+include("/root/repo/build/tests/wire_test[1]_include.cmake")
+include("/root/repo/build/tests/partitioner_test[1]_include.cmake")
+include("/root/repo/build/tests/fof_test[1]_include.cmake")
+include("/root/repo/build/tests/landmark_test[1]_include.cmake")
+include("/root/repo/build/tests/cluster_test[1]_include.cmake")
+include("/root/repo/build/tests/query_validation_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/durable_cluster_test[1]_include.cmake")
+include("/root/repo/build/tests/slab_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/failure_test[1]_include.cmake")
+include("/root/repo/build/tests/capi_test[1]_include.cmake")
+include("/root/repo/build/tests/interpolator_test[1]_include.cmake")
+include("/root/repo/build/tests/sample_test[1]_include.cmake")

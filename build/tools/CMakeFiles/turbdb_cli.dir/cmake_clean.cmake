@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turbdb_cli.dir/turbdb_cli.cc.o"
+  "CMakeFiles/turbdb_cli.dir/turbdb_cli.cc.o.d"
+  "turbdb_cli"
+  "turbdb_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turbdb_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(turbdb_cli_smoke "/root/repo/build/tools/turbdb_cli" "--n" "32" "--timesteps" "1" "--nodes" "2" "stats" "vorticity")
+set_tests_properties(turbdb_cli_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(turbdb_cli_threshold_smoke "/root/repo/build/tools/turbdb_cli" "--n" "32" "--timesteps" "1" "--nodes" "2" "threshold" "vorticity" "2rms")
+set_tests_properties(turbdb_cli_threshold_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
