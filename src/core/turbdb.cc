@@ -162,4 +162,18 @@ TurbulenceSpec DefaultChannelSpec(uint64_t seed) {
   return spec;
 }
 
+Status EnsureMhdDemoData(TurbDB* db, const std::string& name, int64_t n,
+                         int32_t timesteps, uint64_t seed) {
+  TURBDB_RETURN_NOT_OK(
+      db->CreateDataset(MakeMhdDataset(name, n, timesteps)));
+  // A storage-dir cluster reopened over earlier runs already has atoms.
+  if (db->mediator().node(0).StoredAtomCount(name, "velocity") > 0) {
+    return Status::OK();
+  }
+  TURBDB_RETURN_NOT_OK(db->IngestSyntheticField(
+      name, "velocity", DefaultMhdSpec(seed), 0, timesteps));
+  return db->IngestSyntheticField(
+      name, "magnetic", DefaultMhdSpec(seed * 7919 + 13), 0, timesteps);
+}
+
 }  // namespace turbdb

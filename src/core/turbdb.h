@@ -116,4 +116,12 @@ TurbulenceSpec DefaultIsotropicSpec(uint64_t seed);
 TurbulenceSpec DefaultMhdSpec(uint64_t seed);
 TurbulenceSpec DefaultChannelSpec(uint64_t seed);
 
+/// Registers the demo MHD dataset `name` (n^3 grid, `timesteps` steps)
+/// and ingests its velocity and magnetic fields from the synthetic
+/// generator — unless a durable store opened by `db` already holds them,
+/// in which case ingestion is skipped. This is the shared bring-up path
+/// of the command-line front ends (turbdb_cli and turbdb_server).
+Status EnsureMhdDemoData(TurbDB* db, const std::string& name, int64_t n,
+                         int32_t timesteps, uint64_t seed);
+
 }  // namespace turbdb

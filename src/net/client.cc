@@ -1,0 +1,147 @@
+#include "net/client.h"
+
+#include <chrono>
+#include <thread>
+
+namespace turbdb {
+namespace net {
+
+namespace {
+
+/// Transport-level failures worth a reconnect + retry. Anything the
+/// server *said* (an error frame) is a final answer.
+bool IsTransient(const Status& status) {
+  return status.code() == StatusCode::kIOError ||
+         status.code() == StatusCode::kUnavailable;
+}
+
+/// Wall-clock measurement around one RPC, written into the decoded
+/// result so remote calls report like local ones.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace
+
+Client::Client(std::string host, uint16_t port, ClientOptions options)
+    : host_(std::move(host)), port_(port), options_(options) {}
+
+Status Client::EnsureConnected() {
+  if (conn_.valid()) return Status::OK();
+  TURBDB_ASSIGN_OR_RETURN(
+      conn_, TcpConnect(host_, port_,
+                        Deadline::After(options_.connect_timeout_ms)));
+  return Status::OK();
+}
+
+Result<std::vector<uint8_t>> Client::CallOnce(
+    const std::vector<uint8_t>& request) {
+  TURBDB_RETURN_NOT_OK(EnsureConnected());
+  TURBDB_RETURN_NOT_OK(WriteFrame(
+      conn_, request, Deadline::After(options_.write_timeout_ms)));
+  return ReadFrame(conn_, Deadline::After(options_.read_timeout_ms),
+                   options_.max_frame_bytes);
+}
+
+Result<std::vector<uint8_t>> Client::Call(
+    const std::vector<uint8_t>& request) {
+  int backoff_ms = options_.backoff_initial_ms;
+  Status last;
+  for (int attempt = 0; attempt <= options_.max_retries; ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+      backoff_ms *= 2;
+    }
+    auto response = CallOnce(request);
+    if (response.ok()) return response;
+    last = response.status();
+    // The connection's stream state is unknown after any failure; drop
+    // it so the next attempt starts clean.
+    conn_.Close();
+    if (!IsTransient(last)) return last;
+  }
+  return Status::Unavailable(
+      last.message() + " (after " +
+      std::to_string(options_.max_retries + 1) + " attempts)");
+}
+
+Result<ThresholdResult> Client::Threshold(const ThresholdQuery& query,
+                                          const QueryOptions& options) {
+  WallTimer timer;
+  ThresholdRequest request;
+  request.query = query;
+  request.options = options;
+  request.rpc.deadline_ms = options_.deadline_ms;
+  TURBDB_ASSIGN_OR_RETURN(std::vector<uint8_t> payload,
+                          Call(EncodeRequest(request)));
+  TURBDB_ASSIGN_OR_RETURN(ThresholdResult result,
+                          DecodeThresholdResponse(payload));
+  result.wall_seconds = timer.Seconds();
+  return result;
+}
+
+Result<PdfResult> Client::Pdf(const PdfQuery& query) {
+  WallTimer timer;
+  PdfRequest request;
+  request.query = query;
+  request.rpc.deadline_ms = options_.deadline_ms;
+  TURBDB_ASSIGN_OR_RETURN(std::vector<uint8_t> payload,
+                          Call(EncodeRequest(request)));
+  TURBDB_ASSIGN_OR_RETURN(PdfResult result, DecodePdfResponse(payload));
+  result.wall_seconds = timer.Seconds();
+  return result;
+}
+
+Result<TopKResult> Client::TopK(const TopKQuery& query) {
+  WallTimer timer;
+  TopKRequest request;
+  request.query = query;
+  request.rpc.deadline_ms = options_.deadline_ms;
+  TURBDB_ASSIGN_OR_RETURN(std::vector<uint8_t> payload,
+                          Call(EncodeRequest(request)));
+  TURBDB_ASSIGN_OR_RETURN(TopKResult result, DecodeTopKResponse(payload));
+  result.wall_seconds = timer.Seconds();
+  return result;
+}
+
+Result<FieldStatsResult> Client::FieldStats(const FieldStatsQuery& query) {
+  WallTimer timer;
+  FieldStatsRequest request;
+  request.query = query;
+  request.rpc.deadline_ms = options_.deadline_ms;
+  TURBDB_ASSIGN_OR_RETURN(std::vector<uint8_t> payload,
+                          Call(EncodeRequest(request)));
+  TURBDB_ASSIGN_OR_RETURN(FieldStatsResult result,
+                          DecodeFieldStatsResponse(payload));
+  result.wall_seconds = timer.Seconds();
+  return result;
+}
+
+Result<ServerStatsReply> Client::ServerStats() {
+  ServerStatsRequest request;
+  request.rpc.deadline_ms = options_.deadline_ms;
+  TURBDB_ASSIGN_OR_RETURN(std::vector<uint8_t> payload,
+                          Call(EncodeRequest(request)));
+  return DecodeServerStatsResponse(payload);
+}
+
+Status Client::Ping(uint64_t delay_ms) {
+  PingRequest request;
+  request.delay_ms = delay_ms;
+  request.rpc.deadline_ms = options_.deadline_ms;
+  auto payload = Call(EncodeRequest(request));
+  if (!payload.ok()) return payload.status();
+  return DecodePingResponse(*payload);
+}
+
+}  // namespace net
+}  // namespace turbdb

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/frame.h"
+#include "net/protocol.h"
+#include "net/socket.h"
+#include "query/query.h"
+
+namespace turbdb {
+namespace net {
+
+struct ClientOptions {
+  int connect_timeout_ms = 5000;
+  /// How long one call may wait for the response frame. Should exceed
+  /// `deadline_ms`, or the client gives up while the server still
+  /// considers the request live.
+  int read_timeout_ms = 70000;
+  int write_timeout_ms = 10000;
+  /// Extra attempts after a transport-level failure (connect refused,
+  /// reset, read timeout). Query RPCs are read-only, hence idempotent
+  /// and safe to retry. Server-reported errors are never retried.
+  int max_retries = 2;
+  /// First retry waits this long; each further retry doubles it.
+  int backoff_initial_ms = 100;
+  uint32_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Per-request execution budget passed to the server (0 = server
+  /// default).
+  uint64_t deadline_ms = 0;
+};
+
+/// Remote counterpart of the Mediator query API: connects to a
+/// turbdb_server and issues framed RPCs. One Client drives one
+/// connection and is not thread-safe; it reconnects lazily after any
+/// transport failure. Decoded results carry the point sets, counters and
+/// modeled time; `wall_seconds` is measured locally around the RPC.
+class Client {
+ public:
+  Client(std::string host, uint16_t port, ClientOptions options = {});
+
+  Result<ThresholdResult> Threshold(const ThresholdQuery& query,
+                                    const QueryOptions& options = {});
+  Result<PdfResult> Pdf(const PdfQuery& query);
+  Result<TopKResult> TopK(const TopKQuery& query);
+  Result<FieldStatsResult> FieldStats(const FieldStatsQuery& query);
+  Result<ServerStatsReply> ServerStats();
+
+  /// Round-trip liveness probe; `delay_ms` asks the server to sleep
+  /// before answering (deadline drills).
+  Status Ping(uint64_t delay_ms = 0);
+
+  const std::string& host() const { return host_; }
+  uint16_t port() const { return port_; }
+
+ private:
+  /// Sends one request payload and reads one response payload, with
+  /// bounded retry-with-backoff across transport failures.
+  Result<std::vector<uint8_t>> Call(const std::vector<uint8_t>& request);
+
+  /// One attempt on the current (or a fresh) connection.
+  Result<std::vector<uint8_t>> CallOnce(const std::vector<uint8_t>& request);
+
+  Status EnsureConnected();
+
+  std::string host_;
+  uint16_t port_;
+  ClientOptions options_;
+  Socket conn_;
+};
+
+}  // namespace net
+}  // namespace turbdb

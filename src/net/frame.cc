@@ -1,0 +1,117 @@
+#include "net/frame.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/crc32.h"
+
+namespace turbdb {
+namespace net {
+
+namespace {
+
+void PutU32Le(uint8_t* out, uint32_t value) {
+  out[0] = static_cast<uint8_t>(value);
+  out[1] = static_cast<uint8_t>(value >> 8);
+  out[2] = static_cast<uint8_t>(value >> 16);
+  out[3] = static_cast<uint8_t>(value >> 24);
+}
+
+uint32_t GetU32Le(const uint8_t* in) {
+  return static_cast<uint32_t>(in[0]) | (static_cast<uint32_t>(in[1]) << 8) |
+         (static_cast<uint32_t>(in[2]) << 16) |
+         (static_cast<uint32_t>(in[3]) << 24);
+}
+
+/// Validates a frame header; returns the payload length.
+Result<uint32_t> CheckHeader(const uint8_t* header,
+                             uint32_t max_payload_bytes) {
+  if (GetU32Le(header) != kFrameMagic) {
+    return Status::Corruption("bad frame magic");
+  }
+  const uint32_t length = GetU32Le(header + 4);
+  if (length > max_payload_bytes) {
+    return Status::ResultTooLarge(
+        "frame payload of " + std::to_string(length) +
+        " bytes exceeds cap of " + std::to_string(max_payload_bytes));
+  }
+  return length;
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeFrame(const std::vector<uint8_t>& payload) {
+  std::vector<uint8_t> out(kFrameHeaderBytes + payload.size());
+  PutU32Le(out.data(), kFrameMagic);
+  PutU32Le(out.data() + 4, static_cast<uint32_t>(payload.size()));
+  PutU32Le(out.data() + 8, Crc32(payload.data(), payload.size()));
+  if (!payload.empty()) {
+    std::memcpy(out.data() + kFrameHeaderBytes, payload.data(),
+                payload.size());
+  }
+  return out;
+}
+
+Result<std::vector<uint8_t>> DecodeFrame(const std::vector<uint8_t>& bytes,
+                                         uint32_t max_payload_bytes) {
+  if (bytes.size() < kFrameHeaderBytes) {
+    return Status::Corruption("truncated frame header");
+  }
+  TURBDB_ASSIGN_OR_RETURN(uint32_t length,
+                          CheckHeader(bytes.data(), max_payload_bytes));
+  if (bytes.size() != kFrameHeaderBytes + length) {
+    return Status::Corruption("frame length mismatch");
+  }
+  const uint8_t* payload = bytes.data() + kFrameHeaderBytes;
+  if (Crc32(payload, length) != GetU32Le(bytes.data() + 8)) {
+    return Status::Corruption("frame CRC mismatch");
+  }
+  return std::vector<uint8_t>(payload, payload + length);
+}
+
+Status WriteFrame(const Socket& socket, const std::vector<uint8_t>& payload,
+                  Deadline deadline) {
+  uint8_t header[kFrameHeaderBytes];
+  PutU32Le(header, kFrameMagic);
+  PutU32Le(header + 4, static_cast<uint32_t>(payload.size()));
+  PutU32Le(header + 8, Crc32(payload.data(), payload.size()));
+  TURBDB_RETURN_NOT_OK(SendAll(socket, header, sizeof(header), deadline));
+  return SendAll(socket, payload.data(), payload.size(), deadline);
+}
+
+Result<std::vector<uint8_t>> ReadFrame(const Socket& socket,
+                                       Deadline deadline,
+                                       uint32_t max_payload_bytes) {
+  uint8_t header[kFrameHeaderBytes];
+  TURBDB_RETURN_NOT_OK(RecvAll(socket, header, sizeof(header), deadline));
+  auto length_or = CheckHeader(header, max_payload_bytes);
+  if (!length_or.ok() &&
+      length_or.status().code() == StatusCode::kResultTooLarge) {
+    // The header is intact, only the announced size is unacceptable.
+    // Drain the payload in bounded chunks so the stream stays framed and
+    // the caller can answer with an error instead of dropping the
+    // connection.
+    uint32_t remaining = GetU32Le(header + 4);
+    uint8_t scratch[4096];
+    while (remaining > 0) {
+      const size_t chunk =
+          std::min(remaining, static_cast<uint32_t>(sizeof(scratch)));
+      TURBDB_RETURN_NOT_OK(RecvAll(socket, scratch, chunk, deadline));
+      remaining -= static_cast<uint32_t>(chunk);
+    }
+    return length_or.status();
+  }
+  TURBDB_ASSIGN_OR_RETURN(uint32_t length, std::move(length_or));
+  std::vector<uint8_t> payload(length);
+  if (length > 0) {
+    TURBDB_RETURN_NOT_OK(
+        RecvAll(socket, payload.data(), payload.size(), deadline));
+  }
+  if (Crc32(payload.data(), payload.size()) != GetU32Le(header + 8)) {
+    return Status::Corruption("frame CRC mismatch");
+  }
+  return payload;
+}
+
+}  // namespace net
+}  // namespace turbdb

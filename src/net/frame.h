@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "net/socket.h"
+
+namespace turbdb {
+namespace net {
+
+/// The transport framing of the turbdb wire protocol. Every message —
+/// request or response — travels as one frame:
+///
+///   offset  size  field
+///   0       4     magic 'T' 'D' 'B' 'F' (0x46424454 little-endian)
+///   4       4     payload length, little-endian uint32
+///   8       4     CRC32 of the payload, little-endian uint32
+///   12      N     payload bytes
+///
+/// The CRC (same IEEE polynomial the file-backed atom store uses) makes
+/// in-flight corruption a Corruption status instead of a garbage query
+/// result; the explicit length makes oversized frames rejectable before
+/// any allocation.
+constexpr uint32_t kFrameMagic = 0x46424454u;  // "TDBF" read little-endian
+constexpr size_t kFrameHeaderBytes = 12;
+
+/// Default cap on a frame payload (64 MiB). A peer announcing more than
+/// the configured cap is either corrupt or abusive; the frame is refused
+/// without allocating.
+constexpr uint32_t kDefaultMaxFrameBytes = 64u << 20;
+
+/// Frames `payload` into a self-contained byte string (header + payload).
+std::vector<uint8_t> EncodeFrame(const std::vector<uint8_t>& payload);
+
+/// Decodes one complete frame occupying the whole of `bytes`. Returns the
+/// payload, or Corruption (bad magic / length mismatch / CRC mismatch) /
+/// ResultTooLarge (payload length above `max_payload_bytes`).
+Result<std::vector<uint8_t>> DecodeFrame(
+    const std::vector<uint8_t>& bytes,
+    uint32_t max_payload_bytes = kDefaultMaxFrameBytes);
+
+/// Writes one frame to the socket within the deadline.
+Status WriteFrame(const Socket& socket, const std::vector<uint8_t>& payload,
+                  Deadline deadline);
+
+/// Reads one frame from the socket within the deadline and returns its
+/// payload. Error taxonomy matches DecodeFrame plus the RecvAll statuses
+/// (IOError on EOF/reset, Unavailable on deadline expiry). An oversized
+/// frame is drained in bounded chunks before ResultTooLarge is returned,
+/// so the stream stays framed and the caller may keep the connection.
+Result<std::vector<uint8_t>> ReadFrame(
+    const Socket& socket, Deadline deadline,
+    uint32_t max_payload_bytes = kDefaultMaxFrameBytes);
+
+}  // namespace net
+}  // namespace turbdb

@@ -1,0 +1,480 @@
+#include "net/protocol.h"
+
+#include <cstring>
+
+#include "wire/serializer.h"
+
+namespace turbdb {
+namespace net {
+
+namespace {
+
+// -- Primitive put/get helpers on top of the wire varint ----------------
+
+void PutZigZag64(std::vector<uint8_t>* out, int64_t value) {
+  const uint64_t encoded =
+      (static_cast<uint64_t>(value) << 1) ^
+      static_cast<uint64_t>(value >> 63);
+  PutVarint64(out, encoded);
+}
+
+Result<int64_t> GetZigZag64(const std::vector<uint8_t>& bytes, size_t* pos) {
+  TURBDB_ASSIGN_OR_RETURN(uint64_t encoded, GetVarint64(bytes, pos));
+  return static_cast<int64_t>((encoded >> 1) ^ (~(encoded & 1) + 1));
+}
+
+void PutDouble(std::vector<uint8_t>* out, double value) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(value));
+  std::memcpy(&bits, &value, sizeof(bits));
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<uint8_t>(bits >> (8 * i)));
+  }
+}
+
+Result<double> GetDouble(const std::vector<uint8_t>& bytes, size_t* pos) {
+  if (*pos + 8 > bytes.size()) return Status::Corruption("truncated double");
+  uint64_t bits = 0;
+  for (int i = 0; i < 8; ++i) {
+    bits |= static_cast<uint64_t>(bytes[*pos + static_cast<size_t>(i)])
+            << (8 * i);
+  }
+  *pos += 8;
+  double value;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+void PutString(std::vector<uint8_t>* out, const std::string& str) {
+  PutVarint64(out, str.size());
+  out->insert(out->end(), str.begin(), str.end());
+}
+
+Result<std::string> GetString(const std::vector<uint8_t>& bytes,
+                              size_t* pos) {
+  TURBDB_ASSIGN_OR_RETURN(uint64_t length, GetVarint64(bytes, pos));
+  if (length > bytes.size() - *pos) {
+    return Status::Corruption("truncated string");
+  }
+  std::string out(reinterpret_cast<const char*>(bytes.data() + *pos),
+                  static_cast<size_t>(length));
+  *pos += static_cast<size_t>(length);
+  return out;
+}
+
+void PutBool(std::vector<uint8_t>* out, bool value) {
+  out->push_back(value ? 1 : 0);
+}
+
+Result<bool> GetBool(const std::vector<uint8_t>& bytes, size_t* pos) {
+  if (*pos >= bytes.size()) return Status::Corruption("truncated bool");
+  const uint8_t byte = bytes[(*pos)++];
+  if (byte > 1) return Status::Corruption("bad bool value");
+  return byte == 1;
+}
+
+/// Point sets ride as a length-prefixed nested EncodePointsBinary blob.
+/// The delta coding there is mod-2^64, so it round-trips any ordering
+/// (top-k results are norm-sorted, not z-sorted); sorted input just
+/// compresses best.
+void PutPoints(std::vector<uint8_t>* out,
+               const std::vector<ThresholdPoint>& points) {
+  const std::vector<uint8_t> blob = EncodePointsBinary(points);
+  PutVarint64(out, blob.size());
+  out->insert(out->end(), blob.begin(), blob.end());
+}
+
+Result<std::vector<ThresholdPoint>> GetPoints(
+    const std::vector<uint8_t>& bytes, size_t* pos) {
+  TURBDB_ASSIGN_OR_RETURN(uint64_t length, GetVarint64(bytes, pos));
+  if (length > bytes.size() - *pos) {
+    return Status::Corruption("truncated point blob");
+  }
+  const std::vector<uint8_t> blob(
+      bytes.begin() + static_cast<ptrdiff_t>(*pos),
+      bytes.begin() + static_cast<ptrdiff_t>(*pos + length));
+  *pos += static_cast<size_t>(length);
+  return DecodePointsBinary(blob);
+}
+
+void PutTime(std::vector<uint8_t>* out, const TimeBreakdown& time) {
+  PutDouble(out, time.cache_lookup_s);
+  PutDouble(out, time.io_s);
+  PutDouble(out, time.compute_s);
+  PutDouble(out, time.mediator_db_comm_s);
+  PutDouble(out, time.mediator_user_comm_s);
+}
+
+Result<TimeBreakdown> GetTime(const std::vector<uint8_t>& bytes,
+                              size_t* pos) {
+  TimeBreakdown time;
+  TURBDB_ASSIGN_OR_RETURN(time.cache_lookup_s, GetDouble(bytes, pos));
+  TURBDB_ASSIGN_OR_RETURN(time.io_s, GetDouble(bytes, pos));
+  TURBDB_ASSIGN_OR_RETURN(time.compute_s, GetDouble(bytes, pos));
+  TURBDB_ASSIGN_OR_RETURN(time.mediator_db_comm_s, GetDouble(bytes, pos));
+  TURBDB_ASSIGN_OR_RETURN(time.mediator_user_comm_s, GetDouble(bytes, pos));
+  return time;
+}
+
+// -- Shared query-field layout ------------------------------------------
+
+void PutQueryCommon(std::vector<uint8_t>* out, const std::string& dataset,
+                    const std::string& raw_field,
+                    const std::string& derived_field, int32_t timestep,
+                    const Box3& box, int fd_order) {
+  PutString(out, dataset);
+  PutString(out, raw_field);
+  PutString(out, derived_field);
+  PutZigZag64(out, timestep);
+  for (int d = 0; d < 3; ++d) PutZigZag64(out, box.lo[static_cast<size_t>(d)]);
+  for (int d = 0; d < 3; ++d) PutZigZag64(out, box.hi[static_cast<size_t>(d)]);
+  PutZigZag64(out, fd_order);
+}
+
+template <typename Q>
+Status GetQueryCommon(const std::vector<uint8_t>& bytes, size_t* pos,
+                      Q* query) {
+  TURBDB_ASSIGN_OR_RETURN(query->dataset, GetString(bytes, pos));
+  TURBDB_ASSIGN_OR_RETURN(query->raw_field, GetString(bytes, pos));
+  TURBDB_ASSIGN_OR_RETURN(query->derived_field, GetString(bytes, pos));
+  TURBDB_ASSIGN_OR_RETURN(int64_t timestep, GetZigZag64(bytes, pos));
+  query->timestep = static_cast<int32_t>(timestep);
+  for (int d = 0; d < 3; ++d) {
+    TURBDB_ASSIGN_OR_RETURN(query->box.lo[static_cast<size_t>(d)],
+                            GetZigZag64(bytes, pos));
+  }
+  for (int d = 0; d < 3; ++d) {
+    TURBDB_ASSIGN_OR_RETURN(query->box.hi[static_cast<size_t>(d)],
+                            GetZigZag64(bytes, pos));
+  }
+  TURBDB_ASSIGN_OR_RETURN(int64_t fd_order, GetZigZag64(bytes, pos));
+  query->fd_order = static_cast<int>(fd_order);
+  return Status::OK();
+}
+
+void PutHeader(std::vector<uint8_t>* out, MsgType type,
+               const RpcOptions& rpc) {
+  PutVarint64(out, static_cast<uint64_t>(type));
+  PutVarint64(out, rpc.deadline_ms);
+}
+
+/// Reads the message type and, when it is an error frame, the carried
+/// Status; any other unexpected type is Corruption.
+Status ExpectType(const std::vector<uint8_t>& bytes, size_t* pos,
+                  MsgType expected) {
+  TURBDB_ASSIGN_OR_RETURN(uint64_t raw, GetVarint64(bytes, pos));
+  if (raw == static_cast<uint64_t>(expected)) return Status::OK();
+  if (raw == static_cast<uint64_t>(MsgType::kErrorResponse)) {
+    TURBDB_ASSIGN_OR_RETURN(uint64_t code, GetVarint64(bytes, pos));
+    TURBDB_ASSIGN_OR_RETURN(std::string message, GetString(bytes, pos));
+    if (code == 0 ||
+        code > static_cast<uint64_t>(StatusCode::kInternal)) {
+      return Status::Corruption("error frame with bad status code");
+    }
+    return Status(static_cast<StatusCode>(code), std::move(message));
+  }
+  return Status::Corruption("unexpected message type " +
+                            std::to_string(raw));
+}
+
+Status CheckConsumed(const std::vector<uint8_t>& bytes, size_t pos) {
+  if (pos != bytes.size()) {
+    return Status::Corruption("trailing bytes in message");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+// -- Requests ------------------------------------------------------------
+
+std::vector<uint8_t> EncodeRequest(const ThresholdRequest& request) {
+  std::vector<uint8_t> out;
+  PutHeader(&out, MsgType::kThresholdRequest, request.rpc);
+  PutQueryCommon(&out, request.query.dataset, request.query.raw_field,
+                 request.query.derived_field, request.query.timestep,
+                 request.query.box, request.query.fd_order);
+  PutDouble(&out, request.query.threshold);
+  PutBool(&out, request.options.use_cache);
+  PutBool(&out, request.options.io_only);
+  PutZigZag64(&out, request.options.processes_per_node);
+  PutVarint64(&out, request.options.max_result_points);
+  return out;
+}
+
+std::vector<uint8_t> EncodeRequest(const PdfRequest& request) {
+  std::vector<uint8_t> out;
+  PutHeader(&out, MsgType::kPdfRequest, request.rpc);
+  PutQueryCommon(&out, request.query.dataset, request.query.raw_field,
+                 request.query.derived_field, request.query.timestep,
+                 request.query.box, request.query.fd_order);
+  PutDouble(&out, request.query.bin_width);
+  PutZigZag64(&out, request.query.num_bins);
+  return out;
+}
+
+std::vector<uint8_t> EncodeRequest(const TopKRequest& request) {
+  std::vector<uint8_t> out;
+  PutHeader(&out, MsgType::kTopKRequest, request.rpc);
+  PutQueryCommon(&out, request.query.dataset, request.query.raw_field,
+                 request.query.derived_field, request.query.timestep,
+                 request.query.box, request.query.fd_order);
+  PutVarint64(&out, request.query.k);
+  return out;
+}
+
+std::vector<uint8_t> EncodeRequest(const FieldStatsRequest& request) {
+  std::vector<uint8_t> out;
+  PutHeader(&out, MsgType::kFieldStatsRequest, request.rpc);
+  PutQueryCommon(&out, request.query.dataset, request.query.raw_field,
+                 request.query.derived_field, request.query.timestep,
+                 request.query.box, request.query.fd_order);
+  return out;
+}
+
+std::vector<uint8_t> EncodeRequest(const ServerStatsRequest& request) {
+  std::vector<uint8_t> out;
+  PutHeader(&out, MsgType::kServerStatsRequest, request.rpc);
+  return out;
+}
+
+std::vector<uint8_t> EncodeRequest(const PingRequest& request) {
+  std::vector<uint8_t> out;
+  PutHeader(&out, MsgType::kPingRequest, request.rpc);
+  PutVarint64(&out, request.delay_ms);
+  return out;
+}
+
+Result<Request> DecodeRequest(const std::vector<uint8_t>& payload) {
+  size_t pos = 0;
+  TURBDB_ASSIGN_OR_RETURN(uint64_t raw, GetVarint64(payload, &pos));
+  RpcOptions rpc;
+  TURBDB_ASSIGN_OR_RETURN(rpc.deadline_ms, GetVarint64(payload, &pos));
+  switch (static_cast<MsgType>(raw)) {
+    case MsgType::kThresholdRequest: {
+      ThresholdRequest request;
+      request.rpc = rpc;
+      TURBDB_RETURN_NOT_OK(
+          GetQueryCommon(payload, &pos, &request.query));
+      TURBDB_ASSIGN_OR_RETURN(request.query.threshold,
+                              GetDouble(payload, &pos));
+      TURBDB_ASSIGN_OR_RETURN(request.options.use_cache,
+                              GetBool(payload, &pos));
+      TURBDB_ASSIGN_OR_RETURN(request.options.io_only,
+                              GetBool(payload, &pos));
+      TURBDB_ASSIGN_OR_RETURN(int64_t processes, GetZigZag64(payload, &pos));
+      request.options.processes_per_node = static_cast<int>(processes);
+      TURBDB_ASSIGN_OR_RETURN(request.options.max_result_points,
+                              GetVarint64(payload, &pos));
+      TURBDB_RETURN_NOT_OK(CheckConsumed(payload, pos));
+      return Request(std::move(request));
+    }
+    case MsgType::kPdfRequest: {
+      PdfRequest request;
+      request.rpc = rpc;
+      TURBDB_RETURN_NOT_OK(
+          GetQueryCommon(payload, &pos, &request.query));
+      TURBDB_ASSIGN_OR_RETURN(request.query.bin_width,
+                              GetDouble(payload, &pos));
+      TURBDB_ASSIGN_OR_RETURN(int64_t num_bins, GetZigZag64(payload, &pos));
+      request.query.num_bins = static_cast<int>(num_bins);
+      TURBDB_RETURN_NOT_OK(CheckConsumed(payload, pos));
+      return Request(std::move(request));
+    }
+    case MsgType::kTopKRequest: {
+      TopKRequest request;
+      request.rpc = rpc;
+      TURBDB_RETURN_NOT_OK(
+          GetQueryCommon(payload, &pos, &request.query));
+      TURBDB_ASSIGN_OR_RETURN(request.query.k, GetVarint64(payload, &pos));
+      TURBDB_RETURN_NOT_OK(CheckConsumed(payload, pos));
+      return Request(std::move(request));
+    }
+    case MsgType::kFieldStatsRequest: {
+      FieldStatsRequest request;
+      request.rpc = rpc;
+      TURBDB_RETURN_NOT_OK(
+          GetQueryCommon(payload, &pos, &request.query));
+      TURBDB_RETURN_NOT_OK(CheckConsumed(payload, pos));
+      return Request(std::move(request));
+    }
+    case MsgType::kServerStatsRequest: {
+      ServerStatsRequest request;
+      request.rpc = rpc;
+      TURBDB_RETURN_NOT_OK(CheckConsumed(payload, pos));
+      return Request(request);
+    }
+    case MsgType::kPingRequest: {
+      PingRequest request;
+      request.rpc = rpc;
+      TURBDB_ASSIGN_OR_RETURN(request.delay_ms, GetVarint64(payload, &pos));
+      TURBDB_RETURN_NOT_OK(CheckConsumed(payload, pos));
+      return Request(request);
+    }
+    default:
+      return Status::Corruption("unknown request type " +
+                                std::to_string(raw));
+  }
+}
+
+// -- Responses -----------------------------------------------------------
+
+std::vector<uint8_t> EncodeErrorResponse(const Status& status) {
+  std::vector<uint8_t> out;
+  PutVarint64(&out, static_cast<uint64_t>(MsgType::kErrorResponse));
+  PutVarint64(&out, static_cast<uint64_t>(status.code()));
+  PutString(&out, status.message());
+  return out;
+}
+
+std::vector<uint8_t> EncodeResponse(const ThresholdResult& result) {
+  std::vector<uint8_t> out;
+  PutVarint64(&out, static_cast<uint64_t>(MsgType::kThresholdResponse));
+  PutPoints(&out, result.points);
+  PutBool(&out, result.all_cache_hits);
+  PutVarint64(&out, result.result_bytes_binary);
+  PutVarint64(&out, result.result_bytes_xml);
+  PutTime(&out, result.time);
+  return out;
+}
+
+std::vector<uint8_t> EncodeResponse(const PdfResult& result) {
+  std::vector<uint8_t> out;
+  PutVarint64(&out, static_cast<uint64_t>(MsgType::kPdfResponse));
+  PutVarint64(&out, result.counts.size());
+  for (uint64_t count : result.counts) PutVarint64(&out, count);
+  PutDouble(&out, result.bin_width);
+  PutVarint64(&out, result.total_points);
+  PutTime(&out, result.time);
+  return out;
+}
+
+std::vector<uint8_t> EncodeResponse(const TopKResult& result) {
+  std::vector<uint8_t> out;
+  PutVarint64(&out, static_cast<uint64_t>(MsgType::kTopKResponse));
+  PutPoints(&out, result.points);
+  PutTime(&out, result.time);
+  return out;
+}
+
+std::vector<uint8_t> EncodeResponse(const FieldStatsResult& result) {
+  std::vector<uint8_t> out;
+  PutVarint64(&out, static_cast<uint64_t>(MsgType::kFieldStatsResponse));
+  PutVarint64(&out, result.count);
+  PutDouble(&out, result.mean);
+  PutDouble(&out, result.rms);
+  PutDouble(&out, result.max);
+  PutTime(&out, result.time);
+  return out;
+}
+
+std::vector<uint8_t> EncodeResponse(const ServerStatsReply& reply) {
+  std::vector<uint8_t> out;
+  PutVarint64(&out, static_cast<uint64_t>(MsgType::kServerStatsResponse));
+  PutVarint64(&out, reply.requests_ok);
+  PutVarint64(&out, reply.requests_error);
+  PutVarint64(&out, reply.bytes_in);
+  PutVarint64(&out, reply.bytes_out);
+  PutVarint64(&out, reply.connections_accepted);
+  PutVarint64(&out, reply.active_connections);
+  PutDouble(&out, reply.p50_latency_ms);
+  PutDouble(&out, reply.p99_latency_ms);
+  return out;
+}
+
+std::vector<uint8_t> EncodePingResponse() {
+  std::vector<uint8_t> out;
+  PutVarint64(&out, static_cast<uint64_t>(MsgType::kPingResponse));
+  return out;
+}
+
+Result<ThresholdResult> DecodeThresholdResponse(
+    const std::vector<uint8_t>& payload) {
+  size_t pos = 0;
+  TURBDB_RETURN_NOT_OK(
+      ExpectType(payload, &pos, MsgType::kThresholdResponse));
+  ThresholdResult result;
+  TURBDB_ASSIGN_OR_RETURN(result.points, GetPoints(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(result.all_cache_hits, GetBool(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(result.result_bytes_binary,
+                          GetVarint64(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(result.result_bytes_xml,
+                          GetVarint64(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(result.time, GetTime(payload, &pos));
+  TURBDB_RETURN_NOT_OK(CheckConsumed(payload, pos));
+  return result;
+}
+
+Result<PdfResult> DecodePdfResponse(const std::vector<uint8_t>& payload) {
+  size_t pos = 0;
+  TURBDB_RETURN_NOT_OK(ExpectType(payload, &pos, MsgType::kPdfResponse));
+  PdfResult result;
+  TURBDB_ASSIGN_OR_RETURN(uint64_t bins, GetVarint64(payload, &pos));
+  if (bins > payload.size() - pos) {
+    return Status::Corruption("implausible bin count");
+  }
+  result.counts.reserve(static_cast<size_t>(bins));
+  for (uint64_t i = 0; i < bins; ++i) {
+    TURBDB_ASSIGN_OR_RETURN(uint64_t count, GetVarint64(payload, &pos));
+    result.counts.push_back(count);
+  }
+  TURBDB_ASSIGN_OR_RETURN(result.bin_width, GetDouble(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(result.total_points, GetVarint64(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(result.time, GetTime(payload, &pos));
+  TURBDB_RETURN_NOT_OK(CheckConsumed(payload, pos));
+  return result;
+}
+
+Result<TopKResult> DecodeTopKResponse(const std::vector<uint8_t>& payload) {
+  size_t pos = 0;
+  TURBDB_RETURN_NOT_OK(ExpectType(payload, &pos, MsgType::kTopKResponse));
+  TopKResult result;
+  TURBDB_ASSIGN_OR_RETURN(result.points, GetPoints(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(result.time, GetTime(payload, &pos));
+  TURBDB_RETURN_NOT_OK(CheckConsumed(payload, pos));
+  return result;
+}
+
+Result<FieldStatsResult> DecodeFieldStatsResponse(
+    const std::vector<uint8_t>& payload) {
+  size_t pos = 0;
+  TURBDB_RETURN_NOT_OK(
+      ExpectType(payload, &pos, MsgType::kFieldStatsResponse));
+  FieldStatsResult result;
+  TURBDB_ASSIGN_OR_RETURN(result.count, GetVarint64(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(result.mean, GetDouble(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(result.rms, GetDouble(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(result.max, GetDouble(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(result.time, GetTime(payload, &pos));
+  TURBDB_RETURN_NOT_OK(CheckConsumed(payload, pos));
+  return result;
+}
+
+Result<ServerStatsReply> DecodeServerStatsResponse(
+    const std::vector<uint8_t>& payload) {
+  size_t pos = 0;
+  TURBDB_RETURN_NOT_OK(
+      ExpectType(payload, &pos, MsgType::kServerStatsResponse));
+  ServerStatsReply reply;
+  TURBDB_ASSIGN_OR_RETURN(reply.requests_ok, GetVarint64(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(reply.requests_error, GetVarint64(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(reply.bytes_in, GetVarint64(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(reply.bytes_out, GetVarint64(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(reply.connections_accepted,
+                          GetVarint64(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(reply.active_connections,
+                          GetVarint64(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(reply.p50_latency_ms, GetDouble(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(reply.p99_latency_ms, GetDouble(payload, &pos));
+  TURBDB_RETURN_NOT_OK(CheckConsumed(payload, pos));
+  return reply;
+}
+
+Status DecodePingResponse(const std::vector<uint8_t>& payload) {
+  size_t pos = 0;
+  TURBDB_RETURN_NOT_OK(ExpectType(payload, &pos, MsgType::kPingResponse));
+  return CheckConsumed(payload, pos);
+}
+
+}  // namespace net
+}  // namespace turbdb

@@ -1,0 +1,132 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/result.h"
+#include "query/query.h"
+
+namespace turbdb {
+namespace net {
+
+/// Message discriminator, the first varint of every frame payload.
+/// Requests and responses share the numbering space; responses are the
+/// request value + 64, errors are 127.
+enum class MsgType : uint8_t {
+  kThresholdRequest = 1,
+  kPdfRequest = 2,
+  kTopKRequest = 3,
+  kFieldStatsRequest = 4,
+  kServerStatsRequest = 5,
+  kPingRequest = 6,
+
+  kThresholdResponse = 65,
+  kPdfResponse = 66,
+  kTopKResponse = 67,
+  kFieldStatsResponse = 68,
+  kServerStatsResponse = 69,
+  kPingResponse = 70,
+
+  kErrorResponse = 127,
+};
+
+/// Options every request carries. `deadline_ms` is the client's total
+/// budget for the request measured from the moment the server reads it
+/// off the wire; 0 means "use the server default". The server refuses to
+/// start (and refuses to *reply* with data) once the budget is exhausted,
+/// so an expired request costs one small error frame, not a result dump.
+struct RpcOptions {
+  uint64_t deadline_ms = 0;
+};
+
+struct ThresholdRequest {
+  ThresholdQuery query;
+  QueryOptions options;
+  RpcOptions rpc;
+};
+
+struct PdfRequest {
+  PdfQuery query;
+  RpcOptions rpc;
+};
+
+struct TopKRequest {
+  TopKQuery query;
+  RpcOptions rpc;
+};
+
+struct FieldStatsRequest {
+  FieldStatsQuery query;
+  RpcOptions rpc;
+};
+
+/// Asks for the server's own request counters (the `stats` RPC).
+struct ServerStatsRequest {
+  RpcOptions rpc;
+};
+
+/// Liveness probe. `delay_ms` makes the server sleep before answering —
+/// used by tests (and operators) to exercise deadline handling.
+struct PingRequest {
+  uint64_t delay_ms = 0;
+  RpcOptions rpc;
+};
+
+using Request =
+    std::variant<ThresholdRequest, PdfRequest, TopKRequest,
+                 FieldStatsRequest, ServerStatsRequest, PingRequest>;
+
+/// Server-side request counters surfaced through the stats RPC.
+struct ServerStatsReply {
+  uint64_t requests_ok = 0;
+  uint64_t requests_error = 0;
+  uint64_t bytes_in = 0;        ///< Frame bytes read (headers + payloads).
+  uint64_t bytes_out = 0;       ///< Frame bytes written.
+  uint64_t connections_accepted = 0;
+  uint64_t active_connections = 0;
+  double p50_latency_ms = 0.0;  ///< Over the most recent served requests.
+  double p99_latency_ms = 0.0;
+};
+
+// -- Request encoding ----------------------------------------------------
+
+std::vector<uint8_t> EncodeRequest(const ThresholdRequest& request);
+std::vector<uint8_t> EncodeRequest(const PdfRequest& request);
+std::vector<uint8_t> EncodeRequest(const TopKRequest& request);
+std::vector<uint8_t> EncodeRequest(const FieldStatsRequest& request);
+std::vector<uint8_t> EncodeRequest(const ServerStatsRequest& request);
+std::vector<uint8_t> EncodeRequest(const PingRequest& request);
+
+/// Decodes any request frame payload (server side).
+Result<Request> DecodeRequest(const std::vector<uint8_t>& payload);
+
+// -- Response encoding ---------------------------------------------------
+
+/// Encodes a failed request. `status` must be non-OK.
+std::vector<uint8_t> EncodeErrorResponse(const Status& status);
+
+std::vector<uint8_t> EncodeResponse(const ThresholdResult& result);
+std::vector<uint8_t> EncodeResponse(const PdfResult& result);
+std::vector<uint8_t> EncodeResponse(const TopKResult& result);
+std::vector<uint8_t> EncodeResponse(const FieldStatsResult& result);
+std::vector<uint8_t> EncodeResponse(const ServerStatsReply& reply);
+std::vector<uint8_t> EncodePingResponse();
+
+/// Response decoders (client side). An error frame decodes into the
+/// Status the server sent; a type other than the expected one is
+/// Corruption. Wall-clock and per-node stats are not carried over the
+/// wire: `wall_seconds` is 0 and `node_stats` empty in decoded results.
+Result<ThresholdResult> DecodeThresholdResponse(
+    const std::vector<uint8_t>& payload);
+Result<PdfResult> DecodePdfResponse(const std::vector<uint8_t>& payload);
+Result<TopKResult> DecodeTopKResponse(const std::vector<uint8_t>& payload);
+Result<FieldStatsResult> DecodeFieldStatsResponse(
+    const std::vector<uint8_t>& payload);
+Result<ServerStatsReply> DecodeServerStatsResponse(
+    const std::vector<uint8_t>& payload);
+Status DecodePingResponse(const std::vector<uint8_t>& payload);
+
+}  // namespace net
+}  // namespace turbdb

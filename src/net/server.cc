@@ -1,0 +1,244 @@
+#include "net/server.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "cluster/mediator.h"
+#include "common/logging.h"
+
+namespace turbdb {
+namespace net {
+
+namespace {
+
+constexpr size_t kLatencyWindow = 4096;
+
+/// A percentile over an unordered sample (nearest-rank).
+double Percentile(std::vector<double> sample, double fraction) {
+  if (sample.empty()) return 0.0;
+  const size_t rank = std::min(
+      sample.size() - 1,
+      static_cast<size_t>(fraction * static_cast<double>(sample.size())));
+  std::nth_element(sample.begin(),
+                   sample.begin() + static_cast<ptrdiff_t>(rank),
+                   sample.end());
+  return sample[rank];
+}
+
+Status DeadlineExceeded() {
+  return Status::Unavailable("deadline exceeded");
+}
+
+}  // namespace
+
+Server::Server(Mediator* mediator, const ServerOptions& options)
+    : mediator_(mediator), options_(options) {
+  latencies_ms_.resize(kLatencyWindow, 0.0);
+}
+
+Result<std::unique_ptr<Server>> Server::Start(Mediator* mediator,
+                                              const ServerOptions& options) {
+  if (mediator == nullptr) {
+    return Status::InvalidArgument("server needs a mediator");
+  }
+  std::unique_ptr<Server> server(new Server(mediator, options));
+  TURBDB_ASSIGN_OR_RETURN(
+      server->listener_,
+      TcpListen(options.bind_address, options.port));
+  TURBDB_ASSIGN_OR_RETURN(server->port_, LocalPort(server->listener_));
+  server->pool_ =
+      std::make_unique<ThreadPool>(std::max(1, options.num_workers));
+  server->accept_thread_ = std::thread([s = server.get()] {
+    s->AcceptLoop();
+  });
+  return server;
+}
+
+Server::~Server() { Stop(); }
+
+void Server::Stop() {
+  if (stop_.exchange(true)) {
+    // Second caller (e.g. the destructor after an explicit Stop) still
+    // has to wait for the first teardown to finish.
+    if (accept_thread_.joinable()) accept_thread_.join();
+    return;
+  }
+  listener_.ShutdownBoth();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  // Destroying the pool joins the workers; handlers notice stop_ within
+  // one idle poll and return after their in-flight request.
+  pool_.reset();
+  listener_.Close();
+}
+
+void Server::AcceptLoop() {
+  while (!stop_.load()) {
+    auto conn = AcceptWithTimeout(listener_, options_.idle_poll_ms);
+    if (!conn.ok()) {
+      if (stop_.load()) break;
+      // Timeouts are the idle heartbeat; real accept errors are logged
+      // and the loop keeps serving (a bad client must not kill the
+      // listener).
+      if (conn.status().code() != StatusCode::kUnavailable) {
+        TURBDB_LOG(Warning) << "accept failed: " << conn.status();
+      }
+      continue;
+    }
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++connections_accepted_;
+      ++active_connections_;
+    }
+    pool_->Submit([this, c = std::move(conn).value()]() mutable {
+      ServeConnection(std::move(c));
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      --active_connections_;
+    });
+  }
+}
+
+void Server::ServeConnection(Socket conn) {
+  while (!stop_.load()) {
+    Status readable = WaitReadable(conn, options_.idle_poll_ms);
+    if (!readable.ok()) {
+      if (readable.code() == StatusCode::kUnavailable) continue;
+      break;
+    }
+    auto payload = ReadFrame(
+        conn, Deadline::After(static_cast<int64_t>(options_.default_deadline_ms)),
+        options_.max_frame_bytes);
+    if (!payload.ok()) {
+      // An oversized frame was drained by ReadFrame, so the stream is
+      // still synced: refuse it with an error and keep serving. Any
+      // other stream-level failure (bad magic, CRC mismatch, torn read)
+      // leaves the framing untrustworthy and closes the connection.
+      if (payload.status().code() == StatusCode::kResultTooLarge) {
+        const auto frame = EncodeErrorResponse(payload.status());
+        Status written = WriteFrame(conn, frame, Deadline::After(1000));
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++requests_error_;
+        if (written.ok()) bytes_out_ += kFrameHeaderBytes + frame.size();
+        continue;
+      }
+      break;
+    }
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      bytes_in_ += kFrameHeaderBytes + payload->size();
+    }
+    const std::vector<uint8_t> response = HandleRequest(*payload);
+    Status written = WriteFrame(
+        conn, response,
+        Deadline::After(static_cast<int64_t>(options_.default_deadline_ms)));
+    if (!written.ok()) break;
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    bytes_out_ += kFrameHeaderBytes + response.size();
+  }
+  conn.Close();
+}
+
+std::vector<uint8_t> Server::HandleRequest(
+    const std::vector<uint8_t>& payload) {
+  const auto started = std::chrono::steady_clock::now();
+
+  auto request_or = DecodeRequest(payload);
+  std::vector<uint8_t> response;
+  Status outcome;
+  if (!request_or.ok()) {
+    outcome = request_or.status();
+    response = EncodeErrorResponse(outcome);
+  } else {
+    const Request& request = *request_or;
+    const RpcOptions& rpc = std::visit(
+        [](const auto& r) -> const RpcOptions& { return r.rpc; }, request);
+    const uint64_t budget_ms = rpc.deadline_ms != 0
+                                   ? rpc.deadline_ms
+                                   : options_.default_deadline_ms;
+    const Deadline deadline =
+        Deadline::After(static_cast<int64_t>(budget_ms));
+
+    auto finish = [&](auto&& result_or) {
+      if (!result_or.ok()) {
+        outcome = result_or.status();
+      } else if (deadline.Expired()) {
+        // The result is ready but stale: the client stopped waiting.
+        // Sending a small error instead of a large dead result is the
+        // whole point of carrying the deadline server-side.
+        outcome = DeadlineExceeded();
+      } else {
+        outcome = Status::OK();
+        response = EncodeResponse(*result_or);
+      }
+      if (!outcome.ok()) response = EncodeErrorResponse(outcome);
+    };
+
+    if (std::holds_alternative<ThresholdRequest>(request)) {
+      const auto& req = std::get<ThresholdRequest>(request);
+      finish(mediator_->GetThreshold(req.query, req.options));
+    } else if (std::holds_alternative<PdfRequest>(request)) {
+      finish(mediator_->GetPdf(std::get<PdfRequest>(request).query));
+    } else if (std::holds_alternative<TopKRequest>(request)) {
+      finish(mediator_->GetTopK(std::get<TopKRequest>(request).query));
+    } else if (std::holds_alternative<FieldStatsRequest>(request)) {
+      finish(
+          mediator_->GetFieldStats(std::get<FieldStatsRequest>(request).query));
+    } else if (std::holds_alternative<ServerStatsRequest>(request)) {
+      outcome = Status::OK();
+      response = EncodeResponse(stats());
+    } else {
+      // Ping: sleep the requested delay in stop-aware slices, then
+      // honour the deadline exactly like a query would.
+      const auto& req = std::get<PingRequest>(request);
+      const auto wake = started + std::chrono::milliseconds(req.delay_ms);
+      while (!stop_.load() && std::chrono::steady_clock::now() < wake) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(
+            std::min<int64_t>(options_.idle_poll_ms, 10)));
+      }
+      if (deadline.Expired()) {
+        outcome = DeadlineExceeded();
+        response = EncodeErrorResponse(outcome);
+      } else {
+        outcome = Status::OK();
+        response = EncodePingResponse();
+      }
+    }
+  }
+
+  const double latency_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - started)
+          .count();
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    if (outcome.ok()) {
+      ++requests_ok_;
+    } else {
+      ++requests_error_;
+    }
+    latencies_ms_[latency_next_] = latency_ms;
+    latency_next_ = (latency_next_ + 1) % latencies_ms_.size();
+    if (latency_next_ == 0) latency_full_ = true;
+  }
+  return response;
+}
+
+ServerStatsReply Server::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  ServerStatsReply reply;
+  reply.requests_ok = requests_ok_;
+  reply.requests_error = requests_error_;
+  reply.bytes_in = bytes_in_;
+  reply.bytes_out = bytes_out_;
+  reply.connections_accepted = connections_accepted_;
+  reply.active_connections = active_connections_;
+  const size_t filled = latency_full_ ? latencies_ms_.size() : latency_next_;
+  std::vector<double> sample(latencies_ms_.begin(),
+                             latencies_ms_.begin() +
+                                 static_cast<ptrdiff_t>(filled));
+  reply.p50_latency_ms = Percentile(sample, 0.50);
+  reply.p99_latency_ms = Percentile(std::move(sample), 0.99);
+  return reply;
+}
+
+}  // namespace net
+}  // namespace turbdb

@@ -1,0 +1,104 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "net/frame.h"
+#include "net/protocol.h"
+#include "net/socket.h"
+
+namespace turbdb {
+
+class Mediator;
+
+namespace net {
+
+struct ServerOptions {
+  std::string bind_address = "127.0.0.1";
+  /// 0 binds an ephemeral port; read it back with Server::port().
+  uint16_t port = 0;
+  /// Connection-handling threads; each serves one connection at a time.
+  int num_workers = 4;
+  /// Frames above this payload size are refused.
+  uint32_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Budget applied to requests that do not carry their own deadline.
+  uint64_t default_deadline_ms = 60000;
+  /// How often blocked accept/read loops wake to notice Stop(). Smaller
+  /// values shut down faster at the cost of idle wakeups.
+  int idle_poll_ms = 100;
+};
+
+/// The networked face of the mediator (the paper's Fig. 1 Web-server
+/// role, minus SOAP): accepts TCP connections, reads framed requests,
+/// executes them against the in-process Mediator and writes framed
+/// responses. Connections are handled concurrently on a thread pool;
+/// requests on one connection are served in order.
+///
+/// Failure policy: anything wrong with a *request* (unknown type, failed
+/// query, expired deadline, oversized frame) gets an error frame back and
+/// the connection stays open; anything wrong with the *stream* (bad
+/// magic, CRC mismatch, torn read) closes the connection, because framing
+/// can no longer be trusted.
+class Server {
+ public:
+  /// Binds, starts the accept loop and worker pool. The mediator must
+  /// outlive the server.
+  static Result<std::unique_ptr<Server>> Start(Mediator* mediator,
+                                               const ServerOptions& options);
+
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Graceful shutdown: stop accepting, let in-flight requests finish,
+  /// join every thread. Idempotent; also run by the destructor.
+  void Stop();
+
+  uint16_t port() const { return port_; }
+
+  /// Snapshot of the request counters (also served remotely via the
+  /// stats RPC).
+  ServerStatsReply stats() const;
+
+ private:
+  Server(Mediator* mediator, const ServerOptions& options);
+
+  void AcceptLoop();
+  void ServeConnection(Socket conn);
+
+  /// Decodes and executes one request payload; returns the response
+  /// payload (success or error frame body).
+  std::vector<uint8_t> HandleRequest(const std::vector<uint8_t>& payload);
+
+  Mediator* mediator_;
+  ServerOptions options_;
+  Socket listener_;
+  uint16_t port_ = 0;
+
+  std::atomic<bool> stop_{false};
+  std::thread accept_thread_;
+  std::unique_ptr<ThreadPool> pool_;
+
+  mutable std::mutex stats_mutex_;
+  uint64_t requests_ok_ = 0;
+  uint64_t requests_error_ = 0;
+  uint64_t bytes_in_ = 0;
+  uint64_t bytes_out_ = 0;
+  uint64_t connections_accepted_ = 0;
+  uint64_t active_connections_ = 0;
+  /// Ring buffer of the most recent request latencies (ms) for the
+  /// percentile estimates.
+  std::vector<double> latencies_ms_;
+  size_t latency_next_ = 0;
+  bool latency_full_ = false;
+};
+
+}  // namespace net
+}  // namespace turbdb

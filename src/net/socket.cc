@@ -1,0 +1,247 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <climits>
+#include <cstring>
+
+namespace turbdb {
+namespace net {
+
+namespace {
+
+Status ErrnoStatus(const char* what, int err) {
+  return Status::IOError(std::string(what) + ": " + std::strerror(err));
+}
+
+Status SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return ErrnoStatus("fcntl(O_NONBLOCK)", errno);
+  }
+  return Status::OK();
+}
+
+/// Waits for `events` (POLLIN/POLLOUT) on fd within the deadline.
+/// Returns Unavailable on timeout.
+Status PollFor(int fd, short events, Deadline deadline, const char* what) {
+  for (;;) {
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = events;
+    pfd.revents = 0;
+    const int timeout = deadline.PollTimeoutMs();
+    if (!deadline.infinite() && timeout <= 0) {
+      return Status::Unavailable(std::string(what) + " timeout");
+    }
+    const int rc = ::poll(&pfd, 1, timeout);
+    if (rc > 0) return Status::OK();
+    if (rc == 0) return Status::Unavailable(std::string(what) + " timeout");
+    if (errno == EINTR) continue;
+    return ErrnoStatus("poll", errno);
+  }
+}
+
+}  // namespace
+
+int Deadline::PollTimeoutMs() const {
+  if (infinite_) return -1;
+  const auto now = std::chrono::steady_clock::now();
+  if (now >= at_) return 0;
+  const auto ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(at_ - now)
+          .count();
+  return static_cast<int>(std::min<int64_t>(ms + 1, INT_MAX));
+}
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::ShutdownBoth() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+Result<Socket> TcpListen(const std::string& host, uint16_t port,
+                         int backlog) {
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) return ErrnoStatus("socket", errno);
+  const int one = 1;
+  ::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (host.empty() || host == "0.0.0.0") {
+    addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  } else if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad bind address: " + host);
+  }
+  if (::bind(sock.fd(), reinterpret_cast<struct sockaddr*>(&addr),
+             sizeof(addr)) < 0) {
+    return ErrnoStatus("bind", errno);
+  }
+  if (::listen(sock.fd(), backlog) < 0) return ErrnoStatus("listen", errno);
+  TURBDB_RETURN_NOT_OK(SetNonBlocking(sock.fd()));
+  return sock;
+}
+
+Result<uint16_t> LocalPort(const Socket& socket) {
+  struct sockaddr_in addr;
+  socklen_t len = sizeof(addr);
+  if (::getsockname(socket.fd(), reinterpret_cast<struct sockaddr*>(&addr),
+                    &len) < 0) {
+    return ErrnoStatus("getsockname", errno);
+  }
+  return static_cast<uint16_t>(ntohs(addr.sin_port));
+}
+
+Result<Socket> AcceptWithTimeout(const Socket& listener, int timeout_ms) {
+  TURBDB_RETURN_NOT_OK(
+      PollFor(listener.fd(), POLLIN, Deadline::After(timeout_ms), "accept"));
+  const int fd = ::accept(listener.fd(), nullptr, nullptr);
+  if (fd < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status::Unavailable("accept timeout");
+    }
+    return ErrnoStatus("accept", errno);
+  }
+  Socket conn(fd);
+  TURBDB_RETURN_NOT_OK(SetNonBlocking(conn.fd()));
+  const int one = 1;
+  ::setsockopt(conn.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return conn;
+}
+
+Result<Socket> TcpConnect(const std::string& host, uint16_t port,
+                          Deadline deadline) {
+  // Resolve (numeric fast path first; getaddrinfo for names).
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    struct addrinfo hints;
+    std::memset(&hints, 0, sizeof(hints));
+    hints.ai_family = AF_INET;
+    hints.ai_socktype = SOCK_STREAM;
+    struct addrinfo* info = nullptr;
+    const int rc = ::getaddrinfo(host.c_str(), nullptr, &hints, &info);
+    if (rc != 0 || info == nullptr) {
+      if (info) ::freeaddrinfo(info);
+      return Status::IOError("cannot resolve host: " + host);
+    }
+    addr.sin_addr =
+        reinterpret_cast<struct sockaddr_in*>(info->ai_addr)->sin_addr;
+    ::freeaddrinfo(info);
+  }
+
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) return ErrnoStatus("socket", errno);
+  TURBDB_RETURN_NOT_OK(SetNonBlocking(sock.fd()));
+
+  if (::connect(sock.fd(), reinterpret_cast<struct sockaddr*>(&addr),
+                sizeof(addr)) < 0) {
+    if (errno != EINPROGRESS) return ErrnoStatus("connect", errno);
+    TURBDB_RETURN_NOT_OK(PollFor(sock.fd(), POLLOUT, deadline, "connect"));
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(sock.fd(), SOL_SOCKET, SO_ERROR, &err, &len) < 0) {
+      return ErrnoStatus("getsockopt(SO_ERROR)", errno);
+    }
+    if (err != 0) return ErrnoStatus("connect", err);
+  }
+  const int one = 1;
+  ::setsockopt(sock.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return sock;
+}
+
+Status SendAll(const Socket& socket, const void* data, size_t length,
+               Deadline deadline) {
+  const uint8_t* cursor = static_cast<const uint8_t*>(data);
+  size_t remaining = length;
+  while (remaining > 0) {
+    const ssize_t sent =
+        ::send(socket.fd(), cursor, remaining, MSG_NOSIGNAL);
+    if (sent > 0) {
+      cursor += sent;
+      remaining -= static_cast<size_t>(sent);
+      continue;
+    }
+    if (sent < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      Status ready = PollFor(socket.fd(), POLLOUT, deadline, "send");
+      // A send that cannot make progress by the deadline is an I/O
+      // failure of this connection, not a retry-later condition.
+      if (!ready.ok()) return Status::IOError(ready.message());
+      continue;
+    }
+    if (sent < 0 && errno == EINTR) continue;
+    return ErrnoStatus("send", errno);
+  }
+  return Status::OK();
+}
+
+Status RecvAll(const Socket& socket, void* data, size_t length,
+               Deadline deadline) {
+  uint8_t* cursor = static_cast<uint8_t*>(data);
+  size_t remaining = length;
+  while (remaining > 0) {
+    const ssize_t got = ::recv(socket.fd(), cursor, remaining, 0);
+    if (got > 0) {
+      cursor += got;
+      remaining -= static_cast<size_t>(got);
+      continue;
+    }
+    if (got == 0) return Status::IOError("connection closed by peer");
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      TURBDB_RETURN_NOT_OK(PollFor(socket.fd(), POLLIN, deadline, "recv"));
+      continue;
+    }
+    if (errno == EINTR) continue;
+    return ErrnoStatus("recv", errno);
+  }
+  return Status::OK();
+}
+
+Status WaitReadable(const Socket& socket, int timeout_ms) {
+  return PollFor(socket.fd(), POLLIN, Deadline::After(timeout_ms), "recv");
+}
+
+Result<std::pair<std::string, uint16_t>> ParseHostPort(
+    const std::string& spec) {
+  const size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= spec.size()) {
+    return Status::InvalidArgument("expected host:port, got '" + spec + "'");
+  }
+  char* end = nullptr;
+  const unsigned long port = std::strtoul(spec.c_str() + colon + 1, &end, 10);
+  if (end == nullptr || *end != '\0' || port == 0 || port > 65535) {
+    return Status::InvalidArgument("bad port in '" + spec + "'");
+  }
+  return std::make_pair(spec.substr(0, colon),
+                        static_cast<uint16_t>(port));
+}
+
+}  // namespace net
+}  // namespace turbdb

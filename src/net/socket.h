@@ -1,0 +1,109 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+
+namespace turbdb {
+namespace net {
+
+/// An absolute point in time a blocking socket operation must finish by.
+/// All socket I/O in this subsystem is deadline-based (poll + non-blocking
+/// descriptors) so that a stuck peer surfaces as a clean Status error, not
+/// a hang — the failure mode the production service must never exhibit.
+class Deadline {
+ public:
+  /// Never expires.
+  static Deadline Infinite() { return Deadline(); }
+
+  /// Expires `ms` milliseconds from now; ms <= 0 means already expired.
+  static Deadline After(int64_t ms) {
+    Deadline d;
+    d.infinite_ = false;
+    d.at_ = std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
+    return d;
+  }
+
+  bool infinite() const { return infinite_; }
+  bool Expired() const {
+    return !infinite_ && std::chrono::steady_clock::now() >= at_;
+  }
+
+  /// Milliseconds until expiry, clamped to [0, INT_MAX]; -1 if infinite
+  /// (the value poll(2) expects for "wait forever").
+  int PollTimeoutMs() const;
+
+ private:
+  Deadline() = default;
+  bool infinite_ = true;
+  std::chrono::steady_clock::time_point at_{};
+};
+
+/// A move-only RAII wrapper over a POSIX socket descriptor.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  void Close();
+
+  /// shutdown(2) both directions; wakes a peer blocked on this socket.
+  void ShutdownBoth();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Creates a listening TCP socket bound to `host:port` (port 0 picks an
+/// ephemeral port; use LocalPort to learn which).
+Result<Socket> TcpListen(const std::string& host, uint16_t port,
+                         int backlog = 64);
+
+/// The port a bound socket is listening on.
+Result<uint16_t> LocalPort(const Socket& socket);
+
+/// Accepts one connection, waiting at most `timeout_ms`. Returns
+/// Unavailable on timeout (so an accept loop can poll a stop flag).
+Result<Socket> AcceptWithTimeout(const Socket& listener, int timeout_ms);
+
+/// Connects to `host:port` (numeric address or resolvable name) within
+/// the deadline. The returned socket is non-blocking; use SendAll /
+/// RecvAll for I/O.
+Result<Socket> TcpConnect(const std::string& host, uint16_t port,
+                          Deadline deadline);
+
+/// Writes exactly `length` bytes, or fails. Deadline expiry and peer
+/// resets return IOError ("send timeout" / errno text).
+Status SendAll(const Socket& socket, const void* data, size_t length,
+               Deadline deadline);
+
+/// Reads exactly `length` bytes, or fails. A clean EOF before any byte of
+/// this read returns IOError("connection closed by peer"); a deadline
+/// expiry returns Unavailable("recv timeout") so callers can distinguish
+/// a slow peer (retryable) from a broken one.
+Status RecvAll(const Socket& socket, void* data, size_t length,
+               Deadline deadline);
+
+/// Waits until the socket has bytes to read (or EOF), at most
+/// `timeout_ms`. Returns Unavailable on timeout. Lets a serving loop
+/// poll a stop flag between requests without starting a frame read that
+/// could tear on its own idle timeout.
+Status WaitReadable(const Socket& socket, int timeout_ms);
+
+/// Splits "host:port" (e.g. "127.0.0.1:7878" or "db3:7878").
+Result<std::pair<std::string, uint16_t>> ParseHostPort(
+    const std::string& spec);
+
+}  // namespace net
+}  // namespace turbdb

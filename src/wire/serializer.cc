@@ -60,6 +60,13 @@ Result<std::vector<ThresholdPoint>> DecodePointsBinary(
   TURBDB_ASSIGN_OR_RETURN(uint64_t magic, GetVarint64(bytes, &pos));
   if (magic != kBinaryMagic) return Status::Corruption("bad frame magic");
   TURBDB_ASSIGN_OR_RETURN(uint64_t count, GetVarint64(bytes, &pos));
+  // Every encoded point occupies at least 5 bytes (1-byte delta varint +
+  // 4-byte norm), so a count the remaining payload cannot possibly hold
+  // is corruption — reject it *before* reserving, or a tampered count
+  // becomes a multi-gigabyte allocation.
+  if (count > (bytes.size() - pos) / 5) {
+    return Status::Corruption("implausible point count");
+  }
   std::vector<ThresholdPoint> points;
   points.reserve(count);
   uint64_t prev = 0;

@@ -1,0 +1,553 @@
+// Tests for the TCP service layer: frame codec, protocol messages,
+// socket plumbing, and an end-to-end server/client loop that must match
+// the in-process Mediator byte for byte.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "common/rng.h"
+#include "wire/serializer.h"
+#include "core/turbdb.h"
+#include "net/client.h"
+#include "net/frame.h"
+#include "net/protocol.h"
+#include "net/server.h"
+#include "net/socket.h"
+
+namespace turbdb {
+namespace {
+
+using net::Deadline;
+using net::Socket;
+
+std::vector<uint8_t> Bytes(std::initializer_list<int> values) {
+  std::vector<uint8_t> out;
+  for (int v : values) out.push_back(static_cast<uint8_t>(v));
+  return out;
+}
+
+// -- Frame codec ---------------------------------------------------------
+
+TEST(FrameTest, RoundTripsPayloads) {
+  for (size_t size : {0u, 1u, 13u, 4096u}) {
+    SplitMix64 rng(size);
+    std::vector<uint8_t> payload(size);
+    for (auto& b : payload) b = static_cast<uint8_t>(rng.NextBounded(256));
+    const auto frame = net::EncodeFrame(payload);
+    EXPECT_EQ(frame.size(), net::kFrameHeaderBytes + size);
+    auto decoded = net::DecodeFrame(frame);
+    ASSERT_TRUE(decoded.ok()) << decoded.status();
+    EXPECT_EQ(*decoded, payload);
+  }
+}
+
+TEST(FrameTest, RejectsCrcMismatch) {
+  auto frame = net::EncodeFrame(Bytes({1, 2, 3, 4, 5}));
+  frame[net::kFrameHeaderBytes + 2] ^= 0x40;  // corrupt payload in flight
+  auto decoded = net::DecodeFrame(frame);
+  EXPECT_TRUE(decoded.status().IsCorruption());
+  EXPECT_NE(decoded.status().message().find("CRC"), std::string::npos);
+}
+
+TEST(FrameTest, RejectsBadMagicAndTruncation) {
+  auto frame = net::EncodeFrame(Bytes({9, 9, 9}));
+  auto bad_magic = frame;
+  bad_magic[0] ^= 0xFF;
+  EXPECT_TRUE(net::DecodeFrame(bad_magic).status().IsCorruption());
+
+  auto truncated = frame;
+  truncated.pop_back();
+  EXPECT_TRUE(net::DecodeFrame(truncated).status().IsCorruption());
+
+  EXPECT_TRUE(net::DecodeFrame(Bytes({1, 2, 3})).status().IsCorruption());
+}
+
+TEST(FrameTest, RejectsOversizedFrames) {
+  const auto frame = net::EncodeFrame(std::vector<uint8_t>(1024, 7));
+  auto decoded = net::DecodeFrame(frame, /*max_payload_bytes=*/512);
+  EXPECT_EQ(decoded.status().code(), StatusCode::kResultTooLarge);
+}
+
+// -- Socket + framed I/O over loopback ----------------------------------
+
+TEST(SocketTest, FramedRoundTripOverLoopback) {
+  auto listener = net::TcpListen("127.0.0.1", 0);
+  ASSERT_TRUE(listener.ok()) << listener.status();
+  auto port = net::LocalPort(*listener);
+  ASSERT_TRUE(port.ok());
+
+  const auto payload = Bytes({10, 20, 30, 40});
+  std::thread peer([&] {
+    auto conn = net::AcceptWithTimeout(*listener, 5000);
+    ASSERT_TRUE(conn.ok()) << conn.status();
+    auto got = net::ReadFrame(*conn, Deadline::After(5000));
+    ASSERT_TRUE(got.ok()) << got.status();
+    EXPECT_EQ(*got, payload);
+    // Echo it back.
+    EXPECT_TRUE(net::WriteFrame(*conn, *got, Deadline::After(5000)).ok());
+  });
+
+  auto client = net::TcpConnect("127.0.0.1", *port, Deadline::After(5000));
+  ASSERT_TRUE(client.ok()) << client.status();
+  ASSERT_TRUE(net::WriteFrame(*client, payload, Deadline::After(5000)).ok());
+  auto echoed = net::ReadFrame(*client, Deadline::After(5000));
+  ASSERT_TRUE(echoed.ok()) << echoed.status();
+  EXPECT_EQ(*echoed, payload);
+  peer.join();
+}
+
+TEST(SocketTest, RecvTimesOutCleanly) {
+  auto listener = net::TcpListen("127.0.0.1", 0);
+  ASSERT_TRUE(listener.ok());
+  auto port = net::LocalPort(*listener);
+  ASSERT_TRUE(port.ok());
+  auto client = net::TcpConnect("127.0.0.1", *port, Deadline::After(5000));
+  ASSERT_TRUE(client.ok()) << client.status();
+  // Nobody ever writes: the read must surface Unavailable, not hang.
+  auto got = net::ReadFrame(*client, Deadline::After(50));
+  EXPECT_EQ(got.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(SocketTest, ConnectToClosedPortFails) {
+  // Bind-then-close yields a port that refuses connections.
+  uint16_t dead_port = 0;
+  {
+    auto listener = net::TcpListen("127.0.0.1", 0);
+    ASSERT_TRUE(listener.ok());
+    dead_port = net::LocalPort(*listener).value();
+  }
+  auto conn = net::TcpConnect("127.0.0.1", dead_port, Deadline::After(2000));
+  EXPECT_FALSE(conn.ok());
+}
+
+TEST(SocketTest, ParseHostPort) {
+  auto ok = net::ParseHostPort("10.0.0.1:7878");
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->first, "10.0.0.1");
+  EXPECT_EQ(ok->second, 7878);
+  EXPECT_FALSE(net::ParseHostPort("nohost").ok());
+  EXPECT_FALSE(net::ParseHostPort(":123").ok());
+  EXPECT_FALSE(net::ParseHostPort("host:").ok());
+  EXPECT_FALSE(net::ParseHostPort("host:99999").ok());
+}
+
+// -- Protocol messages ---------------------------------------------------
+
+TEST(ProtocolTest, ThresholdRequestRoundTrips) {
+  net::ThresholdRequest request;
+  request.query.dataset = "mhd";
+  request.query.raw_field = "velocity";
+  request.query.derived_field = "vorticity";
+  request.query.timestep = 3;
+  request.query.box = Box3(1, 2, 3, 17, 18, 19);
+  request.query.threshold = 42.5;
+  request.query.fd_order = 6;
+  request.options.use_cache = false;
+  request.options.io_only = true;
+  request.options.processes_per_node = 2;
+  request.options.max_result_points = 123456;
+  request.rpc.deadline_ms = 777;
+
+  auto decoded_or = net::DecodeRequest(net::EncodeRequest(request));
+  ASSERT_TRUE(decoded_or.ok()) << decoded_or.status();
+  const auto& decoded = std::get<net::ThresholdRequest>(*decoded_or);
+  EXPECT_EQ(decoded.query.dataset, "mhd");
+  EXPECT_EQ(decoded.query.derived_field, "vorticity");
+  EXPECT_EQ(decoded.query.timestep, 3);
+  EXPECT_EQ(decoded.query.box, request.query.box);
+  EXPECT_EQ(decoded.query.threshold, 42.5);
+  EXPECT_EQ(decoded.query.fd_order, 6);
+  EXPECT_FALSE(decoded.options.use_cache);
+  EXPECT_TRUE(decoded.options.io_only);
+  EXPECT_EQ(decoded.options.processes_per_node, 2);
+  EXPECT_EQ(decoded.options.max_result_points, 123456u);
+  EXPECT_EQ(decoded.rpc.deadline_ms, 777u);
+}
+
+TEST(ProtocolTest, AllRequestTypesRoundTrip) {
+  net::PdfRequest pdf;
+  pdf.query.dataset = "iso";
+  pdf.query.bin_width = 1.5;
+  pdf.query.num_bins = 12;
+  auto pdf_or = net::DecodeRequest(net::EncodeRequest(pdf));
+  ASSERT_TRUE(pdf_or.ok());
+  EXPECT_EQ(std::get<net::PdfRequest>(*pdf_or).query.num_bins, 12);
+
+  net::TopKRequest topk;
+  topk.query.k = 99;
+  auto topk_or = net::DecodeRequest(net::EncodeRequest(topk));
+  ASSERT_TRUE(topk_or.ok());
+  EXPECT_EQ(std::get<net::TopKRequest>(*topk_or).query.k, 99u);
+
+  net::FieldStatsRequest stats;
+  stats.query.derived_field = "current";
+  auto stats_or = net::DecodeRequest(net::EncodeRequest(stats));
+  ASSERT_TRUE(stats_or.ok());
+  EXPECT_EQ(std::get<net::FieldStatsRequest>(*stats_or).query.derived_field,
+            "current");
+
+  net::ServerStatsRequest server_stats;
+  auto ss_or = net::DecodeRequest(net::EncodeRequest(server_stats));
+  ASSERT_TRUE(ss_or.ok());
+  EXPECT_TRUE(std::holds_alternative<net::ServerStatsRequest>(*ss_or));
+
+  net::PingRequest ping;
+  ping.delay_ms = 250;
+  auto ping_or = net::DecodeRequest(net::EncodeRequest(ping));
+  ASSERT_TRUE(ping_or.ok());
+  EXPECT_EQ(std::get<net::PingRequest>(*ping_or).delay_ms, 250u);
+}
+
+TEST(ProtocolTest, ResponsesRoundTrip) {
+  ThresholdResult threshold;
+  threshold.points = {MakeThresholdPoint(1, 2, 3, 4.5f),
+                      MakeThresholdPoint(7, 8, 9, 0.25f)};
+  std::sort(threshold.points.begin(), threshold.points.end(),
+            [](const ThresholdPoint& a, const ThresholdPoint& b) {
+              return a.zindex < b.zindex;
+            });
+  threshold.all_cache_hits = true;
+  threshold.result_bytes_binary = 100;
+  threshold.result_bytes_xml = 700;
+  threshold.time.io_s = 1.25;
+  auto threshold_or =
+      net::DecodeThresholdResponse(net::EncodeResponse(threshold));
+  ASSERT_TRUE(threshold_or.ok()) << threshold_or.status();
+  EXPECT_EQ(threshold_or->points, threshold.points);
+  EXPECT_TRUE(threshold_or->all_cache_hits);
+  EXPECT_EQ(threshold_or->result_bytes_xml, 700u);
+  EXPECT_EQ(threshold_or->time.io_s, 1.25);
+
+  PdfResult pdf;
+  pdf.counts = {5, 4, 3, 2, 1, 0};
+  pdf.bin_width = 2.5;
+  pdf.total_points = 15;
+  auto pdf_or = net::DecodePdfResponse(net::EncodeResponse(pdf));
+  ASSERT_TRUE(pdf_or.ok());
+  EXPECT_EQ(pdf_or->counts, pdf.counts);
+  EXPECT_EQ(pdf_or->bin_width, 2.5);
+
+  // Top-k points are norm-sorted (not z-sorted); the codec must not care.
+  TopKResult topk;
+  topk.points = {MakeThresholdPoint(30, 30, 30, 9.0f),
+                 MakeThresholdPoint(1, 1, 1, 8.0f)};
+  auto topk_or = net::DecodeTopKResponse(net::EncodeResponse(topk));
+  ASSERT_TRUE(topk_or.ok()) << topk_or.status();
+  EXPECT_EQ(topk_or->points, topk.points);
+
+  FieldStatsResult stats;
+  stats.count = 262144;
+  stats.mean = 1.0;
+  stats.rms = 2.0;
+  stats.max = 30.5;
+  auto stats_or = net::DecodeFieldStatsResponse(net::EncodeResponse(stats));
+  ASSERT_TRUE(stats_or.ok());
+  EXPECT_EQ(stats_or->count, 262144u);
+  EXPECT_EQ(stats_or->max, 30.5);
+
+  net::ServerStatsReply reply;
+  reply.requests_ok = 12;
+  reply.bytes_out = 3456;
+  reply.p99_latency_ms = 77.5;
+  auto reply_or = net::DecodeServerStatsResponse(net::EncodeResponse(reply));
+  ASSERT_TRUE(reply_or.ok());
+  EXPECT_EQ(reply_or->requests_ok, 12u);
+  EXPECT_EQ(reply_or->p99_latency_ms, 77.5);
+}
+
+TEST(ProtocolTest, ErrorResponseCarriesStatus) {
+  const Status error = Status::ThresholdTooLow("too many points");
+  auto decoded =
+      net::DecodeThresholdResponse(net::EncodeErrorResponse(error));
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kThresholdTooLow);
+  EXPECT_EQ(decoded.status().message(), "too many points");
+}
+
+TEST(ProtocolTest, RejectsGarbageAndTrailingBytes) {
+  EXPECT_FALSE(net::DecodeRequest(Bytes({200, 1, 2})).ok());
+  EXPECT_FALSE(net::DecodeRequest({}).ok());
+
+  net::PingRequest ping;
+  auto payload = net::EncodeRequest(ping);
+  payload.push_back(0);
+  EXPECT_TRUE(net::DecodeRequest(payload).status().IsCorruption());
+
+  // Fuzz: random bytes must never crash the request decoder.
+  SplitMix64 rng(77);
+  for (int iter = 0; iter < 500; ++iter) {
+    std::vector<uint8_t> garbage(rng.NextBounded(96));
+    for (auto& b : garbage) b = static_cast<uint8_t>(rng.NextBounded(256));
+    (void)net::DecodeRequest(garbage);
+    (void)net::DecodeThresholdResponse(garbage);
+    (void)net::DecodeServerStatsResponse(garbage);
+  }
+}
+
+// -- End-to-end server/client -------------------------------------------
+
+class ServerEndToEndTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    TurbDBConfig config;
+    config.cluster.num_nodes = 2;
+    config.cluster.processes_per_node = 2;
+    db_ = TurbDB::Open(config).value().release();
+    ASSERT_TRUE(
+        EnsureMhdDemoData(db_, "mhd", 32, /*timesteps=*/1, /*seed=*/2015)
+            .ok());
+    net::ServerOptions options;
+    options.num_workers = 4;
+    server_ = net::Server::Start(&db_->mediator(), options).value().release();
+  }
+
+  static void TearDownTestSuite() {
+    delete server_;
+    server_ = nullptr;
+    delete db_;
+    db_ = nullptr;
+  }
+
+  static ThresholdQuery VorticityQuery(double threshold) {
+    ThresholdQuery query;
+    query.dataset = "mhd";
+    query.raw_field = "velocity";
+    query.derived_field = "vorticity";
+    query.timestep = 0;
+    query.box = Box3::WholeGrid(32, 32, 32);
+    query.threshold = threshold;
+    query.fd_order = 4;
+    return query;
+  }
+
+  static TurbDB* db_;
+  static net::Server* server_;
+};
+
+TurbDB* ServerEndToEndTest::db_ = nullptr;
+net::Server* ServerEndToEndTest::server_ = nullptr;
+
+TEST_F(ServerEndToEndTest, ThresholdMatchesInProcessExactly) {
+  FieldStatsQuery stats_query;
+  stats_query.dataset = "mhd";
+  stats_query.raw_field = "velocity";
+  stats_query.derived_field = "vorticity";
+  stats_query.box = Box3::WholeGrid(32, 32, 32);
+  auto stats = db_->FieldStats(stats_query);
+  ASSERT_TRUE(stats.ok());
+
+  const ThresholdQuery query = VorticityQuery(2.0 * stats->rms);
+  auto local = db_->mediator().GetThreshold(query);
+  ASSERT_TRUE(local.ok()) << local.status();
+  ASSERT_GT(local->points.size(), 0u);
+
+  net::Client client("127.0.0.1", server_->port());
+  auto remote = client.Threshold(query);
+  ASSERT_TRUE(remote.ok()) << remote.status();
+
+  // The acceptance bar: the remote result is the same point set, z-index
+  // for z-index and norm for norm — and the serialized forms agree byte
+  // for byte.
+  ASSERT_EQ(remote->points.size(), local->points.size());
+  for (size_t i = 0; i < local->points.size(); ++i) {
+    EXPECT_EQ(remote->points[i].zindex, local->points[i].zindex);
+    EXPECT_EQ(remote->points[i].norm, local->points[i].norm);
+  }
+  EXPECT_EQ(EncodePointsBinary(remote->points),
+            EncodePointsBinary(local->points));
+  EXPECT_GT(remote->wall_seconds, 0.0);
+}
+
+TEST_F(ServerEndToEndTest, PdfTopKAndStatsMatch) {
+  net::Client client("127.0.0.1", server_->port());
+
+  PdfQuery pdf_query;
+  pdf_query.dataset = "mhd";
+  pdf_query.raw_field = "velocity";
+  pdf_query.derived_field = "vorticity";
+  pdf_query.box = Box3::WholeGrid(32, 32, 32);
+  pdf_query.bin_width = 2.0;
+  pdf_query.num_bins = 9;
+  auto local_pdf = db_->Pdf(pdf_query);
+  auto remote_pdf = client.Pdf(pdf_query);
+  ASSERT_TRUE(local_pdf.ok());
+  ASSERT_TRUE(remote_pdf.ok()) << remote_pdf.status();
+  EXPECT_EQ(remote_pdf->counts, local_pdf->counts);
+  EXPECT_EQ(remote_pdf->total_points, local_pdf->total_points);
+
+  TopKQuery topk_query;
+  topk_query.dataset = "mhd";
+  topk_query.raw_field = "velocity";
+  topk_query.derived_field = "vorticity";
+  topk_query.box = Box3::WholeGrid(32, 32, 32);
+  topk_query.k = 25;
+  auto local_topk = db_->TopK(topk_query);
+  auto remote_topk = client.TopK(topk_query);
+  ASSERT_TRUE(local_topk.ok());
+  ASSERT_TRUE(remote_topk.ok()) << remote_topk.status();
+  EXPECT_EQ(remote_topk->points, local_topk->points);
+
+  FieldStatsQuery stats_query;
+  stats_query.dataset = "mhd";
+  stats_query.raw_field = "velocity";
+  stats_query.derived_field = "vorticity";
+  stats_query.box = Box3::WholeGrid(32, 32, 32);
+  auto local_stats = db_->FieldStats(stats_query);
+  auto remote_stats = client.FieldStats(stats_query);
+  ASSERT_TRUE(local_stats.ok());
+  ASSERT_TRUE(remote_stats.ok()) << remote_stats.status();
+  EXPECT_EQ(remote_stats->count, local_stats->count);
+  EXPECT_EQ(remote_stats->mean, local_stats->mean);
+  EXPECT_EQ(remote_stats->rms, local_stats->rms);
+  EXPECT_EQ(remote_stats->max, local_stats->max);
+}
+
+TEST_F(ServerEndToEndTest, QueryErrorsTravelAsStatus) {
+  net::Client client("127.0.0.1", server_->port());
+  ThresholdQuery query = VorticityQuery(5.0);
+  query.dataset = "no-such-dataset";
+  auto result = client.Threshold(query);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(ServerEndToEndTest, DeadlineExpiryIsACleanError) {
+  net::ClientOptions options;
+  options.deadline_ms = 50;
+  options.max_retries = 0;
+  net::Client client("127.0.0.1", server_->port(), options);
+  // The server sleeps past the deadline, then must answer with a small
+  // error frame instead of a result — and must not hang the connection.
+  Status status = client.Ping(/*delay_ms=*/300);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  EXPECT_NE(status.message().find("deadline"), std::string::npos);
+
+  // The same connection still serves the next request.
+  EXPECT_TRUE(client.Ping(0).ok());
+}
+
+TEST_F(ServerEndToEndTest, ConcurrentClientsAllSucceed) {
+  constexpr int kClients = 4;
+  std::vector<std::thread> threads;
+  std::vector<Status> outcomes(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    threads.emplace_back([this, i, &outcomes] {
+      net::Client client("127.0.0.1", server_->port());
+      FieldStatsQuery query;
+      query.dataset = "mhd";
+      query.raw_field = "velocity";
+      query.derived_field = "vorticity";
+      query.box = Box3::WholeGrid(32, 32, 32);
+      auto result = client.FieldStats(query);
+      outcomes[static_cast<size_t>(i)] = result.status();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (const Status& status : outcomes) EXPECT_TRUE(status.ok()) << status;
+}
+
+TEST_F(ServerEndToEndTest, ServerStatsReflectTraffic) {
+  net::Client client("127.0.0.1", server_->port());
+  ASSERT_TRUE(client.Ping().ok());
+  auto stats = client.ServerStats();
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_GT(stats->requests_ok, 0u);
+  EXPECT_GT(stats->bytes_in, 0u);
+  EXPECT_GT(stats->bytes_out, 0u);
+  EXPECT_GT(stats->connections_accepted, 0u);
+  EXPECT_GE(stats->p99_latency_ms, stats->p50_latency_ms);
+}
+
+TEST_F(ServerEndToEndTest, CorruptFrameClosesConnection) {
+  auto conn = net::TcpConnect("127.0.0.1", server_->port(),
+                              Deadline::After(5000));
+  ASSERT_TRUE(conn.ok());
+  // A stream that opens with garbage can't be re-synced; the server must
+  // drop it (read yields EOF) rather than hang or crash.
+  const auto garbage = Bytes({0xDE, 0xAD, 0xBE, 0xEF, 1, 2, 3, 4, 5, 6, 7,
+                              8, 9, 10, 11, 12});
+  ASSERT_TRUE(
+      net::SendAll(*conn, garbage.data(), garbage.size(), Deadline::After(5000))
+          .ok());
+  auto got = net::ReadFrame(*conn, Deadline::After(5000));
+  EXPECT_TRUE(got.status().IsIOError()) << got.status();
+}
+
+TEST_F(ServerEndToEndTest, OversizedFrameIsRefusedWithError) {
+  // Announce a payload bigger than the server cap; the server should
+  // answer with a ResultTooLarge error frame and close.
+  net::ServerOptions small;
+  small.max_frame_bytes = 256;
+  small.num_workers = 1;
+  auto server = net::Server::Start(&db_->mediator(), small);
+  ASSERT_TRUE(server.ok());
+  auto conn = net::TcpConnect("127.0.0.1", (*server)->port(),
+                              Deadline::After(5000));
+  ASSERT_TRUE(conn.ok());
+  const auto frame = net::EncodeFrame(std::vector<uint8_t>(1024, 0));
+  ASSERT_TRUE(
+      net::SendAll(*conn, frame.data(), frame.size(), Deadline::After(5000))
+          .ok());
+  auto reply = net::ReadFrame(*conn, Deadline::After(5000));
+  ASSERT_TRUE(reply.ok()) << reply.status();
+  auto decoded = net::DecodePingResponse(*reply);
+  EXPECT_EQ(decoded.code(), StatusCode::kResultTooLarge);
+
+  // The refusal drained the frame, so the connection keeps working.
+  const auto ping = net::EncodeRequest(net::PingRequest{});
+  ASSERT_TRUE(net::WriteFrame(*conn, ping, Deadline::After(5000)).ok());
+  auto pong = net::ReadFrame(*conn, Deadline::After(5000));
+  ASSERT_TRUE(pong.ok()) << pong.status();
+  EXPECT_TRUE(net::DecodePingResponse(*pong).ok());
+}
+
+TEST_F(ServerEndToEndTest, GracefulShutdownUnblocksEverything) {
+  net::ServerOptions options;
+  options.num_workers = 2;
+  auto server = net::Server::Start(&db_->mediator(), options);
+  ASSERT_TRUE(server.ok());
+  const uint16_t port = (*server)->port();
+  net::Client client("127.0.0.1", port);
+  ASSERT_TRUE(client.Ping().ok());
+  (*server)->Stop();
+  // After Stop, new requests fail cleanly (connection refused or reset),
+  // they do not hang.
+  net::ClientOptions fast;
+  fast.max_retries = 0;
+  fast.connect_timeout_ms = 1000;
+  fast.read_timeout_ms = 1000;
+  net::Client late("127.0.0.1", port, fast);
+  EXPECT_FALSE(late.Ping().ok());
+}
+
+TEST(ClientRetryTest, BoundedRetriesOnConnectFailure) {
+  uint16_t dead_port = 0;
+  {
+    auto listener = net::TcpListen("127.0.0.1", 0);
+    ASSERT_TRUE(listener.ok());
+    dead_port = net::LocalPort(*listener).value();
+  }
+  net::ClientOptions options;
+  options.max_retries = 2;
+  options.backoff_initial_ms = 10;
+  options.connect_timeout_ms = 500;
+  net::Client client("127.0.0.1", dead_port, options);
+  const auto started = std::chrono::steady_clock::now();
+  Status status = client.Ping();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    started)
+          .count();
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  EXPECT_NE(status.message().find("attempts"), std::string::npos);
+  // 3 attempts with 10+20 ms backoff — well under a second on loopback.
+  EXPECT_LT(elapsed, 10.0);
+}
+
+}  // namespace
+}  // namespace turbdb

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Builds the tree and runs the full test suite under AddressSanitizer +
+# UBSan (the TURBDB_SANITIZE CMake option). Usage:
+#
+#   tools/check.sh              # sanitizer build + ctest
+#   BUILD_DIR=out tools/check.sh
+#
+# A plain (non-sanitized) pass is the normal `cmake -B build && ctest`
+# flow; this script exists so CI and pre-merge checks exercise the
+# memory- and UB-checked configuration too.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${BUILD_DIR:-"$ROOT/build-sanitize"}"
+JOBS="${JOBS:-$(nproc)}"
+
+cmake -B "$BUILD_DIR" -S "$ROOT" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DTURBDB_SANITIZE=ON
+cmake --build "$BUILD_DIR" -j "$JOBS"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"

@@ -1,7 +1,9 @@
 // turbdb_cli — command-line front end to the threshold-query engine.
 //
-// Builds (or reopens, with --storage-dir) an in-process cluster over a
-// synthetic dataset and runs the service's query types from the shell.
+// By default builds (or reopens, with --storage-dir) an in-process
+// cluster over a synthetic dataset and runs the service's query types
+// from the shell. With --connect host:port the same commands run as RPCs
+// against a turbdb_server instead.
 //
 // Examples:
 //   turbdb_cli --n 64 --nodes 4 stats vorticity
@@ -10,17 +12,23 @@
 //   turbdb_cli --n 64 pdf vorticity
 //   turbdb_cli --n 64 topk current 10
 //   turbdb_cli --n 64 --storage-dir /tmp/turbdb threshold vorticity 5rms
+//   turbdb_cli --connect 127.0.0.1:7878 threshold vorticity 4.5rms
+//   turbdb_cli --connect 127.0.0.1:7878 server-stats
 //
-// The first run against a --storage-dir ingests and persists the data;
-// later runs reopen it (and demonstrate the cache + durable stores).
+// The first local run against a --storage-dir ingests and persists the
+// data; later runs reopen it (and demonstrate the cache + durable
+// stores).
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/turbdb.h"
+#include "net/client.h"
 
 using namespace turbdb;
 
@@ -35,13 +43,15 @@ struct CliOptions {
   uint64_t seed = 2015;
   int fd_order = 4;
   std::string storage_dir;
+  std::string connect;  ///< host:port of a turbdb_server; empty = local.
+  bool help = false;
   std::string command;
   std::vector<std::string> args;
 };
 
 void PrintUsage() {
   std::printf(
-      "usage: turbdb_cli [options] <command> <derived-field> [value]\n"
+      "usage: turbdb_cli [options] <command> [command args]\n"
       "\n"
       "commands:\n"
       "  stats <field>              mean/RMS/max of the field norm\n"
@@ -49,52 +59,85 @@ void PrintUsage() {
       "                             scales by the measured RMS (e.g. 4.5rms)\n"
       "  pdf <field>                histogram of the norm (RMS-wide bins)\n"
       "  topk <field> <k>           the k strongest locations\n"
-      "  fields                     list available derived fields\n"
+      "  fields                     list available derived fields (local)\n"
+      "  ping                       round-trip probe (--connect only)\n"
+      "  server-stats               server request counters (--connect only)\n"
       "\n"
       "options:\n"
-      "  --n N            grid edge (default 64)\n"
-      "  --nodes N        database nodes (default 4)\n"
-      "  --procs N        processes per node (default 4)\n"
-      "  --timesteps N    steps to ingest (default 2)\n"
+      "  --n N            grid edge / query-box size (default 64)\n"
+      "  --nodes N        database nodes (default 4, local mode)\n"
+      "  --procs N        processes per node (default 4, local mode)\n"
+      "  --timesteps N    steps to ingest (default 2, local mode)\n"
       "  --timestep T     step to query (default 0)\n"
       "  --order P        finite-difference order 2/4/6/8 (default 4)\n"
-      "  --seed S         generator seed (default 2015)\n"
+      "  --seed S         generator seed (default 2015, local mode)\n"
       "  --storage-dir D  durable atom files (reopened across runs)\n"
+      "  --connect H:P    run commands against a turbdb_server\n"
+      "  --help           this message\n"
       "\n"
       "the dataset is MHD-like: raw fields 'velocity' and 'magnetic';\n"
       "derived fields include vorticity, current, q_criterion,\n"
       "r_invariant, magnitude, box_filter, divergence.\n");
 }
 
-bool ParseArgs(int argc, char** argv, CliOptions* options) {
+bool ParseArgs(int argc, char** argv, CliOptions* options,
+               std::string* error) {
   int i = 1;
   for (; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&](int64_t* out) {
-      if (i + 1 >= argc) return false;
-      *out = std::strtoll(argv[++i], nullptr, 10);
+      if (i + 1 >= argc) {
+        *error = "option " + arg + " requires a value";
+        return false;
+      }
+      char* end = nullptr;
+      *out = std::strtoll(argv[++i], &end, 10);
+      if (end == nullptr || *end != '\0') {
+        *error = "option " + arg + " expects a number, got '" +
+                 std::string(argv[i]) + "'";
+        return false;
+      }
+      return true;
+    };
+    auto next_str = [&](std::string* out) {
+      if (i + 1 >= argc) {
+        *error = "option " + arg + " requires a value";
+        return false;
+      }
+      *out = argv[++i];
       return true;
     };
     int64_t value = 0;
-    if (arg == "--n" && next(&value)) {
+    if (arg == "--help" || arg == "-h") {
+      options->help = true;
+      return true;
+    } else if (arg == "--n") {
+      if (!next(&value)) return false;
       options->n = value;
-    } else if (arg == "--nodes" && next(&value)) {
+    } else if (arg == "--nodes") {
+      if (!next(&value)) return false;
       options->nodes = static_cast<int>(value);
-    } else if (arg == "--procs" && next(&value)) {
+    } else if (arg == "--procs") {
+      if (!next(&value)) return false;
       options->processes = static_cast<int>(value);
-    } else if (arg == "--timesteps" && next(&value)) {
+    } else if (arg == "--timesteps") {
+      if (!next(&value)) return false;
       options->timesteps = static_cast<int32_t>(value);
-    } else if (arg == "--timestep" && next(&value)) {
+    } else if (arg == "--timestep") {
+      if (!next(&value)) return false;
       options->timestep = static_cast<int32_t>(value);
-    } else if (arg == "--order" && next(&value)) {
+    } else if (arg == "--order") {
+      if (!next(&value)) return false;
       options->fd_order = static_cast<int>(value);
-    } else if (arg == "--seed" && next(&value)) {
+    } else if (arg == "--seed") {
+      if (!next(&value)) return false;
       options->seed = static_cast<uint64_t>(value);
     } else if (arg == "--storage-dir") {
-      if (i + 1 >= argc) return false;
-      options->storage_dir = argv[++i];
-    } else if (arg.rfind("--", 0) == 0) {
-      std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+      if (!next_str(&options->storage_dir)) return false;
+    } else if (arg == "--connect") {
+      if (!next_str(&options->connect)) return false;
+    } else if (arg.rfind("--", 0) == 0 || (arg.size() > 1 && arg[0] == '-')) {
+      *error = "unknown option " + arg;
       return false;
     } else {
       options->command = arg;
@@ -102,7 +145,11 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       break;
     }
   }
-  return !options->command.empty();
+  if (options->command.empty()) {
+    *error = "missing command";
+    return false;
+  }
+  return true;
 }
 
 /// The raw field a derived field is computed from on this dataset.
@@ -111,67 +158,20 @@ std::string RawFieldFor(const std::string& derived) {
   return "velocity";
 }
 
-}  // namespace
+/// Uniform access to the query engine, local or remote; the command
+/// implementations below do not care which.
+struct Backend {
+  std::function<Result<FieldStatsResult>(const FieldStatsQuery&)> stats;
+  std::function<Result<ThresholdResult>(const ThresholdQuery&)> threshold;
+  std::function<Result<PdfResult>(const PdfQuery&)> pdf;
+  std::function<Result<TopKResult>(const TopKQuery&)> topk;
+};
 
-int main(int argc, char** argv) {
-  CliOptions options;
-  if (!ParseArgs(argc, argv, &options)) {
-    PrintUsage();
-    return 2;
-  }
-
-  TurbDBConfig config;
-  config.cluster.num_nodes = options.nodes;
-  config.cluster.processes_per_node = options.processes;
-  config.cluster.storage_dir = options.storage_dir;
-  auto db_or = TurbDB::Open(config);
-  if (!db_or.ok()) {
-    std::fprintf(stderr, "open failed: %s\n",
-                 db_or.status().ToString().c_str());
-    return 1;
-  }
-  std::unique_ptr<TurbDB> db = std::move(db_or).value();
-
-  if (options.command == "fields") {
-    for (const std::string& name : db->mediator().registry().Names()) {
-      std::printf("%s\n", name.c_str());
-    }
-    return 0;
-  }
-  if (options.args.empty()) {
-    PrintUsage();
-    return 2;
-  }
-  const std::string derived = options.args[0];
+int RunCommand(const CliOptions& options, const Backend& backend) {
+  const std::string derived = options.args.empty() ? "" : options.args[0];
   const std::string raw = RawFieldFor(derived);
-
-  Status status =
-      db->CreateDataset(MakeMhdDataset("mhd", options.n, options.timesteps));
-  if (!status.ok()) {
-    std::fprintf(stderr, "dataset failed: %s\n", status.ToString().c_str());
-    return 1;
-  }
-  // With a storage dir, earlier runs may have persisted the data already.
-  const bool have_data =
-      db->mediator().node(0).StoredAtomCount("mhd", raw) > 0;
-  if (!have_data) {
-    std::fprintf(stderr, "[ingesting %lld^3 x %d steps ...]\n",
-                 static_cast<long long>(options.n), options.timesteps);
-    status = db->IngestSyntheticField(
-        "mhd", "velocity", DefaultMhdSpec(options.seed), 0,
-        options.timesteps);
-    if (status.ok()) {
-      status = db->IngestSyntheticField(
-          "mhd", "magnetic", DefaultMhdSpec(options.seed * 7919 + 13), 0,
-          options.timesteps);
-    }
-    if (!status.ok()) {
-      std::fprintf(stderr, "ingest failed: %s\n", status.ToString().c_str());
-      return 1;
-    }
-  }
-
   const Box3 whole = Box3::WholeGrid(options.n, options.n, options.n);
+
   FieldStatsQuery stats_query;
   stats_query.dataset = "mhd";
   stats_query.raw_field = raw;
@@ -179,7 +179,7 @@ int main(int argc, char** argv) {
   stats_query.timestep = options.timestep;
   stats_query.box = whole;
   stats_query.fd_order = options.fd_order;
-  auto stats = db->FieldStats(stats_query);
+  auto stats = backend.stats(stats_query);
   if (!stats.ok()) {
     std::fprintf(stderr, "error: %s\n", stats.status().ToString().c_str());
     return 1;
@@ -204,7 +204,7 @@ int main(int argc, char** argv) {
     query.fd_order = options.fd_order;
     query.bin_width = stats->rms;
     query.num_bins = 9;
-    auto pdf = db->Pdf(query);
+    auto pdf = backend.pdf(query);
     if (!pdf.ok()) {
       std::fprintf(stderr, "error: %s\n", pdf.status().ToString().c_str());
       return 1;
@@ -220,10 +220,6 @@ int main(int argc, char** argv) {
   }
 
   if (options.command == "topk") {
-    if (options.args.size() < 2) {
-      PrintUsage();
-      return 2;
-    }
     TopKQuery query;
     query.dataset = "mhd";
     query.raw_field = raw;
@@ -232,7 +228,7 @@ int main(int argc, char** argv) {
     query.box = whole;
     query.fd_order = options.fd_order;
     query.k = std::strtoull(options.args[1].c_str(), nullptr, 10);
-    auto result = db->TopK(query);
+    auto result = backend.topk(query);
     if (!result.ok()) {
       std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
       return 1;
@@ -246,51 +242,190 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  if (options.command == "threshold") {
+  // threshold
+  std::string value = options.args[1];
+  double threshold;
+  const size_t rms_pos = value.find("rms");
+  if (rms_pos != std::string::npos) {
+    threshold = std::strtod(value.substr(0, rms_pos).c_str(), nullptr) *
+                stats->rms;
+  } else {
+    threshold = std::strtod(value.c_str(), nullptr);
+  }
+  ThresholdQuery query;
+  query.dataset = "mhd";
+  query.raw_field = raw;
+  query.derived_field = derived;
+  query.timestep = options.timestep;
+  query.box = whole;
+  query.threshold = threshold;
+  query.fd_order = options.fd_order;
+  auto result = backend.threshold(query);
+  if (!result.ok()) {
+    std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%zu points with |%s| >= %.4f (%.2f rms)  [cache %s]\n",
+              result->points.size(), derived.c_str(), threshold,
+              threshold / stats->rms,
+              result->all_cache_hits ? "hit" : "miss");
+  std::printf("modeled time: %s\n", result->time.ToString().c_str());
+  const size_t shown = std::min<size_t>(10, result->points.size());
+  for (size_t i = 0; i < shown; ++i) {
+    uint32_t x, y, z;
+    result->points[i].Coords(&x, &y, &z);
+    std::printf("  (%4u, %4u, %4u)  %.4f\n", x, y, z,
+                result->points[i].norm);
+  }
+  if (result->points.size() > shown) {
+    std::printf("  ... %zu more\n", result->points.size() - shown);
+  }
+  return 0;
+}
+
+/// Argument-count validation per command; true if OK.
+bool ValidateCommand(const CliOptions& options, std::string* error) {
+  const std::string& cmd = options.command;
+  if (cmd == "fields" || cmd == "ping" || cmd == "server-stats") return true;
+  if (cmd == "stats" || cmd == "pdf") {
+    if (options.args.empty()) {
+      *error = cmd + " needs a derived-field argument";
+      return false;
+    }
+    return true;
+  }
+  if (cmd == "threshold" || cmd == "topk") {
     if (options.args.size() < 2) {
-      PrintUsage();
-      return 2;
+      *error = cmd + " needs <derived-field> and <value> arguments";
+      return false;
     }
-    std::string value = options.args[1];
-    double threshold;
-    const size_t rms_pos = value.find("rms");
-    if (rms_pos != std::string::npos) {
-      threshold = std::strtod(value.substr(0, rms_pos).c_str(), nullptr) *
-                  stats->rms;
-    } else {
-      threshold = std::strtod(value.c_str(), nullptr);
-    }
-    ThresholdQuery query;
-    query.dataset = "mhd";
-    query.raw_field = raw;
-    query.derived_field = derived;
-    query.timestep = options.timestep;
-    query.box = whole;
-    query.threshold = threshold;
-    query.fd_order = options.fd_order;
-    auto result = db->Threshold(query);
-    if (!result.ok()) {
-      std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
+    return true;
+  }
+  *error = "unknown command '" + cmd + "'";
+  return false;
+}
+
+int RunRemote(const CliOptions& options) {
+  auto host_port = net::ParseHostPort(options.connect);
+  if (!host_port.ok()) {
+    std::fprintf(stderr, "turbdb_cli: %s\n",
+                 host_port.status().ToString().c_str());
+    return 2;
+  }
+  net::Client client(host_port->first, host_port->second);
+
+  if (options.command == "fields") {
+    std::fprintf(stderr,
+                 "turbdb_cli: 'fields' is not available over --connect\n");
+    return 2;
+  }
+  if (options.command == "ping") {
+    Status status = client.Ping();
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
       return 1;
     }
-    std::printf("%zu points with |%s| >= %.4f (%.2f rms)  [cache %s]\n",
-                result->points.size(), derived.c_str(), threshold,
-                threshold / stats->rms,
-                result->all_cache_hits ? "hit" : "miss");
-    std::printf("modeled time: %s\n", result->time.ToString().c_str());
-    const size_t shown = std::min<size_t>(10, result->points.size());
-    for (size_t i = 0; i < shown; ++i) {
-      uint32_t x, y, z;
-      result->points[i].Coords(&x, &y, &z);
-      std::printf("  (%4u, %4u, %4u)  %.4f\n", x, y, z,
-                  result->points[i].norm);
+    std::printf("pong from %s:%u\n", client.host().c_str(), client.port());
+    return 0;
+  }
+  if (options.command == "server-stats") {
+    auto stats = client.ServerStats();
+    if (!stats.ok()) {
+      std::fprintf(stderr, "error: %s\n", stats.status().ToString().c_str());
+      return 1;
     }
-    if (result->points.size() > shown) {
-      std::printf("  ... %zu more\n", result->points.size() - shown);
+    std::printf(
+        "requests ok       %llu\n"
+        "requests error    %llu\n"
+        "bytes in          %llu\n"
+        "bytes out         %llu\n"
+        "connections       %llu (%llu active)\n"
+        "latency p50       %.2f ms\n"
+        "latency p99       %.2f ms\n",
+        static_cast<unsigned long long>(stats->requests_ok),
+        static_cast<unsigned long long>(stats->requests_error),
+        static_cast<unsigned long long>(stats->bytes_in),
+        static_cast<unsigned long long>(stats->bytes_out),
+        static_cast<unsigned long long>(stats->connections_accepted),
+        static_cast<unsigned long long>(stats->active_connections),
+        stats->p50_latency_ms, stats->p99_latency_ms);
+    return 0;
+  }
+
+  Backend backend;
+  backend.stats = [&](const FieldStatsQuery& q) { return client.FieldStats(q); };
+  backend.threshold = [&](const ThresholdQuery& q) {
+    return client.Threshold(q);
+  };
+  backend.pdf = [&](const PdfQuery& q) { return client.Pdf(q); };
+  backend.topk = [&](const TopKQuery& q) { return client.TopK(q); };
+  return RunCommand(options, backend);
+}
+
+int RunLocal(const CliOptions& options) {
+  if (options.command == "ping" || options.command == "server-stats") {
+    std::fprintf(stderr, "turbdb_cli: '%s' requires --connect\n",
+                 options.command.c_str());
+    return 2;
+  }
+
+  TurbDBConfig config;
+  config.cluster.num_nodes = options.nodes;
+  config.cluster.processes_per_node = options.processes;
+  config.cluster.storage_dir = options.storage_dir;
+  auto db_or = TurbDB::Open(config);
+  if (!db_or.ok()) {
+    std::fprintf(stderr, "open failed: %s\n",
+                 db_or.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<TurbDB> db = std::move(db_or).value();
+
+  if (options.command == "fields") {
+    for (const std::string& name : db->mediator().registry().Names()) {
+      std::printf("%s\n", name.c_str());
     }
     return 0;
   }
 
-  PrintUsage();
-  return 2;
+  std::fprintf(stderr, "[preparing %lld^3 x %d steps ...]\n",
+               static_cast<long long>(options.n), options.timesteps);
+  Status status = EnsureMhdDemoData(db.get(), "mhd", options.n,
+                                    options.timesteps, options.seed);
+  if (!status.ok()) {
+    std::fprintf(stderr, "ingest failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  Backend backend;
+  backend.stats = [&](const FieldStatsQuery& q) { return db->FieldStats(q); };
+  backend.threshold = [&](const ThresholdQuery& q) {
+    return db->Threshold(q);
+  };
+  backend.pdf = [&](const PdfQuery& q) { return db->Pdf(q); };
+  backend.topk = [&](const TopKQuery& q) { return db->TopK(q); };
+  return RunCommand(options, backend);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions options;
+  std::string error;
+  if (!ParseArgs(argc, argv, &options, &error)) {
+    std::fprintf(stderr, "turbdb_cli: %s\n\n", error.c_str());
+    PrintUsage();
+    return 2;
+  }
+  if (options.help) {
+    PrintUsage();
+    return 0;
+  }
+  if (!ValidateCommand(options, &error)) {
+    std::fprintf(stderr, "turbdb_cli: %s\n\n", error.c_str());
+    PrintUsage();
+    return 2;
+  }
+  if (!options.connect.empty()) return RunRemote(options);
+  return RunLocal(options);
 }

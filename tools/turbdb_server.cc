@@ -1,0 +1,225 @@
+// turbdb_server — TCP front end to the threshold-query engine.
+//
+// Builds (or reopens, with --storage-dir) an in-process cluster over the
+// demo MHD dataset and serves the query RPCs (threshold, pdf, topk,
+// stats) over the framed binary protocol of src/net/. Point turbdb_cli
+// at it with --connect:
+//
+//   turbdb_server --port 7878 --n 64 --nodes 4 &
+//   turbdb_cli --connect 127.0.0.1:7878 threshold vorticity 4.5rms
+//
+// SIGINT/SIGTERM drain in-flight requests and exit cleanly, printing the
+// final request counters.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "core/turbdb.h"
+#include "net/server.h"
+
+using namespace turbdb;
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void HandleSignal(int) { g_stop.store(true); }
+
+struct ServerCliOptions {
+  std::string bind = "0.0.0.0";
+  int port = 7878;
+  int64_t n = 64;
+  int nodes = 4;
+  int processes = 4;
+  int32_t timesteps = 2;
+  uint64_t seed = 2015;
+  int workers = 8;
+  int max_frame_mb = 64;
+  int64_t deadline_ms = 60000;
+  std::string storage_dir;
+  bool help = false;
+};
+
+void PrintUsage() {
+  std::printf(
+      "usage: turbdb_server [options]\n"
+      "\n"
+      "Serves the demo MHD dataset over the turbdb binary TCP protocol.\n"
+      "\n"
+      "options:\n"
+      "  --port P         listen port (default 7878; 0 = ephemeral)\n"
+      "  --bind ADDR      bind address (default 0.0.0.0)\n"
+      "  --n N            grid edge (default 64)\n"
+      "  --nodes N        database nodes (default 4)\n"
+      "  --procs N        processes per node (default 4)\n"
+      "  --timesteps N    steps to ingest (default 2)\n"
+      "  --seed S         generator seed (default 2015)\n"
+      "  --workers N      connection-handling threads (default 8)\n"
+      "  --max-frame-mb M largest accepted frame payload (default 64)\n"
+      "  --deadline-ms D  default per-request budget (default 60000)\n"
+      "  --storage-dir D  durable atom files (reopened across runs)\n"
+      "  --help           this message\n");
+}
+
+bool ParseArgs(int argc, char** argv, ServerCliOptions* options,
+               std::string* error) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](int64_t* out) {
+      if (i + 1 >= argc) {
+        *error = "option " + arg + " requires a value";
+        return false;
+      }
+      char* end = nullptr;
+      *out = std::strtoll(argv[++i], &end, 10);
+      if (end == nullptr || *end != '\0') {
+        *error = "option " + arg + " expects a number, got '" +
+                 std::string(argv[i]) + "'";
+        return false;
+      }
+      return true;
+    };
+    int64_t value = 0;
+    if (arg == "--help" || arg == "-h") {
+      options->help = true;
+      return true;
+    } else if (arg == "--port") {
+      if (!next(&value)) return false;
+      if (value < 0 || value > 65535) {
+        *error = "port out of range";
+        return false;
+      }
+      options->port = static_cast<int>(value);
+    } else if (arg == "--bind") {
+      if (i + 1 >= argc) {
+        *error = "option --bind requires a value";
+        return false;
+      }
+      options->bind = argv[++i];
+    } else if (arg == "--n") {
+      if (!next(&value)) return false;
+      options->n = value;
+    } else if (arg == "--nodes") {
+      if (!next(&value)) return false;
+      options->nodes = static_cast<int>(value);
+    } else if (arg == "--procs") {
+      if (!next(&value)) return false;
+      options->processes = static_cast<int>(value);
+    } else if (arg == "--timesteps") {
+      if (!next(&value)) return false;
+      options->timesteps = static_cast<int32_t>(value);
+    } else if (arg == "--seed") {
+      if (!next(&value)) return false;
+      options->seed = static_cast<uint64_t>(value);
+    } else if (arg == "--workers") {
+      if (!next(&value)) return false;
+      options->workers = static_cast<int>(value);
+    } else if (arg == "--max-frame-mb") {
+      if (!next(&value)) return false;
+      if (value <= 0 || value > 1024) {
+        *error = "--max-frame-mb out of range (1..1024)";
+        return false;
+      }
+      options->max_frame_mb = static_cast<int>(value);
+    } else if (arg == "--deadline-ms") {
+      if (!next(&value)) return false;
+      options->deadline_ms = value;
+    } else if (arg == "--storage-dir") {
+      if (i + 1 >= argc) {
+        *error = "option --storage-dir requires a value";
+        return false;
+      }
+      options->storage_dir = argv[++i];
+    } else {
+      *error = "unknown option " + arg;
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ServerCliOptions options;
+  std::string error;
+  if (!ParseArgs(argc, argv, &options, &error)) {
+    std::fprintf(stderr, "turbdb_server: %s\n\n", error.c_str());
+    PrintUsage();
+    return 2;
+  }
+  if (options.help) {
+    PrintUsage();
+    return 0;
+  }
+
+  TurbDBConfig config;
+  config.cluster.num_nodes = options.nodes;
+  config.cluster.processes_per_node = options.processes;
+  config.cluster.storage_dir = options.storage_dir;
+  auto db_or = TurbDB::Open(config);
+  if (!db_or.ok()) {
+    std::fprintf(stderr, "open failed: %s\n",
+                 db_or.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<TurbDB> db = std::move(db_or).value();
+
+  std::fprintf(stderr, "[preparing %lld^3 x %d steps ...]\n",
+               static_cast<long long>(options.n), options.timesteps);
+  Status status = EnsureMhdDemoData(db.get(), "mhd", options.n,
+                                    options.timesteps, options.seed);
+  if (!status.ok()) {
+    std::fprintf(stderr, "ingest failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  net::ServerOptions server_options;
+  server_options.bind_address = options.bind;
+  server_options.port = static_cast<uint16_t>(options.port);
+  server_options.num_workers = options.workers;
+  server_options.max_frame_bytes =
+      static_cast<uint32_t>(options.max_frame_mb) << 20;
+  server_options.default_deadline_ms =
+      static_cast<uint64_t>(options.deadline_ms);
+  auto server_or = net::Server::Start(&db->mediator(), server_options);
+  if (!server_or.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n",
+                 server_or.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<net::Server> server = std::move(server_or).value();
+  std::printf("turbdb_server listening on %s:%u\n", options.bind.c_str(),
+              server->port());
+  std::fflush(stdout);
+
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_handler = HandleSignal;
+  ::sigaction(SIGINT, &action, nullptr);
+  ::sigaction(SIGTERM, &action, nullptr);
+
+  while (!g_stop.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  }
+
+  std::fprintf(stderr, "[shutting down ...]\n");
+  server->Stop();
+  const net::ServerStatsReply stats = server->stats();
+  std::fprintf(stderr,
+               "served %llu ok / %llu errors over %llu connections; "
+               "%llu bytes in, %llu bytes out; p50 %.2f ms, p99 %.2f ms\n",
+               static_cast<unsigned long long>(stats.requests_ok),
+               static_cast<unsigned long long>(stats.requests_error),
+               static_cast<unsigned long long>(stats.connections_accepted),
+               static_cast<unsigned long long>(stats.bytes_in),
+               static_cast<unsigned long long>(stats.bytes_out),
+               stats.p50_latency_ms, stats.p99_latency_ms);
+  return 0;
+}
