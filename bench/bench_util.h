@@ -37,12 +37,13 @@ inline int32_t BenchTimesteps() {
 /// Builds the benchmark stand-in for the paper's MHD dataset: velocity
 /// and magnetic fields (independent seeds) on an n^3 periodic grid,
 /// sharded over `nodes` database nodes.
-inline std::unique_ptr<TurbDB> MakeMhdBenchDb(int nodes, int processes,
-                                              int64_t n, int32_t timesteps,
-                                              uint64_t seed = 2015) {
+inline std::unique_ptr<TurbDB> MakeMhdBenchDb(
+    int nodes, int processes, int64_t n, int32_t timesteps,
+    uint64_t seed = 2015, const ClusterTopology* topology = nullptr) {
   TurbDBConfig config;
   config.cluster.num_nodes = nodes;
   config.cluster.processes_per_node = processes;
+  if (topology != nullptr) config.cluster.topology = *topology;
   auto db = TurbDB::Open(config);
   if (!db.ok()) {
     std::fprintf(stderr, "TurbDB::Open failed: %s\n",

@@ -5,9 +5,11 @@
 // and memory.
 
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 
 #include "bench_util.h"
+#include "wire/serializer.h"
 
 int main() {
   using namespace turbdb;
@@ -69,5 +71,54 @@ int main() {
   std::printf("%-15s %9s %9s %9s %9s\n", "linear", "1.00x", "2.00x", "4.00x",
               "8.00x");
   std::printf("paper: nearly perfect linear speedup at all thresholds.\n");
+
+  // Optional distributed column: TURBDB_TOPOLOGY="host:port,host:port,..."
+  // points at running turbdb_node processes. The same queries go through
+  // the mediator's remote scatter-gather path and must return the exact
+  // point set the in-process cluster of the same size does.
+  const char* topology_env = std::getenv("TURBDB_TOPOLOGY");
+  if (topology_env != nullptr) {
+    auto topology = ParseTopology(topology_env);
+    if (!topology.ok()) {
+      std::fprintf(stderr, "bad TURBDB_TOPOLOGY: %s\n",
+                   topology.status().ToString().c_str());
+      return 1;
+    }
+    const int nodes = static_cast<int>(topology->size());
+    std::printf("\nDistributed run over %d turbdb_node processes (%s):\n",
+                nodes, topology->ToString().c_str());
+    auto remote_db = MakeMhdBenchDb(nodes, 1, n, 1, 2015, &*topology);
+    auto local_db = MakeMhdBenchDb(nodes, 1, n, 1);
+    if (!remote_db || !local_db) return 1;
+    const ClusterConfig& config = remote_db->mediator().config();
+    for (int level = 0; level < 3; ++level) {
+      ThresholdQuery query;
+      query.dataset = "mhd";
+      query.raw_field = "velocity";
+      query.derived_field = "vorticity";
+      query.timestep = 0;
+      query.box = Box3::WholeGrid(n, n, n);
+      query.threshold = kLevels[level].multiple * rms;
+      QueryOptions options;
+      options.use_cache = false;
+      auto remote = remote_db->Threshold(query, options);
+      auto local = local_db->Threshold(query, options);
+      if (!remote.ok() || !local.ok()) {
+        std::fprintf(stderr, "distributed query failed: %s\n",
+                     (!remote.ok() ? remote.status() : local.status())
+                         .ToString()
+                         .c_str());
+        return 1;
+      }
+      const bool identical = EncodePointsBinary(remote->points) ==
+                             EncodePointsBinary(local->points);
+      std::printf("%-15s %8.2fs modeled, %zu points, byte-identical to "
+                  "in-process: %s\n",
+                  kLevels[level].label,
+                  ProjectToPaperScale(*remote, config, factor).Total(),
+                  remote->points.size(), identical ? "yes" : "NO");
+      if (!identical) return 1;
+    }
+  }
   return 0;
 }

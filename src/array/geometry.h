@@ -30,6 +30,23 @@ class GridGeometry {
   static GridGeometry Channel(int64_t nx, int64_t ny, int64_t nz,
                               double stretch = 2.0, int64_t atom_width = 8);
 
+  /// Reassembles a geometry from its raw members — the wire-decode path,
+  /// where a remote peer ships the exact fields instead of the recipe
+  /// that produced them. Callers should Validate() the result.
+  static GridGeometry FromParts(const std::array<int64_t, 3>& extent,
+                                const std::array<double, 3>& length,
+                                const std::array<bool, 3>& periodic,
+                                int64_t atom_width,
+                                std::vector<double> stretched_y) {
+    GridGeometry g;
+    g.extent_ = extent;
+    g.length_ = length;
+    g.periodic_ = periodic;
+    g.atom_width_ = atom_width;
+    g.stretched_y_ = std::move(stretched_y);
+    return g;
+  }
+
   /// Validates invariants (positive extents, atom width divides extents,
   /// stretched coordinates strictly increasing, ...).
   Status Validate() const;

@@ -5,6 +5,7 @@
 #include <future>
 #include <thread>
 
+#include "cluster/remote_node.h"
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "wire/serializer.h"
@@ -17,21 +18,47 @@ Mediator::Mediator(const ClusterConfig& config) : config_(config) {
 
 Result<std::unique_ptr<Mediator>> Mediator::Create(
     const ClusterConfig& config) {
-  if (config.num_nodes <= 0) {
+  ClusterConfig effective = config;
+  if (!effective.topology.empty()) {
+    // Distributed deployment: the topology is the node list.
+    effective.num_nodes = static_cast<int>(effective.topology.size());
+  }
+  if (effective.num_nodes <= 0) {
     return Status::InvalidArgument("need at least one database node");
   }
-  if (config.processes_per_node <= 0) {
+  if (effective.processes_per_node <= 0) {
     return Status::InvalidArgument("need at least one process per node");
   }
-  auto mediator = std::unique_ptr<Mediator>(new Mediator(config));
-  mediator->nodes_.reserve(static_cast<size_t>(config.num_nodes));
-  for (int i = 0; i < config.num_nodes; ++i) {
-    mediator->nodes_.push_back(
-        std::make_unique<DatabaseNode>(i, config.cost, config.storage_dir));
+  auto mediator = std::unique_ptr<Mediator>(new Mediator(effective));
+  const int worker_threads =
+      effective.worker_threads > 0
+          ? effective.worker_threads
+          : static_cast<int>(std::thread::hardware_concurrency());
+  mediator->scheduler_ = std::make_unique<ThreadPool>(effective.num_nodes);
+  mediator->workers_ = std::make_unique<ThreadPool>(worker_threads);
+
+  if (mediator->distributed()) {
+    // Remote scatter-gather: one RemoteNode channel per turbdb_node
+    // process. Handshake now so a dead or misconfigured node fails the
+    // bring-up, not the first query.
+    for (size_t i = 0; i < effective.topology.size(); ++i) {
+      auto remote = std::make_unique<RemoteNode>(
+          static_cast<int>(i), effective.topology.nodes[i],
+          effective.remote);
+      TURBDB_RETURN_NOT_OK(remote->Handshake());
+      mediator->backends_.push_back(std::move(remote));
+    }
+    return mediator;
+  }
+
+  mediator->nodes_.reserve(static_cast<size_t>(effective.num_nodes));
+  for (int i = 0; i < effective.num_nodes; ++i) {
+    mediator->nodes_.push_back(std::make_unique<DatabaseNode>(
+        i, effective.cost, effective.storage_dir));
   }
   // Wire the halo-exchange hook: a worker on one node fetches boundary
   // atoms by a batched read served from the owning node's disks plus a
-  // LAN round trip.
+  // LAN round trip. (Remote nodes do the same peer-to-peer over TCP.)
   Mediator* raw = mediator.get();
   for (auto& node : mediator->nodes_) {
     node->set_remote_fetch(
@@ -52,13 +79,9 @@ Result<std::unique_ptr<Mediator>> Mediator::Create(
           }
           return atoms;
         });
+    mediator->backends_.push_back(
+        std::make_unique<LocalNode>(node.get(), mediator->workers_.get()));
   }
-  const int worker_threads =
-      config.worker_threads > 0
-          ? config.worker_threads
-          : static_cast<int>(std::thread::hardware_concurrency());
-  mediator->scheduler_ = std::make_unique<ThreadPool>(config.num_nodes);
-  mediator->workers_ = std::make_unique<ThreadPool>(worker_threads);
   return mediator;
 }
 
@@ -77,9 +100,9 @@ Status Mediator::CreateDataset(const DatasetInfo& info) {
                                 config_.partition_strategy));
   auto state = std::make_unique<DatasetState>(
       DatasetState{info, std::move(partitioner)});
-  for (int i = 0; i < num_nodes(); ++i) {
-    nodes_[static_cast<size_t>(i)]->RegisterDataset(
-        info.name, state->partitioner.NodeAtoms(i));
+  for (auto& backend : backends_) {
+    TURBDB_RETURN_NOT_OK(backend->CreateDataset(info, state->partitioner,
+                                                config_.partition_strategy));
   }
   datasets_.emplace(info.name, std::move(state));
   return Status::OK();
@@ -117,17 +140,20 @@ Status Mediator::IngestTimestep(
       const size_t end = codes.size() * (s + 1) / slices;
       if (begin == end) continue;
       std::vector<uint64_t> slice(codes.begin() + begin, codes.begin() + end);
-      DatabaseNode* node = nodes_[static_cast<size_t>(node_id)].get();
+      NodeBackend* backend = backends_[static_cast<size_t>(node_id)].get();
       futures.push_back(workers_->Submit(
-          [node, &dataset, &field, timestep, &generate,
+          [backend, &dataset, &field, timestep, &generate,
            slice = std::move(slice)]() -> Status {
+            // Materialize the whole slice first so a remote backend ships
+            // it in a few batched RPCs instead of one per atom.
+            std::vector<Atom> atoms;
+            atoms.reserve(slice.size());
             for (uint64_t code : slice) {
               auto atom = generate(timestep, code);
               if (!atom.ok()) return atom.status();
-              TURBDB_RETURN_NOT_OK(
-                  node->IngestAtom(dataset, field, atom.value()));
+              atoms.push_back(std::move(atom).value());
             }
-            return Status::OK();
+            return backend->IngestAtoms(dataset, field, atoms);
           }));
     }
   }
@@ -184,6 +210,7 @@ Result<NodeQuery> Mediator::BuildNodeQuery(
   node_query.dataset = &state->info;
   node_query.partitioner = &state->partitioner;
   node_query.raw_field = raw_field;
+  node_query.derived_field = derived_field;
   node_query.raw_ncomp = ncomp;
   node_query.cache_field_key = raw_field + ":" + derived_field;
   node_query.kernel = std::move(kernel);
@@ -215,10 +242,10 @@ Result<std::vector<NodeOutcome>> Mediator::Dispatch(
   std::vector<std::future<Result<NodeOutcome>>> futures;
   futures.reserve(participants.size());
   for (int node_id : participants) {
-    DatabaseNode* node = nodes_[static_cast<size_t>(node_id)].get();
+    NodeBackend* backend = backends_[static_cast<size_t>(node_id)].get();
     futures.push_back(scheduler_->Submit(
-        [node, &node_query, this]() -> Result<NodeOutcome> {
-          return node->Execute(node_query, workers_.get());
+        [backend, &node_query]() -> Result<NodeOutcome> {
+          return backend->Execute(node_query);
         }));
   }
   std::vector<NodeOutcome> outcomes;
@@ -498,6 +525,7 @@ Result<SampleResult> Mediator::GetSamples(const SampleQuery& query) {
   node_query.timestep = query.timestep;
   node_query.box = geometry.Bounds();
   node_query.interpolator = interpolator;
+  node_query.sample_support = query.support;
   node_query.processes = config_.processes_per_node;
   node_query.options.use_cache = false;
   node_query.flops_per_process = config_.cost.flops_per_process;
@@ -512,11 +540,11 @@ Result<SampleResult> Mediator::GetSamples(const SampleQuery& query) {
   }
   size_t part = 0;
   for (auto& [node_id, targets] : per_node) {
-    DatabaseNode* node = nodes_[static_cast<size_t>(node_id)].get();
+    NodeBackend* backend = backends_[static_cast<size_t>(node_id)].get();
     const NodeQuery* query_ptr = &parts[part++];
     futures.push_back(scheduler_->Submit(
-        [node, query_ptr, this]() -> Result<NodeOutcome> {
-          return node->Execute(*query_ptr, workers_.get());
+        [backend, query_ptr]() -> Result<NodeOutcome> {
+          return backend->Execute(*query_ptr);
         }));
   }
 
@@ -563,10 +591,16 @@ Status Mediator::DropCacheEntries(const std::string& dataset,
                                   const std::string& derived_field,
                                   int32_t timestep) {
   const std::string key = raw_field + ":" + derived_field;
-  for (auto& node : nodes_) {
-    TURBDB_RETURN_NOT_OK(node->DropCacheEntries(dataset, key, timestep));
+  for (auto& backend : backends_) {
+    TURBDB_RETURN_NOT_OK(backend->DropCacheEntries(dataset, key, timestep));
   }
   return Status::OK();
+}
+
+Result<uint64_t> Mediator::StoredAtomCount(const std::string& dataset,
+                                           const std::string& field) {
+  if (backends_.empty()) return Status::Internal("cluster has no nodes");
+  return backends_.front()->StoredAtomCount(dataset, field);
 }
 
 }  // namespace turbdb

@@ -10,7 +10,9 @@
 #include "cluster/cost_model.h"
 #include "cluster/dataset.h"
 #include "cluster/node.h"
+#include "cluster/node_backend.h"
 #include "cluster/partitioner.h"
+#include "cluster/topology.h"
 #include "common/thread_pool.h"
 #include "fields/field_registry.h"
 #include "query/query.h"
@@ -35,6 +37,13 @@ struct ClusterConfig {
   /// over the same directory recovers the data. Device *time* still
   /// comes from the cost models either way.
   std::string storage_dir;
+  /// When non-empty, the database nodes are `turbdb_node` processes at
+  /// these addresses (entry i = node i) and the mediator scatter-gathers
+  /// over TCP; `num_nodes` is then taken from the topology. Empty =
+  /// classic in-process deployment.
+  ClusterTopology topology;
+  /// Transport policy toward remote nodes (deadlines, retry budget).
+  RemoteNodeOptions remote;
 };
 
 /// The front-end Web-server of Fig. 1: mediates between clients and the
@@ -79,10 +88,20 @@ class Mediator {
                           const std::string& raw_field,
                           const std::string& derived_field, int32_t timestep);
 
-  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  int num_nodes() const { return static_cast<int>(backends_.size()); }
+  /// True when the nodes are remote turbdb_node processes.
+  bool distributed() const { return !config_.topology.empty(); }
+  /// The in-process DatabaseNode `i` — local deployments only (tests and
+  /// benchmarks reach into caches/stores through this).
   DatabaseNode& node(int i) { return *nodes_[static_cast<size_t>(i)]; }
+  NodeBackend& backend(int i) { return *backends_[static_cast<size_t>(i)]; }
   const ClusterConfig& config() const { return config_; }
   FieldRegistry& registry() { return registry_; }
+
+  /// Atoms node 0 stores for (dataset, field) — works in both
+  /// deployments; used to probe whether data was already ingested.
+  Result<uint64_t> StoredAtomCount(const std::string& dataset,
+                                   const std::string& field);
 
   Result<const DatasetInfo*> GetDataset(const std::string& name) const;
 
@@ -113,7 +132,10 @@ class Mediator {
 
   ClusterConfig config_;
   FieldRegistry registry_;
+  /// In-process nodes (empty in distributed mode); backends_ is the
+  /// uniform view the query path uses, one entry per node either way.
   std::vector<std::unique_ptr<DatabaseNode>> nodes_;
+  std::vector<std::unique_ptr<NodeBackend>> backends_;
   std::map<std::string, std::unique_ptr<DatasetState>> datasets_;
 
   /// Runs per-node sub-queries (the asynchronous query scheduling layer).

@@ -35,6 +35,10 @@ struct NodeQuery {
   const DatasetInfo* dataset = nullptr;
   const MortonPartitioner* partitioner = nullptr;
   std::string raw_field;
+  /// Name the kernel was resolved from ("vorticity", ...; empty for
+  /// kSample). Carried so a remote backend can re-resolve the kernel on
+  /// its own side of the wire.
+  std::string derived_field;
   int raw_ncomp = 3;
   /// Cache identity of the derived quantity: "<raw>:<derived>", so that
   /// e.g. the curl of the velocity and the curl of the magnetic field
@@ -56,7 +60,10 @@ struct NodeQuery {
 
   // Sampling parameters (mode == kSample): the interpolator and this
   // node's share of the targets, tagged with their original indices.
+  // `sample_support` is the Lagrange support the interpolator was built
+  // with — the wire-transferable form of that pointer.
   std::shared_ptr<const LagrangeInterpolator> interpolator;
+  int sample_support = 0;
   std::vector<std::pair<uint32_t, std::array<double, 3>>> targets;
 
   int processes = 1;

@@ -1,0 +1,339 @@
+#include "cluster/node_service.h"
+
+#include <thread>
+#include <utility>
+
+#include "net/protocol.h"
+
+namespace turbdb {
+
+namespace {
+
+bool SameDataset(const DatasetInfo& a, const DatasetInfo& b) {
+  if (a.name != b.name || !(a.geometry == b.geometry) ||
+      a.num_timesteps != b.num_timesteps ||
+      a.raw_fields.size() != b.raw_fields.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.raw_fields.size(); ++i) {
+    if (a.raw_fields[i].name != b.raw_fields[i].name ||
+        a.raw_fields[i].ncomp != b.raw_fields[i].ncomp) {
+      return false;
+    }
+  }
+  return true;
+}
+
+net::ClientOptions PeerClientOptions(const RemoteNodeOptions& remote) {
+  net::ClientOptions client;
+  client.connect_timeout_ms = remote.connect_timeout_ms;
+  client.write_timeout_ms = remote.connect_timeout_ms;
+  client.read_timeout_ms =
+      static_cast<int>(remote.subquery_deadline_ms) + 5000;
+  client.max_retries = remote.max_retries;
+  client.backoff_initial_ms = remote.backoff_initial_ms;
+  client.deadline_ms = remote.subquery_deadline_ms;
+  return client;
+}
+
+}  // namespace
+
+NodeService::NodeService(const NodeServiceConfig& config)
+    : config_(config),
+      node_(config.node_id, config.cost, config.storage_dir),
+      registry_(FieldRegistry::Default()),
+      workers_(config.worker_threads > 0
+                   ? config.worker_threads
+                   : static_cast<int>(std::thread::hardware_concurrency())) {
+  node_.set_remote_fetch(
+      [this](int owner, const std::string& dataset, const std::string& field,
+             int32_t timestep, const std::vector<uint64_t>& codes,
+             int concurrent, double* cost_s) -> Result<std::vector<Atom>> {
+        return FetchFromPeer(owner, dataset, field, timestep, codes,
+                             concurrent, cost_s);
+      });
+}
+
+net::Server::Handler NodeService::AsHandler() {
+  return [this](const std::vector<uint8_t>& payload,
+                const net::Deadline& deadline) {
+    return Handle(payload, deadline);
+  };
+}
+
+Result<const NodeService::DatasetState*> NodeService::GetDatasetState(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  auto it = datasets_.find(name);
+  if (it == datasets_.end()) {
+    return Status::NotFound("node " + std::to_string(config_.node_id) +
+                            " has no dataset named '" + name + "'");
+  }
+  return const_cast<const DatasetState*>(it->second.get());
+}
+
+const Differentiator* NodeService::GetDifferentiator(
+    const std::string& dataset, const GridGeometry& geometry, int order) {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  auto key = std::make_pair(dataset, order);
+  auto it = differentiators_.find(key);
+  if (it != differentiators_.end()) return it->second.get();
+  auto diff = Differentiator::Create(geometry, order);
+  if (!diff.ok()) return nullptr;
+  auto owned = std::make_unique<Differentiator>(std::move(diff).value());
+  const Differentiator* raw = owned.get();
+  differentiators_.emplace(key, std::move(owned));
+  return raw;
+}
+
+Result<NodeQuery> NodeService::BuildQuery(const net::NodeQuerySpec& spec) {
+  TURBDB_ASSIGN_OR_RETURN(const DatasetState* state,
+                          GetDatasetState(spec.dataset));
+  TURBDB_ASSIGN_OR_RETURN(const int ncomp,
+                          state->info.FieldNcomp(spec.raw_field));
+  if (spec.mode < 0 ||
+      spec.mode > static_cast<int32_t>(NodeQuery::Mode::kSample)) {
+    return Status::InvalidArgument("bad node-query mode " +
+                                   std::to_string(spec.mode));
+  }
+  if (spec.timestep < 0 || spec.timestep >= state->info.num_timesteps) {
+    return Status::OutOfRange("timestep " + std::to_string(spec.timestep) +
+                              " outside [0, " +
+                              std::to_string(state->info.num_timesteps) + ")");
+  }
+  NodeQuery query;
+  query.mode = static_cast<NodeQuery::Mode>(spec.mode);
+  query.dataset = &state->info;
+  query.partitioner = &state->partitioner;
+  query.raw_field = spec.raw_field;
+  query.derived_field = spec.derived_field;
+  query.raw_ncomp = ncomp;
+  query.fd_order = spec.fd_order;
+  query.timestep = spec.timestep;
+  query.box = spec.box;
+  query.threshold = spec.threshold;
+  query.bin_width = spec.bin_width;
+  query.num_bins = spec.num_bins;
+  query.k = spec.k;
+  query.processes = spec.processes;
+  query.options = spec.options;
+  query.sample_support = spec.sample_support;
+  query.targets = spec.targets;
+  query.flops_per_process = spec.flops_per_process;
+  query.effective_cores = spec.effective_cores;
+
+  if (query.mode == NodeQuery::Mode::kSample) {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    auto key = std::make_pair(spec.dataset, spec.sample_support);
+    auto it = interpolators_.find(key);
+    if (it != interpolators_.end()) {
+      query.interpolator = it->second;
+    } else {
+      TURBDB_ASSIGN_OR_RETURN(
+          LagrangeInterpolator built,
+          LagrangeInterpolator::Create(state->info.geometry,
+                                       spec.sample_support));
+      query.interpolator =
+          std::make_shared<const LagrangeInterpolator>(std::move(built));
+      interpolators_.emplace(key, query.interpolator);
+    }
+  } else {
+    query.cache_field_key = spec.raw_field + ":" + spec.derived_field;
+    TURBDB_ASSIGN_OR_RETURN(query.kernel,
+                            registry_.Create(spec.derived_field, ncomp));
+    query.diff =
+        GetDifferentiator(spec.dataset, state->info.geometry, spec.fd_order);
+    if (query.diff == nullptr) {
+      return Status::InvalidArgument(
+          "cannot build differentiator of order " +
+          std::to_string(spec.fd_order));
+    }
+  }
+  return query;
+}
+
+Result<std::vector<Atom>> NodeService::FetchFromPeer(
+    int owner, const std::string& dataset, const std::string& field,
+    int32_t timestep, const std::vector<uint64_t>& codes, int concurrent,
+    double* cost_s) {
+  if (owner < 0 || static_cast<size_t>(owner) >= config_.peers.size()) {
+    return Status::InvalidArgument("no such node " + std::to_string(owner));
+  }
+  if (owner == config_.node_id) {
+    return Status::Internal("halo fetch routed to the local node");
+  }
+  PeerChannel* channel = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(peers_mutex_);
+    auto it = peers_.find(owner);
+    if (it == peers_.end()) {
+      auto created = std::make_unique<PeerChannel>();
+      const NodeAddress& address =
+          config_.peers.nodes[static_cast<size_t>(owner)];
+      created->client = std::make_unique<net::Client>(
+          address.host, address.port, PeerClientOptions(config_.remote));
+      it = peers_.emplace(owner, std::move(created)).first;
+    }
+    channel = it->second.get();
+  }
+  net::NodeFetchAtomsRequest request;
+  request.dataset = dataset;
+  request.field = field;
+  request.timestep = timestep;
+  request.concurrent = concurrent;
+  request.codes = codes;
+  std::lock_guard<std::mutex> lock(channel->mutex);
+  auto reply = channel->client->NodeFetchAtoms(request);
+  if (!reply.ok()) {
+    return Status(reply.status().code(),
+                  "halo fetch from node " + std::to_string(owner) + ": " +
+                      reply.status().message());
+  }
+  if (cost_s != nullptr) {
+    *cost_s += reply->cost_s + config_.cost.lan.TransferCost(reply->bytes_out);
+  }
+  return std::move(reply->atoms);
+}
+
+std::vector<uint8_t> NodeService::Handle(const std::vector<uint8_t>& payload,
+                                         const net::Deadline& deadline) {
+  (void)deadline;  // The server refuses stale responses after the fact.
+  auto header = net::PeekRequestHeader(payload);
+  if (!header.ok()) return net::EncodeErrorResponse(header.status());
+  Result<std::vector<uint8_t>> response = Status::OK();
+  switch (header->type) {
+    case net::MsgType::kNodeCreateDatasetRequest:
+      response = HandleCreateDataset(payload);
+      break;
+    case net::MsgType::kNodeIngestRequest:
+      response = HandleIngest(payload);
+      break;
+    case net::MsgType::kNodeExecuteRequest:
+      response = HandleExecute(payload);
+      break;
+    case net::MsgType::kNodeFetchAtomsRequest:
+      response = HandleFetchAtoms(payload);
+      break;
+    case net::MsgType::kNodeDropCacheRequest:
+      response = HandleDropCache(payload);
+      break;
+    case net::MsgType::kNodeStatsRequest:
+      response = HandleStats(payload);
+      break;
+    default:
+      response = Status::NotSupported(
+          "turbdb_node does not serve request type " +
+          std::to_string(static_cast<int>(header->type)) +
+          " (query RPCs go to the mediator)");
+      break;
+  }
+  if (!response.ok()) return net::EncodeErrorResponse(response.status());
+  return std::move(response).value();
+}
+
+Result<std::vector<uint8_t>> NodeService::HandleCreateDataset(
+    const std::vector<uint8_t>& payload) {
+  TURBDB_ASSIGN_OR_RETURN(net::NodeCreateDatasetRequest request,
+                          net::DecodeNodeCreateDatasetRequest(payload));
+  if (request.node_id != config_.node_id) {
+    return Status::InvalidArgument(
+        "shard addressed to node " + std::to_string(request.node_id) +
+        ", this is node " + std::to_string(config_.node_id));
+  }
+  if (request.strategy < 0 ||
+      request.strategy > static_cast<int32_t>(PartitionStrategy::kZSlabs)) {
+    return Status::InvalidArgument("bad partition strategy " +
+                                   std::to_string(request.strategy));
+  }
+  TURBDB_RETURN_NOT_OK(request.info.geometry.Validate());
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    auto it = datasets_.find(request.info.name);
+    if (it != datasets_.end()) {
+      // Identical re-registration is a retried RPC, not a conflict.
+      if (SameDataset(it->second->info, request.info)) {
+        return net::EncodeAckResponse(
+            net::MsgType::kNodeCreateDatasetResponse);
+      }
+      return Status::AlreadyExists("dataset '" + request.info.name +
+                                   "' already exists with a different shape");
+    }
+  }
+  TURBDB_ASSIGN_OR_RETURN(
+      MortonPartitioner partitioner,
+      MortonPartitioner::Create(
+          request.info.geometry, request.num_nodes,
+          static_cast<PartitionStrategy>(request.strategy)));
+  auto state = std::make_unique<DatasetState>(
+      DatasetState{request.info, std::move(partitioner)});
+  node_.RegisterDataset(request.info.name,
+                        state->partitioner.NodeAtoms(config_.node_id));
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  datasets_.emplace(request.info.name, std::move(state));
+  return net::EncodeAckResponse(net::MsgType::kNodeCreateDatasetResponse);
+}
+
+Result<std::vector<uint8_t>> NodeService::HandleIngest(
+    const std::vector<uint8_t>& payload) {
+  TURBDB_ASSIGN_OR_RETURN(net::NodeIngestRequest request,
+                          net::DecodeNodeIngestRequest(payload));
+  for (const Atom& atom : request.atoms) {
+    TURBDB_RETURN_NOT_OK(
+        node_.IngestAtom(request.dataset, request.field, atom));
+  }
+  return net::EncodeAckResponse(net::MsgType::kNodeIngestResponse);
+}
+
+Result<std::vector<uint8_t>> NodeService::HandleExecute(
+    const std::vector<uint8_t>& payload) {
+  TURBDB_ASSIGN_OR_RETURN(net::NodeExecuteRequest request,
+                          net::DecodeNodeExecuteRequest(payload));
+  TURBDB_ASSIGN_OR_RETURN(NodeQuery query, BuildQuery(request.spec));
+  TURBDB_ASSIGN_OR_RETURN(NodeOutcome outcome,
+                          node_.Execute(query, &workers_));
+  net::NodeResult result;
+  result.points = std::move(outcome.points);
+  result.histogram = std::move(outcome.histogram);
+  result.norm_sum = outcome.norm_sum;
+  result.norm_sum_sq = outcome.norm_sum_sq;
+  result.norm_max = outcome.norm_max;
+  result.samples = std::move(outcome.samples);
+  result.cache_hit = outcome.cache_hit;
+  result.time = outcome.time;
+  result.io = outcome.io;
+  return net::EncodeNodeExecuteResponse(result);
+}
+
+Result<std::vector<uint8_t>> NodeService::HandleFetchAtoms(
+    const std::vector<uint8_t>& payload) {
+  TURBDB_ASSIGN_OR_RETURN(net::NodeFetchAtomsRequest request,
+                          net::DecodeNodeFetchAtomsRequest(payload));
+  net::NodeFetchAtomsReply reply;
+  TURBDB_ASSIGN_OR_RETURN(
+      reply.atoms,
+      node_.ServeAtoms(request.dataset, request.field, request.timestep,
+                       request.codes, request.concurrent, &reply.cost_s,
+                       &reply.bytes_out));
+  return net::EncodeNodeFetchAtomsResponse(reply);
+}
+
+Result<std::vector<uint8_t>> NodeService::HandleDropCache(
+    const std::vector<uint8_t>& payload) {
+  TURBDB_ASSIGN_OR_RETURN(net::NodeDropCacheRequest request,
+                          net::DecodeNodeDropCacheRequest(payload));
+  TURBDB_RETURN_NOT_OK(node_.DropCacheEntries(request.dataset, request.field,
+                                              request.timestep));
+  return net::EncodeAckResponse(net::MsgType::kNodeDropCacheResponse);
+}
+
+Result<std::vector<uint8_t>> NodeService::HandleStats(
+    const std::vector<uint8_t>& payload) {
+  TURBDB_ASSIGN_OR_RETURN(net::NodeStatsRequest request,
+                          net::DecodeNodeStatsRequest(payload));
+  net::NodeStatsReply reply;
+  reply.node_id = config_.node_id;
+  reply.stored_atoms = node_.StoredAtomCount(request.dataset, request.field);
+  return net::EncodeNodeStatsResponse(reply);
+}
+
+}  // namespace turbdb

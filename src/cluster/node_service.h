@@ -1,0 +1,116 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cluster/cost_model.h"
+#include "cluster/node.h"
+#include "cluster/topology.h"
+#include "common/thread_pool.h"
+#include "fields/field_registry.h"
+#include "net/client.h"
+#include "net/server.h"
+
+namespace turbdb {
+
+/// Configuration of one turbdb_node process.
+struct NodeServiceConfig {
+  int node_id = 0;
+  CostModelConfig cost;
+  /// Empty = in-memory atom stores; otherwise FileAtomStore files live
+  /// under this directory.
+  std::string storage_dir;
+  /// Threads executing this node's data-parallel chunks; 0 = hardware
+  /// concurrency.
+  int worker_threads = 0;
+  /// Peer addresses (entry i = node i) for direct halo fetches. The
+  /// entry of this node itself is ignored.
+  ClusterTopology peers;
+  /// Transport policy for peer fetches.
+  RemoteNodeOptions remote;
+};
+
+/// Serves one `DatabaseNode` over the node-scoped RPCs: the process body
+/// of `tools/turbdb_node`. Mirrors the resolution work the mediator does
+/// for in-process nodes — dataset catalog, partitioner, kernel,
+/// differentiator and interpolator are rebuilt here from the names and
+/// parameters in each request, so a remote sub-query executes exactly
+/// the `NodeQuery` its in-process twin would.
+///
+/// Halo exchange goes node-to-node: a sub-query needing boundary atoms
+/// owned by a peer dials that peer's NodeFetchAtoms directly (no
+/// mediator round-trip), adding the modeled LAN cost locally just as the
+/// in-process fetch hook does.
+class NodeService {
+ public:
+  explicit NodeService(const NodeServiceConfig& config);
+
+  /// The request handler to mount on a net::Server. The service must
+  /// outlive the server.
+  net::Server::Handler AsHandler();
+
+  /// Decodes and executes one node-scoped request payload.
+  std::vector<uint8_t> Handle(const std::vector<uint8_t>& payload,
+                              const net::Deadline& deadline);
+
+  DatabaseNode& node() { return node_; }
+  int node_id() const { return config_.node_id; }
+
+ private:
+  struct DatasetState {
+    DatasetInfo info;
+    MortonPartitioner partitioner;
+  };
+
+  /// One serialized channel per peer (net::Client is not thread-safe;
+  /// worker chunks of one sub-query may fetch concurrently).
+  struct PeerChannel {
+    std::mutex mutex;
+    std::unique_ptr<net::Client> client;
+  };
+
+  Result<const DatasetState*> GetDatasetState(const std::string& name) const;
+  Result<NodeQuery> BuildQuery(const net::NodeQuerySpec& spec);
+  const Differentiator* GetDifferentiator(const std::string& dataset,
+                                          const GridGeometry& geometry,
+                                          int order);
+
+  Result<std::vector<Atom>> FetchFromPeer(
+      int owner, const std::string& dataset, const std::string& field,
+      int32_t timestep, const std::vector<uint64_t>& codes, int concurrent,
+      double* cost_s);
+
+  Result<std::vector<uint8_t>> HandleCreateDataset(
+      const std::vector<uint8_t>& payload);
+  Result<std::vector<uint8_t>> HandleIngest(
+      const std::vector<uint8_t>& payload);
+  Result<std::vector<uint8_t>> HandleExecute(
+      const std::vector<uint8_t>& payload);
+  Result<std::vector<uint8_t>> HandleFetchAtoms(
+      const std::vector<uint8_t>& payload);
+  Result<std::vector<uint8_t>> HandleDropCache(
+      const std::vector<uint8_t>& payload);
+  Result<std::vector<uint8_t>> HandleStats(
+      const std::vector<uint8_t>& payload);
+
+  NodeServiceConfig config_;
+  DatabaseNode node_;
+  FieldRegistry registry_;
+  ThreadPool workers_;
+
+  mutable std::mutex state_mutex_;
+  std::map<std::string, std::unique_ptr<DatasetState>> datasets_;
+  std::map<std::pair<std::string, int>, std::unique_ptr<Differentiator>>
+      differentiators_;
+  std::map<std::pair<std::string, int>,
+           std::shared_ptr<const LagrangeInterpolator>>
+      interpolators_;
+
+  std::map<int, std::unique_ptr<PeerChannel>> peers_;
+  std::mutex peers_mutex_;
+};
+
+}  // namespace turbdb

@@ -1,0 +1,152 @@
+#include "cluster/remote_node.h"
+
+#include <algorithm>
+
+#include "net/frame.h"
+
+namespace turbdb {
+
+namespace {
+
+net::ClientOptions MakeClientOptions(const RemoteNodeOptions& options) {
+  net::ClientOptions client;
+  client.connect_timeout_ms = options.connect_timeout_ms;
+  client.write_timeout_ms = options.connect_timeout_ms;
+  // The read timeout must outlast the server-side budget, or the client
+  // gives up on sub-queries the node still considers live.
+  client.read_timeout_ms =
+      static_cast<int>(options.subquery_deadline_ms) + 5000;
+  client.max_retries = options.max_retries;
+  client.backoff_initial_ms = options.backoff_initial_ms;
+  client.deadline_ms = options.subquery_deadline_ms;
+  return client;
+}
+
+}  // namespace
+
+net::NodeQuerySpec ToSpec(const NodeQuery& query) {
+  net::NodeQuerySpec spec;
+  spec.mode = static_cast<int32_t>(query.mode);
+  spec.dataset = query.dataset->name;
+  spec.raw_field = query.raw_field;
+  spec.derived_field = query.derived_field;
+  spec.timestep = query.timestep;
+  spec.box = query.box;
+  spec.fd_order = query.fd_order;
+  spec.threshold = query.threshold;
+  spec.bin_width = query.bin_width;
+  spec.num_bins = query.num_bins;
+  spec.k = query.k;
+  spec.processes = query.processes;
+  spec.options = query.options;
+  spec.sample_support = query.sample_support;
+  spec.targets = query.targets;
+  spec.flops_per_process = query.flops_per_process;
+  spec.effective_cores = query.effective_cores;
+  return spec;
+}
+
+RemoteNode::RemoteNode(int id, const NodeAddress& address,
+                       const RemoteNodeOptions& options)
+    : id_(id), address_(address), options_(options),
+      client_(address.host, address.port, MakeClientOptions(options)) {}
+
+Status RemoteNode::Named(const Status& status) const {
+  if (status.ok()) return status;
+  return Status(status.code(), DebugName() + ": " + status.message());
+}
+
+Status RemoteNode::Handshake() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto hello = client_.Hello();
+  if (!hello.ok()) return Named(hello.status());
+  if (hello->protocol_version != net::kProtocolVersion) {
+    // Normally unreachable — the frame layer rejects other versions —
+    // but kept for a future where frames stay stable and semantics move.
+    return Named(Status::VersionMismatch(
+        "speaks protocol v" + std::to_string(hello->protocol_version) +
+        ", this mediator speaks v" + std::to_string(net::kProtocolVersion)));
+  }
+  if (hello->server_id != id_) {
+    return Named(Status::InvalidArgument(
+        "identifies as node " + std::to_string(hello->server_id) +
+        " — topology misconfigured?"));
+  }
+  return Status::OK();
+}
+
+Status RemoteNode::CreateDataset(const DatasetInfo& info,
+                                 const MortonPartitioner& partitioner,
+                                 PartitionStrategy strategy) {
+  net::NodeCreateDatasetRequest request;
+  request.info = info;
+  request.num_nodes = partitioner.num_nodes();
+  request.node_id = id_;
+  request.strategy = static_cast<int32_t>(strategy);
+  std::lock_guard<std::mutex> lock(mutex_);
+  return Named(client_.NodeCreateDataset(request));
+}
+
+Status RemoteNode::IngestAtoms(const std::string& dataset,
+                               const std::string& field,
+                               const std::vector<Atom>& atoms) {
+  const size_t batch =
+      static_cast<size_t>(std::max(1, options_.ingest_batch_atoms));
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (size_t begin = 0; begin < atoms.size(); begin += batch) {
+    const size_t end = std::min(atoms.size(), begin + batch);
+    net::NodeIngestRequest request;
+    request.dataset = dataset;
+    request.field = field;
+    request.atoms.assign(atoms.begin() + static_cast<ptrdiff_t>(begin),
+                         atoms.begin() + static_cast<ptrdiff_t>(end));
+    TURBDB_RETURN_NOT_OK(Named(client_.NodeIngest(request)));
+  }
+  return Status::OK();
+}
+
+Result<NodeOutcome> RemoteNode::Execute(const NodeQuery& query) {
+  net::NodeExecuteRequest request;
+  request.spec = ToSpec(query);
+  request.rpc.deadline_ms = options_.subquery_deadline_ms;
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto result = client_.NodeExecute(request);
+  lock.unlock();
+  if (!result.ok()) return Named(result.status());
+  NodeOutcome outcome;
+  outcome.node_id = id_;
+  outcome.points = std::move(result->points);
+  outcome.histogram = std::move(result->histogram);
+  outcome.norm_sum = result->norm_sum;
+  outcome.norm_sum_sq = result->norm_sum_sq;
+  outcome.norm_max = result->norm_max;
+  outcome.samples = std::move(result->samples);
+  outcome.cache_hit = result->cache_hit;
+  outcome.time = result->time;
+  outcome.io = result->io;
+  return outcome;
+}
+
+Status RemoteNode::DropCacheEntries(const std::string& dataset,
+                                    const std::string& field,
+                                    int32_t timestep) {
+  net::NodeDropCacheRequest request;
+  request.dataset = dataset;
+  request.field = field;
+  request.timestep = timestep;
+  std::lock_guard<std::mutex> lock(mutex_);
+  return Named(client_.NodeDropCache(request));
+}
+
+Result<uint64_t> RemoteNode::StoredAtomCount(const std::string& dataset,
+                                             const std::string& field) {
+  net::NodeStatsRequest request;
+  request.dataset = dataset;
+  request.field = field;
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto stats = client_.NodeStats(request);
+  if (!stats.ok()) return Named(stats.status());
+  return stats->stored_atoms;
+}
+
+}  // namespace turbdb

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cluster/node_backend.h"
+#include "cluster/topology.h"
+#include "net/client.h"
+
+namespace turbdb {
+
+/// A database node living in another process: implements NodeBackend by
+/// speaking the node-scoped RPCs to a `turbdb_node` over `net::Client`.
+///
+/// Every wire wait is deadline-bounded and transport failures are
+/// retried a bounded number of times (the client's policy); a node that
+/// cannot be reached surfaces as kUnreachable *naming this node*, which
+/// is what the mediator propagates so a dead node fails the query fast
+/// instead of hanging it. The underlying client drives one connection
+/// and is not thread-safe, so calls are serialized on a mutex — the
+/// cluster's parallelism is across nodes, not within one node's channel.
+class RemoteNode : public NodeBackend {
+ public:
+  RemoteNode(int id, const NodeAddress& address,
+             const RemoteNodeOptions& options);
+
+  /// Verifies the node answers, speaks this protocol version and
+  /// identifies as the expected node id. Called by the mediator at
+  /// cluster bring-up so misconfiguration fails at Create, not mid-query.
+  Status Handshake();
+
+  int id() const override { return id_; }
+  std::string DebugName() const override {
+    return "node " + std::to_string(id_) + " (" + address_.ToString() + ")";
+  }
+
+  Status CreateDataset(const DatasetInfo& info,
+                       const MortonPartitioner& partitioner,
+                       PartitionStrategy strategy) override;
+  Status IngestAtoms(const std::string& dataset, const std::string& field,
+                     const std::vector<Atom>& atoms) override;
+  Result<NodeOutcome> Execute(const NodeQuery& query) override;
+  Status DropCacheEntries(const std::string& dataset,
+                          const std::string& field,
+                          int32_t timestep) override;
+  Result<uint64_t> StoredAtomCount(const std::string& dataset,
+                                   const std::string& field) override;
+
+ private:
+  /// Prefixes a failure with this node's identity (code preserved).
+  Status Named(const Status& status) const;
+
+  int id_;
+  NodeAddress address_;
+  RemoteNodeOptions options_;
+
+  std::mutex mutex_;
+  net::Client client_;
+};
+
+/// The wire form of a NodeQuery: every process-local pointer replaced by
+/// the name/parameters it resolves from. Shared by RemoteNode (encode
+/// side) and NodeService (rebuild side).
+net::NodeQuerySpec ToSpec(const NodeQuery& query);
+
+}  // namespace turbdb

@@ -1,0 +1,58 @@
+#include "cluster/service.h"
+
+#include <utility>
+#include <variant>
+
+namespace turbdb {
+
+net::Server::Handler MediatorHandler(Mediator* mediator) {
+  return [mediator](const std::vector<uint8_t>& payload,
+                    const net::Deadline& deadline) -> std::vector<uint8_t> {
+    auto request_or = net::DecodeRequest(payload);
+    if (!request_or.ok()) {
+      return net::EncodeErrorResponse(request_or.status());
+    }
+    const net::Request& request = *request_or;
+
+    std::vector<uint8_t> response;
+    auto finish = [&](auto&& result_or) {
+      if (!result_or.ok()) {
+        response = net::EncodeErrorResponse(result_or.status());
+      } else if (deadline.Expired()) {
+        // The result is ready but stale: the client stopped waiting.
+        response = net::EncodeErrorResponse(
+            Status::Unavailable("deadline exceeded"));
+      } else {
+        response = net::EncodeResponse(*result_or);
+      }
+    };
+
+    if (std::holds_alternative<net::ThresholdRequest>(request)) {
+      const auto& req = std::get<net::ThresholdRequest>(request);
+      finish(mediator->GetThreshold(req.query, req.options));
+    } else if (std::holds_alternative<net::PdfRequest>(request)) {
+      finish(mediator->GetPdf(std::get<net::PdfRequest>(request).query));
+    } else if (std::holds_alternative<net::TopKRequest>(request)) {
+      finish(mediator->GetTopK(std::get<net::TopKRequest>(request).query));
+    } else if (std::holds_alternative<net::FieldStatsRequest>(request)) {
+      finish(mediator->GetFieldStats(
+          std::get<net::FieldStatsRequest>(request).query));
+    } else {
+      // Ping/ServerStats/Hello are answered by the server itself; a
+      // node-scoped request reaching a mediator lands here too.
+      response = net::EncodeErrorResponse(Status::NotSupported(
+          "request type not served by a mediator server"));
+    }
+    return response;
+  };
+}
+
+Result<std::unique_ptr<net::Server>> ServeMediator(
+    Mediator* mediator, const net::ServerOptions& options) {
+  if (mediator == nullptr) {
+    return Status::InvalidArgument("server needs a mediator");
+  }
+  return net::Server::Start(MediatorHandler(mediator), options);
+}
+
+}  // namespace turbdb

@@ -1,0 +1,22 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cluster/mediator.h"
+#include "net/server.h"
+
+namespace turbdb {
+
+/// The user-facing request handler: decodes the client RPCs (threshold,
+/// PDF, top-k, field stats) and runs them on the mediator — the request
+/// semantics that used to live inside net::Server, now mounted on it as
+/// a handler. The mediator must outlive the returned handler.
+net::Server::Handler MediatorHandler(Mediator* mediator);
+
+/// Starts a net::Server answering user queries against `mediator`
+/// (tools/turbdb_server's body). The mediator must outlive the server.
+Result<std::unique_ptr<net::Server>> ServeMediator(
+    Mediator* mediator, const net::ServerOptions& options);
+
+}  // namespace turbdb

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace turbdb {
+
+/// Network address of one turbdb_node process.
+struct NodeAddress {
+  std::string host;
+  uint16_t port = 0;
+
+  std::string ToString() const {
+    return host + ":" + std::to_string(port);
+  }
+  bool operator==(const NodeAddress& other) const {
+    return host == other.host && port == other.port;
+  }
+};
+
+/// Where the cluster's database nodes live: entry i is node i. An empty
+/// topology means the in-process deployment (every DatabaseNode inside
+/// the mediator); a non-empty one switches the mediator to remote
+/// scatter-gather over TCP.
+struct ClusterTopology {
+  std::vector<NodeAddress> nodes;
+
+  bool empty() const { return nodes.empty(); }
+  size_t size() const { return nodes.size(); }
+
+  /// "host:port,host:port,..." — the inverse of ParseTopology; also the
+  /// format turbdb_node's --peers flag takes.
+  std::string ToString() const;
+};
+
+/// How the mediator (and peer nodes) talk to remote turbdb_node
+/// processes. Retries apply to transport failures only; a node that
+/// stays unreachable after the attempts yields a typed kUnreachable
+/// error naming it, never a hang.
+struct RemoteNodeOptions {
+  /// Per-sub-query execution budget on the remote node.
+  uint64_t subquery_deadline_ms = 60000;
+  /// Extra attempts after a transport failure (connect refused, reset,
+  /// timeout).
+  int max_retries = 1;
+  int connect_timeout_ms = 5000;
+  /// First retry backoff; doubles per attempt.
+  int backoff_initial_ms = 50;
+  /// Atoms per ingest RPC (keeps frames far below the 64 MiB cap).
+  int ingest_batch_atoms = 512;
+};
+
+/// Parses "host:port,host:port,...". Whitespace around entries is
+/// ignored; an empty spec yields an empty topology.
+Result<ClusterTopology> ParseTopology(const std::string& spec);
+
+/// Loads a topology file: one host:port per line, '#' starts a comment,
+/// blank lines ignored. Line order assigns node ids.
+Result<ClusterTopology> LoadTopologyFile(const std::string& path);
+
+}  // namespace turbdb

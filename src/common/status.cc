@@ -30,6 +30,10 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "NotSupported";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kUnreachable:
+      return "Unreachable";
+    case StatusCode::kVersionMismatch:
+      return "VersionMismatch";
   }
   return "Unknown";
 }

@@ -28,6 +28,8 @@ enum class StatusCode : int {
   kUnavailable = 10,
   kNotSupported = 11,
   kInternal = 12,
+  kUnreachable = 13,
+  kVersionMismatch = 14,
 };
 
 /// Returns a stable human-readable name for a status code ("IOError" etc.).
@@ -81,6 +83,12 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Unreachable(std::string msg) {
+    return Status(StatusCode::kUnreachable, std::move(msg));
+  }
+  static Status VersionMismatch(std::string msg) {
+    return Status(StatusCode::kVersionMismatch, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -93,6 +101,10 @@ class Status {
   }
   bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
   bool IsIOError() const { return code_ == StatusCode::kIOError; }
+  bool IsUnreachable() const { return code_ == StatusCode::kUnreachable; }
+  bool IsVersionMismatch() const {
+    return code_ == StatusCode::kVersionMismatch;
+  }
 
   /// "OK" or "<Code>: <message>".
   std::string ToString() const;

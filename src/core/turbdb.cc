@@ -166,8 +166,11 @@ Status EnsureMhdDemoData(TurbDB* db, const std::string& name, int64_t n,
                          int32_t timesteps, uint64_t seed) {
   TURBDB_RETURN_NOT_OK(
       db->CreateDataset(MakeMhdDataset(name, n, timesteps)));
-  // A storage-dir cluster reopened over earlier runs already has atoms.
-  if (db->mediator().node(0).StoredAtomCount(name, "velocity") > 0) {
+  // A storage-dir cluster reopened over earlier runs — or remote nodes
+  // that outlived a previous mediator — already has atoms.
+  TURBDB_ASSIGN_OR_RETURN(const uint64_t stored,
+                          db->mediator().StoredAtomCount(name, "velocity"));
+  if (stored > 0) {
     return Status::OK();
   }
   TURBDB_RETURN_NOT_OK(db->IngestSyntheticField(

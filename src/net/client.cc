@@ -69,7 +69,12 @@ Result<std::vector<uint8_t>> Client::Call(
     conn_.Close();
     if (!IsTransient(last)) return last;
   }
-  return Status::Unavailable(
+  // A distinct code: the peer is unreachable after every attempt, as
+  // opposed to merely slow (Unavailable) on one of them. Callers (the
+  // CLI, the mediator's remote-node path) surface this differently from
+  // a query error.
+  return Status::Unreachable(
+      host_ + ":" + std::to_string(port_) + " unreachable: " +
       last.message() + " (after " +
       std::to_string(options_.max_retries + 1) + " attempts)");
 }
@@ -141,6 +146,63 @@ Status Client::Ping(uint64_t delay_ms) {
   auto payload = Call(EncodeRequest(request));
   if (!payload.ok()) return payload.status();
   return DecodePingResponse(*payload);
+}
+
+Result<HelloReply> Client::Hello() {
+  HelloRequest request;
+  request.rpc.deadline_ms = options_.deadline_ms;
+  TURBDB_ASSIGN_OR_RETURN(std::vector<uint8_t> payload,
+                          Call(EncodeRequest(request)));
+  return DecodeHelloResponse(payload);
+}
+
+Status Client::NodeCreateDataset(const NodeCreateDatasetRequest& request) {
+  NodeCreateDatasetRequest req = request;
+  req.rpc.deadline_ms = options_.deadline_ms;
+  auto payload = Call(EncodeRequest(req));
+  if (!payload.ok()) return payload.status();
+  return DecodeAckResponse(*payload, MsgType::kNodeCreateDatasetResponse);
+}
+
+Status Client::NodeIngest(const NodeIngestRequest& request) {
+  NodeIngestRequest req = request;
+  req.rpc.deadline_ms = options_.deadline_ms;
+  auto payload = Call(EncodeRequest(req));
+  if (!payload.ok()) return payload.status();
+  return DecodeAckResponse(*payload, MsgType::kNodeIngestResponse);
+}
+
+Result<NodeResult> Client::NodeExecute(const NodeExecuteRequest& request) {
+  NodeExecuteRequest req = request;
+  if (req.rpc.deadline_ms == 0) req.rpc.deadline_ms = options_.deadline_ms;
+  TURBDB_ASSIGN_OR_RETURN(std::vector<uint8_t> payload,
+                          Call(EncodeRequest(req)));
+  return DecodeNodeExecuteResponse(payload);
+}
+
+Result<NodeFetchAtomsReply> Client::NodeFetchAtoms(
+    const NodeFetchAtomsRequest& request) {
+  NodeFetchAtomsRequest req = request;
+  if (req.rpc.deadline_ms == 0) req.rpc.deadline_ms = options_.deadline_ms;
+  TURBDB_ASSIGN_OR_RETURN(std::vector<uint8_t> payload,
+                          Call(EncodeRequest(req)));
+  return DecodeNodeFetchAtomsResponse(payload);
+}
+
+Status Client::NodeDropCache(const NodeDropCacheRequest& request) {
+  NodeDropCacheRequest req = request;
+  req.rpc.deadline_ms = options_.deadline_ms;
+  auto payload = Call(EncodeRequest(req));
+  if (!payload.ok()) return payload.status();
+  return DecodeAckResponse(*payload, MsgType::kNodeDropCacheResponse);
+}
+
+Result<NodeStatsReply> Client::NodeStats(const NodeStatsRequest& request) {
+  NodeStatsRequest req = request;
+  req.rpc.deadline_ms = options_.deadline_ms;
+  TURBDB_ASSIGN_OR_RETURN(std::vector<uint8_t> payload,
+                          Call(EncodeRequest(req)));
+  return DecodeNodeStatsResponse(payload);
 }
 
 }  // namespace net

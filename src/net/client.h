@@ -51,6 +51,21 @@ class Client {
   /// before answering (deadline drills).
   Status Ping(uint64_t delay_ms = 0);
 
+  /// Version/identity handshake (see HelloReply).
+  Result<HelloReply> Hello();
+
+  // Node-scoped RPCs (mediator / peer-node side of a turbdb_node).
+  // These reuse the same bounded-retry transport: ingest and
+  // create-dataset are idempotent (last write wins on identical data),
+  // execute and fetch are read-only.
+  Status NodeCreateDataset(const NodeCreateDatasetRequest& request);
+  Status NodeIngest(const NodeIngestRequest& request);
+  Result<NodeResult> NodeExecute(const NodeExecuteRequest& request);
+  Result<NodeFetchAtomsReply> NodeFetchAtoms(
+      const NodeFetchAtomsRequest& request);
+  Status NodeDropCache(const NodeDropCacheRequest& request);
+  Result<NodeStatsReply> NodeStats(const NodeStatsRequest& request);
+
   const std::string& host() const { return host_; }
   uint16_t port() const { return port_; }
 

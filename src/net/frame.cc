@@ -29,7 +29,12 @@ Result<uint32_t> CheckHeader(const uint8_t* header,
   if (GetU32Le(header) != kFrameMagic) {
     return Status::Corruption("bad frame magic");
   }
-  const uint32_t length = GetU32Le(header + 4);
+  if (header[4] != kProtocolVersion) {
+    return Status::VersionMismatch(
+        "frame protocol version " + std::to_string(header[4]) +
+        ", expected " + std::to_string(kProtocolVersion));
+  }
+  const uint32_t length = GetU32Le(header + 5);
   if (length > max_payload_bytes) {
     return Status::ResultTooLarge(
         "frame payload of " + std::to_string(length) +
@@ -43,8 +48,9 @@ Result<uint32_t> CheckHeader(const uint8_t* header,
 std::vector<uint8_t> EncodeFrame(const std::vector<uint8_t>& payload) {
   std::vector<uint8_t> out(kFrameHeaderBytes + payload.size());
   PutU32Le(out.data(), kFrameMagic);
-  PutU32Le(out.data() + 4, static_cast<uint32_t>(payload.size()));
-  PutU32Le(out.data() + 8, Crc32(payload.data(), payload.size()));
+  out[4] = kProtocolVersion;
+  PutU32Le(out.data() + 5, static_cast<uint32_t>(payload.size()));
+  PutU32Le(out.data() + 9, Crc32(payload.data(), payload.size()));
   if (!payload.empty()) {
     std::memcpy(out.data() + kFrameHeaderBytes, payload.data(),
                 payload.size());
@@ -63,7 +69,7 @@ Result<std::vector<uint8_t>> DecodeFrame(const std::vector<uint8_t>& bytes,
     return Status::Corruption("frame length mismatch");
   }
   const uint8_t* payload = bytes.data() + kFrameHeaderBytes;
-  if (Crc32(payload, length) != GetU32Le(bytes.data() + 8)) {
+  if (Crc32(payload, length) != GetU32Le(bytes.data() + 9)) {
     return Status::Corruption("frame CRC mismatch");
   }
   return std::vector<uint8_t>(payload, payload + length);
@@ -73,8 +79,9 @@ Status WriteFrame(const Socket& socket, const std::vector<uint8_t>& payload,
                   Deadline deadline) {
   uint8_t header[kFrameHeaderBytes];
   PutU32Le(header, kFrameMagic);
-  PutU32Le(header + 4, static_cast<uint32_t>(payload.size()));
-  PutU32Le(header + 8, Crc32(payload.data(), payload.size()));
+  header[4] = kProtocolVersion;
+  PutU32Le(header + 5, static_cast<uint32_t>(payload.size()));
+  PutU32Le(header + 9, Crc32(payload.data(), payload.size()));
   TURBDB_RETURN_NOT_OK(SendAll(socket, header, sizeof(header), deadline));
   return SendAll(socket, payload.data(), payload.size(), deadline);
 }
@@ -91,7 +98,7 @@ Result<std::vector<uint8_t>> ReadFrame(const Socket& socket,
     // Drain the payload in bounded chunks so the stream stays framed and
     // the caller can answer with an error instead of dropping the
     // connection.
-    uint32_t remaining = GetU32Le(header + 4);
+    uint32_t remaining = GetU32Le(header + 5);
     uint8_t scratch[4096];
     while (remaining > 0) {
       const size_t chunk =
@@ -107,7 +114,7 @@ Result<std::vector<uint8_t>> ReadFrame(const Socket& socket,
     TURBDB_RETURN_NOT_OK(
         RecvAll(socket, payload.data(), payload.size(), deadline));
   }
-  if (Crc32(payload.data(), payload.size()) != GetU32Le(header + 8)) {
+  if (Crc32(payload.data(), payload.size()) != GetU32Le(header + 9)) {
     return Status::Corruption("frame CRC mismatch");
   }
   return payload;

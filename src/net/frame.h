@@ -14,16 +14,21 @@ namespace net {
 ///
 ///   offset  size  field
 ///   0       4     magic 'T' 'D' 'B' 'F' (0x46424454 little-endian)
-///   4       4     payload length, little-endian uint32
-///   8       4     CRC32 of the payload, little-endian uint32
-///   12      N     payload bytes
+///   4       1     protocol version (kProtocolVersion)
+///   5       4     payload length, little-endian uint32
+///   9       4     CRC32 of the payload, little-endian uint32
+///   13      N     payload bytes
 ///
 /// The CRC (same IEEE polynomial the file-backed atom store uses) makes
 /// in-flight corruption a Corruption status instead of a garbage query
 /// result; the explicit length makes oversized frames rejectable before
-/// any allocation.
+/// any allocation. The version byte makes a stale peer fail loudly with
+/// a typed VersionMismatch instead of misparsing the payload: a v1
+/// (unversioned, 12-byte-header) peer puts its length's low byte where
+/// v2 expects the version, so the very first frame is rejected.
 constexpr uint32_t kFrameMagic = 0x46424454u;  // "TDBF" read little-endian
-constexpr size_t kFrameHeaderBytes = 12;
+constexpr uint8_t kProtocolVersion = 2;
+constexpr size_t kFrameHeaderBytes = 13;
 
 /// Default cap on a frame payload (64 MiB). A peer announcing more than
 /// the configured cap is either corrupt or abusive; the frame is refused
@@ -35,7 +40,8 @@ std::vector<uint8_t> EncodeFrame(const std::vector<uint8_t>& payload);
 
 /// Decodes one complete frame occupying the whole of `bytes`. Returns the
 /// payload, or Corruption (bad magic / length mismatch / CRC mismatch) /
-/// ResultTooLarge (payload length above `max_payload_bytes`).
+/// VersionMismatch (wrong version byte) / ResultTooLarge (payload length
+/// above `max_payload_bytes`).
 Result<std::vector<uint8_t>> DecodeFrame(
     const std::vector<uint8_t>& bytes,
     uint32_t max_payload_bytes = kDefaultMaxFrameBytes);

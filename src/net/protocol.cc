@@ -168,7 +168,7 @@ Status ExpectType(const std::vector<uint8_t>& bytes, size_t* pos,
     TURBDB_ASSIGN_OR_RETURN(uint64_t code, GetVarint64(bytes, pos));
     TURBDB_ASSIGN_OR_RETURN(std::string message, GetString(bytes, pos));
     if (code == 0 ||
-        code > static_cast<uint64_t>(StatusCode::kInternal)) {
+        code > static_cast<uint64_t>(StatusCode::kVersionMismatch)) {
       return Status::Corruption("error frame with bad status code");
     }
     return Status(static_cast<StatusCode>(code), std::move(message));
@@ -182,6 +182,212 @@ Status CheckConsumed(const std::vector<uint8_t>& bytes, size_t pos) {
     return Status::Corruption("trailing bytes in message");
   }
   return Status::OK();
+}
+
+// -- Node-message building blocks ---------------------------------------
+
+void PutFloat(std::vector<uint8_t>* out, float value) {
+  uint32_t bits;
+  static_assert(sizeof(bits) == sizeof(value));
+  std::memcpy(&bits, &value, sizeof(bits));
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<uint8_t>(bits >> (8 * i)));
+  }
+}
+
+Result<float> GetFloat(const std::vector<uint8_t>& bytes, size_t* pos) {
+  if (*pos + 4 > bytes.size()) return Status::Corruption("truncated float");
+  uint32_t bits = 0;
+  for (int i = 0; i < 4; ++i) {
+    bits |= static_cast<uint32_t>(bytes[*pos + static_cast<size_t>(i)])
+            << (8 * i);
+  }
+  *pos += 4;
+  float value;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+void PutAtom(std::vector<uint8_t>* out, const Atom& atom) {
+  PutZigZag64(out, atom.key.timestep);
+  PutVarint64(out, atom.key.zindex);
+  PutZigZag64(out, atom.width);
+  PutZigZag64(out, atom.ncomp);
+  for (float f : atom.data) PutFloat(out, f);
+}
+
+Result<Atom> GetAtom(const std::vector<uint8_t>& bytes, size_t* pos) {
+  Atom atom;
+  TURBDB_ASSIGN_OR_RETURN(int64_t timestep, GetZigZag64(bytes, pos));
+  atom.key.timestep = static_cast<int32_t>(timestep);
+  TURBDB_ASSIGN_OR_RETURN(atom.key.zindex, GetVarint64(bytes, pos));
+  TURBDB_ASSIGN_OR_RETURN(int64_t width, GetZigZag64(bytes, pos));
+  TURBDB_ASSIGN_OR_RETURN(int64_t ncomp, GetZigZag64(bytes, pos));
+  if (width <= 0 || width > 256 || ncomp <= 0 || ncomp > 64) {
+    return Status::Corruption("implausible atom shape");
+  }
+  atom.width = static_cast<int32_t>(width);
+  atom.ncomp = static_cast<int32_t>(ncomp);
+  const size_t values = static_cast<size_t>(width) * static_cast<size_t>(width) *
+                        static_cast<size_t>(width) * static_cast<size_t>(ncomp);
+  if (values * 4 > bytes.size() - *pos) {
+    return Status::Corruption("truncated atom data");
+  }
+  atom.data.resize(values);
+  for (size_t i = 0; i < values; ++i) {
+    TURBDB_ASSIGN_OR_RETURN(atom.data[i], GetFloat(bytes, pos));
+  }
+  return atom;
+}
+
+void PutAtoms(std::vector<uint8_t>* out, const std::vector<Atom>& atoms) {
+  PutVarint64(out, atoms.size());
+  for (const Atom& atom : atoms) PutAtom(out, atom);
+}
+
+Result<std::vector<Atom>> GetAtoms(const std::vector<uint8_t>& bytes,
+                                   size_t* pos) {
+  TURBDB_ASSIGN_OR_RETURN(uint64_t count, GetVarint64(bytes, pos));
+  if (count > bytes.size() - *pos) {
+    return Status::Corruption("implausible atom count");
+  }
+  std::vector<Atom> atoms;
+  atoms.reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    TURBDB_ASSIGN_OR_RETURN(Atom atom, GetAtom(bytes, pos));
+    atoms.push_back(std::move(atom));
+  }
+  return atoms;
+}
+
+void PutGeometry(std::vector<uint8_t>* out, const GridGeometry& geometry) {
+  for (int d = 0; d < 3; ++d) PutZigZag64(out, geometry.extent(d));
+  for (int d = 0; d < 3; ++d) PutDouble(out, geometry.domain_length(d));
+  for (int d = 0; d < 3; ++d) PutBool(out, geometry.periodic(d));
+  PutZigZag64(out, geometry.atom_width());
+  PutVarint64(out, geometry.stretched_y().size());
+  for (double y : geometry.stretched_y()) PutDouble(out, y);
+}
+
+Result<GridGeometry> GetGeometry(const std::vector<uint8_t>& bytes,
+                                 size_t* pos) {
+  std::array<int64_t, 3> extent;
+  std::array<double, 3> length;
+  std::array<bool, 3> periodic;
+  for (int d = 0; d < 3; ++d) {
+    TURBDB_ASSIGN_OR_RETURN(extent[static_cast<size_t>(d)],
+                            GetZigZag64(bytes, pos));
+  }
+  for (int d = 0; d < 3; ++d) {
+    TURBDB_ASSIGN_OR_RETURN(length[static_cast<size_t>(d)],
+                            GetDouble(bytes, pos));
+  }
+  for (int d = 0; d < 3; ++d) {
+    TURBDB_ASSIGN_OR_RETURN(periodic[static_cast<size_t>(d)],
+                            GetBool(bytes, pos));
+  }
+  TURBDB_ASSIGN_OR_RETURN(int64_t atom_width, GetZigZag64(bytes, pos));
+  TURBDB_ASSIGN_OR_RETURN(uint64_t stretched, GetVarint64(bytes, pos));
+  if (stretched > bytes.size() - *pos) {
+    return Status::Corruption("implausible stretched-y size");
+  }
+  std::vector<double> stretched_y;
+  stretched_y.reserve(static_cast<size_t>(stretched));
+  for (uint64_t i = 0; i < stretched; ++i) {
+    TURBDB_ASSIGN_OR_RETURN(double y, GetDouble(bytes, pos));
+    stretched_y.push_back(y);
+  }
+  GridGeometry geometry = GridGeometry::FromParts(
+      extent, length, periodic, atom_width, std::move(stretched_y));
+  TURBDB_RETURN_NOT_OK(geometry.Validate());
+  return geometry;
+}
+
+void PutDatasetInfo(std::vector<uint8_t>* out, const DatasetInfo& info) {
+  PutString(out, info.name);
+  PutGeometry(out, info.geometry);
+  PutVarint64(out, info.raw_fields.size());
+  for (const RawFieldSpec& spec : info.raw_fields) {
+    PutString(out, spec.name);
+    PutZigZag64(out, spec.ncomp);
+  }
+  PutZigZag64(out, info.num_timesteps);
+}
+
+Result<DatasetInfo> GetDatasetInfo(const std::vector<uint8_t>& bytes,
+                                   size_t* pos) {
+  DatasetInfo info;
+  TURBDB_ASSIGN_OR_RETURN(info.name, GetString(bytes, pos));
+  TURBDB_ASSIGN_OR_RETURN(info.geometry, GetGeometry(bytes, pos));
+  TURBDB_ASSIGN_OR_RETURN(uint64_t fields, GetVarint64(bytes, pos));
+  if (fields > bytes.size() - *pos) {
+    return Status::Corruption("implausible raw-field count");
+  }
+  info.raw_fields.reserve(static_cast<size_t>(fields));
+  for (uint64_t i = 0; i < fields; ++i) {
+    RawFieldSpec spec;
+    TURBDB_ASSIGN_OR_RETURN(spec.name, GetString(bytes, pos));
+    TURBDB_ASSIGN_OR_RETURN(int64_t ncomp, GetZigZag64(bytes, pos));
+    spec.ncomp = static_cast<int>(ncomp);
+    info.raw_fields.push_back(std::move(spec));
+  }
+  TURBDB_ASSIGN_OR_RETURN(int64_t timesteps, GetZigZag64(bytes, pos));
+  info.num_timesteps = static_cast<int32_t>(timesteps);
+  return info;
+}
+
+void PutTargets(
+    std::vector<uint8_t>* out,
+    const std::vector<std::pair<uint32_t, std::array<double, 3>>>& targets) {
+  PutVarint64(out, targets.size());
+  for (const auto& [index, position] : targets) {
+    PutVarint64(out, index);
+    for (int d = 0; d < 3; ++d) PutDouble(out, position[static_cast<size_t>(d)]);
+  }
+}
+
+Result<std::vector<std::pair<uint32_t, std::array<double, 3>>>> GetTargets(
+    const std::vector<uint8_t>& bytes, size_t* pos) {
+  TURBDB_ASSIGN_OR_RETURN(uint64_t count, GetVarint64(bytes, pos));
+  if (count > bytes.size() - *pos) {
+    return Status::Corruption("implausible target count");
+  }
+  std::vector<std::pair<uint32_t, std::array<double, 3>>> targets;
+  targets.reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    TURBDB_ASSIGN_OR_RETURN(uint64_t index, GetVarint64(bytes, pos));
+    std::array<double, 3> position;
+    for (int d = 0; d < 3; ++d) {
+      TURBDB_ASSIGN_OR_RETURN(position[static_cast<size_t>(d)],
+                              GetDouble(bytes, pos));
+    }
+    targets.push_back({static_cast<uint32_t>(index), position});
+  }
+  return targets;
+}
+
+void PutIo(std::vector<uint8_t>* out, const IoCounters& io) {
+  PutVarint64(out, io.atoms_read_local);
+  PutVarint64(out, io.atoms_read_remote);
+  PutVarint64(out, io.bytes_read_local);
+  PutVarint64(out, io.bytes_read_remote);
+  PutVarint64(out, io.cache_records_scanned);
+  PutVarint64(out, io.cache_bytes_scanned);
+  PutVarint64(out, io.points_evaluated);
+  PutVarint64(out, io.points_returned);
+}
+
+Result<IoCounters> GetIo(const std::vector<uint8_t>& bytes, size_t* pos) {
+  IoCounters io;
+  TURBDB_ASSIGN_OR_RETURN(io.atoms_read_local, GetVarint64(bytes, pos));
+  TURBDB_ASSIGN_OR_RETURN(io.atoms_read_remote, GetVarint64(bytes, pos));
+  TURBDB_ASSIGN_OR_RETURN(io.bytes_read_local, GetVarint64(bytes, pos));
+  TURBDB_ASSIGN_OR_RETURN(io.bytes_read_remote, GetVarint64(bytes, pos));
+  TURBDB_ASSIGN_OR_RETURN(io.cache_records_scanned, GetVarint64(bytes, pos));
+  TURBDB_ASSIGN_OR_RETURN(io.cache_bytes_scanned, GetVarint64(bytes, pos));
+  TURBDB_ASSIGN_OR_RETURN(io.points_evaluated, GetVarint64(bytes, pos));
+  TURBDB_ASSIGN_OR_RETURN(io.points_returned, GetVarint64(bytes, pos));
+  return io;
 }
 
 }  // namespace
@@ -474,6 +680,358 @@ Status DecodePingResponse(const std::vector<uint8_t>& payload) {
   size_t pos = 0;
   TURBDB_RETURN_NOT_OK(ExpectType(payload, &pos, MsgType::kPingResponse));
   return CheckConsumed(payload, pos);
+}
+
+// -- Request header peek -------------------------------------------------
+
+Result<RequestHeader> PeekRequestHeader(const std::vector<uint8_t>& payload) {
+  size_t pos = 0;
+  TURBDB_ASSIGN_OR_RETURN(uint64_t raw, GetVarint64(payload, &pos));
+  if (raw == 0 || raw >= static_cast<uint64_t>(MsgType::kThresholdResponse)) {
+    return Status::Corruption("payload is not a request (type " +
+                              std::to_string(raw) + ")");
+  }
+  RequestHeader header;
+  header.type = static_cast<MsgType>(raw);
+  TURBDB_ASSIGN_OR_RETURN(header.rpc.deadline_ms, GetVarint64(payload, &pos));
+  return header;
+}
+
+// -- Handshake -----------------------------------------------------------
+
+std::vector<uint8_t> EncodeRequest(const HelloRequest& request) {
+  std::vector<uint8_t> out;
+  PutHeader(&out, MsgType::kHelloRequest, request.rpc);
+  return out;
+}
+
+std::vector<uint8_t> EncodeHelloResponse(const HelloReply& reply) {
+  std::vector<uint8_t> out;
+  PutVarint64(&out, static_cast<uint64_t>(MsgType::kHelloResponse));
+  PutVarint64(&out, reply.protocol_version);
+  PutZigZag64(&out, reply.server_id);
+  return out;
+}
+
+Result<HelloReply> DecodeHelloResponse(const std::vector<uint8_t>& payload) {
+  size_t pos = 0;
+  TURBDB_RETURN_NOT_OK(ExpectType(payload, &pos, MsgType::kHelloResponse));
+  HelloReply reply;
+  TURBDB_ASSIGN_OR_RETURN(uint64_t version, GetVarint64(payload, &pos));
+  reply.protocol_version = static_cast<uint32_t>(version);
+  TURBDB_ASSIGN_OR_RETURN(int64_t id, GetZigZag64(payload, &pos));
+  reply.server_id = static_cast<int32_t>(id);
+  TURBDB_RETURN_NOT_OK(CheckConsumed(payload, pos));
+  return reply;
+}
+
+// -- Node-scoped requests ------------------------------------------------
+
+std::vector<uint8_t> EncodeRequest(const NodeCreateDatasetRequest& request) {
+  std::vector<uint8_t> out;
+  PutHeader(&out, MsgType::kNodeCreateDatasetRequest, request.rpc);
+  PutDatasetInfo(&out, request.info);
+  PutZigZag64(&out, request.num_nodes);
+  PutZigZag64(&out, request.node_id);
+  PutZigZag64(&out, request.strategy);
+  return out;
+}
+
+Result<NodeCreateDatasetRequest> DecodeNodeCreateDatasetRequest(
+    const std::vector<uint8_t>& payload) {
+  size_t pos = 0;
+  NodeCreateDatasetRequest request;
+  TURBDB_RETURN_NOT_OK(
+      ExpectType(payload, &pos, MsgType::kNodeCreateDatasetRequest));
+  TURBDB_ASSIGN_OR_RETURN(request.rpc.deadline_ms, GetVarint64(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(request.info, GetDatasetInfo(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(int64_t num_nodes, GetZigZag64(payload, &pos));
+  request.num_nodes = static_cast<int32_t>(num_nodes);
+  TURBDB_ASSIGN_OR_RETURN(int64_t node_id, GetZigZag64(payload, &pos));
+  request.node_id = static_cast<int32_t>(node_id);
+  TURBDB_ASSIGN_OR_RETURN(int64_t strategy, GetZigZag64(payload, &pos));
+  request.strategy = static_cast<int32_t>(strategy);
+  TURBDB_RETURN_NOT_OK(CheckConsumed(payload, pos));
+  return request;
+}
+
+std::vector<uint8_t> EncodeRequest(const NodeIngestRequest& request) {
+  std::vector<uint8_t> out;
+  PutHeader(&out, MsgType::kNodeIngestRequest, request.rpc);
+  PutString(&out, request.dataset);
+  PutString(&out, request.field);
+  PutAtoms(&out, request.atoms);
+  return out;
+}
+
+Result<NodeIngestRequest> DecodeNodeIngestRequest(
+    const std::vector<uint8_t>& payload) {
+  size_t pos = 0;
+  NodeIngestRequest request;
+  TURBDB_RETURN_NOT_OK(ExpectType(payload, &pos, MsgType::kNodeIngestRequest));
+  TURBDB_ASSIGN_OR_RETURN(request.rpc.deadline_ms, GetVarint64(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(request.dataset, GetString(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(request.field, GetString(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(request.atoms, GetAtoms(payload, &pos));
+  TURBDB_RETURN_NOT_OK(CheckConsumed(payload, pos));
+  return request;
+}
+
+std::vector<uint8_t> EncodeRequest(const NodeExecuteRequest& request) {
+  const NodeQuerySpec& spec = request.spec;
+  std::vector<uint8_t> out;
+  PutHeader(&out, MsgType::kNodeExecuteRequest, request.rpc);
+  PutZigZag64(&out, spec.mode);
+  PutQueryCommon(&out, spec.dataset, spec.raw_field, spec.derived_field,
+                 spec.timestep, spec.box, spec.fd_order);
+  PutDouble(&out, spec.threshold);
+  PutDouble(&out, spec.bin_width);
+  PutZigZag64(&out, spec.num_bins);
+  PutVarint64(&out, spec.k);
+  PutZigZag64(&out, spec.processes);
+  PutBool(&out, spec.options.use_cache);
+  PutBool(&out, spec.options.io_only);
+  PutZigZag64(&out, spec.options.processes_per_node);
+  PutVarint64(&out, spec.options.max_result_points);
+  PutZigZag64(&out, spec.sample_support);
+  PutTargets(&out, spec.targets);
+  PutDouble(&out, spec.flops_per_process);
+  PutDouble(&out, spec.effective_cores);
+  return out;
+}
+
+Result<NodeExecuteRequest> DecodeNodeExecuteRequest(
+    const std::vector<uint8_t>& payload) {
+  size_t pos = 0;
+  NodeExecuteRequest request;
+  NodeQuerySpec& spec = request.spec;
+  TURBDB_RETURN_NOT_OK(
+      ExpectType(payload, &pos, MsgType::kNodeExecuteRequest));
+  TURBDB_ASSIGN_OR_RETURN(request.rpc.deadline_ms, GetVarint64(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(int64_t mode, GetZigZag64(payload, &pos));
+  spec.mode = static_cast<int32_t>(mode);
+  struct CommonView {
+    std::string dataset, raw_field, derived_field;
+    int32_t timestep;
+    Box3 box;
+    int fd_order;
+  } common;
+  TURBDB_RETURN_NOT_OK(GetQueryCommon(payload, &pos, &common));
+  spec.dataset = std::move(common.dataset);
+  spec.raw_field = std::move(common.raw_field);
+  spec.derived_field = std::move(common.derived_field);
+  spec.timestep = common.timestep;
+  spec.box = common.box;
+  spec.fd_order = common.fd_order;
+  TURBDB_ASSIGN_OR_RETURN(spec.threshold, GetDouble(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(spec.bin_width, GetDouble(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(int64_t num_bins, GetZigZag64(payload, &pos));
+  spec.num_bins = static_cast<int32_t>(num_bins);
+  TURBDB_ASSIGN_OR_RETURN(spec.k, GetVarint64(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(int64_t processes, GetZigZag64(payload, &pos));
+  spec.processes = static_cast<int32_t>(processes);
+  TURBDB_ASSIGN_OR_RETURN(spec.options.use_cache, GetBool(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(spec.options.io_only, GetBool(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(int64_t opt_processes, GetZigZag64(payload, &pos));
+  spec.options.processes_per_node = static_cast<int>(opt_processes);
+  TURBDB_ASSIGN_OR_RETURN(spec.options.max_result_points,
+                          GetVarint64(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(int64_t support, GetZigZag64(payload, &pos));
+  spec.sample_support = static_cast<int32_t>(support);
+  TURBDB_ASSIGN_OR_RETURN(spec.targets, GetTargets(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(spec.flops_per_process, GetDouble(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(spec.effective_cores, GetDouble(payload, &pos));
+  TURBDB_RETURN_NOT_OK(CheckConsumed(payload, pos));
+  return request;
+}
+
+std::vector<uint8_t> EncodeRequest(const NodeFetchAtomsRequest& request) {
+  std::vector<uint8_t> out;
+  PutHeader(&out, MsgType::kNodeFetchAtomsRequest, request.rpc);
+  PutString(&out, request.dataset);
+  PutString(&out, request.field);
+  PutZigZag64(&out, request.timestep);
+  PutZigZag64(&out, request.concurrent);
+  PutVarint64(&out, request.codes.size());
+  // Codes arrive sorted; delta coding keeps halo requests tiny.
+  uint64_t previous = 0;
+  for (uint64_t code : request.codes) {
+    PutVarint64(&out, code - previous);
+    previous = code;
+  }
+  return out;
+}
+
+Result<NodeFetchAtomsRequest> DecodeNodeFetchAtomsRequest(
+    const std::vector<uint8_t>& payload) {
+  size_t pos = 0;
+  NodeFetchAtomsRequest request;
+  TURBDB_RETURN_NOT_OK(
+      ExpectType(payload, &pos, MsgType::kNodeFetchAtomsRequest));
+  TURBDB_ASSIGN_OR_RETURN(request.rpc.deadline_ms, GetVarint64(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(request.dataset, GetString(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(request.field, GetString(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(int64_t timestep, GetZigZag64(payload, &pos));
+  request.timestep = static_cast<int32_t>(timestep);
+  TURBDB_ASSIGN_OR_RETURN(int64_t concurrent, GetZigZag64(payload, &pos));
+  request.concurrent = static_cast<int32_t>(concurrent);
+  TURBDB_ASSIGN_OR_RETURN(uint64_t count, GetVarint64(payload, &pos));
+  if (count > payload.size() - pos) {
+    return Status::Corruption("implausible code count");
+  }
+  request.codes.reserve(static_cast<size_t>(count));
+  uint64_t previous = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    TURBDB_ASSIGN_OR_RETURN(uint64_t delta, GetVarint64(payload, &pos));
+    previous += delta;
+    request.codes.push_back(previous);
+  }
+  TURBDB_RETURN_NOT_OK(CheckConsumed(payload, pos));
+  return request;
+}
+
+std::vector<uint8_t> EncodeRequest(const NodeDropCacheRequest& request) {
+  std::vector<uint8_t> out;
+  PutHeader(&out, MsgType::kNodeDropCacheRequest, request.rpc);
+  PutString(&out, request.dataset);
+  PutString(&out, request.field);
+  PutZigZag64(&out, request.timestep);
+  return out;
+}
+
+Result<NodeDropCacheRequest> DecodeNodeDropCacheRequest(
+    const std::vector<uint8_t>& payload) {
+  size_t pos = 0;
+  NodeDropCacheRequest request;
+  TURBDB_RETURN_NOT_OK(
+      ExpectType(payload, &pos, MsgType::kNodeDropCacheRequest));
+  TURBDB_ASSIGN_OR_RETURN(request.rpc.deadline_ms, GetVarint64(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(request.dataset, GetString(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(request.field, GetString(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(int64_t timestep, GetZigZag64(payload, &pos));
+  request.timestep = static_cast<int32_t>(timestep);
+  TURBDB_RETURN_NOT_OK(CheckConsumed(payload, pos));
+  return request;
+}
+
+std::vector<uint8_t> EncodeRequest(const NodeStatsRequest& request) {
+  std::vector<uint8_t> out;
+  PutHeader(&out, MsgType::kNodeStatsRequest, request.rpc);
+  PutString(&out, request.dataset);
+  PutString(&out, request.field);
+  return out;
+}
+
+Result<NodeStatsRequest> DecodeNodeStatsRequest(
+    const std::vector<uint8_t>& payload) {
+  size_t pos = 0;
+  NodeStatsRequest request;
+  TURBDB_RETURN_NOT_OK(ExpectType(payload, &pos, MsgType::kNodeStatsRequest));
+  TURBDB_ASSIGN_OR_RETURN(request.rpc.deadline_ms, GetVarint64(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(request.dataset, GetString(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(request.field, GetString(payload, &pos));
+  TURBDB_RETURN_NOT_OK(CheckConsumed(payload, pos));
+  return request;
+}
+
+// -- Node-scoped responses -----------------------------------------------
+
+std::vector<uint8_t> EncodeAckResponse(MsgType type) {
+  std::vector<uint8_t> out;
+  PutVarint64(&out, static_cast<uint64_t>(type));
+  return out;
+}
+
+Status DecodeAckResponse(const std::vector<uint8_t>& payload, MsgType type) {
+  size_t pos = 0;
+  TURBDB_RETURN_NOT_OK(ExpectType(payload, &pos, type));
+  return CheckConsumed(payload, pos);
+}
+
+std::vector<uint8_t> EncodeNodeExecuteResponse(const NodeResult& result) {
+  std::vector<uint8_t> out;
+  PutVarint64(&out, static_cast<uint64_t>(MsgType::kNodeExecuteResponse));
+  PutPoints(&out, result.points);
+  PutVarint64(&out, result.histogram.size());
+  for (uint64_t count : result.histogram) PutVarint64(&out, count);
+  PutDouble(&out, result.norm_sum);
+  PutDouble(&out, result.norm_sum_sq);
+  PutDouble(&out, result.norm_max);
+  PutTargets(&out, result.samples);
+  PutBool(&out, result.cache_hit);
+  PutTime(&out, result.time);
+  PutIo(&out, result.io);
+  return out;
+}
+
+Result<NodeResult> DecodeNodeExecuteResponse(
+    const std::vector<uint8_t>& payload) {
+  size_t pos = 0;
+  TURBDB_RETURN_NOT_OK(
+      ExpectType(payload, &pos, MsgType::kNodeExecuteResponse));
+  NodeResult result;
+  TURBDB_ASSIGN_OR_RETURN(result.points, GetPoints(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(uint64_t bins, GetVarint64(payload, &pos));
+  if (bins > payload.size() - pos) {
+    return Status::Corruption("implausible histogram size");
+  }
+  result.histogram.reserve(static_cast<size_t>(bins));
+  for (uint64_t i = 0; i < bins; ++i) {
+    TURBDB_ASSIGN_OR_RETURN(uint64_t count, GetVarint64(payload, &pos));
+    result.histogram.push_back(count);
+  }
+  TURBDB_ASSIGN_OR_RETURN(result.norm_sum, GetDouble(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(result.norm_sum_sq, GetDouble(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(result.norm_max, GetDouble(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(result.samples, GetTargets(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(result.cache_hit, GetBool(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(result.time, GetTime(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(result.io, GetIo(payload, &pos));
+  TURBDB_RETURN_NOT_OK(CheckConsumed(payload, pos));
+  return result;
+}
+
+std::vector<uint8_t> EncodeNodeFetchAtomsResponse(
+    const NodeFetchAtomsReply& reply) {
+  std::vector<uint8_t> out;
+  PutVarint64(&out, static_cast<uint64_t>(MsgType::kNodeFetchAtomsResponse));
+  PutAtoms(&out, reply.atoms);
+  PutDouble(&out, reply.cost_s);
+  PutVarint64(&out, reply.bytes_out);
+  return out;
+}
+
+Result<NodeFetchAtomsReply> DecodeNodeFetchAtomsResponse(
+    const std::vector<uint8_t>& payload) {
+  size_t pos = 0;
+  TURBDB_RETURN_NOT_OK(
+      ExpectType(payload, &pos, MsgType::kNodeFetchAtomsResponse));
+  NodeFetchAtomsReply reply;
+  TURBDB_ASSIGN_OR_RETURN(reply.atoms, GetAtoms(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(reply.cost_s, GetDouble(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(reply.bytes_out, GetVarint64(payload, &pos));
+  TURBDB_RETURN_NOT_OK(CheckConsumed(payload, pos));
+  return reply;
+}
+
+std::vector<uint8_t> EncodeNodeStatsResponse(const NodeStatsReply& reply) {
+  std::vector<uint8_t> out;
+  PutVarint64(&out, static_cast<uint64_t>(MsgType::kNodeStatsResponse));
+  PutZigZag64(&out, reply.node_id);
+  PutVarint64(&out, reply.stored_atoms);
+  return out;
+}
+
+Result<NodeStatsReply> DecodeNodeStatsResponse(
+    const std::vector<uint8_t>& payload) {
+  size_t pos = 0;
+  TURBDB_RETURN_NOT_OK(ExpectType(payload, &pos, MsgType::kNodeStatsResponse));
+  NodeStatsReply reply;
+  TURBDB_ASSIGN_OR_RETURN(int64_t node_id, GetZigZag64(payload, &pos));
+  reply.node_id = static_cast<int32_t>(node_id);
+  TURBDB_ASSIGN_OR_RETURN(reply.stored_atoms, GetVarint64(payload, &pos));
+  TURBDB_RETURN_NOT_OK(CheckConsumed(payload, pos));
+  return reply;
 }
 
 }  // namespace net

@@ -1,10 +1,15 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <variant>
 #include <vector>
 
+#include "array/atom.h"
+#include "cluster/dataset.h"
+#include "common/profile.h"
 #include "common/result.h"
 #include "query/query.h"
 
@@ -13,7 +18,9 @@ namespace net {
 
 /// Message discriminator, the first varint of every frame payload.
 /// Requests and responses share the numbering space; responses are the
-/// request value + 64, errors are 127.
+/// request value + 64, errors are 127. Types 1-6 are the mediator-facing
+/// (user) RPCs; 7 is the handshake; 16-21 are the node-scoped RPCs the
+/// mediator issues to `turbdb_node` processes.
 enum class MsgType : uint8_t {
   kThresholdRequest = 1,
   kPdfRequest = 2,
@@ -21,6 +28,14 @@ enum class MsgType : uint8_t {
   kFieldStatsRequest = 4,
   kServerStatsRequest = 5,
   kPingRequest = 6,
+  kHelloRequest = 7,
+
+  kNodeCreateDatasetRequest = 16,
+  kNodeIngestRequest = 17,
+  kNodeExecuteRequest = 18,
+  kNodeFetchAtomsRequest = 19,
+  kNodeDropCacheRequest = 20,
+  kNodeStatsRequest = 21,
 
   kThresholdResponse = 65,
   kPdfResponse = 66,
@@ -28,6 +43,14 @@ enum class MsgType : uint8_t {
   kFieldStatsResponse = 68,
   kServerStatsResponse = 69,
   kPingResponse = 70,
+  kHelloResponse = 71,
+
+  kNodeCreateDatasetResponse = 80,
+  kNodeIngestResponse = 81,
+  kNodeExecuteResponse = 82,
+  kNodeFetchAtomsResponse = 83,
+  kNodeDropCacheResponse = 84,
+  kNodeStatsResponse = 85,
 
   kErrorResponse = 127,
 };
@@ -78,6 +101,120 @@ using Request =
     std::variant<ThresholdRequest, PdfRequest, TopKRequest,
                  FieldStatsRequest, ServerStatsRequest, PingRequest>;
 
+/// Version/identity handshake. Framing already rejects a wrong protocol
+/// version (the frame header carries it), so a Hello that decodes at all
+/// proves compatibility; the reply's id lets a dialer confirm it reached
+/// the process it meant to (a mediator is -1, a turbdb_node its node id).
+struct HelloRequest {
+  RpcOptions rpc;
+};
+
+struct HelloReply {
+  uint32_t protocol_version = 0;
+  int32_t server_id = -1;
+};
+
+// -- Node-scoped messages (mediator -> turbdb_node) ----------------------
+
+/// Registers a dataset on a node and tells it which shard of the
+/// partitioning it owns. Every node derives the same partitioner from
+/// (geometry, num_nodes, strategy), so only those parameters travel.
+struct NodeCreateDatasetRequest {
+  DatasetInfo info;
+  int32_t num_nodes = 1;
+  int32_t node_id = 0;   ///< Which shard the receiving node owns.
+  int32_t strategy = 0;  ///< PartitionStrategy as int.
+  RpcOptions rpc;
+};
+
+/// Stores a batch of atoms of (dataset, field) on the node.
+struct NodeIngestRequest {
+  std::string dataset;
+  std::string field;
+  std::vector<Atom> atoms;
+  RpcOptions rpc;
+};
+
+/// A NodeQuery by value: every process-local pointer of the in-process
+/// `NodeQuery` (dataset, kernel, differentiator, interpolator) replaced
+/// by the name/parameters it was resolved from, so the receiving node can
+/// rebuild it. `flops_per_process`/`effective_cores` ride along so the
+/// remote node prices compute exactly like an in-process one and results
+/// stay byte-identical, modeled times included.
+struct NodeQuerySpec {
+  int32_t mode = 0;  ///< NodeQuery::Mode as int.
+  std::string dataset;
+  std::string raw_field;
+  std::string derived_field;  ///< Empty for kSample.
+  int32_t timestep = 0;
+  Box3 box;
+  int32_t fd_order = 4;
+  double threshold = 0.0;
+  double bin_width = 10.0;
+  int32_t num_bins = 9;
+  uint64_t k = 100;
+  int32_t processes = 1;
+  QueryOptions options;
+  int32_t sample_support = 0;  ///< Lagrange support (kSample only).
+  std::vector<std::pair<uint32_t, std::array<double, 3>>> targets;
+  double flops_per_process = 1.25e8;
+  double effective_cores = 4.0;
+};
+
+struct NodeExecuteRequest {
+  NodeQuerySpec spec;
+  RpcOptions rpc;
+};
+
+/// Wire mirror of `NodeOutcome` (minus node_id, which the mediator
+/// assigns): one node's answer to its part of a query.
+struct NodeResult {
+  std::vector<ThresholdPoint> points;
+  std::vector<uint64_t> histogram;
+  double norm_sum = 0.0;
+  double norm_sum_sq = 0.0;
+  double norm_max = 0.0;
+  std::vector<std::pair<uint32_t, std::array<double, 3>>> samples;
+  bool cache_hit = false;
+  TimeBreakdown time;
+  IoCounters io;
+};
+
+/// Peer-to-peer halo fetch: the batched `ServeAtoms` read a node issues
+/// against the owner of boundary atoms it does not store.
+struct NodeFetchAtomsRequest {
+  std::string dataset;
+  std::string field;
+  int32_t timestep = 0;
+  int32_t concurrent = 1;
+  std::vector<uint64_t> codes;  ///< Sorted z-indices.
+  RpcOptions rpc;
+};
+
+struct NodeFetchAtomsReply {
+  std::vector<Atom> atoms;
+  double cost_s = 0.0;       ///< Modeled disk cost on the serving node.
+  uint64_t bytes_out = 0;    ///< Payload bytes (for the LAN cost model).
+};
+
+struct NodeDropCacheRequest {
+  std::string dataset;
+  std::string field;  ///< Cache key, "<raw>:<derived>".
+  int32_t timestep = -1;
+  RpcOptions rpc;
+};
+
+struct NodeStatsRequest {
+  std::string dataset;
+  std::string field;
+  RpcOptions rpc;
+};
+
+struct NodeStatsReply {
+  int32_t node_id = 0;
+  uint64_t stored_atoms = 0;
+};
+
 /// Server-side request counters surfaced through the stats RPC.
 struct ServerStatsReply {
   uint64_t requests_ok = 0;
@@ -127,6 +264,68 @@ Result<FieldStatsResult> DecodeFieldStatsResponse(
 Result<ServerStatsReply> DecodeServerStatsResponse(
     const std::vector<uint8_t>& payload);
 Status DecodePingResponse(const std::vector<uint8_t>& payload);
+
+// -- Request header peek -------------------------------------------------
+
+/// The shared prefix of every request payload: type varint + RpcOptions.
+struct RequestHeader {
+  MsgType type;
+  RpcOptions rpc;
+};
+
+/// Reads just the request header, leaving the body untouched — the
+/// server uses it to compute the deadline and route the payload to the
+/// right handler without decoding the (possibly large) body twice.
+Result<RequestHeader> PeekRequestHeader(const std::vector<uint8_t>& payload);
+
+// -- Handshake -----------------------------------------------------------
+
+std::vector<uint8_t> EncodeRequest(const HelloRequest& request);
+std::vector<uint8_t> EncodeHelloResponse(const HelloReply& reply);
+Result<HelloReply> DecodeHelloResponse(const std::vector<uint8_t>& payload);
+
+// -- Node-scoped encoding ------------------------------------------------
+
+std::vector<uint8_t> EncodeRequest(const NodeCreateDatasetRequest& request);
+std::vector<uint8_t> EncodeRequest(const NodeIngestRequest& request);
+std::vector<uint8_t> EncodeRequest(const NodeExecuteRequest& request);
+std::vector<uint8_t> EncodeRequest(const NodeFetchAtomsRequest& request);
+std::vector<uint8_t> EncodeRequest(const NodeDropCacheRequest& request);
+std::vector<uint8_t> EncodeRequest(const NodeStatsRequest& request);
+
+/// Node request decoders (turbdb_node side). Each expects a payload whose
+/// header names its type; the header's RpcOptions are re-read into the
+/// returned struct.
+Result<NodeCreateDatasetRequest> DecodeNodeCreateDatasetRequest(
+    const std::vector<uint8_t>& payload);
+Result<NodeIngestRequest> DecodeNodeIngestRequest(
+    const std::vector<uint8_t>& payload);
+Result<NodeExecuteRequest> DecodeNodeExecuteRequest(
+    const std::vector<uint8_t>& payload);
+Result<NodeFetchAtomsRequest> DecodeNodeFetchAtomsRequest(
+    const std::vector<uint8_t>& payload);
+Result<NodeDropCacheRequest> DecodeNodeDropCacheRequest(
+    const std::vector<uint8_t>& payload);
+Result<NodeStatsRequest> DecodeNodeStatsRequest(
+    const std::vector<uint8_t>& payload);
+
+/// A bare acknowledgement (type varint only) for node requests whose
+/// success carries no data (create-dataset, ingest, drop-cache).
+std::vector<uint8_t> EncodeAckResponse(MsgType type);
+Status DecodeAckResponse(const std::vector<uint8_t>& payload, MsgType type);
+
+std::vector<uint8_t> EncodeNodeExecuteResponse(const NodeResult& result);
+Result<NodeResult> DecodeNodeExecuteResponse(
+    const std::vector<uint8_t>& payload);
+
+std::vector<uint8_t> EncodeNodeFetchAtomsResponse(
+    const NodeFetchAtomsReply& reply);
+Result<NodeFetchAtomsReply> DecodeNodeFetchAtomsResponse(
+    const std::vector<uint8_t>& payload);
+
+std::vector<uint8_t> EncodeNodeStatsResponse(const NodeStatsReply& reply);
+Result<NodeStatsReply> DecodeNodeStatsResponse(
+    const std::vector<uint8_t>& payload);
 
 }  // namespace net
 }  // namespace turbdb

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <chrono>
 
-#include "cluster/mediator.h"
 #include "common/logging.h"
 
 namespace turbdb {
@@ -29,19 +28,26 @@ Status DeadlineExceeded() {
   return Status::Unavailable("deadline exceeded");
 }
 
+/// A response payload is an error frame iff its first (single-byte)
+/// varint is kErrorResponse — all message types fit in one byte.
+bool IsErrorPayload(const std::vector<uint8_t>& response) {
+  return !response.empty() &&
+         response[0] == static_cast<uint8_t>(MsgType::kErrorResponse);
+}
+
 }  // namespace
 
-Server::Server(Mediator* mediator, const ServerOptions& options)
-    : mediator_(mediator), options_(options) {
+Server::Server(Handler handler, const ServerOptions& options)
+    : handler_(std::move(handler)), options_(options) {
   latencies_ms_.resize(kLatencyWindow, 0.0);
 }
 
-Result<std::unique_ptr<Server>> Server::Start(Mediator* mediator,
+Result<std::unique_ptr<Server>> Server::Start(Handler handler,
                                               const ServerOptions& options) {
-  if (mediator == nullptr) {
-    return Status::InvalidArgument("server needs a mediator");
+  if (!handler) {
+    return Status::InvalidArgument("server needs a request handler");
   }
-  std::unique_ptr<Server> server(new Server(mediator, options));
+  std::unique_ptr<Server> server(new Server(std::move(handler), options));
   TURBDB_ASSIGN_OR_RETURN(
       server->listener_,
       TcpListen(options.bind_address, options.port));
@@ -110,8 +116,9 @@ void Server::ServeConnection(Socket conn) {
     if (!payload.ok()) {
       // An oversized frame was drained by ReadFrame, so the stream is
       // still synced: refuse it with an error and keep serving. Any
-      // other stream-level failure (bad magic, CRC mismatch, torn read)
-      // leaves the framing untrustworthy and closes the connection.
+      // other stream-level failure (bad magic, version mismatch, CRC
+      // mismatch, torn read) leaves the framing untrustworthy and
+      // closes the connection.
       if (payload.status().code() == StatusCode::kResultTooLarge) {
         const auto frame = EncodeErrorResponse(payload.status());
         Status written = WriteFrame(conn, frame, Deadline::After(1000));
@@ -141,66 +148,59 @@ std::vector<uint8_t> Server::HandleRequest(
     const std::vector<uint8_t>& payload) {
   const auto started = std::chrono::steady_clock::now();
 
-  auto request_or = DecodeRequest(payload);
   std::vector<uint8_t> response;
-  Status outcome;
-  if (!request_or.ok()) {
-    outcome = request_or.status();
-    response = EncodeErrorResponse(outcome);
+  auto header_or = PeekRequestHeader(payload);
+  if (!header_or.ok()) {
+    response = EncodeErrorResponse(header_or.status());
   } else {
-    const Request& request = *request_or;
-    const RpcOptions& rpc = std::visit(
-        [](const auto& r) -> const RpcOptions& { return r.rpc; }, request);
-    const uint64_t budget_ms = rpc.deadline_ms != 0
-                                   ? rpc.deadline_ms
+    const uint64_t budget_ms = header_or->rpc.deadline_ms != 0
+                                   ? header_or->rpc.deadline_ms
                                    : options_.default_deadline_ms;
     const Deadline deadline =
         Deadline::After(static_cast<int64_t>(budget_ms));
 
-    auto finish = [&](auto&& result_or) {
-      if (!result_or.ok()) {
-        outcome = result_or.status();
-      } else if (deadline.Expired()) {
-        // The result is ready but stale: the client stopped waiting.
-        // Sending a small error instead of a large dead result is the
-        // whole point of carrying the deadline server-side.
-        outcome = DeadlineExceeded();
-      } else {
-        outcome = Status::OK();
-        response = EncodeResponse(*result_or);
+    switch (header_or->type) {
+      case MsgType::kServerStatsRequest:
+        response = EncodeResponse(stats());
+        break;
+      case MsgType::kHelloRequest: {
+        HelloReply reply;
+        reply.protocol_version = kProtocolVersion;
+        reply.server_id = options_.server_id;
+        response = EncodeHelloResponse(reply);
+        break;
       }
-      if (!outcome.ok()) response = EncodeErrorResponse(outcome);
-    };
-
-    if (std::holds_alternative<ThresholdRequest>(request)) {
-      const auto& req = std::get<ThresholdRequest>(request);
-      finish(mediator_->GetThreshold(req.query, req.options));
-    } else if (std::holds_alternative<PdfRequest>(request)) {
-      finish(mediator_->GetPdf(std::get<PdfRequest>(request).query));
-    } else if (std::holds_alternative<TopKRequest>(request)) {
-      finish(mediator_->GetTopK(std::get<TopKRequest>(request).query));
-    } else if (std::holds_alternative<FieldStatsRequest>(request)) {
-      finish(
-          mediator_->GetFieldStats(std::get<FieldStatsRequest>(request).query));
-    } else if (std::holds_alternative<ServerStatsRequest>(request)) {
-      outcome = Status::OK();
-      response = EncodeResponse(stats());
-    } else {
-      // Ping: sleep the requested delay in stop-aware slices, then
-      // honour the deadline exactly like a query would.
-      const auto& req = std::get<PingRequest>(request);
-      const auto wake = started + std::chrono::milliseconds(req.delay_ms);
-      while (!stop_.load() && std::chrono::steady_clock::now() < wake) {
-        std::this_thread::sleep_for(std::chrono::milliseconds(
-            std::min<int64_t>(options_.idle_poll_ms, 10)));
+      case MsgType::kPingRequest: {
+        // Sleep the requested delay in stop-aware slices, then honour
+        // the deadline exactly like a query would.
+        auto request_or = DecodeRequest(payload);
+        if (!request_or.ok() ||
+            !std::holds_alternative<PingRequest>(*request_or)) {
+          response = EncodeErrorResponse(
+              request_or.ok() ? Status::Corruption("malformed ping")
+                              : request_or.status());
+          break;
+        }
+        const auto& req = std::get<PingRequest>(*request_or);
+        const auto wake = started + std::chrono::milliseconds(req.delay_ms);
+        while (!stop_.load() && std::chrono::steady_clock::now() < wake) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(
+              std::min<int64_t>(options_.idle_poll_ms, 10)));
+        }
+        response = deadline.Expired()
+                       ? EncodeErrorResponse(DeadlineExceeded())
+                       : EncodePingResponse();
+        break;
       }
-      if (deadline.Expired()) {
-        outcome = DeadlineExceeded();
-        response = EncodeErrorResponse(outcome);
-      } else {
-        outcome = Status::OK();
-        response = EncodePingResponse();
-      }
+      default:
+        response = handler_(payload, deadline);
+        if (deadline.Expired() && !IsErrorPayload(response)) {
+          // The result is ready but stale: the client stopped waiting.
+          // Sending a small error instead of a large dead result is the
+          // whole point of carrying the deadline server-side.
+          response = EncodeErrorResponse(DeadlineExceeded());
+        }
+        break;
     }
   }
 
@@ -210,10 +210,10 @@ std::vector<uint8_t> Server::HandleRequest(
           .count();
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
-    if (outcome.ok()) {
-      ++requests_ok_;
-    } else {
+    if (IsErrorPayload(response)) {
       ++requests_error_;
+    } else {
+      ++requests_ok_;
     }
     latencies_ms_[latency_next_] = latency_ms;
     latency_next_ = (latency_next_ + 1) % latencies_ms_.size();

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -14,9 +15,6 @@
 #include "net/socket.h"
 
 namespace turbdb {
-
-class Mediator;
-
 namespace net {
 
 struct ServerOptions {
@@ -32,24 +30,41 @@ struct ServerOptions {
   /// How often blocked accept/read loops wake to notice Stop(). Smaller
   /// values shut down faster at the cost of idle wakeups.
   int idle_poll_ms = 100;
+  /// Identity returned by the Hello handshake: a mediator server keeps
+  /// the default -1, a turbdb_node sets its node id, so a dialer can
+  /// confirm it reached the process it meant to.
+  int32_t server_id = -1;
 };
 
-/// The networked face of the mediator (the paper's Fig. 1 Web-server
-/// role, minus SOAP): accepts TCP connections, reads framed requests,
-/// executes them against the in-process Mediator and writes framed
-/// responses. Connections are handled concurrently on a thread pool;
-/// requests on one connection are served in order.
+/// A framed-TCP request server: accepts connections, reads framed
+/// requests, and answers them. What the requests *mean* is supplied by
+/// the caller as a `Handler` — the mediator front-end
+/// (`cluster/service.h`) and the per-node `turbdb_node` service
+/// (`cluster/node_service.h`) both run on this same transport.
+///
+/// The server itself answers the transport-level requests (Ping,
+/// ServerStats, Hello) and delegates everything else to the handler,
+/// passing the deadline derived from the request's RpcOptions. If the
+/// deadline has expired by the time the handler returns, the (stale)
+/// response is replaced by a small Unavailable error.
 ///
 /// Failure policy: anything wrong with a *request* (unknown type, failed
 /// query, expired deadline, oversized frame) gets an error frame back and
 /// the connection stays open; anything wrong with the *stream* (bad
-/// magic, CRC mismatch, torn read) closes the connection, because framing
-/// can no longer be trusted.
+/// magic, version mismatch, CRC mismatch, torn read) closes the
+/// connection, because framing can no longer be trusted.
 class Server {
  public:
-  /// Binds, starts the accept loop and worker pool. The mediator must
-  /// outlive the server.
-  static Result<std::unique_ptr<Server>> Start(Mediator* mediator,
+  /// Produces the response payload for one request payload. `deadline`
+  /// is the request's execution budget; the handler may check it
+  /// mid-flight. Must return either a response or an error frame body
+  /// (EncodeErrorResponse) — never throw.
+  using Handler = std::function<std::vector<uint8_t>(
+      const std::vector<uint8_t>& payload, const Deadline& deadline)>;
+
+  /// Binds, starts the accept loop and worker pool. The handler (and
+  /// everything it references) must outlive the server.
+  static Result<std::unique_ptr<Server>> Start(Handler handler,
                                                const ServerOptions& options);
 
   ~Server();
@@ -68,7 +83,7 @@ class Server {
   ServerStatsReply stats() const;
 
  private:
-  Server(Mediator* mediator, const ServerOptions& options);
+  Server(Handler handler, const ServerOptions& options);
 
   void AcceptLoop();
   void ServeConnection(Socket conn);
@@ -77,7 +92,7 @@ class Server {
   /// payload (success or error frame body).
   std::vector<uint8_t> HandleRequest(const std::vector<uint8_t>& payload);
 
-  Mediator* mediator_;
+  Handler handler_;
   ServerOptions options_;
   Socket listener_;
   uint16_t port_ = 0;

@@ -17,6 +17,8 @@
 #include "net/server.h"
 #include "net/socket.h"
 
+#include "cluster/service.h"
+
 namespace turbdb {
 namespace {
 
@@ -63,6 +65,19 @@ TEST(FrameTest, RejectsBadMagicAndTruncation) {
   EXPECT_TRUE(net::DecodeFrame(truncated).status().IsCorruption());
 
   EXPECT_TRUE(net::DecodeFrame(Bytes({1, 2, 3})).status().IsCorruption());
+}
+
+TEST(FrameTest, RejectsWrongProtocolVersion) {
+  auto frame = net::EncodeFrame(Bytes({1, 2, 3}));
+  EXPECT_EQ(frame[4], net::kProtocolVersion);
+  frame[4] = net::kProtocolVersion + 1;  // a future peer
+  auto decoded = net::DecodeFrame(frame);
+  EXPECT_EQ(decoded.status().code(), StatusCode::kVersionMismatch);
+  EXPECT_NE(decoded.status().message().find("version"), std::string::npos);
+
+  frame[4] = 1;  // a v1 peer (whose header had no version byte at all)
+  EXPECT_EQ(net::DecodeFrame(frame).status().code(),
+            StatusCode::kVersionMismatch);
 }
 
 TEST(FrameTest, RejectsOversizedFrames) {
@@ -301,7 +316,8 @@ class ServerEndToEndTest : public ::testing::Test {
             .ok());
     net::ServerOptions options;
     options.num_workers = 4;
-    server_ = net::Server::Start(&db_->mediator(), options).value().release();
+    server_ =
+        ServeMediator(&db_->mediator(), options).value().release();
   }
 
   static void TearDownTestSuite() {
@@ -483,7 +499,7 @@ TEST_F(ServerEndToEndTest, OversizedFrameIsRefusedWithError) {
   net::ServerOptions small;
   small.max_frame_bytes = 256;
   small.num_workers = 1;
-  auto server = net::Server::Start(&db_->mediator(), small);
+  auto server = ServeMediator(&db_->mediator(), small);
   ASSERT_TRUE(server.ok());
   auto conn = net::TcpConnect("127.0.0.1", (*server)->port(),
                               Deadline::After(5000));
@@ -508,7 +524,7 @@ TEST_F(ServerEndToEndTest, OversizedFrameIsRefusedWithError) {
 TEST_F(ServerEndToEndTest, GracefulShutdownUnblocksEverything) {
   net::ServerOptions options;
   options.num_workers = 2;
-  auto server = net::Server::Start(&db_->mediator(), options);
+  auto server = ServeMediator(&db_->mediator(), options);
   ASSERT_TRUE(server.ok());
   const uint16_t port = (*server)->port();
   net::Client client("127.0.0.1", port);
@@ -543,7 +559,7 @@ TEST(ClientRetryTest, BoundedRetriesOnConnectFailure) {
                                     started)
           .count();
   ASSERT_FALSE(status.ok());
-  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(status.code(), StatusCode::kUnreachable);
   EXPECT_NE(status.message().find("attempts"), std::string::npos);
   // 3 attempts with 10+20 ms backoff — well under a second on loopback.
   EXPECT_LT(elapsed, 10.0);

@@ -18,4 +18,12 @@ cmake -B "$BUILD_DIR" -S "$ROOT" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DTURBDB_SANITIZE=ON
 cmake --build "$BUILD_DIR" -j "$JOBS"
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+# Per-test timeout so a distributed-path hang (e.g. a dead node that is
+# not detected) fails the run instead of wedging it.
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" --timeout 300
+
+# The multi-process integration tests fork real turbdb_node processes;
+# run them once more serially so their output is easy to find and flaky
+# port races do not hide behind parallel scheduling.
+ctest --test-dir "$BUILD_DIR" -R NodeClusterTest --output-on-failure \
+  --timeout 180

@@ -1,0 +1,16 @@
+# Asserts that turbdb_cli --connect against a port nobody listens on
+# exits with code 3 (transport-retry exhaustion), not a generic 1.
+execute_process(
+  COMMAND ${CLI} --connect 127.0.0.1:1 ping
+  RESULT_VARIABLE code
+  ERROR_VARIABLE stderr_text
+  OUTPUT_QUIET)
+if(NOT code EQUAL 3)
+  message(FATAL_ERROR
+          "expected exit code 3 for an unreachable server, got ${code}; "
+          "stderr: ${stderr_text}")
+endif()
+if(NOT stderr_text MATCHES "unreachable")
+  message(FATAL_ERROR
+          "expected the word 'unreachable' on stderr, got: ${stderr_text}")
+endif()

@@ -158,6 +158,19 @@ std::string RawFieldFor(const std::string& derived) {
   return "velocity";
 }
 
+/// Reports a failed query and picks the exit code. Transport-retry
+/// exhaustion (the server, or one of its database nodes, stayed
+/// unreachable through the client's retry budget) exits 3 so scripts can
+/// tell a dead endpoint from a bad query (1) or bad usage (2).
+int ReportFailure(const Status& status) {
+  if (status.IsUnreachable()) {
+    std::fprintf(stderr, "unreachable: %s\n", status.ToString().c_str());
+    return 3;
+  }
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
 /// Uniform access to the query engine, local or remote; the command
 /// implementations below do not care which.
 struct Backend {
@@ -180,10 +193,7 @@ int RunCommand(const CliOptions& options, const Backend& backend) {
   stats_query.box = whole;
   stats_query.fd_order = options.fd_order;
   auto stats = backend.stats(stats_query);
-  if (!stats.ok()) {
-    std::fprintf(stderr, "error: %s\n", stats.status().ToString().c_str());
-    return 1;
-  }
+  if (!stats.ok()) return ReportFailure(stats.status());
 
   if (options.command == "stats") {
     std::printf("%s of %s @ t=%d: mean %.4f  rms %.4f  max %.4f  "
@@ -205,10 +215,7 @@ int RunCommand(const CliOptions& options, const Backend& backend) {
     query.bin_width = stats->rms;
     query.num_bins = 9;
     auto pdf = backend.pdf(query);
-    if (!pdf.ok()) {
-      std::fprintf(stderr, "error: %s\n", pdf.status().ToString().c_str());
-      return 1;
-    }
+    if (!pdf.ok()) return ReportFailure(pdf.status());
     for (size_t bin = 0; bin < pdf->counts.size(); ++bin) {
       std::printf("[%4.1f rms, %s)  %10llu\n", static_cast<double>(bin),
                   bin + 1 < pdf->counts.size()
@@ -229,10 +236,7 @@ int RunCommand(const CliOptions& options, const Backend& backend) {
     query.fd_order = options.fd_order;
     query.k = std::strtoull(options.args[1].c_str(), nullptr, 10);
     auto result = backend.topk(query);
-    if (!result.ok()) {
-      std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
-      return 1;
-    }
+    if (!result.ok()) return ReportFailure(result.status());
     for (const ThresholdPoint& point : result->points) {
       uint32_t x, y, z;
       point.Coords(&x, &y, &z);
@@ -261,10 +265,7 @@ int RunCommand(const CliOptions& options, const Backend& backend) {
   query.threshold = threshold;
   query.fd_order = options.fd_order;
   auto result = backend.threshold(query);
-  if (!result.ok()) {
-    std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
-    return 1;
-  }
+  if (!result.ok()) return ReportFailure(result.status());
   std::printf("%zu points with |%s| >= %.4f (%.2f rms)  [cache %s]\n",
               result->points.size(), derived.c_str(), threshold,
               threshold / stats->rms,
@@ -321,19 +322,13 @@ int RunRemote(const CliOptions& options) {
   }
   if (options.command == "ping") {
     Status status = client.Ping();
-    if (!status.ok()) {
-      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
-      return 1;
-    }
+    if (!status.ok()) return ReportFailure(status);
     std::printf("pong from %s:%u\n", client.host().c_str(), client.port());
     return 0;
   }
   if (options.command == "server-stats") {
     auto stats = client.ServerStats();
-    if (!stats.ok()) {
-      std::fprintf(stderr, "error: %s\n", stats.status().ToString().c_str());
-      return 1;
-    }
+    if (!stats.ok()) return ReportFailure(stats.status());
     std::printf(
         "requests ok       %llu\n"
         "requests error    %llu\n"

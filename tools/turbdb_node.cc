@@ -1,0 +1,251 @@
+// turbdb_node — one database node of a distributed turbdb cluster.
+//
+// Serves the node-scoped RPCs (dataset registration, ingest, sub-query
+// execution, halo fetches, cache drop, stats) for a single DatabaseNode
+// over the framed binary protocol of src/net/. A distributed mediator
+// (turbdb_server --topology, or a Mediator created with a non-empty
+// ClusterConfig::topology) scatter-gathers queries across a set of these
+// processes; the nodes fetch halo atoms from each other directly via
+// --peers.
+//
+//   turbdb_node --node-id 0 --port 8600 --peers 127.0.0.1:8600,127.0.0.1:8601 &
+//   turbdb_node --node-id 1 --port 8601 --peers 127.0.0.1:8600,127.0.0.1:8601 &
+//   turbdb_server --topology 127.0.0.1:8600,127.0.0.1:8601
+//
+// SIGINT/SIGTERM drain in-flight requests and exit cleanly. With
+// --port 0 the kernel picks a port; --port-file writes the bound port to
+// a file so a launcher (the multi-process tests) can discover it.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <string>
+#include <thread>
+
+#include "cluster/node_service.h"
+#include "cluster/topology.h"
+#include "net/server.h"
+
+using namespace turbdb;
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void HandleSignal(int) { g_stop.store(true); }
+
+struct NodeCliOptions {
+  int node_id = 0;
+  std::string bind = "127.0.0.1";
+  int port = 0;
+  std::string peers;
+  std::string peers_file;
+  std::string storage_dir;
+  std::string port_file;
+  int workers = 4;
+  int node_workers = 0;
+  int max_frame_mb = 64;
+  int64_t deadline_ms = 60000;
+  bool help = false;
+};
+
+void PrintUsage() {
+  std::printf(
+      "usage: turbdb_node [options]\n"
+      "\n"
+      "Serves one database node of a distributed turbdb cluster.\n"
+      "\n"
+      "options:\n"
+      "  --node-id I      this node's id in the cluster (default 0)\n"
+      "  --port P         listen port (default 0 = ephemeral)\n"
+      "  --bind ADDR      bind address (default 127.0.0.1)\n"
+      "  --peers T        comma-separated host:port of every node in id\n"
+      "                   order (for direct halo fetches between nodes)\n"
+      "  --peers-file F   same, one host:port per line\n"
+      "  --storage-dir D  durable atom files for this node\n"
+      "  --port-file F    write the bound port here once listening\n"
+      "  --workers N      connection-handling threads (default 4)\n"
+      "  --node-workers N threads executing sub-query chunks\n"
+      "                   (default: hardware concurrency)\n"
+      "  --max-frame-mb M largest accepted frame payload (default 64)\n"
+      "  --deadline-ms D  default per-request budget (default 60000)\n"
+      "  --help           this message\n");
+}
+
+bool ParseArgs(int argc, char** argv, NodeCliOptions* options,
+               std::string* error) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next_int = [&](int64_t* out) {
+      if (i + 1 >= argc) {
+        *error = "option " + arg + " requires a value";
+        return false;
+      }
+      char* end = nullptr;
+      *out = std::strtoll(argv[++i], &end, 10);
+      if (end == nullptr || *end != '\0') {
+        *error = "option " + arg + " expects a number, got '" +
+                 std::string(argv[i]) + "'";
+        return false;
+      }
+      return true;
+    };
+    auto next_str = [&](std::string* out) {
+      if (i + 1 >= argc) {
+        *error = "option " + arg + " requires a value";
+        return false;
+      }
+      *out = argv[++i];
+      return true;
+    };
+    int64_t value = 0;
+    if (arg == "--help" || arg == "-h") {
+      options->help = true;
+      return true;
+    } else if (arg == "--node-id") {
+      if (!next_int(&value)) return false;
+      if (value < 0) {
+        *error = "--node-id must be non-negative";
+        return false;
+      }
+      options->node_id = static_cast<int>(value);
+    } else if (arg == "--port") {
+      if (!next_int(&value)) return false;
+      if (value < 0 || value > 65535) {
+        *error = "port out of range";
+        return false;
+      }
+      options->port = static_cast<int>(value);
+    } else if (arg == "--bind") {
+      if (!next_str(&options->bind)) return false;
+    } else if (arg == "--peers") {
+      if (!next_str(&options->peers)) return false;
+    } else if (arg == "--peers-file") {
+      if (!next_str(&options->peers_file)) return false;
+    } else if (arg == "--storage-dir") {
+      if (!next_str(&options->storage_dir)) return false;
+    } else if (arg == "--port-file") {
+      if (!next_str(&options->port_file)) return false;
+    } else if (arg == "--workers") {
+      if (!next_int(&value)) return false;
+      options->workers = static_cast<int>(value);
+    } else if (arg == "--node-workers") {
+      if (!next_int(&value)) return false;
+      options->node_workers = static_cast<int>(value);
+    } else if (arg == "--max-frame-mb") {
+      if (!next_int(&value)) return false;
+      if (value <= 0 || value > 1024) {
+        *error = "--max-frame-mb out of range (1..1024)";
+        return false;
+      }
+      options->max_frame_mb = static_cast<int>(value);
+    } else if (arg == "--deadline-ms") {
+      if (!next_int(&value)) return false;
+      options->deadline_ms = value;
+    } else {
+      *error = "unknown option " + arg;
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  NodeCliOptions options;
+  std::string error;
+  if (!ParseArgs(argc, argv, &options, &error)) {
+    std::fprintf(stderr, "turbdb_node: %s\n\n", error.c_str());
+    PrintUsage();
+    return 2;
+  }
+  if (options.help) {
+    PrintUsage();
+    return 0;
+  }
+
+  NodeServiceConfig config;
+  config.node_id = options.node_id;
+  config.storage_dir = options.storage_dir;
+  config.worker_threads = options.node_workers;
+  if (!options.peers.empty() || !options.peers_file.empty()) {
+    if (!options.peers.empty() && !options.peers_file.empty()) {
+      std::fprintf(stderr, "pass either --peers or --peers-file, not both\n");
+      return 2;
+    }
+    auto peers_or = options.peers.empty() ? LoadTopologyFile(options.peers_file)
+                                          : ParseTopology(options.peers);
+    if (!peers_or.ok()) {
+      std::fprintf(stderr, "bad peers: %s\n",
+                   peers_or.status().ToString().c_str());
+      return 2;
+    }
+    config.peers = std::move(peers_or).value();
+    if (static_cast<size_t>(options.node_id) >= config.peers.size()) {
+      std::fprintf(stderr, "--node-id %d is outside the %zu-entry peer list\n",
+                   options.node_id, config.peers.size());
+      return 2;
+    }
+  }
+
+  NodeService service(config);
+
+  net::ServerOptions server_options;
+  server_options.bind_address = options.bind;
+  server_options.port = static_cast<uint16_t>(options.port);
+  server_options.num_workers = options.workers;
+  server_options.max_frame_bytes =
+      static_cast<uint32_t>(options.max_frame_mb) << 20;
+  server_options.default_deadline_ms =
+      static_cast<uint64_t>(options.deadline_ms);
+  server_options.server_id = options.node_id;
+  auto server_or = net::Server::Start(service.AsHandler(), server_options);
+  if (!server_or.ok()) {
+    std::fprintf(stderr, "node start failed: %s\n",
+                 server_or.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<net::Server> server = std::move(server_or).value();
+  std::printf("turbdb_node %d listening on %s:%u\n", options.node_id,
+              options.bind.c_str(), server->port());
+  std::fflush(stdout);
+  if (!options.port_file.empty()) {
+    // Write-then-rename so a polling launcher never reads a torn file.
+    const std::string tmp = options.port_file + ".tmp";
+    {
+      std::ofstream out(tmp, std::ios::trunc);
+      out << server->port() << "\n";
+    }
+    if (std::rename(tmp.c_str(), options.port_file.c_str()) != 0) {
+      std::fprintf(stderr, "cannot write --port-file %s\n",
+                   options.port_file.c_str());
+      return 1;
+    }
+  }
+
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_handler = HandleSignal;
+  ::sigaction(SIGINT, &action, nullptr);
+  ::sigaction(SIGTERM, &action, nullptr);
+
+  while (!g_stop.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+
+  std::fprintf(stderr, "[node %d shutting down ...]\n", options.node_id);
+  server->Stop();
+  const net::ServerStatsReply stats = server->stats();
+  std::fprintf(stderr,
+               "node %d served %llu ok / %llu errors over %llu connections\n",
+               options.node_id,
+               static_cast<unsigned long long>(stats.requests_ok),
+               static_cast<unsigned long long>(stats.requests_error),
+               static_cast<unsigned long long>(stats.connections_accepted));
+  return 0;
+}

@@ -20,6 +20,8 @@
 #include <string>
 #include <thread>
 
+#include "cluster/service.h"
+#include "cluster/topology.h"
 #include "core/turbdb.h"
 #include "net/server.h"
 
@@ -43,6 +45,8 @@ struct ServerCliOptions {
   int max_frame_mb = 64;
   int64_t deadline_ms = 60000;
   std::string storage_dir;
+  std::string topology;       ///< "host:port,host:port,..."
+  std::string topology_file;  ///< One host:port per line.
   bool help = false;
 };
 
@@ -64,6 +68,10 @@ void PrintUsage() {
       "  --max-frame-mb M largest accepted frame payload (default 64)\n"
       "  --deadline-ms D  default per-request budget (default 60000)\n"
       "  --storage-dir D  durable atom files (reopened across runs)\n"
+      "  --topology T     comma-separated host:port list of turbdb_node\n"
+      "                   processes; switches the mediator to remote\n"
+      "                   scatter-gather (--nodes is then ignored)\n"
+      "  --topology-file F  same, one host:port per line\n"
       "  --help           this message\n");
 }
 
@@ -136,6 +144,18 @@ bool ParseArgs(int argc, char** argv, ServerCliOptions* options,
         return false;
       }
       options->storage_dir = argv[++i];
+    } else if (arg == "--topology") {
+      if (i + 1 >= argc) {
+        *error = "option --topology requires a value";
+        return false;
+      }
+      options->topology = argv[++i];
+    } else if (arg == "--topology-file") {
+      if (i + 1 >= argc) {
+        *error = "option --topology-file requires a value";
+        return false;
+      }
+      options->topology_file = argv[++i];
     } else {
       *error = "unknown option " + arg;
       return false;
@@ -163,6 +183,25 @@ int main(int argc, char** argv) {
   config.cluster.num_nodes = options.nodes;
   config.cluster.processes_per_node = options.processes;
   config.cluster.storage_dir = options.storage_dir;
+  if (!options.topology.empty() || !options.topology_file.empty()) {
+    if (!options.topology.empty() && !options.topology_file.empty()) {
+      std::fprintf(stderr,
+                   "pass either --topology or --topology-file, not both\n");
+      return 2;
+    }
+    auto topology_or = options.topology.empty()
+                           ? LoadTopologyFile(options.topology_file)
+                           : ParseTopology(options.topology);
+    if (!topology_or.ok()) {
+      std::fprintf(stderr, "bad topology: %s\n",
+                   topology_or.status().ToString().c_str());
+      return 2;
+    }
+    config.cluster.topology = std::move(topology_or).value();
+    std::fprintf(stderr, "[distributed mediator over %zu nodes: %s]\n",
+                 config.cluster.topology.size(),
+                 config.cluster.topology.ToString().c_str());
+  }
   auto db_or = TurbDB::Open(config);
   if (!db_or.ok()) {
     std::fprintf(stderr, "open failed: %s\n",
@@ -188,7 +227,7 @@ int main(int argc, char** argv) {
       static_cast<uint32_t>(options.max_frame_mb) << 20;
   server_options.default_deadline_ms =
       static_cast<uint64_t>(options.deadline_ms);
-  auto server_or = net::Server::Start(&db->mediator(), server_options);
+  auto server_or = ServeMediator(&db->mediator(), server_options);
   if (!server_or.ok()) {
     std::fprintf(stderr, "server start failed: %s\n",
                  server_or.status().ToString().c_str());
