@@ -8,6 +8,7 @@
 #include "cluster/remote_node.h"
 #include "common/logging.h"
 #include "common/stopwatch.h"
+#include "replication/replica_group.h"
 #include "wire/serializer.h"
 
 namespace turbdb {
@@ -19,9 +20,19 @@ Mediator::Mediator(const ClusterConfig& config) : config_(config) {
 Result<std::unique_ptr<Mediator>> Mediator::Create(
     const ClusterConfig& config) {
   ClusterConfig effective = config;
+  const int replication =
+      std::max(1, effective.topology.replication_factor);
   if (!effective.topology.empty()) {
-    // Distributed deployment: the topology is the node list.
-    effective.num_nodes = static_cast<int>(effective.topology.size());
+    // Distributed deployment: the topology is the physical node list;
+    // the mediator's logical node count is the replica-group count.
+    if (effective.topology.size() % static_cast<size_t>(replication) != 0) {
+      return Status::InvalidArgument(
+          "topology of " + std::to_string(effective.topology.size()) +
+          " nodes does not divide by replication factor " +
+          std::to_string(replication));
+    }
+    effective.num_nodes =
+        static_cast<int>(effective.topology.size()) / replication;
   }
   if (effective.num_nodes <= 0) {
     return Status::InvalidArgument("need at least one database node");
@@ -38,15 +49,23 @@ Result<std::unique_ptr<Mediator>> Mediator::Create(
   mediator->workers_ = std::make_unique<ThreadPool>(worker_threads);
 
   if (mediator->distributed()) {
-    // Remote scatter-gather: one RemoteNode channel per turbdb_node
-    // process. Handshake now so a dead or misconfigured node fails the
-    // bring-up, not the first query.
-    for (size_t i = 0; i < effective.topology.size(); ++i) {
-      auto remote = std::make_unique<RemoteNode>(
-          static_cast<int>(i), effective.topology.nodes[i],
-          effective.remote);
-      TURBDB_RETURN_NOT_OK(remote->Handshake());
-      mediator->backends_.push_back(std::move(remote));
+    // Remote scatter-gather: one ReplicaGroup per shard, fronting the R
+    // consecutive turbdb_node processes that hold the shard's atom
+    // range. Bring-up handshakes every member now: with R=1 a dead or
+    // misconfigured node fails the bring-up (not the first query); with
+    // R>1 a group tolerates dead members as long as one answers.
+    for (int g = 0; g < effective.num_nodes; ++g) {
+      std::vector<std::unique_ptr<RemoteNode>> members;
+      for (int r = 0; r < replication; ++r) {
+        const int physical = g * replication + r;
+        members.push_back(std::make_unique<RemoteNode>(
+            physical,
+            effective.topology.nodes[static_cast<size_t>(physical)],
+            effective.remote, /*shard=*/g));
+      }
+      auto group = std::make_unique<ReplicaGroup>(g, std::move(members));
+      TURBDB_RETURN_NOT_OK(group->BringUp());
+      mediator->backends_.push_back(std::move(group));
     }
     return mediator;
   }
@@ -55,6 +74,7 @@ Result<std::unique_ptr<Mediator>> Mediator::Create(
   for (int i = 0; i < effective.num_nodes; ++i) {
     mediator->nodes_.push_back(std::make_unique<DatabaseNode>(
         i, effective.cost, effective.storage_dir));
+    mediator->nodes_.back()->set_fsync_on_ingest(effective.fsync_ingest);
   }
   // Wire the halo-exchange hook: a worker on one node fetches boundary
   // atoms by a batched read served from the owning node's disks plus a
@@ -601,6 +621,26 @@ Result<uint64_t> Mediator::StoredAtomCount(const std::string& dataset,
                                            const std::string& field) {
   if (backends_.empty()) return Status::Internal("cluster has no nodes");
   return backends_.front()->StoredAtomCount(dataset, field);
+}
+
+std::vector<ClusterNodeStatus> Mediator::ClusterStatus() const {
+  std::vector<ClusterNodeStatus> rows;
+  for (const auto& backend : backends_) {
+    const auto* group = dynamic_cast<const ReplicaGroup*>(backend.get());
+    if (group == nullptr) continue;  // In-process deployment.
+    for (const ReplicaGroup::MemberStatus& member : group->Snapshot()) {
+      ClusterNodeStatus row;
+      row.node_id = member.node_id;
+      row.shard = group->id();
+      row.primary = member.primary;
+      row.healthy = member.healthy;
+      row.epoch = member.epoch;
+      row.failovers = member.failovers;
+      row.address = member.address;
+      rows.push_back(std::move(row));
+    }
+  }
+  return rows;
 }
 
 }  // namespace turbdb

@@ -38,12 +38,30 @@ struct ClusterConfig {
   /// comes from the cost models either way.
   std::string storage_dir;
   /// When non-empty, the database nodes are `turbdb_node` processes at
-  /// these addresses (entry i = node i) and the mediator scatter-gathers
-  /// over TCP; `num_nodes` is then taken from the topology. Empty =
-  /// classic in-process deployment.
+  /// these addresses (entry i = physical node i) and the mediator
+  /// scatter-gathers over TCP; `num_nodes` is then the topology's group
+  /// count (node count / replication factor). Empty = classic in-process
+  /// deployment. The topology's `replication_factor` R fronts each shard
+  /// with a ReplicaGroup of R consecutive nodes: primary-preferred reads
+  /// with failover, write fan-out, and epoch-aware restart re-sync.
   ClusterTopology topology;
   /// Transport policy toward remote nodes (deadlines, retry budget).
   RemoteNodeOptions remote;
+  /// Whether durable ingest fsyncs each (dataset, field) store at batch
+  /// completion so acknowledged atoms survive a crash. Benches that only
+  /// measure modeled time turn it off (--no-fsync).
+  bool fsync_ingest = true;
+};
+
+/// One physical node's row in Mediator::ClusterStatus().
+struct ClusterNodeStatus {
+  int node_id = 0;  ///< Physical id (topology index).
+  int shard = 0;    ///< Replica group the node belongs to.
+  bool primary = false;
+  bool healthy = false;
+  uint64_t epoch = 0;
+  uint64_t failovers = 0;
+  std::string address;
 };
 
 /// The front-end Web-server of Fig. 1: mediates between clients and the
@@ -102,6 +120,10 @@ class Mediator {
   /// deployments; used to probe whether data was already ingested.
   Result<uint64_t> StoredAtomCount(const std::string& dataset,
                                    const std::string& field);
+
+  /// Health/epoch/failover snapshot of every physical node, one row per
+  /// topology entry. Empty for the in-process deployment.
+  std::vector<ClusterNodeStatus> ClusterStatus() const;
 
   Result<const DatasetInfo*> GetDataset(const std::string& name) const;
 

@@ -46,7 +46,8 @@ struct TopKHeapCompare {
 
 DatabaseNode::DatabaseNode(int id, const CostModelConfig& cost,
                            std::string storage_dir)
-    : id_(id), storage_dir_(std::move(storage_dir)), hdd_(cost.hdd),
+    : id_(id), shard_id_(id), storage_dir_(std::move(storage_dir)),
+      hdd_(cost.hdd),
       cache_(&txn_manager_, cost.ssd, cost.cache_capacity_bytes) {}
 
 void DatabaseNode::RegisterDataset(const std::string& dataset,
@@ -100,6 +101,50 @@ AtomStore* DatabaseNode::GetOrCreateStore(const std::string& dataset,
 Status DatabaseNode::IngestAtom(const std::string& dataset,
                                 const std::string& field, const Atom& atom) {
   return GetOrCreateStore(dataset, field)->Put(atom);
+}
+
+Status DatabaseNode::FinishIngest(const std::string& dataset,
+                                  const std::string& field) {
+  if (!fsync_on_ingest_ || storage_dir_.empty()) return Status::OK();
+  AtomStore* store = FindStore(dataset, field);
+  if (store == nullptr) return Status::OK();
+  return store->Sync();
+}
+
+std::vector<DatabaseNode::StoreListing> DatabaseNode::ListStores() const {
+  std::vector<StoreListing> listings;
+  std::lock_guard<std::mutex> lock(stores_mutex_);
+  for (const auto& [key, store] : stores_) {
+    listings.push_back({key.first, key.second, store->AtomCount()});
+  }
+  return listings;
+}
+
+Status DatabaseNode::CollectRange(const std::string& dataset,
+                                  const std::string& field, int32_t timestep,
+                                  uint64_t begin, uint64_t end,
+                                  uint64_t max_atoms, std::vector<Atom>* atoms,
+                                  uint64_t* next_code, bool* done) const {
+  const AtomStore* store = FindStore(dataset, field);
+  if (store == nullptr) {
+    return Status::NotFound("node " + std::to_string(id_) +
+                            " stores no field '" + field + "'");
+  }
+  atoms->clear();
+  *next_code = end;
+  *done = true;
+  // Scan cannot stop early; past the page limit we only record where the
+  // next page starts and skip the payload copies.
+  TURBDB_RETURN_NOT_OK(store->Scan(
+      timestep, MortonRange{begin, end}, [&](const Atom& atom) {
+        if (atoms->size() < max_atoms) {
+          atoms->push_back(atom);
+        } else if (*done) {
+          *done = false;
+          *next_code = atom.key.zindex;
+        }
+      }));
+  return Status::OK();
 }
 
 uint64_t DatabaseNode::StoredAtomCount(const std::string& dataset,
@@ -194,7 +239,7 @@ Result<NodeOutcome> DatabaseNode::ExecuteFromRaw(const NodeQuery& query,
   const GridGeometry& geometry = query.dataset->geometry;
   const Box3 atom_cover = geometry.AtomCover(query.box);
   const std::vector<uint64_t> atoms =
-      query.partitioner->NodeAtomsInBox(id_, atom_cover);
+      query.partitioner->NodeAtomsInBox(shard_id_, atom_cover);
   if (atoms.empty()) return outcome;
 
   // Data-parallel evaluation: split this node's atoms into one contiguous
@@ -446,7 +491,7 @@ Slab DatabaseNode::GatherDest(const NodeQuery& query, const DestMap& dest,
                        unique_codes.end());
     for (uint64_t code : unique_codes) {
       const int owner = query.partitioner->OwnerOfAtom(code);
-      if (owner == id_) {
+      if (owner == shard_id_) {
         local_codes.push_back(code);
       } else {
         remote_codes[owner].push_back(code);

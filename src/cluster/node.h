@@ -112,7 +112,18 @@ class DatabaseNode {
 
   int id() const { return id_; }
 
+  /// The partition this node serves. Defaults to `id`; a replicated
+  /// deployment sets it to id / replication-factor so that every replica
+  /// of a group answers for the same slice of the Morton partitioning
+  /// while keeping distinct physical ids (file names, error messages).
+  void set_shard(int shard) { shard_id_ = shard; }
+  int shard() const { return shard_id_; }
+
   void set_remote_fetch(RemoteFetchFn fn) { remote_fetch_ = std::move(fn); }
+
+  /// Whether FinishIngest() fsyncs durable stores (default true). Benches
+  /// that measure modeled — not physical — I/O turn it off (--no-fsync).
+  void set_fsync_on_ingest(bool value) { fsync_on_ingest_ = value; }
 
   /// Registers this node's shard of `dataset` (sorted atom codes).
   void RegisterDataset(const std::string& dataset,
@@ -121,6 +132,32 @@ class DatabaseNode {
   /// Stores one atom of (dataset, field). Creation path; not timed.
   Status IngestAtom(const std::string& dataset, const std::string& field,
                     const Atom& atom);
+
+  /// Marks the end of an ingest batch for (dataset, field): flushes the
+  /// store to stable storage (durable mode) so acknowledged atoms survive
+  /// a crash. No-op when fsync-on-ingest is disabled or the store is
+  /// volatile.
+  Status FinishIngest(const std::string& dataset, const std::string& field);
+
+  /// One (dataset, field) store this node has open.
+  struct StoreListing {
+    std::string dataset;
+    std::string field;
+    uint64_t atoms = 0;
+  };
+
+  /// Every store currently open, with its atom count. A donor node uses
+  /// it to tell a re-syncing replica what it can serve.
+  std::vector<StoreListing> ListStores() const;
+
+  /// Collects up to `max_atoms` atoms of (dataset, field, timestep) with
+  /// z-index in [begin, end) into `*atoms`, in z order. `*next_code` is
+  /// where the next page starts; `*done` is true when the range is
+  /// exhausted. NotFound if this node has no such store.
+  Status CollectRange(const std::string& dataset, const std::string& field,
+                      int32_t timestep, uint64_t begin, uint64_t end,
+                      uint64_t max_atoms, std::vector<Atom>* atoms,
+                      uint64_t* next_code, bool* done) const;
 
   /// Point-reads `codes` (sorted) on behalf of a peer's halo gather,
   /// charging this node's disk; used by the mediator's fetch hook.
@@ -202,7 +239,9 @@ class DatabaseNode {
                                      ThreadPool* workers);
 
   int id_;
+  int shard_id_;
   std::string storage_dir_;
+  bool fsync_on_ingest_ = true;
   DeviceModel hdd_;
   TransactionManager txn_manager_;
   SemanticCache cache_;

@@ -76,7 +76,9 @@ class LocalNode : public NodeBackend {
     for (const Atom& atom : atoms) {
       TURBDB_RETURN_NOT_OK(node_->IngestAtom(dataset, field, atom));
     }
-    return Status::OK();
+    // One fsync per batch (durable mode): atoms acknowledged here
+    // survive a crash.
+    return node_->FinishIngest(dataset, field);
   }
 
   Result<NodeOutcome> Execute(const NodeQuery& query) override {

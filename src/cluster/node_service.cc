@@ -1,8 +1,10 @@
 #include "cluster/node_service.h"
 
+#include <cstdint>
 #include <thread>
 #include <utility>
 
+#include "common/logging.h"
 #include "net/protocol.h"
 
 namespace turbdb {
@@ -36,6 +38,14 @@ net::ClientOptions PeerClientOptions(const RemoteNodeOptions& remote) {
   return client;
 }
 
+/// Failures of the pipe rather than the request: worth trying the next
+/// replica of the owning shard. Typed errors reproduce everywhere.
+bool IsTransportFailure(const Status& status) {
+  return status.code() == StatusCode::kUnreachable ||
+         status.code() == StatusCode::kIOError ||
+         status.code() == StatusCode::kUnavailable;
+}
+
 }  // namespace
 
 NodeService::NodeService(const NodeServiceConfig& config)
@@ -45,6 +55,8 @@ NodeService::NodeService(const NodeServiceConfig& config)
       workers_(config.worker_threads > 0
                    ? config.worker_threads
                    : static_cast<int>(std::thread::hardware_concurrency())) {
+  node_.set_fsync_on_ingest(config.fsync_ingest);
+  node_.set_shard(shard());
   node_.set_remote_fetch(
       [this](int owner, const std::string& dataset, const std::string& field,
              int32_t timestep, const std::vector<uint64_t>& codes,
@@ -152,29 +164,33 @@ Result<NodeQuery> NodeService::BuildQuery(const net::NodeQuerySpec& spec) {
   return query;
 }
 
+NodeService::PeerChannel* NodeService::GetPeerChannel(int physical) {
+  std::lock_guard<std::mutex> lock(peers_mutex_);
+  auto it = peers_.find(physical);
+  if (it == peers_.end()) {
+    auto created = std::make_unique<PeerChannel>();
+    const NodeAddress& address =
+        config_.peers.nodes[static_cast<size_t>(physical)];
+    created->client = std::make_unique<net::Client>(
+        address.host, address.port, PeerClientOptions(config_.remote));
+    it = peers_.emplace(physical, std::move(created)).first;
+  }
+  return it->second.get();
+}
+
 Result<std::vector<Atom>> NodeService::FetchFromPeer(
     int owner, const std::string& dataset, const std::string& field,
     int32_t timestep, const std::vector<uint64_t>& codes, int concurrent,
     double* cost_s) {
-  if (owner < 0 || static_cast<size_t>(owner) >= config_.peers.size()) {
-    return Status::InvalidArgument("no such node " + std::to_string(owner));
+  // `owner` is a shard id; any replica of that shard can serve its halo
+  // atoms, so a dead primary is a failover, not an error.
+  const int replication = std::max(1, config_.replication_factor);
+  const int num_shards = static_cast<int>(config_.peers.size()) / replication;
+  if (owner < 0 || owner >= num_shards) {
+    return Status::InvalidArgument("no such shard " + std::to_string(owner));
   }
-  if (owner == config_.node_id) {
+  if (owner == shard()) {
     return Status::Internal("halo fetch routed to the local node");
-  }
-  PeerChannel* channel = nullptr;
-  {
-    std::lock_guard<std::mutex> lock(peers_mutex_);
-    auto it = peers_.find(owner);
-    if (it == peers_.end()) {
-      auto created = std::make_unique<PeerChannel>();
-      const NodeAddress& address =
-          config_.peers.nodes[static_cast<size_t>(owner)];
-      created->client = std::make_unique<net::Client>(
-          address.host, address.port, PeerClientOptions(config_.remote));
-      it = peers_.emplace(owner, std::move(created)).first;
-    }
-    channel = it->second.get();
   }
   net::NodeFetchAtomsRequest request;
   request.dataset = dataset;
@@ -182,17 +198,34 @@ Result<std::vector<Atom>> NodeService::FetchFromPeer(
   request.timestep = timestep;
   request.concurrent = concurrent;
   request.codes = codes;
-  std::lock_guard<std::mutex> lock(channel->mutex);
-  auto reply = channel->client->NodeFetchAtoms(request);
-  if (!reply.ok()) {
-    return Status(reply.status().code(),
-                  "halo fetch from node " + std::to_string(owner) + ": " +
+  Status last;
+  for (int r = 0; r < replication; ++r) {
+    const int physical = owner * replication + r;
+    if (physical == config_.node_id) continue;
+    PeerChannel* channel = GetPeerChannel(physical);
+    Result<net::NodeFetchAtomsReply> reply = Status::OK();
+    {
+      std::lock_guard<std::mutex> lock(channel->mutex);
+      reply = channel->client->NodeFetchAtoms(request);
+    }
+    if (reply.ok()) {
+      if (cost_s != nullptr) {
+        *cost_s +=
+            reply->cost_s + config_.cost.lan.TransferCost(reply->bytes_out);
+      }
+      return std::move(reply->atoms);
+    }
+    last = Status(reply.status().code(),
+                  "halo fetch from node " + std::to_string(physical) + ": " +
                       reply.status().message());
+    if (!IsTransportFailure(last)) return last;
+    if (r + 1 < replication) {
+      TURBDB_LOG(Warning) << "node " << config_.node_id
+                          << ": halo fetch failing over off node " << physical
+                          << ": " << last.ToString();
+    }
   }
-  if (cost_s != nullptr) {
-    *cost_s += reply->cost_s + config_.cost.lan.TransferCost(reply->bytes_out);
-  }
-  return std::move(reply->atoms);
+  return last;
 }
 
 std::vector<uint8_t> NodeService::Handle(const std::vector<uint8_t>& payload,
@@ -220,6 +253,12 @@ std::vector<uint8_t> NodeService::Handle(const std::vector<uint8_t>& payload,
     case net::MsgType::kNodeStatsRequest:
       response = HandleStats(payload);
       break;
+    case net::MsgType::kNodeSyncRangeRequest:
+      response = HandleSyncRange(payload);
+      break;
+    case net::MsgType::kNodeListStoresRequest:
+      response = HandleListStores(payload);
+      break;
     default:
       response = Status::NotSupported(
           "turbdb_node does not serve request type " +
@@ -235,10 +274,11 @@ Result<std::vector<uint8_t>> NodeService::HandleCreateDataset(
     const std::vector<uint8_t>& payload) {
   TURBDB_ASSIGN_OR_RETURN(net::NodeCreateDatasetRequest request,
                           net::DecodeNodeCreateDatasetRequest(payload));
-  if (request.node_id != config_.node_id) {
+  if (request.node_id != shard()) {
     return Status::InvalidArgument(
-        "shard addressed to node " + std::to_string(request.node_id) +
-        ", this is node " + std::to_string(config_.node_id));
+        "shard " + std::to_string(request.node_id) +
+        " addressed to node " + std::to_string(config_.node_id) +
+        ", which serves shard " + std::to_string(shard()));
   }
   if (request.strategy < 0 ||
       request.strategy > static_cast<int32_t>(PartitionStrategy::kZSlabs)) {
@@ -267,7 +307,7 @@ Result<std::vector<uint8_t>> NodeService::HandleCreateDataset(
   auto state = std::make_unique<DatasetState>(
       DatasetState{request.info, std::move(partitioner)});
   node_.RegisterDataset(request.info.name,
-                        state->partitioner.NodeAtoms(config_.node_id));
+                        state->partitioner.NodeAtoms(shard()));
   std::lock_guard<std::mutex> lock(state_mutex_);
   datasets_.emplace(request.info.name, std::move(state));
   return net::EncodeAckResponse(net::MsgType::kNodeCreateDatasetResponse);
@@ -278,9 +318,16 @@ Result<std::vector<uint8_t>> NodeService::HandleIngest(
   TURBDB_ASSIGN_OR_RETURN(net::NodeIngestRequest request,
                           net::DecodeNodeIngestRequest(payload));
   for (const Atom& atom : request.atoms) {
-    TURBDB_RETURN_NOT_OK(
-        node_.IngestAtom(request.dataset, request.field, atom));
+    Status status = node_.IngestAtom(request.dataset, request.field, atom);
+    if (!status.ok() &&
+        !(request.skip_existing &&
+          status.code() == StatusCode::kAlreadyExists)) {
+      return status;
+    }
   }
+  // One fsync per batch (durable mode): atoms acknowledged here survive a
+  // crash.
+  TURBDB_RETURN_NOT_OK(node_.FinishIngest(request.dataset, request.field));
   return net::EncodeAckResponse(net::MsgType::kNodeIngestResponse);
 }
 
@@ -333,7 +380,36 @@ Result<std::vector<uint8_t>> NodeService::HandleStats(
   net::NodeStatsReply reply;
   reply.node_id = config_.node_id;
   reply.stored_atoms = node_.StoredAtomCount(request.dataset, request.field);
+  reply.epoch = config_.epoch;
   return net::EncodeNodeStatsResponse(reply);
+}
+
+Result<std::vector<uint8_t>> NodeService::HandleSyncRange(
+    const std::vector<uint8_t>& payload) {
+  TURBDB_ASSIGN_OR_RETURN(net::NodeSyncRangeRequest request,
+                          net::DecodeNodeSyncRangeRequest(payload));
+  const uint64_t end =
+      request.end_code == 0 ? UINT64_MAX : request.end_code;
+  const uint64_t max_atoms = request.max_atoms == 0 ? 512 : request.max_atoms;
+  net::NodeSyncRangeReply reply;
+  TURBDB_RETURN_NOT_OK(node_.CollectRange(
+      request.dataset, request.field, request.timestep, request.begin_code,
+      end, max_atoms, &reply.atoms, &reply.next_code, &reply.done));
+  return net::EncodeNodeSyncRangeResponse(reply);
+}
+
+Result<std::vector<uint8_t>> NodeService::HandleListStores(
+    const std::vector<uint8_t>& payload) {
+  TURBDB_RETURN_NOT_OK(net::DecodeNodeListStoresRequest(payload).status());
+  net::NodeListStoresReply reply;
+  for (const DatabaseNode::StoreListing& listing : node_.ListStores()) {
+    net::NodeStoreInfo info;
+    info.dataset = listing.dataset;
+    info.field = listing.field;
+    info.atoms = listing.atoms;
+    reply.stores.push_back(std::move(info));
+  }
+  return net::EncodeNodeListStoresResponse(reply);
 }
 
 }  // namespace turbdb

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <algorithm>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -18,7 +19,7 @@ namespace turbdb {
 
 /// Configuration of one turbdb_node process.
 struct NodeServiceConfig {
-  int node_id = 0;
+  int node_id = 0;  ///< Physical id (index into `peers`).
   CostModelConfig cost;
   /// Empty = in-memory atom stores; otherwise FileAtomStore files live
   /// under this directory.
@@ -26,11 +27,21 @@ struct NodeServiceConfig {
   /// Threads executing this node's data-parallel chunks; 0 = hardware
   /// concurrency.
   int worker_threads = 0;
-  /// Peer addresses (entry i = node i) for direct halo fetches. The
-  /// entry of this node itself is ignored.
+  /// Peer addresses (entry i = physical node i) for direct halo fetches.
+  /// The entry of this node itself is ignored.
   ClusterTopology peers;
   /// Transport policy for peer fetches.
   RemoteNodeOptions remote;
+  /// Replica-group width R: physical nodes [g*R, (g+1)*R) all serve
+  /// shard g. This node's shard is node_id / R; halo fetches address a
+  /// shard and fail over across its replicas. 1 = unreplicated.
+  int replication_factor = 1;
+  /// fsync each (dataset, field) store at ingest-batch completion
+  /// (durable mode). --no-fsync turns it off for benches.
+  bool fsync_ingest = true;
+  /// This process's incarnation counter (bumped at start, persisted
+  /// beside the storage dir); reported through Hello and Stats.
+  uint64_t epoch = 0;
 };
 
 /// Serves one `DatabaseNode` over the node-scoped RPCs: the process body
@@ -59,6 +70,11 @@ class NodeService {
   DatabaseNode& node() { return node_; }
   int node_id() const { return config_.node_id; }
 
+  /// The logical shard this node serves (node_id / replication factor).
+  int shard() const {
+    return config_.node_id / std::max(1, config_.replication_factor);
+  }
+
  private:
   struct DatasetState {
     DatasetInfo info;
@@ -83,6 +99,10 @@ class NodeService {
       int32_t timestep, const std::vector<uint64_t>& codes, int concurrent,
       double* cost_s);
 
+  /// The serialized channel to physical peer node `physical` (created on
+  /// first use).
+  PeerChannel* GetPeerChannel(int physical);
+
   Result<std::vector<uint8_t>> HandleCreateDataset(
       const std::vector<uint8_t>& payload);
   Result<std::vector<uint8_t>> HandleIngest(
@@ -94,6 +114,10 @@ class NodeService {
   Result<std::vector<uint8_t>> HandleDropCache(
       const std::vector<uint8_t>& payload);
   Result<std::vector<uint8_t>> HandleStats(
+      const std::vector<uint8_t>& payload);
+  Result<std::vector<uint8_t>> HandleSyncRange(
+      const std::vector<uint8_t>& payload);
+  Result<std::vector<uint8_t>> HandleListStores(
       const std::vector<uint8_t>& payload);
 
   NodeServiceConfig config_;

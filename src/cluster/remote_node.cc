@@ -47,8 +47,9 @@ net::NodeQuerySpec ToSpec(const NodeQuery& query) {
 }
 
 RemoteNode::RemoteNode(int id, const NodeAddress& address,
-                       const RemoteNodeOptions& options)
-    : id_(id), address_(address), options_(options),
+                       const RemoteNodeOptions& options, int shard)
+    : id_(id), shard_(shard >= 0 ? shard : id), address_(address),
+      options_(options),
       client_(address.host, address.port, MakeClientOptions(options)) {}
 
 Status RemoteNode::Named(const Status& status) const {
@@ -56,7 +57,7 @@ Status RemoteNode::Named(const Status& status) const {
   return Status(status.code(), DebugName() + ": " + status.message());
 }
 
-Status RemoteNode::Handshake() {
+Result<uint64_t> RemoteNode::Handshake() {
   std::lock_guard<std::mutex> lock(mutex_);
   auto hello = client_.Hello();
   if (!hello.ok()) return Named(hello.status());
@@ -72,7 +73,7 @@ Status RemoteNode::Handshake() {
         "identifies as node " + std::to_string(hello->server_id) +
         " — topology misconfigured?"));
   }
-  return Status::OK();
+  return hello->epoch;
 }
 
 Status RemoteNode::CreateDataset(const DatasetInfo& info,
@@ -81,15 +82,16 @@ Status RemoteNode::CreateDataset(const DatasetInfo& info,
   net::NodeCreateDatasetRequest request;
   request.info = info;
   request.num_nodes = partitioner.num_nodes();
-  request.node_id = id_;
+  request.node_id = shard_;
   request.strategy = static_cast<int32_t>(strategy);
   std::lock_guard<std::mutex> lock(mutex_);
   return Named(client_.NodeCreateDataset(request));
 }
 
-Status RemoteNode::IngestAtoms(const std::string& dataset,
-                               const std::string& field,
-                               const std::vector<Atom>& atoms) {
+Status RemoteNode::IngestBatches(const std::string& dataset,
+                                 const std::string& field,
+                                 const std::vector<Atom>& atoms,
+                                 bool skip_existing) {
   const size_t batch =
       static_cast<size_t>(std::max(1, options_.ingest_batch_atoms));
   std::lock_guard<std::mutex> lock(mutex_);
@@ -98,11 +100,39 @@ Status RemoteNode::IngestAtoms(const std::string& dataset,
     net::NodeIngestRequest request;
     request.dataset = dataset;
     request.field = field;
+    request.skip_existing = skip_existing;
     request.atoms.assign(atoms.begin() + static_cast<ptrdiff_t>(begin),
                          atoms.begin() + static_cast<ptrdiff_t>(end));
     TURBDB_RETURN_NOT_OK(Named(client_.NodeIngest(request)));
   }
   return Status::OK();
+}
+
+Status RemoteNode::IngestAtoms(const std::string& dataset,
+                               const std::string& field,
+                               const std::vector<Atom>& atoms) {
+  return IngestBatches(dataset, field, atoms, /*skip_existing=*/false);
+}
+
+Status RemoteNode::IngestSkippingExisting(const std::string& dataset,
+                                          const std::string& field,
+                                          const std::vector<Atom>& atoms) {
+  return IngestBatches(dataset, field, atoms, /*skip_existing=*/true);
+}
+
+Result<net::NodeSyncRangeReply> RemoteNode::SyncRange(
+    const net::NodeSyncRangeRequest& request) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto reply = client_.NodeSyncRange(request);
+  if (!reply.ok()) return Named(reply.status());
+  return reply;
+}
+
+Result<net::NodeListStoresReply> RemoteNode::ListStores() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto reply = client_.NodeListStores();
+  if (!reply.ok()) return Named(reply.status());
+  return reply;
 }
 
 Result<NodeOutcome> RemoteNode::Execute(const NodeQuery& query) {

@@ -22,15 +22,24 @@ namespace turbdb {
 /// cluster's parallelism is across nodes, not within one node's channel.
 class RemoteNode : public NodeBackend {
  public:
+  /// `shard` is the logical shard whose atom range this node serves;
+  /// under replication several physical nodes share one shard. Negative
+  /// (the default) means "same as the physical id" — the unreplicated
+  /// layout.
   RemoteNode(int id, const NodeAddress& address,
-             const RemoteNodeOptions& options);
+             const RemoteNodeOptions& options, int shard = -1);
 
   /// Verifies the node answers, speaks this protocol version and
-  /// identifies as the expected node id. Called by the mediator at
-  /// cluster bring-up so misconfiguration fails at Create, not mid-query.
-  Status Handshake();
+  /// identifies as the expected node id; returns the node's incarnation
+  /// epoch. Called by the mediator at cluster bring-up (so
+  /// misconfiguration fails at Create, not mid-query) and again by the
+  /// replica layer when probing a node it saw go down — an epoch higher
+  /// than the one recorded means the process restarted.
+  Result<uint64_t> Handshake();
 
   int id() const override { return id_; }
+  int shard() const { return shard_; }
+  const NodeAddress& address() const { return address_; }
   std::string DebugName() const override {
     return "node " + std::to_string(id_) + " (" + address_.ToString() + ")";
   }
@@ -47,11 +56,30 @@ class RemoteNode : public NodeBackend {
   Result<uint64_t> StoredAtomCount(const std::string& dataset,
                                    const std::string& field) override;
 
+  /// IngestAtoms with `skip_existing`: duplicate keys are silently kept
+  /// as-is on the node. The re-sync path uses it to push ranges that may
+  /// overlap atoms a restarted node already recovered from disk.
+  Status IngestSkippingExisting(const std::string& dataset,
+                                const std::string& field,
+                                const std::vector<Atom>& atoms);
+
+  /// One page of a replica sync: atoms of (dataset, field, timestep) in
+  /// [begin_code, end_code), at most max_atoms of them.
+  Result<net::NodeSyncRangeReply> SyncRange(
+      const net::NodeSyncRangeRequest& request);
+
+  /// Every (dataset, field) store the node has open, with atom counts.
+  Result<net::NodeListStoresReply> ListStores();
+
  private:
   /// Prefixes a failure with this node's identity (code preserved).
   Status Named(const Status& status) const;
 
+  Status IngestBatches(const std::string& dataset, const std::string& field,
+                       const std::vector<Atom>& atoms, bool skip_existing);
+
   int id_;
+  int shard_;
   NodeAddress address_;
   RemoteNodeOptions options_;
 

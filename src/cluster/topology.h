@@ -21,15 +21,29 @@ struct NodeAddress {
   }
 };
 
-/// Where the cluster's database nodes live: entry i is node i. An empty
-/// topology means the in-process deployment (every DatabaseNode inside
-/// the mediator); a non-empty one switches the mediator to remote
+/// Where the cluster's database nodes live: entry i is physical node i.
+/// An empty topology means the in-process deployment (every DatabaseNode
+/// inside the mediator); a non-empty one switches the mediator to remote
 /// scatter-gather over TCP.
+///
+/// `replication_factor` R groups the entries into replica groups of R
+/// consecutive nodes: entries [g*R, (g+1)*R) all hold shard g's atom
+/// range, the first of them being the group's preferred (primary) read
+/// target. R=1 (the default) is the unreplicated layout where physical
+/// node i IS shard i. The node count must divide evenly by R.
 struct ClusterTopology {
   std::vector<NodeAddress> nodes;
+  int replication_factor = 1;
 
   bool empty() const { return nodes.empty(); }
   size_t size() const { return nodes.size(); }
+
+  /// Number of replica groups (= logical shards). With R=1 this equals
+  /// the node count.
+  int num_groups() const {
+    const int factor = replication_factor > 0 ? replication_factor : 1;
+    return static_cast<int>(nodes.size()) / factor;
+  }
 
   /// "host:port,host:port,..." — the inverse of ParseTopology; also the
   /// format turbdb_node's --peers flag takes.

@@ -8,9 +8,14 @@ namespace net {
 
 namespace {
 
-/// Transport-level failures worth a reconnect + retry. Anything the
-/// server *said* (an error frame) is a final answer.
-bool IsTransient(const Status& status) {
+/// The retry predicate: ONLY transport-level failures — connect refused,
+/// reset, EOF (kIOError) or a deadline expiring mid-read (kUnavailable) —
+/// earn a reconnect + retry. Every *typed* failure is a final answer and
+/// must fail fast: an error frame the server sent, a Corruption from a
+/// garbled payload, and in particular kVersionMismatch — retrying a peer
+/// that speaks the wrong protocol version burns the whole backoff budget
+/// to learn the same fact N times.
+bool IsTransportFailure(const Status& status) {
   return status.code() == StatusCode::kIOError ||
          status.code() == StatusCode::kUnavailable;
 }
@@ -67,7 +72,7 @@ Result<std::vector<uint8_t>> Client::Call(
     // The connection's stream state is unknown after any failure; drop
     // it so the next attempt starts clean.
     conn_.Close();
-    if (!IsTransient(last)) return last;
+    if (!IsTransportFailure(last)) return last;
   }
   // A distinct code: the peer is unreachable after every attempt, as
   // opposed to merely slow (Unavailable) on one of them. Callers (the
@@ -203,6 +208,23 @@ Result<NodeStatsReply> Client::NodeStats(const NodeStatsRequest& request) {
   TURBDB_ASSIGN_OR_RETURN(std::vector<uint8_t> payload,
                           Call(EncodeRequest(req)));
   return DecodeNodeStatsResponse(payload);
+}
+
+Result<NodeSyncRangeReply> Client::NodeSyncRange(
+    const NodeSyncRangeRequest& request) {
+  NodeSyncRangeRequest req = request;
+  if (req.rpc.deadline_ms == 0) req.rpc.deadline_ms = options_.deadline_ms;
+  TURBDB_ASSIGN_OR_RETURN(std::vector<uint8_t> payload,
+                          Call(EncodeRequest(req)));
+  return DecodeNodeSyncRangeResponse(payload);
+}
+
+Result<NodeListStoresReply> Client::NodeListStores() {
+  NodeListStoresRequest request;
+  request.rpc.deadline_ms = options_.deadline_ms;
+  TURBDB_ASSIGN_OR_RETURN(std::vector<uint8_t> payload,
+                          Call(EncodeRequest(request)));
+  return DecodeNodeListStoresResponse(payload);
 }
 
 }  // namespace net

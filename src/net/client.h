@@ -21,7 +21,9 @@ struct ClientOptions {
   int write_timeout_ms = 10000;
   /// Extra attempts after a transport-level failure (connect refused,
   /// reset, read timeout). Query RPCs are read-only, hence idempotent
-  /// and safe to retry. Server-reported errors are never retried.
+  /// and safe to retry. Typed failures — server-reported errors,
+  /// Corruption, VersionMismatch — are never retried: a peer speaking
+  /// the wrong protocol version fails fast instead of burning backoff.
   int max_retries = 2;
   /// First retry waits this long; each further retry doubles it.
   int backoff_initial_ms = 100;
@@ -65,6 +67,8 @@ class Client {
       const NodeFetchAtomsRequest& request);
   Status NodeDropCache(const NodeDropCacheRequest& request);
   Result<NodeStatsReply> NodeStats(const NodeStatsRequest& request);
+  Result<NodeSyncRangeReply> NodeSyncRange(const NodeSyncRangeRequest& request);
+  Result<NodeListStoresReply> NodeListStores();
 
   const std::string& host() const { return host_; }
   uint16_t port() const { return port_; }

@@ -710,6 +710,7 @@ std::vector<uint8_t> EncodeHelloResponse(const HelloReply& reply) {
   PutVarint64(&out, static_cast<uint64_t>(MsgType::kHelloResponse));
   PutVarint64(&out, reply.protocol_version);
   PutZigZag64(&out, reply.server_id);
+  PutVarint64(&out, reply.epoch);
   return out;
 }
 
@@ -721,6 +722,7 @@ Result<HelloReply> DecodeHelloResponse(const std::vector<uint8_t>& payload) {
   reply.protocol_version = static_cast<uint32_t>(version);
   TURBDB_ASSIGN_OR_RETURN(int64_t id, GetZigZag64(payload, &pos));
   reply.server_id = static_cast<int32_t>(id);
+  TURBDB_ASSIGN_OR_RETURN(reply.epoch, GetVarint64(payload, &pos));
   TURBDB_RETURN_NOT_OK(CheckConsumed(payload, pos));
   return reply;
 }
@@ -761,6 +763,7 @@ std::vector<uint8_t> EncodeRequest(const NodeIngestRequest& request) {
   PutString(&out, request.dataset);
   PutString(&out, request.field);
   PutAtoms(&out, request.atoms);
+  PutBool(&out, request.skip_existing);
   return out;
 }
 
@@ -773,6 +776,7 @@ Result<NodeIngestRequest> DecodeNodeIngestRequest(
   TURBDB_ASSIGN_OR_RETURN(request.dataset, GetString(payload, &pos));
   TURBDB_ASSIGN_OR_RETURN(request.field, GetString(payload, &pos));
   TURBDB_ASSIGN_OR_RETURN(request.atoms, GetAtoms(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(request.skip_existing, GetBool(payload, &pos));
   TURBDB_RETURN_NOT_OK(CheckConsumed(payload, pos));
   return request;
 }
@@ -934,6 +938,53 @@ Result<NodeStatsRequest> DecodeNodeStatsRequest(
   return request;
 }
 
+std::vector<uint8_t> EncodeRequest(const NodeSyncRangeRequest& request) {
+  std::vector<uint8_t> out;
+  PutHeader(&out, MsgType::kNodeSyncRangeRequest, request.rpc);
+  PutString(&out, request.dataset);
+  PutString(&out, request.field);
+  PutZigZag64(&out, request.timestep);
+  PutVarint64(&out, request.begin_code);
+  PutVarint64(&out, request.end_code);
+  PutVarint64(&out, request.max_atoms);
+  return out;
+}
+
+Result<NodeSyncRangeRequest> DecodeNodeSyncRangeRequest(
+    const std::vector<uint8_t>& payload) {
+  size_t pos = 0;
+  NodeSyncRangeRequest request;
+  TURBDB_RETURN_NOT_OK(
+      ExpectType(payload, &pos, MsgType::kNodeSyncRangeRequest));
+  TURBDB_ASSIGN_OR_RETURN(request.rpc.deadline_ms, GetVarint64(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(request.dataset, GetString(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(request.field, GetString(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(int64_t timestep, GetZigZag64(payload, &pos));
+  request.timestep = static_cast<int32_t>(timestep);
+  TURBDB_ASSIGN_OR_RETURN(request.begin_code, GetVarint64(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(request.end_code, GetVarint64(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(request.max_atoms, GetVarint64(payload, &pos));
+  TURBDB_RETURN_NOT_OK(CheckConsumed(payload, pos));
+  return request;
+}
+
+std::vector<uint8_t> EncodeRequest(const NodeListStoresRequest& request) {
+  std::vector<uint8_t> out;
+  PutHeader(&out, MsgType::kNodeListStoresRequest, request.rpc);
+  return out;
+}
+
+Result<NodeListStoresRequest> DecodeNodeListStoresRequest(
+    const std::vector<uint8_t>& payload) {
+  size_t pos = 0;
+  NodeListStoresRequest request;
+  TURBDB_RETURN_NOT_OK(
+      ExpectType(payload, &pos, MsgType::kNodeListStoresRequest));
+  TURBDB_ASSIGN_OR_RETURN(request.rpc.deadline_ms, GetVarint64(payload, &pos));
+  TURBDB_RETURN_NOT_OK(CheckConsumed(payload, pos));
+  return request;
+}
+
 // -- Node-scoped responses -----------------------------------------------
 
 std::vector<uint8_t> EncodeAckResponse(MsgType type) {
@@ -1019,6 +1070,7 @@ std::vector<uint8_t> EncodeNodeStatsResponse(const NodeStatsReply& reply) {
   PutVarint64(&out, static_cast<uint64_t>(MsgType::kNodeStatsResponse));
   PutZigZag64(&out, reply.node_id);
   PutVarint64(&out, reply.stored_atoms);
+  PutVarint64(&out, reply.epoch);
   return out;
 }
 
@@ -1030,6 +1082,65 @@ Result<NodeStatsReply> DecodeNodeStatsResponse(
   TURBDB_ASSIGN_OR_RETURN(int64_t node_id, GetZigZag64(payload, &pos));
   reply.node_id = static_cast<int32_t>(node_id);
   TURBDB_ASSIGN_OR_RETURN(reply.stored_atoms, GetVarint64(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(reply.epoch, GetVarint64(payload, &pos));
+  TURBDB_RETURN_NOT_OK(CheckConsumed(payload, pos));
+  return reply;
+}
+
+std::vector<uint8_t> EncodeNodeSyncRangeResponse(
+    const NodeSyncRangeReply& reply) {
+  std::vector<uint8_t> out;
+  PutVarint64(&out, static_cast<uint64_t>(MsgType::kNodeSyncRangeResponse));
+  PutAtoms(&out, reply.atoms);
+  PutVarint64(&out, reply.next_code);
+  PutBool(&out, reply.done);
+  return out;
+}
+
+Result<NodeSyncRangeReply> DecodeNodeSyncRangeResponse(
+    const std::vector<uint8_t>& payload) {
+  size_t pos = 0;
+  TURBDB_RETURN_NOT_OK(
+      ExpectType(payload, &pos, MsgType::kNodeSyncRangeResponse));
+  NodeSyncRangeReply reply;
+  TURBDB_ASSIGN_OR_RETURN(reply.atoms, GetAtoms(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(reply.next_code, GetVarint64(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(reply.done, GetBool(payload, &pos));
+  TURBDB_RETURN_NOT_OK(CheckConsumed(payload, pos));
+  return reply;
+}
+
+std::vector<uint8_t> EncodeNodeListStoresResponse(
+    const NodeListStoresReply& reply) {
+  std::vector<uint8_t> out;
+  PutVarint64(&out, static_cast<uint64_t>(MsgType::kNodeListStoresResponse));
+  PutVarint64(&out, reply.stores.size());
+  for (const NodeStoreInfo& store : reply.stores) {
+    PutString(&out, store.dataset);
+    PutString(&out, store.field);
+    PutVarint64(&out, store.atoms);
+  }
+  return out;
+}
+
+Result<NodeListStoresReply> DecodeNodeListStoresResponse(
+    const std::vector<uint8_t>& payload) {
+  size_t pos = 0;
+  TURBDB_RETURN_NOT_OK(
+      ExpectType(payload, &pos, MsgType::kNodeListStoresResponse));
+  NodeListStoresReply reply;
+  TURBDB_ASSIGN_OR_RETURN(uint64_t count, GetVarint64(payload, &pos));
+  if (count > payload.size() - pos) {
+    return Status::Corruption("implausible store count");
+  }
+  reply.stores.reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    NodeStoreInfo store;
+    TURBDB_ASSIGN_OR_RETURN(store.dataset, GetString(payload, &pos));
+    TURBDB_ASSIGN_OR_RETURN(store.field, GetString(payload, &pos));
+    TURBDB_ASSIGN_OR_RETURN(store.atoms, GetVarint64(payload, &pos));
+    reply.stores.push_back(std::move(store));
+  }
   TURBDB_RETURN_NOT_OK(CheckConsumed(payload, pos));
   return reply;
 }

@@ -19,8 +19,8 @@ namespace net {
 /// Message discriminator, the first varint of every frame payload.
 /// Requests and responses share the numbering space; responses are the
 /// request value + 64, errors are 127. Types 1-6 are the mediator-facing
-/// (user) RPCs; 7 is the handshake; 16-21 are the node-scoped RPCs the
-/// mediator issues to `turbdb_node` processes.
+/// (user) RPCs; 7 is the handshake; 16-23 are the node-scoped RPCs the
+/// mediator (and peer nodes) issue to `turbdb_node` processes.
 enum class MsgType : uint8_t {
   kThresholdRequest = 1,
   kPdfRequest = 2,
@@ -36,6 +36,8 @@ enum class MsgType : uint8_t {
   kNodeFetchAtomsRequest = 19,
   kNodeDropCacheRequest = 20,
   kNodeStatsRequest = 21,
+  kNodeSyncRangeRequest = 22,
+  kNodeListStoresRequest = 23,
 
   kThresholdResponse = 65,
   kPdfResponse = 66,
@@ -51,6 +53,8 @@ enum class MsgType : uint8_t {
   kNodeFetchAtomsResponse = 83,
   kNodeDropCacheResponse = 84,
   kNodeStatsResponse = 85,
+  kNodeSyncRangeResponse = 86,
+  kNodeListStoresResponse = 87,
 
   kErrorResponse = 127,
 };
@@ -112,6 +116,10 @@ struct HelloRequest {
 struct HelloReply {
   uint32_t protocol_version = 0;
   int32_t server_id = -1;
+  /// Incarnation counter: a turbdb_node bumps it on every start (persisted
+  /// beside its storage dir), so a dialer that remembers the last epoch can
+  /// tell a reconnect from a restart. A mediator reports 0.
+  uint64_t epoch = 0;
 };
 
 // -- Node-scoped messages (mediator -> turbdb_node) ----------------------
@@ -128,10 +136,14 @@ struct NodeCreateDatasetRequest {
 };
 
 /// Stores a batch of atoms of (dataset, field) on the node.
+/// `skip_existing` makes duplicate keys a silent no-op instead of an
+/// error — replica re-sync pushes ranges that may partially overlap what
+/// a restarted node already recovered from durable storage.
 struct NodeIngestRequest {
   std::string dataset;
   std::string field;
   std::vector<Atom> atoms;
+  bool skip_existing = false;
   RpcOptions rpc;
 };
 
@@ -213,6 +225,43 @@ struct NodeStatsRequest {
 struct NodeStatsReply {
   int32_t node_id = 0;
   uint64_t stored_atoms = 0;
+  uint64_t epoch = 0;  ///< Same incarnation counter the Hello reply carries.
+};
+
+/// Replica sync: pages atoms of (dataset, field, timestep) inside a
+/// half-open Morton range off a healthy donor. The caller walks the range
+/// with `begin_code` cursors; the reply's `next_code` is where the next
+/// page starts and `done` says the range is exhausted.
+struct NodeSyncRangeRequest {
+  std::string dataset;
+  std::string field;
+  int32_t timestep = 0;
+  uint64_t begin_code = 0;
+  uint64_t end_code = 0;   ///< Half-open; 0 means "to the end".
+  uint64_t max_atoms = 0;  ///< Page size; 0 means server default (512).
+  RpcOptions rpc;
+};
+
+struct NodeSyncRangeReply {
+  std::vector<Atom> atoms;
+  uint64_t next_code = 0;
+  bool done = false;
+};
+
+/// Lists every (dataset, field) store a node currently has open, with its
+/// atom count — the sync driver uses it to learn what a donor can serve.
+struct NodeListStoresRequest {
+  RpcOptions rpc;
+};
+
+struct NodeStoreInfo {
+  std::string dataset;
+  std::string field;
+  uint64_t atoms = 0;
+};
+
+struct NodeListStoresReply {
+  std::vector<NodeStoreInfo> stores;
 };
 
 /// Server-side request counters surfaced through the stats RPC.
@@ -292,6 +341,8 @@ std::vector<uint8_t> EncodeRequest(const NodeExecuteRequest& request);
 std::vector<uint8_t> EncodeRequest(const NodeFetchAtomsRequest& request);
 std::vector<uint8_t> EncodeRequest(const NodeDropCacheRequest& request);
 std::vector<uint8_t> EncodeRequest(const NodeStatsRequest& request);
+std::vector<uint8_t> EncodeRequest(const NodeSyncRangeRequest& request);
+std::vector<uint8_t> EncodeRequest(const NodeListStoresRequest& request);
 
 /// Node request decoders (turbdb_node side). Each expects a payload whose
 /// header names its type; the header's RpcOptions are re-read into the
@@ -307,6 +358,10 @@ Result<NodeFetchAtomsRequest> DecodeNodeFetchAtomsRequest(
 Result<NodeDropCacheRequest> DecodeNodeDropCacheRequest(
     const std::vector<uint8_t>& payload);
 Result<NodeStatsRequest> DecodeNodeStatsRequest(
+    const std::vector<uint8_t>& payload);
+Result<NodeSyncRangeRequest> DecodeNodeSyncRangeRequest(
+    const std::vector<uint8_t>& payload);
+Result<NodeListStoresRequest> DecodeNodeListStoresRequest(
     const std::vector<uint8_t>& payload);
 
 /// A bare acknowledgement (type varint only) for node requests whose
@@ -325,6 +380,16 @@ Result<NodeFetchAtomsReply> DecodeNodeFetchAtomsResponse(
 
 std::vector<uint8_t> EncodeNodeStatsResponse(const NodeStatsReply& reply);
 Result<NodeStatsReply> DecodeNodeStatsResponse(
+    const std::vector<uint8_t>& payload);
+
+std::vector<uint8_t> EncodeNodeSyncRangeResponse(
+    const NodeSyncRangeReply& reply);
+Result<NodeSyncRangeReply> DecodeNodeSyncRangeResponse(
+    const std::vector<uint8_t>& payload);
+
+std::vector<uint8_t> EncodeNodeListStoresResponse(
+    const NodeListStoresReply& reply);
+Result<NodeListStoresReply> DecodeNodeListStoresResponse(
     const std::vector<uint8_t>& payload);
 
 }  // namespace net

@@ -167,6 +167,7 @@ std::vector<uint8_t> Server::HandleRequest(
         HelloReply reply;
         reply.protocol_version = kProtocolVersion;
         reply.server_id = options_.server_id;
+        reply.epoch = options_.server_epoch;
         response = EncodeHelloResponse(reply);
         break;
       }

@@ -34,6 +34,12 @@ struct ServerOptions {
   /// the default -1, a turbdb_node sets its node id, so a dialer can
   /// confirm it reached the process it meant to.
   int32_t server_id = -1;
+  /// Incarnation counter returned by the Hello handshake. A turbdb_node
+  /// bumps a counter persisted beside its storage dir on every start and
+  /// sets it here, so a dialer that remembers the last epoch can tell a
+  /// plain reconnect from a restart (and trigger re-sync). A mediator
+  /// keeps the default 0.
+  uint64_t server_epoch = 0;
 };
 
 /// A framed-TCP request server: accepts connections, reads framed

@@ -1,0 +1,97 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+
+namespace turbdb {
+
+/// Liveness bookkeeping for one replica-group member. The group marks a
+/// member down on transport failure and up again after a successful
+/// probe; probes of a down member are rate-limited so every query does
+/// not pay a connect timeout re-discovering the same dead node.
+///
+/// `epoch` records the incarnation the member last answered with: a
+/// probe that returns a higher epoch means the process restarted and
+/// must be re-synced before serving reads. `missed_writes` is set when a
+/// write fan-out skipped this member while it was down — another reason
+/// a recovering member needs a sync before rejoining.
+///
+/// Thread-safe; the replica group consults it from concurrent queries.
+class HealthTracker {
+ public:
+  explicit HealthTracker(int probe_interval_ms = 100)
+      : probe_interval_(probe_interval_ms) {}
+
+  bool healthy() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return healthy_;
+  }
+
+  uint64_t epoch() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return epoch_;
+  }
+
+  uint64_t failovers() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return failovers_;
+  }
+
+  bool missed_writes() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return missed_writes_;
+  }
+
+  /// Member answered (and, if it was stale, has been re-synced): healthy
+  /// at `epoch`, with no outstanding missed writes.
+  void MarkUp(uint64_t epoch) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    healthy_ = true;
+    missed_writes_ = false;
+    epoch_ = epoch;
+  }
+
+  /// Member failed at the transport level. Also (re)starts the probe
+  /// rate-limit window so the very next query does not immediately
+  /// re-dial it.
+  void MarkDown() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    healthy_ = false;
+    last_probe_ = std::chrono::steady_clock::now();
+  }
+
+  /// A read was re-routed off this member.
+  void NoteFailover() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++failovers_;
+  }
+
+  /// A write fan-out skipped this member while it was down.
+  void NoteMissedWrite() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    missed_writes_ = true;
+  }
+
+  /// Whether a down member may be probed now. True at most once per
+  /// probe interval; records the attempt.
+  bool ShouldProbe() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (healthy_) return false;
+    const auto now = std::chrono::steady_clock::now();
+    if (now - last_probe_ < probe_interval_) return false;
+    last_probe_ = now;
+    return true;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::chrono::milliseconds probe_interval_;
+  bool healthy_ = true;
+  bool missed_writes_ = false;
+  uint64_t epoch_ = 0;
+  uint64_t failovers_ = 0;
+  std::chrono::steady_clock::time_point last_probe_{};
+};
+
+}  // namespace turbdb

@@ -1,0 +1,309 @@
+#include "replication/replica_group.h"
+
+#include "common/logging.h"
+
+namespace turbdb {
+
+namespace {
+
+/// Failures of the pipe rather than the request: worth failing over.
+/// Typed failures (NotFound, InvalidArgument, error frames in general)
+/// would reproduce on every replica and are returned as-is.
+bool IsTransportFailure(const Status& status) {
+  return status.code() == StatusCode::kUnreachable ||
+         status.code() == StatusCode::kIOError ||
+         status.code() == StatusCode::kUnavailable;
+}
+
+}  // namespace
+
+ReplicaGroup::ReplicaGroup(int group_id,
+                           std::vector<std::unique_ptr<RemoteNode>> members)
+    : group_id_(group_id) {
+  members_.reserve(members.size());
+  for (auto& node : members) {
+    auto member = std::make_unique<Member>();
+    member->node = std::move(node);
+    members_.push_back(std::move(member));
+  }
+}
+
+std::string ReplicaGroup::DebugName() const {
+  if (members_.size() == 1) return members_.front()->node->DebugName();
+  std::string name = "shard " + std::to_string(group_id_) + " (nodes";
+  for (const auto& member : members_) {
+    name += " " + std::to_string(member->node->id());
+  }
+  return name + ")";
+}
+
+Status ReplicaGroup::BringUp() {
+  Status last;
+  int live = 0;
+  for (auto& member : members_) {
+    auto epoch = member->node->Handshake();
+    if (epoch.ok()) {
+      member->health.MarkUp(*epoch);
+      ++live;
+    } else {
+      last = epoch.status();
+      member->health.MarkDown();
+      if (members_.size() > 1) {
+        TURBDB_LOG(Warning) << DebugName() << ": "
+                            << member->node->DebugName()
+                            << " down at bring-up: " << last.ToString();
+      }
+    }
+  }
+  if (live == 0) return last;
+  return Status::OK();
+}
+
+void ReplicaGroup::FailMember(Member* member, const Status& failure) {
+  member->health.MarkDown();
+  member->health.NoteFailover();
+  TURBDB_LOG(Warning) << DebugName() << ": failing over off "
+                      << member->node->DebugName() << ": "
+                      << failure.ToString();
+}
+
+Status ReplicaGroup::Recover(Member* member, uint64_t new_epoch) {
+  std::lock_guard<std::mutex> lock(recovery_mutex_);
+  // Another query may have finished the same recovery while we waited.
+  if (member->health.healthy() &&
+      member->health.epoch() == new_epoch) {
+    return Status::OK();
+  }
+  Member* donor = nullptr;
+  for (auto& candidate : members_) {
+    if (candidate.get() != member && candidate->health.healthy()) {
+      donor = candidate.get();
+      break;
+    }
+  }
+  if (donor == nullptr) {
+    return Status::Unavailable(DebugName() + ": no healthy donor to re-sync " +
+                               member->node->DebugName());
+  }
+  std::vector<DatasetRegistration> registrations;
+  {
+    std::lock_guard<std::mutex> reg_lock(registrations_mutex_);
+    registrations = registrations_;
+  }
+  TURBDB_LOG(Warning) << DebugName() << ": " << member->node->DebugName()
+                      << " restarted (epoch " << new_epoch
+                      << "); re-syncing from " << donor->node->DebugName();
+  auto report = ResyncReplica(member->node.get(), donor->node.get(),
+                              registrations);
+  if (!report.ok()) return report.status();
+  member->health.MarkUp(new_epoch);
+  return Status::OK();
+}
+
+bool ReplicaGroup::EnsureUsable(Member* member) {
+  if (member->health.healthy()) return true;
+  if (!member->health.ShouldProbe()) return false;
+  auto epoch = member->node->Handshake();
+  if (!epoch.ok()) return false;
+  if (*epoch != member->health.epoch() || member->health.missed_writes()) {
+    Status recovered = Recover(member, *epoch);
+    if (!recovered.ok()) {
+      TURBDB_LOG(Warning) << DebugName() << ": cannot re-sync "
+                          << member->node->DebugName() << ": "
+                          << recovered.ToString();
+      return false;
+    }
+  }
+  member->health.MarkUp(*epoch);
+  return true;
+}
+
+bool ReplicaGroup::TryRecoverStale(Member* member) {
+  if (members_.size() == 1) return false;
+  auto epoch = member->node->Handshake();
+  if (!epoch.ok()) return false;
+  if (*epoch == member->health.epoch()) return false;
+  Status recovered = Recover(member, *epoch);
+  if (!recovered.ok()) {
+    TURBDB_LOG(Warning) << DebugName() << ": cannot re-sync "
+                        << member->node->DebugName() << ": "
+                        << recovered.ToString();
+    return false;
+  }
+  return true;
+}
+
+Status ReplicaGroup::CreateDataset(const DatasetInfo& info,
+                                   const MortonPartitioner& partitioner,
+                                   PartitionStrategy strategy) {
+  {
+    std::lock_guard<std::mutex> lock(registrations_mutex_);
+    bool replaced = false;
+    for (DatasetRegistration& reg : registrations_) {
+      if (reg.info.name == info.name) {
+        reg = {info, partitioner.num_nodes(), strategy};
+        replaced = true;
+        break;
+      }
+    }
+    if (!replaced) {
+      registrations_.push_back({info, partitioner.num_nodes(), strategy});
+    }
+  }
+  Status last;
+  int accepted = 0;
+  for (auto& member : members_) {
+    if (!EnsureUsable(member.get())) {
+      member->health.NoteMissedWrite();
+      continue;
+    }
+    Status status = member->node->CreateDataset(info, partitioner, strategy);
+    if (status.ok()) {
+      ++accepted;
+      continue;
+    }
+    if (IsTransportFailure(status)) {
+      FailMember(member.get(), status);
+      member->health.NoteMissedWrite();
+      last = status;
+      continue;
+    }
+    return status;
+  }
+  if (accepted == 0) {
+    return last.ok() ? Status::Unreachable(DebugName() + ": all replicas down")
+                     : last;
+  }
+  return Status::OK();
+}
+
+Status ReplicaGroup::IngestAtoms(const std::string& dataset,
+                                 const std::string& field,
+                                 const std::vector<Atom>& atoms) {
+  Status last;
+  int accepted = 0;
+  for (auto& member : members_) {
+    if (!EnsureUsable(member.get())) {
+      member->health.NoteMissedWrite();
+      continue;
+    }
+    Status status = member->node->IngestAtoms(dataset, field, atoms);
+    if (status.ok()) {
+      ++accepted;
+      continue;
+    }
+    if (IsTransportFailure(status)) {
+      FailMember(member.get(), status);
+      member->health.NoteMissedWrite();
+      last = status;
+      continue;
+    }
+    return status;
+  }
+  if (accepted == 0) {
+    return last.ok() ? Status::Unreachable(DebugName() + ": all replicas down")
+                     : last;
+  }
+  return Status::OK();
+}
+
+Status ReplicaGroup::DropCacheEntries(const std::string& dataset,
+                                      const std::string& field,
+                                      int32_t timestep) {
+  Status last;
+  int accepted = 0;
+  for (auto& member : members_) {
+    if (!EnsureUsable(member.get())) {
+      member->health.NoteMissedWrite();
+      continue;
+    }
+    Status status = member->node->DropCacheEntries(dataset, field, timestep);
+    if (status.ok()) {
+      ++accepted;
+      continue;
+    }
+    if (IsTransportFailure(status)) {
+      FailMember(member.get(), status);
+      member->health.NoteMissedWrite();
+      last = status;
+      continue;
+    }
+    return status;
+  }
+  if (accepted == 0) {
+    return last.ok() ? Status::Unreachable(DebugName() + ": all replicas down")
+                     : last;
+  }
+  return Status::OK();
+}
+
+Result<NodeOutcome> ReplicaGroup::Execute(const NodeQuery& query) {
+  Status last = Status::Unreachable(DebugName() + ": all replicas down");
+  for (auto& member : members_) {
+    if (!EnsureUsable(member.get())) continue;
+    auto outcome = member->node->Execute(query);
+    if (outcome.ok()) {
+      outcome->node_id = group_id_;
+      return outcome;
+    }
+    last = outcome.status();
+    if (IsTransportFailure(last)) {
+      FailMember(member.get(), last);
+      continue;
+    }
+    // A typed error from a member that restarted under us (and whose
+    // datasets are therefore unregistered) deserves one re-sync + retry.
+    if (TryRecoverStale(member.get())) {
+      auto retry = member->node->Execute(query);
+      if (retry.ok()) {
+        retry->node_id = group_id_;
+        return retry;
+      }
+      last = retry.status();
+    }
+    return last;
+  }
+  return last;
+}
+
+Result<uint64_t> ReplicaGroup::StoredAtomCount(const std::string& dataset,
+                                               const std::string& field) {
+  Status last = Status::Unreachable(DebugName() + ": all replicas down");
+  for (auto& member : members_) {
+    if (!EnsureUsable(member.get())) continue;
+    auto count = member->node->StoredAtomCount(dataset, field);
+    if (count.ok()) return count;
+    last = count.status();
+    if (IsTransportFailure(last)) {
+      FailMember(member.get(), last);
+      continue;
+    }
+    return last;
+  }
+  return last;
+}
+
+uint64_t ReplicaGroup::failover_count() const {
+  uint64_t total = 0;
+  for (const auto& member : members_) total += member->health.failovers();
+  return total;
+}
+
+std::vector<ReplicaGroup::MemberStatus> ReplicaGroup::Snapshot() const {
+  std::vector<MemberStatus> statuses;
+  statuses.reserve(members_.size());
+  for (size_t i = 0; i < members_.size(); ++i) {
+    const Member& member = *members_[i];
+    MemberStatus status;
+    status.node_id = member.node->id();
+    status.address = member.node->address().ToString();
+    status.primary = i == 0;
+    status.healthy = member.health.healthy();
+    status.epoch = member.health.epoch();
+    status.failovers = member.health.failovers();
+    statuses.push_back(std::move(status));
+  }
+  return statuses;
+}
+
+}  // namespace turbdb

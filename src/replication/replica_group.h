@@ -1,0 +1,104 @@
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cluster/node_backend.h"
+#include "cluster/remote_node.h"
+#include "replication/health.h"
+#include "replication/sync.h"
+
+namespace turbdb {
+
+/// One logical shard served by R physical nodes. The mediator holds one
+/// ReplicaGroup per shard instead of one RemoteNode per node; the group
+/// fronts its members so a single dead node becomes a logged failover,
+/// not a query error:
+///
+///  - Reads (Execute, StoredAtomCount) go to the primary (member 0) and
+///    fail over to the next live member on transport error.
+///  - Writes (CreateDataset, IngestAtoms, DropCacheEntries) fan out to
+///    every member; a down member is skipped with its missed-writes flag
+///    set, and the write succeeds as long as one member accepted it.
+///  - A member that went down is probed (rate-limited) on later reads;
+///    if its Hello epoch moved — the process restarted — it is re-synced
+///    from a healthy sibling (see ResyncReplica) before rejoining.
+///
+/// With R=1 the group degenerates to its single RemoteNode: bring-up
+/// fails fast, and every failure surfaces verbatim with the node's name.
+class ReplicaGroup : public NodeBackend {
+ public:
+  struct MemberStatus {
+    int node_id = 0;
+    std::string address;
+    bool primary = false;
+    bool healthy = false;
+    uint64_t epoch = 0;
+    uint64_t failovers = 0;
+  };
+
+  ReplicaGroup(int group_id, std::vector<std::unique_ptr<RemoteNode>> members);
+
+  /// Handshakes every member and records their epochs. OK as long as at
+  /// least one member answers; a single-member group propagates its
+  /// handshake failure (the unreplicated fail-fast bring-up).
+  Status BringUp();
+
+  int id() const override { return group_id_; }
+  std::string DebugName() const override;
+
+  Status CreateDataset(const DatasetInfo& info,
+                       const MortonPartitioner& partitioner,
+                       PartitionStrategy strategy) override;
+  Status IngestAtoms(const std::string& dataset, const std::string& field,
+                     const std::vector<Atom>& atoms) override;
+  Result<NodeOutcome> Execute(const NodeQuery& query) override;
+  Status DropCacheEntries(const std::string& dataset,
+                          const std::string& field,
+                          int32_t timestep) override;
+  Result<uint64_t> StoredAtomCount(const std::string& dataset,
+                                   const std::string& field) override;
+
+  int num_members() const { return static_cast<int>(members_.size()); }
+
+  /// Total reads re-routed off a failed member (test observability).
+  uint64_t failover_count() const;
+
+  /// Per-member snapshot for cluster-status style reporting.
+  std::vector<MemberStatus> Snapshot() const;
+
+ private:
+  struct Member {
+    std::unique_ptr<RemoteNode> node;
+    HealthTracker health;
+  };
+
+  /// True if the member may serve right now: already healthy, or just
+  /// probed back to life (re-synced first if its epoch moved or it
+  /// missed writes).
+  bool EnsureUsable(Member* member);
+
+  /// Marks the member down after `failure` and counts the failover.
+  void FailMember(Member* member, const Status& failure);
+
+  /// Re-syncs `member` (which answers at `new_epoch`) from a healthy
+  /// sibling, then marks it up. Serialized: one recovery at a time.
+  Status Recover(Member* member, uint64_t new_epoch);
+
+  /// If the member's typed failure is explained by a restart we have not
+  /// noticed yet (its epoch moved), recover it and return true so the
+  /// caller retries.
+  bool TryRecoverStale(Member* member);
+
+  int group_id_;
+  std::vector<std::unique_ptr<Member>> members_;
+
+  mutable std::mutex registrations_mutex_;
+  std::vector<DatasetRegistration> registrations_;
+
+  std::mutex recovery_mutex_;
+};
+
+}  // namespace turbdb

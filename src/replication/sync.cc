@@ -1,0 +1,76 @@
+#include "replication/sync.h"
+
+#include "common/logging.h"
+#include "net/protocol.h"
+
+namespace turbdb {
+
+Result<ResyncReport> ResyncReplica(
+    RemoteNode* stale, RemoteNode* donor,
+    const std::vector<DatasetRegistration>& registrations,
+    uint64_t page_atoms) {
+  if (page_atoms == 0) page_atoms = 256;
+  ResyncReport report;
+
+  // A restarted node lost its in-memory catalog; re-register every
+  // dataset so it re-derives its shard before atoms arrive.
+  for (const DatasetRegistration& reg : registrations) {
+    TURBDB_ASSIGN_OR_RETURN(
+        MortonPartitioner partitioner,
+        MortonPartitioner::Create(reg.info.geometry, reg.num_nodes,
+                                  reg.strategy));
+    TURBDB_RETURN_NOT_OK(
+        stale->CreateDataset(reg.info, partitioner, reg.strategy));
+  }
+
+  TURBDB_ASSIGN_OR_RETURN(net::NodeListStoresReply stores,
+                          donor->ListStores());
+  for (const net::NodeStoreInfo& store : stores.stores) {
+    int32_t timesteps = 1;
+    for (const DatasetRegistration& reg : registrations) {
+      if (reg.info.name == store.dataset) timesteps = reg.info.num_timesteps;
+    }
+    for (int32_t t = 0; t < timesteps; ++t) {
+      uint64_t cursor = 0;
+      bool done = false;
+      while (!done) {
+        net::NodeSyncRangeRequest request;
+        request.dataset = store.dataset;
+        request.field = store.field;
+        request.timestep = t;
+        request.begin_code = cursor;
+        request.end_code = 0;  // To the end of the shard.
+        request.max_atoms = page_atoms;
+        TURBDB_ASSIGN_OR_RETURN(net::NodeSyncRangeReply page,
+                                donor->SyncRange(request));
+        if (!page.atoms.empty()) {
+          TURBDB_RETURN_NOT_OK(stale->IngestSkippingExisting(
+              store.dataset, store.field, page.atoms));
+          report.atoms_pushed += page.atoms.size();
+        }
+        if (!page.done && page.atoms.empty() && page.next_code <= cursor) {
+          return Status::Internal("sync of " + store.dataset + "/" +
+                                  store.field + " from " +
+                                  donor->DebugName() + " made no progress");
+        }
+        done = page.done;
+        cursor = page.next_code;
+      }
+    }
+    TURBDB_ASSIGN_OR_RETURN(uint64_t have,
+                            stale->StoredAtomCount(store.dataset, store.field));
+    if (have < store.atoms) {
+      return Status::Internal(
+          "resync left " + stale->DebugName() + " with " +
+          std::to_string(have) + " of " + std::to_string(store.atoms) +
+          " atoms of " + store.dataset + "/" + store.field);
+    }
+    ++report.stores_synced;
+  }
+  TURBDB_LOG(Info) << "re-synced " << stale->DebugName() << " from "
+                   << donor->DebugName() << ": " << report.atoms_pushed
+                   << " atoms across " << report.stores_synced << " stores";
+  return report;
+}
+
+}  // namespace turbdb

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/dataset.h"
+#include "cluster/partitioner.h"
+#include "cluster/remote_node.h"
+#include "common/result.h"
+
+namespace turbdb {
+
+/// One dataset registration a replica group replays onto a stale member.
+/// The partitioner is not stored — it re-derives from (geometry,
+/// num_nodes, strategy), exactly as it does on the wire.
+struct DatasetRegistration {
+  DatasetInfo info;
+  int num_nodes = 1;
+  PartitionStrategy strategy = PartitionStrategy::kMorton;
+};
+
+struct ResyncReport {
+  uint64_t atoms_pushed = 0;
+  uint64_t stores_synced = 0;
+};
+
+/// Catches a stale replica up from a healthy donor in its group:
+/// replays every dataset registration, then pages each (store, timestep)
+/// the donor holds through SyncRange and pushes the atoms with
+/// skip-existing ingest — so a member that already recovered part of its
+/// data from its own storage dir only receives what it is missing.
+/// Verifies the member's per-store atom counts reach the donor's before
+/// declaring success.
+Result<ResyncReport> ResyncReplica(
+    RemoteNode* stale, RemoteNode* donor,
+    const std::vector<DatasetRegistration>& registrations,
+    uint64_t page_atoms = 256);
+
+}  // namespace turbdb

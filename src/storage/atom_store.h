@@ -37,6 +37,11 @@ class AtomStore {
 
   /// Total payload bytes stored.
   virtual uint64_t TotalBytes() const = 0;
+
+  /// Flushes accepted writes to stable storage. A no-op for volatile
+  /// stores; durable stores fsync so atoms acknowledged before Sync()
+  /// returns survive a crash. Called once per ingest batch, not per Put.
+  virtual Status Sync() { return Status::OK(); }
 };
 
 /// Heap-backed store: a sorted map guarded by a shared mutex. This is the

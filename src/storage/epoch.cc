@@ -1,0 +1,72 @@
+#include "storage/epoch.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+
+namespace turbdb {
+
+namespace {
+
+std::string EpochPath(const std::string& storage_dir, int node_id) {
+  return storage_dir + "/node" + std::to_string(node_id) + ".epoch";
+}
+
+Status Errno(const std::string& what, const std::string& path) {
+  return Status::IOError(what + " " + path + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Result<uint64_t> ReadEpochFile(const std::string& storage_dir, int node_id) {
+  if (storage_dir.empty()) return uint64_t{0};
+  const std::string path = EpochPath(storage_dir, node_id);
+  FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) {
+    if (errno == ENOENT) return uint64_t{0};
+    return Errno("open", path);
+  }
+  unsigned long long value = 0;
+  const int matched = std::fscanf(f, "%llu", &value);
+  std::fclose(f);
+  if (matched != 1) {
+    return Status::Corruption("epoch file " + path +
+                              " does not hold a counter");
+  }
+  return static_cast<uint64_t>(value);
+}
+
+Result<uint64_t> BumpEpochFile(const std::string& storage_dir, int node_id) {
+  if (storage_dir.empty()) {
+    // Ephemeral node: no file to persist, but distinct across restarts.
+    return static_cast<uint64_t>(std::time(nullptr));
+  }
+  TURBDB_ASSIGN_OR_RETURN(uint64_t current,
+                          ReadEpochFile(storage_dir, node_id));
+  const uint64_t next = current + 1;
+  const std::string path = EpochPath(storage_dir, node_id);
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Errno("create", tmp);
+  const std::string text = std::to_string(next) + "\n";
+  ssize_t written = ::write(fd, text.data(), text.size());
+  if (written != static_cast<ssize_t>(text.size()) || ::fsync(fd) != 0) {
+    Status status = Errno("write", tmp);
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return status;
+  }
+  ::close(fd);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    Status status = Errno("rename", tmp);
+    ::unlink(tmp.c_str());
+    return status;
+  }
+  return next;
+}
+
+}  // namespace turbdb

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+
+namespace turbdb {
+
+/// Per-node incarnation counter persisted beside the atom stores.
+///
+/// A `turbdb_node` calls BumpEpochFile() once at startup: the counter in
+/// `<storage_dir>/node<id>.epoch` is read, incremented, durably rewritten
+/// (write-temp + fsync + rename), and returned. The new value rides in the
+/// Hello handshake, so a mediator that remembers the epoch it saw at
+/// bring-up can tell a plain TCP reconnect (same epoch) from a process
+/// restart (higher epoch) — the trigger for replica re-sync.
+///
+/// With no storage dir there is nothing to persist; the bump falls back to
+/// wall-clock seconds, which still changes across restarts (the only
+/// property the protocol needs — monotonic per node, different per start).
+Result<uint64_t> BumpEpochFile(const std::string& storage_dir, int node_id);
+
+/// Reads the current epoch without bumping; 0 if the file does not exist.
+Result<uint64_t> ReadEpochFile(const std::string& storage_dir, int node_id);
+
+}  // namespace turbdb

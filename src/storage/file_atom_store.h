@@ -42,7 +42,7 @@ class FileAtomStore : public AtomStore {
   uint64_t TotalBytes() const override;
 
   /// fsyncs the data file.
-  Status Sync();
+  Status Sync() override;
 
   const std::string& path() const { return path_; }
 

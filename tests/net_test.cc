@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <thread>
 
@@ -563,6 +564,49 @@ TEST(ClientRetryTest, BoundedRetriesOnConnectFailure) {
   EXPECT_NE(status.message().find("attempts"), std::string::npos);
   // 3 attempts with 10+20 ms backoff — well under a second on loopback.
   EXPECT_LT(elapsed, 10.0);
+}
+
+TEST(ClientRetryTest, VersionMismatchFailsFastWithoutRetry) {
+  // A peer speaking a different protocol version is a typed failure, not
+  // a transport failure: the client must not burn its retry budget
+  // redialing a server that will never agree. The fake peer answers
+  // every connection with a frame whose version byte is wrong (the
+  // version check precedes the CRC check, so the rest can be garbage)
+  // and counts how often it is dialed.
+  auto listener = net::TcpListen("127.0.0.1", 0);
+  ASSERT_TRUE(listener.ok()) << listener.status();
+  auto port = net::LocalPort(*listener);
+  ASSERT_TRUE(port.ok());
+
+  std::atomic<int> accepted{0};
+  std::atomic<bool> stop{false};
+  std::thread peer([&] {
+    while (!stop.load()) {
+      auto conn = net::AcceptWithTimeout(*listener, 250);
+      if (!conn.ok()) continue;
+      ++accepted;
+      auto request = net::ReadFrame(*conn, Deadline::After(2000));
+      if (!request.ok()) continue;
+      std::vector<uint8_t> reply =
+          net::EncodeFrame(Bytes({1, 2, 3, 4}));
+      reply[4] = net::kProtocolVersion + 1;  // a future peer
+      (void)net::SendAll(*conn, reply.data(), reply.size(),
+                         Deadline::After(2000));
+    }
+  });
+
+  net::ClientOptions options;
+  options.max_retries = 2;
+  options.backoff_initial_ms = 10;
+  net::Client client("127.0.0.1", *port, options);
+  Status status = client.Ping();
+  stop.store(true);
+  peer.join();
+
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kVersionMismatch) << status;
+  // Fail fast: one connection, no retries despite the retry budget.
+  EXPECT_EQ(accepted.load(), 1);
 }
 
 }  // namespace

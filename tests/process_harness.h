@@ -10,6 +10,7 @@
 #include <csignal>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -28,10 +29,12 @@ class NodeProcessCluster {
  public:
   /// Launches `num_nodes` turbdb_node processes forming one cluster
   /// (each knows the full peer list for direct halo fetches) and blocks
-  /// until every one accepts TCP connections.
+  /// until every one accepts TCP connections. `extra_args` go to every
+  /// node; `per_node_args(i)`, when set, appends node-specific flags.
   static Result<std::unique_ptr<NodeProcessCluster>> Launch(
       int num_nodes, const std::string& binary,
-      std::vector<std::string> extra_args = {}) {
+      std::vector<std::string> extra_args = {},
+      std::function<std::vector<std::string>(int)> per_node_args = {}) {
     auto cluster = std::unique_ptr<NodeProcessCluster>(
         new NodeProcessCluster());
 
@@ -62,20 +65,18 @@ class NodeProcessCluster {
           "--peers", peers,
       };
       for (const std::string& extra : extra_args) args.push_back(extra);
+      if (per_node_args) {
+        for (const std::string& extra : per_node_args(i)) {
+          args.push_back(extra);
+        }
+      }
 
-      const pid_t pid = ::fork();
-      if (pid < 0) {
-        return Status::Internal("fork failed: " +
-                                std::string(std::strerror(errno)));
-      }
-      if (pid == 0) {
-        std::vector<char*> argv;
-        for (std::string& arg : args) argv.push_back(arg.data());
-        argv.push_back(nullptr);
-        ::execv(binary.c_str(), argv.data());
-        _exit(127);  // exec failed
-      }
+      // Saved so Restart() can re-exec the same command line (same port,
+      // same storage dir) after a kill.
+      cluster->argvs_.push_back(args);
+      TURBDB_ASSIGN_OR_RETURN(const pid_t pid, Spawn(binary, args));
       cluster->pids_.push_back(pid);
+      cluster->binary_ = binary;
     }
 
     for (int i = 0; i < num_nodes; ++i) {
@@ -110,8 +111,37 @@ class NodeProcessCluster {
     }
   }
 
+  /// Re-launches a killed node with its original command line (same
+  /// port, same storage dir — the restart-recovery drill) and waits
+  /// until it accepts connections again.
+  Status Restart(int i) {
+    pid_t& pid = pids_[static_cast<size_t>(i)];
+    if (pid > 0) return Status::InvalidArgument("node still running");
+    TURBDB_ASSIGN_OR_RETURN(pid,
+                            Spawn(binary_, argvs_[static_cast<size_t>(i)]));
+    return WaitReady(i);
+  }
+
  private:
   NodeProcessCluster() = default;
+
+  /// fork + exec of `binary` with `args`; returns the child pid.
+  static Result<pid_t> Spawn(const std::string& binary,
+                             std::vector<std::string> args) {
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      return Status::Internal("fork failed: " +
+                              std::string(std::strerror(errno)));
+    }
+    if (pid == 0) {
+      std::vector<char*> argv;
+      for (std::string& arg : args) argv.push_back(arg.data());
+      argv.push_back(nullptr);
+      ::execv(binary.c_str(), argv.data());
+      _exit(127);  // exec failed
+    }
+    return pid;
+  }
 
   /// Polls node i's port until a TCP connect succeeds (~10 s budget).
   Status WaitReady(int i) {
@@ -139,6 +169,8 @@ class NodeProcessCluster {
 
   ClusterTopology topology_;
   std::vector<pid_t> pids_;
+  std::vector<std::vector<std::string>> argvs_;
+  std::string binary_;
 };
 
 }  // namespace testprocs

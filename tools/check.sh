@@ -1,29 +1,47 @@
 #!/usr/bin/env bash
 # Builds the tree and runs the full test suite under AddressSanitizer +
-# UBSan (the TURBDB_SANITIZE CMake option). Usage:
+# UBSan (the TURBDB_SANITIZE CMake option), then runs the replication
+# failover tests under ThreadSanitizer (TURBDB_SANITIZE=thread). Usage:
 #
 #   tools/check.sh              # sanitizer build + ctest
 #   BUILD_DIR=out tools/check.sh
+#   TURBDB_SANITIZE=thread tools/check.sh   # TSan-only pass
 #
 # A plain (non-sanitized) pass is the normal `cmake -B build && ctest`
 # flow; this script exists so CI and pre-merge checks exercise the
-# memory- and UB-checked configuration too.
+# memory-, UB- and race-checked configurations too.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD_DIR="${BUILD_DIR:-"$ROOT/build-sanitize"}"
 JOBS="${JOBS:-$(nproc)}"
+SANITIZE="${TURBDB_SANITIZE:-ON}"
 
 cmake -B "$BUILD_DIR" -S "$ROOT" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DTURBDB_SANITIZE=ON
+  -DTURBDB_SANITIZE="$SANITIZE"
 cmake --build "$BUILD_DIR" -j "$JOBS"
 # Per-test timeout so a distributed-path hang (e.g. a dead node that is
 # not detected) fails the run instead of wedging it.
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" --timeout 300
 
-# The multi-process integration tests fork real turbdb_node processes;
-# run them once more serially so their output is easy to find and flaky
-# port races do not hide behind parallel scheduling.
-ctest --test-dir "$BUILD_DIR" -R NodeClusterTest --output-on-failure \
+# The multi-process integration tests (labeled `multiprocess`) fork real
+# turbdb_node processes; run them once more serially with per-test
+# timeouts so their output is easy to find and flaky port races do not
+# hide behind parallel scheduling.
+ctest --test-dir "$BUILD_DIR" -L multiprocess --output-on-failure \
   --timeout 180
+
+# Race-check the failover path: the replica-group health tracking and
+# re-sync run concurrently with scatter-gathered sub-queries, so the
+# replication tests get a dedicated ThreadSanitizer build.
+if [ "$SANITIZE" != "thread" ]; then
+  TSAN_DIR="$ROOT/build-tsan"
+  cmake -B "$TSAN_DIR" -S "$ROOT" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DTURBDB_SANITIZE=thread \
+    -DTURBDB_BUILD_BENCHMARKS=OFF -DTURBDB_BUILD_EXAMPLES=OFF
+  cmake --build "$TSAN_DIR" -j "$JOBS"
+  ctest --test-dir "$TSAN_DIR" -R ReplicationTest --output-on-failure \
+    --timeout 300
+fi

@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "cluster/topology.h"
 #include "core/turbdb.h"
 #include "net/client.h"
 
@@ -43,7 +44,9 @@ struct CliOptions {
   uint64_t seed = 2015;
   int fd_order = 4;
   std::string storage_dir;
-  std::string connect;  ///< host:port of a turbdb_server; empty = local.
+  std::string connect;   ///< host:port of a turbdb_server; empty = local.
+  std::string topology;  ///< host:port list of turbdb_node processes.
+  int replication_factor = 1;
   bool help = false;
   std::string command;
   std::vector<std::string> args;
@@ -62,6 +65,8 @@ void PrintUsage() {
       "  fields                     list available derived fields (local)\n"
       "  ping                       round-trip probe (--connect only)\n"
       "  server-stats               server request counters (--connect only)\n"
+      "  cluster-status             per-node id/epoch/health/role/atoms\n"
+      "                             (--topology only)\n"
       "\n"
       "options:\n"
       "  --n N            grid edge / query-box size (default 64)\n"
@@ -73,6 +78,10 @@ void PrintUsage() {
       "  --seed S         generator seed (default 2015, local mode)\n"
       "  --storage-dir D  durable atom files (reopened across runs)\n"
       "  --connect H:P    run commands against a turbdb_server\n"
+      "  --topology T     comma-separated host:port list of turbdb_node\n"
+      "                   processes (cluster-status)\n"
+      "  --replication-factor R\n"
+      "                   replica-group width of the topology (default 1)\n"
       "  --help           this message\n"
       "\n"
       "the dataset is MHD-like: raw fields 'velocity' and 'magnetic';\n"
@@ -136,6 +145,15 @@ bool ParseArgs(int argc, char** argv, CliOptions* options,
       if (!next_str(&options->storage_dir)) return false;
     } else if (arg == "--connect") {
       if (!next_str(&options->connect)) return false;
+    } else if (arg == "--topology") {
+      if (!next_str(&options->topology)) return false;
+    } else if (arg == "--replication-factor") {
+      if (!next(&value)) return false;
+      if (value < 1) {
+        *error = "--replication-factor must be >= 1";
+        return false;
+      }
+      options->replication_factor = static_cast<int>(value);
     } else if (arg.rfind("--", 0) == 0 || (arg.size() > 1 && arg[0] == '-')) {
       *error = "unknown option " + arg;
       return false;
@@ -288,6 +306,13 @@ int RunCommand(const CliOptions& options, const Backend& backend) {
 bool ValidateCommand(const CliOptions& options, std::string* error) {
   const std::string& cmd = options.command;
   if (cmd == "fields" || cmd == "ping" || cmd == "server-stats") return true;
+  if (cmd == "cluster-status") {
+    if (options.topology.empty()) {
+      *error = "cluster-status needs --topology";
+      return false;
+    }
+    return true;
+  }
   if (cmd == "stats" || cmd == "pdf") {
     if (options.args.empty()) {
       *error = cmd + " needs a derived-field argument";
@@ -304,6 +329,59 @@ bool ValidateCommand(const CliOptions& options, std::string* error) {
   }
   *error = "unknown command '" + cmd + "'";
   return false;
+}
+
+/// Dials every turbdb_node in the topology directly and prints one row
+/// per node: id, replica role, health, epoch and stored atom count.
+int RunClusterStatus(const CliOptions& options) {
+  auto topology_or = ParseTopology(options.topology);
+  if (!topology_or.ok()) {
+    std::fprintf(stderr, "bad topology: %s\n",
+                 topology_or.status().ToString().c_str());
+    return 2;
+  }
+  ClusterTopology topology = std::move(topology_or).value();
+  const int replication = options.replication_factor;
+  if (topology.size() % static_cast<size_t>(replication) != 0) {
+    std::fprintf(stderr,
+                 "topology of %zu nodes does not divide by replication "
+                 "factor %d\n",
+                 topology.size(), replication);
+    return 2;
+  }
+  std::printf("%-4s %-21s %-6s %-8s %-6s %-12s %s\n", "node", "address",
+              "shard", "role", "state", "epoch", "atoms");
+  int down = 0;
+  for (size_t i = 0; i < topology.size(); ++i) {
+    const NodeAddress& address = topology.nodes[i];
+    const int shard = static_cast<int>(i) / replication;
+    const char* role =
+        (static_cast<int>(i) % replication == 0) ? "primary" : "replica";
+    net::ClientOptions client_options;
+    client_options.connect_timeout_ms = 2000;
+    client_options.read_timeout_ms = 5000;
+    client_options.max_retries = 0;
+    net::Client client(address.host, address.port, client_options);
+    auto hello = client.Hello();
+    if (!hello.ok()) {
+      ++down;
+      std::printf("%-4zu %-21s %-6d %-8s %-6s %-12s %s\n", i,
+                  address.ToString().c_str(), shard, role, "down", "-", "-");
+      continue;
+    }
+    uint64_t atoms = 0;
+    auto stores = client.NodeListStores();
+    if (stores.ok()) {
+      for (const net::NodeStoreInfo& store : stores->stores) {
+        atoms += store.atoms;
+      }
+    }
+    std::printf("%-4zu %-21s %-6d %-8s %-6s %-12llu %llu\n", i,
+                address.ToString().c_str(), shard, role, "up",
+                static_cast<unsigned long long>(hello->epoch),
+                static_cast<unsigned long long>(atoms));
+  }
+  return down == 0 ? 0 : 3;
 }
 
 int RunRemote(const CliOptions& options) {
@@ -421,6 +499,7 @@ int main(int argc, char** argv) {
     PrintUsage();
     return 2;
   }
+  if (options.command == "cluster-status") return RunClusterStatus(options);
   if (!options.connect.empty()) return RunRemote(options);
   return RunLocal(options);
 }

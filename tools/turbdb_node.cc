@@ -29,6 +29,7 @@
 #include "cluster/node_service.h"
 #include "cluster/topology.h"
 #include "net/server.h"
+#include "storage/epoch.h"
 
 using namespace turbdb;
 
@@ -50,6 +51,8 @@ struct NodeCliOptions {
   int node_workers = 0;
   int max_frame_mb = 64;
   int64_t deadline_ms = 60000;
+  int replication_factor = 1;
+  bool fsync_ingest = true;
   bool help = false;
 };
 
@@ -73,6 +76,10 @@ void PrintUsage() {
       "                   (default: hardware concurrency)\n"
       "  --max-frame-mb M largest accepted frame payload (default 64)\n"
       "  --deadline-ms D  default per-request budget (default 60000)\n"
+      "  --replication-factor R\n"
+      "                   replica-group width: peers [g*R,(g+1)*R) all\n"
+      "                   serve shard g (default 1 = unreplicated)\n"
+      "  --no-fsync       skip the per-batch fsync of durable ingest\n"
       "  --help           this message\n");
 }
 
@@ -146,6 +153,15 @@ bool ParseArgs(int argc, char** argv, NodeCliOptions* options,
     } else if (arg == "--deadline-ms") {
       if (!next_int(&value)) return false;
       options->deadline_ms = value;
+    } else if (arg == "--replication-factor") {
+      if (!next_int(&value)) return false;
+      if (value < 1) {
+        *error = "--replication-factor must be >= 1";
+        return false;
+      }
+      options->replication_factor = static_cast<int>(value);
+    } else if (arg == "--no-fsync") {
+      options->fsync_ingest = false;
     } else {
       *error = "unknown option " + arg;
       return false;
@@ -173,6 +189,17 @@ int main(int argc, char** argv) {
   config.node_id = options.node_id;
   config.storage_dir = options.storage_dir;
   config.worker_threads = options.node_workers;
+  config.replication_factor = options.replication_factor;
+  config.fsync_ingest = options.fsync_ingest;
+  // Bump this node's incarnation counter so mediators can tell a restart
+  // from a hiccup (epoch change in the Hello handshake => re-sync).
+  auto epoch_or = BumpEpochFile(options.storage_dir, options.node_id);
+  if (!epoch_or.ok()) {
+    std::fprintf(stderr, "cannot bump epoch file: %s\n",
+                 epoch_or.status().ToString().c_str());
+    return 1;
+  }
+  config.epoch = *epoch_or;
   if (!options.peers.empty() || !options.peers_file.empty()) {
     if (!options.peers.empty() && !options.peers_file.empty()) {
       std::fprintf(stderr, "pass either --peers or --peers-file, not both\n");
@@ -204,6 +231,7 @@ int main(int argc, char** argv) {
   server_options.default_deadline_ms =
       static_cast<uint64_t>(options.deadline_ms);
   server_options.server_id = options.node_id;
+  server_options.server_epoch = config.epoch;
   auto server_or = net::Server::Start(service.AsHandler(), server_options);
   if (!server_or.ok()) {
     std::fprintf(stderr, "node start failed: %s\n",

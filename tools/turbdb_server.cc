@@ -47,6 +47,8 @@ struct ServerCliOptions {
   std::string storage_dir;
   std::string topology;       ///< "host:port,host:port,..."
   std::string topology_file;  ///< One host:port per line.
+  int replication_factor = 1;
+  bool fsync_ingest = true;
   bool help = false;
 };
 
@@ -72,6 +74,10 @@ void PrintUsage() {
       "                   processes; switches the mediator to remote\n"
       "                   scatter-gather (--nodes is then ignored)\n"
       "  --topology-file F  same, one host:port per line\n"
+      "  --replication-factor R\n"
+      "                   group consecutive topology entries into replica\n"
+      "                   groups of R (default 1 = unreplicated)\n"
+      "  --no-fsync       skip the per-batch fsync of durable ingest\n"
       "  --help           this message\n");
 }
 
@@ -156,6 +162,15 @@ bool ParseArgs(int argc, char** argv, ServerCliOptions* options,
         return false;
       }
       options->topology_file = argv[++i];
+    } else if (arg == "--replication-factor") {
+      if (!next(&value)) return false;
+      if (value < 1) {
+        *error = "--replication-factor must be >= 1";
+        return false;
+      }
+      options->replication_factor = static_cast<int>(value);
+    } else if (arg == "--no-fsync") {
+      options->fsync_ingest = false;
     } else {
       *error = "unknown option " + arg;
       return false;
@@ -183,6 +198,7 @@ int main(int argc, char** argv) {
   config.cluster.num_nodes = options.nodes;
   config.cluster.processes_per_node = options.processes;
   config.cluster.storage_dir = options.storage_dir;
+  config.cluster.fsync_ingest = options.fsync_ingest;
   if (!options.topology.empty() || !options.topology_file.empty()) {
     if (!options.topology.empty() && !options.topology_file.empty()) {
       std::fprintf(stderr,
@@ -198,8 +214,10 @@ int main(int argc, char** argv) {
       return 2;
     }
     config.cluster.topology = std::move(topology_or).value();
-    std::fprintf(stderr, "[distributed mediator over %zu nodes: %s]\n",
-                 config.cluster.topology.size(),
+    config.cluster.topology.replication_factor = options.replication_factor;
+    std::fprintf(stderr,
+                 "[distributed mediator over %zu nodes (replication %d): %s]\n",
+                 config.cluster.topology.size(), options.replication_factor,
                  config.cluster.topology.ToString().c_str());
   }
   auto db_or = TurbDB::Open(config);
