@@ -7,6 +7,7 @@
 
 #include "cluster/remote_node.h"
 #include "common/logging.h"
+#include "common/rng.h"
 #include "common/stopwatch.h"
 #include "replication/replica_group.h"
 #include "wire/serializer.h"
@@ -63,7 +64,8 @@ Result<std::unique_ptr<Mediator>> Mediator::Create(
             effective.topology.nodes[static_cast<size_t>(physical)],
             effective.remote, /*shard=*/g));
       }
-      auto group = std::make_unique<ReplicaGroup>(g, std::move(members));
+      auto group = std::make_unique<ReplicaGroup>(g, std::move(members),
+                                                  effective.remote);
       TURBDB_RETURN_NOT_OK(group->BringUp());
       mediator->backends_.push_back(std::move(group));
     }
@@ -82,7 +84,8 @@ Result<std::unique_ptr<Mediator>> Mediator::Create(
   Mediator* raw = mediator.get();
   for (auto& node : mediator->nodes_) {
     node->set_remote_fetch(
-        [raw](int owner, const std::string& dataset, const std::string& field,
+        [raw](const NodeQuery& /*query*/, int owner,
+              const std::string& dataset, const std::string& field,
               int32_t timestep, const std::vector<uint64_t>& codes,
               int concurrent, double* cost_s) -> Result<std::vector<Atom>> {
           if (owner < 0 || owner >= raw->num_nodes()) {
@@ -248,7 +251,7 @@ Result<NodeQuery> Mediator::BuildNodeQuery(
 }
 
 Result<std::vector<NodeOutcome>> Mediator::Dispatch(
-    const NodeQuery& node_query) {
+    const NodeQuery& node_query, const CallBudget& budget) {
   // Split the query along the spatial layout and submit each part
   // asynchronously to the node storing the data (Fig. 1).
   const Box3 cover =
@@ -259,26 +262,90 @@ Result<std::vector<NodeOutcome>> Mediator::Dispatch(
       participants.push_back(i);
     }
   }
+
+  // Interruption plumbing: one cancel token shared by every sub-query
+  // (an external cancellation cascades into it), a cluster-unique id
+  // under which remote nodes register the sub-queries, and the tighter
+  // of the caller's deadline and the per-sub-query budget.
+  NodeQuery query = node_query;
+  query.query_id = MixSeed(reinterpret_cast<uintptr_t>(this),
+                           query_counter_.fetch_add(1));
+  if (query.query_id == 0) query.query_id = 1;
+  auto token = std::make_shared<std::atomic<bool>>(false);
+  query.cancel = token.get();
+  query.deadline = budget.deadline;
+  if (distributed()) {
+    const auto sub_deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(config_.remote.subquery_deadline_ms);
+    if (query.deadline == std::chrono::steady_clock::time_point{} ||
+        sub_deadline < query.deadline) {
+      query.deadline = sub_deadline;
+    }
+  }
+
   std::vector<std::future<Result<NodeOutcome>>> futures;
   futures.reserve(participants.size());
   for (int node_id : participants) {
     NodeBackend* backend = backends_[static_cast<size_t>(node_id)].get();
     futures.push_back(scheduler_->Submit(
-        [backend, &node_query]() -> Result<NodeOutcome> {
-          return backend->Execute(node_query);
+        [backend, &query]() -> Result<NodeOutcome> {
+          return backend->Execute(query);
         }));
   }
+
+  // Cancels every sub-query not yet joined: the shared token stops
+  // in-process work, the CancelQuery fan-out stops remote work.
+  bool cancel_sent = false;
+  auto cancel_rest = [&](size_t next) {
+    if (cancel_sent) return;
+    cancel_sent = true;
+    token->store(true, std::memory_order_relaxed);
+    for (size_t j = next; j < participants.size(); ++j) {
+      backends_[static_cast<size_t>(participants[j])]->Cancel(query.query_id);
+      cancels_issued_.fetch_add(1);
+    }
+  };
+
+  // Join in submit order; every future must be joined before returning
+  // (the sub-queries reference `query`). The first *hard* failure — or a
+  // tripped point cap, or an external cancellation — aborts the rest.
   std::vector<NodeOutcome> outcomes;
   outcomes.reserve(participants.size());
   Status failure;
+  uint64_t total_points = 0;
   for (size_t i = 0; i < futures.size(); ++i) {
+    if (budget.cancel != nullptr &&
+        budget.cancel->load(std::memory_order_relaxed) && !cancel_sent) {
+      if (failure.ok()) {
+        failure = Status::Cancelled("query " + std::to_string(query.query_id) +
+                                    " cancelled");
+      }
+      cancel_rest(i);
+    }
     auto outcome = futures[i].get();
     if (!outcome.ok()) {
+      // Our own cancellation echoing back is not a new failure.
+      if (cancel_sent && outcome.status().code() == StatusCode::kCancelled) {
+        continue;
+      }
       if (failure.ok()) failure = outcome.status();
+      cancel_rest(i + 1);
       continue;
     }
     NodeOutcome value = std::move(outcome).value();
     value.io.points_returned = value.points.size();
+    total_points += value.points.size();
+    if (query.mode == NodeQuery::Mode::kThreshold && failure.ok() &&
+        total_points > query.options.max_result_points) {
+      failure = Status::ThresholdTooLow(
+          "threshold produced more than " +
+          std::to_string(query.options.max_result_points) +
+          " points across nodes; raise the threshold or request the field "
+          "directly");
+      cancel_rest(i + 1);
+      continue;
+    }
     outcomes.push_back(std::move(value));
     outcomes.back().node_id = participants[i];
   }
@@ -314,7 +381,8 @@ void FillNodeStats(const std::vector<NodeOutcome>& outcomes,
 }  // namespace
 
 Result<ThresholdResult> Mediator::GetThreshold(const ThresholdQuery& query,
-                                               const QueryOptions& options) {
+                                               const QueryOptions& options,
+                                               const CallBudget& budget) {
   Stopwatch watch;
   TURBDB_RETURN_NOT_OK(ValidateThresholdQuery(query));
   TURBDB_ASSIGN_OR_RETURN(
@@ -324,7 +392,7 @@ Result<ThresholdResult> Mediator::GetThreshold(const ThresholdQuery& query,
                      query.box, query.fd_order, options));
   node_query.threshold = query.threshold;
   TURBDB_ASSIGN_OR_RETURN(std::vector<NodeOutcome> outcomes,
-                          Dispatch(node_query));
+                          Dispatch(node_query, budget));
 
   ThresholdResult result;
   uint64_t total_points = 0;
@@ -369,7 +437,8 @@ Result<ThresholdResult> Mediator::GetThreshold(const ThresholdQuery& query,
   return result;
 }
 
-Result<PdfResult> Mediator::GetPdf(const PdfQuery& query) {
+Result<PdfResult> Mediator::GetPdf(const PdfQuery& query,
+                                   const CallBudget& budget) {
   Stopwatch watch;
   TURBDB_RETURN_NOT_OK(ValidatePdfQuery(query));
   QueryOptions options;
@@ -382,7 +451,7 @@ Result<PdfResult> Mediator::GetPdf(const PdfQuery& query) {
   node_query.bin_width = query.bin_width;
   node_query.num_bins = query.num_bins;
   TURBDB_ASSIGN_OR_RETURN(std::vector<NodeOutcome> outcomes,
-                          Dispatch(node_query));
+                          Dispatch(node_query, budget));
 
   PdfResult result;
   result.bin_width = query.bin_width;
@@ -406,7 +475,8 @@ Result<PdfResult> Mediator::GetPdf(const PdfQuery& query) {
   return result;
 }
 
-Result<TopKResult> Mediator::GetTopK(const TopKQuery& query) {
+Result<TopKResult> Mediator::GetTopK(const TopKQuery& query,
+                                     const CallBudget& budget) {
   Stopwatch watch;
   TURBDB_RETURN_NOT_OK(ValidateTopKQuery(query));
   QueryOptions options;
@@ -418,7 +488,7 @@ Result<TopKResult> Mediator::GetTopK(const TopKQuery& query) {
                      query.fd_order, options));
   node_query.k = query.k;
   TURBDB_ASSIGN_OR_RETURN(std::vector<NodeOutcome> outcomes,
-                          Dispatch(node_query));
+                          Dispatch(node_query, budget));
 
   TopKResult result;
   for (NodeOutcome& outcome : outcomes) {
@@ -443,7 +513,8 @@ Result<TopKResult> Mediator::GetTopK(const TopKQuery& query) {
   return result;
 }
 
-Result<FieldStatsResult> Mediator::GetFieldStats(const FieldStatsQuery& query) {
+Result<FieldStatsResult> Mediator::GetFieldStats(const FieldStatsQuery& query,
+                                                 const CallBudget& budget) {
   Stopwatch watch;
   ThresholdQuery probe;  // Reuse the common validation.
   probe.dataset = query.dataset;
@@ -462,7 +533,7 @@ Result<FieldStatsResult> Mediator::GetFieldStats(const FieldStatsQuery& query) {
                      query.raw_field, query.derived_field, query.timestep,
                      query.box, query.fd_order, options));
   TURBDB_ASSIGN_OR_RETURN(std::vector<NodeOutcome> outcomes,
-                          Dispatch(node_query));
+                          Dispatch(node_query, budget));
 
   FieldStatsResult result;
   double sum = 0.0;
@@ -487,7 +558,8 @@ Result<FieldStatsResult> Mediator::GetFieldStats(const FieldStatsQuery& query) {
   return result;
 }
 
-Result<SampleResult> Mediator::GetSamples(const SampleQuery& query) {
+Result<SampleResult> Mediator::GetSamples(const SampleQuery& query,
+                                          const CallBudget& budget) {
   Stopwatch watch;
   TURBDB_RETURN_NOT_OK(ValidateSampleQuery(query));
   TURBDB_ASSIGN_OR_RETURN(const DatasetState* state,
@@ -550,6 +622,8 @@ Result<SampleResult> Mediator::GetSamples(const SampleQuery& query) {
   node_query.options.use_cache = false;
   node_query.flops_per_process = config_.cost.flops_per_process;
   node_query.effective_cores = config_.cost.effective_cores_per_node;
+  node_query.deadline = budget.deadline;
+  node_query.cancel = budget.cancel;
 
   std::vector<NodeQuery> parts;
   parts.reserve(per_node.size());

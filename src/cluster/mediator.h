@@ -1,5 +1,7 @@
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <functional>
 #include <map>
 #include <memory>
@@ -53,6 +55,18 @@ struct ClusterConfig {
   bool fsync_ingest = true;
 };
 
+/// Execution budget a transport front-end (cluster/service.h) attaches
+/// to one query. `deadline` is an absolute wall-clock bound derived from
+/// the client's frame budget (default-constructed = unbounded);
+/// `cancel`, when non-null, is the serving layer's cancellation token
+/// (flipped by a CancelQuery RPC). The mediator folds both into every
+/// NodeQuery it dispatches, so a shard worker deep in an evaluate loop
+/// observes the same budget the client stated.
+struct CallBudget {
+  std::chrono::steady_clock::time_point deadline{};
+  const std::atomic<bool>* cancel = nullptr;
+};
+
 /// One physical node's row in Mediator::ClusterStatus().
 struct ClusterNodeStatus {
   int node_id = 0;  ///< Physical id (topology index).
@@ -82,22 +96,30 @@ class Mediator {
       const std::function<Result<Atom>(int32_t, uint64_t)>& generate);
 
   /// Evaluates a threshold query (the paper's GetThreshold entry point).
+  /// `budget` (optional, default unbounded) carries the caller's
+  /// deadline and cancellation token; likewise for the other Get*
+  /// entry points below.
   Result<ThresholdResult> GetThreshold(const ThresholdQuery& query,
-                                       const QueryOptions& options = {});
+                                       const QueryOptions& options = {},
+                                       const CallBudget& budget = {});
 
   /// Histogram of the derived-field norm (Fig. 2).
-  Result<PdfResult> GetPdf(const PdfQuery& query);
+  Result<PdfResult> GetPdf(const PdfQuery& query,
+                           const CallBudget& budget = {});
 
   /// The k largest-norm locations.
-  Result<TopKResult> GetTopK(const TopKQuery& query);
+  Result<TopKResult> GetTopK(const TopKQuery& query,
+                             const CallBudget& budget = {});
 
   /// Mean/RMS/max of the derived-field norm.
-  Result<FieldStatsResult> GetFieldStats(const FieldStatsQuery& query);
+  Result<FieldStatsResult> GetFieldStats(const FieldStatsQuery& query,
+                                         const CallBudget& budget = {});
 
   /// Interpolates a stored field at arbitrary physical positions
   /// (Lag4/6/8), each evaluated on the node owning its grid cell — the
   /// GetVelocity-style service calls of Sec. 2.
-  Result<SampleResult> GetSamples(const SampleQuery& query);
+  Result<SampleResult> GetSamples(const SampleQuery& query,
+                                  const CallBudget& budget = {});
 
   /// Drops cached results of (dataset, raw:derived) for `timestep`
   /// (-1 = all timesteps) on every node; benchmark hook matching the
@@ -125,6 +147,11 @@ class Mediator {
   /// topology entry. Empty for the in-process deployment.
   std::vector<ClusterNodeStatus> ClusterStatus() const;
 
+  /// How many CancelQuery fan-outs Dispatch has issued to not-yet-joined
+  /// shards (after a hard failure, a tripped point cap, or an external
+  /// cancellation). Observability/test hook.
+  uint64_t cancels_issued() const { return cancels_issued_.load(); }
+
   Result<const DatasetInfo*> GetDataset(const std::string& name) const;
 
  private:
@@ -145,8 +172,13 @@ class Mediator {
       const QueryOptions& options);
 
   /// Dispatches `node_query` to every node owning data in its box and
-  /// merges the outcomes; fills the modeled time breakdown.
-  Result<std::vector<NodeOutcome>> Dispatch(const NodeQuery& node_query);
+  /// merges the outcomes; fills the modeled time breakdown. Assigns the
+  /// query a cluster-unique id and a cancel token: when one shard fails
+  /// hard, the point cap trips, or `budget.cancel` flips, the token is
+  /// set and the remaining in-flight sub-queries are cancelled instead
+  /// of running to completion for a result nobody will merge.
+  Result<std::vector<NodeOutcome>> Dispatch(const NodeQuery& node_query,
+                                            const CallBudget& budget);
 
   const Differentiator* GetDifferentiator(const std::string& dataset,
                                           const GridGeometry& geometry,
@@ -164,6 +196,11 @@ class Mediator {
   std::unique_ptr<ThreadPool> scheduler_;
   /// Runs the per-process chunks inside each node.
   std::unique_ptr<ThreadPool> workers_;
+
+  /// Source of CancelQuery ids: a counter mixed with this mediator's
+  /// address, so two mediators over the same nodes cannot collide.
+  std::atomic<uint64_t> query_counter_{1};
+  std::atomic<uint64_t> cancels_issued_{0};
 
   mutable std::mutex diff_mutex_;
   std::map<std::pair<std::string, int>, std::unique_ptr<Differentiator>>

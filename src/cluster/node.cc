@@ -42,6 +42,21 @@ struct TopKHeapCompare {
   }
 };
 
+/// Cooperative interruption point: a cancelled query wins over an
+/// expired one (cancellation means nobody wants the answer at all).
+Status CheckInterrupts(const NodeQuery& query) {
+  if (query.cancel != nullptr &&
+      query.cancel->load(std::memory_order_relaxed)) {
+    return Status::Cancelled("query " + std::to_string(query.query_id) +
+                             " cancelled");
+  }
+  if (query.deadline != std::chrono::steady_clock::time_point{} &&
+      std::chrono::steady_clock::now() >= query.deadline) {
+    return Status::DeadlineExceeded("query budget exhausted mid-evaluation");
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 DatabaseNode::DatabaseNode(int id, const CostModelConfig& cost,
@@ -377,6 +392,8 @@ DatabaseNode::ChunkOutcome DatabaseNode::ProcessSampleChunk(
     const std::vector<std::pair<uint32_t, std::array<double, 3>>>& targets) {
   ChunkOutcome out;
   if (targets.empty()) return out;
+  out.status = CheckInterrupts(query);
+  if (!out.status.ok()) return out;
   const GridGeometry& geometry = query.dataset->geometry;
   const LagrangeInterpolator& interp = *query.interpolator;
 
@@ -524,15 +541,20 @@ Slab DatabaseNode::GatherDest(const NodeQuery& query, const DestMap& dest,
     out->io.atoms_read_local += local_codes.size();
     out->io.bytes_read_local += bytes;
   }
-  // Remote halo reads: one batched request per adjacent node.
+  // Remote halo reads: one batched request per adjacent node. Each hop
+  // re-checks cancellation/deadline first: a network fetch is the most
+  // expensive thing to start for a query nobody is waiting on.
   for (const auto& [owner, codes] : remote_codes) {
     if (!remote_fetch_) {
       out->status = Status::Internal("remote fetch hook not wired");
       return Slab();
     }
+    out->status = CheckInterrupts(query);
+    if (!out->status.ok()) return Slab();
     double cost = 0.0;
-    auto atoms = remote_fetch_(owner, query.dataset->name, query.raw_field,
-                               query.timestep, codes, query.processes, &cost);
+    auto atoms = remote_fetch_(query, owner, query.dataset->name,
+                               query.raw_field, query.timestep, codes,
+                               query.processes, &cost);
     if (!atoms.ok()) {
       out->status = atoms.status();
       return Slab();
@@ -584,6 +606,8 @@ DatabaseNode::ChunkOutcome DatabaseNode::ProcessChunk(
   ChunkOutcome out;
   out.histogram.assign(static_cast<size_t>(query.num_bins) + 1, 0);
   if (chunk_atoms.empty()) return out;
+  out.status = CheckInterrupts(query);
+  if (!out.status.ok()) return out;
 
   const GridGeometry& geometry = query.dataset->geometry;
   const int64_t w = geometry.atom_width();
@@ -666,6 +690,8 @@ DatabaseNode::ChunkOutcome DatabaseNode::ProcessChunk(
       topk;
   uint64_t evaluated = 0;
   for (uint64_t code : chunk_atoms) {
+    out.status = CheckInterrupts(query);
+    if (!out.status.ok()) return out;
     uint32_t ax, ay, az;
     MortonDecode3(code, &ax, &ay, &az);
     const Box3 atom_box(ax * w, ay * w, az * w, (ax + 1) * w, (ay + 1) * w,

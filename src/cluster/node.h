@@ -1,5 +1,7 @@
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <functional>
 #include <map>
 #include <memory>
@@ -72,6 +74,20 @@ struct NodeQuery {
   /// Cores effectively available per node; processes beyond this count
   /// time-share the CPUs (CostModelConfig::effective_cores_per_node).
   double effective_cores = 4.0;
+
+  // Execution budget (not serialized — each hop derives its own from the
+  // frame header). A default-constructed time_point means unbounded; a
+  // null cancel pointer means not cancellable. Workers poll both at
+  // chunk boundaries and between atoms of the evaluate loop, so a
+  // cancelled or over-budget query stops burning cores within one atom's
+  // worth of work. Plain std::chrono (not net::Deadline) so the core
+  // node carries no dependency on the transport layer.
+  std::chrono::steady_clock::time_point deadline{};
+  const std::atomic<bool>* cancel = nullptr;
+  /// Mediator-assigned id under which this query was registered for
+  /// CancelQuery; 0 = unregistered. Carried so error messages and remote
+  /// sub-queries can name the query being cancelled.
+  uint64_t query_id = 0;
 };
 
 /// A node's answer to its part of a query.
@@ -99,11 +115,14 @@ class DatabaseNode {
  public:
   /// Batched halo fetch from a peer node: returns the atoms for `codes`
   /// (sorted) of (dataset, field, timestep) owned by node `owner`, and
-  /// adds the modeled cost (peer disk + LAN) to `*cost_s`.
+  /// adds the modeled cost (peer disk + LAN) to `*cost_s`. `query` is
+  /// the query the fetch serves; implementations deduct its remaining
+  /// deadline budget before dialing, so a halo hop never outlives the
+  /// query that needs it.
   using RemoteFetchFn = std::function<Result<std::vector<Atom>>(
-      int owner, const std::string& dataset, const std::string& field,
-      int32_t timestep, const std::vector<uint64_t>& codes, int concurrent,
-      double* cost_s)>;
+      const NodeQuery& query, int owner, const std::string& dataset,
+      const std::string& field, int32_t timestep,
+      const std::vector<uint64_t>& codes, int concurrent, double* cost_s)>;
 
   /// `storage_dir` empty = in-memory stores; otherwise atoms persist in
   /// FileAtomStore files under that directory.

@@ -40,6 +40,12 @@ class NodeBackend {
   /// error naming the node instead.
   virtual Result<NodeOutcome> Execute(const NodeQuery& query) = 0;
 
+  /// Best-effort cancellation of an in-flight Execute registered under
+  /// `query_id`. Fire-and-forget: failures are swallowed (the query may
+  /// already have finished). LocalNode needs no override — the mediator
+  /// shares the cancel token pointer with the in-process query directly.
+  virtual void Cancel(uint64_t /*query_id*/) {}
+
   /// Drops cache entries of (dataset, "<raw>:<derived>") for `timestep`
   /// (-1 = all).
   virtual Status DropCacheEntries(const std::string& dataset,

@@ -1,5 +1,6 @@
 #include "cluster/node_service.h"
 
+#include <chrono>
 #include <cstdint>
 #include <thread>
 #include <utility>
@@ -58,18 +59,19 @@ NodeService::NodeService(const NodeServiceConfig& config)
   node_.set_fsync_on_ingest(config.fsync_ingest);
   node_.set_shard(shard());
   node_.set_remote_fetch(
-      [this](int owner, const std::string& dataset, const std::string& field,
-             int32_t timestep, const std::vector<uint64_t>& codes,
-             int concurrent, double* cost_s) -> Result<std::vector<Atom>> {
-        return FetchFromPeer(owner, dataset, field, timestep, codes,
+      [this](const NodeQuery& query, int owner, const std::string& dataset,
+             const std::string& field, int32_t timestep,
+             const std::vector<uint64_t>& codes, int concurrent,
+             double* cost_s) -> Result<std::vector<Atom>> {
+        return FetchFromPeer(query, owner, dataset, field, timestep, codes,
                              concurrent, cost_s);
       });
 }
 
 net::Server::Handler NodeService::AsHandler() {
   return [this](const std::vector<uint8_t>& payload,
-                const net::Deadline& deadline) {
-    return Handle(payload, deadline);
+                const net::CallContext& ctx) {
+    return Handle(payload, ctx);
   };
 }
 
@@ -179,9 +181,9 @@ NodeService::PeerChannel* NodeService::GetPeerChannel(int physical) {
 }
 
 Result<std::vector<Atom>> NodeService::FetchFromPeer(
-    int owner, const std::string& dataset, const std::string& field,
-    int32_t timestep, const std::vector<uint64_t>& codes, int concurrent,
-    double* cost_s) {
+    const NodeQuery& query, int owner, const std::string& dataset,
+    const std::string& field, int32_t timestep,
+    const std::vector<uint64_t>& codes, int concurrent, double* cost_s) {
   // `owner` is a shard id; any replica of that shard can serve its halo
   // atoms, so a dead primary is a failover, not an error.
   const int replication = std::max(1, config_.replication_factor);
@@ -198,6 +200,19 @@ Result<std::vector<Atom>> NodeService::FetchFromPeer(
   request.timestep = timestep;
   request.concurrent = concurrent;
   request.codes = codes;
+  // Forward the remaining budget so the peer sizes its work to it; an
+  // already-expired budget fails typed here instead of paying a dial.
+  if (query.deadline != std::chrono::steady_clock::time_point{}) {
+    const auto remaining =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            query.deadline - std::chrono::steady_clock::now());
+    if (remaining.count() <= 0) {
+      return Status::DeadlineExceeded(
+          "query budget exhausted before the halo fetch from shard " +
+          std::to_string(owner));
+    }
+    request.rpc.deadline_ms = static_cast<uint64_t>(remaining.count());
+  }
   Status last;
   for (int r = 0; r < replication; ++r) {
     const int physical = owner * replication + r;
@@ -229,8 +244,7 @@ Result<std::vector<Atom>> NodeService::FetchFromPeer(
 }
 
 std::vector<uint8_t> NodeService::Handle(const std::vector<uint8_t>& payload,
-                                         const net::Deadline& deadline) {
-  (void)deadline;  // The server refuses stale responses after the fact.
+                                         const net::CallContext& ctx) {
   auto header = net::PeekRequestHeader(payload);
   if (!header.ok()) return net::EncodeErrorResponse(header.status());
   Result<std::vector<uint8_t>> response = Status::OK();
@@ -242,7 +256,7 @@ std::vector<uint8_t> NodeService::Handle(const std::vector<uint8_t>& payload,
       response = HandleIngest(payload);
       break;
     case net::MsgType::kNodeExecuteRequest:
-      response = HandleExecute(payload);
+      response = HandleExecute(payload, ctx);
       break;
     case net::MsgType::kNodeFetchAtomsRequest:
       response = HandleFetchAtoms(payload);
@@ -332,10 +346,19 @@ Result<std::vector<uint8_t>> NodeService::HandleIngest(
 }
 
 Result<std::vector<uint8_t>> NodeService::HandleExecute(
-    const std::vector<uint8_t>& payload) {
+    const std::vector<uint8_t>& payload, const net::CallContext& ctx) {
   TURBDB_ASSIGN_OR_RETURN(net::NodeExecuteRequest request,
                           net::DecodeNodeExecuteRequest(payload));
   TURBDB_ASSIGN_OR_RETURN(NodeQuery query, BuildQuery(request.spec));
+  // Thread the transport-level budget into the evaluation: the workers
+  // poll the deadline and the cancellation token between atoms, and the
+  // remaining budget rides along on peer halo fetches.
+  if (!ctx.deadline.infinite()) {
+    query.deadline = std::chrono::steady_clock::now() +
+                     std::chrono::milliseconds(ctx.deadline.PollTimeoutMs());
+  }
+  query.cancel = ctx.cancelled.get();
+  query.query_id = request.rpc.query_id;
   TURBDB_ASSIGN_OR_RETURN(NodeOutcome outcome,
                           node_.Execute(query, &workers_));
   net::NodeResult result;

@@ -63,9 +63,11 @@ class NodeService {
   /// outlive the server.
   net::Server::Handler AsHandler();
 
-  /// Decodes and executes one node-scoped request payload.
+  /// Decodes and executes one node-scoped request payload. `ctx` carries
+  /// the request's deadline (derived from the frame's budget field) and
+  /// cancellation token; Execute threads both into the evaluation loop.
   std::vector<uint8_t> Handle(const std::vector<uint8_t>& payload,
-                              const net::Deadline& deadline);
+                              const net::CallContext& ctx);
 
   DatabaseNode& node() { return node_; }
   int node_id() const { return config_.node_id; }
@@ -94,10 +96,13 @@ class NodeService {
                                           const GridGeometry& geometry,
                                           int order);
 
+  /// Batched halo fetch from a replica of shard `owner`, bounded by
+  /// whatever remains of `query`'s deadline budget (a fetch for an
+  /// already-expired query fails typed without dialing).
   Result<std::vector<Atom>> FetchFromPeer(
-      int owner, const std::string& dataset, const std::string& field,
-      int32_t timestep, const std::vector<uint64_t>& codes, int concurrent,
-      double* cost_s);
+      const NodeQuery& query, int owner, const std::string& dataset,
+      const std::string& field, int32_t timestep,
+      const std::vector<uint64_t>& codes, int concurrent, double* cost_s);
 
   /// The serialized channel to physical peer node `physical` (created on
   /// first use).
@@ -108,7 +113,7 @@ class NodeService {
   Result<std::vector<uint8_t>> HandleIngest(
       const std::vector<uint8_t>& payload);
   Result<std::vector<uint8_t>> HandleExecute(
-      const std::vector<uint8_t>& payload);
+      const std::vector<uint8_t>& payload, const net::CallContext& ctx);
   Result<std::vector<uint8_t>> HandleFetchAtoms(
       const std::vector<uint8_t>& payload);
   Result<std::vector<uint8_t>> HandleDropCache(

@@ -1,6 +1,7 @@
 #include "cluster/remote_node.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "net/frame.h"
 
@@ -138,7 +139,21 @@ Result<net::NodeListStoresReply> RemoteNode::ListStores() {
 Result<NodeOutcome> RemoteNode::Execute(const NodeQuery& query) {
   net::NodeExecuteRequest request;
   request.spec = ToSpec(query);
-  request.rpc.deadline_ms = options_.subquery_deadline_ms;
+  // Each hop carries the *remaining* budget: the sub-query deadline,
+  // tightened by whatever is left of the caller's overall deadline.
+  uint64_t budget_ms = options_.subquery_deadline_ms;
+  if (query.deadline != std::chrono::steady_clock::time_point{}) {
+    const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+        query.deadline - std::chrono::steady_clock::now());
+    if (remaining.count() <= 0) {
+      return Named(Status::DeadlineExceeded(
+          "query budget exhausted before dispatching the sub-query"));
+    }
+    budget_ms = std::min<uint64_t>(
+        budget_ms, static_cast<uint64_t>(remaining.count()));
+  }
+  request.rpc.deadline_ms = budget_ms;
+  request.rpc.query_id = query.query_id;
   std::unique_lock<std::mutex> lock(mutex_);
   auto result = client_.NodeExecute(request);
   lock.unlock();
@@ -155,6 +170,21 @@ Result<NodeOutcome> RemoteNode::Execute(const NodeQuery& query) {
   outcome.time = result->time;
   outcome.io = result->io;
   return outcome;
+}
+
+void RemoteNode::Cancel(uint64_t query_id) {
+  if (query_id == 0) return;
+  // The main channel is busy with the Execute being cancelled, so dial a
+  // one-shot connection. No retries and a small budget: cancellation is
+  // advisory, and a node too sick to take the RPC is not doing useful
+  // work anyway.
+  net::ClientOptions options = MakeClientOptions(options_);
+  options.max_retries = 0;
+  options.deadline_ms = std::min<uint64_t>(
+      2000, std::max<uint64_t>(1, options_.subquery_deadline_ms));
+  options.read_timeout_ms = static_cast<int>(options.deadline_ms) + 1000;
+  net::Client canceller(address_.host, address_.port, options);
+  (void)canceller.CancelQuery(query_id);
 }
 
 Status RemoteNode::DropCacheEntries(const std::string& dataset,

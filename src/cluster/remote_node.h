@@ -50,6 +50,11 @@ class RemoteNode : public NodeBackend {
   Status IngestAtoms(const std::string& dataset, const std::string& field,
                      const std::vector<Atom>& atoms) override;
   Result<NodeOutcome> Execute(const NodeQuery& query) override;
+
+  /// Fire-and-forget CancelQuery for an Execute in flight on this node.
+  /// Uses a short-lived dedicated connection: the main channel's mutex is
+  /// held by the very Execute being cancelled, which is the whole point.
+  void Cancel(uint64_t query_id) override;
   Status DropCacheEntries(const std::string& dataset,
                           const std::string& field,
                           int32_t timestep) override;

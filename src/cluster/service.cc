@@ -1,5 +1,6 @@
 #include "cluster/service.h"
 
+#include <chrono>
 #include <utility>
 #include <variant>
 
@@ -7,21 +8,31 @@ namespace turbdb {
 
 net::Server::Handler MediatorHandler(Mediator* mediator) {
   return [mediator](const std::vector<uint8_t>& payload,
-                    const net::Deadline& deadline) -> std::vector<uint8_t> {
+                    const net::CallContext& ctx) -> std::vector<uint8_t> {
     auto request_or = net::DecodeRequest(payload);
     if (!request_or.ok()) {
       return net::EncodeErrorResponse(request_or.status());
     }
     const net::Request& request = *request_or;
 
+    // Hand the mediator the same budget the server derived from the
+    // frame header, so shard dispatch and remote sub-queries inherit it.
+    CallBudget budget;
+    if (!ctx.deadline.infinite()) {
+      budget.deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::milliseconds(ctx.deadline.PollTimeoutMs());
+    }
+    budget.cancel = ctx.cancelled.get();
+
     std::vector<uint8_t> response;
     auto finish = [&](auto&& result_or) {
       if (!result_or.ok()) {
         response = net::EncodeErrorResponse(result_or.status());
-      } else if (deadline.Expired()) {
+      } else if (ctx.deadline.Expired()) {
         // The result is ready but stale: the client stopped waiting.
         response = net::EncodeErrorResponse(
-            Status::Unavailable("deadline exceeded"));
+            Status::DeadlineExceeded("deadline exceeded"));
       } else {
         response = net::EncodeResponse(*result_or);
       }
@@ -29,14 +40,16 @@ net::Server::Handler MediatorHandler(Mediator* mediator) {
 
     if (std::holds_alternative<net::ThresholdRequest>(request)) {
       const auto& req = std::get<net::ThresholdRequest>(request);
-      finish(mediator->GetThreshold(req.query, req.options));
+      finish(mediator->GetThreshold(req.query, req.options, budget));
     } else if (std::holds_alternative<net::PdfRequest>(request)) {
-      finish(mediator->GetPdf(std::get<net::PdfRequest>(request).query));
+      finish(mediator->GetPdf(std::get<net::PdfRequest>(request).query,
+                              budget));
     } else if (std::holds_alternative<net::TopKRequest>(request)) {
-      finish(mediator->GetTopK(std::get<net::TopKRequest>(request).query));
+      finish(mediator->GetTopK(std::get<net::TopKRequest>(request).query,
+                               budget));
     } else if (std::holds_alternative<net::FieldStatsRequest>(request)) {
       finish(mediator->GetFieldStats(
-          std::get<net::FieldStatsRequest>(request).query));
+          std::get<net::FieldStatsRequest>(request).query, budget));
     } else {
       // Ping/ServerStats/Hello are answered by the server itself; a
       // node-scoped request reaching a mediator lands here too.

@@ -1,0 +1,151 @@
+#include "common/fault.h"
+
+#ifdef TURBDB_FAULTS
+
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <vector>
+
+namespace turbdb {
+namespace fault {
+namespace {
+
+struct Site {
+  Action action = Action::kNone;
+  uint64_t arg = 0;
+  uint64_t remaining = 0;  ///< Armed firings left.
+  uint64_t fired = 0;      ///< Times an armed fault was consumed.
+};
+
+std::mutex g_mutex;
+std::map<std::string, Site>& Registry() {
+  static auto* registry = new std::map<std::string, Site>();
+  return *registry;
+}
+// Fast path: sites call Check on every request; skip the lock when
+// nothing has ever been armed.
+std::atomic<uint64_t> g_armed{0};
+
+Status BadSpec(const std::string& spec, const std::string& why) {
+  return Status::InvalidArgument("bad fault spec '" + spec + "': " + why);
+}
+
+}  // namespace
+
+bool Enabled() { return g_armed.load(std::memory_order_relaxed) > 0; }
+
+Injected Check(const char* site) {
+  if (!Enabled()) return {};
+  std::lock_guard<std::mutex> lock(g_mutex);
+  auto it = Registry().find(site);
+  if (it == Registry().end() || it->second.remaining == 0) return {};
+  Site& armed = it->second;
+  --armed.remaining;
+  ++armed.fired;
+  if (armed.remaining == 0) {
+    g_armed.fetch_sub(1, std::memory_order_relaxed);
+  }
+  return Injected{armed.action, armed.arg};
+}
+
+void Arm(const std::string& site, Action action, uint64_t arg,
+         uint64_t count) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  Site& entry = Registry()[site];
+  if (entry.remaining > 0) g_armed.fetch_sub(1, std::memory_order_relaxed);
+  entry.action = action;
+  entry.arg = arg;
+  entry.remaining = count;
+  if (count > 0) g_armed.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Disarm(const std::string& site) { Arm(site, Action::kNone, 0, 0); }
+
+void Reset() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  for (auto& [name, entry] : Registry()) {
+    if (entry.remaining > 0) g_armed.fetch_sub(1, std::memory_order_relaxed);
+    entry = Site{};
+  }
+}
+
+uint64_t Fired(const std::string& site) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  auto it = Registry().find(site);
+  return it == Registry().end() ? 0 : it->second.fired;
+}
+
+Status Configure(const std::string& spec) {
+  // site=action:arg:count[;...]  — parsed fully before arming anything,
+  // so a typo in the middle does not leave half the spec live.
+  struct Parsed {
+    std::string site;
+    Action action;
+    uint64_t arg;
+    uint64_t count;
+  };
+  std::vector<Parsed> parsed;
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t end = spec.find(';', pos);
+    if (end == std::string::npos) end = spec.size();
+    const std::string entry = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (entry.empty()) continue;
+
+    const size_t eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return BadSpec(entry, "expected site=action:arg:count");
+    }
+    Parsed out;
+    out.site = entry.substr(0, eq);
+    const std::string rhs = entry.substr(eq + 1);
+    const size_t c1 = rhs.find(':');
+    const size_t c2 = c1 == std::string::npos ? std::string::npos
+                                              : rhs.find(':', c1 + 1);
+    if (c1 == std::string::npos || c2 == std::string::npos) {
+      return BadSpec(entry, "expected action:arg:count after '='");
+    }
+    const std::string action = rhs.substr(0, c1);
+    if (action == "delay") {
+      out.action = Action::kDelay;
+    } else if (action == "error") {
+      out.action = Action::kError;
+    } else if (action == "truncate") {
+      out.action = Action::kTruncate;
+    } else if (action == "stall") {
+      out.action = Action::kStall;
+    } else {
+      return BadSpec(entry, "unknown action '" + action + "'");
+    }
+    char* parse_end = nullptr;
+    const std::string arg_str = rhs.substr(c1 + 1, c2 - c1 - 1);
+    out.arg = std::strtoull(arg_str.c_str(), &parse_end, 10);
+    if (parse_end == nullptr || *parse_end != '\0' || arg_str.empty()) {
+      return BadSpec(entry, "arg is not a number");
+    }
+    const std::string count_str = rhs.substr(c2 + 1);
+    out.count = std::strtoull(count_str.c_str(), &parse_end, 10);
+    if (parse_end == nullptr || *parse_end != '\0' || count_str.empty()) {
+      return BadSpec(entry, "count is not a number");
+    }
+    parsed.push_back(std::move(out));
+  }
+  for (const Parsed& entry : parsed) {
+    Arm(entry.site, entry.action, entry.arg, entry.count);
+  }
+  return Status::OK();
+}
+
+Status InitFromEnv() {
+  const char* spec = std::getenv("TURBDB_FAULTS");
+  if (spec == nullptr) return Status::OK();
+  return Configure(spec);
+}
+
+}  // namespace fault
+}  // namespace turbdb
+
+#endif  // TURBDB_FAULTS

@@ -34,6 +34,10 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "Unreachable";
     case StatusCode::kVersionMismatch:
       return "VersionMismatch";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kCancelled:
+      return "Cancelled";
   }
   return "Unknown";
 }

@@ -30,6 +30,8 @@ enum class StatusCode : int {
   kInternal = 12,
   kUnreachable = 13,
   kVersionMismatch = 14,
+  kDeadlineExceeded = 15,
+  kCancelled = 16,
 };
 
 /// Returns a stable human-readable name for a status code ("IOError" etc.).
@@ -89,6 +91,12 @@ class Status {
   static Status VersionMismatch(std::string msg) {
     return Status(StatusCode::kVersionMismatch, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -105,6 +113,10 @@ class Status {
   bool IsVersionMismatch() const {
     return code_ == StatusCode::kVersionMismatch;
   }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
+  bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
 
   /// "OK" or "<Code>: <message>".
   std::string ToString() const;

@@ -1,6 +1,9 @@
 #include "net/client.h"
 
+#include <algorithm>
 #include <chrono>
+#include <cstdint>
+#include <functional>
 #include <thread>
 
 namespace turbdb {
@@ -12,12 +15,29 @@ namespace {
 /// reset, EOF (kIOError) or a deadline expiring mid-read (kUnavailable) —
 /// earn a reconnect + retry. Every *typed* failure is a final answer and
 /// must fail fast: an error frame the server sent, a Corruption from a
-/// garbled payload, and in particular kVersionMismatch — retrying a peer
-/// that speaks the wrong protocol version burns the whole backoff budget
-/// to learn the same fact N times.
+/// garbled payload, a server-reported kDeadlineExceeded or kCancelled
+/// (the budget is spent / the mediator gave up — a retry would only make
+/// it later), and in particular kVersionMismatch — retrying a peer that
+/// speaks the wrong protocol version burns the whole backoff budget to
+/// learn the same fact N times.
 bool IsTransportFailure(const Status& status) {
   return status.code() == StatusCode::kIOError ||
          status.code() == StatusCode::kUnavailable;
+}
+
+/// Remaining milliseconds of the query budget; -1 when no budget was
+/// set. 0 means exhausted.
+int64_t RemainingBudgetMs(const Deadline& budget) {
+  if (budget.infinite()) return -1;
+  return budget.PollTimeoutMs();
+}
+
+/// Per-operation deadline: the configured timeout, shortened to the
+/// query budget when that is tighter.
+Deadline BoundedBy(int timeout_ms, int64_t remaining_budget_ms) {
+  if (remaining_budget_ms < 0) return Deadline::After(timeout_ms);
+  return Deadline::After(
+      std::min<int64_t>(timeout_ms, remaining_budget_ms));
 }
 
 /// Wall-clock measurement around one RPC, written into the decoded
@@ -38,35 +58,65 @@ class WallTimer {
 }  // namespace
 
 Client::Client(std::string host, uint16_t port, ClientOptions options)
-    : host_(std::move(host)), port_(port), options_(options) {}
+    : host_(std::move(host)),
+      port_(port),
+      options_(options),
+      backoff_rng_(MixSeed(std::hash<std::string>{}(host_), port_)) {}
 
-Status Client::EnsureConnected() {
+Status Client::EnsureConnected(Deadline deadline) {
   if (conn_.valid()) return Status::OK();
-  TURBDB_ASSIGN_OR_RETURN(
-      conn_, TcpConnect(host_, port_,
-                        Deadline::After(options_.connect_timeout_ms)));
+  TURBDB_ASSIGN_OR_RETURN(conn_, TcpConnect(host_, port_, deadline));
   return Status::OK();
 }
 
 Result<std::vector<uint8_t>> Client::CallOnce(
-    const std::vector<uint8_t>& request) {
-  TURBDB_RETURN_NOT_OK(EnsureConnected());
-  TURBDB_RETURN_NOT_OK(WriteFrame(
-      conn_, request, Deadline::After(options_.write_timeout_ms)));
-  return ReadFrame(conn_, Deadline::After(options_.read_timeout_ms),
-                   options_.max_frame_bytes);
+    const std::vector<uint8_t>& request, const Deadline& budget) {
+  int64_t remaining = RemainingBudgetMs(budget);
+  TURBDB_RETURN_NOT_OK(EnsureConnected(
+      BoundedBy(options_.connect_timeout_ms, remaining)));
+  // Stamp the budget *remaining at send time* into the frame header so
+  // the server sees what the caller is still willing to wait for.
+  remaining = RemainingBudgetMs(budget);
+  const uint32_t stamp =
+      remaining < 0 ? 0
+                    : static_cast<uint32_t>(std::min<int64_t>(
+                          std::max<int64_t>(remaining, 1), UINT32_MAX));
+  TURBDB_RETURN_NOT_OK(
+      WriteFrame(conn_, request,
+                 BoundedBy(options_.write_timeout_ms, remaining), stamp));
+  return ReadFrame(
+      conn_,
+      BoundedBy(options_.read_timeout_ms, RemainingBudgetMs(budget)),
+      options_.max_frame_bytes);
 }
 
 Result<std::vector<uint8_t>> Client::Call(
-    const std::vector<uint8_t>& request) {
-  int backoff_ms = options_.backoff_initial_ms;
+    const std::vector<uint8_t>& request, uint64_t budget_ms) {
+  const Deadline budget = budget_ms > 0
+                              ? Deadline::After(static_cast<int64_t>(budget_ms))
+                              : Deadline::Infinite();
+  int64_t backoff_ms = options_.backoff_initial_ms;
   Status last;
+  int attempts = 0;
   for (int attempt = 0; attempt <= options_.max_retries; ++attempt) {
     if (attempt > 0) {
-      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+      // Exponential backoff with uniform jitter in [delay/2, delay): a
+      // fleet of clients retrying the same dead node must not
+      // reconverge in lockstep. Never sleep past the query budget —
+      // the remaining time belongs to the next attempt, not to waiting.
+      const int64_t half = std::max<int64_t>(backoff_ms / 2, 1);
+      int64_t delay =
+          half + static_cast<int64_t>(backoff_rng_.NextBounded(
+                     static_cast<uint64_t>(std::max<int64_t>(
+                         backoff_ms - half, 1))));
+      const int64_t remaining = RemainingBudgetMs(budget);
+      if (remaining >= 0 && delay >= remaining) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay));
       backoff_ms *= 2;
     }
-    auto response = CallOnce(request);
+    if (budget.Expired()) break;
+    ++attempts;
+    auto response = CallOnce(request, budget);
     if (response.ok()) return response;
     last = response.status();
     // The connection's stream state is unknown after any failure; drop
@@ -74,14 +124,24 @@ Result<std::vector<uint8_t>> Client::Call(
     conn_.Close();
     if (!IsTransportFailure(last)) return last;
   }
+  const std::string endpoint = host_ + ":" + std::to_string(port_);
+  if (!budget.infinite() && budget.Expired()) {
+    // The budget ran out, as opposed to the retry count: a typed
+    // deadline error naming the spent budget, so callers (and the CLI's
+    // exit code) can tell "too slow" from "not there".
+    return Status::DeadlineExceeded(
+        "query budget of " + std::to_string(budget_ms) + " ms exhausted on " +
+        endpoint + (last.ok() ? "" : ": " + last.message()) + " (after " +
+        std::to_string(attempts) + " attempt" + (attempts == 1 ? "" : "s") +
+        ")");
+  }
   // A distinct code: the peer is unreachable after every attempt, as
   // opposed to merely slow (Unavailable) on one of them. Callers (the
   // CLI, the mediator's remote-node path) surface this differently from
   // a query error.
   return Status::Unreachable(
-      host_ + ":" + std::to_string(port_) + " unreachable: " +
-      last.message() + " (after " +
-      std::to_string(options_.max_retries + 1) + " attempts)");
+      endpoint + " unreachable: " + last.message() + " (after " +
+      std::to_string(attempts) + " attempts)");
 }
 
 Result<ThresholdResult> Client::Threshold(const ThresholdQuery& query,
@@ -90,9 +150,8 @@ Result<ThresholdResult> Client::Threshold(const ThresholdQuery& query,
   ThresholdRequest request;
   request.query = query;
   request.options = options;
-  request.rpc.deadline_ms = options_.deadline_ms;
   TURBDB_ASSIGN_OR_RETURN(std::vector<uint8_t> payload,
-                          Call(EncodeRequest(request)));
+                          Call(EncodeRequest(request), options_.deadline_ms));
   TURBDB_ASSIGN_OR_RETURN(ThresholdResult result,
                           DecodeThresholdResponse(payload));
   result.wall_seconds = timer.Seconds();
@@ -103,9 +162,8 @@ Result<PdfResult> Client::Pdf(const PdfQuery& query) {
   WallTimer timer;
   PdfRequest request;
   request.query = query;
-  request.rpc.deadline_ms = options_.deadline_ms;
   TURBDB_ASSIGN_OR_RETURN(std::vector<uint8_t> payload,
-                          Call(EncodeRequest(request)));
+                          Call(EncodeRequest(request), options_.deadline_ms));
   TURBDB_ASSIGN_OR_RETURN(PdfResult result, DecodePdfResponse(payload));
   result.wall_seconds = timer.Seconds();
   return result;
@@ -115,9 +173,8 @@ Result<TopKResult> Client::TopK(const TopKQuery& query) {
   WallTimer timer;
   TopKRequest request;
   request.query = query;
-  request.rpc.deadline_ms = options_.deadline_ms;
   TURBDB_ASSIGN_OR_RETURN(std::vector<uint8_t> payload,
-                          Call(EncodeRequest(request)));
+                          Call(EncodeRequest(request), options_.deadline_ms));
   TURBDB_ASSIGN_OR_RETURN(TopKResult result, DecodeTopKResponse(payload));
   result.wall_seconds = timer.Seconds();
   return result;
@@ -127,9 +184,8 @@ Result<FieldStatsResult> Client::FieldStats(const FieldStatsQuery& query) {
   WallTimer timer;
   FieldStatsRequest request;
   request.query = query;
-  request.rpc.deadline_ms = options_.deadline_ms;
   TURBDB_ASSIGN_OR_RETURN(std::vector<uint8_t> payload,
-                          Call(EncodeRequest(request)));
+                          Call(EncodeRequest(request), options_.deadline_ms));
   TURBDB_ASSIGN_OR_RETURN(FieldStatsResult result,
                           DecodeFieldStatsResponse(payload));
   result.wall_seconds = timer.Seconds();
@@ -138,92 +194,101 @@ Result<FieldStatsResult> Client::FieldStats(const FieldStatsQuery& query) {
 
 Result<ServerStatsReply> Client::ServerStats() {
   ServerStatsRequest request;
-  request.rpc.deadline_ms = options_.deadline_ms;
   TURBDB_ASSIGN_OR_RETURN(std::vector<uint8_t> payload,
-                          Call(EncodeRequest(request)));
+                          Call(EncodeRequest(request), options_.deadline_ms));
   return DecodeServerStatsResponse(payload);
 }
 
 Status Client::Ping(uint64_t delay_ms) {
   PingRequest request;
   request.delay_ms = delay_ms;
-  request.rpc.deadline_ms = options_.deadline_ms;
-  auto payload = Call(EncodeRequest(request));
+  auto payload = Call(EncodeRequest(request), options_.deadline_ms);
   if (!payload.ok()) return payload.status();
   return DecodePingResponse(*payload);
 }
 
 Result<HelloReply> Client::Hello() {
   HelloRequest request;
-  request.rpc.deadline_ms = options_.deadline_ms;
   TURBDB_ASSIGN_OR_RETURN(std::vector<uint8_t> payload,
-                          Call(EncodeRequest(request)));
+                          Call(EncodeRequest(request), options_.deadline_ms));
   return DecodeHelloResponse(payload);
 }
 
+Result<bool> Client::CancelQuery(uint64_t query_id) {
+  CancelRequest request;
+  request.rpc.query_id = query_id;
+  TURBDB_ASSIGN_OR_RETURN(std::vector<uint8_t> payload,
+                          Call(EncodeRequest(request), options_.deadline_ms));
+  TURBDB_ASSIGN_OR_RETURN(CancelReply reply, DecodeCancelResponse(payload));
+  return reply.found;
+}
+
+// The Node* wrappers honor a per-request budget (rpc.deadline_ms) when
+// the caller set one — the mediator's remote-node path deducts its own
+// elapsed time per hop — and fall back to the client-wide default.
+
 Status Client::NodeCreateDataset(const NodeCreateDatasetRequest& request) {
-  NodeCreateDatasetRequest req = request;
-  req.rpc.deadline_ms = options_.deadline_ms;
-  auto payload = Call(EncodeRequest(req));
+  const uint64_t budget = request.rpc.deadline_ms != 0 ? request.rpc.deadline_ms
+                                                       : options_.deadline_ms;
+  auto payload = Call(EncodeRequest(request), budget);
   if (!payload.ok()) return payload.status();
   return DecodeAckResponse(*payload, MsgType::kNodeCreateDatasetResponse);
 }
 
 Status Client::NodeIngest(const NodeIngestRequest& request) {
-  NodeIngestRequest req = request;
-  req.rpc.deadline_ms = options_.deadline_ms;
-  auto payload = Call(EncodeRequest(req));
+  const uint64_t budget = request.rpc.deadline_ms != 0 ? request.rpc.deadline_ms
+                                                       : options_.deadline_ms;
+  auto payload = Call(EncodeRequest(request), budget);
   if (!payload.ok()) return payload.status();
   return DecodeAckResponse(*payload, MsgType::kNodeIngestResponse);
 }
 
 Result<NodeResult> Client::NodeExecute(const NodeExecuteRequest& request) {
-  NodeExecuteRequest req = request;
-  if (req.rpc.deadline_ms == 0) req.rpc.deadline_ms = options_.deadline_ms;
+  const uint64_t budget = request.rpc.deadline_ms != 0 ? request.rpc.deadline_ms
+                                                       : options_.deadline_ms;
   TURBDB_ASSIGN_OR_RETURN(std::vector<uint8_t> payload,
-                          Call(EncodeRequest(req)));
+                          Call(EncodeRequest(request), budget));
   return DecodeNodeExecuteResponse(payload);
 }
 
 Result<NodeFetchAtomsReply> Client::NodeFetchAtoms(
     const NodeFetchAtomsRequest& request) {
-  NodeFetchAtomsRequest req = request;
-  if (req.rpc.deadline_ms == 0) req.rpc.deadline_ms = options_.deadline_ms;
+  const uint64_t budget = request.rpc.deadline_ms != 0 ? request.rpc.deadline_ms
+                                                       : options_.deadline_ms;
   TURBDB_ASSIGN_OR_RETURN(std::vector<uint8_t> payload,
-                          Call(EncodeRequest(req)));
+                          Call(EncodeRequest(request), budget));
   return DecodeNodeFetchAtomsResponse(payload);
 }
 
 Status Client::NodeDropCache(const NodeDropCacheRequest& request) {
-  NodeDropCacheRequest req = request;
-  req.rpc.deadline_ms = options_.deadline_ms;
-  auto payload = Call(EncodeRequest(req));
+  const uint64_t budget = request.rpc.deadline_ms != 0 ? request.rpc.deadline_ms
+                                                       : options_.deadline_ms;
+  auto payload = Call(EncodeRequest(request), budget);
   if (!payload.ok()) return payload.status();
   return DecodeAckResponse(*payload, MsgType::kNodeDropCacheResponse);
 }
 
 Result<NodeStatsReply> Client::NodeStats(const NodeStatsRequest& request) {
-  NodeStatsRequest req = request;
-  req.rpc.deadline_ms = options_.deadline_ms;
+  const uint64_t budget = request.rpc.deadline_ms != 0 ? request.rpc.deadline_ms
+                                                       : options_.deadline_ms;
   TURBDB_ASSIGN_OR_RETURN(std::vector<uint8_t> payload,
-                          Call(EncodeRequest(req)));
+                          Call(EncodeRequest(request), budget));
   return DecodeNodeStatsResponse(payload);
 }
 
 Result<NodeSyncRangeReply> Client::NodeSyncRange(
     const NodeSyncRangeRequest& request) {
-  NodeSyncRangeRequest req = request;
-  if (req.rpc.deadline_ms == 0) req.rpc.deadline_ms = options_.deadline_ms;
+  const uint64_t budget = request.rpc.deadline_ms != 0 ? request.rpc.deadline_ms
+                                                       : options_.deadline_ms;
   TURBDB_ASSIGN_OR_RETURN(std::vector<uint8_t> payload,
-                          Call(EncodeRequest(req)));
+                          Call(EncodeRequest(request), budget));
   return DecodeNodeSyncRangeResponse(payload);
 }
 
 Result<NodeListStoresReply> Client::NodeListStores() {
   NodeListStoresRequest request;
-  request.rpc.deadline_ms = options_.deadline_ms;
   TURBDB_ASSIGN_OR_RETURN(std::vector<uint8_t> payload,
-                          Call(EncodeRequest(request)));
+                          Call(EncodeRequest(request), options_.deadline_ms));
   return DecodeNodeListStoresResponse(payload);
 }
 

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "common/rng.h"
 #include "net/frame.h"
 #include "net/protocol.h"
 #include "net/socket.h"
@@ -22,14 +23,21 @@ struct ClientOptions {
   /// Extra attempts after a transport-level failure (connect refused,
   /// reset, read timeout). Query RPCs are read-only, hence idempotent
   /// and safe to retry. Typed failures — server-reported errors,
-  /// Corruption, VersionMismatch — are never retried: a peer speaking
-  /// the wrong protocol version fails fast instead of burning backoff.
+  /// Corruption, VersionMismatch, DeadlineExceeded, Cancelled — are
+  /// never retried: a peer speaking the wrong protocol version fails
+  /// fast instead of burning backoff.
   int max_retries = 2;
-  /// First retry waits this long; each further retry doubles it.
+  /// First retry waits this long; each further retry doubles it, with
+  /// uniform jitter in [delay/2, delay) so a fleet of clients retrying
+  /// the same dead node does not reconverge in lockstep.
   int backoff_initial_ms = 100;
   uint32_t max_frame_bytes = kDefaultMaxFrameBytes;
-  /// Per-request execution budget passed to the server (0 = server
-  /// default).
+  /// Per-query deadline budget in milliseconds (0 = none). This bounds
+  /// the WHOLE call — every attempt plus every backoff sleep — and the
+  /// *remaining* budget at send time is stamped into each request
+  /// frame's v3 header so the server (and its downstream halo fetches)
+  /// can size their work to it. An exhausted budget returns a typed
+  /// kDeadlineExceeded, never kUnreachable.
   uint64_t deadline_ms = 0;
 };
 
@@ -70,23 +78,39 @@ class Client {
   Result<NodeSyncRangeReply> NodeSyncRange(const NodeSyncRangeRequest& request);
   Result<NodeListStoresReply> NodeListStores();
 
+  /// Asks the server to cancel the live query registered under
+  /// `query_id` (see RpcOptions::query_id). Returns true if the query
+  /// was found in flight, false if it had already finished (or never
+  /// arrived). Answered inline by the server's dispatch thread, so it
+  /// works even while every worker is busy.
+  Result<bool> CancelQuery(uint64_t query_id);
+
   const std::string& host() const { return host_; }
   uint16_t port() const { return port_; }
 
  private:
   /// Sends one request payload and reads one response payload, with
-  /// bounded retry-with-backoff across transport failures.
-  Result<std::vector<uint8_t>> Call(const std::vector<uint8_t>& request);
+  /// retry-with-backoff across transport failures. `budget_ms` (0 =
+  /// none) caps the whole call — attempts and backoff sleeps — and its
+  /// remaining balance is stamped into each attempt's frame header;
+  /// exhaustion yields kDeadlineExceeded.
+  Result<std::vector<uint8_t>> Call(const std::vector<uint8_t>& request,
+                                    uint64_t budget_ms);
 
-  /// One attempt on the current (or a fresh) connection.
-  Result<std::vector<uint8_t>> CallOnce(const std::vector<uint8_t>& request);
+  /// One attempt on the current (or a fresh) connection, bounded by both
+  /// the per-operation timeouts and the overall query budget.
+  Result<std::vector<uint8_t>> CallOnce(const std::vector<uint8_t>& request,
+                                        const Deadline& budget);
 
-  Status EnsureConnected();
+  Status EnsureConnected(Deadline deadline);
 
   std::string host_;
   uint16_t port_;
   ClientOptions options_;
   Socket conn_;
+  /// Deterministic jitter source for retry backoff, seeded from the
+  /// endpoint so tests replay identical schedules.
+  SplitMix64 backoff_rng_;
 };
 
 }  // namespace net

@@ -45,12 +45,14 @@ Result<uint32_t> CheckHeader(const uint8_t* header,
 
 }  // namespace
 
-std::vector<uint8_t> EncodeFrame(const std::vector<uint8_t>& payload) {
+std::vector<uint8_t> EncodeFrame(const std::vector<uint8_t>& payload,
+                                 uint32_t budget_ms) {
   std::vector<uint8_t> out(kFrameHeaderBytes + payload.size());
   PutU32Le(out.data(), kFrameMagic);
   out[4] = kProtocolVersion;
   PutU32Le(out.data() + 5, static_cast<uint32_t>(payload.size()));
   PutU32Le(out.data() + 9, Crc32(payload.data(), payload.size()));
+  PutU32Le(out.data() + 13, budget_ms);
   if (!payload.empty()) {
     std::memcpy(out.data() + kFrameHeaderBytes, payload.data(),
                 payload.size());
@@ -59,7 +61,8 @@ std::vector<uint8_t> EncodeFrame(const std::vector<uint8_t>& payload) {
 }
 
 Result<std::vector<uint8_t>> DecodeFrame(const std::vector<uint8_t>& bytes,
-                                         uint32_t max_payload_bytes) {
+                                         uint32_t max_payload_bytes,
+                                         uint32_t* budget_ms) {
   if (bytes.size() < kFrameHeaderBytes) {
     return Status::Corruption("truncated frame header");
   }
@@ -72,25 +75,29 @@ Result<std::vector<uint8_t>> DecodeFrame(const std::vector<uint8_t>& bytes,
   if (Crc32(payload, length) != GetU32Le(bytes.data() + 9)) {
     return Status::Corruption("frame CRC mismatch");
   }
+  if (budget_ms != nullptr) *budget_ms = GetU32Le(bytes.data() + 13);
   return std::vector<uint8_t>(payload, payload + length);
 }
 
 Status WriteFrame(const Socket& socket, const std::vector<uint8_t>& payload,
-                  Deadline deadline) {
+                  Deadline deadline, uint32_t budget_ms) {
   uint8_t header[kFrameHeaderBytes];
   PutU32Le(header, kFrameMagic);
   header[4] = kProtocolVersion;
   PutU32Le(header + 5, static_cast<uint32_t>(payload.size()));
   PutU32Le(header + 9, Crc32(payload.data(), payload.size()));
+  PutU32Le(header + 13, budget_ms);
   TURBDB_RETURN_NOT_OK(SendAll(socket, header, sizeof(header), deadline));
   return SendAll(socket, payload.data(), payload.size(), deadline);
 }
 
 Result<std::vector<uint8_t>> ReadFrame(const Socket& socket,
                                        Deadline deadline,
-                                       uint32_t max_payload_bytes) {
+                                       uint32_t max_payload_bytes,
+                                       uint32_t* budget_ms) {
   uint8_t header[kFrameHeaderBytes];
   TURBDB_RETURN_NOT_OK(RecvAll(socket, header, sizeof(header), deadline));
+  if (budget_ms != nullptr) *budget_ms = 0;
   auto length_or = CheckHeader(header, max_payload_bytes);
   if (!length_or.ok() &&
       length_or.status().code() == StatusCode::kResultTooLarge) {
@@ -117,6 +124,7 @@ Result<std::vector<uint8_t>> ReadFrame(const Socket& socket,
   if (Crc32(payload.data(), payload.size()) != GetU32Le(header + 9)) {
     return Status::Corruption("frame CRC mismatch");
   }
+  if (budget_ms != nullptr) *budget_ms = GetU32Le(header + 13);
   return payload;
 }
 

@@ -17,7 +17,8 @@ namespace net {
 ///   4       1     protocol version (kProtocolVersion)
 ///   5       4     payload length, little-endian uint32
 ///   9       4     CRC32 of the payload, little-endian uint32
-///   13      N     payload bytes
+///   13      4     deadline budget, milliseconds, little-endian uint32
+///   17      N     payload bytes
 ///
 /// The CRC (same IEEE polynomial the file-backed atom store uses) makes
 /// in-flight corruption a Corruption status instead of a garbage query
@@ -25,10 +26,18 @@ namespace net {
 /// any allocation. The version byte makes a stale peer fail loudly with
 /// a typed VersionMismatch instead of misparsing the payload: a v1
 /// (unversioned, 12-byte-header) peer puts its length's low byte where
-/// v2 expects the version, so the very first frame is rejected.
+/// later versions expect the version, so the very first frame is
+/// rejected, and a v2 (13-byte-header) peer fails the version check the
+/// same way.
+///
+/// The v3 budget field carries the query's *remaining* deadline budget
+/// on request frames (each hop deducts its elapsed time before
+/// forwarding), so a server can size its own work and its downstream
+/// fetches to what the client is still willing to wait for. 0 means "no
+/// budget stated — use the server default". Response frames carry 0.
 constexpr uint32_t kFrameMagic = 0x46424454u;  // "TDBF" read little-endian
-constexpr uint8_t kProtocolVersion = 2;
-constexpr size_t kFrameHeaderBytes = 13;
+constexpr uint8_t kProtocolVersion = 3;
+constexpr size_t kFrameHeaderBytes = 17;
 
 /// Default cap on a frame payload (64 MiB). A peer announcing more than
 /// the configured cap is either corrupt or abusive; the frame is refused
@@ -36,28 +45,37 @@ constexpr size_t kFrameHeaderBytes = 13;
 constexpr uint32_t kDefaultMaxFrameBytes = 64u << 20;
 
 /// Frames `payload` into a self-contained byte string (header + payload).
-std::vector<uint8_t> EncodeFrame(const std::vector<uint8_t>& payload);
+/// `budget_ms` is the remaining deadline budget stamped into the header
+/// (0 on responses / when no budget is stated).
+std::vector<uint8_t> EncodeFrame(const std::vector<uint8_t>& payload,
+                                 uint32_t budget_ms = 0);
 
 /// Decodes one complete frame occupying the whole of `bytes`. Returns the
 /// payload, or Corruption (bad magic / length mismatch / CRC mismatch) /
 /// VersionMismatch (wrong version byte) / ResultTooLarge (payload length
-/// above `max_payload_bytes`).
+/// above `max_payload_bytes`). When `budget_ms` is non-null it receives
+/// the header's deadline-budget field.
 Result<std::vector<uint8_t>> DecodeFrame(
     const std::vector<uint8_t>& bytes,
-    uint32_t max_payload_bytes = kDefaultMaxFrameBytes);
+    uint32_t max_payload_bytes = kDefaultMaxFrameBytes,
+    uint32_t* budget_ms = nullptr);
 
-/// Writes one frame to the socket within the deadline.
+/// Writes one frame to the socket within the deadline, stamping
+/// `budget_ms` into the header's deadline-budget field.
 Status WriteFrame(const Socket& socket, const std::vector<uint8_t>& payload,
-                  Deadline deadline);
+                  Deadline deadline, uint32_t budget_ms = 0);
 
 /// Reads one frame from the socket within the deadline and returns its
 /// payload. Error taxonomy matches DecodeFrame plus the RecvAll statuses
 /// (IOError on EOF/reset, Unavailable on deadline expiry). An oversized
 /// frame is drained in bounded chunks before ResultTooLarge is returned,
 /// so the stream stays framed and the caller may keep the connection.
+/// When `budget_ms` is non-null it receives the header's deadline-budget
+/// field.
 Result<std::vector<uint8_t>> ReadFrame(
     const Socket& socket, Deadline deadline,
-    uint32_t max_payload_bytes = kDefaultMaxFrameBytes);
+    uint32_t max_payload_bytes = kDefaultMaxFrameBytes,
+    uint32_t* budget_ms = nullptr);
 
 }  // namespace net
 }  // namespace turbdb

@@ -152,10 +152,12 @@ Status GetQueryCommon(const std::vector<uint8_t>& bytes, size_t* pos,
   return Status::OK();
 }
 
+// The deadline budget travels in the frame header (v3), so the payload
+// header carries only the type and the cancellation query id.
 void PutHeader(std::vector<uint8_t>* out, MsgType type,
                const RpcOptions& rpc) {
   PutVarint64(out, static_cast<uint64_t>(type));
-  PutVarint64(out, rpc.deadline_ms);
+  PutVarint64(out, rpc.query_id);
 }
 
 /// Reads the message type and, when it is an error frame, the carried
@@ -167,8 +169,7 @@ Status ExpectType(const std::vector<uint8_t>& bytes, size_t* pos,
   if (raw == static_cast<uint64_t>(MsgType::kErrorResponse)) {
     TURBDB_ASSIGN_OR_RETURN(uint64_t code, GetVarint64(bytes, pos));
     TURBDB_ASSIGN_OR_RETURN(std::string message, GetString(bytes, pos));
-    if (code == 0 ||
-        code > static_cast<uint64_t>(StatusCode::kVersionMismatch)) {
+    if (code == 0 || code > static_cast<uint64_t>(StatusCode::kCancelled)) {
       return Status::Corruption("error frame with bad status code");
     }
     return Status(static_cast<StatusCode>(code), std::move(message));
@@ -455,7 +456,7 @@ Result<Request> DecodeRequest(const std::vector<uint8_t>& payload) {
   size_t pos = 0;
   TURBDB_ASSIGN_OR_RETURN(uint64_t raw, GetVarint64(payload, &pos));
   RpcOptions rpc;
-  TURBDB_ASSIGN_OR_RETURN(rpc.deadline_ms, GetVarint64(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(rpc.query_id, GetVarint64(payload, &pos));
   switch (static_cast<MsgType>(raw)) {
     case MsgType::kThresholdRequest: {
       ThresholdRequest request;
@@ -693,7 +694,7 @@ Result<RequestHeader> PeekRequestHeader(const std::vector<uint8_t>& payload) {
   }
   RequestHeader header;
   header.type = static_cast<MsgType>(raw);
-  TURBDB_ASSIGN_OR_RETURN(header.rpc.deadline_ms, GetVarint64(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(header.rpc.query_id, GetVarint64(payload, &pos));
   return header;
 }
 
@@ -727,6 +728,31 @@ Result<HelloReply> DecodeHelloResponse(const std::vector<uint8_t>& payload) {
   return reply;
 }
 
+// -- Cancellation --------------------------------------------------------
+
+std::vector<uint8_t> EncodeRequest(const CancelRequest& request) {
+  std::vector<uint8_t> out;
+  PutHeader(&out, MsgType::kCancelRequest, request.rpc);
+  return out;
+}
+
+std::vector<uint8_t> EncodeCancelResponse(const CancelReply& reply) {
+  std::vector<uint8_t> out;
+  PutVarint64(&out, static_cast<uint64_t>(MsgType::kCancelResponse));
+  PutBool(&out, reply.found);
+  return out;
+}
+
+Result<CancelReply> DecodeCancelResponse(
+    const std::vector<uint8_t>& payload) {
+  size_t pos = 0;
+  TURBDB_RETURN_NOT_OK(ExpectType(payload, &pos, MsgType::kCancelResponse));
+  CancelReply reply;
+  TURBDB_ASSIGN_OR_RETURN(reply.found, GetBool(payload, &pos));
+  TURBDB_RETURN_NOT_OK(CheckConsumed(payload, pos));
+  return reply;
+}
+
 // -- Node-scoped requests ------------------------------------------------
 
 std::vector<uint8_t> EncodeRequest(const NodeCreateDatasetRequest& request) {
@@ -745,7 +771,7 @@ Result<NodeCreateDatasetRequest> DecodeNodeCreateDatasetRequest(
   NodeCreateDatasetRequest request;
   TURBDB_RETURN_NOT_OK(
       ExpectType(payload, &pos, MsgType::kNodeCreateDatasetRequest));
-  TURBDB_ASSIGN_OR_RETURN(request.rpc.deadline_ms, GetVarint64(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(request.rpc.query_id, GetVarint64(payload, &pos));
   TURBDB_ASSIGN_OR_RETURN(request.info, GetDatasetInfo(payload, &pos));
   TURBDB_ASSIGN_OR_RETURN(int64_t num_nodes, GetZigZag64(payload, &pos));
   request.num_nodes = static_cast<int32_t>(num_nodes);
@@ -772,7 +798,7 @@ Result<NodeIngestRequest> DecodeNodeIngestRequest(
   size_t pos = 0;
   NodeIngestRequest request;
   TURBDB_RETURN_NOT_OK(ExpectType(payload, &pos, MsgType::kNodeIngestRequest));
-  TURBDB_ASSIGN_OR_RETURN(request.rpc.deadline_ms, GetVarint64(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(request.rpc.query_id, GetVarint64(payload, &pos));
   TURBDB_ASSIGN_OR_RETURN(request.dataset, GetString(payload, &pos));
   TURBDB_ASSIGN_OR_RETURN(request.field, GetString(payload, &pos));
   TURBDB_ASSIGN_OR_RETURN(request.atoms, GetAtoms(payload, &pos));
@@ -811,7 +837,7 @@ Result<NodeExecuteRequest> DecodeNodeExecuteRequest(
   NodeQuerySpec& spec = request.spec;
   TURBDB_RETURN_NOT_OK(
       ExpectType(payload, &pos, MsgType::kNodeExecuteRequest));
-  TURBDB_ASSIGN_OR_RETURN(request.rpc.deadline_ms, GetVarint64(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(request.rpc.query_id, GetVarint64(payload, &pos));
   TURBDB_ASSIGN_OR_RETURN(int64_t mode, GetZigZag64(payload, &pos));
   spec.mode = static_cast<int32_t>(mode);
   struct CommonView {
@@ -872,7 +898,7 @@ Result<NodeFetchAtomsRequest> DecodeNodeFetchAtomsRequest(
   NodeFetchAtomsRequest request;
   TURBDB_RETURN_NOT_OK(
       ExpectType(payload, &pos, MsgType::kNodeFetchAtomsRequest));
-  TURBDB_ASSIGN_OR_RETURN(request.rpc.deadline_ms, GetVarint64(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(request.rpc.query_id, GetVarint64(payload, &pos));
   TURBDB_ASSIGN_OR_RETURN(request.dataset, GetString(payload, &pos));
   TURBDB_ASSIGN_OR_RETURN(request.field, GetString(payload, &pos));
   TURBDB_ASSIGN_OR_RETURN(int64_t timestep, GetZigZag64(payload, &pos));
@@ -909,7 +935,7 @@ Result<NodeDropCacheRequest> DecodeNodeDropCacheRequest(
   NodeDropCacheRequest request;
   TURBDB_RETURN_NOT_OK(
       ExpectType(payload, &pos, MsgType::kNodeDropCacheRequest));
-  TURBDB_ASSIGN_OR_RETURN(request.rpc.deadline_ms, GetVarint64(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(request.rpc.query_id, GetVarint64(payload, &pos));
   TURBDB_ASSIGN_OR_RETURN(request.dataset, GetString(payload, &pos));
   TURBDB_ASSIGN_OR_RETURN(request.field, GetString(payload, &pos));
   TURBDB_ASSIGN_OR_RETURN(int64_t timestep, GetZigZag64(payload, &pos));
@@ -931,7 +957,7 @@ Result<NodeStatsRequest> DecodeNodeStatsRequest(
   size_t pos = 0;
   NodeStatsRequest request;
   TURBDB_RETURN_NOT_OK(ExpectType(payload, &pos, MsgType::kNodeStatsRequest));
-  TURBDB_ASSIGN_OR_RETURN(request.rpc.deadline_ms, GetVarint64(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(request.rpc.query_id, GetVarint64(payload, &pos));
   TURBDB_ASSIGN_OR_RETURN(request.dataset, GetString(payload, &pos));
   TURBDB_ASSIGN_OR_RETURN(request.field, GetString(payload, &pos));
   TURBDB_RETURN_NOT_OK(CheckConsumed(payload, pos));
@@ -956,7 +982,7 @@ Result<NodeSyncRangeRequest> DecodeNodeSyncRangeRequest(
   NodeSyncRangeRequest request;
   TURBDB_RETURN_NOT_OK(
       ExpectType(payload, &pos, MsgType::kNodeSyncRangeRequest));
-  TURBDB_ASSIGN_OR_RETURN(request.rpc.deadline_ms, GetVarint64(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(request.rpc.query_id, GetVarint64(payload, &pos));
   TURBDB_ASSIGN_OR_RETURN(request.dataset, GetString(payload, &pos));
   TURBDB_ASSIGN_OR_RETURN(request.field, GetString(payload, &pos));
   TURBDB_ASSIGN_OR_RETURN(int64_t timestep, GetZigZag64(payload, &pos));
@@ -980,7 +1006,7 @@ Result<NodeListStoresRequest> DecodeNodeListStoresRequest(
   NodeListStoresRequest request;
   TURBDB_RETURN_NOT_OK(
       ExpectType(payload, &pos, MsgType::kNodeListStoresRequest));
-  TURBDB_ASSIGN_OR_RETURN(request.rpc.deadline_ms, GetVarint64(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(request.rpc.query_id, GetVarint64(payload, &pos));
   TURBDB_RETURN_NOT_OK(CheckConsumed(payload, pos));
   return request;
 }

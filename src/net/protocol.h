@@ -19,7 +19,8 @@ namespace net {
 /// Message discriminator, the first varint of every frame payload.
 /// Requests and responses share the numbering space; responses are the
 /// request value + 64, errors are 127. Types 1-6 are the mediator-facing
-/// (user) RPCs; 7 is the handshake; 16-23 are the node-scoped RPCs the
+/// (user) RPCs; 7 is the handshake; 8 is cooperative cancellation
+/// (answered inline by every server); 16-23 are the node-scoped RPCs the
 /// mediator (and peer nodes) issue to `turbdb_node` processes.
 enum class MsgType : uint8_t {
   kThresholdRequest = 1,
@@ -29,6 +30,7 @@ enum class MsgType : uint8_t {
   kServerStatsRequest = 5,
   kPingRequest = 6,
   kHelloRequest = 7,
+  kCancelRequest = 8,
 
   kNodeCreateDatasetRequest = 16,
   kNodeIngestRequest = 17,
@@ -46,6 +48,7 @@ enum class MsgType : uint8_t {
   kServerStatsResponse = 69,
   kPingResponse = 70,
   kHelloResponse = 71,
+  kCancelResponse = 72,
 
   kNodeCreateDatasetResponse = 80,
   kNodeIngestResponse = 81,
@@ -59,13 +62,24 @@ enum class MsgType : uint8_t {
   kErrorResponse = 127,
 };
 
-/// Options every request carries. `deadline_ms` is the client's total
-/// budget for the request measured from the moment the server reads it
-/// off the wire; 0 means "use the server default". The server refuses to
-/// start (and refuses to *reply* with data) once the budget is exhausted,
-/// so an expired request costs one small error frame, not a result dump.
+/// Options every request carries. `deadline_ms` is the client's
+/// *remaining* budget for the request measured from the moment the
+/// server reads it off the wire; 0 means "use the server default". Since
+/// frame v3 the budget travels in the frame header (each hop re-stamps
+/// the remainder before forwarding), so this field is populated from the
+/// header on decode and never serialized into the payload. The server
+/// refuses to start (and refuses to *reply* with data) once the budget
+/// is exhausted, so an expired request costs one small typed
+/// DeadlineExceeded error frame, not a result dump.
+///
+/// `query_id` names the query for cooperative cancellation: a server
+/// registers every in-flight request with a non-zero id, and a later
+/// CancelRequest for the same id flips that request's cancel token. 0
+/// means "not cancellable". It rides in the payload header (second
+/// varint, after the type).
 struct RpcOptions {
   uint64_t deadline_ms = 0;
+  uint64_t query_id = 0;
 };
 
 struct ThresholdRequest {
@@ -104,6 +118,18 @@ struct PingRequest {
 using Request =
     std::variant<ThresholdRequest, PdfRequest, TopKRequest,
                  FieldStatsRequest, ServerStatsRequest, PingRequest>;
+
+/// Cooperative cancellation: asks the server to flip the cancel token of
+/// the in-flight request whose RpcOptions named `rpc.query_id`. Answered
+/// inline by the server (never queued behind the victim), so a cancel
+/// lands even while every worker is busy.
+struct CancelRequest {
+  RpcOptions rpc;
+};
+
+struct CancelReply {
+  bool found = false;  ///< True if the id named an in-flight request.
+};
 
 /// Version/identity handshake. Framing already rejects a wrong protocol
 /// version (the frame header carries it), so a Hello that decodes at all
@@ -316,15 +342,17 @@ Status DecodePingResponse(const std::vector<uint8_t>& payload);
 
 // -- Request header peek -------------------------------------------------
 
-/// The shared prefix of every request payload: type varint + RpcOptions.
+/// The shared prefix of every request payload: type varint + query-id
+/// varint. (The deadline budget is not here — it rides in the frame
+/// header.)
 struct RequestHeader {
   MsgType type;
   RpcOptions rpc;
 };
 
 /// Reads just the request header, leaving the body untouched — the
-/// server uses it to compute the deadline and route the payload to the
-/// right handler without decoding the (possibly large) body twice.
+/// server uses it to route the payload and register the query id for
+/// cancellation without decoding the (possibly large) body twice.
 Result<RequestHeader> PeekRequestHeader(const std::vector<uint8_t>& payload);
 
 // -- Handshake -----------------------------------------------------------
@@ -332,6 +360,12 @@ Result<RequestHeader> PeekRequestHeader(const std::vector<uint8_t>& payload);
 std::vector<uint8_t> EncodeRequest(const HelloRequest& request);
 std::vector<uint8_t> EncodeHelloResponse(const HelloReply& reply);
 Result<HelloReply> DecodeHelloResponse(const std::vector<uint8_t>& payload);
+
+// -- Cancellation --------------------------------------------------------
+
+std::vector<uint8_t> EncodeRequest(const CancelRequest& request);
+std::vector<uint8_t> EncodeCancelResponse(const CancelReply& reply);
+Result<CancelReply> DecodeCancelResponse(const std::vector<uint8_t>& payload);
 
 // -- Node-scoped encoding ------------------------------------------------
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "common/fault.h"
 #include "common/logging.h"
 
 namespace turbdb {
@@ -24,8 +25,10 @@ double Percentile(std::vector<double> sample, double fraction) {
   return sample[rank];
 }
 
-Status DeadlineExceeded() {
-  return Status::Unavailable("deadline exceeded");
+Status DeadlineError(uint64_t budget_ms) {
+  return Status::DeadlineExceeded("server-side budget of " +
+                                  std::to_string(budget_ms) +
+                                  " ms exhausted");
 }
 
 /// A response payload is an error frame iff its first (single-byte)
@@ -38,7 +41,13 @@ bool IsErrorPayload(const std::vector<uint8_t>& response) {
 }  // namespace
 
 Server::Server(Handler handler, const ServerOptions& options)
-    : handler_(std::move(handler)), options_(options) {
+    : handler_(std::move(handler)),
+      options_(options),
+      site_accept_(options.fault_scope + "server.accept"),
+      site_reply_delay_(options.fault_scope + "server.reply.delay"),
+      site_reply_error_(options.fault_scope + "server.reply.error"),
+      site_reply_truncate_(options.fault_scope + "server.reply.truncate"),
+      site_handler_error_(options.fault_scope + "server.handler.error") {
   latencies_ms_.resize(kLatencyWindow, 0.0);
 }
 
@@ -95,6 +104,12 @@ void Server::AcceptLoop() {
       ++connections_accepted_;
       ++active_connections_;
     }
+    if (auto f = fault::Check(site_accept_.c_str())) {
+      // Injected accept-stall: the connection is accepted but sits
+      // unserved — the client sees an open socket that never answers,
+      // the failure mode of a wedged server.
+      InjectedSleep(f.arg);
+    }
     pool_->Submit([this, c = std::move(conn).value()]() mutable {
       ServeConnection(std::move(c));
       std::lock_guard<std::mutex> lock(stats_mutex_);
@@ -110,9 +125,10 @@ void Server::ServeConnection(Socket conn) {
       if (readable.code() == StatusCode::kUnavailable) continue;
       break;
     }
+    uint32_t budget_ms = 0;
     auto payload = ReadFrame(
         conn, Deadline::After(static_cast<int64_t>(options_.default_deadline_ms)),
-        options_.max_frame_bytes);
+        options_.max_frame_bytes, &budget_ms);
     if (!payload.ok()) {
       // An oversized frame was drained by ReadFrame, so the stream is
       // still synced: refuse it with an error and keep serving. Any
@@ -133,7 +149,25 @@ void Server::ServeConnection(Socket conn) {
       std::lock_guard<std::mutex> lock(stats_mutex_);
       bytes_in_ += kFrameHeaderBytes + payload->size();
     }
-    const std::vector<uint8_t> response = HandleRequest(*payload);
+    std::vector<uint8_t> response = HandleRequest(*payload, budget_ms);
+    if (auto f = fault::Check(site_reply_delay_.c_str())) {
+      // Injected slow reply: the request was executed, the answer just
+      // doesn't come — the client's read deadline decides.
+      InjectedSleep(f.arg);
+    }
+    if (auto f = fault::Check(site_reply_error_.c_str())) {
+      response = EncodeErrorResponse(
+          Status(static_cast<StatusCode>(f.arg), "injected fault"));
+    }
+    if (auto f = fault::Check(site_reply_truncate_.c_str())) {
+      // Injected mid-frame truncation: send a prefix of the encoded
+      // frame and sever the connection, exactly what a crash between
+      // send() calls produces.
+      const auto frame = EncodeFrame(response);
+      const size_t cut = std::min(static_cast<size_t>(f.arg), frame.size());
+      (void)SendAll(conn, frame.data(), cut, Deadline::After(1000));
+      break;
+    }
     Status written = WriteFrame(
         conn, response,
         Deadline::After(static_cast<int64_t>(options_.default_deadline_ms)));
@@ -145,7 +179,7 @@ void Server::ServeConnection(Socket conn) {
 }
 
 std::vector<uint8_t> Server::HandleRequest(
-    const std::vector<uint8_t>& payload) {
+    const std::vector<uint8_t>& payload, uint32_t frame_budget_ms) {
   const auto started = std::chrono::steady_clock::now();
 
   std::vector<uint8_t> response;
@@ -153,8 +187,10 @@ std::vector<uint8_t> Server::HandleRequest(
   if (!header_or.ok()) {
     response = EncodeErrorResponse(header_or.status());
   } else {
-    const uint64_t budget_ms = header_or->rpc.deadline_ms != 0
-                                   ? header_or->rpc.deadline_ms
+    // The frame header carries the client's *remaining* budget; 0 means
+    // none stated, so the server default applies.
+    const uint64_t budget_ms = frame_budget_ms != 0
+                                   ? frame_budget_ms
                                    : options_.default_deadline_ms;
     const Deadline deadline =
         Deadline::After(static_cast<int64_t>(budget_ms));
@@ -169,6 +205,15 @@ std::vector<uint8_t> Server::HandleRequest(
         reply.server_id = options_.server_id;
         reply.epoch = options_.server_epoch;
         response = EncodeHelloResponse(reply);
+        break;
+      }
+      case MsgType::kCancelRequest: {
+        // Answered here, not in the handler, so cancellation works the
+        // same on mediator and node servers and never depends on what
+        // the (possibly busy) application handler is doing.
+        CancelReply reply;
+        reply.found = CancelLiveQuery(header_or->rpc.query_id);
+        response = EncodeCancelResponse(reply);
         break;
       }
       case MsgType::kPingRequest: {
@@ -189,19 +234,42 @@ std::vector<uint8_t> Server::HandleRequest(
               std::min<int64_t>(options_.idle_poll_ms, 10)));
         }
         response = deadline.Expired()
-                       ? EncodeErrorResponse(DeadlineExceeded())
+                       ? EncodeErrorResponse(DeadlineError(budget_ms))
                        : EncodePingResponse();
         break;
       }
-      default:
-        response = handler_(payload, deadline);
-        if (deadline.Expired() && !IsErrorPayload(response)) {
-          // The result is ready but stale: the client stopped waiting.
-          // Sending a small error instead of a large dead result is the
-          // whole point of carrying the deadline server-side.
-          response = EncodeErrorResponse(DeadlineExceeded());
+      default: {
+        if (auto f = fault::Check(site_handler_error_.c_str())) {
+          // Injected application failure: only handler-delegated
+          // requests fail, so Hello/Ping health probes still succeed —
+          // the shape of a node whose storage is sick but whose
+          // transport is fine (what trips a circuit breaker).
+          response = EncodeErrorResponse(
+              Status(static_cast<StatusCode>(f.arg), "injected fault"));
+          break;
+        }
+        const uint64_t query_id = header_or->rpc.query_id;
+        CallContext ctx;
+        ctx.deadline = deadline;
+        ctx.cancelled = query_id != 0
+                            ? RegisterQuery(query_id)
+                            : std::make_shared<std::atomic<bool>>(false);
+        response = handler_(payload, ctx);
+        if (query_id != 0) UnregisterQuery(query_id);
+        if (!IsErrorPayload(response)) {
+          if (ctx.Cancelled()) {
+            response = EncodeErrorResponse(Status::Cancelled(
+                "query " + std::to_string(query_id) + " cancelled"));
+          } else if (deadline.Expired()) {
+            // The result is ready but stale: the client stopped
+            // waiting. Sending a small error instead of a large dead
+            // result is the whole point of carrying the deadline
+            // server-side.
+            response = EncodeErrorResponse(DeadlineError(budget_ms));
+          }
         }
         break;
+      }
     }
   }
 
@@ -221,6 +289,34 @@ std::vector<uint8_t> Server::HandleRequest(
     if (latency_next_ == 0) latency_full_ = true;
   }
   return response;
+}
+
+std::shared_ptr<std::atomic<bool>> Server::RegisterQuery(uint64_t query_id) {
+  std::lock_guard<std::mutex> lock(cancel_mutex_);
+  auto& token = live_queries_[query_id];
+  if (token == nullptr) token = std::make_shared<std::atomic<bool>>(false);
+  return token;
+}
+
+void Server::UnregisterQuery(uint64_t query_id) {
+  std::lock_guard<std::mutex> lock(cancel_mutex_);
+  live_queries_.erase(query_id);
+}
+
+bool Server::CancelLiveQuery(uint64_t query_id) {
+  std::lock_guard<std::mutex> lock(cancel_mutex_);
+  auto it = live_queries_.find(query_id);
+  if (it == live_queries_.end()) return false;
+  it->second->store(true, std::memory_order_relaxed);
+  return true;
+}
+
+void Server::InjectedSleep(uint64_t ms) {
+  const auto wake =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
+  while (!stop_.load() && std::chrono::steady_clock::now() < wake) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
 }
 
 ServerStatsReply Server::stats() const {

@@ -7,6 +7,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "common/thread_pool.h"
@@ -40,6 +41,31 @@ struct ServerOptions {
   /// plain reconnect from a restart (and trigger re-sync). A mediator
   /// keeps the default 0.
   uint64_t server_epoch = 0;
+  /// Prefix prepended to this server's fault-injection site names
+  /// (TURBDB_FAULTS builds). The fault registry is process-global; when
+  /// a test hosts several servers in one process, scoping ("n0." makes
+  /// node 0 consult "n0.server.reply.delay") pins each armed fault to
+  /// one server deterministically. Empty (the default, and what the
+  /// one-server-per-process tools use) leaves the documented site names.
+  std::string fault_scope;
+};
+
+/// Per-request execution context handed to a Handler.
+///
+/// `deadline` is derived from the request frame's deadline-budget field
+/// (or the server default when the frame carried 0); handlers should
+/// check it between units of work and pass the *remaining* budget on any
+/// downstream RPC they issue. `cancelled` flips to true when a
+/// CancelQuery RPC names this request's query id — a cooperative token:
+/// the handler polls it at its own granularity and abandons work early.
+struct CallContext {
+  Deadline deadline = Deadline::Infinite();
+  std::shared_ptr<std::atomic<bool>> cancelled;
+
+  bool Cancelled() const {
+    return cancelled != nullptr &&
+           cancelled->load(std::memory_order_relaxed);
+  }
 };
 
 /// A framed-TCP request server: accepts connections, reads framed
@@ -49,24 +75,40 @@ struct ServerOptions {
 /// (`cluster/node_service.h`) both run on this same transport.
 ///
 /// The server itself answers the transport-level requests (Ping,
-/// ServerStats, Hello) and delegates everything else to the handler,
-/// passing the deadline derived from the request's RpcOptions. If the
-/// deadline has expired by the time the handler returns, the (stale)
-/// response is replaced by a small Unavailable error.
+/// ServerStats, Hello, CancelQuery) and delegates everything else to the
+/// handler with a CallContext carrying the deadline and cancellation
+/// token. If the deadline has expired — or the query was cancelled — by
+/// the time the handler returns, the (stale) response is replaced by a
+/// small typed error (kDeadlineExceeded / kCancelled). CancelQuery is
+/// answered without consulting the handler, so it works on mediator and
+/// node servers alike; note it still needs a free worker to read its
+/// connection, so callers should keep num_workers above the expected
+/// number of simultaneously busy query connections.
 ///
 /// Failure policy: anything wrong with a *request* (unknown type, failed
 /// query, expired deadline, oversized frame) gets an error frame back and
 /// the connection stays open; anything wrong with the *stream* (bad
 /// magic, version mismatch, CRC mismatch, torn read) closes the
 /// connection, because framing can no longer be trusted.
+///
+/// Fault injection (TURBDB_FAULTS builds only) consults these sites:
+///   server.accept         stall the accept path for `arg` ms
+///   server.reply.delay    sleep `arg` ms before writing a response
+///   server.reply.error    replace the response with an error of
+///                         StatusCode `arg`
+///   server.reply.truncate write only the first `arg` bytes of the
+///                         response frame, then sever the connection
+///   server.handler.error  fail only handler-delegated requests with an
+///                         error of StatusCode `arg`; Hello/Ping/Stats/
+///                         Cancel stay healthy (breaker drills)
 class Server {
  public:
-  /// Produces the response payload for one request payload. `deadline`
-  /// is the request's execution budget; the handler may check it
-  /// mid-flight. Must return either a response or an error frame body
-  /// (EncodeErrorResponse) — never throw.
+  /// Produces the response payload for one request payload. `ctx`
+  /// carries the request's execution budget and cancellation token; the
+  /// handler may check both mid-flight. Must return either a response or
+  /// an error frame body (EncodeErrorResponse) — never throw.
   using Handler = std::function<std::vector<uint8_t>(
-      const std::vector<uint8_t>& payload, const Deadline& deadline)>;
+      const std::vector<uint8_t>& payload, const CallContext& ctx)>;
 
   /// Binds, starts the accept loop and worker pool. The handler (and
   /// everything it references) must outlive the server.
@@ -95,17 +137,44 @@ class Server {
   void ServeConnection(Socket conn);
 
   /// Decodes and executes one request payload; returns the response
-  /// payload (success or error frame body).
-  std::vector<uint8_t> HandleRequest(const std::vector<uint8_t>& payload);
+  /// payload (success or error frame body). `budget_ms` is the deadline
+  /// budget read from the request's frame header (0 = none stated).
+  std::vector<uint8_t> HandleRequest(const std::vector<uint8_t>& payload,
+                                     uint32_t budget_ms);
+
+  /// Registers a live query under `query_id` and returns its token
+  /// (reusing an existing token on id collision).
+  std::shared_ptr<std::atomic<bool>> RegisterQuery(uint64_t query_id);
+  void UnregisterQuery(uint64_t query_id);
+
+  /// Flips the token of a live query; false if no such query is in
+  /// flight (already finished, or never arrived).
+  bool CancelLiveQuery(uint64_t query_id);
+
+  /// Sleeps `ms` in stop-aware slices (fault-injection delays).
+  void InjectedSleep(uint64_t ms);
 
   Handler handler_;
   ServerOptions options_;
+  /// Fault-site names with this server's `fault_scope` prepended,
+  /// precomputed so the per-request checks never build strings.
+  std::string site_accept_;
+  std::string site_reply_delay_;
+  std::string site_reply_error_;
+  std::string site_reply_truncate_;
+  std::string site_handler_error_;
   Socket listener_;
   uint16_t port_ = 0;
 
   std::atomic<bool> stop_{false};
   std::thread accept_thread_;
   std::unique_ptr<ThreadPool> pool_;
+
+  /// Live queries by id, for CancelQuery. Entries exist only while the
+  /// handler runs; a cancel for an unknown id is a no-op answer.
+  std::mutex cancel_mutex_;
+  std::unordered_map<uint64_t, std::shared_ptr<std::atomic<bool>>>
+      live_queries_;
 
   mutable std::mutex stats_mutex_;
   uint64_t requests_ok_ = 0;

@@ -197,6 +197,12 @@ Status SendAll(const Socket& socket, const void* data, size_t length,
       continue;
     }
     if (sent < 0 && errno == EINTR) continue;
+    if (sent < 0 && errno == EPIPE) {
+      // MSG_NOSIGNAL turns the fatal SIGPIPE into this errno; name the
+      // condition so callers log "peer went away" rather than a cryptic
+      // "send: Broken pipe".
+      return Status::IOError("peer disconnected (EPIPE)");
+    }
     return ErrnoStatus("send", errno);
   }
   return Status::OK();

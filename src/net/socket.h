@@ -84,7 +84,10 @@ Result<Socket> TcpConnect(const std::string& host, uint16_t port,
                           Deadline deadline);
 
 /// Writes exactly `length` bytes, or fails. Deadline expiry and peer
-/// resets return IOError ("send timeout" / errno text).
+/// resets return IOError ("send timeout" / errno text). A peer that
+/// closed its read side surfaces as IOError("peer disconnected (EPIPE)")
+/// — sends use MSG_NOSIGNAL, and the serving binaries additionally
+/// ignore SIGPIPE, so a vanished client can never kill the process.
 Status SendAll(const Socket& socket, const void* data, size_t length,
                Deadline deadline);
 

@@ -2,9 +2,25 @@
 
 #include <chrono>
 #include <cstdint>
+#include <functional>
+#include <limits>
 #include <mutex>
 
 namespace turbdb {
+
+/// Liveness policy of one replica-group member (see HealthTracker).
+struct HealthOptions {
+  /// Minimum spacing between probes of a down member.
+  int probe_interval_ms = 100;
+  /// Circuit breaker: this many MarkDown()s in a row (each within the
+  /// decay window of the previous) trip the breaker. 0 disables it.
+  int breaker_trip_failures = 3;
+  /// Failures further apart than this are unrelated incidents, not a
+  /// flap: the streak restarts instead of accumulating.
+  int64_t breaker_failure_decay_ms = 30000;
+  /// A tripped member is quarantined this long: no probes, no dials.
+  int64_t breaker_quarantine_ms = 5000;
+};
 
 /// Liveness bookkeeping for one replica-group member. The group marks a
 /// member down on transport failure and up again after a successful
@@ -17,11 +33,34 @@ namespace turbdb {
 /// write fan-out skipped this member while it was down — another reason
 /// a recovering member needs a sync before rejoining.
 ///
+/// On top of the probe rate limit sits a circuit breaker for *flapping*
+/// members — ones that answer the Hello probe but fail every real
+/// request, so they cycle up/down and eat a failover on every query.
+/// MarkUp deliberately does not clear the failure streak; only time does
+/// (breaker_failure_decay_ms without a failure). A member that
+/// accumulates breaker_trip_failures MarkDowns within the decay window
+/// is quarantined: ShouldProbe stays false until the quarantine elapses,
+/// after which it gets one probe to prove itself (half-open).
+///
 /// Thread-safe; the replica group consults it from concurrent queries.
 class HealthTracker {
  public:
-  explicit HealthTracker(int probe_interval_ms = 100)
-      : probe_interval_(probe_interval_ms) {}
+  explicit HealthTracker(int probe_interval_ms = 100) {
+    options_.probe_interval_ms = probe_interval_ms;
+  }
+
+  /// Replaces the policy (bring-up wiring; not expected mid-flight).
+  void Configure(const HealthOptions& options) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    options_ = options;
+  }
+
+  /// Injects a millisecond clock (tests advance a fake one to step
+  /// through quarantine without sleeping). Null restores steady_clock.
+  void set_clock(std::function<int64_t()> clock) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    clock_ = std::move(clock);
+  }
 
   bool healthy() const {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -43,8 +82,22 @@ class HealthTracker {
     return missed_writes_;
   }
 
+  /// Whether the breaker is currently open for this member.
+  bool quarantined() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return NowMs() < quarantined_until_ms_;
+  }
+
+  /// How many times the breaker has tripped (observability).
+  uint64_t breaker_trips() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return breaker_trips_;
+  }
+
   /// Member answered (and, if it was stale, has been re-synced): healthy
-  /// at `epoch`, with no outstanding missed writes.
+  /// at `epoch`, with no outstanding missed writes. The breaker's
+  /// failure streak intentionally survives this — a flapping member
+  /// marks up between every pair of failures.
   void MarkUp(uint64_t epoch) {
     std::lock_guard<std::mutex> lock(mutex_);
     healthy_ = true;
@@ -54,11 +107,23 @@ class HealthTracker {
 
   /// Member failed at the transport level. Also (re)starts the probe
   /// rate-limit window so the very next query does not immediately
-  /// re-dial it.
+  /// re-dial it, and advances the breaker streak.
   void MarkDown() {
     std::lock_guard<std::mutex> lock(mutex_);
     healthy_ = false;
-    last_probe_ = std::chrono::steady_clock::now();
+    const int64_t now = NowMs();
+    last_probe_ms_ = now;
+    if (options_.breaker_trip_failures <= 0) return;
+    if (last_down_ms_ != kNever &&
+        now - last_down_ms_ > options_.breaker_failure_decay_ms) {
+      failure_streak_ = 0;  // Old incident; start a fresh streak.
+    }
+    last_down_ms_ = now;
+    if (++failure_streak_ >= options_.breaker_trip_failures) {
+      quarantined_until_ms_ = now + options_.breaker_quarantine_ms;
+      failure_streak_ = 0;  // Half-open after quarantine: prove it again.
+      ++breaker_trips_;
+    }
   }
 
   /// A read was re-routed off this member.
@@ -73,25 +138,43 @@ class HealthTracker {
     missed_writes_ = true;
   }
 
-  /// Whether a down member may be probed now. True at most once per
-  /// probe interval; records the attempt.
+  /// Whether a down member may be probed now. Never while quarantined;
+  /// otherwise true at most once per probe interval (and records the
+  /// attempt).
   bool ShouldProbe() {
     std::lock_guard<std::mutex> lock(mutex_);
     if (healthy_) return false;
-    const auto now = std::chrono::steady_clock::now();
-    if (now - last_probe_ < probe_interval_) return false;
-    last_probe_ = now;
+    const int64_t now = NowMs();
+    if (now < quarantined_until_ms_) return false;
+    if (now - last_probe_ms_ < options_.probe_interval_ms) return false;
+    last_probe_ms_ = now;
     return true;
   }
 
  private:
+  /// "Never happened" sentinel far enough in the past that any window
+  /// arithmetic against a real or fake clock stays negative-safe.
+  static constexpr int64_t kNever = std::numeric_limits<int64_t>::min() / 2;
+
+  int64_t NowMs() const {
+    if (clock_) return clock_();
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
   mutable std::mutex mutex_;
-  std::chrono::milliseconds probe_interval_;
+  HealthOptions options_;
+  std::function<int64_t()> clock_;
   bool healthy_ = true;
   bool missed_writes_ = false;
   uint64_t epoch_ = 0;
   uint64_t failovers_ = 0;
-  std::chrono::steady_clock::time_point last_probe_{};
+  uint64_t breaker_trips_ = 0;
+  int failure_streak_ = 0;
+  int64_t last_probe_ms_ = kNever;
+  int64_t last_down_ms_ = kNever;
+  int64_t quarantined_until_ms_ = kNever;
 };
 
 }  // namespace turbdb

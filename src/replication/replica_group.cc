@@ -18,12 +18,19 @@ bool IsTransportFailure(const Status& status) {
 }  // namespace
 
 ReplicaGroup::ReplicaGroup(int group_id,
-                           std::vector<std::unique_ptr<RemoteNode>> members)
+                           std::vector<std::unique_ptr<RemoteNode>> members,
+                           const RemoteNodeOptions& options)
     : group_id_(group_id) {
+  HealthOptions health;
+  health.probe_interval_ms = options.probe_interval_ms;
+  health.breaker_trip_failures = options.breaker_trip_failures;
+  health.breaker_failure_decay_ms = options.breaker_failure_decay_ms;
+  health.breaker_quarantine_ms = options.breaker_quarantine_ms;
   members_.reserve(members.size());
   for (auto& node : members) {
     auto member = std::make_unique<Member>();
     member->node = std::move(node);
+    member->health.Configure(health);
     members_.push_back(std::move(member));
   }
 }
@@ -264,6 +271,15 @@ Result<NodeOutcome> ReplicaGroup::Execute(const NodeQuery& query) {
     return last;
   }
   return last;
+}
+
+void ReplicaGroup::Cancel(uint64_t query_id) {
+  for (auto& member : members_) {
+    // Quarantined or down members are skipped: nothing of ours runs
+    // there, and dialing them is what the breaker exists to avoid.
+    if (!member->health.healthy()) continue;
+    member->node->Cancel(query_id);
+  }
 }
 
 Result<uint64_t> ReplicaGroup::StoredAtomCount(const std::string& dataset,

@@ -39,7 +39,10 @@ class ReplicaGroup : public NodeBackend {
     uint64_t failovers = 0;
   };
 
-  ReplicaGroup(int group_id, std::vector<std::unique_ptr<RemoteNode>> members);
+  /// `options` supplies the per-member health policy (probe interval,
+  /// circuit breaker); the default keeps HealthTracker's defaults.
+  ReplicaGroup(int group_id, std::vector<std::unique_ptr<RemoteNode>> members,
+               const RemoteNodeOptions& options = {});
 
   /// Handshakes every member and records their epochs. OK as long as at
   /// least one member answers; a single-member group propagates its
@@ -55,6 +58,11 @@ class ReplicaGroup : public NodeBackend {
   Status IngestAtoms(const std::string& dataset, const std::string& field,
                      const std::vector<Atom>& atoms) override;
   Result<NodeOutcome> Execute(const NodeQuery& query) override;
+
+  /// Fans the cancellation to every member: Execute may have failed over
+  /// mid-flight, so any of them could be running the sub-query.
+  void Cancel(uint64_t query_id) override;
+
   Status DropCacheEntries(const std::string& dataset,
                           const std::string& field,
                           int32_t timestep) override;
@@ -62,6 +70,12 @@ class ReplicaGroup : public NodeBackend {
                                    const std::string& field) override;
 
   int num_members() const { return static_cast<int>(members_.size()); }
+
+  /// Health bookkeeping of member `r` (tests inject fake clocks and read
+  /// breaker state through this).
+  HealthTracker& member_health(int r) {
+    return members_[static_cast<size_t>(r)]->health;
+  }
 
   /// Total reads re-routed off a failed member (test observability).
   uint64_t failover_count() const;

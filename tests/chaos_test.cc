@@ -1,0 +1,332 @@
+// Fault-injection (chaos) drills for the distributed query path. Only
+// built under -DTURBDB_FAULTS=ON: the turbdb::fault registry arms
+// deterministic failures — stalled replies, mid-frame truncation,
+// injected handler errors — at named sites inside net::Server, and these
+// tests assert the cluster's typed, bounded reactions:
+//
+//   (a) a stalled shard burns the query's deadline budget, surfaces as
+//       kDeadlineExceeded (not a generic transport error) within the
+//       budget, and the mediator cancels the healthy shards' in-flight
+//       sub-queries instead of letting them run for a result nobody
+//       will merge;
+//   (b) a replica that truncates its replies mid-frame is failed over,
+//       and the answer off the surviving replica is byte-identical to
+//       the in-process mediator's;
+//   (c) a flapping replica — probes fine, fails every real request —
+//       trips the circuit breaker and stops being dialed at all until
+//       its quarantine elapses.
+//
+// The node services are hosted in this process over real TCP sockets
+// (one net::Server each, with per-server fault scopes "n0.", "n1.", ...)
+// so a test can arm a fault at the exact moment it wants, on the exact
+// server it means, and reset between scenarios. The same sites are
+// reachable in the real binaries via `turbdb_node --faults` / the
+// TURBDB_FAULTS environment variable.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/node_service.h"
+#include "common/fault.h"
+#include "core/turbdb.h"
+#include "net/server.h"
+#include "net/socket.h"
+#include "replication/replica_group.h"
+#include "wire/serializer.h"
+
+namespace turbdb {
+namespace {
+
+constexpr int64_t kGrid = 32;
+constexpr int32_t kTimesteps = 1;
+constexpr uint64_t kSeed = 2015;
+
+ThresholdQuery VorticityQuery(double threshold) {
+  ThresholdQuery query;
+  query.dataset = "mhd";
+  query.raw_field = "velocity";
+  query.derived_field = "vorticity";
+  query.timestep = 0;
+  query.box = Box3::WholeGrid(kGrid, kGrid, kGrid);
+  query.threshold = threshold;
+  query.fd_order = 4;
+  return query;
+}
+
+QueryOptions NoCacheOptions() {
+  QueryOptions options;
+  options.use_cache = false;
+  options.max_result_points = 10u << 20;
+  return options;
+}
+
+/// `num_nodes` real node services served over loopback TCP from this
+/// process, each with fault scope "n<i>." so tests can arm failures on
+/// one specific node.
+class InProcessNodeCluster {
+ public:
+  static Result<std::unique_ptr<InProcessNodeCluster>> Launch(
+      int num_nodes, int replication_factor) {
+    auto cluster =
+        std::unique_ptr<InProcessNodeCluster>(new InProcessNodeCluster());
+    // Reserve one ephemeral port per node, then release them for the
+    // servers to bind (the peer list must be complete before the first
+    // service is constructed).
+    {
+      std::vector<net::Socket> listeners;
+      for (int i = 0; i < num_nodes; ++i) {
+        TURBDB_ASSIGN_OR_RETURN(net::Socket listener,
+                                net::TcpListen("127.0.0.1", 0));
+        TURBDB_ASSIGN_OR_RETURN(const uint16_t port,
+                                net::LocalPort(listener));
+        cluster->topology_.nodes.push_back(NodeAddress{"127.0.0.1", port});
+        listeners.push_back(std::move(listener));
+      }
+      for (net::Socket& listener : listeners) listener.Close();
+    }
+    for (int i = 0; i < num_nodes; ++i) {
+      NodeServiceConfig config;
+      config.node_id = i;
+      config.peers = cluster->topology_;
+      config.replication_factor = replication_factor;
+      config.epoch = static_cast<uint64_t>(i) + 1;
+      auto node = std::make_unique<Node>();
+      node->service = std::make_unique<NodeService>(config);
+
+      net::ServerOptions options;
+      options.bind_address = "127.0.0.1";
+      options.port = cluster->topology_.nodes[static_cast<size_t>(i)].port;
+      options.num_workers = 4;
+      options.server_id = i;
+      options.server_epoch = config.epoch;
+      options.fault_scope = Scope(i);
+      TURBDB_ASSIGN_OR_RETURN(node->server, net::Server::Start(
+                                  node->service->AsHandler(), options));
+      cluster->nodes_.push_back(std::move(node));
+    }
+    return cluster;
+  }
+
+  /// The fault-site prefix of node `i` ("n0.", "n1.", ...).
+  static std::string Scope(int i) { return "n" + std::to_string(i) + "."; }
+
+  const ClusterTopology& topology() const { return topology_; }
+
+ private:
+  struct Node {
+    std::unique_ptr<NodeService> service;
+    std::unique_ptr<net::Server> server;  // Stopped before the service dies.
+  };
+
+  InProcessNodeCluster() = default;
+
+  ClusterTopology topology_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+};
+
+Result<std::unique_ptr<TurbDB>> OpenDistributed(ClusterTopology topology,
+                                                int replication_factor) {
+  topology.replication_factor = replication_factor;
+  TurbDBConfig config;
+  config.cluster.topology = std::move(topology);
+  config.cluster.processes_per_node = 2;
+  config.cluster.remote.subquery_deadline_ms = 30000;
+  config.cluster.remote.max_retries = 1;
+  config.cluster.remote.backoff_initial_ms = 20;
+  config.cluster.remote.probe_interval_ms = 0;
+  TURBDB_ASSIGN_OR_RETURN(std::unique_ptr<TurbDB> db, TurbDB::Open(config));
+  TURBDB_RETURN_NOT_OK(
+      EnsureMhdDemoData(db.get(), "mhd", kGrid, kTimesteps, kSeed));
+  return db;
+}
+
+/// Ground truth: the in-process cluster with one node per shard.
+Result<std::unique_ptr<TurbDB>> OpenInProcess(int num_shards) {
+  TurbDBConfig config;
+  config.cluster.num_nodes = num_shards;
+  config.cluster.processes_per_node = 2;
+  TURBDB_ASSIGN_OR_RETURN(std::unique_ptr<TurbDB> db, TurbDB::Open(config));
+  TURBDB_RETURN_NOT_OK(
+      EnsureMhdDemoData(db.get(), "mhd", kGrid, kTimesteps, kSeed));
+  return db;
+}
+
+class ChaosTest : public ::testing::Test {
+ protected:
+  void SetUp() override { fault::Reset(); }
+  void TearDown() override { fault::Reset(); }
+};
+
+// (a) One shard's server executes the sub-query but stalls its reply far
+// past the query budget. The client burns its remaining budget, the
+// failure comes back typed as kDeadlineExceeded well within the stall
+// time, and the mediator fans CancelQuery to the shards it had not yet
+// joined.
+TEST_F(ChaosTest, StalledShardIsADeadlineErrorAndCancelsTheRest) {
+  auto procs = InProcessNodeCluster::Launch(/*num_nodes=*/2,
+                                            /*replication_factor=*/1);
+  ASSERT_TRUE(procs.ok()) << procs.status();
+  auto db = OpenDistributed((*procs)->topology(), /*replication_factor=*/1);
+  ASSERT_TRUE(db.ok()) << db.status();
+
+  // Stall every reply of node 0 (shard 0, joined first) for 60 s — far
+  // beyond the 1.5 s budget below. A high count matters: node 0 also
+  // serves halo fetches for node 1, and whichever of those replies goes
+  // out first must stall too, or the drill would race.
+  const std::string site = InProcessNodeCluster::Scope(0) +
+                           "server.reply.delay";
+  fault::Arm(site, fault::Action::kDelay, /*arg=*/60000, /*count=*/1000);
+
+  CallBudget budget;
+  budget.deadline = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(1500);
+  const auto started = std::chrono::steady_clock::now();
+  auto result = (*db)->mediator().GetThreshold(VorticityQuery(4.0),
+                                               NoCacheOptions(), budget);
+  const double elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    started)
+          .count();
+
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsDeadlineExceeded()) << result.status();
+  EXPECT_NE(result.status().message().find("budget"), std::string::npos)
+      << result.status();
+  // Typed and prompt: bounded by the budget (plus slack), not the stall.
+  EXPECT_LT(elapsed_s, 10.0);
+  EXPECT_GE(fault::Fired(site), 1u);
+  // The healthy shard's in-flight sub-query was cancelled, not merged.
+  EXPECT_GE((*db)->mediator().cancels_issued(), 1u);
+}
+
+// (b) The primary of shard 0 truncates every reply mid-frame (the wire
+// signature of a crash between send() calls). The client sees a torn
+// stream, the replica group fails over, and the surviving replica's
+// answer matches the in-process mediator byte for byte.
+TEST_F(ChaosTest, TruncatedPrimaryFailsOverByteIdentically) {
+  constexpr int kPhysical = 4;
+  constexpr int kReplication = 2;
+  auto procs = InProcessNodeCluster::Launch(kPhysical, kReplication);
+  ASSERT_TRUE(procs.ok()) << procs.status();
+  auto db = OpenDistributed((*procs)->topology(), kReplication);
+  ASSERT_TRUE(db.ok()) << db.status();
+  auto local_db = OpenInProcess(kPhysical / kReplication);
+  ASSERT_TRUE(local_db.ok()) << local_db.status();
+
+  const ThresholdQuery query = VorticityQuery(4.0);
+  auto expected = (*local_db)->mediator().GetThreshold(query,
+                                                       NoCacheOptions());
+  ASSERT_TRUE(expected.ok()) << expected.status();
+  ASSERT_GT(expected->points.size(), 0u);
+
+  // Cut every reply of node 0 (primary of shard 0) 8 bytes in — a high
+  // count so the client's retries see the same torn stream and the
+  // failure escalates to the replica group instead of being retried
+  // away.
+  const std::string site = InProcessNodeCluster::Scope(0) +
+                           "server.reply.truncate";
+  fault::Arm(site, fault::Action::kTruncate, /*arg=*/8, /*count=*/100);
+
+  auto result = (*db)->mediator().GetThreshold(query, NoCacheOptions());
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(EncodePointsBinary(result->points),
+            EncodePointsBinary(expected->points));
+  // The client retried the torn stream at least once before failing over.
+  EXPECT_GE(fault::Fired(site), 2u);
+
+  uint64_t failovers = 0;
+  bool primary_down = false;
+  for (const ClusterNodeStatus& row : (*db)->mediator().ClusterStatus()) {
+    failovers += row.failovers;
+    if (row.node_id == 0) primary_down = !row.healthy;
+  }
+  EXPECT_GE(failovers, 1u);
+  EXPECT_TRUE(primary_down);
+}
+
+// (c) A flapping replica: its Hello probe succeeds (the transport is
+// fine) but every handler-delegated request fails, so without a breaker
+// each query pays probe + failed execute + failover. After
+// breaker_trip_failures such cycles the breaker quarantines it — no
+// probes, no dials, fault counter frozen — until the quarantine elapses
+// on the (injected) clock, after which one probe proves it and it
+// serves again.
+TEST_F(ChaosTest, FlappingReplicaTripsTheBreakerUntilQuarantineElapses) {
+  auto procs = InProcessNodeCluster::Launch(/*num_nodes=*/2,
+                                            /*replication_factor=*/2);
+  ASSERT_TRUE(procs.ok()) << procs.status();
+  auto db = OpenDistributed((*procs)->topology(), /*replication_factor=*/2);
+  ASSERT_TRUE(db.ok()) << db.status();
+  auto local_db = OpenInProcess(/*num_shards=*/1);
+  ASSERT_TRUE(local_db.ok()) << local_db.status();
+
+  const ThresholdQuery query = VorticityQuery(4.0);
+  auto expected = (*local_db)->mediator().GetThreshold(query,
+                                                       NoCacheOptions());
+  ASSERT_TRUE(expected.ok()) << expected.status();
+
+  auto* group =
+      dynamic_cast<ReplicaGroup*>(&(*db)->mediator().backend(0));
+  ASSERT_NE(group, nullptr);
+  HealthTracker& primary = group->member_health(0);
+
+  // Drive the breaker's clock by hand so quarantine is stepped through,
+  // not slept through. Defaults: trip after 3 failures within 30 s,
+  // quarantine 5 s.
+  int64_t fake_ms = 1000000;
+  primary.set_clock([&fake_ms] { return fake_ms; });
+
+  // Every handler-delegated request on node 0 now fails with a
+  // transport-class error; Hello probes keep succeeding (the flap).
+  const std::string site = InProcessNodeCluster::Scope(0) +
+                           "server.handler.error";
+  fault::Arm(site, fault::Action::kError,
+             static_cast<uint64_t>(StatusCode::kIOError), /*count=*/1000000);
+
+  // Three flap cycles: probe up, execute fails, mark down. Each answer
+  // still comes off the healthy replica, each pays a failover.
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    auto result = (*db)->mediator().GetThreshold(query, NoCacheOptions());
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_EQ(EncodePointsBinary(result->points),
+              EncodePointsBinary(expected->points));
+    fake_ms += 100;  // Well inside the failure-decay window.
+  }
+  EXPECT_EQ(primary.breaker_trips(), 1u);
+  EXPECT_TRUE(primary.quarantined());
+
+  // Quarantined: the member is not probed and not dialed at all — the
+  // injected-fault counter and the failover counter both freeze.
+  const uint64_t fired_at_trip = fault::Fired(site);
+  const uint64_t failovers_at_trip = group->failover_count();
+  for (int i = 0; i < 3; ++i) {
+    auto result = (*db)->mediator().GetThreshold(query, NoCacheOptions());
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_EQ(EncodePointsBinary(result->points),
+              EncodePointsBinary(expected->points));
+    fake_ms += 100;
+  }
+  EXPECT_EQ(fault::Fired(site), fired_at_trip);
+  EXPECT_EQ(group->failover_count(), failovers_at_trip);
+  EXPECT_TRUE(primary.quarantined());
+
+  // Heal the node and let the quarantine elapse: the next query gets one
+  // half-open probe, the member proves itself and serves primary again.
+  fault::Disarm(site);
+  fake_ms += 6000;
+  EXPECT_FALSE(primary.quarantined());
+  auto healed = (*db)->mediator().GetThreshold(query, NoCacheOptions());
+  ASSERT_TRUE(healed.ok()) << healed.status();
+  EXPECT_EQ(EncodePointsBinary(healed->points),
+            EncodePointsBinary(expected->points));
+  EXPECT_TRUE(primary.healthy());
+  EXPECT_EQ(fault::Fired(site), fired_at_trip);  // Fault is gone; no refire.
+  EXPECT_EQ(primary.breaker_trips(), 1u);        // And no re-trip.
+}
+
+}  // namespace
+}  // namespace turbdb

@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstring>
 #include <thread>
 
 #include "common/rng.h"
@@ -79,12 +80,69 @@ TEST(FrameTest, RejectsWrongProtocolVersion) {
   frame[4] = 1;  // a v1 peer (whose header had no version byte at all)
   EXPECT_EQ(net::DecodeFrame(frame).status().code(),
             StatusCode::kVersionMismatch);
+
+  frame[4] = 2;  // a v2 peer (13-byte header, no deadline field)
+  EXPECT_EQ(net::DecodeFrame(frame).status().code(),
+            StatusCode::kVersionMismatch);
 }
 
 TEST(FrameTest, RejectsOversizedFrames) {
   const auto frame = net::EncodeFrame(std::vector<uint8_t>(1024, 7));
   auto decoded = net::DecodeFrame(frame, /*max_payload_bytes=*/512);
   EXPECT_EQ(decoded.status().code(), StatusCode::kResultTooLarge);
+}
+
+TEST(FrameTest, DeadlineBudgetRoundTrips) {
+  const auto payload = Bytes({5, 6, 7});
+  for (uint32_t budget : {0u, 1u, 4500u, 0xFFFFFFFFu}) {
+    const auto frame = net::EncodeFrame(payload, budget);
+    uint32_t decoded_budget = 12345;
+    auto decoded = net::DecodeFrame(frame, net::kDefaultMaxFrameBytes,
+                                    &decoded_budget);
+    ASSERT_TRUE(decoded.ok()) << decoded.status();
+    EXPECT_EQ(*decoded, payload);
+    EXPECT_EQ(decoded_budget, budget);
+  }
+  // Callers that do not care about the budget may pass nullptr.
+  EXPECT_TRUE(net::DecodeFrame(net::EncodeFrame(payload, 777)).ok());
+}
+
+TEST(FrameTest, BudgetFieldIsCrcNeutral) {
+  // The budget is header state, not payload: re-stamping it hop by hop
+  // must not invalidate the CRC or change the payload bytes.
+  const auto payload = Bytes({1, 2, 3, 4});
+  auto a = net::EncodeFrame(payload, 100);
+  auto b = net::EncodeFrame(payload, 99999);
+  ASSERT_EQ(a.size(), b.size());
+  a[13] = b[13];
+  a[14] = b[14];
+  a[15] = b[15];
+  a[16] = b[16];
+  EXPECT_EQ(a, b);
+  EXPECT_TRUE(net::DecodeFrame(a).ok());
+}
+
+TEST(FrameTest, TruncatedOrGarbageHeadersNeverCrashTheDecoder) {
+  // Every prefix of a valid v3 frame — including cuts inside the new
+  // deadline field at offsets 13..16 — must decode to a typed error.
+  const auto frame = net::EncodeFrame(Bytes({42, 43, 44}), 1234);
+  for (size_t len = 0; len < frame.size(); ++len) {
+    std::vector<uint8_t> prefix(frame.begin(),
+                                frame.begin() + static_cast<long>(len));
+    uint32_t budget = 0;
+    auto decoded =
+        net::DecodeFrame(prefix, net::kDefaultMaxFrameBytes, &budget);
+    EXPECT_FALSE(decoded.ok()) << "prefix of " << len << " bytes decoded";
+  }
+  // Random header-sized garbage: typed error or valid decode, no crash.
+  SplitMix64 rng(2015);
+  for (int iter = 0; iter < 1000; ++iter) {
+    std::vector<uint8_t> garbage(
+        rng.NextBounded(net::kFrameHeaderBytes + 24));
+    for (auto& b : garbage) b = static_cast<uint8_t>(rng.NextBounded(256));
+    uint32_t budget = 0;
+    (void)net::DecodeFrame(garbage, net::kDefaultMaxFrameBytes, &budget);
+  }
 }
 
 // -- Socket + framed I/O over loopback ----------------------------------
@@ -165,7 +223,10 @@ TEST(ProtocolTest, ThresholdRequestRoundTrips) {
   request.options.io_only = true;
   request.options.processes_per_node = 2;
   request.options.max_result_points = 123456;
+  // The deadline budget travels in the frame header (v3), not the
+  // payload; only the query id is serialized here.
   request.rpc.deadline_ms = 777;
+  request.rpc.query_id = 0xFEEDFACECAFEBEEFull;
 
   auto decoded_or = net::DecodeRequest(net::EncodeRequest(request));
   ASSERT_TRUE(decoded_or.ok()) << decoded_or.status();
@@ -180,7 +241,9 @@ TEST(ProtocolTest, ThresholdRequestRoundTrips) {
   EXPECT_TRUE(decoded.options.io_only);
   EXPECT_EQ(decoded.options.processes_per_node, 2);
   EXPECT_EQ(decoded.options.max_result_points, 123456u);
-  EXPECT_EQ(decoded.rpc.deadline_ms, 777u);
+  EXPECT_EQ(decoded.rpc.query_id, 0xFEEDFACECAFEBEEFull);
+  // deadline_ms is frame-header state, deliberately not round-tripped.
+  EXPECT_EQ(decoded.rpc.deadline_ms, 0u);
 }
 
 TEST(ProtocolTest, AllRequestTypesRoundTrip) {
@@ -440,8 +503,8 @@ TEST_F(ServerEndToEndTest, DeadlineExpiryIsACleanError) {
   // error frame instead of a result — and must not hang the connection.
   Status status = client.Ping(/*delay_ms=*/300);
   ASSERT_FALSE(status.ok());
-  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
-  EXPECT_NE(status.message().find("deadline"), std::string::npos);
+  EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(status.message().find("budget"), std::string::npos);
 
   // The same connection still serves the next request.
   EXPECT_TRUE(client.Ping(0).ok());
@@ -484,9 +547,12 @@ TEST_F(ServerEndToEndTest, CorruptFrameClosesConnection) {
                               Deadline::After(5000));
   ASSERT_TRUE(conn.ok());
   // A stream that opens with garbage can't be re-synced; the server must
-  // drop it (read yields EOF) rather than hang or crash.
+  // drop it (read yields EOF) rather than hang or crash. At least
+  // kFrameHeaderBytes of it, so the server has a full (bad) header to
+  // reject — fewer bytes are just an incomplete frame it keeps awaiting.
   const auto garbage = Bytes({0xDE, 0xAD, 0xBE, 0xEF, 1, 2, 3, 4, 5, 6, 7,
-                              8, 9, 10, 11, 12});
+                              8, 9, 10, 11, 12, 13, 14});
+  ASSERT_GE(garbage.size(), net::kFrameHeaderBytes);
   ASSERT_TRUE(
       net::SendAll(*conn, garbage.data(), garbage.size(), Deadline::After(5000))
           .ok());
@@ -606,6 +672,72 @@ TEST(ClientRetryTest, VersionMismatchFailsFastWithoutRetry) {
   ASSERT_FALSE(status.ok());
   EXPECT_EQ(status.code(), StatusCode::kVersionMismatch) << status;
   // Fail fast: one connection, no retries despite the retry budget.
+  EXPECT_EQ(accepted.load(), 1);
+}
+
+TEST(ClientRetryTest, V2PeerFailsFastWithoutRetry) {
+  // Regression for the v2 -> v3 header change: a peer still speaking the
+  // 13-byte v2 framing (no deadline field) must surface as one typed
+  // kVersionMismatch, not a retry storm or a misparsed frame.
+  auto listener = net::TcpListen("127.0.0.1", 0);
+  ASSERT_TRUE(listener.ok()) << listener.status();
+  auto port = net::LocalPort(*listener);
+  ASSERT_TRUE(port.ok());
+
+  std::atomic<int> accepted{0};
+  std::atomic<bool> stop{false};
+  std::thread peer([&] {
+    while (!stop.load()) {
+      auto conn = net::AcceptWithTimeout(*listener, 250);
+      if (!conn.ok()) continue;
+      ++accepted;
+      // Drain the client's request first: closing with unread bytes in
+      // the receive buffer would RST the connection and destroy the
+      // reply before the client reads it.
+      std::vector<uint8_t> request(net::kFrameHeaderBytes);
+      if (!net::RecvAll(*conn, request.data(), request.size(),
+                        Deadline::After(2000))
+               .ok()) {
+        continue;
+      }
+      uint32_t payload_len = 0;
+      std::memcpy(&payload_len, request.data() + 5, sizeof(payload_len));
+      std::vector<uint8_t> payload(payload_len);
+      if (!payload.empty() &&
+          !net::RecvAll(*conn, payload.data(), payload.size(),
+                        Deadline::After(2000))
+               .ok()) {
+        continue;
+      }
+      // A v2 peer rejects the client's v3 frame on its version byte and
+      // answers with a v2 error frame: a 13-byte header (no deadline
+      // field) followed by its payload. The client reads a 17-byte v3
+      // header — the v2 header plus the first payload bytes — and the
+      // version check fires before anything downstream misparses.
+      std::vector<uint8_t> reply = {'T', 'D', 'B', 'F', 2,
+                                    8,   0,   0,   0,          // length 8
+                                    0,   0,   0,   0,          // (bogus) CRC
+                                    1,   2,   3,   4, 5, 6, 7, 8};
+      (void)net::SendAll(*conn, reply.data(), reply.size(),
+                         Deadline::After(2000));
+      // Hold the connection until the client, having seen the version
+      // mismatch, closes its end (EOF on this read).
+      uint8_t eof_probe = 0;
+      (void)net::RecvAll(*conn, &eof_probe, 1, Deadline::After(2000));
+    }
+  });
+
+  net::ClientOptions options;
+  options.max_retries = 3;
+  options.backoff_initial_ms = 10;
+  options.read_timeout_ms = 2000;
+  net::Client client("127.0.0.1", *port, options);
+  Status status = client.Ping();
+  stop.store(true);
+  peer.join();
+
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kVersionMismatch) << status;
   EXPECT_EQ(accepted.load(), 1);
 }
 

@@ -32,16 +32,29 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" --timeout 300
 ctest --test-dir "$BUILD_DIR" -L multiprocess --output-on-failure \
   --timeout 180
 
+# Fault-injection (chaos) drills: a dedicated TURBDB_FAULTS=ON build (the
+# registry is compiled out everywhere else) running the `chaos`-labeled
+# tests — stalled shards, mid-frame truncation, breaker-tripping flaps.
+FAULTS_DIR="$ROOT/build-faults-check"
+cmake -B "$FAULTS_DIR" -S "$ROOT" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DTURBDB_FAULTS=ON \
+  -DTURBDB_BUILD_BENCHMARKS=OFF -DTURBDB_BUILD_EXAMPLES=OFF
+cmake --build "$FAULTS_DIR" -j "$JOBS"
+ctest --test-dir "$FAULTS_DIR" -L chaos --output-on-failure --timeout 180
+
 # Race-check the failover path: the replica-group health tracking and
 # re-sync run concurrently with scatter-gathered sub-queries, so the
-# replication tests get a dedicated ThreadSanitizer build.
+# replication tests get a dedicated ThreadSanitizer build. Faults stay on
+# here so the chaos drills race-check cancellation and breaker state too.
 if [ "$SANITIZE" != "thread" ]; then
   TSAN_DIR="$ROOT/build-tsan"
   cmake -B "$TSAN_DIR" -S "$ROOT" \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DTURBDB_SANITIZE=thread \
+    -DTURBDB_FAULTS=ON \
     -DTURBDB_BUILD_BENCHMARKS=OFF -DTURBDB_BUILD_EXAMPLES=OFF
   cmake --build "$TSAN_DIR" -j "$JOBS"
-  ctest --test-dir "$TSAN_DIR" -R ReplicationTest --output-on-failure \
-    --timeout 300
+  ctest --test-dir "$TSAN_DIR" -R "ReplicationTest|ChaosTest" \
+    --output-on-failure --timeout 300
 fi

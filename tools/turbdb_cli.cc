@@ -47,6 +47,9 @@ struct CliOptions {
   std::string connect;   ///< host:port of a turbdb_server; empty = local.
   std::string topology;  ///< host:port list of turbdb_node processes.
   int replication_factor = 1;
+  /// Per-query budget in ms (--connect only; 0 = the client default).
+  /// Carried in every request frame; exhaustion exits 4.
+  int64_t deadline_ms = 0;
   bool help = false;
   std::string command;
   std::vector<std::string> args;
@@ -78,11 +81,21 @@ void PrintUsage() {
       "  --seed S         generator seed (default 2015, local mode)\n"
       "  --storage-dir D  durable atom files (reopened across runs)\n"
       "  --connect H:P    run commands against a turbdb_server\n"
+      "  --deadline-ms D  per-query time budget (--connect only); the\n"
+      "                   remaining budget rides in every request frame\n"
+      "                   and bounds retries, backoff and server work\n"
       "  --topology T     comma-separated host:port list of turbdb_node\n"
       "                   processes (cluster-status)\n"
       "  --replication-factor R\n"
       "                   replica-group width of the topology (default 1)\n"
       "  --help           this message\n"
+      "\n"
+      "exit codes:\n"
+      "  0  success\n"
+      "  1  query error (server answered with a typed failure)\n"
+      "  2  usage error (bad flags or command arguments)\n"
+      "  3  unreachable (transport retries exhausted, endpoint down)\n"
+      "  4  deadline exceeded (the --deadline-ms budget ran out)\n"
       "\n"
       "the dataset is MHD-like: raw fields 'velocity' and 'magnetic';\n"
       "derived fields include vorticity, current, q_criterion,\n"
@@ -154,6 +167,13 @@ bool ParseArgs(int argc, char** argv, CliOptions* options,
         return false;
       }
       options->replication_factor = static_cast<int>(value);
+    } else if (arg == "--deadline-ms") {
+      if (!next(&value)) return false;
+      if (value < 0) {
+        *error = "--deadline-ms must be non-negative";
+        return false;
+      }
+      options->deadline_ms = value;
     } else if (arg.rfind("--", 0) == 0 || (arg.size() > 1 && arg[0] == '-')) {
       *error = "unknown option " + arg;
       return false;
@@ -176,11 +196,24 @@ std::string RawFieldFor(const std::string& derived) {
   return "velocity";
 }
 
-/// Reports a failed query and picks the exit code. Transport-retry
-/// exhaustion (the server, or one of its database nodes, stayed
-/// unreachable through the client's retry budget) exits 3 so scripts can
-/// tell a dead endpoint from a bad query (1) or bad usage (2).
-int ReportFailure(const Status& status) {
+/// Reports a failed query and picks the exit code (see the table in
+/// --help). A deadline failure exits 4 and restates the exhausted
+/// budget; transport-retry exhaustion (the server, or one of its
+/// database nodes, stayed unreachable through the client's retry
+/// budget) exits 3 so scripts can tell a dead endpoint from a bad
+/// query (1) or bad usage (2).
+int ReportFailure(const Status& status, int64_t deadline_ms = 0) {
+  if (status.IsDeadlineExceeded()) {
+    if (deadline_ms > 0) {
+      std::fprintf(stderr, "deadline exceeded (budget %lld ms): %s\n",
+                   static_cast<long long>(deadline_ms),
+                   status.ToString().c_str());
+    } else {
+      std::fprintf(stderr, "deadline exceeded: %s\n",
+                   status.ToString().c_str());
+    }
+    return 4;
+  }
   if (status.IsUnreachable()) {
     std::fprintf(stderr, "unreachable: %s\n", status.ToString().c_str());
     return 3;
@@ -211,7 +244,7 @@ int RunCommand(const CliOptions& options, const Backend& backend) {
   stats_query.box = whole;
   stats_query.fd_order = options.fd_order;
   auto stats = backend.stats(stats_query);
-  if (!stats.ok()) return ReportFailure(stats.status());
+  if (!stats.ok()) return ReportFailure(stats.status(), options.deadline_ms);
 
   if (options.command == "stats") {
     std::printf("%s of %s @ t=%d: mean %.4f  rms %.4f  max %.4f  "
@@ -233,7 +266,7 @@ int RunCommand(const CliOptions& options, const Backend& backend) {
     query.bin_width = stats->rms;
     query.num_bins = 9;
     auto pdf = backend.pdf(query);
-    if (!pdf.ok()) return ReportFailure(pdf.status());
+    if (!pdf.ok()) return ReportFailure(pdf.status(), options.deadline_ms);
     for (size_t bin = 0; bin < pdf->counts.size(); ++bin) {
       std::printf("[%4.1f rms, %s)  %10llu\n", static_cast<double>(bin),
                   bin + 1 < pdf->counts.size()
@@ -254,7 +287,7 @@ int RunCommand(const CliOptions& options, const Backend& backend) {
     query.fd_order = options.fd_order;
     query.k = std::strtoull(options.args[1].c_str(), nullptr, 10);
     auto result = backend.topk(query);
-    if (!result.ok()) return ReportFailure(result.status());
+    if (!result.ok()) return ReportFailure(result.status(), options.deadline_ms);
     for (const ThresholdPoint& point : result->points) {
       uint32_t x, y, z;
       point.Coords(&x, &y, &z);
@@ -283,7 +316,7 @@ int RunCommand(const CliOptions& options, const Backend& backend) {
   query.threshold = threshold;
   query.fd_order = options.fd_order;
   auto result = backend.threshold(query);
-  if (!result.ok()) return ReportFailure(result.status());
+  if (!result.ok()) return ReportFailure(result.status(), options.deadline_ms);
   std::printf("%zu points with |%s| >= %.4f (%.2f rms)  [cache %s]\n",
               result->points.size(), derived.c_str(), threshold,
               threshold / stats->rms,
@@ -391,7 +424,15 @@ int RunRemote(const CliOptions& options) {
                  host_port.status().ToString().c_str());
     return 2;
   }
-  net::Client client(host_port->first, host_port->second);
+  net::ClientOptions client_options;
+  if (options.deadline_ms > 0) {
+    client_options.deadline_ms = static_cast<uint64_t>(options.deadline_ms);
+    // Let the response frame outlive the budget, so exhaustion surfaces
+    // as the typed deadline error rather than a read timeout.
+    client_options.read_timeout_ms =
+        static_cast<int>(options.deadline_ms + 2000);
+  }
+  net::Client client(host_port->first, host_port->second, client_options);
 
   if (options.command == "fields") {
     std::fprintf(stderr,
@@ -400,13 +441,13 @@ int RunRemote(const CliOptions& options) {
   }
   if (options.command == "ping") {
     Status status = client.Ping();
-    if (!status.ok()) return ReportFailure(status);
+    if (!status.ok()) return ReportFailure(status, options.deadline_ms);
     std::printf("pong from %s:%u\n", client.host().c_str(), client.port());
     return 0;
   }
   if (options.command == "server-stats") {
     auto stats = client.ServerStats();
-    if (!stats.ok()) return ReportFailure(stats.status());
+    if (!stats.ok()) return ReportFailure(stats.status(), options.deadline_ms);
     std::printf(
         "requests ok       %llu\n"
         "requests error    %llu\n"

@@ -28,6 +28,7 @@
 
 #include "cluster/node_service.h"
 #include "cluster/topology.h"
+#include "common/fault.h"
 #include "net/server.h"
 #include "storage/epoch.h"
 
@@ -53,6 +54,7 @@ struct NodeCliOptions {
   int64_t deadline_ms = 60000;
   int replication_factor = 1;
   bool fsync_ingest = true;
+  std::string faults;
   bool help = false;
 };
 
@@ -80,6 +82,10 @@ void PrintUsage() {
       "                   replica-group width: peers [g*R,(g+1)*R) all\n"
       "                   serve shard g (default 1 = unreplicated)\n"
       "  --no-fsync       skip the per-batch fsync of durable ingest\n"
+      "  --faults SPEC    arm deterministic fault injection, e.g.\n"
+      "                   server.reply.truncate=truncate:8:1 (needs a\n"
+      "                   build with -DTURBDB_FAULTS=ON; TURBDB_FAULTS\n"
+      "                   env var works too)\n"
       "  --help           this message\n");
 }
 
@@ -162,6 +168,8 @@ bool ParseArgs(int argc, char** argv, NodeCliOptions* options,
       options->replication_factor = static_cast<int>(value);
     } else if (arg == "--no-fsync") {
       options->fsync_ingest = false;
+    } else if (arg == "--faults") {
+      if (!next_str(&options->faults)) return false;
     } else {
       *error = "unknown option " + arg;
       return false;
@@ -183,6 +191,20 @@ int main(int argc, char** argv) {
   if (options.help) {
     PrintUsage();
     return 0;
+  }
+
+  // A peer or mediator that vanishes mid-reply must surface as a typed
+  // write error on that connection, not kill the node with SIGPIPE.
+  std::signal(SIGPIPE, SIG_IGN);
+
+  Status fault_status = fault::InitFromEnv();
+  if (fault_status.ok() && !options.faults.empty()) {
+    fault_status = fault::Configure(options.faults);
+  }
+  if (!fault_status.ok()) {
+    std::fprintf(stderr, "turbdb_node: bad fault spec: %s\n",
+                 fault_status.ToString().c_str());
+    return 2;
   }
 
   NodeServiceConfig config;

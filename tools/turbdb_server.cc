@@ -22,6 +22,7 @@
 
 #include "cluster/service.h"
 #include "cluster/topology.h"
+#include "common/fault.h"
 #include "core/turbdb.h"
 #include "net/server.h"
 
@@ -49,6 +50,7 @@ struct ServerCliOptions {
   std::string topology_file;  ///< One host:port per line.
   int replication_factor = 1;
   bool fsync_ingest = true;
+  std::string faults;
   bool help = false;
 };
 
@@ -78,6 +80,10 @@ void PrintUsage() {
       "                   group consecutive topology entries into replica\n"
       "                   groups of R (default 1 = unreplicated)\n"
       "  --no-fsync       skip the per-batch fsync of durable ingest\n"
+      "  --faults SPEC    arm deterministic fault injection, e.g.\n"
+      "                   server.reply.delay=delay:5000:1 (needs a build\n"
+      "                   with -DTURBDB_FAULTS=ON; TURBDB_FAULTS env var\n"
+      "                   works too)\n"
       "  --help           this message\n");
 }
 
@@ -171,6 +177,12 @@ bool ParseArgs(int argc, char** argv, ServerCliOptions* options,
       options->replication_factor = static_cast<int>(value);
     } else if (arg == "--no-fsync") {
       options->fsync_ingest = false;
+    } else if (arg == "--faults") {
+      if (i + 1 >= argc) {
+        *error = "option --faults requires a value";
+        return false;
+      }
+      options->faults = argv[++i];
     } else {
       *error = "unknown option " + arg;
       return false;
@@ -192,6 +204,20 @@ int main(int argc, char** argv) {
   if (options.help) {
     PrintUsage();
     return 0;
+  }
+
+  // A client that vanishes mid-reply must surface as a typed write error
+  // on that one connection, not kill the whole process with SIGPIPE.
+  std::signal(SIGPIPE, SIG_IGN);
+
+  Status fault_status = fault::InitFromEnv();
+  if (fault_status.ok() && !options.faults.empty()) {
+    fault_status = fault::Configure(options.faults);
+  }
+  if (!fault_status.ok()) {
+    std::fprintf(stderr, "turbdb_server: bad fault spec: %s\n",
+                 fault_status.ToString().c_str());
+    return 2;
   }
 
   TurbDBConfig config;
