@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "cluster/remote_node.h"
+#include "common/governor.h"
 #include "common/logging.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
@@ -151,13 +152,24 @@ Status Mediator::IngestTimestep(
   TURBDB_ASSIGN_OR_RETURN(const DatasetState* state, GetDatasetState(dataset));
   TURBDB_ASSIGN_OR_RETURN(const int ncomp, state->info.FieldNcomp(field));
   (void)ncomp;
+  // Materialized-but-unshipped atoms across all workers are charged to
+  // this shared budget, so a timestep larger than RAM pages through in
+  // bounded batches instead of being built whole. (The governor outlives
+  // the futures: every one is joined below.)
+  ResourceGovernor ingest_budget(0, config_.ingest_budget_bytes);
   std::vector<std::future<Status>> futures;
+  const size_t slices =
+      std::max<size_t>(1, static_cast<size_t>(workers_->num_threads()));
+  // Flush threshold per worker: a fraction of the shared budget so the
+  // concurrent slices still batch RPCs without ganging up on the cap.
+  const uint64_t flush_bytes =
+      config_.ingest_budget_bytes == 0
+          ? 0
+          : std::max<uint64_t>(1, config_.ingest_budget_bytes / (2 * slices));
   for (int node_id = 0; node_id < num_nodes(); ++node_id) {
     const std::vector<uint64_t> codes =
         state->partitioner.NodeAtoms(node_id);
     // Slice each node's shard so ingestion saturates the worker pool.
-    const size_t slices =
-        std::max<size_t>(1, static_cast<size_t>(workers_->num_threads()));
     for (size_t s = 0; s < slices; ++s) {
       const size_t begin = codes.size() * s / slices;
       const size_t end = codes.size() * (s + 1) / slices;
@@ -165,18 +177,49 @@ Status Mediator::IngestTimestep(
       std::vector<uint64_t> slice(codes.begin() + begin, codes.begin() + end);
       NodeBackend* backend = backends_[static_cast<size_t>(node_id)].get();
       futures.push_back(workers_->Submit(
-          [backend, &dataset, &field, timestep, &generate,
-           slice = std::move(slice)]() -> Status {
-            // Materialize the whole slice first so a remote backend ships
-            // it in a few batched RPCs instead of one per atom.
-            std::vector<Atom> atoms;
-            atoms.reserve(slice.size());
+          [backend, &dataset, &field, timestep, &generate, &ingest_budget,
+           flush_bytes, slice = std::move(slice)]() -> Status {
+            // Page the slice in bounded batches: each batch still ships
+            // as one RPC to a remote backend, but the batch size is
+            // capped by the shared byte budget instead of the slice
+            // length.
+            std::vector<Atom> batch;
+            std::vector<ResourceGovernor::ByteReservation> held;
+            uint64_t batch_bytes = 0;
+            auto flush = [&]() -> Status {
+              if (batch.empty()) return Status::OK();
+              Status shipped = backend->IngestAtoms(dataset, field, batch);
+              batch.clear();
+              held.clear();  // Returns the bytes to the budget.
+              batch_bytes = 0;
+              return shipped;
+            };
             for (uint64_t code : slice) {
               auto atom = generate(timestep, code);
               if (!atom.ok()) return atom.status();
-              atoms.push_back(std::move(atom).value());
+              const uint64_t atom_bytes =
+                  atom->data.size() * sizeof(float) + sizeof(Atom);
+              // Ship what we hold before blocking on a full budget, so a
+              // waiting worker never deadlocks the others by sitting on
+              // its own share (and the progress guarantee admits even a
+              // single atom larger than the whole budget).
+              ResourceGovernor::ByteReservation reservation;
+              Status reserved =
+                  ingest_budget.TryReserve(atom_bytes, &reservation);
+              if (!reserved.ok()) {
+                TURBDB_RETURN_NOT_OK(flush());
+                reserved = ingest_budget.ReserveBlocking(atom_bytes,
+                                                         &reservation);
+                if (!reserved.ok()) return reserved;
+              }
+              held.push_back(std::move(reservation));
+              batch.push_back(std::move(atom).value());
+              batch_bytes += atom_bytes;
+              if (flush_bytes != 0 && batch_bytes >= flush_bytes) {
+                TURBDB_RETURN_NOT_OK(flush());
+              }
             }
-            return backend->IngestAtoms(dataset, field, atoms);
+            return flush();
           }));
     }
   }
@@ -251,7 +294,9 @@ Result<NodeQuery> Mediator::BuildNodeQuery(
 }
 
 Result<std::vector<NodeOutcome>> Mediator::Dispatch(
-    const NodeQuery& node_query, const CallBudget& budget) {
+    const NodeQuery& node_query, const CallBudget& budget,
+    const std::function<Status(std::vector<ThresholdPoint> points)>&
+        point_sink) {
   // Split the query along the spatial layout and submit each part
   // asynchronously to the node storing the data (Fig. 1).
   const Box3 cover =
@@ -348,6 +393,18 @@ Result<std::vector<NodeOutcome>> Mediator::Dispatch(
     }
     outcomes.push_back(std::move(value));
     outcomes.back().node_id = participants[i];
+    if (point_sink != nullptr && failure.ok()) {
+      // Streamed consumption: hand this outcome's points off while the
+      // other shards are still running, keeping at most one outcome's
+      // points resident. A sink failure (the client hung up) aborts the
+      // tail exactly like a hard shard failure.
+      Status sunk = point_sink(std::move(outcomes.back().points));
+      outcomes.back().points.clear();
+      if (!sunk.ok()) {
+        failure = sunk;
+        cancel_rest(i + 1);
+      }
+    }
   }
   if (!failure.ok()) return failure;
   return outcomes;
@@ -424,6 +481,72 @@ Result<ThresholdResult> Mediator::GetThreshold(const ThresholdQuery& query,
   result.time = MergeNodeTimes(outcomes);
   result.result_bytes_binary = EncodePointsBinary(result.points).size();
   result.result_bytes_xml = EncodePointsXml(result.points).size();
+  const auto& cost = config_.cost;
+  result.time.mediator_db_comm_s =
+      static_cast<double>(outcomes.size()) *
+          (cost.mediator_dispatch_s + cost.lan.latency_s) +
+      static_cast<double>(result.result_bytes_binary) /
+          cost.lan.bandwidth_bps;
+  result.time.mediator_user_comm_s =
+      cost.wan.TransferCost(result.result_bytes_xml);
+  FillNodeStats(outcomes, &result.node_stats);
+  result.wall_seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+Result<ThresholdResult> Mediator::GetThresholdStreaming(
+    const ThresholdQuery& query, const QueryOptions& options,
+    const CallBudget& budget, uint64_t chunk_points,
+    const ThresholdChunkSink& sink) {
+  Stopwatch watch;
+  TURBDB_RETURN_NOT_OK(ValidateThresholdQuery(query));
+  TURBDB_ASSIGN_OR_RETURN(
+      NodeQuery node_query,
+      BuildNodeQuery(NodeQuery::Mode::kThreshold, query.dataset,
+                     query.raw_field, query.derived_field, query.timestep,
+                     query.box, query.fd_order, options));
+  node_query.threshold = query.threshold;
+
+  // Slice each joined outcome into bounded chunks and push them through
+  // the sink as the outcome arrives: the mediator holds at most one
+  // outcome's points, never the union. The point cap is enforced inside
+  // Dispatch (a streamed reply must fail *before* the client has seen
+  // points it would have to throw away, so the cap trips at join time).
+  const uint64_t slice = chunk_points == 0 ? 32768 : chunk_points;
+  uint64_t streamed_points = 0;
+  uint64_t binary_bytes = 0;
+  uint64_t xml_bytes = 0;
+  auto outcome_sink = [&](std::vector<ThresholdPoint> points) -> Status {
+    size_t begin = 0;
+    while (begin < points.size()) {
+      const size_t end =
+          std::min(points.size(), begin + static_cast<size_t>(slice));
+      std::vector<ThresholdPoint> part(
+          std::make_move_iterator(points.begin() + begin),
+          std::make_move_iterator(points.begin() + end));
+      begin = end;
+      streamed_points += part.size();
+      // The user-facing XML rendering happens on the consumer; account
+      // its modeled transfer size here so the summary's WAN term matches
+      // the non-streamed path.
+      xml_bytes += EncodePointsXml(part).size();
+      TURBDB_ASSIGN_OR_RETURN(uint64_t chunk_bytes,
+                              sink(std::move(part), streamed_points));
+      binary_bytes += chunk_bytes;
+    }
+    return Status::OK();
+  };
+  TURBDB_ASSIGN_OR_RETURN(std::vector<NodeOutcome> outcomes,
+                          Dispatch(node_query, budget, outcome_sink));
+
+  ThresholdResult result;  // Summary only: points already streamed.
+  result.all_cache_hits =
+      !outcomes.empty() &&
+      std::all_of(outcomes.begin(), outcomes.end(),
+                  [](const NodeOutcome& o) { return o.cache_hit; });
+  result.time = MergeNodeTimes(outcomes);
+  result.result_bytes_binary = binary_bytes;
+  result.result_bytes_xml = xml_bytes;
   const auto& cost = config_.cost;
   result.time.mediator_db_comm_s =
       static_cast<double>(outcomes.size()) *

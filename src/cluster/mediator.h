@@ -53,6 +53,12 @@ struct ClusterConfig {
   /// completion so acknowledged atoms survive a crash. Benches that only
   /// measure modeled time turn it off (--no-fsync).
   bool fsync_ingest = true;
+  /// Byte budget shared by every IngestTimestep worker for atoms
+  /// materialized but not yet shipped to their node. Workers page their
+  /// slice in bounded batches against this budget instead of
+  /// materializing the whole slice, so ingesting a timestep larger than
+  /// RAM stays safe. 0 = unlimited (one batch per slice).
+  uint64_t ingest_budget_bytes = 256u << 20;
 };
 
 /// Execution budget a transport front-end (cluster/service.h) attaches
@@ -102,6 +108,28 @@ class Mediator {
   Result<ThresholdResult> GetThreshold(const ThresholdQuery& query,
                                        const QueryOptions& options = {},
                                        const CallBudget& budget = {});
+
+  /// Consumes one chunk of a streamed threshold reply: the points of at
+  /// most `chunk_points` joined results plus the running total delivered
+  /// so far (including this chunk). Returns the encoded chunk size in
+  /// bytes — fed back into the comm-time model — or an error, which
+  /// aborts the query and cancels the not-yet-joined shards.
+  using ThresholdChunkSink = std::function<Result<uint64_t>(
+      std::vector<ThresholdPoint> points, uint64_t total_points)>;
+
+  /// Bounded-memory variant of GetThreshold: each joined sub-query
+  /// outcome is sliced into chunks of at most `chunk_points` points and
+  /// handed to `sink` *as it arrives*, instead of being accumulated and
+  /// globally sorted on the mediator. The returned result carries the
+  /// summary (cache hits, modeled times, per-node stats, byte counters
+  /// summed over the streamed chunks) with an *empty* point set; the
+  /// consumer reassembles the points (z-order sort of the union) and
+  /// gets a byte-identical set to the non-streamed path. A sink failure
+  /// (client hung up) propagates out after the cancel fan-out.
+  Result<ThresholdResult> GetThresholdStreaming(
+      const ThresholdQuery& query, const QueryOptions& options,
+      const CallBudget& budget, uint64_t chunk_points,
+      const ThresholdChunkSink& sink);
 
   /// Histogram of the derived-field norm (Fig. 2).
   Result<PdfResult> GetPdf(const PdfQuery& query,
@@ -177,8 +205,15 @@ class Mediator {
   /// hard, the point cap trips, or `budget.cancel` flips, the token is
   /// set and the remaining in-flight sub-queries are cancelled instead
   /// of running to completion for a result nobody will merge.
-  Result<std::vector<NodeOutcome>> Dispatch(const NodeQuery& node_query,
-                                            const CallBudget& budget);
+  ///
+  /// When `point_sink` is set, each outcome's points are *moved* into it
+  /// as that outcome joins (the returned outcomes keep their metadata but
+  /// empty point vectors), so the mediator never holds more than one
+  /// outcome's points. A sink error aborts like a hard shard failure.
+  Result<std::vector<NodeOutcome>> Dispatch(
+      const NodeQuery& node_query, const CallBudget& budget,
+      const std::function<Status(std::vector<ThresholdPoint> points)>&
+          point_sink = nullptr);
 
   const Differentiator* GetDifferentiator(const std::string& dataset,
                                           const GridGeometry& geometry,

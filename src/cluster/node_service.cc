@@ -1,7 +1,9 @@
 #include "cluster/node_service.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
+#include <iterator>
 #include <thread>
 #include <utility>
 
@@ -371,6 +373,39 @@ Result<std::vector<uint8_t>> NodeService::HandleExecute(
   result.cache_hit = outcome.cache_hit;
   result.time = outcome.time;
   result.io = outcome.io;
+  if (request.stream && ctx.emit != nullptr) {
+    // Streamed sub-reply: the points leave as bounded kThresholdChunk
+    // frames (each reserved against the node server's result budget),
+    // the terminating NodeResult carries only the counters — so a
+    // sub-reply is never limited by the frame cap and the encoded bytes
+    // in flight stay bounded.
+    const uint64_t slice = ctx.chunk_points == 0 ? 32768 : ctx.chunk_points;
+    uint64_t seq = 0;
+    uint64_t total = 0;
+    size_t begin = 0;
+    while (begin < result.points.size()) {
+      const size_t end = std::min(result.points.size(),
+                                  begin + static_cast<size_t>(slice));
+      net::ThresholdChunk chunk;
+      chunk.seq = seq++;
+      chunk.points.assign(
+          std::make_move_iterator(result.points.begin() +
+                                  static_cast<ptrdiff_t>(begin)),
+          std::make_move_iterator(result.points.begin() +
+                                  static_cast<ptrdiff_t>(end)));
+      begin = end;
+      total += chunk.points.size();
+      chunk.total_points = total;
+      ResourceGovernor::ByteReservation reservation;
+      if (ctx.governor != nullptr) {
+        TURBDB_RETURN_NOT_OK(ctx.governor->ReserveBlocking(
+            chunk.points.size() * 20 + 64, &reservation,
+            ctx.cancelled.get()));
+      }
+      TURBDB_RETURN_NOT_OK(ctx.emit(net::EncodeThresholdChunk(chunk)));
+    }
+    result.points.clear();
+  }
   return net::EncodeNodeExecuteResponse(result);
 }
 

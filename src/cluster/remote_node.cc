@@ -139,6 +139,10 @@ Result<net::NodeListStoresReply> RemoteNode::ListStores() {
 Result<NodeOutcome> RemoteNode::Execute(const NodeQuery& query) {
   net::NodeExecuteRequest request;
   request.spec = ToSpec(query);
+  // Threshold sub-replies stream back as bounded chunk frames, so a
+  // large sub-result is neither capped by the frame limit nor buffered
+  // whole on the node's encoder.
+  request.stream = query.mode == NodeQuery::Mode::kThreshold;
   // Each hop carries the *remaining* budget: the sub-query deadline,
   // tightened by whatever is left of the caller's overall deadline.
   uint64_t budget_ms = options_.subquery_deadline_ms;

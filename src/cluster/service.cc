@@ -40,7 +40,39 @@ net::Server::Handler MediatorHandler(Mediator* mediator) {
 
     if (std::holds_alternative<net::ThresholdRequest>(request)) {
       const auto& req = std::get<net::ThresholdRequest>(request);
-      finish(mediator->GetThreshold(req.query, req.options, budget));
+      if (req.stream && ctx.emit != nullptr) {
+        // Streamed reply: encode each chunk as a kThresholdChunk frame
+        // and push it to the connection now; the terminating frame is the
+        // summary (or error) this handler returns. Each chunk's buffer is
+        // reserved against the server's result-byte budget *before* it is
+        // materialized, so concurrent large replies cannot blow past the
+        // configured memory bound — they wait (bounded by the deadline /
+        // cancel token) for earlier chunks to drain.
+        uint64_t seq = 0;
+        Mediator::ThresholdChunkSink sink =
+            [&](std::vector<ThresholdPoint> points,
+                uint64_t total_points) -> Result<uint64_t> {
+          ResourceGovernor::ByteReservation reservation;
+          if (ctx.governor != nullptr) {
+            // Upper-bound estimate of the encoded chunk: <= 20 bytes per
+            // point (3 varint coords + float + float) plus header slack.
+            const uint64_t estimate = points.size() * 20 + 64;
+            TURBDB_RETURN_NOT_OK(ctx.governor->ReserveBlocking(
+                estimate, &reservation, ctx.cancelled.get()));
+          }
+          net::ThresholdChunk chunk;
+          chunk.seq = seq++;
+          chunk.points = std::move(points);
+          chunk.total_points = total_points;
+          const std::vector<uint8_t> frame = net::EncodeThresholdChunk(chunk);
+          TURBDB_RETURN_NOT_OK(ctx.emit(frame));
+          return static_cast<uint64_t>(frame.size());
+        };
+        finish(mediator->GetThresholdStreaming(req.query, req.options, budget,
+                                               ctx.chunk_points, sink));
+      } else {
+        finish(mediator->GetThreshold(req.query, req.options, budget));
+      }
     } else if (std::holds_alternative<net::PdfRequest>(request)) {
       finish(mediator->GetPdf(std::get<net::PdfRequest>(request).query,
                               budget));

@@ -21,6 +21,13 @@
 //
 // e.g. TURBDB_FAULTS="server.reply.delay=delay:5000:1" delays the first
 // reply by five seconds and then serves normally.
+//
+// Streamed-reply sites (any armed action fires them):
+//   server.chunk_truncate       write only `arg` bytes of a streamed
+//                               chunk frame, then sever the connection
+//   client.disconnect_mid_stream the client severs its connection after
+//                               the first received chunk (server-side
+//                               cancel/abort drill)
 
 #include <cstdint>
 #include <string>

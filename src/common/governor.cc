@@ -1,0 +1,116 @@
+#include "common/governor.h"
+
+#include <chrono>
+#include <string>
+
+namespace turbdb {
+
+void ResourceGovernor::AdmitTicket::Release() {
+  if (governor_ != nullptr) {
+    governor_->ReleaseSlot();
+    governor_ = nullptr;
+  }
+}
+
+void ResourceGovernor::ByteReservation::Release() {
+  if (governor_ != nullptr) {
+    governor_->ReleaseBytes(bytes_);
+    governor_ = nullptr;
+    bytes_ = 0;
+  }
+}
+
+Status ResourceGovernor::TryAdmit(AdmitTicket* ticket) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (max_concurrent_ != 0 && in_flight_ >= max_concurrent_) {
+      shed_.fetch_add(1, std::memory_order_relaxed);
+      return Status::ResourceExhausted(
+          "server over admission budget (" + std::to_string(in_flight_) +
+          "/" + std::to_string(max_concurrent_) +
+          " queries in flight); retry later");
+    }
+    ++in_flight_;
+  }
+  admitted_.fetch_add(1, std::memory_order_relaxed);
+  *ticket = AdmitTicket(this);
+  return Status::OK();
+}
+
+Status ResourceGovernor::TryReserve(uint64_t bytes,
+                                    ByteReservation* reservation) {
+  if (bytes == 0) {
+    *reservation = ByteReservation(this, 0);
+    return Status::OK();
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (max_bytes_ != 0 && bytes_in_use_ + bytes > max_bytes_) {
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    return Status::ResourceExhausted(
+        "server over memory budget (" + std::to_string(bytes_in_use_) +
+        " bytes in use, " + std::to_string(bytes) + " requested, budget " +
+        std::to_string(max_bytes_) + ")");
+  }
+  bytes_in_use_ += bytes;
+  uint64_t peak = peak_bytes_.load(std::memory_order_relaxed);
+  while (bytes_in_use_ > peak &&
+         !peak_bytes_.compare_exchange_weak(peak, bytes_in_use_,
+                                            std::memory_order_relaxed)) {
+  }
+  *reservation = ByteReservation(this, bytes);
+  return Status::OK();
+}
+
+Status ResourceGovernor::ReserveBlocking(uint64_t bytes,
+                                         ByteReservation* reservation,
+                                         const std::atomic<bool>* cancelled) {
+  if (bytes == 0) {
+    *reservation = ByteReservation(this, 0);
+    return Status::OK();
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    const bool fits = max_bytes_ == 0 || bytes_in_use_ + bytes <= max_bytes_;
+    // Progress guarantee: an oversized unit passes when the ledger is
+    // empty, so it runs alone instead of waiting forever.
+    if (fits || bytes_in_use_ == 0) break;
+    if (cancelled != nullptr &&
+        cancelled->load(std::memory_order_relaxed)) {
+      return Status::Cancelled("reservation abandoned: query cancelled");
+    }
+    bytes_freed_.wait_for(lock, std::chrono::milliseconds(5));
+  }
+  bytes_in_use_ += bytes;
+  uint64_t peak = peak_bytes_.load(std::memory_order_relaxed);
+  while (bytes_in_use_ > peak &&
+         !peak_bytes_.compare_exchange_weak(peak, bytes_in_use_,
+                                            std::memory_order_relaxed)) {
+  }
+  *reservation = ByteReservation(this, bytes);
+  return Status::OK();
+}
+
+uint64_t ResourceGovernor::in_flight() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return in_flight_;
+}
+
+uint64_t ResourceGovernor::bytes_in_use() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return bytes_in_use_;
+}
+
+void ResourceGovernor::ReleaseSlot() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (in_flight_ > 0) --in_flight_;
+}
+
+void ResourceGovernor::ReleaseBytes(uint64_t bytes) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    bytes_in_use_ = bytes_in_use_ >= bytes ? bytes_in_use_ - bytes : 0;
+  }
+  bytes_freed_.notify_all();
+}
+
+}  // namespace turbdb

@@ -1,0 +1,143 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <utility>
+
+#include "common/status.h"
+
+namespace turbdb {
+
+/// Small resource-accounting layer behind admission control and
+/// bounded-memory streaming.
+///
+/// A `ResourceGovernor` tracks two budgets:
+///
+///   * **Concurrency** — how many queries may be in flight at once.
+///     `TryAdmit` either hands back an RAII `AdmitTicket` or fails fast
+///     with `kResourceExhausted` (shed, never queued): under overload the
+///     cheapest thing a server can do is say "no" immediately.
+///   * **Bytes** — how much result/ingest payload may be buffered at
+///     once. `TryReserve` is the fail-fast variant; `ReserveBlocking`
+///     waits for space and is meant for internal producers (the
+///     streaming encoder, the ingest pager) that hold a slot already and
+///     make progress by waiting. To guarantee progress it lets a single
+///     oversized reservation through when nothing else is charged,
+///     so one chunk larger than the whole budget degrades to serial
+///     operation instead of deadlocking.
+///
+/// Both budgets treat 0 as "unlimited" so a default-constructed governor
+/// is a no-op. All counters are monotonic except the in-use gauges;
+/// `peak_bytes` records the high-water mark of `bytes_in_use` so tests
+/// (and operators) can check that streaming really bounded memory.
+class ResourceGovernor {
+ public:
+  ResourceGovernor() = default;
+  ResourceGovernor(uint64_t max_concurrent, uint64_t max_bytes)
+      : max_concurrent_(max_concurrent), max_bytes_(max_bytes) {}
+
+  ResourceGovernor(const ResourceGovernor&) = delete;
+  ResourceGovernor& operator=(const ResourceGovernor&) = delete;
+
+  /// RAII admission slot. Releases the concurrency slot on destruction.
+  class AdmitTicket {
+   public:
+    AdmitTicket() = default;
+    AdmitTicket(AdmitTicket&& other) noexcept
+        : governor_(std::exchange(other.governor_, nullptr)) {}
+    AdmitTicket& operator=(AdmitTicket&& other) noexcept {
+      if (this != &other) {
+        Release();
+        governor_ = std::exchange(other.governor_, nullptr);
+      }
+      return *this;
+    }
+    ~AdmitTicket() { Release(); }
+
+    bool valid() const { return governor_ != nullptr; }
+    void Release();
+
+   private:
+    friend class ResourceGovernor;
+    explicit AdmitTicket(ResourceGovernor* governor) : governor_(governor) {}
+    ResourceGovernor* governor_ = nullptr;
+  };
+
+  /// RAII byte reservation. Returns the bytes on destruction.
+  class ByteReservation {
+   public:
+    ByteReservation() = default;
+    ByteReservation(ByteReservation&& other) noexcept
+        : governor_(std::exchange(other.governor_, nullptr)),
+          bytes_(std::exchange(other.bytes_, 0)) {}
+    ByteReservation& operator=(ByteReservation&& other) noexcept {
+      if (this != &other) {
+        Release();
+        governor_ = std::exchange(other.governor_, nullptr);
+        bytes_ = std::exchange(other.bytes_, 0);
+      }
+      return *this;
+    }
+    ~ByteReservation() { Release(); }
+
+    bool valid() const { return governor_ != nullptr; }
+    uint64_t bytes() const { return bytes_; }
+    void Release();
+
+   private:
+    friend class ResourceGovernor;
+    ByteReservation(ResourceGovernor* governor, uint64_t bytes)
+        : governor_(governor), bytes_(bytes) {}
+    ResourceGovernor* governor_ = nullptr;
+    uint64_t bytes_ = 0;
+  };
+
+  /// Admits a query or sheds it fast. On success `ticket` holds the slot;
+  /// on failure returns `kResourceExhausted` naming the limit, and the
+  /// shed counter is bumped.
+  Status TryAdmit(AdmitTicket* ticket);
+
+  /// Reserves `bytes` against the byte budget or fails fast with
+  /// `kResourceExhausted`. Zero-byte reservations always succeed.
+  Status TryReserve(uint64_t bytes, ByteReservation* reservation);
+
+  /// Reserves `bytes`, blocking until space frees up. Progress guarantee:
+  /// when nothing is currently charged, one oversized reservation is let
+  /// through so a producer whose single unit exceeds the budget still
+  /// completes (serially). Returns `kCancelled` if `cancelled` flips
+  /// while waiting (poll interval a few ms), never `kResourceExhausted`.
+  Status ReserveBlocking(uint64_t bytes, ByteReservation* reservation,
+                         const std::atomic<bool>* cancelled = nullptr);
+
+  uint64_t max_concurrent() const { return max_concurrent_; }
+  uint64_t max_bytes() const { return max_bytes_; }
+
+  uint64_t in_flight() const;
+  uint64_t admitted() const { return admitted_.load(std::memory_order_relaxed); }
+  uint64_t shed() const { return shed_.load(std::memory_order_relaxed); }
+  uint64_t bytes_in_use() const;
+  /// High-water mark of bytes_in_use since construction.
+  uint64_t peak_bytes() const {
+    return peak_bytes_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void ReleaseSlot();
+  void ReleaseBytes(uint64_t bytes);
+
+  const uint64_t max_concurrent_ = 0;  ///< 0 = unlimited.
+  const uint64_t max_bytes_ = 0;       ///< 0 = unlimited.
+
+  mutable std::mutex mutex_;
+  std::condition_variable bytes_freed_;
+  uint64_t in_flight_ = 0;
+  uint64_t bytes_in_use_ = 0;
+
+  std::atomic<uint64_t> admitted_{0};
+  std::atomic<uint64_t> shed_{0};
+  std::atomic<uint64_t> peak_bytes_{0};
+};
+
+}  // namespace turbdb

@@ -32,6 +32,7 @@ enum class StatusCode : int {
   kVersionMismatch = 14,
   kDeadlineExceeded = 15,
   kCancelled = 16,
+  kResourceExhausted = 17,
 };
 
 /// Returns a stable human-readable name for a status code ("IOError" etc.).
@@ -97,6 +98,9 @@ class Status {
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
   }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -117,6 +121,9 @@ class Status {
     return code_ == StatusCode::kDeadlineExceeded;
   }
   bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
 
   /// "OK" or "<Code>: <message>".
   std::string ToString() const;

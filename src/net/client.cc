@@ -4,7 +4,11 @@
 #include <chrono>
 #include <cstdint>
 #include <functional>
+#include <iterator>
 #include <thread>
+
+#include "common/fault.h"
+#include "wire/serializer.h"
 
 namespace turbdb {
 namespace net {
@@ -61,6 +65,8 @@ Client::Client(std::string host, uint16_t port, ClientOptions options)
     : host_(std::move(host)),
       port_(port),
       options_(options),
+      site_disconnect_mid_stream_(options_.fault_scope +
+                                  "client.disconnect_mid_stream"),
       backoff_rng_(MixSeed(std::hash<std::string>{}(host_), port_)) {}
 
 Status Client::EnsureConnected(Deadline deadline) {
@@ -70,7 +76,8 @@ Status Client::EnsureConnected(Deadline deadline) {
 }
 
 Result<std::vector<uint8_t>> Client::CallOnce(
-    const std::vector<uint8_t>& request, const Deadline& budget) {
+    const std::vector<uint8_t>& request, const Deadline& budget,
+    const StreamHooks* stream) {
   int64_t remaining = RemainingBudgetMs(budget);
   TURBDB_RETURN_NOT_OK(EnsureConnected(
       BoundedBy(options_.connect_timeout_ms, remaining)));
@@ -84,14 +91,33 @@ Result<std::vector<uint8_t>> Client::CallOnce(
   TURBDB_RETURN_NOT_OK(
       WriteFrame(conn_, request,
                  BoundedBy(options_.write_timeout_ms, remaining), stamp));
-  return ReadFrame(
-      conn_,
-      BoundedBy(options_.read_timeout_ms, RemainingBudgetMs(budget)),
-      options_.max_frame_bytes);
+  while (true) {
+    TURBDB_ASSIGN_OR_RETURN(
+        std::vector<uint8_t> payload,
+        ReadFrame(
+            conn_,
+            BoundedBy(options_.read_timeout_ms, RemainingBudgetMs(budget)),
+            options_.max_frame_bytes));
+    if (stream == nullptr) return payload;
+    TURBDB_ASSIGN_OR_RETURN(MsgType type, PeekResponseType(payload));
+    if (type != MsgType::kThresholdChunk) {
+      // The terminating frame: the summary response or an error frame.
+      return payload;
+    }
+    TURBDB_RETURN_NOT_OK(stream->chunk(payload));
+    if (fault::Check(site_disconnect_mid_stream_.c_str())) {
+      // Drill: the reader vanishes with chunks still in flight. The
+      // server's next chunk write fails, flipping the query's cancel
+      // token and thereby the not-yet-joined shards.
+      conn_.Close();
+      return Status::IOError("injected mid-stream disconnect");
+    }
+  }
 }
 
 Result<std::vector<uint8_t>> Client::Call(
-    const std::vector<uint8_t>& request, uint64_t budget_ms) {
+    const std::vector<uint8_t>& request, uint64_t budget_ms,
+    const StreamHooks* stream) {
   const Deadline budget = budget_ms > 0
                               ? Deadline::After(static_cast<int64_t>(budget_ms))
                               : Deadline::Infinite();
@@ -116,7 +142,10 @@ Result<std::vector<uint8_t>> Client::Call(
     }
     if (budget.Expired()) break;
     ++attempts;
-    auto response = CallOnce(request, budget);
+    // A retried streamed call starts over: chunks of different attempts
+    // must never mix, so partial state from a failed attempt is dropped.
+    if (stream != nullptr && stream->restart) stream->restart();
+    auto response = CallOnce(request, budget, stream);
     if (response.ok()) return response;
     last = response.status();
     // The connection's stream state is unknown after any failure; drop
@@ -154,6 +183,57 @@ Result<ThresholdResult> Client::Threshold(const ThresholdQuery& query,
                           Call(EncodeRequest(request), options_.deadline_ms));
   TURBDB_ASSIGN_OR_RETURN(ThresholdResult result,
                           DecodeThresholdResponse(payload));
+  result.wall_seconds = timer.Seconds();
+  return result;
+}
+
+Result<ThresholdResult> Client::ThresholdStreamed(
+    const ThresholdQuery& query, const QueryOptions& options) {
+  WallTimer timer;
+  ThresholdRequest request;
+  request.query = query;
+  request.options = options;
+  request.stream = true;
+
+  std::vector<ThresholdPoint> points;
+  uint64_t next_seq = 0;
+  StreamHooks hooks;
+  hooks.restart = [&]() {
+    points.clear();
+    next_seq = 0;
+  };
+  hooks.chunk = [&](const std::vector<uint8_t>& payload) -> Status {
+    TURBDB_ASSIGN_OR_RETURN(ThresholdChunk chunk,
+                            DecodeThresholdChunk(payload));
+    if (chunk.seq != next_seq) {
+      return Status::Corruption(
+          "streamed reply chunk gap: expected seq " +
+          std::to_string(next_seq) + ", got " + std::to_string(chunk.seq));
+    }
+    ++next_seq;
+    points.insert(points.end(),
+                  std::make_move_iterator(chunk.points.begin()),
+                  std::make_move_iterator(chunk.points.end()));
+    return Status::OK();
+  };
+
+  TURBDB_ASSIGN_OR_RETURN(
+      std::vector<uint8_t> payload,
+      Call(EncodeRequest(request), options_.deadline_ms, &hooks));
+  TURBDB_ASSIGN_OR_RETURN(ThresholdResult result,
+                          DecodeThresholdResponse(payload));
+  // The terminating summary carries no points; reassemble the streamed
+  // set. Z-order indices are unique per grid point, so sorting on them
+  // reproduces the non-streamed ordering exactly — and recomputing the
+  // encodings here makes the byte counters match the non-streamed path
+  // byte for byte.
+  std::sort(points.begin(), points.end(),
+            [](const ThresholdPoint& a, const ThresholdPoint& b) {
+              return a.zindex < b.zindex;
+            });
+  result.points = std::move(points);
+  result.result_bytes_binary = EncodePointsBinary(result.points).size();
+  result.result_bytes_xml = EncodePointsXml(result.points).size();
   result.wall_seconds = timer.Seconds();
   return result;
 }
@@ -246,9 +326,41 @@ Status Client::NodeIngest(const NodeIngestRequest& request) {
 Result<NodeResult> Client::NodeExecute(const NodeExecuteRequest& request) {
   const uint64_t budget = request.rpc.deadline_ms != 0 ? request.rpc.deadline_ms
                                                        : options_.deadline_ms;
+  if (!request.stream) {
+    TURBDB_ASSIGN_OR_RETURN(std::vector<uint8_t> payload,
+                            Call(EncodeRequest(request), budget));
+    return DecodeNodeExecuteResponse(payload);
+  }
+  // Streamed sub-reply: reassemble the chunked points around the
+  // terminating NodeResult. Chunk order is the node's point order, so no
+  // re-sort here — the mediator orders the merged set.
+  std::vector<ThresholdPoint> points;
+  uint64_t next_seq = 0;
+  StreamHooks hooks;
+  hooks.restart = [&]() {
+    points.clear();
+    next_seq = 0;
+  };
+  hooks.chunk = [&](const std::vector<uint8_t>& payload) -> Status {
+    TURBDB_ASSIGN_OR_RETURN(ThresholdChunk chunk,
+                            DecodeThresholdChunk(payload));
+    if (chunk.seq != next_seq) {
+      return Status::Corruption(
+          "streamed sub-reply chunk gap: expected seq " +
+          std::to_string(next_seq) + ", got " + std::to_string(chunk.seq));
+    }
+    ++next_seq;
+    points.insert(points.end(),
+                  std::make_move_iterator(chunk.points.begin()),
+                  std::make_move_iterator(chunk.points.end()));
+    return Status::OK();
+  };
   TURBDB_ASSIGN_OR_RETURN(std::vector<uint8_t> payload,
-                          Call(EncodeRequest(request), budget));
-  return DecodeNodeExecuteResponse(payload);
+                          Call(EncodeRequest(request), budget, &hooks));
+  TURBDB_ASSIGN_OR_RETURN(NodeResult result,
+                          DecodeNodeExecuteResponse(payload));
+  result.points = std::move(points);
+  return result;
 }
 
 Result<NodeFetchAtomsReply> Client::NodeFetchAtoms(

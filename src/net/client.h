@@ -39,6 +39,12 @@ struct ClientOptions {
   /// can size their work to it. An exhausted budget returns a typed
   /// kDeadlineExceeded, never kUnreachable.
   uint64_t deadline_ms = 0;
+  /// Prefix prepended to this client's fault-injection site names
+  /// (TURBDB_FAULTS builds), mirroring ServerOptions::fault_scope: when
+  /// a process hosts several clients (a user client and the mediator's
+  /// node channels), scoping pins an armed `client.*` fault to one of
+  /// them deterministically. Empty = the documented site names.
+  std::string fault_scope;
 };
 
 /// Remote counterpart of the Mediator query API: connects to a
@@ -52,6 +58,21 @@ class Client {
 
   Result<ThresholdResult> Threshold(const ThresholdQuery& query,
                                     const QueryOptions& options = {});
+
+  /// Streamed variant of Threshold: asks the server for a chunked reply
+  /// (a sequence of kThresholdChunk frames terminated by a summary
+  /// frame) and reassembles the point set locally — the server never
+  /// buffers the full result, and a slow reader throttles the producer
+  /// through TCP backpressure. The returned result is byte-identical in
+  /// points to the non-streamed call. A transport failure mid-stream
+  /// discards every partial chunk and restarts the query from scratch on
+  /// the next retry attempt (chunks of different attempts never mix).
+  ///
+  /// Fault site (TURBDB_FAULTS builds): `client.disconnect_mid_stream`
+  /// severs the connection after the first received chunk — the
+  /// server-side abort/cancel drill.
+  Result<ThresholdResult> ThresholdStreamed(const ThresholdQuery& query,
+                                            const QueryOptions& options = {});
   Result<PdfResult> Pdf(const PdfQuery& query);
   Result<TopKResult> TopK(const TopKQuery& query);
   Result<FieldStatsResult> FieldStats(const FieldStatsQuery& query);
@@ -89,24 +110,41 @@ class Client {
   uint16_t port() const { return port_; }
 
  private:
+  /// Hooks a streamed call installs on the transport loop. `restart`
+  /// runs at the start of every attempt (drop partial chunks from a
+  /// failed earlier attempt); `chunk` consumes one kThresholdChunk
+  /// payload — a non-OK return is a typed, final failure (never
+  /// retried).
+  struct StreamHooks {
+    std::function<void()> restart;
+    std::function<Status(const std::vector<uint8_t>& payload)> chunk;
+  };
+
   /// Sends one request payload and reads one response payload, with
   /// retry-with-backoff across transport failures. `budget_ms` (0 =
   /// none) caps the whole call — attempts and backoff sleeps — and its
   /// remaining balance is stamped into each attempt's frame header;
-  /// exhaustion yields kDeadlineExceeded.
+  /// exhaustion yields kDeadlineExceeded. When `stream` is non-null,
+  /// intermediate kThresholdChunk frames are fed to its hooks and the
+  /// returned payload is the stream's *terminating* frame.
   Result<std::vector<uint8_t>> Call(const std::vector<uint8_t>& request,
-                                    uint64_t budget_ms);
+                                    uint64_t budget_ms,
+                                    const StreamHooks* stream = nullptr);
 
   /// One attempt on the current (or a fresh) connection, bounded by both
   /// the per-operation timeouts and the overall query budget.
   Result<std::vector<uint8_t>> CallOnce(const std::vector<uint8_t>& request,
-                                        const Deadline& budget);
+                                        const Deadline& budget,
+                                        const StreamHooks* stream);
 
   Status EnsureConnected(Deadline deadline);
 
   std::string host_;
   uint16_t port_;
   ClientOptions options_;
+  /// Fault-site name with `fault_scope` prepended, precomputed so the
+  /// chunk-read loop never builds strings.
+  std::string site_disconnect_mid_stream_;
   Socket conn_;
   /// Deterministic jitter source for retry backoff, seeded from the
   /// endpoint so tests replay identical schedules.

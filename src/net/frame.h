@@ -35,8 +35,15 @@ namespace net {
 /// forwarding), so a server can size its own work and its downstream
 /// fetches to what the client is still willing to wait for. 0 means "no
 /// budget stated — use the server default". Response frames carry 0.
+///
+/// v4 keeps the header layout but extends the payload protocol: a
+/// threshold request may ask for a *streamed* reply (a sequence of
+/// kThresholdChunk frames, each CRC-checked by this same framing,
+/// terminated by a summary-or-error frame), and the server-stats reply
+/// gained admission-control counters — so v3 peers are refused up front
+/// rather than mid-stream.
 constexpr uint32_t kFrameMagic = 0x46424454u;  // "TDBF" read little-endian
-constexpr uint8_t kProtocolVersion = 3;
+constexpr uint8_t kProtocolVersion = 4;
 constexpr size_t kFrameHeaderBytes = 17;
 
 /// Default cap on a frame payload (64 MiB). A peer announcing more than

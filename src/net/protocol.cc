@@ -169,7 +169,8 @@ Status ExpectType(const std::vector<uint8_t>& bytes, size_t* pos,
   if (raw == static_cast<uint64_t>(MsgType::kErrorResponse)) {
     TURBDB_ASSIGN_OR_RETURN(uint64_t code, GetVarint64(bytes, pos));
     TURBDB_ASSIGN_OR_RETURN(std::string message, GetString(bytes, pos));
-    if (code == 0 || code > static_cast<uint64_t>(StatusCode::kCancelled)) {
+    if (code == 0 ||
+        code > static_cast<uint64_t>(StatusCode::kResourceExhausted)) {
       return Status::Corruption("error frame with bad status code");
     }
     return Status(static_cast<StatusCode>(code), std::move(message));
@@ -406,6 +407,7 @@ std::vector<uint8_t> EncodeRequest(const ThresholdRequest& request) {
   PutBool(&out, request.options.io_only);
   PutZigZag64(&out, request.options.processes_per_node);
   PutVarint64(&out, request.options.max_result_points);
+  PutBool(&out, request.stream);
   return out;
 }
 
@@ -473,6 +475,7 @@ Result<Request> DecodeRequest(const std::vector<uint8_t>& payload) {
       request.options.processes_per_node = static_cast<int>(processes);
       TURBDB_ASSIGN_OR_RETURN(request.options.max_result_points,
                               GetVarint64(payload, &pos));
+      TURBDB_ASSIGN_OR_RETURN(request.stream, GetBool(payload, &pos));
       TURBDB_RETURN_NOT_OK(CheckConsumed(payload, pos));
       return Request(std::move(request));
     }
@@ -586,6 +589,11 @@ std::vector<uint8_t> EncodeResponse(const ServerStatsReply& reply) {
   PutVarint64(&out, reply.active_connections);
   PutDouble(&out, reply.p50_latency_ms);
   PutDouble(&out, reply.p99_latency_ms);
+  PutVarint64(&out, reply.queries_in_flight);
+  PutVarint64(&out, reply.queries_admitted);
+  PutVarint64(&out, reply.queries_shed);
+  PutVarint64(&out, reply.result_bytes_in_use);
+  PutVarint64(&out, reply.result_bytes_peak);
   return out;
 }
 
@@ -673,6 +681,13 @@ Result<ServerStatsReply> DecodeServerStatsResponse(
                           GetVarint64(payload, &pos));
   TURBDB_ASSIGN_OR_RETURN(reply.p50_latency_ms, GetDouble(payload, &pos));
   TURBDB_ASSIGN_OR_RETURN(reply.p99_latency_ms, GetDouble(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(reply.queries_in_flight, GetVarint64(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(reply.queries_admitted, GetVarint64(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(reply.queries_shed, GetVarint64(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(reply.result_bytes_in_use,
+                          GetVarint64(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(reply.result_bytes_peak,
+                          GetVarint64(payload, &pos));
   TURBDB_RETURN_NOT_OK(CheckConsumed(payload, pos));
   return reply;
 }
@@ -681,6 +696,35 @@ Status DecodePingResponse(const std::vector<uint8_t>& payload) {
   size_t pos = 0;
   TURBDB_RETURN_NOT_OK(ExpectType(payload, &pos, MsgType::kPingResponse));
   return CheckConsumed(payload, pos);
+}
+
+// -- Streamed threshold replies ------------------------------------------
+
+std::vector<uint8_t> EncodeThresholdChunk(const ThresholdChunk& chunk) {
+  std::vector<uint8_t> out;
+  PutVarint64(&out, static_cast<uint64_t>(MsgType::kThresholdChunk));
+  PutVarint64(&out, chunk.seq);
+  PutPoints(&out, chunk.points);
+  PutVarint64(&out, chunk.total_points);
+  return out;
+}
+
+Result<ThresholdChunk> DecodeThresholdChunk(
+    const std::vector<uint8_t>& payload) {
+  size_t pos = 0;
+  TURBDB_RETURN_NOT_OK(ExpectType(payload, &pos, MsgType::kThresholdChunk));
+  ThresholdChunk chunk;
+  TURBDB_ASSIGN_OR_RETURN(chunk.seq, GetVarint64(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(chunk.points, GetPoints(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(chunk.total_points, GetVarint64(payload, &pos));
+  TURBDB_RETURN_NOT_OK(CheckConsumed(payload, pos));
+  return chunk;
+}
+
+Result<MsgType> PeekResponseType(const std::vector<uint8_t>& payload) {
+  size_t pos = 0;
+  TURBDB_ASSIGN_OR_RETURN(uint64_t raw, GetVarint64(payload, &pos));
+  return static_cast<MsgType>(raw);
 }
 
 // -- Request header peek -------------------------------------------------
@@ -827,6 +871,7 @@ std::vector<uint8_t> EncodeRequest(const NodeExecuteRequest& request) {
   PutTargets(&out, spec.targets);
   PutDouble(&out, spec.flops_per_process);
   PutDouble(&out, spec.effective_cores);
+  PutBool(&out, request.stream);
   return out;
 }
 
@@ -871,6 +916,7 @@ Result<NodeExecuteRequest> DecodeNodeExecuteRequest(
   TURBDB_ASSIGN_OR_RETURN(spec.targets, GetTargets(payload, &pos));
   TURBDB_ASSIGN_OR_RETURN(spec.flops_per_process, GetDouble(payload, &pos));
   TURBDB_ASSIGN_OR_RETURN(spec.effective_cores, GetDouble(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(request.stream, GetBool(payload, &pos));
   TURBDB_RETURN_NOT_OK(CheckConsumed(payload, pos));
   return request;
 }

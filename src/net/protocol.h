@@ -49,6 +49,10 @@ enum class MsgType : uint8_t {
   kPingResponse = 70,
   kHelloResponse = 71,
   kCancelResponse = 72,
+  /// One slice of a streamed threshold reply (v4). A streamed request is
+  /// answered by zero or more chunk frames followed by a terminating
+  /// kThresholdResponse (summary, empty point set) or kErrorResponse.
+  kThresholdChunk = 73,
 
   kNodeCreateDatasetResponse = 80,
   kNodeIngestResponse = 81,
@@ -86,6 +90,22 @@ struct ThresholdRequest {
   ThresholdQuery query;
   QueryOptions options;
   RpcOptions rpc;
+  /// Asks the server to stream the reply as a sequence of
+  /// `kThresholdChunk` frames terminated by a summary (or error) frame,
+  /// so neither side ever holds the full result set in one buffer. A
+  /// server always honors the flag; a false value keeps the single-frame
+  /// v3 behavior.
+  bool stream = false;
+};
+
+/// One slice of a streamed threshold reply. Chunks carry consecutive
+/// `seq` numbers starting at 0 and a running `total_points` (points
+/// delivered up to and including this chunk) so the consumer can detect
+/// a torn stream; each chunk rides in its own CRC-checked frame.
+struct ThresholdChunk {
+  uint64_t seq = 0;
+  std::vector<ThresholdPoint> points;
+  uint64_t total_points = 0;
 };
 
 struct PdfRequest {
@@ -202,6 +222,12 @@ struct NodeQuerySpec {
 struct NodeExecuteRequest {
   NodeQuerySpec spec;
   RpcOptions rpc;
+  /// v4: ask the node for a *streamed* sub-reply — threshold points
+  /// arrive as kThresholdChunk frames, the terminating NodeResult
+  /// carries everything else with an empty point set. Decouples the
+  /// sub-reply size from the frame cap and keeps the node's encoded
+  /// reply bounded.
+  bool stream = false;
 };
 
 /// Wire mirror of `NodeOutcome` (minus node_id, which the mediator
@@ -300,6 +326,13 @@ struct ServerStatsReply {
   uint64_t active_connections = 0;
   double p50_latency_ms = 0.0;  ///< Over the most recent served requests.
   double p99_latency_ms = 0.0;
+  // Admission-control counters (v4). All zero on servers running without
+  // budgets (the governor treats 0 limits as unlimited).
+  uint64_t queries_in_flight = 0;     ///< Currently admitted queries.
+  uint64_t queries_admitted = 0;      ///< Total admitted since start.
+  uint64_t queries_shed = 0;          ///< Rejected with kResourceExhausted.
+  uint64_t result_bytes_in_use = 0;   ///< Reply bytes currently buffered.
+  uint64_t result_bytes_peak = 0;     ///< High-water mark of the above.
 };
 
 // -- Request encoding ----------------------------------------------------
@@ -339,6 +372,18 @@ Result<FieldStatsResult> DecodeFieldStatsResponse(
 Result<ServerStatsReply> DecodeServerStatsResponse(
     const std::vector<uint8_t>& payload);
 Status DecodePingResponse(const std::vector<uint8_t>& payload);
+
+// -- Streamed threshold replies (v4) ------------------------------------
+
+std::vector<uint8_t> EncodeThresholdChunk(const ThresholdChunk& chunk);
+Result<ThresholdChunk> DecodeThresholdChunk(
+    const std::vector<uint8_t>& payload);
+
+/// Reads just the leading type varint of a response payload so a
+/// stream consumer can route a frame (chunk vs terminator) without
+/// decoding the body twice. Does not validate the value beyond varint
+/// well-formedness.
+Result<MsgType> PeekResponseType(const std::vector<uint8_t>& payload);
 
 // -- Request header peek -------------------------------------------------
 

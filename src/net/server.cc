@@ -47,7 +47,9 @@ Server::Server(Handler handler, const ServerOptions& options)
       site_reply_delay_(options.fault_scope + "server.reply.delay"),
       site_reply_error_(options.fault_scope + "server.reply.error"),
       site_reply_truncate_(options.fault_scope + "server.reply.truncate"),
-      site_handler_error_(options.fault_scope + "server.handler.error") {
+      site_handler_error_(options.fault_scope + "server.handler.error"),
+      site_chunk_truncate_(options.fault_scope + "server.chunk_truncate"),
+      governor_(options.max_concurrent_queries, options.result_budget_bytes) {
   latencies_ms_.resize(kLatencyWindow, 0.0);
 }
 
@@ -149,7 +151,16 @@ void Server::ServeConnection(Socket conn) {
       std::lock_guard<std::mutex> lock(stats_mutex_);
       bytes_in_ += kFrameHeaderBytes + payload->size();
     }
-    std::vector<uint8_t> response = HandleRequest(*payload, budget_ms);
+    bool stream_broken = false;
+    std::vector<uint8_t> response =
+        HandleRequest(*payload, budget_ms, conn, &stream_broken);
+    if (stream_broken) {
+      // A chunk write failed mid-stream (client gone, or an injected
+      // truncation): the connection may hold a torn frame, so the only
+      // safe move is to drop it. The handler already saw its cancel
+      // token flip.
+      break;
+    }
     if (auto f = fault::Check(site_reply_delay_.c_str())) {
       // Injected slow reply: the request was executed, the answer just
       // doesn't come — the client's read deadline decides.
@@ -179,8 +190,10 @@ void Server::ServeConnection(Socket conn) {
 }
 
 std::vector<uint8_t> Server::HandleRequest(
-    const std::vector<uint8_t>& payload, uint32_t frame_budget_ms) {
+    const std::vector<uint8_t>& payload, uint32_t frame_budget_ms,
+    const Socket& conn, bool* stream_broken) {
   const auto started = std::chrono::steady_clock::now();
+  uint64_t chunk_bytes_out = 0;
 
   std::vector<uint8_t> response;
   auto header_or = PeekRequestHeader(payload);
@@ -248,12 +261,58 @@ std::vector<uint8_t> Server::HandleRequest(
               Status(static_cast<StatusCode>(f.arg), "injected fault"));
           break;
         }
+        // Admission control: shed fast instead of queueing into an OOM.
+        // Only handler-delegated work is gated — Ping/Hello/Stats/Cancel
+        // stay answerable on an overloaded server.
+        ResourceGovernor::AdmitTicket ticket;
+        Status admitted = governor_.TryAdmit(&ticket);
+        if (!admitted.ok()) {
+          response = EncodeErrorResponse(admitted);
+          break;
+        }
         const uint64_t query_id = header_or->rpc.query_id;
         CallContext ctx;
         ctx.deadline = deadline;
         ctx.cancelled = query_id != 0
                             ? RegisterQuery(query_id)
                             : std::make_shared<std::atomic<bool>>(false);
+        ctx.chunk_points = options_.stream_chunk_points;
+        ctx.governor = &governor_;
+        // Streamed replies go out through this hook while the handler
+        // still runs. The blocking write *is* the backpressure; the
+        // request deadline bounds how long a stalled client may hold the
+        // worker. A failed write marks the stream broken and flips the
+        // cancel token so the handler (and, through the mediator's
+        // fan-out, the unjoined shards) stop producing.
+        ctx.emit = [this, &conn, &ctx, &chunk_bytes_out,
+                    stream_broken](const std::vector<uint8_t>& chunk) {
+          if (*stream_broken) {
+            return Status::IOError("reply stream already broken");
+          }
+          if (auto f = fault::Check(site_chunk_truncate_.c_str())) {
+            // Injected mid-stream truncation: a prefix of the chunk
+            // frame, then silence — a crash between send() calls.
+            const auto frame = EncodeFrame(chunk);
+            const size_t cut =
+                std::min(static_cast<size_t>(f.arg), frame.size());
+            (void)SendAll(conn, frame.data(), cut, Deadline::After(1000));
+            *stream_broken = true;
+            if (ctx.cancelled) {
+              ctx.cancelled->store(true, std::memory_order_relaxed);
+            }
+            return Status::IOError("injected chunk truncation");
+          }
+          Status written = WriteFrame(conn, chunk, ctx.deadline);
+          if (!written.ok()) {
+            *stream_broken = true;
+            if (ctx.cancelled) {
+              ctx.cancelled->store(true, std::memory_order_relaxed);
+            }
+            return written;
+          }
+          chunk_bytes_out += kFrameHeaderBytes + chunk.size();
+          return Status::OK();
+        };
         response = handler_(payload, ctx);
         if (query_id != 0) UnregisterQuery(query_id);
         if (!IsErrorPayload(response)) {
@@ -284,6 +343,7 @@ std::vector<uint8_t> Server::HandleRequest(
     } else {
       ++requests_ok_;
     }
+    bytes_out_ += chunk_bytes_out;
     latencies_ms_[latency_next_] = latency_ms;
     latency_next_ = (latency_next_ + 1) % latencies_ms_.size();
     if (latency_next_ == 0) latency_full_ = true;
@@ -334,6 +394,11 @@ ServerStatsReply Server::stats() const {
                                  static_cast<ptrdiff_t>(filled));
   reply.p50_latency_ms = Percentile(sample, 0.50);
   reply.p99_latency_ms = Percentile(std::move(sample), 0.99);
+  reply.queries_in_flight = governor_.in_flight();
+  reply.queries_admitted = governor_.admitted();
+  reply.queries_shed = governor_.shed();
+  reply.result_bytes_in_use = governor_.bytes_in_use();
+  reply.result_bytes_peak = governor_.peak_bytes();
   return reply;
 }
 

@@ -10,6 +10,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/governor.h"
 #include "common/thread_pool.h"
 #include "net/frame.h"
 #include "net/protocol.h"
@@ -48,6 +49,19 @@ struct ServerOptions {
   /// one server deterministically. Empty (the default, and what the
   /// one-server-per-process tools use) leaves the documented site names.
   std::string fault_scope;
+  /// Admission control: how many handler-delegated requests (queries,
+  /// ingests — not Ping/Hello/Stats/Cancel) may run at once. A request
+  /// beyond the budget is shed *fast* with a typed kResourceExhausted
+  /// error, never queued. 0 = unlimited.
+  uint64_t max_concurrent_queries = 0;
+  /// Admission control: how many reply bytes the server may buffer at
+  /// once across all in-flight queries (the streaming encoder reserves
+  /// each chunk against this before materializing it). 0 = unlimited.
+  uint64_t result_budget_bytes = 0;
+  /// Points per kThresholdChunk frame on streamed replies. Bounds the
+  /// per-chunk buffer: ~29 bytes/point encoded, so the default is ~1 MiB
+  /// chunks.
+  uint64_t stream_chunk_points = 32768;
 };
 
 /// Per-request execution context handed to a Handler.
@@ -61,6 +75,21 @@ struct ServerOptions {
 struct CallContext {
   Deadline deadline = Deadline::Infinite();
   std::shared_ptr<std::atomic<bool>> cancelled;
+
+  /// Streamed replies: writes one response-frame payload (a
+  /// kThresholdChunk, typically) to the requesting connection *now*,
+  /// before the handler returns its terminating frame. Blocking on the
+  /// socket is the backpressure: a slow client throttles the producer
+  /// instead of growing a buffer. On a write failure (client gone, torn
+  /// stream) the server flips `cancelled` — the disconnect aborts the
+  /// rest of the query — and every later emit fails fast. Null when the
+  /// transport cannot stream (in-process callers).
+  std::function<Status(const std::vector<uint8_t>& payload)> emit;
+  /// Points per streamed chunk (ServerOptions::stream_chunk_points).
+  uint64_t chunk_points = 0;
+  /// The server's result-byte accounting; producers reserve each chunk
+  /// buffer against it. Null when the server runs unbudgeted.
+  ResourceGovernor* governor = nullptr;
 
   bool Cancelled() const {
     return cancelled != nullptr &&
@@ -101,6 +130,9 @@ struct CallContext {
 ///   server.handler.error  fail only handler-delegated requests with an
 ///                         error of StatusCode `arg`; Hello/Ping/Stats/
 ///                         Cancel stay healthy (breaker drills)
+///   server.chunk_truncate write only the first `arg` bytes of a
+///                         streamed chunk frame, then sever the
+///                         connection (mid-stream crash drills)
 class Server {
  public:
   /// Produces the response payload for one request payload. `ctx`
@@ -136,11 +168,16 @@ class Server {
   void AcceptLoop();
   void ServeConnection(Socket conn);
 
-  /// Decodes and executes one request payload; returns the response
-  /// payload (success or error frame body). `budget_ms` is the deadline
-  /// budget read from the request's frame header (0 = none stated).
+  /// Decodes and executes one request payload; returns the *terminating*
+  /// response payload (success or error frame body). `budget_ms` is the
+  /// deadline budget read from the request's frame header (0 = none
+  /// stated). `conn` is the requesting connection: a streaming handler
+  /// writes chunk frames to it before returning. `stream_broken` is set
+  /// when a mid-request chunk write failed — the connection's framing is
+  /// no longer trustworthy and the caller must close it.
   std::vector<uint8_t> HandleRequest(const std::vector<uint8_t>& payload,
-                                     uint32_t budget_ms);
+                                     uint32_t budget_ms, const Socket& conn,
+                                     bool* stream_broken);
 
   /// Registers a live query under `query_id` and returns its token
   /// (reusing an existing token on id collision).
@@ -163,8 +200,13 @@ class Server {
   std::string site_reply_error_;
   std::string site_reply_truncate_;
   std::string site_handler_error_;
+  std::string site_chunk_truncate_;
   Socket listener_;
   uint16_t port_ = 0;
+
+  /// Admission budgets (concurrency + buffered reply bytes) from
+  /// ServerOptions; 0-limits make it a pure counter.
+  ResourceGovernor governor_;
 
   std::atomic<bool> stop_{false};
   std::thread accept_thread_;

@@ -14,7 +14,13 @@
 //       the in-process mediator's;
 //   (c) a flapping replica — probes fine, fails every real request —
 //       trips the circuit breaker and stops being dialed at all until
-//       its quarantine elapses.
+//       its quarantine elapses;
+//   (d) a client that vanishes mid-stream aborts the query on the
+//       server: the broken reply stream cancels the sub-queries not yet
+//       joined and every reserved result byte is returned to the budget;
+//   (e) a chunk frame truncated mid-stream (server crash signature) is a
+//       transport failure the client retries from scratch — chunks of
+//       the torn attempt never leak into the retried one.
 //
 // The node services are hosted in this process over real TCP sockets
 // (one net::Server each, with per-server fault scopes "n0.", "n1.", ...)
@@ -28,11 +34,14 @@
 #include <chrono>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "cluster/node_service.h"
+#include "cluster/service.h"
 #include "common/fault.h"
 #include "core/turbdb.h"
+#include "net/client.h"
 #include "net/server.h"
 #include "net/socket.h"
 #include "replication/replica_group.h"
@@ -326,6 +335,120 @@ TEST_F(ChaosTest, FlappingReplicaTripsTheBreakerUntilQuarantineElapses) {
   EXPECT_TRUE(primary.healthy());
   EXPECT_EQ(fault::Fired(site), fired_at_trip);  // Fault is gone; no refire.
   EXPECT_EQ(primary.breaker_trips(), 1u);        // And no re-trip.
+}
+
+// (d) The user client hangs up after the first streamed chunk. The
+// mediator front-end's next chunk write fails, which must abort the
+// query like a hard shard failure: CancelQuery fans out to the shards
+// not yet joined, and the governor's reply-byte ledger drains back to
+// zero — a vanished reader never strands budget or keeps shards busy.
+TEST_F(ChaosTest, MidStreamDisconnectCancelsShardsAndFreesBudget) {
+  auto procs = InProcessNodeCluster::Launch(/*num_nodes=*/2,
+                                            /*replication_factor=*/1);
+  ASSERT_TRUE(procs.ok()) << procs.status();
+  auto db = OpenDistributed((*procs)->topology(), /*replication_factor=*/1);
+  ASSERT_TRUE(db.ok()) << db.status();
+
+  // Front-end server over the distributed mediator; unscoped (the node
+  // servers own "n0."/"n1.", so plain sites hit only this one). Tiny
+  // chunks: the disconnect must land while most of the stream is still
+  // unsent, so the server reliably observes the broken pipe mid-query.
+  net::ServerOptions front;
+  front.num_workers = 2;
+  front.stream_chunk_points = 64;
+  front.result_budget_bytes = 64u << 10;
+  auto server = ServeMediator(&(*db)->mediator(), front);
+  ASSERT_TRUE(server.ok()) << server.status();
+
+  const uint64_t cancels_before = (*db)->mediator().cancels_issued();
+
+  // Sever the user client's connection after the first consumed chunk.
+  // The site is scoped "user." so the mediator's own node channels —
+  // which share the client chunk-read loop — can never consume it.
+  const std::string site = "user.client.disconnect_mid_stream";
+  fault::Arm(site, fault::Action::kError, /*arg=*/0, /*count=*/1);
+
+  net::ClientOptions user;
+  user.fault_scope = "user.";
+  user.max_retries = 0;  // Surface the torn stream instead of retrying.
+  net::Client client("127.0.0.1", (*server)->port(), user);
+
+  // Threshold 0 selects every grid point: hundreds of 64-point chunks,
+  // far more than loopback socket buffers absorb before the RST lands.
+  ThresholdQuery query = VorticityQuery(0.0);
+  QueryOptions options = NoCacheOptions();
+  auto result = client.ThresholdStreamed(query, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsIOError() ||
+              result.status().code() == StatusCode::kUnreachable)
+      << result.status();
+  EXPECT_EQ(fault::Fired(site), 1u);
+
+  // The server notices the broken stream asynchronously (its next chunk
+  // write fails); poll for the two recovery guarantees instead of racing
+  // the handler thread.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (std::chrono::steady_clock::now() < deadline) {
+    const auto stats = (*server)->stats();
+    if ((*db)->mediator().cancels_issued() > cancels_before &&
+        stats.queries_in_flight == 0 && stats.result_bytes_in_use == 0) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  // The shard not yet joined when the stream broke was cancelled, not
+  // left running for a reader that is gone.
+  EXPECT_GT((*db)->mediator().cancels_issued(), cancels_before);
+  const auto stats = (*server)->stats();
+  EXPECT_EQ(stats.queries_in_flight, 0u);
+  // Every chunk reservation was released: the budget is whole again.
+  EXPECT_EQ(stats.result_bytes_in_use, 0u);
+  EXPECT_GT(stats.result_bytes_peak, 0u);
+}
+
+// (e) The server tears a chunk frame mid-write (the wire signature of a
+// crash between send() calls). The client sees a transport failure, its
+// retry restarts the stream from scratch, and the retried answer is
+// byte-identical to the in-process ground truth — no chunk of the torn
+// attempt survives into the merged result.
+TEST_F(ChaosTest, TruncatedChunkIsRetriedFromScratchByteIdentically) {
+  auto procs = InProcessNodeCluster::Launch(/*num_nodes=*/2,
+                                            /*replication_factor=*/1);
+  ASSERT_TRUE(procs.ok()) << procs.status();
+  auto db = OpenDistributed((*procs)->topology(), /*replication_factor=*/1);
+  ASSERT_TRUE(db.ok()) << db.status();
+  auto local_db = OpenInProcess(/*num_shards=*/2);
+  ASSERT_TRUE(local_db.ok()) << local_db.status();
+
+  const ThresholdQuery query = VorticityQuery(4.0);
+  auto expected =
+      (*local_db)->mediator().GetThreshold(query, NoCacheOptions());
+  ASSERT_TRUE(expected.ok()) << expected.status();
+  ASSERT_GT(expected->points.size(), 0u);
+
+  net::ServerOptions front;
+  front.num_workers = 2;
+  front.stream_chunk_points = 16;  // Several chunks even at this threshold.
+  auto server = ServeMediator(&(*db)->mediator(), front);
+  ASSERT_TRUE(server.ok()) << server.status();
+
+  // Cut one chunk frame 8 bytes in, once. The client's first attempt
+  // dies on the torn frame; the armed count is spent, so the retry
+  // streams clean.
+  fault::Arm("server.chunk_truncate", fault::Action::kTruncate, /*arg=*/8,
+             /*count=*/1);
+
+  net::Client client("127.0.0.1", (*server)->port());
+  auto streamed = client.ThresholdStreamed(query, NoCacheOptions());
+  ASSERT_TRUE(streamed.ok()) << streamed.status();
+  EXPECT_EQ(fault::Fired("server.chunk_truncate"), 1u);
+
+  // Byte-identical despite the mid-stream restart: the partial chunks of
+  // the torn attempt were discarded, not merged.
+  ASSERT_EQ(streamed->points.size(), expected->points.size());
+  EXPECT_EQ(EncodePointsBinary(streamed->points),
+            EncodePointsBinary(expected->points));
 }
 
 }  // namespace

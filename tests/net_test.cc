@@ -8,6 +8,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstring>
+#include <future>
 #include <thread>
 
 #include "common/rng.h"
@@ -605,6 +606,177 @@ TEST_F(ServerEndToEndTest, GracefulShutdownUnblocksEverything) {
   fast.read_timeout_ms = 1000;
   net::Client late("127.0.0.1", port, fast);
   EXPECT_FALSE(late.Ping().ok());
+}
+
+// -- Streamed replies ----------------------------------------------------
+
+TEST_F(ServerEndToEndTest, StreamedThresholdByteIdenticalUnderTinyBudget) {
+  // A dedicated server whose result budget is far below the result size,
+  // with tiny chunks so the reply crosses many frame boundaries. The
+  // streamed reply must still be byte-identical to the buffered one, and
+  // the server's peak buffered bytes must stay under the budget — the
+  // acceptance bar for bounded-memory streaming.
+  net::ServerOptions small;
+  small.num_workers = 2;
+  small.stream_chunk_points = 64;
+  small.result_budget_bytes = 8u << 10;  // 8 KiB
+  auto server = ServeMediator(&db_->mediator(), small);
+  ASSERT_TRUE(server.ok()) << server.status();
+
+  FieldStatsQuery stats_query;
+  stats_query.dataset = "mhd";
+  stats_query.raw_field = "velocity";
+  stats_query.derived_field = "vorticity";
+  stats_query.box = Box3::WholeGrid(32, 32, 32);
+  auto stats = db_->FieldStats(stats_query);
+  ASSERT_TRUE(stats.ok());
+
+  // A low threshold so the result is much larger than the byte budget.
+  const ThresholdQuery query = VorticityQuery(0.5 * stats->rms);
+  auto local = db_->mediator().GetThreshold(query);
+  ASSERT_TRUE(local.ok()) << local.status();
+  ASSERT_GT(EncodePointsBinary(local->points).size(),
+            small.result_budget_bytes);
+
+  net::Client client("127.0.0.1", (*server)->port());
+  auto streamed = client.ThresholdStreamed(query);
+  ASSERT_TRUE(streamed.ok()) << streamed.status();
+
+  ASSERT_EQ(streamed->points.size(), local->points.size());
+  for (size_t i = 0; i < local->points.size(); ++i) {
+    ASSERT_EQ(streamed->points[i].zindex, local->points[i].zindex) << i;
+    ASSERT_EQ(streamed->points[i].norm, local->points[i].norm) << i;
+  }
+  EXPECT_EQ(EncodePointsBinary(streamed->points),
+            EncodePointsBinary(local->points));
+  EXPECT_EQ(streamed->result_bytes_binary, local->result_bytes_binary);
+  EXPECT_EQ(streamed->result_bytes_xml, local->result_bytes_xml);
+
+  const auto server_stats = (*server)->stats();
+  EXPECT_GE(server_stats.queries_admitted, 1u);
+  EXPECT_GT(server_stats.result_bytes_peak, 0u);
+  // Bounded memory: the encoder never buffered more than the budget even
+  // though the full result is several times larger.
+  EXPECT_LE(server_stats.result_bytes_peak, small.result_budget_bytes);
+  // Every reservation was released when its chunk hit the wire.
+  EXPECT_EQ(server_stats.result_bytes_in_use, 0u);
+}
+
+TEST_F(ServerEndToEndTest, StreamedThresholdExactlyAtPointCap) {
+  // The point cap is enforced while chunks are in flight; a result
+  // exactly at the cap must pass, one short of it must fail typed.
+  net::ServerOptions small;
+  small.num_workers = 2;
+  small.stream_chunk_points = 64;
+  auto server = ServeMediator(&db_->mediator(), small);
+  ASSERT_TRUE(server.ok()) << server.status();
+
+  FieldStatsQuery stats_query;
+  stats_query.dataset = "mhd";
+  stats_query.raw_field = "velocity";
+  stats_query.derived_field = "vorticity";
+  stats_query.box = Box3::WholeGrid(32, 32, 32);
+  auto stats = db_->FieldStats(stats_query);
+  ASSERT_TRUE(stats.ok());
+
+  const ThresholdQuery query = VorticityQuery(2.0 * stats->rms);
+  auto local = db_->mediator().GetThreshold(query);
+  ASSERT_TRUE(local.ok()) << local.status();
+  const uint64_t n = local->points.size();
+  ASSERT_GT(n, 1u);
+
+  net::Client client("127.0.0.1", (*server)->port());
+
+  QueryOptions at_cap;
+  at_cap.max_result_points = n;
+  auto exact = client.ThresholdStreamed(query, at_cap);
+  ASSERT_TRUE(exact.ok()) << exact.status();
+  EXPECT_EQ(exact->points.size(), n);
+  EXPECT_EQ(EncodePointsBinary(exact->points),
+            EncodePointsBinary(local->points));
+
+  QueryOptions below_cap;
+  below_cap.max_result_points = n - 1;
+  auto over = client.ThresholdStreamed(query, below_cap);
+  ASSERT_FALSE(over.ok());
+  EXPECT_EQ(over.status().code(), StatusCode::kThresholdTooLow)
+      << over.status();
+}
+
+// -- Admission control ---------------------------------------------------
+
+TEST(AdmissionControlTest, OverBudgetQueriesShedFastWithTypedError) {
+  // A handler that parks every delegated request until released, behind a
+  // one-query admission budget: the first query occupies the slot, the
+  // second must be shed *fast* with kResourceExhausted — not queued, not
+  // retried — while the control plane (Ping) stays healthy.
+  std::atomic<int> entered{0};
+  std::promise<void> release_promise;
+  std::shared_future<void> release(release_promise.get_future());
+  net::Server::Handler handler =
+      [&](const std::vector<uint8_t>&, const net::CallContext&) {
+        ++entered;
+        release.wait();
+        return net::EncodeErrorResponse(Status::NotFound("drained"));
+      };
+  net::ServerOptions options;
+  options.num_workers = 4;
+  options.max_concurrent_queries = 1;
+  auto server = net::Server::Start(handler, options);
+  ASSERT_TRUE(server.ok()) << server.status();
+  const uint16_t port = (*server)->port();
+
+  FieldStatsQuery query;  // decodable; the parked handler never reads it
+  query.dataset = "mhd";
+  query.raw_field = "velocity";
+  query.box = Box3::WholeGrid(8, 8, 8);
+
+  Status occupant_status;
+  std::thread occupant([&] {
+    net::Client client("127.0.0.1", port);
+    occupant_status = client.FieldStats(query).status();
+  });
+  while (entered.load() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  net::ClientOptions fast;
+  fast.max_retries = 0;
+  net::Client client("127.0.0.1", port, fast);
+
+  // Transport-level requests are exempt from admission.
+  EXPECT_TRUE(client.Ping().ok());
+
+  const auto started = std::chrono::steady_clock::now();
+  auto shed = client.FieldStats(query);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    started)
+          .count();
+  ASSERT_FALSE(shed.ok());
+  EXPECT_EQ(shed.status().code(), StatusCode::kResourceExhausted)
+      << shed.status();
+  // Shed before the handler, and fast — no queueing behind the occupant.
+  EXPECT_EQ(entered.load(), 1);
+  EXPECT_LT(elapsed, 2.0);
+
+  auto mid = (*server)->stats();
+  EXPECT_EQ(mid.queries_in_flight, 1u);
+  EXPECT_EQ(mid.queries_admitted, 1u);
+  EXPECT_GE(mid.queries_shed, 1u);
+
+  release_promise.set_value();
+  occupant.join();
+  EXPECT_EQ(occupant_status.code(), StatusCode::kNotFound)
+      << occupant_status;
+
+  // The occupant's ticket is back in the pool: the next query is
+  // admitted (the handler no longer parks once the future is set).
+  auto again = client.FieldStats(query);
+  EXPECT_EQ(again.status().code(), StatusCode::kNotFound) << again.status();
+  auto after = (*server)->stats();
+  EXPECT_EQ(after.queries_in_flight, 0u);
+  EXPECT_GE(after.queries_admitted, 2u);
 }
 
 TEST(ClientRetryTest, BoundedRetriesOnConnectFailure) {

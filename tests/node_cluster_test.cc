@@ -8,10 +8,16 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cstdlib>
+#include <filesystem>
 #include <memory>
+#include <string>
 #include <thread>
 
+#include "cluster/service.h"
 #include "core/turbdb.h"
+#include "net/client.h"
+#include "net/server.h"
 #include "wire/serializer.h"
 
 #include "process_harness.h"
@@ -110,6 +116,64 @@ TEST(NodeClusterTest, DistributedThresholdIsByteIdenticalToInProcess) {
   // The modeled cost is part of the contract too: the remote path ships
   // the same flops/cores/LAN parameters, so the numbers are identical.
   EXPECT_DOUBLE_EQ(remote->time.Total(), local->time.Total());
+}
+
+TEST(NodeClusterTest, StreamedThresholdByteIdenticalOverReplicatedCluster) {
+  // The full streamed path across every hop: 4 turbdb_node processes in
+  // two R=2 replica groups stream their sub-replies to the mediator,
+  // whose front-end server re-streams the joined result to the user
+  // client in tiny budgeted chunks. The reassembled point set must equal
+  // the buffered distributed query byte for byte.
+  std::string storage_templ = (std::filesystem::temp_directory_path() /
+                               "turbdb_stream_r2_XXXXXX")
+                                  .string();
+  ASSERT_NE(::mkdtemp(storage_templ.data()), nullptr);
+  auto procs = NodeProcessCluster::Launch(
+      4, TURBDB_NODE_BINARY,
+      {"--replication-factor", "2", "--storage-dir", storage_templ});
+  ASSERT_TRUE(procs.ok()) << procs.status();
+
+  ClusterTopology topology = (*procs)->topology();
+  topology.replication_factor = 2;
+  auto db = OpenDistributed(topology);
+  ASSERT_TRUE(db.ok()) << db.status();
+
+  net::ServerOptions front;
+  front.num_workers = 2;
+  front.stream_chunk_points = 64;
+  front.result_budget_bytes = 8u << 10;
+  auto server = ServeMediator(&(*db)->mediator(), front);
+  ASSERT_TRUE(server.ok()) << server.status();
+
+  FieldStatsQuery stats_query;
+  stats_query.dataset = "mhd";
+  stats_query.raw_field = "velocity";
+  stats_query.derived_field = "vorticity";
+  stats_query.box = Box3::WholeGrid(kGrid, kGrid, kGrid);
+  auto stats = (*db)->FieldStats(stats_query);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+
+  const ThresholdQuery query = VorticityQuery(1.0 * stats->rms);
+  auto buffered = (*db)->Threshold(query);
+  ASSERT_TRUE(buffered.ok()) << buffered.status();
+  ASSERT_GT(buffered->points.size(), 0u);
+
+  net::Client client("127.0.0.1", (*server)->port());
+  auto streamed = client.ThresholdStreamed(query);
+  ASSERT_TRUE(streamed.ok()) << streamed.status();
+
+  ASSERT_EQ(streamed->points.size(), buffered->points.size());
+  for (size_t i = 0; i < buffered->points.size(); ++i) {
+    ASSERT_EQ(streamed->points[i].zindex, buffered->points[i].zindex) << i;
+    ASSERT_EQ(streamed->points[i].norm, buffered->points[i].norm) << i;
+  }
+  EXPECT_EQ(EncodePointsBinary(streamed->points),
+            EncodePointsBinary(buffered->points));
+
+  const auto server_stats = (*server)->stats();
+  EXPECT_GT(server_stats.result_bytes_peak, 0u);
+  EXPECT_LE(server_stats.result_bytes_peak, front.result_budget_bytes);
+  EXPECT_EQ(server_stats.result_bytes_in_use, 0u);
 }
 
 TEST(NodeClusterTest, RemoteCacheHitAndDropCacheRoundTrip) {

@@ -34,7 +34,8 @@ ctest --test-dir "$BUILD_DIR" -L multiprocess --output-on-failure \
 
 # Fault-injection (chaos) drills: a dedicated TURBDB_FAULTS=ON build (the
 # registry is compiled out everywhere else) running the `chaos`-labeled
-# tests — stalled shards, mid-frame truncation, breaker-tripping flaps.
+# tests — stalled shards, mid-frame truncation, breaker-tripping flaps,
+# mid-stream client disconnects, torn chunk frames.
 FAULTS_DIR="$ROOT/build-faults-check"
 cmake -B "$FAULTS_DIR" -S "$ROOT" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -43,10 +44,51 @@ cmake -B "$FAULTS_DIR" -S "$ROOT" \
 cmake --build "$FAULTS_DIR" -j "$JOBS"
 ctest --test-dir "$FAULTS_DIR" -L chaos --output-on-failure --timeout 180
 
+# Bounded-memory streaming smoke check against the real binaries: a
+# result far larger than the server's reply-byte budget must stream out
+# whole (exit 0) while the governor's high-water mark stays under the
+# budget. Exercises turbdb_server admission flags + turbdb_cli --stream
+# end to end, not just the in-process test harnesses.
+SMOKE_PORT="${SMOKE_PORT:-7979}"
+SMOKE_BUDGET_MB=2
+"$FAULTS_DIR/tools/turbdb_server" --port "$SMOKE_PORT" --n 64 \
+  --result-budget-mb "$SMOKE_BUDGET_MB" --stream-chunk-points 4096 \
+  --max-concurrent-queries 4 &
+SMOKE_PID=$!
+trap 'kill "$SMOKE_PID" 2>/dev/null || true' EXIT
+CLI="$FAULTS_DIR/tools/turbdb_cli"
+for _ in $(seq 1 60); do
+  if "$CLI" --connect "127.0.0.1:$SMOKE_PORT" ping >/dev/null 2>&1; then
+    break
+  fi
+  sleep 0.5
+done
+# Threshold 0.2rms over a 64^3 grid: several MB of points, all streamed.
+"$CLI" --connect "127.0.0.1:$SMOKE_PORT" --stream \
+  threshold vorticity 0.2rms >/dev/null
+PEAK=$("$CLI" --connect "127.0.0.1:$SMOKE_PORT" server-stats \
+  | sed -n 's/.*result bytes held [0-9]* (peak \([0-9]*\)).*/\1/p')
+kill "$SMOKE_PID" 2>/dev/null || true
+wait "$SMOKE_PID" 2>/dev/null || true
+trap - EXIT
+if [ -z "$PEAK" ] || [ "$PEAK" -eq 0 ]; then
+  echo "streaming smoke: no peak reply bytes reported" >&2
+  exit 1
+fi
+if [ "$PEAK" -gt $((SMOKE_BUDGET_MB * 1024 * 1024)) ]; then
+  echo "streaming smoke: peak reply bytes $PEAK exceed the" \
+    "$SMOKE_BUDGET_MB MiB budget" >&2
+  exit 1
+fi
+echo "streaming smoke: peak reply bytes $PEAK within the" \
+  "$SMOKE_BUDGET_MB MiB budget"
+
 # Race-check the failover path: the replica-group health tracking and
 # re-sync run concurrently with scatter-gathered sub-queries, so the
 # replication tests get a dedicated ThreadSanitizer build. Faults stay on
 # here so the chaos drills race-check cancellation and breaker state too.
+# The streaming/admission suites ride along: chunked emits, governor
+# accounting and shed-vs-admit all cross threads.
 if [ "$SANITIZE" != "thread" ]; then
   TSAN_DIR="$ROOT/build-tsan"
   cmake -B "$TSAN_DIR" -S "$ROOT" \
@@ -55,6 +97,7 @@ if [ "$SANITIZE" != "thread" ]; then
     -DTURBDB_FAULTS=ON \
     -DTURBDB_BUILD_BENCHMARKS=OFF -DTURBDB_BUILD_EXAMPLES=OFF
   cmake --build "$TSAN_DIR" -j "$JOBS"
-  ctest --test-dir "$TSAN_DIR" -R "ReplicationTest|ChaosTest" \
+  ctest --test-dir "$TSAN_DIR" \
+    -R "ReplicationTest|ChaosTest|AdmissionControlTest|StreamedThreshold" \
     --output-on-failure --timeout 300
 fi

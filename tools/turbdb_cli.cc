@@ -50,6 +50,8 @@ struct CliOptions {
   /// Per-query budget in ms (--connect only; 0 = the client default).
   /// Carried in every request frame; exhaustion exits 4.
   int64_t deadline_ms = 0;
+  /// Threshold replies arrive chunked (--connect only).
+  bool stream = false;
   bool help = false;
   std::string command;
   std::vector<std::string> args;
@@ -84,6 +86,10 @@ void PrintUsage() {
       "  --deadline-ms D  per-query time budget (--connect only); the\n"
       "                   remaining budget rides in every request frame\n"
       "                   and bounds retries, backoff and server work\n"
+      "  --stream         threshold replies arrive as bounded chunk\n"
+      "                   frames instead of one buffered response\n"
+      "                   (--connect only); same points, bounded server\n"
+      "                   memory\n"
       "  --topology T     comma-separated host:port list of turbdb_node\n"
       "                   processes (cluster-status)\n"
       "  --replication-factor R\n"
@@ -96,6 +102,8 @@ void PrintUsage() {
       "  2  usage error (bad flags or command arguments)\n"
       "  3  unreachable (transport retries exhausted, endpoint down)\n"
       "  4  deadline exceeded (the --deadline-ms budget ran out)\n"
+      "  5  resource exhausted (server shed the query under overload;\n"
+      "     safe to retry later)\n"
       "\n"
       "the dataset is MHD-like: raw fields 'velocity' and 'magnetic';\n"
       "derived fields include vorticity, current, q_criterion,\n"
@@ -167,6 +175,8 @@ bool ParseArgs(int argc, char** argv, CliOptions* options,
         return false;
       }
       options->replication_factor = static_cast<int>(value);
+    } else if (arg == "--stream") {
+      options->stream = true;
     } else if (arg == "--deadline-ms") {
       if (!next(&value)) return false;
       if (value < 0) {
@@ -217,6 +227,13 @@ int ReportFailure(const Status& status, int64_t deadline_ms = 0) {
   if (status.IsUnreachable()) {
     std::fprintf(stderr, "unreachable: %s\n", status.ToString().c_str());
     return 3;
+  }
+  if (status.IsResourceExhausted()) {
+    // The server shed the query at admission rather than queueing it;
+    // the overload is transient, so a later retry may well succeed.
+    std::fprintf(stderr, "resource exhausted: %s\n",
+                 status.ToString().c_str());
+    return 5;
   }
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
   return 1;
@@ -455,21 +472,31 @@ int RunRemote(const CliOptions& options) {
         "bytes out         %llu\n"
         "connections       %llu (%llu active)\n"
         "latency p50       %.2f ms\n"
-        "latency p99       %.2f ms\n",
+        "latency p99       %.2f ms\n"
+        "queries in flight %llu\n"
+        "queries admitted  %llu\n"
+        "queries shed      %llu\n"
+        "result bytes held %llu (peak %llu)\n",
         static_cast<unsigned long long>(stats->requests_ok),
         static_cast<unsigned long long>(stats->requests_error),
         static_cast<unsigned long long>(stats->bytes_in),
         static_cast<unsigned long long>(stats->bytes_out),
         static_cast<unsigned long long>(stats->connections_accepted),
         static_cast<unsigned long long>(stats->active_connections),
-        stats->p50_latency_ms, stats->p99_latency_ms);
+        stats->p50_latency_ms, stats->p99_latency_ms,
+        static_cast<unsigned long long>(stats->queries_in_flight),
+        static_cast<unsigned long long>(stats->queries_admitted),
+        static_cast<unsigned long long>(stats->queries_shed),
+        static_cast<unsigned long long>(stats->result_bytes_in_use),
+        static_cast<unsigned long long>(stats->result_bytes_peak));
     return 0;
   }
 
   Backend backend;
   backend.stats = [&](const FieldStatsQuery& q) { return client.FieldStats(q); };
   backend.threshold = [&](const ThresholdQuery& q) {
-    return client.Threshold(q);
+    return options.stream ? client.ThresholdStreamed(q)
+                          : client.Threshold(q);
   };
   backend.pdf = [&](const PdfQuery& q) { return client.Pdf(q); };
   backend.topk = [&](const TopKQuery& q) { return client.TopK(q); };

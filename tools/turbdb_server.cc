@@ -51,6 +51,14 @@ struct ServerCliOptions {
   int replication_factor = 1;
   bool fsync_ingest = true;
   std::string faults;
+  /// Admission control: queries beyond this many in flight are shed with
+  /// kResourceExhausted (0 = unlimited).
+  int64_t max_concurrent_queries = 0;
+  /// Admission control: buffered reply bytes across all in-flight
+  /// streamed queries, in MiB (0 = unlimited).
+  int64_t result_budget_mb = 0;
+  /// Points per streamed chunk frame.
+  int64_t stream_chunk_points = 32768;
   bool help = false;
 };
 
@@ -79,6 +87,18 @@ void PrintUsage() {
       "  --replication-factor R\n"
       "                   group consecutive topology entries into replica\n"
       "                   groups of R (default 1 = unreplicated)\n"
+      "  --max-concurrent-queries N\n"
+      "                   admission budget: queries beyond N in flight\n"
+      "                   are shed fast with ResourceExhausted (exit 5\n"
+      "                   at the CLI) instead of queueing (default 0 =\n"
+      "                   unlimited)\n"
+      "  --result-budget-mb M\n"
+      "                   reply-memory budget: at most M MiB of encoded\n"
+      "                   result buffered across all in-flight streamed\n"
+      "                   queries; producers block (backpressure) at the\n"
+      "                   cap (default 0 = unlimited)\n"
+      "  --stream-chunk-points N\n"
+      "                   points per streamed reply chunk (default 32768)\n"
       "  --no-fsync       skip the per-batch fsync of durable ingest\n"
       "  --faults SPEC    arm deterministic fault injection, e.g.\n"
       "                   server.reply.delay=delay:5000:1 (needs a build\n"
@@ -175,6 +195,27 @@ bool ParseArgs(int argc, char** argv, ServerCliOptions* options,
         return false;
       }
       options->replication_factor = static_cast<int>(value);
+    } else if (arg == "--max-concurrent-queries") {
+      if (!next(&value)) return false;
+      if (value < 0) {
+        *error = "--max-concurrent-queries must be non-negative";
+        return false;
+      }
+      options->max_concurrent_queries = value;
+    } else if (arg == "--result-budget-mb") {
+      if (!next(&value)) return false;
+      if (value < 0) {
+        *error = "--result-budget-mb must be non-negative";
+        return false;
+      }
+      options->result_budget_mb = value;
+    } else if (arg == "--stream-chunk-points") {
+      if (!next(&value)) return false;
+      if (value <= 0) {
+        *error = "--stream-chunk-points must be positive";
+        return false;
+      }
+      options->stream_chunk_points = value;
     } else if (arg == "--no-fsync") {
       options->fsync_ingest = false;
     } else if (arg == "--faults") {
@@ -271,6 +312,12 @@ int main(int argc, char** argv) {
       static_cast<uint32_t>(options.max_frame_mb) << 20;
   server_options.default_deadline_ms =
       static_cast<uint64_t>(options.deadline_ms);
+  server_options.max_concurrent_queries =
+      static_cast<uint64_t>(options.max_concurrent_queries);
+  server_options.result_budget_bytes =
+      static_cast<uint64_t>(options.result_budget_mb) << 20;
+  server_options.stream_chunk_points =
+      static_cast<uint64_t>(options.stream_chunk_points);
   auto server_or = ServeMediator(&db->mediator(), server_options);
   if (!server_or.ok()) {
     std::fprintf(stderr, "server start failed: %s\n",
@@ -297,12 +344,16 @@ int main(int argc, char** argv) {
   const net::ServerStatsReply stats = server->stats();
   std::fprintf(stderr,
                "served %llu ok / %llu errors over %llu connections; "
-               "%llu bytes in, %llu bytes out; p50 %.2f ms, p99 %.2f ms\n",
+               "%llu bytes in, %llu bytes out; p50 %.2f ms, p99 %.2f ms; "
+               "%llu admitted, %llu shed, peak result bytes %llu\n",
                static_cast<unsigned long long>(stats.requests_ok),
                static_cast<unsigned long long>(stats.requests_error),
                static_cast<unsigned long long>(stats.connections_accepted),
                static_cast<unsigned long long>(stats.bytes_in),
                static_cast<unsigned long long>(stats.bytes_out),
-               stats.p50_latency_ms, stats.p99_latency_ms);
+               stats.p50_latency_ms, stats.p99_latency_ms,
+               static_cast<unsigned long long>(stats.queries_admitted),
+               static_cast<unsigned long long>(stats.queries_shed),
+               static_cast<unsigned long long>(stats.result_bytes_peak));
   return 0;
 }
