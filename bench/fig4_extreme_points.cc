@@ -6,19 +6,54 @@
 // RMS between 4x and 8x select sparse sets (1e-5..1e-3 of all points),
 // and the maximum sits tens of RMS above the mean.
 
+// TCP mode: with TURBDB_TOPOLOGY="host:port" pointing at a running
+// turbdb_server, the same sweep runs over the wire (TURBDB_BENCH_N must
+// match the server's --n, default 64) — the live-cluster smoke for the
+// whole-grid threshold path.
+
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "bench_util.h"
+#include "cluster/topology.h"
+#include "net/client.h"
 
 int main() {
   using namespace turbdb;
   using namespace turbdb::bench;
 
-  const int64_t n = BenchGridN();
+  std::unique_ptr<net::Client> client;
+  int64_t n = BenchGridN();
+  if (const char* topology_spec = std::getenv("TURBDB_TOPOLOGY")) {
+    auto topology = ParseTopology(topology_spec);
+    if (!topology.ok() || topology->size() == 0) {
+      std::fprintf(stderr, "bad TURBDB_TOPOLOGY: %s\n", topology_spec);
+      return 1;
+    }
+    const NodeAddress& address = topology->nodes.front();
+    n = 64;  // turbdb_server's --n default; TURBDB_BENCH_N overrides.
+    if (const char* env = std::getenv("TURBDB_BENCH_N")) {
+      const long value = std::strtol(env, nullptr, 10);
+      if (value >= 16) n = value;
+    }
+    client = std::make_unique<net::Client>(address.host, address.port);
+    if (!client->Ping().ok()) {
+      std::fprintf(stderr, "server %s unreachable\n",
+                   address.ToString().c_str());
+      return 3;
+    }
+  }
+
   PrintHeader("Figure 4: points above multiples of the RMS vorticity");
-  auto db = MakeMhdBenchDb(4, 4, n, 1);
-  if (!db) return 1;
+  std::unique_ptr<TurbDB> db;
+  if (client == nullptr) {
+    db = MakeMhdBenchDb(4, 4, n, 1);
+    if (!db) return 1;
+  } else {
+    std::printf("(over TCP, grid %lld^3)\n", static_cast<long long>(n));
+  }
 
   FieldStatsQuery stats_query;
   stats_query.dataset = "mhd";
@@ -26,8 +61,13 @@ int main() {
   stats_query.derived_field = "vorticity";
   stats_query.timestep = 0;
   stats_query.box = Box3::WholeGrid(n, n, n);
-  auto stats = db->FieldStats(stats_query);
-  if (!stats.ok()) return 1;
+  auto stats = client != nullptr ? client->FieldStats(stats_query)
+                                 : db->FieldStats(stats_query);
+  if (!stats.ok()) {
+    std::fprintf(stderr, "FieldStats failed: %s\n",
+                 stats.status().ToString().c_str());
+    return 1;
+  }
   std::printf("RMS = %.3f, max = %.3f (max/RMS = %.1f; paper: ~32)\n",
               stats->rms, stats->max, stats->max / stats->rms);
 
@@ -48,7 +88,8 @@ int main() {
     query.threshold = threshold;
     QueryOptions options;
     options.use_cache = false;
-    auto result = db->Threshold(query, options);
+    auto result = client != nullptr ? client->Threshold(query, options)
+                                    : db->Threshold(query, options);
     if (!result.ok()) {
       std::fprintf(stderr, "threshold failed: %s\n",
                    result.status().ToString().c_str());

@@ -17,6 +17,7 @@ namespace turbdb {
 
 Mediator::Mediator(const ClusterConfig& config) : config_(config) {
   registry_ = FieldRegistry::Default();
+  result_cache_ = std::make_unique<MediatorCache>(config.mediator_cache_bytes);
 }
 
 Result<std::unique_ptr<Mediator>> Mediator::Create(
@@ -67,6 +68,7 @@ Result<std::unique_ptr<Mediator>> Mediator::Create(
       }
       auto group = std::make_unique<ReplicaGroup>(g, std::move(members),
                                                   effective.remote);
+      group->set_cache_affinity(effective.cache_affinity);
       TURBDB_RETURN_NOT_OK(group->BringUp());
       mediator->backends_.push_back(std::move(group));
     }
@@ -228,6 +230,11 @@ Status Mediator::IngestTimestep(
     Status status = future.get();
     if (!status.ok() && failure.ok()) failure = status;
   }
+  // New raw data invalidates every cached derived result built from it —
+  // even on a failed ingest, since some atoms may already have shipped.
+  // The epoch bump inside also poisons inserts of queries that dispatched
+  // before this ingest.
+  result_cache_->InvalidateRawField(dataset, field, timestep);
   return failure;
 }
 
@@ -331,6 +338,7 @@ Result<std::vector<NodeOutcome>> Mediator::Dispatch(
 
   std::vector<std::future<Result<NodeOutcome>>> futures;
   futures.reserve(participants.size());
+  node_executes_.fetch_add(participants.size(), std::memory_order_relaxed);
   for (int node_id : participants) {
     NodeBackend* backend = backends_[static_cast<size_t>(node_id)].get();
     futures.push_back(scheduler_->Submit(
@@ -448,6 +456,38 @@ Result<ThresholdResult> Mediator::GetThreshold(const ThresholdQuery& query,
                      query.raw_field, query.derived_field, query.timestep,
                      query.box, query.fd_order, options));
   node_query.threshold = query.threshold;
+
+  // Mediator-tier cache: a resident entry subsuming this query answers
+  // it here, with zero node RPCs. The epoch is snapshotted *before*
+  // dispatch so a concurrent ingest poisons the later insert, never the
+  // served data.
+  const bool cacheable = options.use_cache && result_cache_->enabled();
+  if (cacheable) {
+    MediatorCacheLookup cached = result_cache_->Lookup(
+        query.dataset, node_query.cache_field_key, query.fd_order,
+        query.timestep, node_query.box, query.threshold);
+    if (cached.hit) {
+      if (cached.points.size() > options.max_result_points) {
+        return Status::ThresholdTooLow(
+            "threshold produced " + std::to_string(cached.points.size()) +
+            " points; the limit is " +
+            std::to_string(options.max_result_points) +
+            " (raise the threshold, or request the field values directly)");
+      }
+      ThresholdResult result;
+      result.points = std::move(cached.points);
+      result.all_cache_hits = true;
+      result.result_bytes_binary = EncodePointsBinary(result.points).size();
+      result.result_bytes_xml = EncodePointsXml(result.points).size();
+      // Modeled time: no node phase and no LAN scatter-gather — only the
+      // WAN delivery of the answer remains.
+      result.time.mediator_user_comm_s =
+          config_.cost.wan.TransferCost(result.result_bytes_xml);
+      result.wall_seconds = watch.ElapsedSeconds();
+      return result;
+    }
+  }
+  const uint64_t cache_epoch = cacheable ? result_cache_->epoch() : 0;
   TURBDB_ASSIGN_OR_RETURN(std::vector<NodeOutcome> outcomes,
                           Dispatch(node_query, budget));
 
@@ -490,6 +530,13 @@ Result<ThresholdResult> Mediator::GetThreshold(const ThresholdQuery& query,
   result.time.mediator_user_comm_s =
       cost.wan.TransferCost(result.result_bytes_xml);
   FillNodeStats(outcomes, &result.node_stats);
+  if (cacheable) {
+    // Populate only on successful completion; the pre-dispatch epoch
+    // makes the insert a no-op if an ingest raced the query.
+    result_cache_->Insert(query.dataset, node_query.cache_field_key,
+                          query.fd_order, query.timestep, node_query.box,
+                          query.threshold, result.points, cache_epoch);
+  }
   result.wall_seconds = watch.ElapsedSeconds();
   return result;
 }
@@ -507,16 +554,84 @@ Result<ThresholdResult> Mediator::GetThresholdStreaming(
                      query.box, query.fd_order, options));
   node_query.threshold = query.threshold;
 
+  const uint64_t slice = chunk_points == 0 ? 32768 : chunk_points;
+  uint64_t streamed_points = 0;
+  uint64_t binary_bytes = 0;
+  uint64_t xml_bytes = 0;
+
+  // Mediator-tier cache hit: re-chunk the cached (already z-sorted)
+  // answer through the existing sink — the consumer sees the same chunk
+  // protocol as a computed reply, with zero node RPCs behind it.
+  const bool cacheable = options.use_cache && result_cache_->enabled();
+  if (cacheable) {
+    MediatorCacheLookup cached = result_cache_->Lookup(
+        query.dataset, node_query.cache_field_key, query.fd_order,
+        query.timestep, node_query.box, query.threshold);
+    if (cached.hit) {
+      if (cached.points.size() > options.max_result_points) {
+        return Status::ThresholdTooLow(
+            "threshold produced " + std::to_string(cached.points.size()) +
+            " points; the limit is " +
+            std::to_string(options.max_result_points) +
+            " (raise the threshold, or request the field values directly)");
+      }
+      size_t begin = 0;
+      while (begin < cached.points.size()) {
+        const size_t end = std::min(cached.points.size(),
+                                    begin + static_cast<size_t>(slice));
+        std::vector<ThresholdPoint> part(
+            std::make_move_iterator(cached.points.begin() +
+                                    static_cast<ptrdiff_t>(begin)),
+            std::make_move_iterator(cached.points.begin() +
+                                    static_cast<ptrdiff_t>(end)));
+        begin = end;
+        streamed_points += part.size();
+        xml_bytes += EncodePointsXml(part).size();
+        TURBDB_ASSIGN_OR_RETURN(uint64_t chunk_bytes,
+                                sink(std::move(part), streamed_points));
+        binary_bytes += chunk_bytes;
+      }
+      ThresholdResult result;  // Summary only: points already streamed.
+      result.all_cache_hits = true;
+      result.result_bytes_binary = binary_bytes;
+      result.result_bytes_xml = xml_bytes;
+      result.time.mediator_user_comm_s =
+          config_.cost.wan.TransferCost(result.result_bytes_xml);
+      result.wall_seconds = watch.ElapsedSeconds();
+      return result;
+    }
+  }
+  const uint64_t cache_epoch = cacheable ? result_cache_->epoch() : 0;
+
+  // Cache-population accumulator for the miss path. Bounded by the cache
+  // capacity alone — deliberately NOT charged to the server governor
+  // while accumulating: the chunk emitter may block on that same budget
+  // in this very thread, and a cache-side ReserveBlocking here would
+  // deadlock it. The governor charge happens at insert time, fail-fast.
+  std::vector<ThresholdPoint> accumulated;
+  bool accumulate = cacheable;
+  const uint64_t accumulate_cap =
+      result_cache_->capacity_bytes() > MediatorCache::kEntryOverhead
+          ? (result_cache_->capacity_bytes() - MediatorCache::kEntryOverhead) /
+                MediatorCache::kBytesPerPoint
+          : 0;
+
   // Slice each joined outcome into bounded chunks and push them through
   // the sink as the outcome arrives: the mediator holds at most one
   // outcome's points, never the union. The point cap is enforced inside
   // Dispatch (a streamed reply must fail *before* the client has seen
   // points it would have to throw away, so the cap trips at join time).
-  const uint64_t slice = chunk_points == 0 ? 32768 : chunk_points;
-  uint64_t streamed_points = 0;
-  uint64_t binary_bytes = 0;
-  uint64_t xml_bytes = 0;
   auto outcome_sink = [&](std::vector<ThresholdPoint> points) -> Status {
+    if (accumulate) {
+      if (accumulated.size() + points.size() > accumulate_cap) {
+        // The would-be entry cannot fit the cache; stop paying for it.
+        accumulate = false;
+        accumulated.clear();
+        accumulated.shrink_to_fit();
+      } else {
+        accumulated.insert(accumulated.end(), points.begin(), points.end());
+      }
+    }
     size_t begin = 0;
     while (begin < points.size()) {
       const size_t end =
@@ -556,6 +671,18 @@ Result<ThresholdResult> Mediator::GetThresholdStreaming(
   result.time.mediator_user_comm_s =
       cost.wan.TransferCost(result.result_bytes_xml);
   FillNodeStats(outcomes, &result.node_stats);
+  if (accumulate) {
+    // The streamed union arrives in join order; canonicalize to z order
+    // so a later lookup returns the same byte sequence as the buffered
+    // path.
+    std::sort(accumulated.begin(), accumulated.end(),
+              [](const ThresholdPoint& a, const ThresholdPoint& b) {
+                return a.zindex < b.zindex;
+              });
+    result_cache_->Insert(query.dataset, node_query.cache_field_key,
+                          query.fd_order, query.timestep, node_query.box,
+                          query.threshold, accumulated, cache_epoch);
+  }
   result.wall_seconds = watch.ElapsedSeconds();
   return result;
 }
@@ -806,18 +933,61 @@ Result<SampleResult> Mediator::GetSamples(const SampleQuery& query,
 Status Mediator::DropCacheEntries(const std::string& dataset,
                                   const std::string& raw_field,
                                   const std::string& derived_field,
-                                  int32_t timestep) {
+                                  int32_t timestep,
+                                  uint64_t* mediator_dropped) {
   const std::string key = raw_field + ":" + derived_field;
+  // Drop the mediator tier first: its epoch bump also poisons inserts of
+  // queries already in flight, so a racing completion cannot repopulate
+  // the entry this call was asked to remove.
+  const uint64_t dropped = result_cache_->Invalidate(dataset, key, timestep);
+  if (mediator_dropped != nullptr) *mediator_dropped = dropped;
   for (auto& backend : backends_) {
     TURBDB_RETURN_NOT_OK(backend->DropCacheEntries(dataset, key, timestep));
   }
   return Status::OK();
 }
 
+Result<Mediator::CacheWarmOutcome> Mediator::WarmThresholdCache(
+    const ThresholdQuery& query, const CallBudget& budget) {
+  if (!result_cache_->enabled()) {
+    return Status::InvalidArgument(
+        "mediator cache is disabled (--mediator-cache-mb 0)");
+  }
+  TURBDB_RETURN_NOT_OK(ValidateThresholdQuery(query));
+  TURBDB_ASSIGN_OR_RETURN(
+      NodeQuery node_query,
+      BuildNodeQuery(NodeQuery::Mode::kThreshold, query.dataset,
+                     query.raw_field, query.derived_field, query.timestep,
+                     query.box, query.fd_order, QueryOptions{}));
+  MediatorCacheLookup cached = result_cache_->Lookup(
+      query.dataset, node_query.cache_field_key, query.fd_order,
+      query.timestep, node_query.box, query.threshold);
+  CacheWarmOutcome outcome;
+  if (cached.hit) {
+    outcome.points = cached.points.size();
+    outcome.already_cached = true;
+    return outcome;
+  }
+  TURBDB_ASSIGN_OR_RETURN(ThresholdResult result,
+                          GetThreshold(query, QueryOptions{}, budget));
+  outcome.points = result.points.size();
+  outcome.already_cached = false;
+  return outcome;
+}
+
 Result<uint64_t> Mediator::StoredAtomCount(const std::string& dataset,
                                            const std::string& field) {
   if (backends_.empty()) return Status::Internal("cluster has no nodes");
   return backends_.front()->StoredAtomCount(dataset, field);
+}
+
+uint64_t Mediator::affinity_routes() const {
+  uint64_t total = 0;
+  for (const auto& backend : backends_) {
+    const auto* group = dynamic_cast<const ReplicaGroup*>(backend.get());
+    if (group != nullptr) total += group->affinity_routes();
+  }
+  return total;
 }
 
 std::vector<ClusterNodeStatus> Mediator::ClusterStatus() const {

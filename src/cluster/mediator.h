@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "cache/mediator_cache.h"
 #include "cluster/cost_model.h"
 #include "cluster/dataset.h"
 #include "cluster/node.h"
@@ -59,6 +60,16 @@ struct ClusterConfig {
   /// materializing the whole slice, so ingesting a timestep larger than
   /// RAM stays safe. 0 = unlimited (one batch per slice).
   uint64_t ingest_budget_bytes = 256u << 20;
+  /// Capacity of the mediator-tier semantic result cache (see
+  /// cache/mediator_cache.h): completed threshold results are kept at the
+  /// cluster entry point and repeat (or subsumed) queries are answered
+  /// with zero node RPCs. 0 (the default) disables the tier.
+  uint64_t mediator_cache_bytes = 0;
+  /// Cache-affinity replica routing: prefer the replica that most
+  /// recently answered a subsuming threshold query for the same cache
+  /// key (its node-local cache likely still holds the entry) over the
+  /// default primary-preferred order. Off by default.
+  bool cache_affinity = false;
 };
 
 /// Execution budget a transport front-end (cluster/service.h) attaches
@@ -150,11 +161,27 @@ class Mediator {
                                   const CallBudget& budget = {});
 
   /// Drops cached results of (dataset, raw:derived) for `timestep`
-  /// (-1 = all timesteps) on every node; benchmark hook matching the
-  /// paper's procedure of dropping cache entries before cache-miss runs.
+  /// (-1 = all timesteps) on every node *and* in the mediator-tier
+  /// result cache; benchmark hook matching the paper's procedure of
+  /// dropping cache entries before cache-miss runs. `mediator_dropped`,
+  /// when non-null, receives the mediator-tier entry count removed.
   Status DropCacheEntries(const std::string& dataset,
                           const std::string& raw_field,
-                          const std::string& derived_field, int32_t timestep);
+                          const std::string& derived_field, int32_t timestep,
+                          uint64_t* mediator_dropped = nullptr);
+
+  /// Outcome of WarmThresholdCache.
+  struct CacheWarmOutcome {
+    uint64_t points = 0;        ///< Points now resident for the query.
+    bool already_cached = false;  ///< True when no query had to run.
+  };
+
+  /// Runs `query` solely to populate the mediator-tier cache: a lookup
+  /// that already subsumes it is a no-op, otherwise the query executes
+  /// (and its completion inserts the entry). Fails when the cache tier
+  /// is disabled.
+  Result<CacheWarmOutcome> WarmThresholdCache(const ThresholdQuery& query,
+                                              const CallBudget& budget = {});
 
   int num_nodes() const { return static_cast<int>(backends_.size()); }
   /// True when the nodes are remote turbdb_node processes.
@@ -179,6 +206,21 @@ class Mediator {
   /// shards (after a hard failure, a tripped point cap, or an external
   /// cancellation). Observability/test hook.
   uint64_t cancels_issued() const { return cancels_issued_.load(); }
+
+  /// The mediator-tier result cache; never null (disabled when
+  /// `mediator_cache_bytes` was 0). The serving layer attaches the
+  /// server's governor ledger and reads stats through this.
+  MediatorCache& result_cache() { return *result_cache_; }
+
+  /// How many node Execute sub-queries Dispatch has submitted over this
+  /// mediator's lifetime. A repeat threshold query answered by the
+  /// mediator cache leaves this unchanged — the zero-node-RPC assertion
+  /// hook for tests and benches.
+  uint64_t node_executes() const { return node_executes_.load(); }
+
+  /// Total affinity-preferred replica routing decisions, summed over the
+  /// replica groups (always 0 in-process or with affinity off).
+  uint64_t affinity_routes() const;
 
   Result<const DatasetInfo*> GetDataset(const std::string& name) const;
 
@@ -236,6 +278,10 @@ class Mediator {
   /// address, so two mediators over the same nodes cannot collide.
   std::atomic<uint64_t> query_counter_{1};
   std::atomic<uint64_t> cancels_issued_{0};
+  std::atomic<uint64_t> node_executes_{0};
+
+  /// Mediator-tier semantic result cache (capacity 0 = disabled).
+  std::unique_ptr<MediatorCache> result_cache_;
 
   mutable std::mutex diff_mutex_;
   std::map<std::pair<std::string, int>, std::unique_ptr<Differentiator>>

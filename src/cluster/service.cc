@@ -82,6 +82,64 @@ net::Server::Handler MediatorHandler(Mediator* mediator) {
     } else if (std::holds_alternative<net::FieldStatsRequest>(request)) {
       finish(mediator->GetFieldStats(
           std::get<net::FieldStatsRequest>(request).query, budget));
+    } else if (std::holds_alternative<net::DropCacheRequest>(request)) {
+      const auto& req = std::get<net::DropCacheRequest>(request);
+      uint64_t dropped = 0;
+      Status status = mediator->DropCacheEntries(
+          req.dataset, req.raw_field, req.derived_field, req.timestep,
+          &dropped);
+      if (!status.ok()) {
+        response = net::EncodeErrorResponse(status);
+      } else {
+        net::DropCacheReply reply;
+        reply.mediator_entries = dropped;
+        reply.node_tier_cleared = true;
+        response = net::EncodeDropCacheResponse(reply);
+      }
+    } else if (std::holds_alternative<net::CacheStatsRequest>(request)) {
+      const MediatorCacheStats stats = mediator->result_cache().stats();
+      net::CacheStatsReply reply;
+      reply.enabled = mediator->result_cache().enabled();
+      reply.capacity_bytes = stats.capacity_bytes;
+      reply.entries = stats.entries;
+      reply.bytes = stats.bytes;
+      reply.hits = stats.hits;
+      reply.misses = stats.misses;
+      reply.subsumption_hits = stats.subsumption_hits;
+      reply.insertions = stats.insertions;
+      reply.evictions = stats.evictions;
+      reply.invalidations = stats.invalidations;
+      reply.stale_inserts = stats.stale_inserts;
+      reply.pinned_entries = stats.pinned_entries;
+      reply.pinned_bytes = stats.pinned_bytes;
+      reply.affinity_enabled = mediator->config().cache_affinity;
+      reply.affinity_routes = mediator->affinity_routes();
+      response = net::EncodeCacheStatsResponse(reply);
+    } else if (std::holds_alternative<net::CacheWarmRequest>(request)) {
+      const auto& req = std::get<net::CacheWarmRequest>(request);
+      auto outcome = mediator->WarmThresholdCache(req.query, budget);
+      if (!outcome.ok()) {
+        response = net::EncodeErrorResponse(outcome.status());
+      } else {
+        net::CacheWarmReply reply;
+        reply.points = outcome->points;
+        reply.already_cached = outcome->already_cached;
+        response = net::EncodeCacheWarmResponse(reply);
+      }
+    } else if (std::holds_alternative<net::CachePinRequest>(request)) {
+      const auto& req = std::get<net::CachePinRequest>(request);
+      net::CachePinReply reply;
+      reply.entries = mediator->result_cache().Pin(
+          req.dataset, req.raw_field + ":" + req.derived_field, req.timestep);
+      response =
+          net::EncodeCachePinResponse(reply, net::MsgType::kCachePinResponse);
+    } else if (std::holds_alternative<net::CacheUnpinRequest>(request)) {
+      const auto& req = std::get<net::CacheUnpinRequest>(request);
+      net::CachePinReply reply;
+      reply.entries = mediator->result_cache().Unpin(
+          req.dataset, req.raw_field + ":" + req.derived_field, req.timestep);
+      response = net::EncodeCachePinResponse(reply,
+                                             net::MsgType::kCacheUnpinResponse);
     } else {
       // Ping/ServerStats/Hello are answered by the server itself; a
       // node-scoped request reaching a mediator lands here too.
@@ -97,7 +155,37 @@ Result<std::unique_ptr<net::Server>> ServeMediator(
   if (mediator == nullptr) {
     return Status::InvalidArgument("server needs a mediator");
   }
-  return net::Server::Start(MediatorHandler(mediator), options);
+  // Fold the mediator-cache gauges into every server-stats snapshot, so
+  // `turbdb_cli server-stats` shows the cache next to the governor
+  // counters without a second RPC.
+  net::ServerOptions effective = options;
+  effective.stats_decorator = [mediator](net::ServerStatsReply* reply) {
+    const MediatorCacheStats stats = mediator->result_cache().stats();
+    reply->cache_hits = stats.hits;
+    reply->cache_misses = stats.misses;
+    reply->cache_subsumption_hits = stats.subsumption_hits;
+    reply->cache_evictions = stats.evictions;
+    reply->cache_entries = stats.entries;
+    reply->cache_bytes = stats.bytes;
+    reply->cache_pinned_bytes = stats.pinned_bytes;
+  };
+  // The cache will charge the server's governor; when the server stops,
+  // its governor dies with it, so the resident entries (whose RAII
+  // reservations reference it) must be released first and the cache
+  // re-pointed at its internal ledger.
+  effective.on_stop = [mediator]() {
+    mediator->result_cache().Clear();
+    mediator->result_cache().AttachLedger(nullptr);
+  };
+  TURBDB_ASSIGN_OR_RETURN(std::unique_ptr<net::Server> server,
+                          net::Server::Start(MediatorHandler(mediator),
+                                             effective));
+  // Charge resident cache bytes to the server's result-byte ledger: the
+  // cache competes with in-flight results for the same budget and its
+  // bytes are visible in the governor gauges. Attached while the cache
+  // is still empty, so every reservation goes through this ledger.
+  mediator->result_cache().AttachLedger(&server->governor());
+  return std::move(server);
 }
 
 }  // namespace turbdb

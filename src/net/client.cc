@@ -279,6 +279,39 @@ Result<ServerStatsReply> Client::ServerStats() {
   return DecodeServerStatsResponse(payload);
 }
 
+Result<DropCacheReply> Client::DropCache(const DropCacheRequest& request) {
+  TURBDB_ASSIGN_OR_RETURN(std::vector<uint8_t> payload,
+                          Call(EncodeRequest(request), options_.deadline_ms));
+  return DecodeDropCacheResponse(payload);
+}
+
+Result<CacheStatsReply> Client::CacheStats() {
+  CacheStatsRequest request;
+  TURBDB_ASSIGN_OR_RETURN(std::vector<uint8_t> payload,
+                          Call(EncodeRequest(request), options_.deadline_ms));
+  return DecodeCacheStatsResponse(payload);
+}
+
+Result<CacheWarmReply> Client::CacheWarm(const ThresholdQuery& query) {
+  CacheWarmRequest request;
+  request.query = query;
+  TURBDB_ASSIGN_OR_RETURN(std::vector<uint8_t> payload,
+                          Call(EncodeRequest(request), options_.deadline_ms));
+  return DecodeCacheWarmResponse(payload);
+}
+
+Result<CachePinReply> Client::CachePin(const CachePinRequest& request) {
+  TURBDB_ASSIGN_OR_RETURN(std::vector<uint8_t> payload,
+                          Call(EncodeRequest(request), options_.deadline_ms));
+  return DecodeCachePinResponse(payload, MsgType::kCachePinResponse);
+}
+
+Result<CachePinReply> Client::CacheUnpin(const CacheUnpinRequest& request) {
+  TURBDB_ASSIGN_OR_RETURN(std::vector<uint8_t> payload,
+                          Call(EncodeRequest(request), options_.deadline_ms));
+  return DecodeCachePinResponse(payload, MsgType::kCacheUnpinResponse);
+}
+
 Status Client::Ping(uint64_t delay_ms) {
   PingRequest request;
   request.delay_ms = delay_ms;

@@ -78,6 +78,14 @@ class Client {
   Result<FieldStatsResult> FieldStats(const FieldStatsQuery& query);
   Result<ServerStatsReply> ServerStats();
 
+  // Mediator cache controls. DropCache clears both tiers (mediator +
+  // node-local); the others act on the mediator-tier result cache only.
+  Result<DropCacheReply> DropCache(const DropCacheRequest& request);
+  Result<CacheStatsReply> CacheStats();
+  Result<CacheWarmReply> CacheWarm(const ThresholdQuery& query);
+  Result<CachePinReply> CachePin(const CachePinRequest& request);
+  Result<CachePinReply> CacheUnpin(const CacheUnpinRequest& request);
+
   /// Round-trip liveness probe; `delay_ms` asks the server to sleep
   /// before answering (deadline drills).
   Status Ping(uint64_t delay_ms = 0);

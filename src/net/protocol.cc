@@ -454,6 +454,67 @@ std::vector<uint8_t> EncodeRequest(const PingRequest& request) {
   return out;
 }
 
+std::vector<uint8_t> EncodeRequest(const DropCacheRequest& request) {
+  std::vector<uint8_t> out;
+  PutHeader(&out, MsgType::kDropCacheRequest, request.rpc);
+  PutString(&out, request.dataset);
+  PutString(&out, request.raw_field);
+  PutString(&out, request.derived_field);
+  PutZigZag64(&out, request.timestep);
+  return out;
+}
+
+std::vector<uint8_t> EncodeRequest(const CacheStatsRequest& request) {
+  std::vector<uint8_t> out;
+  PutHeader(&out, MsgType::kCacheStatsRequest, request.rpc);
+  return out;
+}
+
+std::vector<uint8_t> EncodeRequest(const CacheWarmRequest& request) {
+  std::vector<uint8_t> out;
+  PutHeader(&out, MsgType::kCacheWarmRequest, request.rpc);
+  PutQueryCommon(&out, request.query.dataset, request.query.raw_field,
+                 request.query.derived_field, request.query.timestep,
+                 request.query.box, request.query.fd_order);
+  PutDouble(&out, request.query.threshold);
+  return out;
+}
+
+namespace {
+
+/// Pin and Unpin share one field layout; only the type differs.
+template <typename R>
+std::vector<uint8_t> EncodeCacheKeyRequest(const R& request, MsgType type) {
+  std::vector<uint8_t> out;
+  PutHeader(&out, type, request.rpc);
+  PutString(&out, request.dataset);
+  PutString(&out, request.raw_field);
+  PutString(&out, request.derived_field);
+  PutZigZag64(&out, request.timestep);
+  return out;
+}
+
+template <typename R>
+Status GetCacheKeyRequestBody(const std::vector<uint8_t>& payload,
+                              size_t* pos, R* request) {
+  TURBDB_ASSIGN_OR_RETURN(request->dataset, GetString(payload, pos));
+  TURBDB_ASSIGN_OR_RETURN(request->raw_field, GetString(payload, pos));
+  TURBDB_ASSIGN_OR_RETURN(request->derived_field, GetString(payload, pos));
+  TURBDB_ASSIGN_OR_RETURN(int64_t timestep, GetZigZag64(payload, pos));
+  request->timestep = static_cast<int32_t>(timestep);
+  return Status::OK();
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeRequest(const CachePinRequest& request) {
+  return EncodeCacheKeyRequest(request, MsgType::kCachePinRequest);
+}
+
+std::vector<uint8_t> EncodeRequest(const CacheUnpinRequest& request) {
+  return EncodeCacheKeyRequest(request, MsgType::kCacheUnpinRequest);
+}
+
 Result<Request> DecodeRequest(const std::vector<uint8_t>& payload) {
   size_t pos = 0;
   TURBDB_ASSIGN_OR_RETURN(uint64_t raw, GetVarint64(payload, &pos));
@@ -520,6 +581,42 @@ Result<Request> DecodeRequest(const std::vector<uint8_t>& payload) {
       TURBDB_ASSIGN_OR_RETURN(request.delay_ms, GetVarint64(payload, &pos));
       TURBDB_RETURN_NOT_OK(CheckConsumed(payload, pos));
       return Request(request);
+    }
+    case MsgType::kDropCacheRequest: {
+      DropCacheRequest request;
+      request.rpc = rpc;
+      TURBDB_RETURN_NOT_OK(GetCacheKeyRequestBody(payload, &pos, &request));
+      TURBDB_RETURN_NOT_OK(CheckConsumed(payload, pos));
+      return Request(std::move(request));
+    }
+    case MsgType::kCacheStatsRequest: {
+      CacheStatsRequest request;
+      request.rpc = rpc;
+      TURBDB_RETURN_NOT_OK(CheckConsumed(payload, pos));
+      return Request(request);
+    }
+    case MsgType::kCacheWarmRequest: {
+      CacheWarmRequest request;
+      request.rpc = rpc;
+      TURBDB_RETURN_NOT_OK(GetQueryCommon(payload, &pos, &request.query));
+      TURBDB_ASSIGN_OR_RETURN(request.query.threshold,
+                              GetDouble(payload, &pos));
+      TURBDB_RETURN_NOT_OK(CheckConsumed(payload, pos));
+      return Request(std::move(request));
+    }
+    case MsgType::kCachePinRequest: {
+      CachePinRequest request;
+      request.rpc = rpc;
+      TURBDB_RETURN_NOT_OK(GetCacheKeyRequestBody(payload, &pos, &request));
+      TURBDB_RETURN_NOT_OK(CheckConsumed(payload, pos));
+      return Request(std::move(request));
+    }
+    case MsgType::kCacheUnpinRequest: {
+      CacheUnpinRequest request;
+      request.rpc = rpc;
+      TURBDB_RETURN_NOT_OK(GetCacheKeyRequestBody(payload, &pos, &request));
+      TURBDB_RETURN_NOT_OK(CheckConsumed(payload, pos));
+      return Request(std::move(request));
     }
     default:
       return Status::Corruption("unknown request type " +
@@ -594,6 +691,13 @@ std::vector<uint8_t> EncodeResponse(const ServerStatsReply& reply) {
   PutVarint64(&out, reply.queries_shed);
   PutVarint64(&out, reply.result_bytes_in_use);
   PutVarint64(&out, reply.result_bytes_peak);
+  PutVarint64(&out, reply.cache_hits);
+  PutVarint64(&out, reply.cache_misses);
+  PutVarint64(&out, reply.cache_subsumption_hits);
+  PutVarint64(&out, reply.cache_evictions);
+  PutVarint64(&out, reply.cache_entries);
+  PutVarint64(&out, reply.cache_bytes);
+  PutVarint64(&out, reply.cache_pinned_bytes);
   return out;
 }
 
@@ -688,6 +792,15 @@ Result<ServerStatsReply> DecodeServerStatsResponse(
                           GetVarint64(payload, &pos));
   TURBDB_ASSIGN_OR_RETURN(reply.result_bytes_peak,
                           GetVarint64(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(reply.cache_hits, GetVarint64(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(reply.cache_misses, GetVarint64(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(reply.cache_subsumption_hits,
+                          GetVarint64(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(reply.cache_evictions, GetVarint64(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(reply.cache_entries, GetVarint64(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(reply.cache_bytes, GetVarint64(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(reply.cache_pinned_bytes,
+                          GetVarint64(payload, &pos));
   TURBDB_RETURN_NOT_OK(CheckConsumed(payload, pos));
   return reply;
 }
@@ -696,6 +809,110 @@ Status DecodePingResponse(const std::vector<uint8_t>& payload) {
   size_t pos = 0;
   TURBDB_RETURN_NOT_OK(ExpectType(payload, &pos, MsgType::kPingResponse));
   return CheckConsumed(payload, pos);
+}
+
+// -- Mediator cache-control responses ------------------------------------
+
+std::vector<uint8_t> EncodeDropCacheResponse(const DropCacheReply& reply) {
+  std::vector<uint8_t> out;
+  PutVarint64(&out, static_cast<uint64_t>(MsgType::kDropCacheResponse));
+  PutVarint64(&out, reply.mediator_entries);
+  PutBool(&out, reply.node_tier_cleared);
+  return out;
+}
+
+Result<DropCacheReply> DecodeDropCacheResponse(
+    const std::vector<uint8_t>& payload) {
+  size_t pos = 0;
+  TURBDB_RETURN_NOT_OK(ExpectType(payload, &pos, MsgType::kDropCacheResponse));
+  DropCacheReply reply;
+  TURBDB_ASSIGN_OR_RETURN(reply.mediator_entries, GetVarint64(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(reply.node_tier_cleared, GetBool(payload, &pos));
+  TURBDB_RETURN_NOT_OK(CheckConsumed(payload, pos));
+  return reply;
+}
+
+std::vector<uint8_t> EncodeCacheStatsResponse(const CacheStatsReply& reply) {
+  std::vector<uint8_t> out;
+  PutVarint64(&out, static_cast<uint64_t>(MsgType::kCacheStatsResponse));
+  PutBool(&out, reply.enabled);
+  PutVarint64(&out, reply.capacity_bytes);
+  PutVarint64(&out, reply.entries);
+  PutVarint64(&out, reply.bytes);
+  PutVarint64(&out, reply.hits);
+  PutVarint64(&out, reply.misses);
+  PutVarint64(&out, reply.subsumption_hits);
+  PutVarint64(&out, reply.insertions);
+  PutVarint64(&out, reply.evictions);
+  PutVarint64(&out, reply.invalidations);
+  PutVarint64(&out, reply.stale_inserts);
+  PutVarint64(&out, reply.pinned_entries);
+  PutVarint64(&out, reply.pinned_bytes);
+  PutBool(&out, reply.affinity_enabled);
+  PutVarint64(&out, reply.affinity_routes);
+  return out;
+}
+
+Result<CacheStatsReply> DecodeCacheStatsResponse(
+    const std::vector<uint8_t>& payload) {
+  size_t pos = 0;
+  TURBDB_RETURN_NOT_OK(
+      ExpectType(payload, &pos, MsgType::kCacheStatsResponse));
+  CacheStatsReply reply;
+  TURBDB_ASSIGN_OR_RETURN(reply.enabled, GetBool(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(reply.capacity_bytes, GetVarint64(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(reply.entries, GetVarint64(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(reply.bytes, GetVarint64(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(reply.hits, GetVarint64(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(reply.misses, GetVarint64(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(reply.subsumption_hits, GetVarint64(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(reply.insertions, GetVarint64(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(reply.evictions, GetVarint64(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(reply.invalidations, GetVarint64(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(reply.stale_inserts, GetVarint64(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(reply.pinned_entries, GetVarint64(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(reply.pinned_bytes, GetVarint64(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(reply.affinity_enabled, GetBool(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(reply.affinity_routes, GetVarint64(payload, &pos));
+  TURBDB_RETURN_NOT_OK(CheckConsumed(payload, pos));
+  return reply;
+}
+
+std::vector<uint8_t> EncodeCacheWarmResponse(const CacheWarmReply& reply) {
+  std::vector<uint8_t> out;
+  PutVarint64(&out, static_cast<uint64_t>(MsgType::kCacheWarmResponse));
+  PutVarint64(&out, reply.points);
+  PutBool(&out, reply.already_cached);
+  return out;
+}
+
+Result<CacheWarmReply> DecodeCacheWarmResponse(
+    const std::vector<uint8_t>& payload) {
+  size_t pos = 0;
+  TURBDB_RETURN_NOT_OK(ExpectType(payload, &pos, MsgType::kCacheWarmResponse));
+  CacheWarmReply reply;
+  TURBDB_ASSIGN_OR_RETURN(reply.points, GetVarint64(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(reply.already_cached, GetBool(payload, &pos));
+  TURBDB_RETURN_NOT_OK(CheckConsumed(payload, pos));
+  return reply;
+}
+
+std::vector<uint8_t> EncodeCachePinResponse(const CachePinReply& reply,
+                                            MsgType type) {
+  std::vector<uint8_t> out;
+  PutVarint64(&out, static_cast<uint64_t>(type));
+  PutVarint64(&out, reply.entries);
+  return out;
+}
+
+Result<CachePinReply> DecodeCachePinResponse(
+    const std::vector<uint8_t>& payload, MsgType type) {
+  size_t pos = 0;
+  TURBDB_RETURN_NOT_OK(ExpectType(payload, &pos, type));
+  CachePinReply reply;
+  TURBDB_ASSIGN_OR_RETURN(reply.entries, GetVarint64(payload, &pos));
+  TURBDB_RETURN_NOT_OK(CheckConsumed(payload, pos));
+  return reply;
 }
 
 // -- Streamed threshold replies ------------------------------------------

@@ -20,8 +20,10 @@ namespace net {
 /// Requests and responses share the numbering space; responses are the
 /// request value + 64, errors are 127. Types 1-6 are the mediator-facing
 /// (user) RPCs; 7 is the handshake; 8 is cooperative cancellation
-/// (answered inline by every server); 16-23 are the node-scoped RPCs the
-/// mediator (and peer nodes) issue to `turbdb_node` processes.
+/// (answered inline by every server); 10-14 are the mediator cache
+/// controls (9 is skipped: 9 + 64 is the kThresholdChunk slot); 16-23
+/// are the node-scoped RPCs the mediator (and peer nodes) issue to
+/// `turbdb_node` processes.
 enum class MsgType : uint8_t {
   kThresholdRequest = 1,
   kPdfRequest = 2,
@@ -31,6 +33,11 @@ enum class MsgType : uint8_t {
   kPingRequest = 6,
   kHelloRequest = 7,
   kCancelRequest = 8,
+  kDropCacheRequest = 10,
+  kCacheStatsRequest = 11,
+  kCacheWarmRequest = 12,
+  kCachePinRequest = 13,
+  kCacheUnpinRequest = 14,
 
   kNodeCreateDatasetRequest = 16,
   kNodeIngestRequest = 17,
@@ -53,6 +60,11 @@ enum class MsgType : uint8_t {
   /// answered by zero or more chunk frames followed by a terminating
   /// kThresholdResponse (summary, empty point set) or kErrorResponse.
   kThresholdChunk = 73,
+  kDropCacheResponse = 74,
+  kCacheStatsResponse = 75,
+  kCacheWarmResponse = 76,
+  kCachePinResponse = 77,
+  kCacheUnpinResponse = 78,
 
   kNodeCreateDatasetResponse = 80,
   kNodeIngestResponse = 81,
@@ -135,9 +147,89 @@ struct PingRequest {
   RpcOptions rpc;
 };
 
+// -- Mediator cache controls (v4 message-layer additions) ----------------
+
+/// Clears cached threshold results for (dataset, raw:derived field
+/// [, timestep]) in *both* tiers: the mediator's in-memory result cache
+/// and every node's local semantic cache. timestep -1 matches all.
+struct DropCacheRequest {
+  std::string dataset;
+  std::string raw_field;
+  std::string derived_field;
+  int32_t timestep = -1;
+  RpcOptions rpc;
+};
+
+struct DropCacheReply {
+  uint64_t mediator_entries = 0;  ///< Mediator-tier entries dropped.
+  bool node_tier_cleared = false; ///< Node-local caches were also swept.
+};
+
+/// Asks for the mediator-tier cache counters.
+struct CacheStatsRequest {
+  RpcOptions rpc;
+};
+
+/// Wire mirror of MediatorCacheStats plus the affinity-routing gauges.
+struct CacheStatsReply {
+  bool enabled = false;
+  uint64_t capacity_bytes = 0;
+  uint64_t entries = 0;
+  uint64_t bytes = 0;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t subsumption_hits = 0;
+  uint64_t insertions = 0;
+  uint64_t evictions = 0;
+  uint64_t invalidations = 0;
+  uint64_t stale_inserts = 0;
+  uint64_t pinned_entries = 0;
+  uint64_t pinned_bytes = 0;
+  bool affinity_enabled = false;
+  uint64_t affinity_routes = 0;  ///< Executes routed by cache affinity.
+};
+
+/// Runs a threshold query solely to populate the mediator cache; the
+/// reply carries the point count, never the points.
+struct CacheWarmRequest {
+  ThresholdQuery query;
+  RpcOptions rpc;
+};
+
+struct CacheWarmReply {
+  uint64_t points = 0;
+  bool already_cached = false;  ///< The cache could already answer it.
+};
+
+/// Pins (exempts from LRU eviction) every mediator-tier entry for
+/// (dataset, raw:derived field [, timestep]); -1 matches all.
+struct CachePinRequest {
+  std::string dataset;
+  std::string raw_field;
+  std::string derived_field;
+  int32_t timestep = -1;
+  RpcOptions rpc;
+};
+
+/// Reverses CachePin for the same key selector.
+struct CacheUnpinRequest {
+  std::string dataset;
+  std::string raw_field;
+  std::string derived_field;
+  int32_t timestep = -1;
+  RpcOptions rpc;
+};
+
+/// Entries affected by a pin/unpin.
+struct CachePinReply {
+  uint64_t entries = 0;
+};
+
 using Request =
     std::variant<ThresholdRequest, PdfRequest, TopKRequest,
-                 FieldStatsRequest, ServerStatsRequest, PingRequest>;
+                 FieldStatsRequest, ServerStatsRequest, PingRequest,
+                 DropCacheRequest, CacheStatsRequest, CacheWarmRequest,
+                 CachePinRequest, CacheUnpinRequest>;
 
 /// Cooperative cancellation: asks the server to flip the cancel token of
 /// the in-flight request whose RpcOptions named `rpc.query_id`. Answered
@@ -333,6 +425,15 @@ struct ServerStatsReply {
   uint64_t queries_shed = 0;          ///< Rejected with kResourceExhausted.
   uint64_t result_bytes_in_use = 0;   ///< Reply bytes currently buffered.
   uint64_t result_bytes_peak = 0;     ///< High-water mark of the above.
+  // Mediator-tier result-cache counters (all zero when the cache is
+  // disabled or the server fronts no mediator).
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_subsumption_hits = 0;
+  uint64_t cache_evictions = 0;
+  uint64_t cache_entries = 0;
+  uint64_t cache_bytes = 0;           ///< Charged to the governor ledger.
+  uint64_t cache_pinned_bytes = 0;
 };
 
 // -- Request encoding ----------------------------------------------------
@@ -343,6 +444,11 @@ std::vector<uint8_t> EncodeRequest(const TopKRequest& request);
 std::vector<uint8_t> EncodeRequest(const FieldStatsRequest& request);
 std::vector<uint8_t> EncodeRequest(const ServerStatsRequest& request);
 std::vector<uint8_t> EncodeRequest(const PingRequest& request);
+std::vector<uint8_t> EncodeRequest(const DropCacheRequest& request);
+std::vector<uint8_t> EncodeRequest(const CacheStatsRequest& request);
+std::vector<uint8_t> EncodeRequest(const CacheWarmRequest& request);
+std::vector<uint8_t> EncodeRequest(const CachePinRequest& request);
+std::vector<uint8_t> EncodeRequest(const CacheUnpinRequest& request);
 
 /// Decodes any request frame payload (server side).
 Result<Request> DecodeRequest(const std::vector<uint8_t>& payload);
@@ -372,6 +478,26 @@ Result<FieldStatsResult> DecodeFieldStatsResponse(
 Result<ServerStatsReply> DecodeServerStatsResponse(
     const std::vector<uint8_t>& payload);
 Status DecodePingResponse(const std::vector<uint8_t>& payload);
+
+// -- Mediator cache-control responses ------------------------------------
+
+std::vector<uint8_t> EncodeDropCacheResponse(const DropCacheReply& reply);
+Result<DropCacheReply> DecodeDropCacheResponse(
+    const std::vector<uint8_t>& payload);
+
+std::vector<uint8_t> EncodeCacheStatsResponse(const CacheStatsReply& reply);
+Result<CacheStatsReply> DecodeCacheStatsResponse(
+    const std::vector<uint8_t>& payload);
+
+std::vector<uint8_t> EncodeCacheWarmResponse(const CacheWarmReply& reply);
+Result<CacheWarmReply> DecodeCacheWarmResponse(
+    const std::vector<uint8_t>& payload);
+
+/// `type` selects kCachePinResponse or kCacheUnpinResponse.
+std::vector<uint8_t> EncodeCachePinResponse(const CachePinReply& reply,
+                                            MsgType type);
+Result<CachePinReply> DecodeCachePinResponse(
+    const std::vector<uint8_t>& payload, MsgType type);
 
 // -- Streamed threshold replies (v4) ------------------------------------
 

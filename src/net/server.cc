@@ -86,6 +86,10 @@ void Server::Stop() {
   // one idle poll and return after their in-flight request.
   pool_.reset();
   listener_.Close();
+  // Last: every handler is done, so a teardown hook can safely release
+  // state that referenced this server (e.g. detach a cache charging our
+  // governor) before the members are destroyed.
+  if (options_.on_stop) options_.on_stop();
 }
 
 void Server::AcceptLoop() {
@@ -399,6 +403,7 @@ ServerStatsReply Server::stats() const {
   reply.queries_shed = governor_.shed();
   reply.result_bytes_in_use = governor_.bytes_in_use();
   reply.result_bytes_peak = governor_.peak_bytes();
+  if (options_.stats_decorator) options_.stats_decorator(&reply);
   return reply;
 }
 

@@ -62,6 +62,16 @@ struct ServerOptions {
   /// per-chunk buffer: ~29 bytes/point encoded, so the default is ~1 MiB
   /// chunks.
   uint64_t stream_chunk_points = 32768;
+  /// Optional hook run on every stats() snapshot (local and remote) after
+  /// the transport counters are filled in. The embedding service uses it
+  /// to merge subsystem gauges — e.g. the mediator result-cache counters —
+  /// into the same reply without the transport knowing about them.
+  std::function<void(ServerStatsReply*)> stats_decorator;
+  /// Optional hook run once at the end of Stop(), after every worker has
+  /// joined and before the server's members are destroyed. The embedding
+  /// service uses it to detach state that references the server — e.g.
+  /// release cache reservations charged to this server's governor.
+  std::function<void()> on_stop;
 };
 
 /// Per-request execution context handed to a Handler.
@@ -161,6 +171,11 @@ class Server {
   /// Snapshot of the request counters (also served remotely via the
   /// stats RPC).
   ServerStatsReply stats() const;
+
+  /// The server's admission/result-byte ledger. Subsystems that want
+  /// their resident bytes to compete with in-flight results (the
+  /// mediator result cache) charge this ledger directly.
+  ResourceGovernor& governor() { return governor_; }
 
  private:
   Server(Handler handler, const ServerOptions& options);

@@ -83,6 +83,41 @@ fi
 echo "streaming smoke: peak reply bytes $PEAK within the" \
   "$SMOKE_BUDGET_MB MiB budget"
 
+# Mediator-cache smoke against the real binaries: warm the cache via the
+# CacheWarm RPC, pin it, and run the TCP cache bench (cold / warm /
+# subsumed cycle) — it fails unless the server reports cache hits, and
+# must leave a machine-readable BENCH_cache.json behind. Exercises
+# --mediator-cache-mb / --cache-affinity plus the DropCache / CacheStats
+# / CacheWarm / CachePin RPC handlers end to end.
+CACHE_SMOKE_PORT="${CACHE_SMOKE_PORT:-7981}"
+CACHE_JSON="$BUILD_DIR/BENCH_cache_smoke.json"
+rm -f "$CACHE_JSON"
+"$BUILD_DIR/tools/turbdb_server" --port "$CACHE_SMOKE_PORT" --n 32 \
+  --nodes 2 --mediator-cache-mb 64 --cache-affinity &
+CACHE_SMOKE_PID=$!
+trap 'kill "$CACHE_SMOKE_PID" 2>/dev/null || true' EXIT
+CLI="$BUILD_DIR/tools/turbdb_cli"
+for _ in $(seq 1 60); do
+  if "$CLI" --connect "127.0.0.1:$CACHE_SMOKE_PORT" ping >/dev/null 2>&1; then
+    break
+  fi
+  sleep 0.5
+done
+"$CLI" --connect "127.0.0.1:$CACHE_SMOKE_PORT" cache-warm vorticity 1.0 \
+  >/dev/null
+"$CLI" --connect "127.0.0.1:$CACHE_SMOKE_PORT" cache-pin vorticity >/dev/null
+"$CLI" --connect "127.0.0.1:$CACHE_SMOKE_PORT" cache-stats >/dev/null
+TURBDB_TOPOLOGY="127.0.0.1:$CACHE_SMOKE_PORT" TURBDB_BENCH_N=32 \
+  TURBDB_BENCH_JSON="$CACHE_JSON" "$BUILD_DIR/bench/table1_fig6_cache"
+kill "$CACHE_SMOKE_PID" 2>/dev/null || true
+wait "$CACHE_SMOKE_PID" 2>/dev/null || true
+trap - EXIT
+if [ ! -s "$CACHE_JSON" ]; then
+  echo "mediator-cache smoke: $CACHE_JSON was not written" >&2
+  exit 1
+fi
+echo "mediator-cache smoke: ok ($CACHE_JSON)"
+
 # Race-check the failover path: the replica-group health tracking and
 # re-sync run concurrently with scatter-gathered sub-queries, so the
 # replication tests get a dedicated ThreadSanitizer build. Faults stay on

@@ -41,6 +41,9 @@ struct CliOptions {
   int processes = 4;
   int32_t timesteps = 2;
   int32_t timestep = 0;
+  /// True when --timestep was passed explicitly; the cache-control
+  /// commands treat an unstated timestep as "all timesteps" (-1).
+  bool timestep_set = false;
   uint64_t seed = 2015;
   int fd_order = 4;
   std::string storage_dir;
@@ -69,9 +72,20 @@ void PrintUsage() {
       "  topk <field> <k>           the k strongest locations\n"
       "  fields                     list available derived fields (local)\n"
       "  ping                       round-trip probe (--connect only)\n"
-      "  server-stats               server request counters (--connect only)\n"
+      "  server-stats               server request counters, governor and\n"
+      "                             mediator-cache gauges (--connect only)\n"
       "  cluster-status             per-node id/epoch/health/role/atoms\n"
       "                             (--topology only)\n"
+      "  drop-cache <field>         clear the mediator-tier result cache\n"
+      "                             and every node-local cache for the\n"
+      "                             field (all timesteps unless --timestep)\n"
+      "  cache-stats                mediator cache counters (--connect only)\n"
+      "  cache-warm <field> <k>     run the threshold query solely to\n"
+      "                             populate the mediator cache\n"
+      "                             (--connect only)\n"
+      "  cache-pin <field>          exempt the field's cached entries from\n"
+      "                             LRU eviction (--connect only)\n"
+      "  cache-unpin <field>        undo cache-pin (--connect only)\n"
       "\n"
       "options:\n"
       "  --n N            grid edge / query-box size (default 64)\n"
@@ -156,6 +170,7 @@ bool ParseArgs(int argc, char** argv, CliOptions* options,
     } else if (arg == "--timestep") {
       if (!next(&value)) return false;
       options->timestep = static_cast<int32_t>(value);
+      options->timestep_set = true;
     } else if (arg == "--order") {
       if (!next(&value)) return false;
       options->fd_order = static_cast<int>(value);
@@ -355,7 +370,24 @@ int RunCommand(const CliOptions& options, const Backend& backend) {
 /// Argument-count validation per command; true if OK.
 bool ValidateCommand(const CliOptions& options, std::string* error) {
   const std::string& cmd = options.command;
-  if (cmd == "fields" || cmd == "ping" || cmd == "server-stats") return true;
+  if (cmd == "fields" || cmd == "ping" || cmd == "server-stats" ||
+      cmd == "cache-stats") {
+    return true;
+  }
+  if (cmd == "drop-cache" || cmd == "cache-pin" || cmd == "cache-unpin") {
+    if (options.args.empty()) {
+      *error = cmd + " needs a derived-field argument";
+      return false;
+    }
+    return true;
+  }
+  if (cmd == "cache-warm") {
+    if (options.args.size() < 2) {
+      *error = "cache-warm needs <derived-field> and <value> arguments";
+      return false;
+    }
+    return true;
+  }
   if (cmd == "cluster-status") {
     if (options.topology.empty()) {
       *error = "cluster-status needs --topology";
@@ -489,6 +521,126 @@ int RunRemote(const CliOptions& options) {
         static_cast<unsigned long long>(stats->queries_shed),
         static_cast<unsigned long long>(stats->result_bytes_in_use),
         static_cast<unsigned long long>(stats->result_bytes_peak));
+    std::printf(
+        "cache hits        %llu (%llu subsumed)\n"
+        "cache misses      %llu\n"
+        "cache evictions   %llu\n"
+        "cache entries     %llu (%llu bytes, %llu pinned bytes)\n",
+        static_cast<unsigned long long>(stats->cache_hits),
+        static_cast<unsigned long long>(stats->cache_subsumption_hits),
+        static_cast<unsigned long long>(stats->cache_misses),
+        static_cast<unsigned long long>(stats->cache_evictions),
+        static_cast<unsigned long long>(stats->cache_entries),
+        static_cast<unsigned long long>(stats->cache_bytes),
+        static_cast<unsigned long long>(stats->cache_pinned_bytes));
+    return 0;
+  }
+  if (options.command == "drop-cache") {
+    const std::string derived = options.args[0];
+    net::DropCacheRequest request;
+    request.dataset = "mhd";
+    request.raw_field = RawFieldFor(derived);
+    request.derived_field = derived;
+    request.timestep = options.timestep_set ? options.timestep : -1;
+    auto reply = client.DropCache(request);
+    if (!reply.ok()) return ReportFailure(reply.status(), options.deadline_ms);
+    std::printf("cleared: mediator tier (%llu entries), node-local caches%s\n",
+                static_cast<unsigned long long>(reply->mediator_entries),
+                reply->node_tier_cleared ? "" : " (node tier NOT cleared)");
+    return 0;
+  }
+  if (options.command == "cache-stats") {
+    auto stats = client.CacheStats();
+    if (!stats.ok()) return ReportFailure(stats.status(), options.deadline_ms);
+    std::printf(
+        "enabled           %s (capacity %llu bytes)\n"
+        "entries           %llu (%llu bytes)\n"
+        "pinned            %llu entries (%llu bytes)\n"
+        "hits              %llu (%llu by subsumption)\n"
+        "misses            %llu\n"
+        "insertions        %llu (%llu stale discarded)\n"
+        "evictions         %llu\n"
+        "invalidations     %llu\n"
+        "affinity          %s (%llu affinity-routed reads)\n",
+        stats->enabled ? "yes" : "no",
+        static_cast<unsigned long long>(stats->capacity_bytes),
+        static_cast<unsigned long long>(stats->entries),
+        static_cast<unsigned long long>(stats->bytes),
+        static_cast<unsigned long long>(stats->pinned_entries),
+        static_cast<unsigned long long>(stats->pinned_bytes),
+        static_cast<unsigned long long>(stats->hits),
+        static_cast<unsigned long long>(stats->subsumption_hits),
+        static_cast<unsigned long long>(stats->misses),
+        static_cast<unsigned long long>(stats->insertions),
+        static_cast<unsigned long long>(stats->stale_inserts),
+        static_cast<unsigned long long>(stats->evictions),
+        static_cast<unsigned long long>(stats->invalidations),
+        stats->affinity_enabled ? "on" : "off",
+        static_cast<unsigned long long>(stats->affinity_routes));
+    return 0;
+  }
+  if (options.command == "cache-warm") {
+    const std::string derived = options.args[0];
+    const std::string raw = RawFieldFor(derived);
+    std::string value = options.args[1];
+    double threshold;
+    const size_t rms_pos = value.find("rms");
+    if (rms_pos != std::string::npos) {
+      FieldStatsQuery stats_query;
+      stats_query.dataset = "mhd";
+      stats_query.raw_field = raw;
+      stats_query.derived_field = derived;
+      stats_query.timestep = options.timestep;
+      stats_query.box = Box3::WholeGrid(options.n, options.n, options.n);
+      stats_query.fd_order = options.fd_order;
+      auto stats = client.FieldStats(stats_query);
+      if (!stats.ok()) {
+        return ReportFailure(stats.status(), options.deadline_ms);
+      }
+      threshold = std::strtod(value.substr(0, rms_pos).c_str(), nullptr) *
+                  stats->rms;
+    } else {
+      threshold = std::strtod(value.c_str(), nullptr);
+    }
+    ThresholdQuery query;
+    query.dataset = "mhd";
+    query.raw_field = raw;
+    query.derived_field = derived;
+    query.timestep = options.timestep;
+    query.box = Box3::WholeGrid(options.n, options.n, options.n);
+    query.threshold = threshold;
+    query.fd_order = options.fd_order;
+    auto reply = client.CacheWarm(query);
+    if (!reply.ok()) return ReportFailure(reply.status(), options.deadline_ms);
+    std::printf("%s: %llu points resident for |%s| >= %.4f\n",
+                reply->already_cached ? "already cached" : "warmed",
+                static_cast<unsigned long long>(reply->points),
+                derived.c_str(), threshold);
+    return 0;
+  }
+  if (options.command == "cache-pin" || options.command == "cache-unpin") {
+    const std::string derived = options.args[0];
+    const bool pin = options.command == "cache-pin";
+    auto run = [&]() -> Result<net::CachePinReply> {
+      if (pin) {
+        net::CachePinRequest request;
+        request.dataset = "mhd";
+        request.raw_field = RawFieldFor(derived);
+        request.derived_field = derived;
+        request.timestep = options.timestep_set ? options.timestep : -1;
+        return client.CachePin(request);
+      }
+      net::CacheUnpinRequest request;
+      request.dataset = "mhd";
+      request.raw_field = RawFieldFor(derived);
+      request.derived_field = derived;
+      request.timestep = options.timestep_set ? options.timestep : -1;
+      return client.CacheUnpin(request);
+    };
+    auto reply = run();
+    if (!reply.ok()) return ReportFailure(reply.status(), options.deadline_ms);
+    std::printf("%s %llu entries\n", pin ? "pinned" : "unpinned",
+                static_cast<unsigned long long>(reply->entries));
     return 0;
   }
 
@@ -504,7 +656,9 @@ int RunRemote(const CliOptions& options) {
 }
 
 int RunLocal(const CliOptions& options) {
-  if (options.command == "ping" || options.command == "server-stats") {
+  if (options.command == "ping" || options.command == "server-stats" ||
+      options.command == "cache-stats" || options.command == "cache-warm" ||
+      options.command == "cache-pin" || options.command == "cache-unpin") {
     std::fprintf(stderr, "turbdb_cli: '%s' requires --connect\n",
                  options.command.c_str());
     return 2;
@@ -536,6 +690,18 @@ int RunLocal(const CliOptions& options) {
   if (!status.ok()) {
     std::fprintf(stderr, "ingest failed: %s\n", status.ToString().c_str());
     return 1;
+  }
+
+  if (options.command == "drop-cache") {
+    const std::string derived = options.args[0];
+    uint64_t mediator_dropped = 0;
+    Status dropped = db->mediator().DropCacheEntries(
+        "mhd", RawFieldFor(derived), derived,
+        options.timestep_set ? options.timestep : -1, &mediator_dropped);
+    if (!dropped.ok()) return ReportFailure(dropped);
+    std::printf("cleared: mediator tier (%llu entries), node-local caches\n",
+                static_cast<unsigned long long>(mediator_dropped));
+    return 0;
   }
 
   Backend backend;

@@ -59,6 +59,10 @@ struct ServerCliOptions {
   int64_t result_budget_mb = 0;
   /// Points per streamed chunk frame.
   int64_t stream_chunk_points = 32768;
+  /// Mediator-tier semantic result cache capacity in MiB (0 disables).
+  int64_t mediator_cache_mb = 64;
+  /// Cache-affinity replica routing (needs replication factor > 1).
+  bool cache_affinity = false;
   bool help = false;
 };
 
@@ -99,6 +103,16 @@ void PrintUsage() {
       "                   cap (default 0 = unlimited)\n"
       "  --stream-chunk-points N\n"
       "                   points per streamed reply chunk (default 32768)\n"
+      "  --mediator-cache-mb M\n"
+      "                   mediator-tier semantic result cache: completed\n"
+      "                   threshold results are kept at the mediator and\n"
+      "                   repeat or subsumed queries answer with zero\n"
+      "                   node RPCs (default 64; 0 disables the tier)\n"
+      "  --cache-affinity route threshold reads to the replica that most\n"
+      "                   recently served a subsuming query for the same\n"
+      "                   cache key (its node-local cache is warm) instead\n"
+      "                   of always preferring the primary; only matters\n"
+      "                   with --replication-factor > 1\n"
       "  --no-fsync       skip the per-batch fsync of durable ingest\n"
       "  --faults SPEC    arm deterministic fault injection, e.g.\n"
       "                   server.reply.delay=delay:5000:1 (needs a build\n"
@@ -216,6 +230,15 @@ bool ParseArgs(int argc, char** argv, ServerCliOptions* options,
         return false;
       }
       options->stream_chunk_points = value;
+    } else if (arg == "--mediator-cache-mb") {
+      if (!next(&value)) return false;
+      if (value < 0) {
+        *error = "--mediator-cache-mb must be non-negative";
+        return false;
+      }
+      options->mediator_cache_mb = value;
+    } else if (arg == "--cache-affinity") {
+      options->cache_affinity = true;
     } else if (arg == "--no-fsync") {
       options->fsync_ingest = false;
     } else if (arg == "--faults") {
@@ -266,6 +289,9 @@ int main(int argc, char** argv) {
   config.cluster.processes_per_node = options.processes;
   config.cluster.storage_dir = options.storage_dir;
   config.cluster.fsync_ingest = options.fsync_ingest;
+  config.cluster.mediator_cache_bytes =
+      static_cast<uint64_t>(options.mediator_cache_mb) << 20;
+  config.cluster.cache_affinity = options.cache_affinity;
   if (!options.topology.empty() || !options.topology_file.empty()) {
     if (!options.topology.empty() && !options.topology_file.empty()) {
       std::fprintf(stderr,
@@ -355,5 +381,12 @@ int main(int argc, char** argv) {
                static_cast<unsigned long long>(stats.queries_admitted),
                static_cast<unsigned long long>(stats.queries_shed),
                static_cast<unsigned long long>(stats.result_bytes_peak));
+  std::fprintf(stderr,
+               "mediator cache: %llu hits (%llu subsumed) / %llu misses, "
+               "%llu evictions\n",
+               static_cast<unsigned long long>(stats.cache_hits),
+               static_cast<unsigned long long>(stats.cache_subsumption_hits),
+               static_cast<unsigned long long>(stats.cache_misses),
+               static_cast<unsigned long long>(stats.cache_evictions));
   return 0;
 }
