@@ -1,0 +1,50 @@
+#pragma once
+
+// Provenance stamping for the BENCH_*.json result files: every writer
+// opens its JSON object with WriteProvenance so a result is traceable to
+// the exact code (git SHA, injected at configure time), the moment it
+// ran (UTC, runtime) and the cluster shape it measured (topology string
+// supplied by the benchmark). Keys are stable and append-only; scripts
+// (tools/check.sh, EXPERIMENTS.md tooling) rely on them.
+
+#include <cstdio>
+#include <ctime>
+#include <string>
+
+namespace turbdb {
+namespace bench {
+
+/// Short git SHA of the built tree, injected per-target by CMake
+/// (`TURBDB_GIT_SHA` compile definition); "unknown" when the build did
+/// not run inside a git checkout.
+inline const char* GitSha() {
+#ifdef TURBDB_GIT_SHA
+  return TURBDB_GIT_SHA;
+#else
+  return "unknown";
+#endif
+}
+
+/// Current wall-clock time as an ISO-8601 UTC string
+/// (e.g. "2026-08-09T14:03:12Z").
+inline std::string UtcTimestamp() {
+  const std::time_t now = std::time(nullptr);
+  std::tm utc{};
+  gmtime_r(&now, &utc);
+  char buf[32];
+  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &utc);
+  return buf;
+}
+
+/// Emits the provenance member (with a trailing comma) into an open JSON
+/// object. `topology` describes what was measured — a host:port list for
+/// TCP benchmarks, or a shape like "in-process 4x4" for modeled runs.
+inline void WriteProvenance(std::FILE* json, const std::string& topology) {
+  std::fprintf(json,
+               "  \"provenance\": {\"git_sha\": \"%s\", "
+               "\"timestamp_utc\": \"%s\", \"topology\": \"%s\"},\n",
+               GitSha(), UtcTimestamp().c_str(), topology.c_str());
+}
+
+}  // namespace bench
+}  // namespace turbdb

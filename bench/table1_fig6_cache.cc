@@ -23,6 +23,7 @@
 #include <cstring>
 #include <functional>
 
+#include "bench_json.h"
 #include "bench_util.h"
 #include "cluster/topology.h"
 #include "net/client.h"
@@ -189,7 +190,9 @@ int RunOverTcp(const char* topology_spec) {
     std::fprintf(stderr, "cannot write %s\n", json_path);
     return 1;
   }
-  std::fprintf(json, "{\n  \"mode\": \"tcp\",\n  \"server\": \"%s\",\n"
+  std::fprintf(json, "{\n");
+  WriteProvenance(json, address.ToString());
+  std::fprintf(json, "  \"mode\": \"tcp\",\n  \"server\": \"%s\",\n"
                "  \"grid_n\": %lld,\n  \"levels\": [\n",
                address.ToString().c_str(), static_cast<long long>(n));
   for (int i = 0; i < 3; ++i) {

@@ -1,0 +1,356 @@
+#include "analysis/distributed_fof.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+namespace turbdb {
+namespace {
+
+/// Disjoint-set forest with path halving and union by size — the same
+/// structure fof.cc uses. The final components do not depend on the
+/// order unions are applied in, which is what makes the stitched result
+/// independent of shard join order.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n), size_(n, 1) {
+    for (size_t i = 0; i < n; ++i) parent_[i] = i;
+  }
+
+  size_t Find(size_t i) {
+    while (parent_[i] != i) {
+      parent_[i] = parent_[parent_[i]];
+      i = parent_[i];
+    }
+    return i;
+  }
+
+  void Union(size_t a, size_t b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return;
+    if (size_[a] < size_[b]) std::swap(a, b);
+    parent_[b] = a;
+    size_[a] += size_[b];
+  }
+
+ private:
+  std::vector<size_t> parent_;
+  std::vector<size_t> size_;
+};
+
+struct CellKey {
+  int64_t cx, cy, cz;
+  bool operator==(const CellKey& other) const {
+    return cx == other.cx && cy == other.cy && cz == other.cz;
+  }
+};
+
+struct CellKeyHash {
+  size_t operator()(const CellKey& key) const {
+    uint64_t h = 1469598103934665603ULL;
+    for (int64_t v : {key.cx, key.cy, key.cz}) {
+      h ^= static_cast<uint64_t>(v);
+      h *= 1099511628211ULL;
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+double AxisDelta(double a, double b, double extent) {
+  double delta = a - b;
+  if (extent > 0.0) {
+    delta -= extent * std::floor(delta / extent + 0.5);
+  }
+  return delta;
+}
+
+struct Coord {
+  double x, y, z;
+};
+
+/// Links every cell-adjacent pair within `subset` (global point
+/// indices) whose periodic distance is at most the linking length —
+/// exactly fof.cc's predicate: unwrapped home cells, probe cells
+/// wrapped modulo ceil(extent / cell) on periodic axes, then the
+/// wrap-aware distance test. The predicate depends only on the two
+/// endpoints, so running it over a subset reproduces precisely the
+/// global run's links restricted to that subset — quirks (partial last
+/// cell near the wrap seam) included.
+void LinkSubset(const std::vector<Coord>& coords,
+                const std::vector<size_t>& subset,
+                const DistributedFofParams& params, UnionFind* forest) {
+  const double cell = params.linking_length;
+  const double link_sq = cell * cell;
+
+  std::array<int64_t, 3> cells_per_axis = {0, 0, 0};
+  for (int d = 0; d < 3; ++d) {
+    if (params.periodic_extent[d] > 0.0) {
+      cells_per_axis[d] =
+          static_cast<int64_t>(std::ceil(params.periodic_extent[d] / cell));
+    }
+  }
+
+  auto cell_of = [&](const Coord& c) {
+    return CellKey{static_cast<int64_t>(std::floor(c.x / cell)),
+                   static_cast<int64_t>(std::floor(c.y / cell)),
+                   static_cast<int64_t>(std::floor(c.z / cell))};
+  };
+
+  std::unordered_map<CellKey, std::vector<size_t>, CellKeyHash> cells;
+  cells.reserve(subset.size() * 2);
+  for (size_t i : subset) {
+    cells[cell_of(coords[i])].push_back(i);
+  }
+
+  for (size_t i : subset) {
+    const Coord& p = coords[i];
+    const CellKey home = cell_of(p);
+    for (int64_t dz = -1; dz <= 1; ++dz) {
+      for (int64_t dy = -1; dy <= 1; ++dy) {
+        for (int64_t dx = -1; dx <= 1; ++dx) {
+          CellKey probe{home.cx + dx, home.cy + dy, home.cz + dz};
+          if (cells_per_axis[0] > 0) {
+            probe.cx = ((probe.cx % cells_per_axis[0]) + cells_per_axis[0]) %
+                       cells_per_axis[0];
+          }
+          if (cells_per_axis[1] > 0) {
+            probe.cy = ((probe.cy % cells_per_axis[1]) + cells_per_axis[1]) %
+                       cells_per_axis[1];
+          }
+          if (cells_per_axis[2] > 0) {
+            probe.cz = ((probe.cz % cells_per_axis[2]) + cells_per_axis[2]) %
+                       cells_per_axis[2];
+          }
+          auto it = cells.find(probe);
+          if (it == cells.end()) continue;
+          for (size_t j : it->second) {
+            if (j <= i) continue;
+            const Coord& q = coords[j];
+            const double ddx = AxisDelta(p.x, q.x, params.periodic_extent[0]);
+            const double ddy = AxisDelta(p.y, q.y, params.periodic_extent[1]);
+            const double ddz = AxisDelta(p.z, q.z, params.periodic_extent[2]);
+            if (ddx * ddx + ddy * ddy + ddz * ddz <= link_sq) {
+              forest->Union(i, j);
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Result<FofStitcher> FofStitcher::Create(const DistributedFofParams& params,
+                                        OwnerOfAtomFn owner_of_atom) {
+  if (params.linking_length <= 0.0) {
+    return Status::InvalidArgument("linking length must be positive");
+  }
+  if (params.atom_width <= 0) {
+    return Status::InvalidArgument("atom width must be positive");
+  }
+  if (params.linking_length > static_cast<double>(params.atom_width)) {
+    return Status::InvalidArgument(
+        "linking length " + std::to_string(params.linking_length) +
+        " exceeds the halo width (atom width " +
+        std::to_string(params.atom_width) +
+        "): a cross-shard link could span more than one atom boundary and "
+        "the halo exchange would silently split clusters; use a smaller "
+        "linking length or the in-process FriendsOfFriends");
+  }
+  return FofStitcher(params, std::move(owner_of_atom));
+}
+
+void FofStitcher::AddShard(int shard_id, std::vector<ThresholdPoint> points) {
+  std::vector<ThresholdPoint>& bucket = shards_[shard_id];
+  num_points_ += points.size();
+  if (bucket.empty()) {
+    bucket = std::move(points);
+  } else {
+    bucket.insert(bucket.end(), points.begin(), points.end());
+  }
+}
+
+Result<std::vector<DistributedFofCluster>> FofStitcher::Finish() {
+  // Flatten the shards into one global index space. Each shard's points
+  // are z-sorted first so chunk arrival order leaves no trace; the
+  // shards themselves flatten in id order (std::map).
+  std::vector<ThresholdPoint> points;
+  std::vector<Coord> coords;
+  std::vector<int> shard_of;
+  points.reserve(num_points_);
+  coords.reserve(num_points_);
+  shard_of.reserve(num_points_);
+  for (auto& [shard, batch] : shards_) {
+    // Z-order with a norm tie-break: real threshold sets have unique
+    // locations, but duplicated z-indexes (possible in synthetic input)
+    // must not make the output depend on arrival order.
+    std::sort(batch.begin(), batch.end(),
+              [](const ThresholdPoint& a, const ThresholdPoint& b) {
+                if (a.zindex != b.zindex) return a.zindex < b.zindex;
+                return a.norm < b.norm;
+              });
+    for (const ThresholdPoint& point : batch) {
+      uint32_t x, y, z;
+      point.Coords(&x, &y, &z);
+      points.push_back(point);
+      coords.push_back(Coord{static_cast<double>(x), static_cast<double>(y),
+                             static_cast<double>(z)});
+      shard_of.push_back(shard);
+    }
+  }
+
+  std::vector<DistributedFofCluster> clusters;
+  const size_t n = points.size();
+  if (n == 0) return clusters;
+
+  UnionFind forest(n);
+
+  // Pass 1: within-shard links, one cell-grid run per shard.
+  {
+    std::vector<size_t> subset;
+    size_t begin = 0;
+    while (begin < n) {
+      size_t end = begin;
+      while (end < n && shard_of[end] == shard_of[begin]) ++end;
+      subset.clear();
+      subset.reserve(end - begin);
+      for (size_t i = begin; i < end; ++i) subset.push_back(i);
+      LinkSubset(coords, subset, params_, &forest);
+      begin = end;
+    }
+  }
+
+  // Pass 2: cross-shard links. A point is a halo candidate when its
+  // ±linking-length cube (wrapped on periodic axes, clamped otherwise)
+  // touches an atom owned by another shard; any cross-shard friendship
+  // puts both endpoints within linking length of foreign territory, so
+  // relinking the combined candidate set finds every cross-shard edge.
+  // Without an owner map (tests, degenerate topologies) every point is
+  // a candidate — still correct, just a full relink.
+  if (shards_.size() > 1) {
+    const double ll = params_.linking_length;
+    const int64_t width = params_.atom_width;
+    std::array<int64_t, 3> atoms_along = {0, 0, 0};
+    for (int d = 0; d < 3; ++d) {
+      if (params_.grid_extent[d] > 0) {
+        atoms_along[d] = (params_.grid_extent[d] + width - 1) / width;
+      }
+    }
+
+    auto is_halo = [&](size_t gi) {
+      if (owner_of_atom_ == nullptr) return true;
+      const Coord& c = coords[gi];
+      const double pos[3] = {c.x, c.y, c.z};
+      // Up to three atom indices per axis (the cube spans at most two
+      // atom boundaries because linking_length <= atom_width).
+      std::array<std::array<int64_t, 3>, 3> axis_atoms;
+      std::array<int, 3> axis_counts = {0, 0, 0};
+      for (int d = 0; d < 3; ++d) {
+        const int64_t lo =
+            static_cast<int64_t>(std::floor((pos[d] - ll) / width));
+        const int64_t hi =
+            static_cast<int64_t>(std::floor((pos[d] + ll) / width));
+        for (int64_t a = lo; a <= hi; ++a) {
+          int64_t wrapped = a;
+          if (params_.periodic_extent[d] > 0.0 && atoms_along[d] > 0) {
+            wrapped = ((a % atoms_along[d]) + atoms_along[d]) % atoms_along[d];
+          } else if (atoms_along[d] > 0) {
+            wrapped = std::min(std::max<int64_t>(wrapped, 0),
+                               atoms_along[d] - 1);
+          } else if (wrapped < 0) {
+            wrapped = 0;
+          }
+          bool duplicate = false;
+          for (int k = 0; k < axis_counts[d]; ++k) {
+            if (axis_atoms[d][k] == wrapped) duplicate = true;
+          }
+          if (!duplicate && axis_counts[d] < 3) {
+            axis_atoms[d][axis_counts[d]++] = wrapped;
+          }
+        }
+      }
+      for (int ix = 0; ix < axis_counts[0]; ++ix) {
+        for (int iy = 0; iy < axis_counts[1]; ++iy) {
+          for (int iz = 0; iz < axis_counts[2]; ++iz) {
+            if (owner_of_atom_(axis_atoms[0][ix], axis_atoms[1][iy],
+                               axis_atoms[2][iz]) != shard_of[gi]) {
+              return true;
+            }
+          }
+        }
+      }
+      return false;
+    };
+
+    std::vector<size_t> halo;
+    for (size_t i = 0; i < n; ++i) {
+      if (is_halo(i)) halo.push_back(i);
+    }
+    LinkSubset(coords, halo, params_, &forest);
+  }
+
+  // Materialize: group by root, name each cluster by its smallest
+  // member z-index, and derive every statistic from the z-sorted member
+  // list so the output is bit-stable across shard join orders.
+  std::unordered_map<size_t, size_t> root_to_cluster;
+  std::vector<std::vector<size_t>> member_indices;
+  for (size_t i = 0; i < n; ++i) {
+    const size_t root = forest.Find(i);
+    auto [it, inserted] = root_to_cluster.emplace(root, member_indices.size());
+    if (inserted) member_indices.emplace_back();
+    member_indices[it->second].push_back(i);
+  }
+
+  clusters.reserve(member_indices.size());
+  for (std::vector<size_t>& indices : member_indices) {
+    if (indices.size() < params_.min_cluster_size) continue;
+    std::sort(indices.begin(), indices.end(), [&](size_t a, size_t b) {
+      if (points[a].zindex != points[b].zindex) {
+        return points[a].zindex < points[b].zindex;
+      }
+      return points[a].norm < points[b].norm;
+    });
+    DistributedFofCluster cluster;
+    cluster.members.reserve(indices.size());
+    bool first = true;
+    for (size_t i : indices) {
+      const ThresholdPoint& point = points[i];
+      uint32_t x, y, z;
+      point.Coords(&x, &y, &z);
+      const uint64_t grid[3] = {x, y, z};
+      cluster.members.push_back(point);
+      for (int d = 0; d < 3; ++d) {
+        cluster.centroid[d] += static_cast<double>(grid[d]);
+        if (first || grid[d] < cluster.bbox_lo[d]) cluster.bbox_lo[d] = grid[d];
+        if (first || grid[d] > cluster.bbox_hi[d]) cluster.bbox_hi[d] = grid[d];
+      }
+      // Strict > over the z-sorted members picks the smallest z-index
+      // among max-norm points — the same peak the in-process run finds
+      // on z-ordered input.
+      if (first || point.norm > cluster.max_norm) {
+        cluster.max_norm = point.norm;
+        cluster.peak_zindex = point.zindex;
+      }
+      first = false;
+    }
+    cluster.id = cluster.members.front().zindex;
+    const double inv = 1.0 / static_cast<double>(cluster.members.size());
+    for (int d = 0; d < 3; ++d) cluster.centroid[d] *= inv;
+    clusters.push_back(std::move(cluster));
+  }
+
+  std::sort(clusters.begin(), clusters.end(),
+            [](const DistributedFofCluster& a, const DistributedFofCluster& b) {
+              if (a.members.size() != b.members.size()) {
+                return a.members.size() > b.members.size();
+              }
+              return a.id < b.id;
+            });
+  return clusters;
+}
+
+}  // namespace turbdb

@@ -1,0 +1,123 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "array/point.h"
+#include "common/profile.h"
+#include "common/result.h"
+
+namespace turbdb {
+
+/// Parameters of a distributed friends-of-friends run. The spatial
+/// semantics (cell grid, periodic wrap, link predicate) are exactly
+/// those of the in-process `FriendsOfFriends` (analysis/fof.h), so the
+/// distributed path returns byte-identical cluster membership.
+struct DistributedFofParams {
+  /// Spatial linking length in grid units; two points are friends iff
+  /// their periodic distance is at most this.
+  double linking_length = 2.0;
+  /// Per-axis periodic extents in grid units; 0 disables wrapping.
+  std::array<double, 3> periodic_extent = {0.0, 0.0, 0.0};
+  /// Grid extent per axis (points), for clamping halo probes.
+  std::array<int64_t, 3> grid_extent = {0, 0, 0};
+  /// Atom width of the dataset — the guaranteed halo width. A linking
+  /// length above it could link points more than one atom apart across
+  /// a shard boundary, which the halo exchange cannot see; such runs
+  /// are refused with a typed error instead of silently splitting
+  /// clusters.
+  int64_t atom_width = 8;
+  /// Clusters smaller than this are dropped from the output.
+  uint64_t min_cluster_size = 1;
+};
+
+/// One stitched cluster. `id` is the smallest member z-index — a
+/// content-derived name that is identical no matter in which order the
+/// shards were joined.
+struct DistributedFofCluster {
+  uint64_t id = 0;
+  std::vector<ThresholdPoint> members;  ///< Sorted by z-index.
+  std::array<uint64_t, 3> bbox_lo{0, 0, 0};  ///< Grid coords, inclusive.
+  std::array<uint64_t, 3> bbox_hi{0, 0, 0};
+  /// Plain (not wrap-aware) mean of the member grid coordinates — the
+  /// same convention FriendsOfFriends uses.
+  std::array<double, 3> centroid{0.0, 0.0, 0.0};
+  float max_norm = 0.0f;
+  /// z-index of the max-norm member (smallest z-index on ties).
+  uint64_t peak_zindex = 0;
+
+  uint64_t size() const { return members.size(); }
+};
+
+/// Summary row of a distributed FoF run (what the terminating
+/// FofResponse frame carries after the cluster records streamed out).
+struct DistributedFofSummary {
+  uint64_t clusters = 0;         ///< Clusters at or above the size floor.
+  uint64_t points = 0;           ///< Member points across those clusters.
+  uint64_t largest_cluster = 0;  ///< Size of the biggest cluster.
+  TimeBreakdown time;            ///< Modeled end-to-end time breakdown.
+};
+
+/// Merges per-shard threshold points into global friends-of-friends
+/// clusters.
+///
+/// Usage: feed each shard's points with `AddShard` (repeatable per
+/// shard as streamed chunks arrive, any shard order), then call
+/// `Finish` once. The stitcher
+///
+///   1. runs the fof.cc cell-grid union-find over each shard's points
+///      in *absolute* grid coordinates — this reproduces every
+///      within-shard link of the global run, partial-cell wrap quirks
+///      included, because the link predicate depends only on the two
+///      endpoints;
+///   2. collects the halo set: every point whose ±linking-length cube
+///      (periodically wrapped) touches an atom owned by a different
+///      shard. Every cross-shard link has both endpoints within
+///      linking length of foreign territory, so both land in this set;
+///   3. runs the same cell-grid linking once more over the combined
+///      halo set, unioning shard-local components across boundaries.
+///
+/// Within-shard links are reproduced per shard, cross-shard links by
+/// the halo pass, so the connected components — and therefore the
+/// cluster membership — equal the in-process run's exactly. All
+/// derived statistics and ids are computed from sorted member lists,
+/// so the output is deterministic and independent of shard join order.
+class FofStitcher {
+ public:
+  /// Maps atom coordinates (atom units, already wrapped/clamped into
+  /// the domain) to the owning shard id.
+  using OwnerOfAtomFn = std::function<int(int64_t, int64_t, int64_t)>;
+
+  /// Validates the parameters (positive linking length; linking length
+  /// at most the atom width — see DistributedFofParams::atom_width).
+  static Result<FofStitcher> Create(const DistributedFofParams& params,
+                                    OwnerOfAtomFn owner_of_atom);
+
+  FofStitcher(FofStitcher&&) = default;
+  FofStitcher& operator=(FofStitcher&&) = default;
+
+  /// Adds a batch of `shard_id`'s threshold points. Batches for the
+  /// same shard accumulate; call order carries no meaning.
+  void AddShard(int shard_id, std::vector<ThresholdPoint> points);
+
+  /// Total points added so far.
+  uint64_t num_points() const { return num_points_; }
+
+  /// Stitches and returns the clusters, sorted by size descending then
+  /// id ascending. Call once.
+  Result<std::vector<DistributedFofCluster>> Finish();
+
+ private:
+  FofStitcher(const DistributedFofParams& params, OwnerOfAtomFn owner_of_atom)
+      : params_(params), owner_of_atom_(std::move(owner_of_atom)) {}
+
+  DistributedFofParams params_;
+  OwnerOfAtomFn owner_of_atom_;
+  std::map<int, std::vector<ThresholdPoint>> shards_;
+  uint64_t num_points_ = 0;
+};
+
+}  // namespace turbdb

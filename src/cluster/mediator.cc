@@ -302,7 +302,8 @@ Result<NodeQuery> Mediator::BuildNodeQuery(
 
 Result<std::vector<NodeOutcome>> Mediator::Dispatch(
     const NodeQuery& node_query, const CallBudget& budget,
-    const std::function<Status(std::vector<ThresholdPoint> points)>&
+    const std::function<Status(int node_id,
+                               std::vector<ThresholdPoint> points)>&
         point_sink) {
   // Split the query along the spatial layout and submit each part
   // asynchronously to the node storing the data (Fig. 1).
@@ -406,7 +407,8 @@ Result<std::vector<NodeOutcome>> Mediator::Dispatch(
       // other shards are still running, keeping at most one outcome's
       // points resident. A sink failure (the client hung up) aborts the
       // tail exactly like a hard shard failure.
-      Status sunk = point_sink(std::move(outcomes.back().points));
+      Status sunk =
+          point_sink(participants[i], std::move(outcomes.back().points));
       outcomes.back().points.clear();
       if (!sunk.ok()) {
         failure = sunk;
@@ -621,7 +623,8 @@ Result<ThresholdResult> Mediator::GetThresholdStreaming(
   // outcome's points, never the union. The point cap is enforced inside
   // Dispatch (a streamed reply must fail *before* the client has seen
   // points it would have to throw away, so the cap trips at join time).
-  auto outcome_sink = [&](std::vector<ThresholdPoint> points) -> Status {
+  auto outcome_sink = [&](int /*node_id*/,
+                          std::vector<ThresholdPoint> points) -> Status {
     if (accumulate) {
       if (accumulated.size() + points.size() > accumulate_cap) {
         // The would-be entry cannot fit the cache; stop paying for it.
@@ -685,6 +688,101 @@ Result<ThresholdResult> Mediator::GetThresholdStreaming(
   }
   result.wall_seconds = watch.ElapsedSeconds();
   return result;
+}
+
+Result<DistributedFofSummary> Mediator::GetFof(
+    const ThresholdQuery& query, const QueryOptions& options,
+    double linking_length, uint64_t min_cluster_size,
+    const CallBudget& budget, uint64_t chunk_points,
+    const FofClusterSink& sink) {
+  TURBDB_RETURN_NOT_OK(ValidateThresholdQuery(query));
+  TURBDB_ASSIGN_OR_RETURN(const DatasetState* state,
+                          GetDatasetState(query.dataset));
+  const GridGeometry& geometry = state->info.geometry;
+
+  DistributedFofParams params;
+  params.linking_length = linking_length;
+  params.min_cluster_size = min_cluster_size == 0 ? 1 : min_cluster_size;
+  params.atom_width = geometry.atom_width();
+  for (int d = 0; d < 3; ++d) {
+    params.grid_extent[d] = geometry.extent(d);
+    params.periodic_extent[d] =
+        geometry.periodic(d) ? static_cast<double>(geometry.extent(d)) : 0.0;
+  }
+  const MortonPartitioner* partitioner = &state->partitioner;
+  TURBDB_ASSIGN_OR_RETURN(
+      FofStitcher stitcher,
+      FofStitcher::Create(
+          params, [partitioner](int64_t ax, int64_t ay, int64_t az) {
+            return partitioner->OwnerOfAtom(MortonEncode3(
+                static_cast<uint32_t>(ax), static_cast<uint32_t>(ay),
+                static_cast<uint32_t>(az)));
+          }));
+
+  TURBDB_ASSIGN_OR_RETURN(
+      NodeQuery node_query,
+      BuildNodeQuery(NodeQuery::Mode::kThreshold, query.dataset,
+                     query.raw_field, query.derived_field, query.timestep,
+                     query.box, query.fd_order, options));
+  node_query.threshold = query.threshold;
+
+  // Fan the threshold sub-queries out; each shard's points feed the
+  // stitcher as that shard joins, with the shard id attached so the
+  // halo pass knows which territory is foreign. The mediator-tier
+  // result cache is deliberately bypassed: a cached union has lost the
+  // per-shard attribution.
+  auto outcome_sink = [&](int node_id,
+                          std::vector<ThresholdPoint> points) -> Status {
+    stitcher.AddShard(node_id, std::move(points));
+    return Status::OK();
+  };
+  TURBDB_ASSIGN_OR_RETURN(std::vector<NodeOutcome> outcomes,
+                          Dispatch(node_query, budget, outcome_sink));
+  const uint64_t threshold_points = stitcher.num_points();
+  TURBDB_ASSIGN_OR_RETURN(std::vector<DistributedFofCluster> clusters,
+                          stitcher.Finish());
+
+  DistributedFofSummary summary;
+  summary.clusters = clusters.size();
+  summary.largest_cluster =
+      clusters.empty() ? 0 : clusters.front().members.size();
+  for (const DistributedFofCluster& cluster : clusters) {
+    summary.points += cluster.members.size();
+  }
+
+  // Stream the records out in batches bounded by member points, so a
+  // million-point cluster set never sits encoded in one buffer.
+  const uint64_t slice = chunk_points == 0 ? 32768 : chunk_points;
+  uint64_t reply_bytes = 0;
+  std::vector<DistributedFofCluster> batch;
+  uint64_t batch_points = 0;
+  auto flush = [&]() -> Status {
+    if (batch.empty()) return Status::OK();
+    batch_points = 0;
+    TURBDB_ASSIGN_OR_RETURN(uint64_t bytes,
+                            sink(std::move(batch), summary.clusters));
+    batch.clear();
+    reply_bytes += bytes;
+    return Status::OK();
+  };
+  for (DistributedFofCluster& cluster : clusters) {
+    batch_points += cluster.members.size() + 1;
+    batch.push_back(std::move(cluster));
+    if (batch_points >= slice) TURBDB_RETURN_NOT_OK(flush());
+  }
+  TURBDB_RETURN_NOT_OK(flush());
+
+  // Modeled time: concurrent node phases, then the LAN gather of the
+  // shard results (~6 bytes/point delta-varint encoded) and the WAN
+  // delivery of the cluster records actually streamed.
+  summary.time = MergeNodeTimes(outcomes);
+  const auto& cost = config_.cost;
+  summary.time.mediator_db_comm_s =
+      static_cast<double>(outcomes.size()) *
+          (cost.mediator_dispatch_s + cost.lan.latency_s) +
+      static_cast<double>(threshold_points * 6 + 16) / cost.lan.bandwidth_bps;
+  summary.time.mediator_user_comm_s = cost.wan.TransferCost(reply_bytes);
+  return summary;
 }
 
 Result<PdfResult> Mediator::GetPdf(const PdfQuery& query,

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/distributed_fof.h"
 #include "cache/mediator_cache.h"
 #include "cluster/cost_model.h"
 #include "cluster/dataset.h"
@@ -142,6 +143,31 @@ class Mediator {
       const CallBudget& budget, uint64_t chunk_points,
       const ThresholdChunkSink& sink);
 
+  /// Consumes one batch of stitched friends-of-friends clusters from
+  /// GetFof, plus the total cluster count (known once stitching
+  /// finished, so every batch carries it). Returns the encoded batch
+  /// size in bytes — fed into the comm-time model — or an error, which
+  /// aborts the reply.
+  using FofClusterSink = std::function<Result<uint64_t>(
+      std::vector<DistributedFofCluster> clusters, uint64_t total_clusters)>;
+
+  /// Distributed friends-of-friends clustering over the points a
+  /// threshold query selects: fans the threshold sub-queries out to the
+  /// owning shards, runs per-shard union-find as each shard's points
+  /// join, stitches clusters across shard boundaries through a
+  /// halo-zone relink (periodic wrap included), and streams the
+  /// resulting cluster records through `sink` in batches of at most
+  /// `chunk_points` member points. Cluster ids are deterministic
+  /// (smallest member z-index) and the membership is byte-identical to
+  /// running the in-process FriendsOfFriends over the same threshold
+  /// result. Typed failures: non-positive linking length, or a linking
+  /// length above the dataset's atom width (the guaranteed halo width).
+  Result<DistributedFofSummary> GetFof(
+      const ThresholdQuery& query, const QueryOptions& options,
+      double linking_length, uint64_t min_cluster_size,
+      const CallBudget& budget, uint64_t chunk_points,
+      const FofClusterSink& sink);
+
   /// Histogram of the derived-field norm (Fig. 2).
   Result<PdfResult> GetPdf(const PdfQuery& query,
                            const CallBudget& budget = {});
@@ -251,10 +277,13 @@ class Mediator {
   /// When `point_sink` is set, each outcome's points are *moved* into it
   /// as that outcome joins (the returned outcomes keep their metadata but
   /// empty point vectors), so the mediator never holds more than one
-  /// outcome's points. A sink error aborts like a hard shard failure.
+  /// outcome's points. The sink also receives the owning shard's node
+  /// id — the FoF stitcher needs the attribution; plain streaming
+  /// ignores it. A sink error aborts like a hard shard failure.
   Result<std::vector<NodeOutcome>> Dispatch(
       const NodeQuery& node_query, const CallBudget& budget,
-      const std::function<Status(std::vector<ThresholdPoint> points)>&
+      const std::function<Status(int node_id,
+                                 std::vector<ThresholdPoint> points)>&
           point_sink = nullptr);
 
   const Differentiator* GetDifferentiator(const std::string& dataset,

@@ -73,6 +73,69 @@ net::Server::Handler MediatorHandler(Mediator* mediator) {
       } else {
         finish(mediator->GetThreshold(req.query, req.options, budget));
       }
+    } else if (std::holds_alternative<net::FofRequest>(request)) {
+      const auto& req = std::get<net::FofRequest>(request);
+      // Distributed FoF reply: cluster records stream out as kFofChunk
+      // frames as the stitcher emits them, each buffer reserved against
+      // the server's result-byte budget first (same discipline as the
+      // streamed threshold path); the terminating frame carries the
+      // summary. Without a streaming transport (in-process callers) the
+      // records are dropped and only the summary is returned.
+      uint64_t seq = 0;
+      Mediator::FofClusterSink sink =
+          [&](std::vector<DistributedFofCluster> clusters,
+              uint64_t total_clusters) -> Result<uint64_t> {
+        if (ctx.emit == nullptr) return static_cast<uint64_t>(0);
+        net::FofChunk chunk;
+        chunk.seq = seq++;
+        chunk.total_clusters = total_clusters;
+        uint64_t member_points = 0;
+        chunk.clusters.reserve(clusters.size());
+        for (DistributedFofCluster& cluster : clusters) {
+          net::FofClusterRecord record;
+          record.id = cluster.id;
+          record.size = cluster.members.size();
+          record.bbox_lo = cluster.bbox_lo;
+          record.bbox_hi = cluster.bbox_hi;
+          record.centroid = cluster.centroid;
+          record.max_norm = cluster.max_norm;
+          record.peak_zindex = cluster.peak_zindex;
+          if (req.include_members) {
+            member_points += cluster.members.size();
+            record.members = std::move(cluster.members);
+          }
+          chunk.clusters.push_back(std::move(record));
+        }
+        ResourceGovernor::ByteReservation reservation;
+        if (ctx.governor != nullptr) {
+          // Upper-bound estimate: ~96 bytes of stats per record plus
+          // <= 20 bytes per shipped member point.
+          const uint64_t estimate =
+              chunk.clusters.size() * 96 + member_points * 20 + 64;
+          TURBDB_RETURN_NOT_OK(ctx.governor->ReserveBlocking(
+              estimate, &reservation, ctx.cancelled.get()));
+        }
+        const std::vector<uint8_t> frame = net::EncodeFofChunk(chunk);
+        TURBDB_RETURN_NOT_OK(ctx.emit(frame));
+        return static_cast<uint64_t>(frame.size());
+      };
+      auto summary_or =
+          mediator->GetFof(req.query, req.options, req.linking_length,
+                           req.min_cluster_size, budget, ctx.chunk_points,
+                           sink);
+      if (!summary_or.ok()) {
+        response = net::EncodeErrorResponse(summary_or.status());
+      } else if (ctx.deadline.Expired()) {
+        response = net::EncodeErrorResponse(
+            Status::DeadlineExceeded("deadline exceeded"));
+      } else {
+        net::FofReply reply;
+        reply.clusters = summary_or->clusters;
+        reply.points = summary_or->points;
+        reply.largest_cluster = summary_or->largest_cluster;
+        reply.time = summary_or->time;
+        response = net::EncodeFofResponse(reply);
+      }
     } else if (std::holds_alternative<net::PdfRequest>(request)) {
       finish(mediator->GetPdf(std::get<net::PdfRequest>(request).query,
                               budget));

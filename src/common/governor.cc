@@ -7,8 +7,9 @@ namespace turbdb {
 
 void ResourceGovernor::AdmitTicket::Release() {
   if (governor_ != nullptr) {
-    governor_->ReleaseSlot();
+    governor_->ReleaseSlot(tenant_);
     governor_ = nullptr;
+    tenant_ = nullptr;
   }
 }
 
@@ -21,20 +22,96 @@ void ResourceGovernor::ByteReservation::Release() {
 }
 
 Status ResourceGovernor::TryAdmit(AdmitTicket* ticket) {
+  return TryAdmit(std::string(), ticket);
+}
+
+Status ResourceGovernor::TryAdmit(const std::string& tenant,
+                                  AdmitTicket* ticket) {
+  TenantState* state = nullptr;
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    state = TenantFor(tenant);
     if (max_concurrent_ != 0 && in_flight_ >= max_concurrent_) {
       shed_.fetch_add(1, std::memory_order_relaxed);
+      if (state != nullptr) ++state->shed;
       return Status::ResourceExhausted(
           "server over admission budget (" + std::to_string(in_flight_) +
           "/" + std::to_string(max_concurrent_) +
           " queries in flight); retry later");
     }
+    if (state != nullptr && state->cap != 0 &&
+        state->in_flight >= state->cap) {
+      shed_.fetch_add(1, std::memory_order_relaxed);
+      ++state->shed;
+      return Status::ResourceExhausted(
+          "tenant '" + (tenant.empty() ? std::string("default") : tenant) +
+          "' over admission budget (" + std::to_string(state->in_flight) +
+          "/" + std::to_string(state->cap) +
+          " queries in flight); retry later");
+    }
     ++in_flight_;
+    if (state != nullptr) {
+      ++state->in_flight;
+      ++state->admitted;
+      if (state->in_flight > state->peak_in_flight) {
+        state->peak_in_flight = state->in_flight;
+      }
+    }
   }
   admitted_.fetch_add(1, std::memory_order_relaxed);
-  *ticket = AdmitTicket(this);
+  *ticket = AdmitTicket(this, state);
   return Status::OK();
+}
+
+void ResourceGovernor::SetTenantPolicy(
+    uint64_t default_max_in_flight, std::map<std::string, double> weights) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  default_tenant_max_ = default_max_in_flight;
+  tenant_weights_ = std::move(weights);
+  total_weight_ = 0.0;
+  for (const auto& [name, weight] : tenant_weights_) {
+    if (weight > 0.0) total_weight_ += weight;
+  }
+}
+
+ResourceGovernor::TenantState* ResourceGovernor::TenantFor(
+    const std::string& tenant) {
+  const bool policy_set =
+      default_tenant_max_ != 0 || !tenant_weights_.empty();
+  if (tenant.empty() && !policy_set) return nullptr;
+  const std::string key = tenant.empty() ? "default" : tenant;
+  auto [it, inserted] = tenants_.try_emplace(key);
+  if (inserted) {
+    auto weight = tenant_weights_.find(key);
+    if (weight != tenant_weights_.end() && weight->second > 0.0 &&
+        max_concurrent_ != 0 && total_weight_ > 0.0) {
+      const double share = static_cast<double>(max_concurrent_) *
+                           weight->second / total_weight_;
+      it->second.cap =
+          share < 1.0 ? 1 : static_cast<uint64_t>(share);
+    } else {
+      it->second.cap = default_tenant_max_;
+    }
+  }
+  return &it->second;
+}
+
+std::vector<ResourceGovernor::TenantCounters>
+ResourceGovernor::tenant_stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<TenantCounters> out;
+  out.reserve(tenants_.size());
+  for (const auto& [name, state] : tenants_) {
+    TenantCounters counters;
+    counters.name = name;
+    counters.in_flight = state.in_flight;
+    counters.peak_in_flight = state.peak_in_flight;
+    counters.admitted = state.admitted;
+    counters.shed = state.shed;
+    counters.cap = state.cap;
+    out.push_back(std::move(counters));
+  }
+  return out;
 }
 
 Status ResourceGovernor::TryReserve(uint64_t bytes,
@@ -100,9 +177,10 @@ uint64_t ResourceGovernor::bytes_in_use() const {
   return bytes_in_use_;
 }
 
-void ResourceGovernor::ReleaseSlot() {
+void ResourceGovernor::ReleaseSlot(TenantState* tenant) {
   std::lock_guard<std::mutex> lock(mutex_);
   if (in_flight_ > 0) --in_flight_;
+  if (tenant != nullptr && tenant->in_flight > 0) --tenant->in_flight;
 }
 
 void ResourceGovernor::ReleaseBytes(uint64_t bytes) {

@@ -3,8 +3,11 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <map>
 #include <mutex>
+#include <string>
 #include <utility>
+#include <vector>
 
 #include "common/status.h"
 
@@ -32,6 +35,17 @@ namespace turbdb {
 /// is a no-op. All counters are monotonic except the in-use gauges;
 /// `peak_bytes` records the high-water mark of `bytes_in_use` so tests
 /// (and operators) can check that streaming really bounded memory.
+///
+/// **Per-tenant fair admission (v5).** The concurrency budget can be
+/// subdivided by tenant so one flooding principal cannot starve the
+/// rest: each admitted request names a tenant (empty = the "default"
+/// bucket), and a tenant over its own in-flight cap is shed with
+/// `kResourceExhausted` even while the global budget has room.
+/// Effective caps come from `SetTenantPolicy`: an explicit weight gives
+/// the tenant `max(1, global_cap * weight / total_weight)` slots, any
+/// other tenant gets the flat default cap (0 = global budget only).
+/// Per-tenant counters (in-flight, peak, admitted, shed) are kept for
+/// every tenant ever seen and surfaced through `tenant_stats()`.
 class ResourceGovernor {
  public:
   ResourceGovernor() = default;
@@ -41,16 +55,40 @@ class ResourceGovernor {
   ResourceGovernor(const ResourceGovernor&) = delete;
   ResourceGovernor& operator=(const ResourceGovernor&) = delete;
 
+  /// One tenant's admission snapshot (see tenant_stats()).
+  struct TenantCounters {
+    std::string name;
+    uint64_t in_flight = 0;
+    uint64_t peak_in_flight = 0;
+    uint64_t admitted = 0;
+    uint64_t shed = 0;
+    uint64_t cap = 0;  ///< Effective in-flight cap; 0 = global only.
+  };
+
+ private:
+  /// Internal per-tenant ledger entry; lives in a std::map so the
+  /// pointer a ticket holds stays valid for the governor's lifetime.
+  struct TenantState {
+    uint64_t in_flight = 0;
+    uint64_t peak_in_flight = 0;
+    uint64_t admitted = 0;
+    uint64_t shed = 0;
+    uint64_t cap = 0;
+  };
+
+ public:
   /// RAII admission slot. Releases the concurrency slot on destruction.
   class AdmitTicket {
    public:
     AdmitTicket() = default;
     AdmitTicket(AdmitTicket&& other) noexcept
-        : governor_(std::exchange(other.governor_, nullptr)) {}
+        : governor_(std::exchange(other.governor_, nullptr)),
+          tenant_(std::exchange(other.tenant_, nullptr)) {}
     AdmitTicket& operator=(AdmitTicket&& other) noexcept {
       if (this != &other) {
         Release();
         governor_ = std::exchange(other.governor_, nullptr);
+        tenant_ = std::exchange(other.tenant_, nullptr);
       }
       return *this;
     }
@@ -61,8 +99,10 @@ class ResourceGovernor {
 
    private:
     friend class ResourceGovernor;
-    explicit AdmitTicket(ResourceGovernor* governor) : governor_(governor) {}
+    AdmitTicket(ResourceGovernor* governor, TenantState* tenant)
+        : governor_(governor), tenant_(tenant) {}
     ResourceGovernor* governor_ = nullptr;
+    TenantState* tenant_ = nullptr;
   };
 
   /// RAII byte reservation. Returns the bytes on destruction.
@@ -96,8 +136,27 @@ class ResourceGovernor {
 
   /// Admits a query or sheds it fast. On success `ticket` holds the slot;
   /// on failure returns `kResourceExhausted` naming the limit, and the
-  /// shed counter is bumped.
+  /// shed counter is bumped. Equivalent to TryAdmit("", ticket).
   Status TryAdmit(AdmitTicket* ticket);
+
+  /// Tenant-aware admission: checks the global budget first, then the
+  /// tenant's own in-flight cap. An empty `tenant` is billed to the
+  /// "default" bucket (tracked only once a tenant policy is set, so
+  /// internal node-to-node traffic stays free of bookkeeping until the
+  /// operator opts in). Shedding — global or per-tenant — is attributed
+  /// to the tenant's counters.
+  Status TryAdmit(const std::string& tenant, AdmitTicket* ticket);
+
+  /// Configures per-tenant caps. `default_max_in_flight` caps every
+  /// tenant without an explicit weight (0 = no per-tenant cap); each
+  /// entry of `weights` grants its tenant a proportional share of the
+  /// global concurrency budget: max(1, max_concurrent * w / total_w).
+  /// Call before serving traffic; not safe to reconfigure mid-flight.
+  void SetTenantPolicy(uint64_t default_max_in_flight,
+                       std::map<std::string, double> weights);
+
+  /// Snapshot of every tenant ever admitted or shed, sorted by name.
+  std::vector<TenantCounters> tenant_stats() const;
 
   /// Reserves `bytes` against the byte budget or fails fast with
   /// `kResourceExhausted`. Zero-byte reservations always succeed.
@@ -124,8 +183,11 @@ class ResourceGovernor {
   }
 
  private:
-  void ReleaseSlot();
+  void ReleaseSlot(TenantState* tenant);
   void ReleaseBytes(uint64_t bytes);
+  /// Ledger entry for `tenant`, created on first sight (mutex_ held).
+  /// Returns nullptr when the name is empty and no policy is set.
+  TenantState* TenantFor(const std::string& tenant);
 
   const uint64_t max_concurrent_ = 0;  ///< 0 = unlimited.
   const uint64_t max_bytes_ = 0;       ///< 0 = unlimited.
@@ -134,6 +196,10 @@ class ResourceGovernor {
   std::condition_variable bytes_freed_;
   uint64_t in_flight_ = 0;
   uint64_t bytes_in_use_ = 0;
+  uint64_t default_tenant_max_ = 0;        ///< 0 = global budget only.
+  std::map<std::string, double> tenant_weights_;
+  double total_weight_ = 0.0;
+  std::map<std::string, TenantState> tenants_;
 
   std::atomic<uint64_t> admitted_{0};
   std::atomic<uint64_t> shed_{0};

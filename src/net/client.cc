@@ -100,7 +100,7 @@ Result<std::vector<uint8_t>> Client::CallOnce(
             options_.max_frame_bytes));
     if (stream == nullptr) return payload;
     TURBDB_ASSIGN_OR_RETURN(MsgType type, PeekResponseType(payload));
-    if (type != MsgType::kThresholdChunk) {
+    if (type != MsgType::kThresholdChunk && type != MsgType::kFofChunk) {
       // The terminating frame: the summary response or an error frame.
       return payload;
     }
@@ -179,6 +179,7 @@ Result<ThresholdResult> Client::Threshold(const ThresholdQuery& query,
   ThresholdRequest request;
   request.query = query;
   request.options = options;
+  request.rpc.tenant = options_.tenant;
   TURBDB_ASSIGN_OR_RETURN(std::vector<uint8_t> payload,
                           Call(EncodeRequest(request), options_.deadline_ms));
   TURBDB_ASSIGN_OR_RETURN(ThresholdResult result,
@@ -194,6 +195,7 @@ Result<ThresholdResult> Client::ThresholdStreamed(
   request.query = query;
   request.options = options;
   request.stream = true;
+  request.rpc.tenant = options_.tenant;
 
   std::vector<ThresholdPoint> points;
   uint64_t next_seq = 0;
@@ -238,10 +240,52 @@ Result<ThresholdResult> Client::ThresholdStreamed(
   return result;
 }
 
+Result<FofResult> Client::Fof(const FofRequest& request) {
+  WallTimer timer;
+  FofRequest stamped = request;
+  stamped.rpc.tenant = options_.tenant;
+
+  FofResult result;
+  uint64_t next_seq = 0;
+  StreamHooks hooks;
+  hooks.restart = [&]() {
+    result.clusters.clear();
+    next_seq = 0;
+  };
+  hooks.chunk = [&](const std::vector<uint8_t>& payload) -> Status {
+    TURBDB_ASSIGN_OR_RETURN(FofChunk chunk, DecodeFofChunk(payload));
+    if (chunk.seq != next_seq) {
+      return Status::Corruption(
+          "streamed FoF reply chunk gap: expected seq " +
+          std::to_string(next_seq) + ", got " + std::to_string(chunk.seq));
+    }
+    ++next_seq;
+    result.clusters.insert(result.clusters.end(),
+                           std::make_move_iterator(chunk.clusters.begin()),
+                           std::make_move_iterator(chunk.clusters.end()));
+    return Status::OK();
+  };
+
+  const uint64_t budget = stamped.rpc.deadline_ms != 0 ? stamped.rpc.deadline_ms
+                                                       : options_.deadline_ms;
+  TURBDB_ASSIGN_OR_RETURN(std::vector<uint8_t> payload,
+                          Call(EncodeRequest(stamped), budget, &hooks));
+  TURBDB_ASSIGN_OR_RETURN(result.summary, DecodeFofResponse(payload));
+  if (result.summary.clusters != result.clusters.size()) {
+    return Status::Corruption(
+        "streamed FoF reply incomplete: summary says " +
+        std::to_string(result.summary.clusters) + " clusters, received " +
+        std::to_string(result.clusters.size()));
+  }
+  result.wall_seconds = timer.Seconds();
+  return result;
+}
+
 Result<PdfResult> Client::Pdf(const PdfQuery& query) {
   WallTimer timer;
   PdfRequest request;
   request.query = query;
+  request.rpc.tenant = options_.tenant;
   TURBDB_ASSIGN_OR_RETURN(std::vector<uint8_t> payload,
                           Call(EncodeRequest(request), options_.deadline_ms));
   TURBDB_ASSIGN_OR_RETURN(PdfResult result, DecodePdfResponse(payload));
@@ -253,6 +297,7 @@ Result<TopKResult> Client::TopK(const TopKQuery& query) {
   WallTimer timer;
   TopKRequest request;
   request.query = query;
+  request.rpc.tenant = options_.tenant;
   TURBDB_ASSIGN_OR_RETURN(std::vector<uint8_t> payload,
                           Call(EncodeRequest(request), options_.deadline_ms));
   TURBDB_ASSIGN_OR_RETURN(TopKResult result, DecodeTopKResponse(payload));
@@ -264,6 +309,7 @@ Result<FieldStatsResult> Client::FieldStats(const FieldStatsQuery& query) {
   WallTimer timer;
   FieldStatsRequest request;
   request.query = query;
+  request.rpc.tenant = options_.tenant;
   TURBDB_ASSIGN_OR_RETURN(std::vector<uint8_t> payload,
                           Call(EncodeRequest(request), options_.deadline_ms));
   TURBDB_ASSIGN_OR_RETURN(FieldStatsResult result,
@@ -280,13 +326,16 @@ Result<ServerStatsReply> Client::ServerStats() {
 }
 
 Result<DropCacheReply> Client::DropCache(const DropCacheRequest& request) {
+  DropCacheRequest stamped = request;
+  stamped.rpc.tenant = options_.tenant;
   TURBDB_ASSIGN_OR_RETURN(std::vector<uint8_t> payload,
-                          Call(EncodeRequest(request), options_.deadline_ms));
+                          Call(EncodeRequest(stamped), options_.deadline_ms));
   return DecodeDropCacheResponse(payload);
 }
 
 Result<CacheStatsReply> Client::CacheStats() {
   CacheStatsRequest request;
+  request.rpc.tenant = options_.tenant;
   TURBDB_ASSIGN_OR_RETURN(std::vector<uint8_t> payload,
                           Call(EncodeRequest(request), options_.deadline_ms));
   return DecodeCacheStatsResponse(payload);
@@ -295,20 +344,25 @@ Result<CacheStatsReply> Client::CacheStats() {
 Result<CacheWarmReply> Client::CacheWarm(const ThresholdQuery& query) {
   CacheWarmRequest request;
   request.query = query;
+  request.rpc.tenant = options_.tenant;
   TURBDB_ASSIGN_OR_RETURN(std::vector<uint8_t> payload,
                           Call(EncodeRequest(request), options_.deadline_ms));
   return DecodeCacheWarmResponse(payload);
 }
 
 Result<CachePinReply> Client::CachePin(const CachePinRequest& request) {
+  CachePinRequest stamped = request;
+  stamped.rpc.tenant = options_.tenant;
   TURBDB_ASSIGN_OR_RETURN(std::vector<uint8_t> payload,
-                          Call(EncodeRequest(request), options_.deadline_ms));
+                          Call(EncodeRequest(stamped), options_.deadline_ms));
   return DecodeCachePinResponse(payload, MsgType::kCachePinResponse);
 }
 
 Result<CachePinReply> Client::CacheUnpin(const CacheUnpinRequest& request) {
+  CacheUnpinRequest stamped = request;
+  stamped.rpc.tenant = options_.tenant;
   TURBDB_ASSIGN_OR_RETURN(std::vector<uint8_t> payload,
-                          Call(EncodeRequest(request), options_.deadline_ms));
+                          Call(EncodeRequest(stamped), options_.deadline_ms));
   return DecodeCachePinResponse(payload, MsgType::kCacheUnpinResponse);
 }
 

@@ -45,6 +45,21 @@ struct ClientOptions {
   /// node channels), scoping pins an armed `client.*` fault to one of
   /// them deterministically. Empty = the documented site names.
   std::string fault_scope;
+  /// Tenant name stamped into every request this client issues (v5
+  /// payload header). The server bills admission to this tenant's
+  /// fairness bucket; empty means the shared "default" bucket (and no
+  /// per-tenant bookkeeping at all until the server opts into a tenant
+  /// policy). The mediator's internal node channels leave this empty.
+  std::string tenant;
+};
+
+/// Reassembled distributed friends-of-friends reply: the terminating
+/// summary plus the streamed cluster records, in server order (size
+/// descending, then id ascending).
+struct FofResult {
+  FofReply summary;
+  std::vector<FofClusterRecord> clusters;
+  double wall_seconds = 0.0;
 };
 
 /// Remote counterpart of the Mediator query API: connects to a
@@ -73,6 +88,15 @@ class Client {
   /// server-side abort/cancel drill.
   Result<ThresholdResult> ThresholdStreamed(const ThresholdQuery& query,
                                             const QueryOptions& options = {});
+
+  /// Distributed friends-of-friends clustering over the points of
+  /// `request.query`: a streamed reply (kFofChunk frames terminated by
+  /// the summary) reassembled locally. Cluster ids are deterministic
+  /// (smallest member z-index) and the membership matches the
+  /// in-process FriendsOfFriends byte for byte. A transport failure
+  /// mid-stream restarts the query from scratch on the next attempt.
+  Result<FofResult> Fof(const FofRequest& request);
+
   Result<PdfResult> Pdf(const PdfQuery& query);
   Result<TopKResult> TopK(const TopKQuery& query);
   Result<FieldStatsResult> FieldStats(const FieldStatsQuery& query);

@@ -42,8 +42,17 @@ namespace net {
 /// terminated by a summary-or-error frame), and the server-stats reply
 /// gained admission-control counters — so v3 peers are refused up front
 /// rather than mid-stream.
+///
+/// v5 (header layout still unchanged) widens the shared request-payload
+/// header with a tenant string (after the query id) so per-tenant fair
+/// admission can bucket every request, adds the distributed
+/// friends-of-friends RPC (FofRequest / streamed FofChunk + FofResponse
+/// terminator), and appends a per-tenant counter tail to the
+/// server-stats reply. A v4 peer would misparse the tenant bytes as a
+/// request body, so the version byte again refuses it at the first
+/// frame.
 constexpr uint32_t kFrameMagic = 0x46424454u;  // "TDBF" read little-endian
-constexpr uint8_t kProtocolVersion = 4;
+constexpr uint8_t kProtocolVersion = 5;
 constexpr size_t kFrameHeaderBytes = 17;
 
 /// Default cap on a frame payload (64 MiB). A peer announcing more than

@@ -153,11 +153,13 @@ Status GetQueryCommon(const std::vector<uint8_t>& bytes, size_t* pos,
 }
 
 // The deadline budget travels in the frame header (v3), so the payload
-// header carries only the type and the cancellation query id.
+// header carries the type, the cancellation query id, and (v5) the
+// tenant the request is billed to.
 void PutHeader(std::vector<uint8_t>* out, MsgType type,
                const RpcOptions& rpc) {
   PutVarint64(out, static_cast<uint64_t>(type));
   PutVarint64(out, rpc.query_id);
+  PutString(out, rpc.tenant);
 }
 
 /// Reads the message type and, when it is an error frame, the carried
@@ -515,11 +517,29 @@ std::vector<uint8_t> EncodeRequest(const CacheUnpinRequest& request) {
   return EncodeCacheKeyRequest(request, MsgType::kCacheUnpinRequest);
 }
 
+std::vector<uint8_t> EncodeRequest(const FofRequest& request) {
+  std::vector<uint8_t> out;
+  PutHeader(&out, MsgType::kFofRequest, request.rpc);
+  PutQueryCommon(&out, request.query.dataset, request.query.raw_field,
+                 request.query.derived_field, request.query.timestep,
+                 request.query.box, request.query.fd_order);
+  PutDouble(&out, request.query.threshold);
+  PutBool(&out, request.options.use_cache);
+  PutBool(&out, request.options.io_only);
+  PutZigZag64(&out, request.options.processes_per_node);
+  PutVarint64(&out, request.options.max_result_points);
+  PutDouble(&out, request.linking_length);
+  PutVarint64(&out, request.min_cluster_size);
+  PutBool(&out, request.include_members);
+  return out;
+}
+
 Result<Request> DecodeRequest(const std::vector<uint8_t>& payload) {
   size_t pos = 0;
   TURBDB_ASSIGN_OR_RETURN(uint64_t raw, GetVarint64(payload, &pos));
   RpcOptions rpc;
   TURBDB_ASSIGN_OR_RETURN(rpc.query_id, GetVarint64(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(rpc.tenant, GetString(payload, &pos));
   switch (static_cast<MsgType>(raw)) {
     case MsgType::kThresholdRequest: {
       ThresholdRequest request;
@@ -618,6 +638,29 @@ Result<Request> DecodeRequest(const std::vector<uint8_t>& payload) {
       TURBDB_RETURN_NOT_OK(CheckConsumed(payload, pos));
       return Request(std::move(request));
     }
+    case MsgType::kFofRequest: {
+      FofRequest request;
+      request.rpc = rpc;
+      TURBDB_RETURN_NOT_OK(GetQueryCommon(payload, &pos, &request.query));
+      TURBDB_ASSIGN_OR_RETURN(request.query.threshold,
+                              GetDouble(payload, &pos));
+      TURBDB_ASSIGN_OR_RETURN(request.options.use_cache,
+                              GetBool(payload, &pos));
+      TURBDB_ASSIGN_OR_RETURN(request.options.io_only,
+                              GetBool(payload, &pos));
+      TURBDB_ASSIGN_OR_RETURN(int64_t processes, GetZigZag64(payload, &pos));
+      request.options.processes_per_node = static_cast<int>(processes);
+      TURBDB_ASSIGN_OR_RETURN(request.options.max_result_points,
+                              GetVarint64(payload, &pos));
+      TURBDB_ASSIGN_OR_RETURN(request.linking_length,
+                              GetDouble(payload, &pos));
+      TURBDB_ASSIGN_OR_RETURN(request.min_cluster_size,
+                              GetVarint64(payload, &pos));
+      TURBDB_ASSIGN_OR_RETURN(request.include_members,
+                              GetBool(payload, &pos));
+      TURBDB_RETURN_NOT_OK(CheckConsumed(payload, pos));
+      return Request(std::move(request));
+    }
     default:
       return Status::Corruption("unknown request type " +
                                 std::to_string(raw));
@@ -698,6 +741,15 @@ std::vector<uint8_t> EncodeResponse(const ServerStatsReply& reply) {
   PutVarint64(&out, reply.cache_entries);
   PutVarint64(&out, reply.cache_bytes);
   PutVarint64(&out, reply.cache_pinned_bytes);
+  PutVarint64(&out, reply.tenants.size());
+  for (const ServerStatsReply::TenantStats& tenant : reply.tenants) {
+    PutString(&out, tenant.name);
+    PutVarint64(&out, tenant.in_flight);
+    PutVarint64(&out, tenant.peak_in_flight);
+    PutVarint64(&out, tenant.admitted);
+    PutVarint64(&out, tenant.shed);
+    PutVarint64(&out, tenant.cap);
+  }
   return out;
 }
 
@@ -801,6 +853,22 @@ Result<ServerStatsReply> DecodeServerStatsResponse(
   TURBDB_ASSIGN_OR_RETURN(reply.cache_bytes, GetVarint64(payload, &pos));
   TURBDB_ASSIGN_OR_RETURN(reply.cache_pinned_bytes,
                           GetVarint64(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(uint64_t tenants, GetVarint64(payload, &pos));
+  if (tenants > payload.size() - pos) {
+    return Status::Corruption("implausible tenant count");
+  }
+  reply.tenants.reserve(static_cast<size_t>(tenants));
+  for (uint64_t i = 0; i < tenants; ++i) {
+    ServerStatsReply::TenantStats tenant;
+    TURBDB_ASSIGN_OR_RETURN(tenant.name, GetString(payload, &pos));
+    TURBDB_ASSIGN_OR_RETURN(tenant.in_flight, GetVarint64(payload, &pos));
+    TURBDB_ASSIGN_OR_RETURN(tenant.peak_in_flight,
+                            GetVarint64(payload, &pos));
+    TURBDB_ASSIGN_OR_RETURN(tenant.admitted, GetVarint64(payload, &pos));
+    TURBDB_ASSIGN_OR_RETURN(tenant.shed, GetVarint64(payload, &pos));
+    TURBDB_ASSIGN_OR_RETURN(tenant.cap, GetVarint64(payload, &pos));
+    reply.tenants.push_back(std::move(tenant));
+  }
   TURBDB_RETURN_NOT_OK(CheckConsumed(payload, pos));
   return reply;
 }
@@ -938,6 +1006,91 @@ Result<ThresholdChunk> DecodeThresholdChunk(
   return chunk;
 }
 
+// -- Streamed friends-of-friends replies ---------------------------------
+
+std::vector<uint8_t> EncodeFofChunk(const FofChunk& chunk) {
+  std::vector<uint8_t> out;
+  PutVarint64(&out, static_cast<uint64_t>(MsgType::kFofChunk));
+  PutVarint64(&out, chunk.seq);
+  PutVarint64(&out, chunk.clusters.size());
+  for (const FofClusterRecord& cluster : chunk.clusters) {
+    PutVarint64(&out, cluster.id);
+    PutVarint64(&out, cluster.size);
+    for (int d = 0; d < 3; ++d) {
+      PutVarint64(&out, cluster.bbox_lo[static_cast<size_t>(d)]);
+    }
+    for (int d = 0; d < 3; ++d) {
+      PutVarint64(&out, cluster.bbox_hi[static_cast<size_t>(d)]);
+    }
+    for (int d = 0; d < 3; ++d) {
+      PutDouble(&out, cluster.centroid[static_cast<size_t>(d)]);
+    }
+    PutFloat(&out, cluster.max_norm);
+    PutVarint64(&out, cluster.peak_zindex);
+    PutPoints(&out, cluster.members);
+  }
+  PutVarint64(&out, chunk.total_clusters);
+  return out;
+}
+
+Result<FofChunk> DecodeFofChunk(const std::vector<uint8_t>& payload) {
+  size_t pos = 0;
+  TURBDB_RETURN_NOT_OK(ExpectType(payload, &pos, MsgType::kFofChunk));
+  FofChunk chunk;
+  TURBDB_ASSIGN_OR_RETURN(chunk.seq, GetVarint64(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(uint64_t count, GetVarint64(payload, &pos));
+  if (count > payload.size() - pos) {
+    return Status::Corruption("implausible cluster count");
+  }
+  chunk.clusters.reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    FofClusterRecord cluster;
+    TURBDB_ASSIGN_OR_RETURN(cluster.id, GetVarint64(payload, &pos));
+    TURBDB_ASSIGN_OR_RETURN(cluster.size, GetVarint64(payload, &pos));
+    for (int d = 0; d < 3; ++d) {
+      TURBDB_ASSIGN_OR_RETURN(cluster.bbox_lo[static_cast<size_t>(d)],
+                              GetVarint64(payload, &pos));
+    }
+    for (int d = 0; d < 3; ++d) {
+      TURBDB_ASSIGN_OR_RETURN(cluster.bbox_hi[static_cast<size_t>(d)],
+                              GetVarint64(payload, &pos));
+    }
+    for (int d = 0; d < 3; ++d) {
+      TURBDB_ASSIGN_OR_RETURN(cluster.centroid[static_cast<size_t>(d)],
+                              GetDouble(payload, &pos));
+    }
+    TURBDB_ASSIGN_OR_RETURN(cluster.max_norm, GetFloat(payload, &pos));
+    TURBDB_ASSIGN_OR_RETURN(cluster.peak_zindex, GetVarint64(payload, &pos));
+    TURBDB_ASSIGN_OR_RETURN(cluster.members, GetPoints(payload, &pos));
+    chunk.clusters.push_back(std::move(cluster));
+  }
+  TURBDB_ASSIGN_OR_RETURN(chunk.total_clusters, GetVarint64(payload, &pos));
+  TURBDB_RETURN_NOT_OK(CheckConsumed(payload, pos));
+  return chunk;
+}
+
+std::vector<uint8_t> EncodeFofResponse(const FofReply& reply) {
+  std::vector<uint8_t> out;
+  PutVarint64(&out, static_cast<uint64_t>(MsgType::kFofResponse));
+  PutVarint64(&out, reply.clusters);
+  PutVarint64(&out, reply.points);
+  PutVarint64(&out, reply.largest_cluster);
+  PutTime(&out, reply.time);
+  return out;
+}
+
+Result<FofReply> DecodeFofResponse(const std::vector<uint8_t>& payload) {
+  size_t pos = 0;
+  TURBDB_RETURN_NOT_OK(ExpectType(payload, &pos, MsgType::kFofResponse));
+  FofReply reply;
+  TURBDB_ASSIGN_OR_RETURN(reply.clusters, GetVarint64(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(reply.points, GetVarint64(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(reply.largest_cluster, GetVarint64(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(reply.time, GetTime(payload, &pos));
+  TURBDB_RETURN_NOT_OK(CheckConsumed(payload, pos));
+  return reply;
+}
+
 Result<MsgType> PeekResponseType(const std::vector<uint8_t>& payload) {
   size_t pos = 0;
   TURBDB_ASSIGN_OR_RETURN(uint64_t raw, GetVarint64(payload, &pos));
@@ -956,6 +1109,7 @@ Result<RequestHeader> PeekRequestHeader(const std::vector<uint8_t>& payload) {
   RequestHeader header;
   header.type = static_cast<MsgType>(raw);
   TURBDB_ASSIGN_OR_RETURN(header.rpc.query_id, GetVarint64(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(header.rpc.tenant, GetString(payload, &pos));
   return header;
 }
 
@@ -1033,6 +1187,7 @@ Result<NodeCreateDatasetRequest> DecodeNodeCreateDatasetRequest(
   TURBDB_RETURN_NOT_OK(
       ExpectType(payload, &pos, MsgType::kNodeCreateDatasetRequest));
   TURBDB_ASSIGN_OR_RETURN(request.rpc.query_id, GetVarint64(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(request.rpc.tenant, GetString(payload, &pos));
   TURBDB_ASSIGN_OR_RETURN(request.info, GetDatasetInfo(payload, &pos));
   TURBDB_ASSIGN_OR_RETURN(int64_t num_nodes, GetZigZag64(payload, &pos));
   request.num_nodes = static_cast<int32_t>(num_nodes);
@@ -1060,6 +1215,7 @@ Result<NodeIngestRequest> DecodeNodeIngestRequest(
   NodeIngestRequest request;
   TURBDB_RETURN_NOT_OK(ExpectType(payload, &pos, MsgType::kNodeIngestRequest));
   TURBDB_ASSIGN_OR_RETURN(request.rpc.query_id, GetVarint64(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(request.rpc.tenant, GetString(payload, &pos));
   TURBDB_ASSIGN_OR_RETURN(request.dataset, GetString(payload, &pos));
   TURBDB_ASSIGN_OR_RETURN(request.field, GetString(payload, &pos));
   TURBDB_ASSIGN_OR_RETURN(request.atoms, GetAtoms(payload, &pos));
@@ -1100,6 +1256,7 @@ Result<NodeExecuteRequest> DecodeNodeExecuteRequest(
   TURBDB_RETURN_NOT_OK(
       ExpectType(payload, &pos, MsgType::kNodeExecuteRequest));
   TURBDB_ASSIGN_OR_RETURN(request.rpc.query_id, GetVarint64(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(request.rpc.tenant, GetString(payload, &pos));
   TURBDB_ASSIGN_OR_RETURN(int64_t mode, GetZigZag64(payload, &pos));
   spec.mode = static_cast<int32_t>(mode);
   struct CommonView {
@@ -1162,6 +1319,7 @@ Result<NodeFetchAtomsRequest> DecodeNodeFetchAtomsRequest(
   TURBDB_RETURN_NOT_OK(
       ExpectType(payload, &pos, MsgType::kNodeFetchAtomsRequest));
   TURBDB_ASSIGN_OR_RETURN(request.rpc.query_id, GetVarint64(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(request.rpc.tenant, GetString(payload, &pos));
   TURBDB_ASSIGN_OR_RETURN(request.dataset, GetString(payload, &pos));
   TURBDB_ASSIGN_OR_RETURN(request.field, GetString(payload, &pos));
   TURBDB_ASSIGN_OR_RETURN(int64_t timestep, GetZigZag64(payload, &pos));
@@ -1199,6 +1357,7 @@ Result<NodeDropCacheRequest> DecodeNodeDropCacheRequest(
   TURBDB_RETURN_NOT_OK(
       ExpectType(payload, &pos, MsgType::kNodeDropCacheRequest));
   TURBDB_ASSIGN_OR_RETURN(request.rpc.query_id, GetVarint64(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(request.rpc.tenant, GetString(payload, &pos));
   TURBDB_ASSIGN_OR_RETURN(request.dataset, GetString(payload, &pos));
   TURBDB_ASSIGN_OR_RETURN(request.field, GetString(payload, &pos));
   TURBDB_ASSIGN_OR_RETURN(int64_t timestep, GetZigZag64(payload, &pos));
@@ -1221,6 +1380,7 @@ Result<NodeStatsRequest> DecodeNodeStatsRequest(
   NodeStatsRequest request;
   TURBDB_RETURN_NOT_OK(ExpectType(payload, &pos, MsgType::kNodeStatsRequest));
   TURBDB_ASSIGN_OR_RETURN(request.rpc.query_id, GetVarint64(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(request.rpc.tenant, GetString(payload, &pos));
   TURBDB_ASSIGN_OR_RETURN(request.dataset, GetString(payload, &pos));
   TURBDB_ASSIGN_OR_RETURN(request.field, GetString(payload, &pos));
   TURBDB_RETURN_NOT_OK(CheckConsumed(payload, pos));
@@ -1246,6 +1406,7 @@ Result<NodeSyncRangeRequest> DecodeNodeSyncRangeRequest(
   TURBDB_RETURN_NOT_OK(
       ExpectType(payload, &pos, MsgType::kNodeSyncRangeRequest));
   TURBDB_ASSIGN_OR_RETURN(request.rpc.query_id, GetVarint64(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(request.rpc.tenant, GetString(payload, &pos));
   TURBDB_ASSIGN_OR_RETURN(request.dataset, GetString(payload, &pos));
   TURBDB_ASSIGN_OR_RETURN(request.field, GetString(payload, &pos));
   TURBDB_ASSIGN_OR_RETURN(int64_t timestep, GetZigZag64(payload, &pos));
@@ -1270,6 +1431,7 @@ Result<NodeListStoresRequest> DecodeNodeListStoresRequest(
   TURBDB_RETURN_NOT_OK(
       ExpectType(payload, &pos, MsgType::kNodeListStoresRequest));
   TURBDB_ASSIGN_OR_RETURN(request.rpc.query_id, GetVarint64(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(request.rpc.tenant, GetString(payload, &pos));
   TURBDB_RETURN_NOT_OK(CheckConsumed(payload, pos));
   return request;
 }

@@ -21,9 +21,10 @@ namespace net {
 /// request value + 64, errors are 127. Types 1-6 are the mediator-facing
 /// (user) RPCs; 7 is the handshake; 8 is cooperative cancellation
 /// (answered inline by every server); 10-14 are the mediator cache
-/// controls (9 is skipped: 9 + 64 is the kThresholdChunk slot); 16-23
-/// are the node-scoped RPCs the mediator (and peer nodes) issue to
-/// `turbdb_node` processes.
+/// controls (9 is skipped: 9 + 64 is the kThresholdChunk slot); 15 is
+/// the distributed friends-of-friends query (v5); 16-23 are the
+/// node-scoped RPCs the mediator (and peer nodes) issue to `turbdb_node`
+/// processes.
 enum class MsgType : uint8_t {
   kThresholdRequest = 1,
   kPdfRequest = 2,
@@ -38,6 +39,7 @@ enum class MsgType : uint8_t {
   kCacheWarmRequest = 12,
   kCachePinRequest = 13,
   kCacheUnpinRequest = 14,
+  kFofRequest = 15,
 
   kNodeCreateDatasetRequest = 16,
   kNodeIngestRequest = 17,
@@ -66,6 +68,10 @@ enum class MsgType : uint8_t {
   kCachePinResponse = 77,
   kCacheUnpinResponse = 78,
 
+  /// Terminator of a streamed friends-of-friends reply (v5): summary
+  /// counters, preceded by zero or more kFofChunk frames.
+  kFofResponse = 79,
+
   kNodeCreateDatasetResponse = 80,
   kNodeIngestResponse = 81,
   kNodeExecuteResponse = 82,
@@ -74,6 +80,9 @@ enum class MsgType : uint8_t {
   kNodeStatsResponse = 85,
   kNodeSyncRangeResponse = 86,
   kNodeListStoresResponse = 87,
+  /// One slice of a streamed friends-of-friends reply (v5): a batch of
+  /// whole clusters (summary row each, member points when requested).
+  kFofChunk = 88,
 
   kErrorResponse = 127,
 };
@@ -93,9 +102,15 @@ enum class MsgType : uint8_t {
 /// CancelRequest for the same id flips that request's cancel token. 0
 /// means "not cancellable". It rides in the payload header (second
 /// varint, after the type).
+///
+/// `tenant` (v5) names the principal the request is billed to, so the
+/// server's ResourceGovernor can admit fairly across tenants instead of
+/// letting one flood starve everyone. It rides in the payload header
+/// (string, after the query id); empty means the default bucket.
 struct RpcOptions {
   uint64_t deadline_ms = 0;
   uint64_t query_id = 0;
+  std::string tenant;
 };
 
 struct ThresholdRequest {
@@ -225,11 +240,69 @@ struct CachePinReply {
   uint64_t entries = 0;
 };
 
+// -- Distributed friends-of-friends (v5) ---------------------------------
+
+/// Runs a threshold query and clusters the resulting points with the
+/// friends-of-friends rule (two points are friends iff their periodic
+/// distance is at most `linking_length` grid units), merged across shard
+/// boundaries by the mediator. The reply is always streamed: zero or
+/// more kFofChunk frames carrying whole clusters, then a terminating
+/// kFofResponse summary (or kErrorResponse).
+struct FofRequest {
+  ThresholdQuery query;
+  QueryOptions options;
+  double linking_length = 2.0;     ///< In grid units.
+  uint64_t min_cluster_size = 1;   ///< Smaller clusters are dropped.
+  /// True = chunks carry each cluster's member points; false = summary
+  /// rows only (size/bbox/centroid/peak), which keeps replies tiny.
+  bool include_members = false;
+  RpcOptions rpc;
+};
+
+/// One cluster row of a streamed FoF reply. `id` is the smallest member
+/// z-index — a content-derived name, so ids are identical no matter how
+/// shards were joined or which replicas answered.
+struct FofClusterRecord {
+  uint64_t id = 0;
+  uint64_t size = 0;
+  std::array<uint64_t, 3> bbox_lo{0, 0, 0};  ///< Grid coords, inclusive.
+  std::array<uint64_t, 3> bbox_hi{0, 0, 0};
+  std::array<double, 3> centroid{0.0, 0.0, 0.0};
+  float max_norm = 0.0f;
+  uint64_t peak_zindex = 0;  ///< z-index of the max-norm member.
+  /// Z-sorted members; empty unless the request set include_members.
+  std::vector<ThresholdPoint> members;
+
+  bool operator==(const FofClusterRecord& other) const {
+    return id == other.id && size == other.size &&
+           bbox_lo == other.bbox_lo && bbox_hi == other.bbox_hi &&
+           centroid == other.centroid && max_norm == other.max_norm &&
+           peak_zindex == other.peak_zindex && members == other.members;
+  }
+};
+
+/// One slice of a streamed FoF reply: whole clusters only (a cluster is
+/// never split across chunks), consecutive `seq` from 0 and a running
+/// `total_clusters` so the consumer detects a torn stream.
+struct FofChunk {
+  uint64_t seq = 0;
+  std::vector<FofClusterRecord> clusters;
+  uint64_t total_clusters = 0;
+};
+
+/// Terminator of a streamed FoF reply.
+struct FofReply {
+  uint64_t clusters = 0;          ///< After the min-size filter.
+  uint64_t points = 0;            ///< Threshold points clustered.
+  uint64_t largest_cluster = 0;   ///< Size of the biggest cluster.
+  TimeBreakdown time;             ///< Modeled, end-to-end.
+};
+
 using Request =
     std::variant<ThresholdRequest, PdfRequest, TopKRequest,
                  FieldStatsRequest, ServerStatsRequest, PingRequest,
                  DropCacheRequest, CacheStatsRequest, CacheWarmRequest,
-                 CachePinRequest, CacheUnpinRequest>;
+                 CachePinRequest, CacheUnpinRequest, FofRequest>;
 
 /// Cooperative cancellation: asks the server to flip the cancel token of
 /// the in-flight request whose RpcOptions named `rpc.query_id`. Answered
@@ -434,6 +507,17 @@ struct ServerStatsReply {
   uint64_t cache_entries = 0;
   uint64_t cache_bytes = 0;           ///< Charged to the governor ledger.
   uint64_t cache_pinned_bytes = 0;
+  // Per-tenant admission counters (v5). Empty until a request carried a
+  // tenant id (or a tenant cap/weight was configured); sorted by name.
+  struct TenantStats {
+    std::string name;
+    uint64_t in_flight = 0;
+    uint64_t peak_in_flight = 0;
+    uint64_t admitted = 0;
+    uint64_t shed = 0;
+    uint64_t cap = 0;  ///< Effective in-flight cap; 0 = global only.
+  };
+  std::vector<TenantStats> tenants;
 };
 
 // -- Request encoding ----------------------------------------------------
@@ -449,6 +533,7 @@ std::vector<uint8_t> EncodeRequest(const CacheStatsRequest& request);
 std::vector<uint8_t> EncodeRequest(const CacheWarmRequest& request);
 std::vector<uint8_t> EncodeRequest(const CachePinRequest& request);
 std::vector<uint8_t> EncodeRequest(const CacheUnpinRequest& request);
+std::vector<uint8_t> EncodeRequest(const FofRequest& request);
 
 /// Decodes any request frame payload (server side).
 Result<Request> DecodeRequest(const std::vector<uint8_t>& payload);
@@ -505,6 +590,14 @@ std::vector<uint8_t> EncodeThresholdChunk(const ThresholdChunk& chunk);
 Result<ThresholdChunk> DecodeThresholdChunk(
     const std::vector<uint8_t>& payload);
 
+// -- Streamed friends-of-friends replies (v5) ----------------------------
+
+std::vector<uint8_t> EncodeFofChunk(const FofChunk& chunk);
+Result<FofChunk> DecodeFofChunk(const std::vector<uint8_t>& payload);
+
+std::vector<uint8_t> EncodeFofResponse(const FofReply& reply);
+Result<FofReply> DecodeFofResponse(const std::vector<uint8_t>& payload);
+
 /// Reads just the leading type varint of a response payload so a
 /// stream consumer can route a frame (chunk vs terminator) without
 /// decoding the body twice. Does not validate the value beyond varint
@@ -514,8 +607,8 @@ Result<MsgType> PeekResponseType(const std::vector<uint8_t>& payload);
 // -- Request header peek -------------------------------------------------
 
 /// The shared prefix of every request payload: type varint + query-id
-/// varint. (The deadline budget is not here — it rides in the frame
-/// header.)
+/// varint + tenant string (v5). (The deadline budget is not here — it
+/// rides in the frame header.)
 struct RequestHeader {
   MsgType type;
   RpcOptions rpc;

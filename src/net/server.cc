@@ -50,6 +50,10 @@ Server::Server(Handler handler, const ServerOptions& options)
       site_handler_error_(options.fault_scope + "server.handler.error"),
       site_chunk_truncate_(options.fault_scope + "server.chunk_truncate"),
       governor_(options.max_concurrent_queries, options.result_budget_bytes) {
+  if (options.per_tenant_max_queries != 0 || !options.tenant_weights.empty()) {
+    governor_.SetTenantPolicy(options.per_tenant_max_queries,
+                              options.tenant_weights);
+  }
   latencies_ms_.resize(kLatencyWindow, 0.0);
 }
 
@@ -267,9 +271,10 @@ std::vector<uint8_t> Server::HandleRequest(
         }
         // Admission control: shed fast instead of queueing into an OOM.
         // Only handler-delegated work is gated — Ping/Hello/Stats/Cancel
-        // stay answerable on an overloaded server.
+        // stay answerable on an overloaded server. The header's tenant
+        // picks the fairness bucket (empty = default).
         ResourceGovernor::AdmitTicket ticket;
-        Status admitted = governor_.TryAdmit(&ticket);
+        Status admitted = governor_.TryAdmit(header_or->rpc.tenant, &ticket);
         if (!admitted.ok()) {
           response = EncodeErrorResponse(admitted);
           break;
@@ -403,6 +408,16 @@ ServerStatsReply Server::stats() const {
   reply.queries_shed = governor_.shed();
   reply.result_bytes_in_use = governor_.bytes_in_use();
   reply.result_bytes_peak = governor_.peak_bytes();
+  for (const auto& tenant : governor_.tenant_stats()) {
+    ServerStatsReply::TenantStats entry;
+    entry.name = tenant.name;
+    entry.in_flight = tenant.in_flight;
+    entry.peak_in_flight = tenant.peak_in_flight;
+    entry.admitted = tenant.admitted;
+    entry.shed = tenant.shed;
+    entry.cap = tenant.cap;
+    reply.tenants.push_back(std::move(entry));
+  }
   if (options_.stats_decorator) options_.stats_decorator(&reply);
   return reply;
 }

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -62,6 +63,14 @@ struct ServerOptions {
   /// per-chunk buffer: ~29 bytes/point encoded, so the default is ~1 MiB
   /// chunks.
   uint64_t stream_chunk_points = 32768;
+  /// Per-tenant fair admission (v5): flat in-flight cap applied to every
+  /// tenant without an explicit weight. 0 = tenants share only the
+  /// global budget (but are still counted once any of this or
+  /// tenant_weights is set, or a request names a tenant).
+  uint64_t per_tenant_max_queries = 0;
+  /// Weighted tenant shares: tenant name -> weight. Each listed tenant
+  /// gets max(1, max_concurrent_queries * w / total_w) in-flight slots.
+  std::map<std::string, double> tenant_weights;
   /// Optional hook run on every stats() snapshot (local and remote) after
   /// the transport counters are filled in. The embedding service uses it
   /// to merge subsystem gauges — e.g. the mediator result-cache counters —

@@ -118,12 +118,65 @@ if [ ! -s "$CACHE_JSON" ]; then
 fi
 echo "mediator-cache smoke: ok ($CACHE_JSON)"
 
+# Multi-tenant load-harness smoke against the real binaries: a two-shard
+# server with per-tenant admission caps, driven by the open-loop
+# generator with a nominal and a flooding tenant over the mixed
+# threshold / streamed / FoF workload. The harness itself exits nonzero
+# on any protocol error or an all-failed run; on top of that, the
+# BENCH_load.json it writes must report nonzero latency percentiles for
+# every tenant (zeros would mean the open-loop clock or the percentile
+# math regressed silently).
+LOAD_SMOKE_PORT="${LOAD_SMOKE_PORT:-7983}"
+LOAD_JSON="$BUILD_DIR/BENCH_load_smoke.json"
+rm -f "$LOAD_JSON"
+"$BUILD_DIR/tools/turbdb_server" --port "$LOAD_SMOKE_PORT" --n 32 \
+  --nodes 2 --timesteps 1 --max-concurrent-queries 8 \
+  --per-tenant-max-queries 2 &
+LOAD_SMOKE_PID=$!
+trap 'kill "$LOAD_SMOKE_PID" 2>/dev/null || true' EXIT
+CLI="$BUILD_DIR/tools/turbdb_cli"
+for _ in $(seq 1 60); do
+  if "$CLI" --connect "127.0.0.1:$LOAD_SMOKE_PORT" ping >/dev/null 2>&1; then
+    break
+  fi
+  sleep 0.5
+done
+"$BUILD_DIR/tools/turbdb_loadgen" --connect "127.0.0.1:$LOAD_SMOKE_PORT" \
+  --tenant nominal=10 --tenant flooder=100 --connections 4 \
+  --duration-s 4 --n 32 --json "$LOAD_JSON"
+# The per-tenant counters must also be visible over the stats RPC.
+"$CLI" --connect "127.0.0.1:$LOAD_SMOKE_PORT" server-stats --json \
+  | grep -q '"name": "nominal"' || {
+    echo "loadgen smoke: tenant counters missing from server-stats" >&2
+    exit 1
+  }
+kill "$LOAD_SMOKE_PID" 2>/dev/null || true
+wait "$LOAD_SMOKE_PID" 2>/dev/null || true
+trap - EXIT
+if [ ! -s "$LOAD_JSON" ]; then
+  echo "loadgen smoke: $LOAD_JSON was not written" >&2
+  exit 1
+fi
+for q in p50_ms p99_ms p999_ms; do
+  if grep -q "\"$q\": 0\.000" "$LOAD_JSON"; then
+    echo "loadgen smoke: a tenant reported a zero $q percentile" >&2
+    exit 1
+  fi
+done
+if ! grep -q '"protocol_errors": 0$' "$LOAD_JSON"; then
+  echo "loadgen smoke: protocol errors reported in $LOAD_JSON" >&2
+  exit 1
+fi
+echo "loadgen smoke: ok ($LOAD_JSON)"
+
 # Race-check the failover path: the replica-group health tracking and
 # re-sync run concurrently with scatter-gathered sub-queries, so the
 # replication tests get a dedicated ThreadSanitizer build. Faults stay on
 # here so the chaos drills race-check cancellation and breaker state too.
 # The streaming/admission suites ride along: chunked emits, governor
-# accounting and shed-vs-admit all cross threads.
+# accounting and shed-vs-admit all cross threads. So do the distributed
+# FoF stitch (per-shard results join from concurrent sub-queries) and
+# the tenant fairness drill (governor buckets hit from many workers).
 if [ "$SANITIZE" != "thread" ]; then
   TSAN_DIR="$ROOT/build-tsan"
   cmake -B "$TSAN_DIR" -S "$ROOT" \
@@ -133,6 +186,6 @@ if [ "$SANITIZE" != "thread" ]; then
     -DTURBDB_BUILD_BENCHMARKS=OFF -DTURBDB_BUILD_EXAMPLES=OFF
   cmake --build "$TSAN_DIR" -j "$JOBS"
   ctest --test-dir "$TSAN_DIR" \
-    -R "ReplicationTest|ChaosTest|AdmissionControlTest|StreamedThreshold" \
+    -R "ReplicationTest|ChaosTest|AdmissionControlTest|StreamedThreshold|FofClusterTest|TenantFairnessTest" \
     --output-on-failure --timeout 300
 fi

@@ -55,6 +55,17 @@ struct CliOptions {
   int64_t deadline_ms = 0;
   /// Threshold replies arrive chunked (--connect only).
   bool stream = false;
+  /// Tenant name stamped into every request (--connect only); the server
+  /// bills admission to this tenant's fairness bucket.
+  std::string tenant;
+  /// Machine-readable output (server-stats, cluster-status).
+  bool json = false;
+  /// FoF linking length in grid units (fof command).
+  double linking_length = 2.0;
+  /// Clusters smaller than this are dropped (fof command).
+  int64_t min_cluster_size = 1;
+  /// Ship each cluster's member points, not just the summary rows.
+  bool members = false;
   bool help = false;
   std::string command;
   std::vector<std::string> args;
@@ -70,6 +81,10 @@ void PrintUsage() {
       "                             scales by the measured RMS (e.g. 4.5rms)\n"
       "  pdf <field>                histogram of the norm (RMS-wide bins)\n"
       "  topk <field> <k>           the k strongest locations\n"
+      "  fof <field> <k>            friends-of-friends clusters of the\n"
+      "                             threshold set (--connect only); see\n"
+      "                             --linking-length, --min-cluster-size,\n"
+      "                             --members\n"
       "  fields                     list available derived fields (local)\n"
       "  ping                       round-trip probe (--connect only)\n"
       "  server-stats               server request counters, governor and\n"
@@ -104,6 +119,19 @@ void PrintUsage() {
       "                   frames instead of one buffered response\n"
       "                   (--connect only); same points, bounded server\n"
       "                   memory\n"
+      "  --tenant NAME    bill requests to this tenant's fairness bucket\n"
+      "                   (--connect only); default is the shared\n"
+      "                   \"default\" bucket\n"
+      "  --json           machine-readable output with stable keys\n"
+      "                   (server-stats, cluster-status)\n"
+      "  --linking-length L\n"
+      "                   FoF linking length in grid units (default 2.0);\n"
+      "                   must not exceed the dataset's atom width\n"
+      "  --min-cluster-size M\n"
+      "                   drop FoF clusters smaller than M points\n"
+      "                   (default 1)\n"
+      "  --members        stream each FoF cluster's member points, not\n"
+      "                   just its summary row\n"
       "  --topology T     comma-separated host:port list of turbdb_node\n"
       "                   processes (cluster-status)\n"
       "  --replication-factor R\n"
@@ -192,6 +220,29 @@ bool ParseArgs(int argc, char** argv, CliOptions* options,
       options->replication_factor = static_cast<int>(value);
     } else if (arg == "--stream") {
       options->stream = true;
+    } else if (arg == "--tenant") {
+      if (!next_str(&options->tenant)) return false;
+    } else if (arg == "--json") {
+      options->json = true;
+    } else if (arg == "--linking-length") {
+      std::string spec;
+      if (!next_str(&spec)) return false;
+      char* end = nullptr;
+      options->linking_length = std::strtod(spec.c_str(), &end);
+      if (end == nullptr || *end != '\0' || options->linking_length <= 0.0) {
+        *error = "--linking-length expects a positive number, got '" + spec +
+                 "'";
+        return false;
+      }
+    } else if (arg == "--min-cluster-size") {
+      if (!next(&value)) return false;
+      if (value < 1) {
+        *error = "--min-cluster-size must be >= 1";
+        return false;
+      }
+      options->min_cluster_size = value;
+    } else if (arg == "--members") {
+      options->members = true;
     } else if (arg == "--deadline-ms") {
       if (!next(&value)) return false;
       if (value < 0) {
@@ -202,10 +253,12 @@ bool ParseArgs(int argc, char** argv, CliOptions* options,
     } else if (arg.rfind("--", 0) == 0 || (arg.size() > 1 && arg[0] == '-')) {
       *error = "unknown option " + arg;
       return false;
-    } else {
+    } else if (options->command.empty()) {
       options->command = arg;
-      for (++i; i < argc; ++i) options->args.push_back(argv[i]);
-      break;
+    } else {
+      // Keep scanning after the command so trailing flags work too
+      // (`server-stats --json`, `fof vorticity 3rms --members`).
+      options->args.push_back(arg);
     }
   }
   if (options->command.empty()) {
@@ -213,6 +266,30 @@ bool ParseArgs(int argc, char** argv, CliOptions* options,
     return false;
   }
   return true;
+}
+
+/// Minimal JSON string escaping for the --json output modes (tenant
+/// names and addresses are the only free-form strings we emit).
+std::string JsonEscape(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  for (const char c : in) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
 }
 
 /// The raw field a derived field is computed from on this dataset.
@@ -402,7 +479,7 @@ bool ValidateCommand(const CliOptions& options, std::string* error) {
     }
     return true;
   }
-  if (cmd == "threshold" || cmd == "topk") {
+  if (cmd == "threshold" || cmd == "topk" || cmd == "fof") {
     if (options.args.size() < 2) {
       *error = cmd + " needs <derived-field> and <value> arguments";
       return false;
@@ -431,9 +508,12 @@ int RunClusterStatus(const CliOptions& options) {
                  topology.size(), replication);
     return 2;
   }
-  std::printf("%-4s %-21s %-6s %-8s %-6s %-12s %s\n", "node", "address",
-              "shard", "role", "state", "epoch", "atoms");
+  if (!options.json) {
+    std::printf("%-4s %-21s %-6s %-8s %-6s %-12s %s\n", "node", "address",
+                "shard", "role", "state", "epoch", "atoms");
+  }
   int down = 0;
+  std::string json_rows;
   for (size_t i = 0; i < topology.size(); ++i) {
     const NodeAddress& address = topology.nodes[i];
     const int shard = static_cast<int>(i) / replication;
@@ -445,23 +525,49 @@ int RunClusterStatus(const CliOptions& options) {
     client_options.max_retries = 0;
     net::Client client(address.host, address.port, client_options);
     auto hello = client.Hello();
-    if (!hello.ok()) {
-      ++down;
-      std::printf("%-4zu %-21s %-6d %-8s %-6s %-12s %s\n", i,
-                  address.ToString().c_str(), shard, role, "down", "-", "-");
-      continue;
-    }
+    uint64_t epoch = 0;
     uint64_t atoms = 0;
-    auto stores = client.NodeListStores();
-    if (stores.ok()) {
-      for (const net::NodeStoreInfo& store : stores->stores) {
-        atoms += store.atoms;
+    const bool up = hello.ok();
+    if (!up) {
+      ++down;
+    } else {
+      epoch = hello->epoch;
+      auto stores = client.NodeListStores();
+      if (stores.ok()) {
+        for (const net::NodeStoreInfo& store : stores->stores) {
+          atoms += store.atoms;
+        }
       }
     }
-    std::printf("%-4zu %-21s %-6d %-8s %-6s %-12llu %llu\n", i,
-                address.ToString().c_str(), shard, role, "up",
-                static_cast<unsigned long long>(hello->epoch),
-                static_cast<unsigned long long>(atoms));
+    if (options.json) {
+      // Stable keys (append-only): node, address, shard, role, state,
+      // epoch, atoms.
+      char row[256];
+      std::snprintf(row, sizeof(row),
+                    "%s\n    {\"node\": %zu, \"address\": \"%s\", "
+                    "\"shard\": %d, \"role\": \"%s\", \"state\": \"%s\", "
+                    "\"epoch\": %llu, \"atoms\": %llu}",
+                    json_rows.empty() ? "" : ",", i,
+                    JsonEscape(address.ToString()).c_str(), shard, role,
+                    up ? "up" : "down",
+                    static_cast<unsigned long long>(epoch),
+                    static_cast<unsigned long long>(atoms));
+      json_rows += row;
+    } else if (!up) {
+      std::printf("%-4zu %-21s %-6d %-8s %-6s %-12s %s\n", i,
+                  address.ToString().c_str(), shard, role, "down", "-", "-");
+    } else {
+      std::printf("%-4zu %-21s %-6d %-8s %-6s %-12llu %llu\n", i,
+                  address.ToString().c_str(), shard, role, "up",
+                  static_cast<unsigned long long>(epoch),
+                  static_cast<unsigned long long>(atoms));
+    }
+  }
+  if (options.json) {
+    std::printf(
+        "{\n  \"replication_factor\": %d,\n  \"nodes_down\": %d,\n"
+        "  \"nodes\": [%s%s]\n}\n",
+        replication, down, json_rows.c_str(), json_rows.empty() ? "" : "\n  ");
   }
   return down == 0 ? 0 : 3;
 }
@@ -474,6 +580,7 @@ int RunRemote(const CliOptions& options) {
     return 2;
   }
   net::ClientOptions client_options;
+  client_options.tenant = options.tenant;
   if (options.deadline_ms > 0) {
     client_options.deadline_ms = static_cast<uint64_t>(options.deadline_ms);
     // Let the response frame outlive the budget, so exhaustion surfaces
@@ -497,6 +604,66 @@ int RunRemote(const CliOptions& options) {
   if (options.command == "server-stats") {
     auto stats = client.ServerStats();
     if (!stats.ok()) return ReportFailure(stats.status(), options.deadline_ms);
+    if (options.json) {
+      // Stable keys: scripts (tools/check.sh, the load harness) parse
+      // this, so keys are append-only — never renamed or removed.
+      std::printf("{\n");
+      std::printf("  \"requests_ok\": %llu,\n",
+                  static_cast<unsigned long long>(stats->requests_ok));
+      std::printf("  \"requests_error\": %llu,\n",
+                  static_cast<unsigned long long>(stats->requests_error));
+      std::printf("  \"bytes_in\": %llu,\n",
+                  static_cast<unsigned long long>(stats->bytes_in));
+      std::printf("  \"bytes_out\": %llu,\n",
+                  static_cast<unsigned long long>(stats->bytes_out));
+      std::printf("  \"connections_accepted\": %llu,\n",
+                  static_cast<unsigned long long>(stats->connections_accepted));
+      std::printf("  \"active_connections\": %llu,\n",
+                  static_cast<unsigned long long>(stats->active_connections));
+      std::printf("  \"p50_latency_ms\": %.3f,\n", stats->p50_latency_ms);
+      std::printf("  \"p99_latency_ms\": %.3f,\n", stats->p99_latency_ms);
+      std::printf("  \"queries_in_flight\": %llu,\n",
+                  static_cast<unsigned long long>(stats->queries_in_flight));
+      std::printf("  \"queries_admitted\": %llu,\n",
+                  static_cast<unsigned long long>(stats->queries_admitted));
+      std::printf("  \"queries_shed\": %llu,\n",
+                  static_cast<unsigned long long>(stats->queries_shed));
+      std::printf("  \"result_bytes_in_use\": %llu,\n",
+                  static_cast<unsigned long long>(stats->result_bytes_in_use));
+      std::printf("  \"result_bytes_peak\": %llu,\n",
+                  static_cast<unsigned long long>(stats->result_bytes_peak));
+      std::printf("  \"cache_hits\": %llu,\n",
+                  static_cast<unsigned long long>(stats->cache_hits));
+      std::printf("  \"cache_misses\": %llu,\n",
+                  static_cast<unsigned long long>(stats->cache_misses));
+      std::printf(
+          "  \"cache_subsumption_hits\": %llu,\n",
+          static_cast<unsigned long long>(stats->cache_subsumption_hits));
+      std::printf("  \"cache_evictions\": %llu,\n",
+                  static_cast<unsigned long long>(stats->cache_evictions));
+      std::printf("  \"cache_entries\": %llu,\n",
+                  static_cast<unsigned long long>(stats->cache_entries));
+      std::printf("  \"cache_bytes\": %llu,\n",
+                  static_cast<unsigned long long>(stats->cache_bytes));
+      std::printf("  \"cache_pinned_bytes\": %llu,\n",
+                  static_cast<unsigned long long>(stats->cache_pinned_bytes));
+      std::printf("  \"tenants\": [");
+      for (size_t i = 0; i < stats->tenants.size(); ++i) {
+        const auto& tenant = stats->tenants[i];
+        std::printf(
+            "%s\n    {\"name\": \"%s\", \"in_flight\": %llu, "
+            "\"peak_in_flight\": %llu, \"admitted\": %llu, "
+            "\"shed\": %llu, \"cap\": %llu}",
+            i == 0 ? "" : ",", JsonEscape(tenant.name).c_str(),
+            static_cast<unsigned long long>(tenant.in_flight),
+            static_cast<unsigned long long>(tenant.peak_in_flight),
+            static_cast<unsigned long long>(tenant.admitted),
+            static_cast<unsigned long long>(tenant.shed),
+            static_cast<unsigned long long>(tenant.cap));
+      }
+      std::printf("%s]\n}\n", stats->tenants.empty() ? "" : "\n  ");
+      return 0;
+    }
     std::printf(
         "requests ok       %llu\n"
         "requests error    %llu\n"
@@ -533,6 +700,95 @@ int RunRemote(const CliOptions& options) {
         static_cast<unsigned long long>(stats->cache_entries),
         static_cast<unsigned long long>(stats->cache_bytes),
         static_cast<unsigned long long>(stats->cache_pinned_bytes));
+    if (!stats->tenants.empty()) {
+      std::printf("%-16s %9s %9s %9s %9s %9s\n", "tenant", "inflight",
+                  "peak", "admitted", "shed", "cap");
+      for (const auto& tenant : stats->tenants) {
+        std::printf("%-16s %9llu %9llu %9llu %9llu %9llu\n",
+                    tenant.name.c_str(),
+                    static_cast<unsigned long long>(tenant.in_flight),
+                    static_cast<unsigned long long>(tenant.peak_in_flight),
+                    static_cast<unsigned long long>(tenant.admitted),
+                    static_cast<unsigned long long>(tenant.shed),
+                    static_cast<unsigned long long>(tenant.cap));
+      }
+    }
+    return 0;
+  }
+  if (options.command == "fof") {
+    const std::string derived = options.args[0];
+    const std::string raw = RawFieldFor(derived);
+    std::string value = options.args[1];
+    double threshold;
+    double rms = 0.0;
+    const size_t rms_pos = value.find("rms");
+    if (rms_pos != std::string::npos) {
+      FieldStatsQuery stats_query;
+      stats_query.dataset = "mhd";
+      stats_query.raw_field = raw;
+      stats_query.derived_field = derived;
+      stats_query.timestep = options.timestep;
+      stats_query.box = Box3::WholeGrid(options.n, options.n, options.n);
+      stats_query.fd_order = options.fd_order;
+      auto stats = client.FieldStats(stats_query);
+      if (!stats.ok()) {
+        return ReportFailure(stats.status(), options.deadline_ms);
+      }
+      rms = stats->rms;
+      threshold = std::strtod(value.substr(0, rms_pos).c_str(), nullptr) * rms;
+    } else {
+      threshold = std::strtod(value.c_str(), nullptr);
+    }
+    net::FofRequest request;
+    request.query.dataset = "mhd";
+    request.query.raw_field = raw;
+    request.query.derived_field = derived;
+    request.query.timestep = options.timestep;
+    request.query.box = Box3::WholeGrid(options.n, options.n, options.n);
+    request.query.threshold = threshold;
+    request.query.fd_order = options.fd_order;
+    request.linking_length = options.linking_length;
+    request.min_cluster_size =
+        static_cast<uint64_t>(options.min_cluster_size);
+    request.include_members = options.members;
+    auto result = client.Fof(request);
+    if (!result.ok()) return ReportFailure(result.status(), options.deadline_ms);
+    std::printf("%llu clusters over %llu points with |%s| >= %.4f "
+                "(linking length %.2f, min size %llu)\n",
+                static_cast<unsigned long long>(result->summary.clusters),
+                static_cast<unsigned long long>(result->summary.points),
+                derived.c_str(), threshold, options.linking_length,
+                static_cast<unsigned long long>(options.min_cluster_size));
+    std::printf("largest cluster: %llu points\n",
+                static_cast<unsigned long long>(
+                    result->summary.largest_cluster));
+    std::printf("modeled time: %s\n", result->summary.time.ToString().c_str());
+    const size_t shown = std::min<size_t>(10, result->clusters.size());
+    if (shown > 0) {
+      std::printf("%-12s %8s %-20s %10s %s\n", "id", "size", "centroid",
+                  "peak", rms > 0.0 ? "(rms)" : "");
+    }
+    for (size_t i = 0; i < shown; ++i) {
+      const net::FofClusterRecord& cluster = result->clusters[i];
+      char centroid[64];
+      std::snprintf(centroid, sizeof(centroid), "(%.1f, %.1f, %.1f)",
+                    cluster.centroid[0], cluster.centroid[1],
+                    cluster.centroid[2]);
+      if (rms > 0.0) {
+        std::printf("%-12llu %8llu %-20s %10.4f (%.2f rms)\n",
+                    static_cast<unsigned long long>(cluster.id),
+                    static_cast<unsigned long long>(cluster.size), centroid,
+                    cluster.max_norm, cluster.max_norm / rms);
+      } else {
+        std::printf("%-12llu %8llu %-20s %10.4f\n",
+                    static_cast<unsigned long long>(cluster.id),
+                    static_cast<unsigned long long>(cluster.size), centroid,
+                    cluster.max_norm);
+      }
+    }
+    if (result->clusters.size() > shown) {
+      std::printf("  ... %zu more\n", result->clusters.size() - shown);
+    }
     return 0;
   }
   if (options.command == "drop-cache") {
@@ -658,7 +914,8 @@ int RunRemote(const CliOptions& options) {
 int RunLocal(const CliOptions& options) {
   if (options.command == "ping" || options.command == "server-stats" ||
       options.command == "cache-stats" || options.command == "cache-warm" ||
-      options.command == "cache-pin" || options.command == "cache-unpin") {
+      options.command == "cache-pin" || options.command == "cache-unpin" ||
+      options.command == "fof") {
     std::fprintf(stderr, "turbdb_cli: '%s' requires --connect\n",
                  options.command.c_str());
     return 2;

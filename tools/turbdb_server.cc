@@ -17,6 +17,7 @@
 #include <cstring>
 #include <atomic>
 #include <chrono>
+#include <map>
 #include <string>
 #include <thread>
 
@@ -59,6 +60,11 @@ struct ServerCliOptions {
   int64_t result_budget_mb = 0;
   /// Points per streamed chunk frame.
   int64_t stream_chunk_points = 32768;
+  /// Per-tenant fair admission: flat in-flight cap for tenants without an
+  /// explicit weight (0 = tenants share only the global budget).
+  int64_t per_tenant_max_queries = 0;
+  /// Weighted tenant shares of the global concurrency budget.
+  std::map<std::string, double> tenant_weights;
   /// Mediator-tier semantic result cache capacity in MiB (0 disables).
   int64_t mediator_cache_mb = 64;
   /// Cache-affinity replica routing (needs replication factor > 1).
@@ -103,6 +109,16 @@ void PrintUsage() {
       "                   cap (default 0 = unlimited)\n"
       "  --stream-chunk-points N\n"
       "                   points per streamed reply chunk (default 32768)\n"
+      "  --per-tenant-max-queries N\n"
+      "                   per-tenant fair admission: each tenant without\n"
+      "                   an explicit weight may have at most N queries in\n"
+      "                   flight; a tenant over its cap is shed while the\n"
+      "                   others keep their slots (default 0 = tenants\n"
+      "                   share only the global budget)\n"
+      "  --tenant-weight NAME=W\n"
+      "                   weighted tenant share (repeatable): NAME gets\n"
+      "                   max(1, max-concurrent-queries * W / total W)\n"
+      "                   in-flight slots\n"
       "  --mediator-cache-mb M\n"
       "                   mediator-tier semantic result cache: completed\n"
       "                   threshold results are kept at the mediator and\n"
@@ -230,6 +246,31 @@ bool ParseArgs(int argc, char** argv, ServerCliOptions* options,
         return false;
       }
       options->stream_chunk_points = value;
+    } else if (arg == "--per-tenant-max-queries") {
+      if (!next(&value)) return false;
+      if (value < 0) {
+        *error = "--per-tenant-max-queries must be non-negative";
+        return false;
+      }
+      options->per_tenant_max_queries = value;
+    } else if (arg == "--tenant-weight") {
+      if (i + 1 >= argc) {
+        *error = "option --tenant-weight requires NAME=WEIGHT";
+        return false;
+      }
+      const std::string spec = argv[++i];
+      const size_t eq = spec.find('=');
+      char* end = nullptr;
+      const double weight =
+          eq == std::string::npos ? 0.0 : std::strtod(spec.c_str() + eq + 1,
+                                                      &end);
+      if (eq == std::string::npos || eq == 0 || end == nullptr ||
+          *end != '\0' || weight <= 0.0) {
+        *error = "--tenant-weight expects NAME=WEIGHT with positive WEIGHT, "
+                 "got '" + spec + "'";
+        return false;
+      }
+      options->tenant_weights[spec.substr(0, eq)] = weight;
     } else if (arg == "--mediator-cache-mb") {
       if (!next(&value)) return false;
       if (value < 0) {
@@ -344,6 +385,9 @@ int main(int argc, char** argv) {
       static_cast<uint64_t>(options.result_budget_mb) << 20;
   server_options.stream_chunk_points =
       static_cast<uint64_t>(options.stream_chunk_points);
+  server_options.per_tenant_max_queries =
+      static_cast<uint64_t>(options.per_tenant_max_queries);
+  server_options.tenant_weights = options.tenant_weights;
   auto server_or = ServeMediator(&db->mediator(), server_options);
   if (!server_or.ok()) {
     std::fprintf(stderr, "server start failed: %s\n",
