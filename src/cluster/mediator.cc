@@ -15,6 +15,15 @@
 
 namespace turbdb {
 
+namespace {
+
+/// How many shards can join one mediator incarnation: the backends_
+/// vector reserves this much extra capacity so runtime joins append
+/// without reallocating under concurrent readers.
+constexpr size_t kJoinHeadroom = 64;
+
+}  // namespace
+
 Mediator::Mediator(const ClusterConfig& config) : config_(config) {
   registry_ = FieldRegistry::Default();
   result_cache_ = std::make_unique<MediatorCache>(config.mediator_cache_bytes);
@@ -52,6 +61,16 @@ Result<std::unique_ptr<Mediator>> Mediator::Create(
   mediator->workers_ = std::make_unique<ThreadPool>(worker_threads);
 
   if (mediator->distributed()) {
+    // The membership registry: seeded from the static topology, or
+    // recovered from the persisted file when one exists (nodes joined in
+    // a previous incarnation come back with it).
+    TURBDB_ASSIGN_OR_RETURN(
+        mediator->membership_,
+        MembershipRegistry::Open(effective.storage_dir, effective.topology));
+    // Reserve join headroom so runtime push_backs never reallocate under
+    // a concurrent Dispatch (see backend_count_).
+    mediator->backends_.reserve(static_cast<size_t>(effective.num_nodes) +
+                                kJoinHeadroom);
     // Remote scatter-gather: one ReplicaGroup per shard, fronting the R
     // consecutive turbdb_node processes that hold the shard's atom
     // range. Bring-up handshakes every member now: with R=1 a dead or
@@ -72,10 +91,31 @@ Result<std::unique_ptr<Mediator>> Mediator::Create(
       TURBDB_RETURN_NOT_OK(group->BringUp());
       mediator->backends_.push_back(std::move(group));
     }
+    // Shards joined in a previous mediator incarnation (registry file):
+    // re-dial them as single-replica groups so their overridden ranges
+    // stay served across a mediator restart.
+    for (const NodeRecord& record : mediator->membership_->Snapshot().nodes) {
+      if (record.shard < effective.num_nodes ||
+          record.role != NodeRole::kShard) {
+        continue;
+      }
+      std::vector<std::unique_ptr<RemoteNode>> members;
+      members.push_back(std::make_unique<RemoteNode>(
+          record.node_id, NodeAddress{record.host, record.port},
+          effective.remote, record.shard));
+      auto group = std::make_unique<ReplicaGroup>(
+          record.shard, std::move(members), effective.remote);
+      group->set_cache_affinity(effective.cache_affinity);
+      TURBDB_RETURN_NOT_OK(group->BringUp());
+      mediator->backends_.push_back(std::move(group));
+    }
+    mediator->backend_count_.store(mediator->backends_.size(),
+                                   std::memory_order_release);
     return mediator;
   }
 
   mediator->nodes_.reserve(static_cast<size_t>(effective.num_nodes));
+  mediator->backends_.reserve(static_cast<size_t>(effective.num_nodes));
   for (int i = 0; i < effective.num_nodes; ++i) {
     mediator->nodes_.push_back(std::make_unique<DatabaseNode>(
         i, effective.cost, effective.storage_dir));
@@ -108,6 +148,8 @@ Result<std::unique_ptr<Mediator>> Mediator::Create(
     mediator->backends_.push_back(
         std::make_unique<LocalNode>(node.get(), mediator->workers_.get()));
   }
+  mediator->backend_count_.store(mediator->backends_.size(),
+                                 std::memory_order_release);
   return mediator;
 }
 
@@ -168,9 +210,16 @@ Status Mediator::IngestTimestep(
       config_.ingest_budget_bytes == 0
           ? 0
           : std::max<uint64_t>(1, config_.ingest_budget_bytes / (2 * slices));
+  // Route each atom to the shard that *effectively* owns it: the static
+  // partitioner assignment re-homed by the membership view, so ingest
+  // lands on a joined shard's replicas once a rebalance moved ranges to
+  // it. (A shard beyond the base partitioning owns atoms only through
+  // overrides; OwnedAtoms handles both.)
+  const std::shared_ptr<const MembershipView> view = ViewSnapshot();
+  const MembershipView empty_view;
   for (int node_id = 0; node_id < num_nodes(); ++node_id) {
-    const std::vector<uint64_t> codes =
-        state->partitioner.NodeAtoms(node_id);
+    const std::vector<uint64_t> codes = OwnedAtoms(
+        state->partitioner, view != nullptr ? *view : empty_view, node_id);
     // Slice each node's shard so ingestion saturates the worker pool.
     for (size_t s = 0; s < slices; ++s) {
       const size_t begin = codes.size() * s / slices;
@@ -305,15 +354,53 @@ Result<std::vector<NodeOutcome>> Mediator::Dispatch(
     const std::function<Status(int node_id,
                                std::vector<ThresholdPoint> points)>&
         point_sink) {
+  // A sub-query bounced with kWrongOwner means a cutover raced this
+  // dispatch: the snapshot it was routed under predates an ownership
+  // change. Re-snapshot and re-scatter — but only while nothing has
+  // streamed to the sink yet (a partially consumed stream cannot be
+  // replayed without duplicating points).
+  uint64_t points_sunk = 0;
+  std::function<Status(int, std::vector<ThresholdPoint>)> counted_sink;
+  if (point_sink != nullptr) {
+    counted_sink = [&](int node_id, std::vector<ThresholdPoint> points) {
+      points_sunk += points.size();
+      return point_sink(node_id, std::move(points));
+    };
+  }
+  constexpr int kMaxAttempts = 3;
+  for (int attempt = 1;; ++attempt) {
+    auto outcomes = DispatchOnce(node_query, budget, counted_sink);
+    if (outcomes.ok() || attempt >= kMaxAttempts || points_sunk > 0 ||
+        outcomes.status().code() != StatusCode::kWrongOwner) {
+      return outcomes;
+    }
+    TURBDB_LOG(Info) << "dispatch raced a membership cutover ("
+                     << outcomes.status().message()
+                     << "); retrying under a fresh view";
+  }
+}
+
+Result<std::vector<NodeOutcome>> Mediator::DispatchOnce(
+    const NodeQuery& node_query, const CallBudget& budget,
+    const std::function<Status(int node_id,
+                               std::vector<ThresholdPoint> points)>&
+        point_sink) {
   // Split the query along the spatial layout and submit each part
-  // asynchronously to the node storing the data (Fig. 1).
+  // asynchronously to the node storing the data (Fig. 1). Under a
+  // membership view, the split follows *effective* ownership: a shard
+  // participates iff the view assigns it atoms inside the box, which is
+  // how joined shards enter routing and moved ranges leave their donor.
   const Box3 cover =
       node_query.dataset->geometry.AtomCover(node_query.box);
+  const std::shared_ptr<const MembershipView> view = ViewSnapshot();
   std::vector<int> participants;
   for (int i = 0; i < num_nodes(); ++i) {
-    if (!node_query.partitioner->NodeAtomsInBox(i, cover).empty()) {
-      participants.push_back(i);
-    }
+    const bool owns =
+        view != nullptr
+            ? !OwnedAtomsInBox(*node_query.partitioner, *view, i, cover)
+                   .empty()
+            : !node_query.partitioner->NodeAtomsInBox(i, cover).empty();
+    if (owns) participants.push_back(i);
   }
 
   // Interruption plumbing: one cancel token shared by every sub-query
@@ -321,6 +408,7 @@ Result<std::vector<NodeOutcome>> Mediator::Dispatch(
   // under which remote nodes register the sub-queries, and the tighter
   // of the caller's deadline and the per-sub-query budget.
   NodeQuery query = node_query;
+  query.view = view;
   query.query_id = MixSeed(reinterpret_cast<uintptr_t>(this),
                            query_counter_.fetch_add(1));
   if (query.query_id == 0) query.query_id = 1;
@@ -1090,10 +1178,14 @@ uint64_t Mediator::affinity_routes() const {
 
 std::vector<ClusterNodeStatus> Mediator::ClusterStatus() const {
   std::vector<ClusterNodeStatus> rows;
-  for (const auto& backend : backends_) {
-    const auto* group = dynamic_cast<const ReplicaGroup*>(backend.get());
+  const int total = num_nodes();
+  for (int g = 0; g < total; ++g) {
+    auto* group = const_cast<ReplicaGroup*>(dynamic_cast<const ReplicaGroup*>(
+        backends_[static_cast<size_t>(g)].get()));
     if (group == nullptr) continue;  // In-process deployment.
-    for (const ReplicaGroup::MemberStatus& member : group->Snapshot()) {
+    const std::vector<ReplicaGroup::MemberStatus> members = group->Snapshot();
+    for (size_t r = 0; r < members.size(); ++r) {
+      const ReplicaGroup::MemberStatus& member = members[r];
       ClusterNodeStatus row;
       row.node_id = member.node_id;
       row.shard = group->id();
@@ -1102,10 +1194,341 @@ std::vector<ClusterNodeStatus> Mediator::ClusterStatus() const {
       row.epoch = member.epoch;
       row.failovers = member.failovers;
       row.address = member.address;
+      // Live stats row (WAL lag, generation): best-effort — a member
+      // that does not answer keeps the zero defaults.
+      if (member.healthy) {
+        auto stats = group->member_node(static_cast<int>(r))->Stats("", "");
+        if (stats.ok()) {
+          row.generation = stats->generation;
+          row.wal_pending_records = stats->wal_pending_records;
+          row.wal_pending_bytes = stats->wal_pending_bytes;
+        }
+      }
       rows.push_back(std::move(row));
     }
   }
   return rows;
+}
+
+// ---------------------------------------------------------------------------
+// Elasticity: membership, join/leave, live range moves (v6)
+// ---------------------------------------------------------------------------
+
+MembershipView Mediator::Membership() const {
+  if (membership_ == nullptr) return MembershipView{};
+  return membership_->Snapshot();
+}
+
+uint64_t Mediator::generation() const {
+  return membership_ == nullptr ? 0 : membership_->generation();
+}
+
+std::shared_ptr<const MembershipView> Mediator::ViewSnapshot() const {
+  if (membership_ == nullptr) return nullptr;
+  return std::make_shared<const MembershipView>(membership_->Snapshot());
+}
+
+Result<ReplicaGroup*> Mediator::Group(int shard) const {
+  if (shard < 0 || shard >= num_nodes()) {
+    return Status::InvalidArgument("no shard " + std::to_string(shard));
+  }
+  auto* group = dynamic_cast<ReplicaGroup*>(
+      backends_[static_cast<size_t>(shard)].get());
+  if (group == nullptr) {
+    return Status::NotSupported("shard " + std::to_string(shard) +
+                                " is not a remote replica group");
+  }
+  return group;
+}
+
+std::vector<std::vector<uint64_t>> Mediator::ComputeShardAtoms(
+    const MembershipView& view) const {
+  std::vector<std::vector<uint64_t>> shard_atoms(
+      static_cast<size_t>(num_nodes()));
+  for (const auto& entry : datasets_) {
+    const MortonPartitioner& partitioner = entry.second->partitioner;
+    for (int b = 0; b < partitioner.num_nodes(); ++b) {
+      for (uint64_t code : partitioner.NodeAtoms(b)) {
+        const int owner = view.OwnerOf(code, b);
+        if (owner >= 0 && owner < static_cast<int>(shard_atoms.size())) {
+          shard_atoms[static_cast<size_t>(owner)].push_back(code);
+        }
+      }
+    }
+  }
+  for (auto& codes : shard_atoms) {
+    std::sort(codes.begin(), codes.end());
+    codes.erase(std::unique(codes.begin(), codes.end()), codes.end());
+  }
+  return shard_atoms;
+}
+
+Status Mediator::PushMembershipLocked() {
+  const MembershipView view = membership_->Snapshot();
+  Status first;
+  const int total = num_nodes();
+  for (int g = 0; g < total; ++g) {
+    auto* group = dynamic_cast<ReplicaGroup*>(
+        backends_[static_cast<size_t>(g)].get());
+    if (group == nullptr) continue;
+    Status status = group->PushMembership(view);
+    if (!status.ok() && first.ok()) first = status;
+  }
+  // Best effort: a down member misses the push and installs the current
+  // view when its restart resync probes it; the generation fence covers
+  // the window either way.
+  if (!first.ok()) {
+    TURBDB_LOG(Warning) << "membership push (generation " << view.generation
+                        << ") incomplete: " << first.ToString();
+  }
+  return Status::OK();
+}
+
+Result<RangeMover::Outcome> Mediator::ExecuteMoveLocked(
+    const RangeMove& move) {
+  TURBDB_ASSIGN_OR_RETURN(ReplicaGroup * donor, Group(move.from_shard));
+  TURBDB_ASSIGN_OR_RETURN(ReplicaGroup * recipient, Group(move.to_shard));
+  RangeMoverHooks hooks;
+  hooks.begin_handoff = [&](const RangeMove& m) -> Status {
+    net::BeginHandoffRequest request;
+    request.begin = m.begin;
+    request.end = m.end;
+    request.from_shard = m.from_shard;
+    request.to_shard = m.to_shard;
+    TURBDB_RETURN_NOT_OK(donor->BeginHandoff(request));
+    return recipient->BeginHandoff(request);
+  };
+  hooks.copy_range = [&](const RangeMove& m) -> Result<uint64_t> {
+    // Page every (dataset, field, timestep) slice of the range from the
+    // donor group into every replica of the recipient, skip-existing so
+    // a retried move (crash between copy and cutover) converges.
+    uint64_t copied = 0;
+    for (const auto& entry : datasets_) {
+      const DatasetInfo& info = entry.second->info;
+      for (const auto& field : info.raw_fields) {
+        for (int32_t ts = 0; ts < info.num_timesteps; ++ts) {
+          net::NodeSyncRangeRequest request;
+          request.dataset = info.name;
+          request.field = field.name;
+          request.timestep = ts;
+          request.begin_code = m.begin;
+          request.end_code = m.end;
+          request.max_atoms = 256;
+          while (true) {
+            auto page = donor->SyncRange(request);
+            if (!page.ok()) {
+              // The donor never opened this (dataset, field) store:
+              // nothing of it to move.
+              if (page.status().code() == StatusCode::kNotFound) break;
+              return page.status();
+            }
+            if (!page->atoms.empty()) {
+              TURBDB_RETURN_NOT_OK(recipient->IngestSkippingExisting(
+                  info.name, field.name, page->atoms));
+              copied += page->atoms.size();
+            }
+            if (page->done) break;
+            request.begin_code = page->next_code;
+          }
+        }
+      }
+    }
+    return copied;
+  };
+  hooks.cutover = [&](const RangeMove& m) -> Result<uint64_t> {
+    TURBDB_ASSIGN_OR_RETURN(
+        const uint64_t new_generation,
+        membership_->ApplyOverride(m.begin, m.end, m.to_shard));
+    net::CutoverRequest request;
+    request.begin = m.begin;
+    request.end = m.end;
+    request.from_shard = m.from_shard;
+    request.to_shard = m.to_shard;
+    request.view = membership_->Snapshot();
+    // Donor and recipient must fence: their ownership changed. The rest
+    // of the cluster is updated best-effort right after.
+    TURBDB_RETURN_NOT_OK(donor->Cutover(request));
+    TURBDB_RETURN_NOT_OK(recipient->Cutover(request));
+    TURBDB_RETURN_NOT_OK(PushMembershipLocked());
+    TURBDB_LOG(Info) << "range [" << m.begin << ", " << m.end
+                     << ") cut over from shard " << m.from_shard
+                     << " to shard " << m.to_shard << " at generation "
+                     << new_generation;
+    return new_generation;
+  };
+  return RangeMover::Execute(move, hooks);
+}
+
+Result<net::JoinReply> Mediator::Join(const net::JoinRequest& request) {
+  if (!elastic()) {
+    return Status::NotSupported(
+        "membership join requires a distributed mediator");
+  }
+  // The admit phase may announce port 0 (the joiner has not bound yet);
+  // the activate phase must carry the real port, since it is what the
+  // mediator dials and persists for post-restart re-dial.
+  if (request.uuid.empty() || request.host.empty() ||
+      (request.activate && request.port == 0)) {
+    return Status::InvalidArgument("join needs a uuid, host and port");
+  }
+  std::lock_guard<std::mutex> lock(membership_mutex_);
+  net::JoinReply reply;
+  if (!request.activate) {
+    TURBDB_ASSIGN_OR_RETURN(
+        reply.record,
+        membership_->Admit(request.uuid, request.host, request.port));
+    reply.view = membership_->Snapshot();
+    // The catalog the joiner self-registers from; the partitioners stay
+    // base-sized (the view's overrides re-home codes, never the
+    // partitioning itself).
+    for (const auto& entry : datasets_) {
+      net::WireDatasetRegistration reg;
+      reg.info = entry.second->info;
+      reg.num_nodes = entry.second->partitioner.num_nodes();
+      reg.strategy = static_cast<int32_t>(config_.partition_strategy);
+      reply.registrations.push_back(std::move(reg));
+    }
+    return reply;
+  }
+  // Re-admit first: idempotent, and it refreshes the persisted address
+  // when the joiner bound an ephemeral port after the admit phase.
+  TURBDB_RETURN_NOT_OK(
+      membership_->Admit(request.uuid, request.host, request.port).status());
+  TURBDB_ASSIGN_OR_RETURN(reply.record, membership_->Activate(request.uuid));
+  if (reply.record.shard >= num_nodes()) {
+    if (backends_.size() == backends_.capacity()) {
+      return Status::Unavailable(
+          "join headroom exhausted: this mediator incarnation already "
+          "admitted " +
+          std::to_string(kJoinHeadroom) + " shards");
+    }
+    std::vector<std::unique_ptr<RemoteNode>> members;
+    members.push_back(std::make_unique<RemoteNode>(
+        reply.record.node_id, NodeAddress{request.host, request.port},
+        config_.remote, reply.record.shard));
+    auto group = std::make_unique<ReplicaGroup>(
+        reply.record.shard, std::move(members), config_.remote);
+    group->set_cache_affinity(config_.cache_affinity);
+    TURBDB_RETURN_NOT_OK(group->BringUp());
+    backends_.push_back(std::move(group));
+    backend_count_.store(backends_.size(), std::memory_order_release);
+  }
+  TURBDB_RETURN_NOT_OK(PushMembershipLocked());
+  reply.view = membership_->Snapshot();
+  TURBDB_LOG(Info) << "node " << reply.record.node_id << " ("
+                   << request.host << ":" << request.port
+                   << ") joined as shard " << reply.record.shard
+                   << " at generation " << reply.view.generation;
+  return reply;
+}
+
+Result<net::LeaveReply> Mediator::Leave(int node_id) {
+  if (!elastic()) {
+    return Status::NotSupported(
+        "decommission requires a distributed mediator");
+  }
+  std::lock_guard<std::mutex> lock(membership_mutex_);
+  MembershipView view = membership_->Snapshot();
+  const NodeRecord* record = view.FindByNodeId(node_id);
+  if (record == nullptr) {
+    return Status::NotFound("no node " + std::to_string(node_id) +
+                            " in the membership");
+  }
+  const int shard = record->shard;
+  net::LeaveReply reply;
+  // Drain the shard: move every contiguous run of codes it effectively
+  // owns to the least-loaded remaining active shard, one live move per
+  // run (copy, cutover, push).
+  while (true) {
+    view = membership_->Snapshot();
+    const std::vector<std::vector<uint64_t>> shard_atoms =
+        ComputeShardAtoms(view);
+    if (shard >= static_cast<int>(shard_atoms.size()) ||
+        shard_atoms[static_cast<size_t>(shard)].empty()) {
+      break;
+    }
+    // Least-loaded active shard other than the leaver.
+    int target = -1;
+    uint64_t target_load = UINT64_MAX;
+    for (const NodeRecord& n : view.nodes) {
+      if (n.shard == shard || n.role == NodeRole::kDraining) continue;
+      const uint64_t load =
+          n.shard < static_cast<int>(shard_atoms.size())
+              ? shard_atoms[static_cast<size_t>(n.shard)].size()
+              : 0;
+      if (load < target_load) {
+        target_load = load;
+        target = n.shard;
+      }
+    }
+    if (target < 0) {
+      return Status::InvalidArgument(
+          "cannot decommission node " + std::to_string(node_id) +
+          ": no other active shard to take its ranges");
+    }
+    // The first maximal run of the leaver's codes with no other shard's
+    // code inside it: ownership sweep over the merged code space.
+    std::vector<std::pair<uint64_t, int>> owners;
+    for (size_t s = 0; s < shard_atoms.size(); ++s) {
+      for (uint64_t code : shard_atoms[s]) {
+        owners.emplace_back(code, static_cast<int>(s));
+      }
+    }
+    std::sort(owners.begin(), owners.end());
+    RangeMove move;
+    move.from_shard = shard;
+    move.to_shard = target;
+    for (const auto& [code, owner] : owners) {
+      if (owner == shard) {
+        if (move.end == 0) move.begin = code;
+        move.end = code + 1;
+        ++move.estimated_atoms;
+      } else if (move.end != 0) {
+        break;  // Run ended at a foreign code.
+      }
+    }
+    TURBDB_ASSIGN_OR_RETURN(const RangeMover::Outcome outcome,
+                            ExecuteMoveLocked(move));
+    ++reply.ranges_moved;
+    reply.atoms_copied += outcome.atoms_copied;
+  }
+  TURBDB_RETURN_NOT_OK(membership_->Decommission(node_id).status());
+  TURBDB_RETURN_NOT_OK(PushMembershipLocked());
+  reply.view = membership_->Snapshot();
+  TURBDB_LOG(Info) << "node " << node_id << " (shard " << shard
+                   << ") decommissioned at generation "
+                   << reply.view.generation << " after moving "
+                   << reply.ranges_moved << " range(s)";
+  return reply;
+}
+
+Result<net::RebalanceReply> Mediator::Rebalance(
+    const net::RebalanceRequest& request) {
+  if (!elastic()) {
+    return Status::NotSupported("rebalance requires a distributed mediator");
+  }
+  std::lock_guard<std::mutex> lock(membership_mutex_);
+  net::RebalanceReply reply;
+  const int rounds = static_cast<int>(std::max<uint64_t>(1, request.max_ranges));
+  for (int i = 0; i < rounds; ++i) {
+    const MembershipView view = membership_->Snapshot();
+    auto move = RebalancePlanner::PlanOne(view, ComputeShardAtoms(view),
+                                          request.to_shard);
+    if (!move.ok()) {
+      // "Nothing left worth moving" ends a multi-round rebalance
+      // normally; on the first round it is the caller's answer.
+      if (move.status().code() == StatusCode::kNotFound && i > 0) break;
+      return move.status();
+    }
+    TURBDB_ASSIGN_OR_RETURN(const RangeMover::Outcome outcome,
+                            ExecuteMoveLocked(*move));
+    reply.generation = outcome.generation;
+    reply.atoms_copied += outcome.atoms_copied;
+    reply.moved.push_back(
+        RangeOverride{move->begin, move->end, move->to_shard});
+  }
+  if (reply.generation == 0) reply.generation = membership_->generation();
+  return reply;
 }
 
 }  // namespace turbdb

@@ -19,9 +19,14 @@
 #include "cluster/topology.h"
 #include "common/thread_pool.h"
 #include "fields/field_registry.h"
+#include "membership/rebalance.h"
+#include "membership/registry.h"
+#include "net/protocol.h"
 #include "query/query.h"
 
 namespace turbdb {
+
+class ReplicaGroup;
 
 /// Cluster-level configuration (the paper's deployment: 4-8 database
 /// nodes, 1-8 worker processes per node, Sec. 5.1).
@@ -94,6 +99,11 @@ struct ClusterNodeStatus {
   uint64_t epoch = 0;
   uint64_t failovers = 0;
   std::string address;
+  // v6 elasticity/durability columns (append-only: earlier fields keep
+  // their meaning and order for JSON consumers).
+  uint64_t generation = 0;  ///< Membership generation the node serves at.
+  uint64_t wal_pending_records = 0;  ///< WAL records not yet checkpointed.
+  uint64_t wal_pending_bytes = 0;    ///< WAL payload bytes pending.
 };
 
 /// The front-end Web-server of Fig. 1: mediates between clients and the
@@ -209,7 +219,13 @@ class Mediator {
   Result<CacheWarmOutcome> WarmThresholdCache(const ThresholdQuery& query,
                                               const CallBudget& budget = {});
 
-  int num_nodes() const { return static_cast<int>(backends_.size()); }
+  /// Logical shard count, including shards joined at runtime. Reads the
+  /// atomic counter rather than backends_.size(): Join appends into
+  /// reserved capacity and publishes through this counter, so the query
+  /// path never races the vector's bookkeeping.
+  int num_nodes() const {
+    return static_cast<int>(backend_count_.load(std::memory_order_acquire));
+  }
   /// True when the nodes are remote turbdb_node processes.
   bool distributed() const { return !config_.topology.empty(); }
   /// The in-process DatabaseNode `i` — local deployments only (tests and
@@ -227,6 +243,41 @@ class Mediator {
   /// Health/epoch/failover snapshot of every physical node, one row per
   /// topology entry. Empty for the in-process deployment.
   std::vector<ClusterNodeStatus> ClusterStatus() const;
+
+  /// Whether this mediator runs the membership registry (distributed
+  /// deployments). Elasticity RPCs on a non-elastic mediator fail typed.
+  bool elastic() const { return membership_ != nullptr; }
+
+  /// Current membership snapshot (default-constructed when !elastic()).
+  MembershipView Membership() const;
+
+  /// Current membership generation (0 when !elastic()).
+  uint64_t generation() const;
+
+  /// Two-phase node join (the `turbdb_node --join` handshake). Phase 1
+  /// (activate=false) admits the uuid: assigns node id and a fresh
+  /// single-replica shard, returns the view plus the dataset catalog the
+  /// joiner self-registers from. Phase 2 (activate=true) flips it to
+  /// kShard, dials it as a new replica group, and pushes the new view to
+  /// the whole cluster. The joined shard owns no ranges until
+  /// Rebalance() re-homes some to it — it serves immediately, with an
+  /// empty slice.
+  Result<net::JoinReply> Join(const net::JoinRequest& request);
+
+  /// Decommissions `node_id`: every range its shard effectively owns is
+  /// live-moved to the least-loaded remaining shard (copy, then
+  /// cutover), the record flips to kDraining, and the new view is
+  /// pushed. The drained node keeps its bytes (lazy drop) so in-flight
+  /// halo reads keep succeeding; it can be shut down afterwards.
+  Result<net::LeaveReply> Leave(int node_id);
+
+  /// Plans and executes up to `request.max_ranges` live range moves
+  /// toward `request.to_shard` (-1 = least-loaded). Each move copies via
+  /// SyncRange paging with skip-existing ingest, then cuts ownership
+  /// over on a generation bump pushed to every node; queries in flight
+  /// across the cutover either finish under their pinned view or retry
+  /// under the new one via kWrongOwner.
+  Result<net::RebalanceReply> Rebalance(const net::RebalanceRequest& request);
 
   /// How many CancelQuery fan-outs Dispatch has issued to not-yet-joined
   /// shards (after a hard failure, a tripped point cap, or an external
@@ -286,17 +337,57 @@ class Mediator {
                                  std::vector<ThresholdPoint> points)>&
           point_sink = nullptr);
 
+  /// One dispatch attempt under one membership snapshot. Dispatch wraps
+  /// it with the kWrongOwner retry: a sub-query bounced by a node whose
+  /// ownership moved re-runs the whole scatter under a fresh snapshot
+  /// (only while no points have streamed to the sink yet — a partially
+  /// consumed stream cannot be replayed without duplicates).
+  Result<std::vector<NodeOutcome>> DispatchOnce(
+      const NodeQuery& node_query, const CallBudget& budget,
+      const std::function<Status(int node_id,
+                                 std::vector<ThresholdPoint> points)>&
+          point_sink);
+
   const Differentiator* GetDifferentiator(const std::string& dataset,
                                           const GridGeometry& geometry,
                                           int order);
+
+  /// Fresh shared snapshot of the membership view; null when !elastic().
+  std::shared_ptr<const MembershipView> ViewSnapshot() const;
+
+  /// The replica group serving `shard`, or an error naming it.
+  Result<ReplicaGroup*> Group(int shard) const;
+
+  /// Sorted codes each shard effectively owns under `view`, across every
+  /// dataset (the shared Morton code space; see RebalancePlanner).
+  std::vector<std::vector<uint64_t>> ComputeShardAtoms(
+      const MembershipView& view) const;
+
+  /// Copy + cutover of one planned move (caller holds
+  /// membership_mutex_). Pushes the post-cutover view to every group.
+  Result<RangeMover::Outcome> ExecuteMoveLocked(const RangeMove& move);
+
+  /// Pushes the registry's current view to every replica group (caller
+  /// holds membership_mutex_). Down members miss the push and resync on
+  /// probe instead.
+  Status PushMembershipLocked();
 
   ClusterConfig config_;
   FieldRegistry registry_;
   /// In-process nodes (empty in distributed mode); backends_ is the
   /// uniform view the query path uses, one entry per node either way.
+  /// Capacity is reserved at Create for the base shards plus the join
+  /// headroom, so Join's push_back never reallocates under a concurrent
+  /// Dispatch; `backend_count_` publishes the readable prefix.
   std::vector<std::unique_ptr<DatabaseNode>> nodes_;
   std::vector<std::unique_ptr<NodeBackend>> backends_;
+  std::atomic<size_t> backend_count_{0};
   std::map<std::string, std::unique_ptr<DatasetState>> datasets_;
+
+  /// Authoritative membership (distributed mode; null in-process). Admin
+  /// mutations (join/leave/rebalance) serialize on membership_mutex_.
+  std::unique_ptr<MembershipRegistry> membership_;
+  std::mutex membership_mutex_;
 
   /// Runs per-node sub-queries (the asynchronous query scheduling layer).
   std::unique_ptr<ThreadPool> scheduler_;

@@ -67,7 +67,16 @@ DatabaseNode::DatabaseNode(int id, const CostModelConfig& cost,
 
 void DatabaseNode::RegisterDataset(const std::string& dataset,
                                    std::vector<uint64_t> shard_atoms) {
+  std::lock_guard<std::mutex> lock(stores_mutex_);
   shards_[dataset] = std::move(shard_atoms);
+}
+
+std::vector<uint64_t> DatabaseNode::RegisteredCodes(
+    const std::string& dataset) const {
+  std::lock_guard<std::mutex> lock(stores_mutex_);
+  auto it = shards_.find(dataset);
+  if (it == shards_.end()) return {};
+  return it->second;
 }
 
 AtomStore* DatabaseNode::FindStore(const std::string& dataset,
@@ -245,16 +254,24 @@ Result<NodeOutcome> DatabaseNode::ExecuteFromRaw(const NodeQuery& query,
   NodeOutcome outcome;
   outcome.histogram.assign(static_cast<size_t>(query.num_bins) + 1, 0);
 
-  auto shard_it = shards_.find(query.dataset->name);
-  if (shard_it == shards_.end()) {
-    return Status::NotFound("node " + std::to_string(id_) +
-                            " has no shard of dataset '" +
-                            query.dataset->name + "'");
+  {
+    std::lock_guard<std::mutex> lock(stores_mutex_);
+    if (shards_.find(query.dataset->name) == shards_.end()) {
+      return Status::NotFound("node " + std::to_string(id_) +
+                              " has no shard of dataset '" +
+                              query.dataset->name + "'");
+    }
   }
   const GridGeometry& geometry = query.dataset->geometry;
   const Box3 atom_cover = geometry.AtomCover(query.box);
+  // With a pinned membership view the evaluated atoms are the view's
+  // effective ownership (range overrides re-homing live-moved ranges);
+  // without one, the static partitioner assignment.
   const std::vector<uint64_t> atoms =
-      query.partitioner->NodeAtomsInBox(shard_id_, atom_cover);
+      query.view != nullptr
+          ? OwnedAtomsInBox(*query.partitioner, *query.view, shard_id_,
+                            atom_cover)
+          : query.partitioner->NodeAtomsInBox(shard_id_, atom_cover);
   if (atoms.empty()) return outcome;
 
   // Data-parallel evaluation: split this node's atoms into one contiguous

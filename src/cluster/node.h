@@ -18,6 +18,7 @@
 #include "fields/derived_field.h"
 #include "fields/differentiator.h"
 #include "fields/interpolator.h"
+#include "membership/view.h"
 #include "query/query.h"
 #include "storage/atom_store.h"
 #include "txn/txn_manager.h"
@@ -88,6 +89,14 @@ struct NodeQuery {
   /// CancelQuery; 0 = unregistered. Carried so error messages and remote
   /// sub-queries can name the query being cancelled.
   uint64_t query_id = 0;
+  /// Membership view pinned for this query (v6). When set, the atoms the
+  /// node evaluates are the view's *effective* ownership of its shard
+  /// (base partitioner assignment re-homed by the view's range
+  /// overrides) instead of the static assignment — this is what makes a
+  /// live range move change query routing without rebuilding
+  /// partitioners. Null keeps the static behavior (in-process
+  /// deployments, pre-v6 peers).
+  std::shared_ptr<const MembershipView> view;
 };
 
 /// A node's answer to its part of a query.
@@ -145,8 +154,14 @@ class DatabaseNode {
   void set_fsync_on_ingest(bool value) { fsync_on_ingest_ = value; }
 
   /// Registers this node's shard of `dataset` (sorted atom codes).
+  /// Re-registration replaces the codes — the ownership-update hook a
+  /// live range move uses after cutover.
   void RegisterDataset(const std::string& dataset,
                        std::vector<uint64_t> shard_atoms);
+
+  /// The codes currently registered for `dataset` (empty if none) — a
+  /// snapshot copy, safe against concurrent re-registration.
+  std::vector<uint64_t> RegisteredCodes(const std::string& dataset) const;
 
   /// Stores one atom of (dataset, field). Creation path; not timed.
   Status IngestAtom(const std::string& dataset, const std::string& field,

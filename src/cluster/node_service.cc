@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstdint>
 #include <iterator>
+#include <set>
 #include <thread>
 #include <utility>
 
@@ -275,6 +276,15 @@ std::vector<uint8_t> NodeService::Handle(const std::vector<uint8_t>& payload,
     case net::MsgType::kNodeListStoresRequest:
       response = HandleListStores(payload);
       break;
+    case net::MsgType::kMembershipUpdateRequest:
+      response = HandleMembershipUpdate(payload);
+      break;
+    case net::MsgType::kBeginHandoffRequest:
+      response = HandleBeginHandoff(payload);
+      break;
+    case net::MsgType::kCutoverRequest:
+      response = HandleCutover(payload);
+      break;
     default:
       response = Status::NotSupported(
           "turbdb_node does not serve request type " +
@@ -284,6 +294,45 @@ std::vector<uint8_t> NodeService::Handle(const std::vector<uint8_t>& payload,
   }
   if (!response.ok()) return net::EncodeErrorResponse(response.status());
   return std::move(response).value();
+}
+
+Status NodeService::RegisterDatasetInternal(const DatasetInfo& info,
+                                            int32_t num_nodes,
+                                            int32_t strategy) {
+  if (strategy < 0 ||
+      strategy > static_cast<int32_t>(PartitionStrategy::kZSlabs)) {
+    return Status::InvalidArgument("bad partition strategy " +
+                                   std::to_string(strategy));
+  }
+  TURBDB_RETURN_NOT_OK(info.geometry.Validate());
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    auto it = datasets_.find(info.name);
+    if (it != datasets_.end()) {
+      // Identical re-registration is a retried RPC, not a conflict.
+      if (SameDataset(it->second->info, info)) return Status::OK();
+      return Status::AlreadyExists("dataset '" + info.name +
+                                   "' already exists with a different shape");
+    }
+  }
+  TURBDB_ASSIGN_OR_RETURN(
+      MortonPartitioner partitioner,
+      MortonPartitioner::Create(info.geometry, num_nodes,
+                                static_cast<PartitionStrategy>(strategy)));
+  auto state = std::make_unique<DatasetState>(
+      DatasetState{info, std::move(partitioner)});
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  // This shard's effective atoms under the installed view; the static
+  // assignment when none is installed. A joined shard (id beyond the
+  // base partitioning) owns nothing until a rebalance re-homes ranges
+  // to it — OwnedAtoms returns empty rather than indexing out of range
+  // the way MortonPartitioner::NodeAtoms would.
+  node_.RegisterDataset(
+      info.name, OwnedAtoms(state->partitioner,
+                            view_ != nullptr ? *view_ : MembershipView{},
+                            shard()));
+  datasets_.emplace(info.name, std::move(state));
+  return Status::OK();
 }
 
 Result<std::vector<uint8_t>> NodeService::HandleCreateDataset(
@@ -296,37 +345,14 @@ Result<std::vector<uint8_t>> NodeService::HandleCreateDataset(
         " addressed to node " + std::to_string(config_.node_id) +
         ", which serves shard " + std::to_string(shard()));
   }
-  if (request.strategy < 0 ||
-      request.strategy > static_cast<int32_t>(PartitionStrategy::kZSlabs)) {
-    return Status::InvalidArgument("bad partition strategy " +
-                                   std::to_string(request.strategy));
-  }
-  TURBDB_RETURN_NOT_OK(request.info.geometry.Validate());
-  {
-    std::lock_guard<std::mutex> lock(state_mutex_);
-    auto it = datasets_.find(request.info.name);
-    if (it != datasets_.end()) {
-      // Identical re-registration is a retried RPC, not a conflict.
-      if (SameDataset(it->second->info, request.info)) {
-        return net::EncodeAckResponse(
-            net::MsgType::kNodeCreateDatasetResponse);
-      }
-      return Status::AlreadyExists("dataset '" + request.info.name +
-                                   "' already exists with a different shape");
-    }
-  }
-  TURBDB_ASSIGN_OR_RETURN(
-      MortonPartitioner partitioner,
-      MortonPartitioner::Create(
-          request.info.geometry, request.num_nodes,
-          static_cast<PartitionStrategy>(request.strategy)));
-  auto state = std::make_unique<DatasetState>(
-      DatasetState{request.info, std::move(partitioner)});
-  node_.RegisterDataset(request.info.name,
-                        state->partitioner.NodeAtoms(shard()));
-  std::lock_guard<std::mutex> lock(state_mutex_);
-  datasets_.emplace(request.info.name, std::move(state));
+  TURBDB_RETURN_NOT_OK(RegisterDatasetInternal(request.info, request.num_nodes,
+                                               request.strategy));
   return net::EncodeAckResponse(net::MsgType::kNodeCreateDatasetResponse);
+}
+
+Status NodeService::RegisterDatasetSpec(
+    const net::WireDatasetRegistration& reg) {
+  return RegisterDatasetInternal(reg.info, reg.num_nodes, reg.strategy);
 }
 
 Result<std::vector<uint8_t>> NodeService::HandleIngest(
@@ -340,11 +366,105 @@ Result<std::vector<uint8_t>> NodeService::HandleIngest(
           status.code() == StatusCode::kAlreadyExists)) {
       return status;
     }
+    // Apply-then-log: atoms the store accepted are framed into the WAL
+    // (duplicates skipped above never are). The log, not the store file,
+    // is what the ack below promises — a kill -9 between here and the
+    // store fsync replays from it on restart.
+    if (status.ok() && wal_ != nullptr) {
+      TURBDB_RETURN_NOT_OK(
+          wal_->Append(request.dataset, request.field, atom));
+    }
   }
-  // One fsync per batch (durable mode): atoms acknowledged here survive a
-  // crash.
+  // Durability order: the log is synced before the batch is acknowledged
+  // (per the fsync policy), then the store flush runs. A crash between
+  // the two leaves acknowledged atoms recoverable from the log.
+  if (wal_ != nullptr) TURBDB_RETURN_NOT_OK(wal_->Sync());
   TURBDB_RETURN_NOT_OK(node_.FinishIngest(request.dataset, request.field));
+  TURBDB_RETURN_NOT_OK(WalBatchEnd());
   return net::EncodeAckResponse(net::MsgType::kNodeIngestResponse);
+}
+
+Status NodeService::WalBatchEnd() {
+  if (wal_ == nullptr ||
+      wal_->pending_bytes() < config_.wal_checkpoint_bytes) {
+    return Status::OK();
+  }
+  std::lock_guard<std::mutex> lock(wal_mutex_);
+  if (wal_->pending_bytes() < config_.wal_checkpoint_bytes) {
+    return Status::OK();
+  }
+  // Checkpoint: every store the log may cover is flushed to stable
+  // storage, after which the log's records are redundant and it resets.
+  for (const DatabaseNode::StoreListing& listing : node_.ListStores()) {
+    TURBDB_RETURN_NOT_OK(node_.FinishIngest(listing.dataset, listing.field));
+  }
+  return wal_->Truncate();
+}
+
+Status NodeService::RecoverWal() {
+  if (config_.storage_dir.empty() || !config_.enable_wal) return Status::OK();
+  const std::string path = config_.storage_dir + "/node" +
+                           std::to_string(config_.node_id) + ".wal";
+  TURBDB_ASSIGN_OR_RETURN(wal_,
+                          WriteAheadLog::Open(path, config_.wal_fsync));
+  if (wal_->pending_records() == 0) return Status::OK();
+  TURBDB_LOG(Warning) << "node " << config_.node_id << ": replaying "
+                      << wal_->pending_records()
+                      << " write-ahead-log records into the stores";
+  std::set<std::pair<std::string, std::string>> touched;
+  TURBDB_RETURN_NOT_OK(
+      wal_->Replay([&](const WriteAheadLog::Record& record) -> Status {
+        Status status =
+            node_.IngestAtom(record.dataset, record.field, record.atom);
+        // Already-persisted atoms are the expected case for the prefix
+        // of the log the store flush did cover — replay is idempotent.
+        if (!status.ok() &&
+            status.code() != StatusCode::kAlreadyExists) {
+          return status;
+        }
+        touched.insert({record.dataset, record.field});
+        return Status::OK();
+      }));
+  for (const auto& df : touched) {
+    TURBDB_RETURN_NOT_OK(node_.FinishIngest(df.first, df.second));
+  }
+  return wal_->Truncate();
+}
+
+Status NodeService::ApplyView(const MembershipView& view) {
+  auto installed = std::make_shared<const MembershipView>(view);
+  std::vector<std::string> evict;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    if (view_ != nullptr && view.generation <= view_->generation) {
+      return Status::OK();  // Stale or duplicate push; keep the newer view.
+    }
+    for (const auto& entry : datasets_) {
+      const MortonPartitioner& partitioner = entry.second->partitioner;
+      std::vector<uint64_t> owned = OwnedAtoms(partitioner, view, shard());
+      if (owned == node_.RegisteredCodes(entry.first)) continue;
+      node_.RegisterDataset(entry.first, std::move(owned));
+      ownership_changed_gen_[entry.first] = view.generation;
+      evict.push_back(entry.first);
+    }
+    view_ = installed;
+  }
+  // Cached point sets were computed under the old ownership; a query
+  // evaluated after cutover must not be answered from them.
+  for (const std::string& dataset : evict) {
+    TURBDB_RETURN_NOT_OK(node_.DropCacheEntries(dataset, "", -1));
+  }
+  if (!evict.empty()) {
+    TURBDB_LOG(Info) << "node " << config_.node_id << ": membership view g"
+                     << view.generation << " re-homed ownership of "
+                     << evict.size() << " dataset(s) on shard " << shard();
+  }
+  return Status::OK();
+}
+
+uint64_t NodeService::generation() const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  return view_ != nullptr ? view_->generation : 0;
 }
 
 Result<std::vector<uint8_t>> NodeService::HandleExecute(
@@ -352,6 +472,24 @@ Result<std::vector<uint8_t>> NodeService::HandleExecute(
   TURBDB_ASSIGN_OR_RETURN(net::NodeExecuteRequest request,
                           net::DecodeNodeExecuteRequest(payload));
   TURBDB_ASSIGN_OR_RETURN(NodeQuery query, BuildQuery(request.spec));
+  {
+    // Generation fence: a request routed under a view older than the one
+    // that last changed this shard's ownership of the dataset would
+    // evaluate the wrong atoms — fail typed so the mediator refreshes
+    // its view and re-routes. Requests without a generation (v6 clients
+    // that have not seen a view, in-process paths) pass unfenced.
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    auto it = ownership_changed_gen_.find(request.spec.dataset);
+    if (request.rpc.generation != 0 && it != ownership_changed_gen_.end() &&
+        request.rpc.generation < it->second) {
+      return Status::WrongOwner(
+          "node " + std::to_string(config_.node_id) + ": ownership of '" +
+          request.spec.dataset + "' changed at generation " +
+          std::to_string(it->second) + "; request was routed at generation " +
+          std::to_string(request.rpc.generation));
+    }
+    query.view = view_;
+  }
   // Thread the transport-level budget into the evaluation: the workers
   // poll the deadline and the cancellation token between atoms, and the
   // remaining budget rides along on peer halo fetches.
@@ -437,9 +575,56 @@ Result<std::vector<uint8_t>> NodeService::HandleStats(
                           net::DecodeNodeStatsRequest(payload));
   net::NodeStatsReply reply;
   reply.node_id = config_.node_id;
-  reply.stored_atoms = node_.StoredAtomCount(request.dataset, request.field);
+  if (request.dataset.empty() && request.field.empty()) {
+    // The node-wide row: atoms across every open store.
+    for (const DatabaseNode::StoreListing& listing : node_.ListStores()) {
+      reply.stored_atoms += listing.atoms;
+    }
+  } else {
+    reply.stored_atoms = node_.StoredAtomCount(request.dataset, request.field);
+  }
   reply.epoch = config_.epoch;
+  if (wal_ != nullptr) {
+    reply.wal_pending_records = wal_->pending_records();
+    reply.wal_pending_bytes = wal_->pending_bytes();
+  }
+  reply.generation = generation();
   return net::EncodeNodeStatsResponse(reply);
+}
+
+Result<std::vector<uint8_t>> NodeService::HandleMembershipUpdate(
+    const std::vector<uint8_t>& payload) {
+  TURBDB_ASSIGN_OR_RETURN(net::MembershipUpdateRequest request,
+                          net::DecodeMembershipUpdateRequest(payload));
+  TURBDB_RETURN_NOT_OK(ApplyView(request.view));
+  return net::EncodeAckResponse(net::MsgType::kMembershipUpdateResponse);
+}
+
+Result<std::vector<uint8_t>> NodeService::HandleBeginHandoff(
+    const std::vector<uint8_t>& payload) {
+  TURBDB_ASSIGN_OR_RETURN(net::BeginHandoffRequest request,
+                          net::DecodeBeginHandoffRequest(payload));
+  // The double-read window opens: the donor keeps serving [begin, end)
+  // while the copy runs; the recipient accepts skip-existing ingests for
+  // it. Neither needs new state for that — the announcement exists so
+  // both ends log the window and operators can correlate.
+  TURBDB_LOG(Info) << "node " << config_.node_id << ": handoff of ["
+                   << request.begin << ", " << request.end << ") from shard "
+                   << request.from_shard << " to shard " << request.to_shard
+                   << " beginning";
+  return net::EncodeAckResponse(net::MsgType::kBeginHandoffResponse);
+}
+
+Result<std::vector<uint8_t>> NodeService::HandleCutover(
+    const std::vector<uint8_t>& payload) {
+  TURBDB_ASSIGN_OR_RETURN(net::CutoverRequest request,
+                          net::DecodeCutoverRequest(payload));
+  TURBDB_RETURN_NOT_OK(ApplyView(request.view));
+  TURBDB_LOG(Info) << "node " << config_.node_id << ": cutover of ["
+                   << request.begin << ", " << request.end << ") to shard "
+                   << request.to_shard << " applied at generation "
+                   << request.view.generation;
+  return net::EncodeAckResponse(net::MsgType::kCutoverResponse);
 }
 
 Result<std::vector<uint8_t>> NodeService::HandleSyncRange(

@@ -12,8 +12,10 @@
 #include "cluster/topology.h"
 #include "common/thread_pool.h"
 #include "fields/field_registry.h"
+#include "membership/view.h"
 #include "net/client.h"
 #include "net/server.h"
+#include "storage/wal.h"
 
 namespace turbdb {
 
@@ -42,6 +44,20 @@ struct NodeServiceConfig {
   /// This process's incarnation counter (bumped at start, persisted
   /// beside the storage dir); reported through Hello and Stats.
   uint64_t epoch = 0;
+  /// Logical shard override for nodes admitted into a running cluster
+  /// (v6 join). -1 = derive from node_id / replication_factor; joined
+  /// nodes get a fresh shard id from the mediator that the static
+  /// formula cannot produce.
+  int shard_override = -1;
+  /// Per-node write-ahead log (durable mode only; ignored when
+  /// storage_dir is empty). Each acknowledged ingest batch is logged and
+  /// synced per `wal_fsync` before the ack, so a kill -9 mid-batch or a
+  /// torn store tail replays from the log on restart.
+  bool enable_wal = true;
+  WalFsyncPolicy wal_fsync = WalFsyncPolicy::kEveryBatch;
+  /// Checkpoint threshold: once the log holds this many payload bytes,
+  /// the batch-end path fsyncs every store and truncates the log.
+  uint64_t wal_checkpoint_bytes = 64ull << 20;
 };
 
 /// Serves one `DatabaseNode` over the node-scoped RPCs: the process body
@@ -72,10 +88,36 @@ class NodeService {
   DatabaseNode& node() { return node_; }
   int node_id() const { return config_.node_id; }
 
-  /// The logical shard this node serves (node_id / replication factor).
+  /// The logical shard this node serves: the join-time override when
+  /// set, else node_id / replication factor.
   int shard() const {
-    return config_.node_id / std::max(1, config_.replication_factor);
+    return config_.shard_override >= 0
+               ? config_.shard_override
+               : config_.node_id / std::max(1, config_.replication_factor);
   }
+
+  /// Opens the write-ahead log and replays any records it holds into the
+  /// stores (idempotent: atoms already persisted are skipped), then
+  /// truncates it. Call once after construction, before serving and
+  /// before any epoch-driven re-sync — the log is the source of truth
+  /// for acknowledged-but-torn batches. No-op for in-memory or
+  /// WAL-disabled configs.
+  Status RecoverWal();
+
+  /// Installs a membership view: datasets whose effective ownership of
+  /// this shard changed are re-registered against the view and their
+  /// semantic-cache entries dropped, and subsequent executes carrying an
+  /// older generation for those datasets fail typed with kWrongOwner.
+  /// Stale views (generation below the installed one) are ignored.
+  Status ApplyView(const MembershipView& view);
+
+  /// Registers a dataset from its wire form without the node_id check of
+  /// the CreateDataset RPC — the self-registration path of a node that
+  /// joined a running cluster and received the catalog in its JoinReply.
+  Status RegisterDatasetSpec(const net::WireDatasetRegistration& reg);
+
+  /// Generation of the installed membership view (0 = none installed).
+  uint64_t generation() const;
 
  private:
   struct DatasetState {
@@ -92,6 +134,17 @@ class NodeService {
 
   Result<const DatasetState*> GetDatasetState(const std::string& name) const;
   Result<NodeQuery> BuildQuery(const net::NodeQuerySpec& spec);
+
+  /// Shared by HandleCreateDataset and RegisterDatasetSpec: builds the
+  /// partitioner and registers this shard's effective atoms under the
+  /// installed view (static assignment when none is installed).
+  Status RegisterDatasetInternal(const DatasetInfo& info, int32_t num_nodes,
+                                 int32_t strategy);
+
+  /// Batch-end durability: syncs the WAL per policy, then — when the log
+  /// has outgrown the checkpoint threshold — fsyncs every store and
+  /// truncates it.
+  Status WalBatchEnd();
   const Differentiator* GetDifferentiator(const std::string& dataset,
                                           const GridGeometry& geometry,
                                           int order);
@@ -124,14 +177,34 @@ class NodeService {
       const std::vector<uint8_t>& payload);
   Result<std::vector<uint8_t>> HandleListStores(
       const std::vector<uint8_t>& payload);
+  Result<std::vector<uint8_t>> HandleMembershipUpdate(
+      const std::vector<uint8_t>& payload);
+  Result<std::vector<uint8_t>> HandleBeginHandoff(
+      const std::vector<uint8_t>& payload);
+  Result<std::vector<uint8_t>> HandleCutover(
+      const std::vector<uint8_t>& payload);
 
   NodeServiceConfig config_;
   DatabaseNode node_;
   FieldRegistry registry_;
   ThreadPool workers_;
 
+  /// Write-ahead log (opened by RecoverWal; null until then or when
+  /// disabled). The log itself is internally synchronized; checkpointing
+  /// (store fsyncs + truncate) serializes on wal_mutex_.
+  std::unique_ptr<WriteAheadLog> wal_;
+  std::mutex wal_mutex_;
+
   mutable std::mutex state_mutex_;
   std::map<std::string, std::unique_ptr<DatasetState>> datasets_;
+  /// Installed membership view (null = static ownership) and, per
+  /// dataset, the generation at which this shard's effective ownership
+  /// last changed — the fence HandleExecute checks stale-routed requests
+  /// against. Both guarded by state_mutex_; the view is handed to
+  /// queries as a shared_ptr so a cutover mid-query cannot invalidate
+  /// the atoms an executing query already selected.
+  std::shared_ptr<const MembershipView> view_;
+  std::map<std::string, uint64_t> ownership_changed_gen_;
   std::map<std::pair<std::string, int>, std::unique_ptr<Differentiator>>
       differentiators_;
   std::map<std::pair<std::string, int>,

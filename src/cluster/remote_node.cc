@@ -158,6 +158,11 @@ Result<NodeOutcome> RemoteNode::Execute(const NodeQuery& query) {
   }
   request.rpc.deadline_ms = budget_ms;
   request.rpc.query_id = query.query_id;
+  // The routing generation rides in the header: a node whose ownership
+  // of the dataset changed past it answers kWrongOwner instead of
+  // evaluating stale ranges, and the mediator re-routes.
+  request.rpc.generation =
+      query.view != nullptr ? query.view->generation : 0;
   std::unique_lock<std::mutex> lock(mutex_);
   auto result = client_.NodeExecute(request);
   lock.unlock();
@@ -211,6 +216,34 @@ Result<uint64_t> RemoteNode::StoredAtomCount(const std::string& dataset,
   auto stats = client_.NodeStats(request);
   if (!stats.ok()) return Named(stats.status());
   return stats->stored_atoms;
+}
+
+Result<net::NodeStatsReply> RemoteNode::Stats(const std::string& dataset,
+                                              const std::string& field) {
+  net::NodeStatsRequest request;
+  request.dataset = dataset;
+  request.field = field;
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto stats = client_.NodeStats(request);
+  if (!stats.ok()) return Named(stats.status());
+  return stats;
+}
+
+Status RemoteNode::PushMembership(const MembershipView& view) {
+  net::MembershipUpdateRequest request;
+  request.view = view;
+  std::lock_guard<std::mutex> lock(mutex_);
+  return Named(client_.MembershipUpdate(request));
+}
+
+Status RemoteNode::BeginHandoff(const net::BeginHandoffRequest& request) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return Named(client_.BeginHandoff(request));
+}
+
+Status RemoteNode::Cutover(const net::CutoverRequest& request) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return Named(client_.Cutover(request));
 }
 
 }  // namespace turbdb

@@ -76,6 +76,16 @@ class RemoteNode : public NodeBackend {
   /// Every (dataset, field) store the node has open, with atom counts.
   Result<net::NodeListStoresReply> ListStores();
 
+  /// The node's full stats row (epoch, WAL lag, membership generation).
+  Result<net::NodeStatsReply> Stats(const std::string& dataset,
+                                    const std::string& field);
+
+  /// Membership pushes (v6): install a view, announce a handoff window,
+  /// apply a cutover. Mediator-to-node control plane.
+  Status PushMembership(const MembershipView& view);
+  Status BeginHandoff(const net::BeginHandoffRequest& request);
+  Status Cutover(const net::CutoverRequest& request);
+
  private:
   /// Prefixes a failure with this node's identity (code preserved).
   Status Named(const Status& status) const;

@@ -9,6 +9,49 @@ namespace turbdb {
 net::Server::Handler MediatorHandler(Mediator* mediator) {
   return [mediator](const std::vector<uint8_t>& payload,
                     const net::CallContext& ctx) -> std::vector<uint8_t> {
+    // Elasticity control plane (v6): these admin messages are not part
+    // of the query Request variant — peek the type and route them to the
+    // mediator's membership API directly. A mediator running without a
+    // membership registry answers with a typed kNotSupported.
+    if (auto header = net::PeekRequestHeader(payload); header.ok()) {
+      switch (header->type) {
+        case net::MsgType::kJoinRequest: {
+          auto req = net::DecodeJoinRequest(payload);
+          if (!req.ok()) return net::EncodeErrorResponse(req.status());
+          auto reply = mediator->Join(*req);
+          if (!reply.ok()) return net::EncodeErrorResponse(reply.status());
+          return net::EncodeJoinResponse(*reply);
+        }
+        case net::MsgType::kLeaveRequest: {
+          auto req = net::DecodeLeaveRequest(payload);
+          if (!req.ok()) return net::EncodeErrorResponse(req.status());
+          auto reply = mediator->Leave(req->node_id);
+          if (!reply.ok()) return net::EncodeErrorResponse(reply.status());
+          return net::EncodeLeaveResponse(*reply);
+        }
+        case net::MsgType::kMembershipGetRequest: {
+          auto req = net::DecodeMembershipGetRequest(payload);
+          if (!req.ok()) return net::EncodeErrorResponse(req.status());
+          if (!mediator->elastic()) {
+            return net::EncodeErrorResponse(Status::NotSupported(
+                "mediator runs without a membership registry"));
+          }
+          net::MembershipGetReply reply;
+          reply.view = mediator->Membership();
+          return net::EncodeMembershipGetResponse(reply);
+        }
+        case net::MsgType::kRebalanceRequest: {
+          auto req = net::DecodeRebalanceRequest(payload);
+          if (!req.ok()) return net::EncodeErrorResponse(req.status());
+          auto reply = mediator->Rebalance(*req);
+          if (!reply.ok()) return net::EncodeErrorResponse(reply.status());
+          return net::EncodeRebalanceResponse(*reply);
+        }
+        default:
+          break;
+      }
+    }
+
     auto request_or = net::DecodeRequest(payload);
     if (!request_or.ok()) {
       return net::EncodeErrorResponse(request_or.status());
@@ -231,6 +274,7 @@ Result<std::unique_ptr<net::Server>> ServeMediator(
     reply->cache_entries = stats.entries;
     reply->cache_bytes = stats.bytes;
     reply->cache_pinned_bytes = stats.pinned_bytes;
+    reply->membership_generation = mediator->generation();
   };
   // The cache will charge the server's governor; when the server stops,
   // its governor dies with it, so the resident entries (whose RAII

@@ -40,6 +40,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "Cancelled";
     case StatusCode::kResourceExhausted:
       return "ResourceExhausted";
+    case StatusCode::kWrongOwner:
+      return "WrongOwner";
   }
   return "Unknown";
 }

@@ -33,6 +33,10 @@ enum class StatusCode : int {
   kDeadlineExceeded = 15,
   kCancelled = 16,
   kResourceExhausted = 17,
+  /// The request was routed with a stale membership view: the receiving
+  /// node no longer (or does not yet) own the addressed Morton range.
+  /// Retryable — refresh the membership view and re-route.
+  kWrongOwner = 18,
 };
 
 /// Returns a stable human-readable name for a status code ("IOError" etc.).
@@ -101,6 +105,9 @@ class Status {
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
+  static Status WrongOwner(std::string msg) {
+    return Status(StatusCode::kWrongOwner, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -124,6 +131,7 @@ class Status {
   bool IsResourceExhausted() const {
     return code_ == StatusCode::kResourceExhausted;
   }
+  bool IsWrongOwner() const { return code_ == StatusCode::kWrongOwner; }
 
   /// "OK" or "<Code>: <message>".
   std::string ToString() const;

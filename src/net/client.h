@@ -131,6 +131,17 @@ class Client {
   Result<NodeSyncRangeReply> NodeSyncRange(const NodeSyncRangeRequest& request);
   Result<NodeListStoresReply> NodeListStores();
 
+  // Elasticity RPCs (v6). Join/Leave/MembershipGet/Rebalance target the
+  // mediator-fronting server; MembershipUpdate/BeginHandoff/Cutover are
+  // mediator -> turbdb_node pushes.
+  Result<JoinReply> Join(const JoinRequest& request);
+  Result<LeaveReply> Leave(const LeaveRequest& request);
+  Result<MembershipGetReply> MembershipGet();
+  Status MembershipUpdate(const MembershipUpdateRequest& request);
+  Status BeginHandoff(const BeginHandoffRequest& request);
+  Status Cutover(const CutoverRequest& request);
+  Result<RebalanceReply> Rebalance(const RebalanceRequest& request);
+
   /// Asks the server to cancel the live query registered under
   /// `query_id` (see RpcOptions::query_id). Returns true if the query
   /// was found in flight, false if it had already finished (or never

@@ -51,8 +51,17 @@ namespace net {
 /// server-stats reply. A v4 peer would misparse the tenant bytes as a
 /// request body, so the version byte again refuses it at the first
 /// frame.
+///
+/// v6 (header layout still unchanged) appends the sender's membership
+/// generation varint to the shared request-payload header (after the
+/// tenant) so a node can detect requests routed with a stale ownership
+/// view (typed retryable kWrongOwner), and adds the elasticity RPCs:
+/// Join/Leave, MembershipGet/MembershipUpdate, BeginHandoff/Cutover and
+/// Rebalance. The node-stats reply gains WAL-lag counters. A v5 peer
+/// would misparse the generation varint, so the version byte refuses it
+/// at the first frame.
 constexpr uint32_t kFrameMagic = 0x46424454u;  // "TDBF" read little-endian
-constexpr uint8_t kProtocolVersion = 5;
+constexpr uint8_t kProtocolVersion = 6;
 constexpr size_t kFrameHeaderBytes = 17;
 
 /// Default cap on a frame payload (64 MiB). A peer announcing more than

@@ -153,13 +153,25 @@ Status GetQueryCommon(const std::vector<uint8_t>& bytes, size_t* pos,
 }
 
 // The deadline budget travels in the frame header (v3), so the payload
-// header carries the type, the cancellation query id, and (v5) the
-// tenant the request is billed to.
+// header carries the type, the cancellation query id, (v5) the tenant
+// the request is billed to, and (v6) the sender's membership generation
+// for stale-routing detection.
 void PutHeader(std::vector<uint8_t>* out, MsgType type,
                const RpcOptions& rpc) {
   PutVarint64(out, static_cast<uint64_t>(type));
   PutVarint64(out, rpc.query_id);
   PutString(out, rpc.tenant);
+  PutVarint64(out, rpc.generation);
+}
+
+/// Reads the post-type portion of the shared request header (the inverse
+/// of PutHeader minus the type varint, which callers consume first).
+Status GetRpc(const std::vector<uint8_t>& bytes, size_t* pos,
+              RpcOptions* rpc) {
+  TURBDB_ASSIGN_OR_RETURN(rpc->query_id, GetVarint64(bytes, pos));
+  TURBDB_ASSIGN_OR_RETURN(rpc->tenant, GetString(bytes, pos));
+  TURBDB_ASSIGN_OR_RETURN(rpc->generation, GetVarint64(bytes, pos));
+  return Status::OK();
 }
 
 /// Reads the message type and, when it is an error frame, the carried
@@ -171,8 +183,7 @@ Status ExpectType(const std::vector<uint8_t>& bytes, size_t* pos,
   if (raw == static_cast<uint64_t>(MsgType::kErrorResponse)) {
     TURBDB_ASSIGN_OR_RETURN(uint64_t code, GetVarint64(bytes, pos));
     TURBDB_ASSIGN_OR_RETURN(std::string message, GetString(bytes, pos));
-    if (code == 0 ||
-        code > static_cast<uint64_t>(StatusCode::kResourceExhausted)) {
+    if (code == 0 || code > static_cast<uint64_t>(StatusCode::kWrongOwner)) {
       return Status::Corruption("error frame with bad status code");
     }
     return Status(static_cast<StatusCode>(code), std::move(message));
@@ -538,8 +549,7 @@ Result<Request> DecodeRequest(const std::vector<uint8_t>& payload) {
   size_t pos = 0;
   TURBDB_ASSIGN_OR_RETURN(uint64_t raw, GetVarint64(payload, &pos));
   RpcOptions rpc;
-  TURBDB_ASSIGN_OR_RETURN(rpc.query_id, GetVarint64(payload, &pos));
-  TURBDB_ASSIGN_OR_RETURN(rpc.tenant, GetString(payload, &pos));
+  TURBDB_RETURN_NOT_OK(GetRpc(payload, &pos, &rpc));
   switch (static_cast<MsgType>(raw)) {
     case MsgType::kThresholdRequest: {
       ThresholdRequest request;
@@ -750,6 +760,7 @@ std::vector<uint8_t> EncodeResponse(const ServerStatsReply& reply) {
     PutVarint64(&out, tenant.shed);
     PutVarint64(&out, tenant.cap);
   }
+  PutVarint64(&out, reply.membership_generation);
   return out;
 }
 
@@ -869,6 +880,8 @@ Result<ServerStatsReply> DecodeServerStatsResponse(
     TURBDB_ASSIGN_OR_RETURN(tenant.cap, GetVarint64(payload, &pos));
     reply.tenants.push_back(std::move(tenant));
   }
+  TURBDB_ASSIGN_OR_RETURN(reply.membership_generation,
+                          GetVarint64(payload, &pos));
   TURBDB_RETURN_NOT_OK(CheckConsumed(payload, pos));
   return reply;
 }
@@ -1097,6 +1110,20 @@ Result<MsgType> PeekResponseType(const std::vector<uint8_t>& payload) {
   return static_cast<MsgType>(raw);
 }
 
+Status PeekErrorStatus(const std::vector<uint8_t>& payload) {
+  size_t pos = 0;
+  auto raw = GetVarint64(payload, &pos);
+  if (!raw.ok() || *raw != static_cast<uint64_t>(MsgType::kErrorResponse)) {
+    return Status::OK();
+  }
+  TURBDB_ASSIGN_OR_RETURN(uint64_t code, GetVarint64(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(std::string message, GetString(payload, &pos));
+  if (code == 0 || code > static_cast<uint64_t>(StatusCode::kWrongOwner)) {
+    return Status::Corruption("error frame with bad status code");
+  }
+  return Status(static_cast<StatusCode>(code), std::move(message));
+}
+
 // -- Request header peek -------------------------------------------------
 
 Result<RequestHeader> PeekRequestHeader(const std::vector<uint8_t>& payload) {
@@ -1108,8 +1135,7 @@ Result<RequestHeader> PeekRequestHeader(const std::vector<uint8_t>& payload) {
   }
   RequestHeader header;
   header.type = static_cast<MsgType>(raw);
-  TURBDB_ASSIGN_OR_RETURN(header.rpc.query_id, GetVarint64(payload, &pos));
-  TURBDB_ASSIGN_OR_RETURN(header.rpc.tenant, GetString(payload, &pos));
+  TURBDB_RETURN_NOT_OK(GetRpc(payload, &pos, &header.rpc));
   return header;
 }
 
@@ -1186,8 +1212,7 @@ Result<NodeCreateDatasetRequest> DecodeNodeCreateDatasetRequest(
   NodeCreateDatasetRequest request;
   TURBDB_RETURN_NOT_OK(
       ExpectType(payload, &pos, MsgType::kNodeCreateDatasetRequest));
-  TURBDB_ASSIGN_OR_RETURN(request.rpc.query_id, GetVarint64(payload, &pos));
-  TURBDB_ASSIGN_OR_RETURN(request.rpc.tenant, GetString(payload, &pos));
+  TURBDB_RETURN_NOT_OK(GetRpc(payload, &pos, &request.rpc));
   TURBDB_ASSIGN_OR_RETURN(request.info, GetDatasetInfo(payload, &pos));
   TURBDB_ASSIGN_OR_RETURN(int64_t num_nodes, GetZigZag64(payload, &pos));
   request.num_nodes = static_cast<int32_t>(num_nodes);
@@ -1214,8 +1239,7 @@ Result<NodeIngestRequest> DecodeNodeIngestRequest(
   size_t pos = 0;
   NodeIngestRequest request;
   TURBDB_RETURN_NOT_OK(ExpectType(payload, &pos, MsgType::kNodeIngestRequest));
-  TURBDB_ASSIGN_OR_RETURN(request.rpc.query_id, GetVarint64(payload, &pos));
-  TURBDB_ASSIGN_OR_RETURN(request.rpc.tenant, GetString(payload, &pos));
+  TURBDB_RETURN_NOT_OK(GetRpc(payload, &pos, &request.rpc));
   TURBDB_ASSIGN_OR_RETURN(request.dataset, GetString(payload, &pos));
   TURBDB_ASSIGN_OR_RETURN(request.field, GetString(payload, &pos));
   TURBDB_ASSIGN_OR_RETURN(request.atoms, GetAtoms(payload, &pos));
@@ -1255,8 +1279,7 @@ Result<NodeExecuteRequest> DecodeNodeExecuteRequest(
   NodeQuerySpec& spec = request.spec;
   TURBDB_RETURN_NOT_OK(
       ExpectType(payload, &pos, MsgType::kNodeExecuteRequest));
-  TURBDB_ASSIGN_OR_RETURN(request.rpc.query_id, GetVarint64(payload, &pos));
-  TURBDB_ASSIGN_OR_RETURN(request.rpc.tenant, GetString(payload, &pos));
+  TURBDB_RETURN_NOT_OK(GetRpc(payload, &pos, &request.rpc));
   TURBDB_ASSIGN_OR_RETURN(int64_t mode, GetZigZag64(payload, &pos));
   spec.mode = static_cast<int32_t>(mode);
   struct CommonView {
@@ -1318,8 +1341,7 @@ Result<NodeFetchAtomsRequest> DecodeNodeFetchAtomsRequest(
   NodeFetchAtomsRequest request;
   TURBDB_RETURN_NOT_OK(
       ExpectType(payload, &pos, MsgType::kNodeFetchAtomsRequest));
-  TURBDB_ASSIGN_OR_RETURN(request.rpc.query_id, GetVarint64(payload, &pos));
-  TURBDB_ASSIGN_OR_RETURN(request.rpc.tenant, GetString(payload, &pos));
+  TURBDB_RETURN_NOT_OK(GetRpc(payload, &pos, &request.rpc));
   TURBDB_ASSIGN_OR_RETURN(request.dataset, GetString(payload, &pos));
   TURBDB_ASSIGN_OR_RETURN(request.field, GetString(payload, &pos));
   TURBDB_ASSIGN_OR_RETURN(int64_t timestep, GetZigZag64(payload, &pos));
@@ -1356,8 +1378,7 @@ Result<NodeDropCacheRequest> DecodeNodeDropCacheRequest(
   NodeDropCacheRequest request;
   TURBDB_RETURN_NOT_OK(
       ExpectType(payload, &pos, MsgType::kNodeDropCacheRequest));
-  TURBDB_ASSIGN_OR_RETURN(request.rpc.query_id, GetVarint64(payload, &pos));
-  TURBDB_ASSIGN_OR_RETURN(request.rpc.tenant, GetString(payload, &pos));
+  TURBDB_RETURN_NOT_OK(GetRpc(payload, &pos, &request.rpc));
   TURBDB_ASSIGN_OR_RETURN(request.dataset, GetString(payload, &pos));
   TURBDB_ASSIGN_OR_RETURN(request.field, GetString(payload, &pos));
   TURBDB_ASSIGN_OR_RETURN(int64_t timestep, GetZigZag64(payload, &pos));
@@ -1379,8 +1400,7 @@ Result<NodeStatsRequest> DecodeNodeStatsRequest(
   size_t pos = 0;
   NodeStatsRequest request;
   TURBDB_RETURN_NOT_OK(ExpectType(payload, &pos, MsgType::kNodeStatsRequest));
-  TURBDB_ASSIGN_OR_RETURN(request.rpc.query_id, GetVarint64(payload, &pos));
-  TURBDB_ASSIGN_OR_RETURN(request.rpc.tenant, GetString(payload, &pos));
+  TURBDB_RETURN_NOT_OK(GetRpc(payload, &pos, &request.rpc));
   TURBDB_ASSIGN_OR_RETURN(request.dataset, GetString(payload, &pos));
   TURBDB_ASSIGN_OR_RETURN(request.field, GetString(payload, &pos));
   TURBDB_RETURN_NOT_OK(CheckConsumed(payload, pos));
@@ -1405,8 +1425,7 @@ Result<NodeSyncRangeRequest> DecodeNodeSyncRangeRequest(
   NodeSyncRangeRequest request;
   TURBDB_RETURN_NOT_OK(
       ExpectType(payload, &pos, MsgType::kNodeSyncRangeRequest));
-  TURBDB_ASSIGN_OR_RETURN(request.rpc.query_id, GetVarint64(payload, &pos));
-  TURBDB_ASSIGN_OR_RETURN(request.rpc.tenant, GetString(payload, &pos));
+  TURBDB_RETURN_NOT_OK(GetRpc(payload, &pos, &request.rpc));
   TURBDB_ASSIGN_OR_RETURN(request.dataset, GetString(payload, &pos));
   TURBDB_ASSIGN_OR_RETURN(request.field, GetString(payload, &pos));
   TURBDB_ASSIGN_OR_RETURN(int64_t timestep, GetZigZag64(payload, &pos));
@@ -1430,8 +1449,7 @@ Result<NodeListStoresRequest> DecodeNodeListStoresRequest(
   NodeListStoresRequest request;
   TURBDB_RETURN_NOT_OK(
       ExpectType(payload, &pos, MsgType::kNodeListStoresRequest));
-  TURBDB_ASSIGN_OR_RETURN(request.rpc.query_id, GetVarint64(payload, &pos));
-  TURBDB_ASSIGN_OR_RETURN(request.rpc.tenant, GetString(payload, &pos));
+  TURBDB_RETURN_NOT_OK(GetRpc(payload, &pos, &request.rpc));
   TURBDB_RETURN_NOT_OK(CheckConsumed(payload, pos));
   return request;
 }
@@ -1522,6 +1540,9 @@ std::vector<uint8_t> EncodeNodeStatsResponse(const NodeStatsReply& reply) {
   PutZigZag64(&out, reply.node_id);
   PutVarint64(&out, reply.stored_atoms);
   PutVarint64(&out, reply.epoch);
+  PutVarint64(&out, reply.wal_pending_records);
+  PutVarint64(&out, reply.wal_pending_bytes);
+  PutVarint64(&out, reply.generation);
   return out;
 }
 
@@ -1534,6 +1555,9 @@ Result<NodeStatsReply> DecodeNodeStatsResponse(
   reply.node_id = static_cast<int32_t>(node_id);
   TURBDB_ASSIGN_OR_RETURN(reply.stored_atoms, GetVarint64(payload, &pos));
   TURBDB_ASSIGN_OR_RETURN(reply.epoch, GetVarint64(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(reply.wal_pending_records, GetVarint64(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(reply.wal_pending_bytes, GetVarint64(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(reply.generation, GetVarint64(payload, &pos));
   TURBDB_RETURN_NOT_OK(CheckConsumed(payload, pos));
   return reply;
 }
@@ -1592,6 +1616,358 @@ Result<NodeListStoresReply> DecodeNodeListStoresResponse(
     TURBDB_ASSIGN_OR_RETURN(store.atoms, GetVarint64(payload, &pos));
     reply.stores.push_back(std::move(store));
   }
+  TURBDB_RETURN_NOT_OK(CheckConsumed(payload, pos));
+  return reply;
+}
+
+// -- Elasticity messages (v6) --------------------------------------------
+
+namespace {
+
+void PutNodeRecord(std::vector<uint8_t>* out, const NodeRecord& record) {
+  PutZigZag64(out, record.node_id);
+  PutString(out, record.uuid);
+  PutString(out, record.host);
+  PutVarint64(out, record.port);
+  PutZigZag64(out, record.shard);
+  PutZigZag64(out, static_cast<int64_t>(record.role));
+  PutVarint64(out, record.joined_generation);
+}
+
+Result<NodeRecord> GetNodeRecord(const std::vector<uint8_t>& bytes,
+                                 size_t* pos) {
+  NodeRecord record;
+  TURBDB_ASSIGN_OR_RETURN(int64_t node_id, GetZigZag64(bytes, pos));
+  record.node_id = static_cast<int>(node_id);
+  TURBDB_ASSIGN_OR_RETURN(record.uuid, GetString(bytes, pos));
+  TURBDB_ASSIGN_OR_RETURN(record.host, GetString(bytes, pos));
+  TURBDB_ASSIGN_OR_RETURN(uint64_t port, GetVarint64(bytes, pos));
+  record.port = static_cast<uint16_t>(port);
+  TURBDB_ASSIGN_OR_RETURN(int64_t shard, GetZigZag64(bytes, pos));
+  record.shard = static_cast<int>(shard);
+  TURBDB_ASSIGN_OR_RETURN(int64_t role, GetZigZag64(bytes, pos));
+  if (role < 0 || role > static_cast<int64_t>(NodeRole::kDraining)) {
+    return Status::Corruption("implausible node role");
+  }
+  record.role = static_cast<NodeRole>(role);
+  TURBDB_ASSIGN_OR_RETURN(record.joined_generation, GetVarint64(bytes, pos));
+  return record;
+}
+
+void PutView(std::vector<uint8_t>* out, const MembershipView& view) {
+  PutVarint64(out, view.generation);
+  PutZigZag64(out, view.replication);
+  PutZigZag64(out, view.base_shards);
+  PutVarint64(out, view.nodes.size());
+  for (const NodeRecord& record : view.nodes) PutNodeRecord(out, record);
+  PutVarint64(out, view.overrides.size());
+  for (const RangeOverride& o : view.overrides) {
+    PutVarint64(out, o.begin);
+    PutVarint64(out, o.end);
+    PutZigZag64(out, o.shard);
+  }
+}
+
+Result<MembershipView> GetView(const std::vector<uint8_t>& bytes,
+                               size_t* pos) {
+  MembershipView view;
+  TURBDB_ASSIGN_OR_RETURN(view.generation, GetVarint64(bytes, pos));
+  TURBDB_ASSIGN_OR_RETURN(int64_t replication, GetZigZag64(bytes, pos));
+  view.replication = static_cast<int>(replication);
+  TURBDB_ASSIGN_OR_RETURN(int64_t base_shards, GetZigZag64(bytes, pos));
+  view.base_shards = static_cast<int>(base_shards);
+  TURBDB_ASSIGN_OR_RETURN(uint64_t node_count, GetVarint64(bytes, pos));
+  if (node_count > bytes.size() - *pos) {
+    return Status::Corruption("implausible node-record count");
+  }
+  view.nodes.reserve(static_cast<size_t>(node_count));
+  for (uint64_t i = 0; i < node_count; ++i) {
+    TURBDB_ASSIGN_OR_RETURN(NodeRecord record, GetNodeRecord(bytes, pos));
+    view.nodes.push_back(std::move(record));
+  }
+  TURBDB_ASSIGN_OR_RETURN(uint64_t override_count, GetVarint64(bytes, pos));
+  if (override_count > bytes.size() - *pos) {
+    return Status::Corruption("implausible override count");
+  }
+  view.overrides.reserve(static_cast<size_t>(override_count));
+  for (uint64_t i = 0; i < override_count; ++i) {
+    RangeOverride o;
+    TURBDB_ASSIGN_OR_RETURN(o.begin, GetVarint64(bytes, pos));
+    TURBDB_ASSIGN_OR_RETURN(o.end, GetVarint64(bytes, pos));
+    TURBDB_ASSIGN_OR_RETURN(int64_t shard, GetZigZag64(bytes, pos));
+    o.shard = static_cast<int>(shard);
+    view.overrides.push_back(o);
+  }
+  return view;
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeRequest(const JoinRequest& request) {
+  std::vector<uint8_t> out;
+  PutHeader(&out, MsgType::kJoinRequest, request.rpc);
+  PutString(&out, request.uuid);
+  PutString(&out, request.host);
+  PutVarint64(&out, request.port);
+  PutBool(&out, request.activate);
+  return out;
+}
+
+Result<JoinRequest> DecodeJoinRequest(const std::vector<uint8_t>& payload) {
+  size_t pos = 0;
+  JoinRequest request;
+  TURBDB_RETURN_NOT_OK(ExpectType(payload, &pos, MsgType::kJoinRequest));
+  TURBDB_RETURN_NOT_OK(GetRpc(payload, &pos, &request.rpc));
+  TURBDB_ASSIGN_OR_RETURN(request.uuid, GetString(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(request.host, GetString(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(uint64_t port, GetVarint64(payload, &pos));
+  request.port = static_cast<uint16_t>(port);
+  TURBDB_ASSIGN_OR_RETURN(request.activate, GetBool(payload, &pos));
+  TURBDB_RETURN_NOT_OK(CheckConsumed(payload, pos));
+  return request;
+}
+
+std::vector<uint8_t> EncodeJoinResponse(const JoinReply& reply) {
+  std::vector<uint8_t> out;
+  PutVarint64(&out, static_cast<uint64_t>(MsgType::kJoinResponse));
+  PutNodeRecord(&out, reply.record);
+  PutView(&out, reply.view);
+  PutVarint64(&out, reply.registrations.size());
+  for (const WireDatasetRegistration& reg : reply.registrations) {
+    PutDatasetInfo(&out, reg.info);
+    PutZigZag64(&out, reg.num_nodes);
+    PutZigZag64(&out, reg.strategy);
+  }
+  return out;
+}
+
+Result<JoinReply> DecodeJoinResponse(const std::vector<uint8_t>& payload) {
+  size_t pos = 0;
+  TURBDB_RETURN_NOT_OK(ExpectType(payload, &pos, MsgType::kJoinResponse));
+  JoinReply reply;
+  TURBDB_ASSIGN_OR_RETURN(reply.record, GetNodeRecord(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(reply.view, GetView(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(uint64_t count, GetVarint64(payload, &pos));
+  if (count > payload.size() - pos) {
+    return Status::Corruption("implausible registration count");
+  }
+  reply.registrations.reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    WireDatasetRegistration reg;
+    TURBDB_ASSIGN_OR_RETURN(reg.info, GetDatasetInfo(payload, &pos));
+    TURBDB_ASSIGN_OR_RETURN(int64_t num_nodes, GetZigZag64(payload, &pos));
+    reg.num_nodes = static_cast<int32_t>(num_nodes);
+    TURBDB_ASSIGN_OR_RETURN(int64_t strategy, GetZigZag64(payload, &pos));
+    reg.strategy = static_cast<int32_t>(strategy);
+    reply.registrations.push_back(std::move(reg));
+  }
+  TURBDB_RETURN_NOT_OK(CheckConsumed(payload, pos));
+  return reply;
+}
+
+std::vector<uint8_t> EncodeRequest(const LeaveRequest& request) {
+  std::vector<uint8_t> out;
+  PutHeader(&out, MsgType::kLeaveRequest, request.rpc);
+  PutZigZag64(&out, request.node_id);
+  return out;
+}
+
+Result<LeaveRequest> DecodeLeaveRequest(const std::vector<uint8_t>& payload) {
+  size_t pos = 0;
+  LeaveRequest request;
+  TURBDB_RETURN_NOT_OK(ExpectType(payload, &pos, MsgType::kLeaveRequest));
+  TURBDB_RETURN_NOT_OK(GetRpc(payload, &pos, &request.rpc));
+  TURBDB_ASSIGN_OR_RETURN(int64_t node_id, GetZigZag64(payload, &pos));
+  request.node_id = static_cast<int32_t>(node_id);
+  TURBDB_RETURN_NOT_OK(CheckConsumed(payload, pos));
+  return request;
+}
+
+std::vector<uint8_t> EncodeLeaveResponse(const LeaveReply& reply) {
+  std::vector<uint8_t> out;
+  PutVarint64(&out, static_cast<uint64_t>(MsgType::kLeaveResponse));
+  PutView(&out, reply.view);
+  PutVarint64(&out, reply.ranges_moved);
+  PutVarint64(&out, reply.atoms_copied);
+  return out;
+}
+
+Result<LeaveReply> DecodeLeaveResponse(const std::vector<uint8_t>& payload) {
+  size_t pos = 0;
+  TURBDB_RETURN_NOT_OK(ExpectType(payload, &pos, MsgType::kLeaveResponse));
+  LeaveReply reply;
+  TURBDB_ASSIGN_OR_RETURN(reply.view, GetView(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(reply.ranges_moved, GetVarint64(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(reply.atoms_copied, GetVarint64(payload, &pos));
+  TURBDB_RETURN_NOT_OK(CheckConsumed(payload, pos));
+  return reply;
+}
+
+std::vector<uint8_t> EncodeRequest(const MembershipGetRequest& request) {
+  std::vector<uint8_t> out;
+  PutHeader(&out, MsgType::kMembershipGetRequest, request.rpc);
+  return out;
+}
+
+Result<MembershipGetRequest> DecodeMembershipGetRequest(
+    const std::vector<uint8_t>& payload) {
+  size_t pos = 0;
+  MembershipGetRequest request;
+  TURBDB_RETURN_NOT_OK(
+      ExpectType(payload, &pos, MsgType::kMembershipGetRequest));
+  TURBDB_RETURN_NOT_OK(GetRpc(payload, &pos, &request.rpc));
+  TURBDB_RETURN_NOT_OK(CheckConsumed(payload, pos));
+  return request;
+}
+
+std::vector<uint8_t> EncodeMembershipGetResponse(
+    const MembershipGetReply& reply) {
+  std::vector<uint8_t> out;
+  PutVarint64(&out, static_cast<uint64_t>(MsgType::kMembershipGetResponse));
+  PutView(&out, reply.view);
+  return out;
+}
+
+Result<MembershipGetReply> DecodeMembershipGetResponse(
+    const std::vector<uint8_t>& payload) {
+  size_t pos = 0;
+  TURBDB_RETURN_NOT_OK(
+      ExpectType(payload, &pos, MsgType::kMembershipGetResponse));
+  MembershipGetReply reply;
+  TURBDB_ASSIGN_OR_RETURN(reply.view, GetView(payload, &pos));
+  TURBDB_RETURN_NOT_OK(CheckConsumed(payload, pos));
+  return reply;
+}
+
+std::vector<uint8_t> EncodeRequest(const MembershipUpdateRequest& request) {
+  std::vector<uint8_t> out;
+  PutHeader(&out, MsgType::kMembershipUpdateRequest, request.rpc);
+  PutView(&out, request.view);
+  return out;
+}
+
+Result<MembershipUpdateRequest> DecodeMembershipUpdateRequest(
+    const std::vector<uint8_t>& payload) {
+  size_t pos = 0;
+  MembershipUpdateRequest request;
+  TURBDB_RETURN_NOT_OK(
+      ExpectType(payload, &pos, MsgType::kMembershipUpdateRequest));
+  TURBDB_RETURN_NOT_OK(GetRpc(payload, &pos, &request.rpc));
+  TURBDB_ASSIGN_OR_RETURN(request.view, GetView(payload, &pos));
+  TURBDB_RETURN_NOT_OK(CheckConsumed(payload, pos));
+  return request;
+}
+
+std::vector<uint8_t> EncodeRequest(const BeginHandoffRequest& request) {
+  std::vector<uint8_t> out;
+  PutHeader(&out, MsgType::kBeginHandoffRequest, request.rpc);
+  PutVarint64(&out, request.begin);
+  PutVarint64(&out, request.end);
+  PutZigZag64(&out, request.from_shard);
+  PutZigZag64(&out, request.to_shard);
+  return out;
+}
+
+Result<BeginHandoffRequest> DecodeBeginHandoffRequest(
+    const std::vector<uint8_t>& payload) {
+  size_t pos = 0;
+  BeginHandoffRequest request;
+  TURBDB_RETURN_NOT_OK(
+      ExpectType(payload, &pos, MsgType::kBeginHandoffRequest));
+  TURBDB_RETURN_NOT_OK(GetRpc(payload, &pos, &request.rpc));
+  TURBDB_ASSIGN_OR_RETURN(request.begin, GetVarint64(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(request.end, GetVarint64(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(int64_t from_shard, GetZigZag64(payload, &pos));
+  request.from_shard = static_cast<int32_t>(from_shard);
+  TURBDB_ASSIGN_OR_RETURN(int64_t to_shard, GetZigZag64(payload, &pos));
+  request.to_shard = static_cast<int32_t>(to_shard);
+  TURBDB_RETURN_NOT_OK(CheckConsumed(payload, pos));
+  return request;
+}
+
+std::vector<uint8_t> EncodeRequest(const CutoverRequest& request) {
+  std::vector<uint8_t> out;
+  PutHeader(&out, MsgType::kCutoverRequest, request.rpc);
+  PutVarint64(&out, request.begin);
+  PutVarint64(&out, request.end);
+  PutZigZag64(&out, request.from_shard);
+  PutZigZag64(&out, request.to_shard);
+  PutView(&out, request.view);
+  return out;
+}
+
+Result<CutoverRequest> DecodeCutoverRequest(
+    const std::vector<uint8_t>& payload) {
+  size_t pos = 0;
+  CutoverRequest request;
+  TURBDB_RETURN_NOT_OK(ExpectType(payload, &pos, MsgType::kCutoverRequest));
+  TURBDB_RETURN_NOT_OK(GetRpc(payload, &pos, &request.rpc));
+  TURBDB_ASSIGN_OR_RETURN(request.begin, GetVarint64(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(request.end, GetVarint64(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(int64_t from_shard, GetZigZag64(payload, &pos));
+  request.from_shard = static_cast<int32_t>(from_shard);
+  TURBDB_ASSIGN_OR_RETURN(int64_t to_shard, GetZigZag64(payload, &pos));
+  request.to_shard = static_cast<int32_t>(to_shard);
+  TURBDB_ASSIGN_OR_RETURN(request.view, GetView(payload, &pos));
+  TURBDB_RETURN_NOT_OK(CheckConsumed(payload, pos));
+  return request;
+}
+
+std::vector<uint8_t> EncodeRequest(const RebalanceRequest& request) {
+  std::vector<uint8_t> out;
+  PutHeader(&out, MsgType::kRebalanceRequest, request.rpc);
+  PutZigZag64(&out, request.to_shard);
+  PutVarint64(&out, request.max_ranges);
+  return out;
+}
+
+Result<RebalanceRequest> DecodeRebalanceRequest(
+    const std::vector<uint8_t>& payload) {
+  size_t pos = 0;
+  RebalanceRequest request;
+  TURBDB_RETURN_NOT_OK(ExpectType(payload, &pos, MsgType::kRebalanceRequest));
+  TURBDB_RETURN_NOT_OK(GetRpc(payload, &pos, &request.rpc));
+  TURBDB_ASSIGN_OR_RETURN(int64_t to_shard, GetZigZag64(payload, &pos));
+  request.to_shard = static_cast<int32_t>(to_shard);
+  TURBDB_ASSIGN_OR_RETURN(request.max_ranges, GetVarint64(payload, &pos));
+  TURBDB_RETURN_NOT_OK(CheckConsumed(payload, pos));
+  return request;
+}
+
+std::vector<uint8_t> EncodeRebalanceResponse(const RebalanceReply& reply) {
+  std::vector<uint8_t> out;
+  PutVarint64(&out, static_cast<uint64_t>(MsgType::kRebalanceResponse));
+  PutVarint64(&out, reply.generation);
+  PutVarint64(&out, reply.moved.size());
+  for (const RangeOverride& o : reply.moved) {
+    PutVarint64(&out, o.begin);
+    PutVarint64(&out, o.end);
+    PutZigZag64(&out, o.shard);
+  }
+  PutVarint64(&out, reply.atoms_copied);
+  return out;
+}
+
+Result<RebalanceReply> DecodeRebalanceResponse(
+    const std::vector<uint8_t>& payload) {
+  size_t pos = 0;
+  TURBDB_RETURN_NOT_OK(ExpectType(payload, &pos, MsgType::kRebalanceResponse));
+  RebalanceReply reply;
+  TURBDB_ASSIGN_OR_RETURN(reply.generation, GetVarint64(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(uint64_t count, GetVarint64(payload, &pos));
+  if (count > payload.size() - pos) {
+    return Status::Corruption("implausible moved-range count");
+  }
+  reply.moved.reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    RangeOverride o;
+    TURBDB_ASSIGN_OR_RETURN(o.begin, GetVarint64(payload, &pos));
+    TURBDB_ASSIGN_OR_RETURN(o.end, GetVarint64(payload, &pos));
+    TURBDB_ASSIGN_OR_RETURN(int64_t shard, GetZigZag64(payload, &pos));
+    o.shard = static_cast<int>(shard);
+    reply.moved.push_back(o);
+  }
+  TURBDB_ASSIGN_OR_RETURN(reply.atoms_copied, GetVarint64(payload, &pos));
   TURBDB_RETURN_NOT_OK(CheckConsumed(payload, pos));
   return reply;
 }

@@ -11,6 +11,7 @@
 #include "cluster/dataset.h"
 #include "common/profile.h"
 #include "common/result.h"
+#include "membership/view.h"
 #include "query/query.h"
 
 namespace turbdb {
@@ -50,6 +51,15 @@ enum class MsgType : uint8_t {
   kNodeSyncRangeRequest = 22,
   kNodeListStoresRequest = 23,
 
+  // Elasticity RPCs (v6). 24 is skipped: 24 + 64 is the kFofChunk slot.
+  kJoinRequest = 25,
+  kLeaveRequest = 26,
+  kMembershipGetRequest = 27,
+  kMembershipUpdateRequest = 28,
+  kBeginHandoffRequest = 29,
+  kCutoverRequest = 30,
+  kRebalanceRequest = 31,
+
   kThresholdResponse = 65,
   kPdfResponse = 66,
   kTopKResponse = 67,
@@ -84,6 +94,14 @@ enum class MsgType : uint8_t {
   /// whole clusters (summary row each, member points when requested).
   kFofChunk = 88,
 
+  kJoinResponse = 89,
+  kLeaveResponse = 90,
+  kMembershipGetResponse = 91,
+  kMembershipUpdateResponse = 92,
+  kBeginHandoffResponse = 93,
+  kCutoverResponse = 94,
+  kRebalanceResponse = 95,
+
   kErrorResponse = 127,
 };
 
@@ -107,10 +125,18 @@ enum class MsgType : uint8_t {
 /// server's ResourceGovernor can admit fairly across tenants instead of
 /// letting one flood starve everyone. It rides in the payload header
 /// (string, after the query id); empty means the default bucket.
+///
+/// `generation` (v6) is the sender's membership generation — the version
+/// of the cluster ownership view the request was routed with. A node
+/// whose ownership of the addressed range changed after that generation
+/// answers kWrongOwner (retryable) instead of serving stale data. 0
+/// means "not generation-checked" (single-node deployments, admin RPCs).
+/// It rides in the payload header (varint, after the tenant).
 struct RpcOptions {
   uint64_t deadline_ms = 0;
   uint64_t query_id = 0;
   std::string tenant;
+  uint64_t generation = 0;
 };
 
 struct ThresholdRequest {
@@ -443,6 +469,11 @@ struct NodeStatsReply {
   int32_t node_id = 0;
   uint64_t stored_atoms = 0;
   uint64_t epoch = 0;  ///< Same incarnation counter the Hello reply carries.
+  // WAL lag (v6): ingest records not yet checkpointed into fsynced
+  // stores, and the membership generation of the node's current view.
+  uint64_t wal_pending_records = 0;
+  uint64_t wal_pending_bytes = 0;
+  uint64_t generation = 0;
 };
 
 /// Replica sync: pages atoms of (dataset, field, timestep) inside a
@@ -479,6 +510,108 @@ struct NodeStoreInfo {
 
 struct NodeListStoresReply {
   std::vector<NodeStoreInfo> stores;
+};
+
+// -- Elasticity messages (v6) --------------------------------------------
+
+/// The dataset-registration parameters a joining node needs to serve:
+/// what CreateDataset carried, minus the shard id (the joiner derives
+/// its ownership from the membership view instead).
+struct WireDatasetRegistration {
+  DatasetInfo info;
+  int32_t num_nodes = 1;   ///< Base shard count the partitioner was built with.
+  int32_t strategy = 0;    ///< PartitionStrategy as int.
+};
+
+/// `turbdb_node --join` sent to the mediator. The two-phase dance:
+/// `activate == false` asks for admission (the mediator assigns a node
+/// id and a fresh shard id, records the node as kJoining, and returns
+/// the view plus every dataset registration so the joiner can start
+/// serving); once the joiner is listening it repeats the request with
+/// `activate == true` and the mediator dials it, flips it to kShard and
+/// pushes the new view to the whole cluster.
+struct JoinRequest {
+  std::string uuid;
+  std::string host;
+  uint16_t port = 0;
+  bool activate = false;
+  RpcOptions rpc;
+};
+
+struct JoinReply {
+  NodeRecord record;  ///< The joiner's assigned registry row.
+  MembershipView view;
+  std::vector<WireDatasetRegistration> registrations;
+};
+
+/// `turbdb_cli decommission`: drains `node_id` — its owned ranges are
+/// moved to the remaining shards, then it is removed from routing.
+struct LeaveRequest {
+  int32_t node_id = -1;
+  RpcOptions rpc;
+};
+
+struct LeaveReply {
+  MembershipView view;       ///< View after the drain completed.
+  uint64_t ranges_moved = 0;
+  uint64_t atoms_copied = 0;
+};
+
+/// Fetches the mediator's current membership view (clients use it to
+/// refresh after kWrongOwner; `turbdb_cli membership` prints it).
+struct MembershipGetRequest {
+  RpcOptions rpc;
+};
+
+struct MembershipGetReply {
+  MembershipView view;
+};
+
+/// Mediator -> node push of a new membership view (generation bump).
+/// The node re-derives its ownership for every registered dataset from
+/// the view and acks. Also what the Cutover step sends under the hood.
+struct MembershipUpdateRequest {
+  MembershipView view;
+  RpcOptions rpc;
+};
+
+/// Mediator -> node: a live range move of [begin, end) from `from_shard`
+/// to `to_shard` is starting. The donor keeps serving the range
+/// (double-read window); the recipient starts accepting its atoms.
+struct BeginHandoffRequest {
+  uint64_t begin = 0;
+  uint64_t end = 0;  ///< Half-open Morton range.
+  int32_t from_shard = -1;
+  int32_t to_shard = -1;
+  RpcOptions rpc;
+};
+
+/// Mediator -> node: the copy caught up; `view` (with the range's new
+/// override and a bumped generation) takes effect now. The donor stops
+/// owning the range — later queries routed with an older generation get
+/// kWrongOwner — but keeps its bytes for halo point-reads until dropped.
+struct CutoverRequest {
+  uint64_t begin = 0;
+  uint64_t end = 0;
+  int32_t from_shard = -1;
+  int32_t to_shard = -1;
+  MembershipView view;
+  RpcOptions rpc;
+};
+
+/// `turbdb_cli rebalance`: asks the mediator to plan and execute up to
+/// `max_ranges` live range moves, toward `to_shard` (or the least-loaded
+/// shard when -1). Synchronous: the reply arrives after cutover.
+struct RebalanceRequest {
+  int32_t to_shard = -1;
+  uint64_t max_ranges = 1;
+  RpcOptions rpc;
+};
+
+struct RebalanceReply {
+  uint64_t generation = 0;  ///< After the last cutover.
+  std::vector<RangeOverride> moved;
+  uint64_t atoms_copied = 0;
 };
 
 /// Server-side request counters surfaced through the stats RPC.
@@ -518,6 +651,9 @@ struct ServerStatsReply {
     uint64_t cap = 0;  ///< Effective in-flight cap; 0 = global only.
   };
   std::vector<TenantStats> tenants;
+  /// Membership generation of the mediator behind this server (v6);
+  /// 0 when the mediator runs without a membership registry.
+  uint64_t membership_generation = 0;
 };
 
 // -- Request encoding ----------------------------------------------------
@@ -604,6 +740,14 @@ Result<FofReply> DecodeFofResponse(const std::vector<uint8_t>& payload);
 /// well-formedness.
 Result<MsgType> PeekResponseType(const std::vector<uint8_t>& payload);
 
+/// When `payload` is an error frame, decodes and returns the Status it
+/// carries; returns OK for any other frame type (including malformed
+/// leading varints — those surface later in the real decoder). The
+/// client's retry loop uses this to recognise typed-but-retryable
+/// failures (kWrongOwner from a node whose ownership moved mid-query)
+/// before the response-specific decoder runs.
+Status PeekErrorStatus(const std::vector<uint8_t>& payload);
+
 // -- Request header peek -------------------------------------------------
 
 /// The shared prefix of every request payload: type varint + query-id
@@ -689,6 +833,46 @@ std::vector<uint8_t> EncodeNodeListStoresResponse(
     const NodeListStoresReply& reply);
 Result<NodeListStoresReply> DecodeNodeListStoresResponse(
     const std::vector<uint8_t>& payload);
+
+// -- Elasticity encoding (v6) --------------------------------------------
+
+std::vector<uint8_t> EncodeRequest(const JoinRequest& request);
+std::vector<uint8_t> EncodeRequest(const LeaveRequest& request);
+std::vector<uint8_t> EncodeRequest(const MembershipGetRequest& request);
+std::vector<uint8_t> EncodeRequest(const MembershipUpdateRequest& request);
+std::vector<uint8_t> EncodeRequest(const BeginHandoffRequest& request);
+std::vector<uint8_t> EncodeRequest(const CutoverRequest& request);
+std::vector<uint8_t> EncodeRequest(const RebalanceRequest& request);
+
+Result<JoinRequest> DecodeJoinRequest(const std::vector<uint8_t>& payload);
+Result<LeaveRequest> DecodeLeaveRequest(const std::vector<uint8_t>& payload);
+Result<MembershipGetRequest> DecodeMembershipGetRequest(
+    const std::vector<uint8_t>& payload);
+Result<MembershipUpdateRequest> DecodeMembershipUpdateRequest(
+    const std::vector<uint8_t>& payload);
+Result<BeginHandoffRequest> DecodeBeginHandoffRequest(
+    const std::vector<uint8_t>& payload);
+Result<CutoverRequest> DecodeCutoverRequest(
+    const std::vector<uint8_t>& payload);
+Result<RebalanceRequest> DecodeRebalanceRequest(
+    const std::vector<uint8_t>& payload);
+
+std::vector<uint8_t> EncodeJoinResponse(const JoinReply& reply);
+Result<JoinReply> DecodeJoinResponse(const std::vector<uint8_t>& payload);
+
+std::vector<uint8_t> EncodeLeaveResponse(const LeaveReply& reply);
+Result<LeaveReply> DecodeLeaveResponse(const std::vector<uint8_t>& payload);
+
+std::vector<uint8_t> EncodeMembershipGetResponse(
+    const MembershipGetReply& reply);
+Result<MembershipGetReply> DecodeMembershipGetResponse(
+    const std::vector<uint8_t>& payload);
+
+std::vector<uint8_t> EncodeRebalanceResponse(const RebalanceReply& reply);
+Result<RebalanceReply> DecodeRebalanceResponse(
+    const std::vector<uint8_t>& payload);
+// MembershipUpdate, BeginHandoff and Cutover succeed with a bare
+// EncodeAckResponse of their response type.
 
 }  // namespace net
 }  // namespace turbdb

@@ -88,14 +88,36 @@ Status ReplicaGroup::Recover(Member* member, uint64_t new_epoch) {
       break;
     }
   }
-  if (donor == nullptr) {
-    return Status::Unavailable(DebugName() + ": no healthy donor to re-sync " +
-                               member->node->DebugName());
-  }
   std::vector<DatasetRegistration> registrations;
   {
     std::lock_guard<std::mutex> reg_lock(registrations_mutex_);
     registrations = registrations_;
+  }
+  if (donor == nullptr) {
+    if (members_.size() > 1) {
+      return Status::Unavailable(DebugName() +
+                                 ": no healthy donor to re-sync " +
+                                 member->node->DebugName());
+    }
+    // A single-replica shard has no donor — and needs none: its durable
+    // stores plus the write-ahead-log replay it ran at startup already
+    // hold every acknowledged atom (and nothing could have been written
+    // while the sole member was down). Only the volatile dataset catalog
+    // is gone; re-register it and the node serves from its own disk.
+    TURBDB_LOG(Warning) << DebugName() << ": " << member->node->DebugName()
+                        << " restarted (epoch " << new_epoch
+                        << "); re-registering its catalog (no donor, "
+                        << "self-recovery from durable stores)";
+    for (const DatasetRegistration& reg : registrations) {
+      TURBDB_ASSIGN_OR_RETURN(
+          MortonPartitioner partitioner,
+          MortonPartitioner::Create(reg.info.geometry, reg.num_nodes,
+                                    reg.strategy));
+      TURBDB_RETURN_NOT_OK(
+          member->node->CreateDataset(reg.info, partitioner, reg.strategy));
+    }
+    member->health.MarkUp(new_epoch);
+    return Status::OK();
   }
   TURBDB_LOG(Warning) << DebugName() << ": " << member->node->DebugName()
                       << " restarted (epoch " << new_epoch
@@ -126,7 +148,6 @@ bool ReplicaGroup::EnsureUsable(Member* member) {
 }
 
 bool ReplicaGroup::TryRecoverStale(Member* member) {
-  if (members_.size() == 1) return false;
   auto epoch = member->node->Handshake();
   if (!epoch.ok()) return false;
   if (*epoch == member->health.epoch()) return false;
@@ -360,6 +381,59 @@ uint64_t ReplicaGroup::failover_count() const {
   uint64_t total = 0;
   for (const auto& member : members_) total += member->health.failovers();
   return total;
+}
+
+std::vector<DatasetRegistration> ReplicaGroup::Registrations() const {
+  std::lock_guard<std::mutex> lock(registrations_mutex_);
+  return registrations_;
+}
+
+Result<net::NodeSyncRangeReply> ReplicaGroup::SyncRange(
+    const net::NodeSyncRangeRequest& request) {
+  Status last;
+  for (auto& member : members_) {
+    if (!EnsureUsable(member.get())) continue;
+    auto reply = member->node->SyncRange(request);
+    if (reply.ok()) return reply;
+    if (!IsTransportFailure(reply.status())) return reply.status();
+    FailMember(member.get(), reply.status());
+    last = reply.status();
+  }
+  return last.ok() ? Status::Unreachable(DebugName() + ": all replicas down")
+                   : last;
+}
+
+Status ReplicaGroup::IngestSkippingExisting(const std::string& dataset,
+                                            const std::string& field,
+                                            const std::vector<Atom>& atoms) {
+  for (auto& member : members_) {
+    TURBDB_RETURN_NOT_OK(
+        member->node->IngestSkippingExisting(dataset, field, atoms));
+  }
+  return Status::OK();
+}
+
+Status ReplicaGroup::PushMembership(const MembershipView& view) {
+  Status first;
+  for (auto& member : members_) {
+    Status status = member->node->PushMembership(view);
+    if (!status.ok() && first.ok()) first = status;
+  }
+  return first;
+}
+
+Status ReplicaGroup::BeginHandoff(const net::BeginHandoffRequest& request) {
+  for (auto& member : members_) {
+    TURBDB_RETURN_NOT_OK(member->node->BeginHandoff(request));
+  }
+  return Status::OK();
+}
+
+Status ReplicaGroup::Cutover(const net::CutoverRequest& request) {
+  for (auto& member : members_) {
+    TURBDB_RETURN_NOT_OK(member->node->Cutover(request));
+  }
+  return Status::OK();
 }
 
 std::vector<ReplicaGroup::MemberStatus> ReplicaGroup::Snapshot() const {

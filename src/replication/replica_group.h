@@ -101,6 +101,37 @@ class ReplicaGroup : public NodeBackend {
   /// Per-member snapshot for cluster-status style reporting.
   std::vector<MemberStatus> Snapshot() const;
 
+  /// Direct access to physical member `r` (elasticity control plane:
+  /// stats rows, membership pushes). The group keeps ownership.
+  RemoteNode* member_node(int r) {
+    return members_[static_cast<size_t>(r)]->node.get();
+  }
+
+  /// The dataset registrations replayed onto stale members — also the
+  /// catalog a joining node self-registers from.
+  std::vector<DatasetRegistration> Registrations() const;
+
+  /// One page of a live range move, read off the first member that
+  /// answers (primary-preferred, transport failover).
+  Result<net::NodeSyncRangeReply> SyncRange(
+      const net::NodeSyncRangeRequest& request);
+
+  /// Skip-existing ingest fanned out to *every* member. Unlike
+  /// IngestAtoms this does not tolerate down members: a rebalance copy
+  /// must land on all replicas of the recipient shard or fail loudly.
+  Status IngestSkippingExisting(const std::string& dataset,
+                                const std::string& field,
+                                const std::vector<Atom>& atoms);
+
+  /// Fans a membership view to every member; first failure is returned
+  /// but the remaining members are still pushed (a down member learns
+  /// the view from its post-restart resync instead).
+  Status PushMembership(const MembershipView& view);
+
+  /// Handoff control fan-outs to every member.
+  Status BeginHandoff(const net::BeginHandoffRequest& request);
+  Status Cutover(const net::CutoverRequest& request);
+
  private:
   struct Member {
     std::unique_ptr<RemoteNode> node;

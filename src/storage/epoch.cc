@@ -69,4 +69,38 @@ Result<uint64_t> BumpEpochFile(const std::string& storage_dir, int node_id) {
   return next;
 }
 
+namespace {
+
+std::string MarkerPath(const std::string& storage_dir, int node_id) {
+  return storage_dir + "/node" + std::to_string(node_id) + ".lock";
+}
+
+}  // namespace
+
+Status CreateStartMarker(const std::string& storage_dir, int node_id) {
+  if (storage_dir.empty()) return Status::OK();
+  const std::string path = MarkerPath(storage_dir, node_id);
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Errno("create", path);
+  ::close(fd);
+  return Status::OK();
+}
+
+Status RemoveStartMarker(const std::string& storage_dir, int node_id) {
+  if (storage_dir.empty()) return Status::OK();
+  const std::string path = MarkerPath(storage_dir, node_id);
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+    return Errno("unlink", path);
+  }
+  return Status::OK();
+}
+
+Result<bool> StartMarkerPresent(const std::string& storage_dir, int node_id) {
+  if (storage_dir.empty()) return false;
+  const std::string path = MarkerPath(storage_dir, node_id);
+  if (::access(path.c_str(), F_OK) == 0) return true;
+  if (errno == ENOENT) return false;
+  return Errno("access", path);
+}
+
 }  // namespace turbdb

@@ -24,4 +24,15 @@ Result<uint64_t> BumpEpochFile(const std::string& storage_dir, int node_id);
 /// Reads the current epoch without bumping; 0 if the file does not exist.
 Result<uint64_t> ReadEpochFile(const std::string& storage_dir, int node_id);
 
+/// Crash-detection marker `<storage_dir>/node<id>.lock`: a `turbdb_node`
+/// creates it right after startup and removes it on a clean SIGTERM
+/// drain. Finding it at the next start means the previous process died
+/// without draining (kill -9, OOM, power loss) — the node warns, replays
+/// its WAL and bumps the epoch so mediators re-sync it; after a clean
+/// shutdown the epoch is kept, since the stores are known consistent.
+/// All three are no-ops / false with an empty storage dir.
+Status CreateStartMarker(const std::string& storage_dir, int node_id);
+Status RemoveStartMarker(const std::string& storage_dir, int node_id);
+Result<bool> StartMarkerPresent(const std::string& storage_dir, int node_id);
+
 }  // namespace turbdb

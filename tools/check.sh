@@ -169,6 +169,109 @@ if ! grep -q '"protocol_errors": 0$' "$LOAD_JSON"; then
 fi
 echo "loadgen smoke: ok ($LOAD_JSON)"
 
+# Elasticity rebalance drill against the real binaries: two turbdb_node
+# shards behind a turbdb_server mediator, with turbdb_loadgen running
+# open-loop the whole time. A third node joins the live cluster via
+# `turbdb_node --join`, a rebalance cuts ranges over to it, and the
+# joiner is decommissioned again — the load harness must finish with
+# zero failed queries (sheds are fine, errors are not), and a threshold
+# spot-check taken before the join must be byte-identical after the
+# rebalance.
+REBAL_NODE0_PORT="${REBAL_NODE0_PORT:-7985}"
+REBAL_NODE1_PORT="${REBAL_NODE1_PORT:-7986}"
+REBAL_SERVER_PORT="${REBAL_SERVER_PORT:-7987}"
+REBAL_JOIN_PORT="${REBAL_JOIN_PORT:-7988}"
+REBAL_DIR="$BUILD_DIR/rebalance_drill"
+REBAL_JSON="$BUILD_DIR/BENCH_load_rebalance.json"
+rm -rf "$REBAL_DIR" "$REBAL_JSON"
+mkdir -p "$REBAL_DIR"
+REBAL_PEERS="127.0.0.1:$REBAL_NODE0_PORT,127.0.0.1:$REBAL_NODE1_PORT"
+NODE_BIN="$BUILD_DIR/tools/turbdb_node"
+"$NODE_BIN" --node-id 0 --bind 127.0.0.1 --port "$REBAL_NODE0_PORT" \
+  --peers "$REBAL_PEERS" --storage-dir "$REBAL_DIR" &
+REBAL_PIDS=("$!")
+"$NODE_BIN" --node-id 1 --bind 127.0.0.1 --port "$REBAL_NODE1_PORT" \
+  --peers "$REBAL_PEERS" --storage-dir "$REBAL_DIR" &
+REBAL_PIDS+=("$!")
+"$BUILD_DIR/tools/turbdb_server" --port "$REBAL_SERVER_PORT" --n 32 \
+  --timesteps 1 --topology "$REBAL_PEERS" --storage-dir "$REBAL_DIR" \
+  --mediator-cache-mb 0 &
+REBAL_PIDS+=("$!")
+trap 'kill "${REBAL_PIDS[@]}" 2>/dev/null || true' EXIT
+CLI="$BUILD_DIR/tools/turbdb_cli"
+for _ in $(seq 1 120); do
+  if "$CLI" --connect "127.0.0.1:$REBAL_SERVER_PORT" ping >/dev/null 2>&1; then
+    break
+  fi
+  sleep 0.5
+done
+# Baseline spot-check. The modeled-time line and the cache hit/miss
+# marker vary run to run; everything else — point count, threshold,
+# every listed point — must not move across the
+# join/rebalance/decommission cycle.
+"$CLI" --connect "127.0.0.1:$REBAL_SERVER_PORT" threshold vorticity 2rms \
+  | grep -v "modeled time" | sed 's/ \[cache [a-z]*\]$//' \
+  > "$REBAL_DIR/spot_before.txt"
+"$BUILD_DIR/tools/turbdb_loadgen" --connect "127.0.0.1:$REBAL_SERVER_PORT" \
+  --tenant drill=20 --connections 2 --duration-s 20 --n 32 \
+  --deadline-ms 20000 --json "$REBAL_JSON" &
+REBAL_LOAD_PID=$!
+REBAL_PIDS+=("$REBAL_LOAD_PID")
+"$NODE_BIN" --join "127.0.0.1:$REBAL_SERVER_PORT" --bind 127.0.0.1 \
+  --port "$REBAL_JOIN_PORT" --storage-dir "$REBAL_DIR" \
+  --uuid drill-joiner &
+REBAL_PIDS+=("$!")
+REBAL_JOINED=""
+for _ in $(seq 1 120); do
+  if "$CLI" --connect "127.0.0.1:$REBAL_SERVER_PORT" membership --json \
+      2>/dev/null | grep -q '"uuid": "drill-joiner".*"role": "shard"'; then
+    REBAL_JOINED=yes
+    break
+  fi
+  sleep 0.5
+done
+if [ -z "$REBAL_JOINED" ]; then
+  echo "rebalance drill: joiner never reached the shard role" >&2
+  exit 1
+fi
+"$CLI" --connect "127.0.0.1:$REBAL_SERVER_PORT" rebalance --to-shard 2 \
+  --max-ranges 4 | tee "$REBAL_DIR/rebalance.txt"
+if ! grep -q -- "-> shard 2" "$REBAL_DIR/rebalance.txt"; then
+  echo "rebalance drill: no range moved onto the joined shard" >&2
+  exit 1
+fi
+"$CLI" --connect "127.0.0.1:$REBAL_SERVER_PORT" threshold vorticity 2rms \
+  | grep -v "modeled time" | sed 's/ \[cache [a-z]*\]$//' \
+  > "$REBAL_DIR/spot_after.txt"
+if ! diff "$REBAL_DIR/spot_before.txt" "$REBAL_DIR/spot_after.txt"; then
+  echo "rebalance drill: threshold results changed across the rebalance" >&2
+  exit 1
+fi
+# The per-node status rows must carry the membership generation and WAL
+# lag columns (append-only JSON keys).
+"$CLI" --topology "$REBAL_PEERS,127.0.0.1:$REBAL_JOIN_PORT" \
+  cluster-status --json | grep -q '"wal_pending_records"' || {
+    echo "rebalance drill: cluster-status --json lacks WAL lag fields" >&2
+    exit 1
+  }
+"$CLI" --connect "127.0.0.1:$REBAL_SERVER_PORT" decommission 2 >/dev/null
+if ! wait "$REBAL_LOAD_PID"; then
+  echo "rebalance drill: loadgen reported failures" >&2
+  exit 1
+fi
+kill "${REBAL_PIDS[@]}" 2>/dev/null || true
+wait 2>/dev/null || true
+trap - EXIT
+# Sheds and deadline-stretching are acceptable under sanitizers; queries
+# that *failed* — unreachable peers, protocol breaks, typed errors that
+# leaked through the kWrongOwner retry — are not.
+if grep -Eq '"(unreachable|protocol_errors|other_errors)": [1-9]' \
+    "$REBAL_JSON"; then
+  echo "rebalance drill: failed queries recorded in $REBAL_JSON" >&2
+  exit 1
+fi
+echo "rebalance drill: ok ($REBAL_JSON)"
+
 # Race-check the failover path: the replica-group health tracking and
 # re-sync run concurrently with scatter-gathered sub-queries, so the
 # replication tests get a dedicated ThreadSanitizer build. Faults stay on
@@ -177,6 +280,8 @@ echo "loadgen smoke: ok ($LOAD_JSON)"
 # accounting and shed-vs-admit all cross threads. So do the distributed
 # FoF stitch (per-shard results join from concurrent sub-queries) and
 # the tenant fairness drill (governor buckets hit from many workers).
+# The membership/WAL/elasticity suites join them: membership pushes and
+# rebalance cutovers race in-flight scatter-gather queries by design.
 if [ "$SANITIZE" != "thread" ]; then
   TSAN_DIR="$ROOT/build-tsan"
   cmake -B "$TSAN_DIR" -S "$ROOT" \
@@ -186,6 +291,6 @@ if [ "$SANITIZE" != "thread" ]; then
     -DTURBDB_BUILD_BENCHMARKS=OFF -DTURBDB_BUILD_EXAMPLES=OFF
   cmake --build "$TSAN_DIR" -j "$JOBS"
   ctest --test-dir "$TSAN_DIR" \
-    -R "ReplicationTest|ChaosTest|AdmissionControlTest|StreamedThreshold|FofClusterTest|TenantFairnessTest" \
+    -R "ReplicationTest|ChaosTest|AdmissionControlTest|StreamedThreshold|FofClusterTest|TenantFairnessTest|Membership|WalTest|ElasticityTest" \
     --output-on-failure --timeout 300
 fi

@@ -66,6 +66,9 @@ struct CliOptions {
   int64_t min_cluster_size = 1;
   /// Ship each cluster's member points, not just the summary rows.
   bool members = false;
+  /// Rebalance target shard (-1 = least-loaded) and move budget.
+  int to_shard = -1;
+  int64_t max_ranges = 1;
   bool help = false;
   std::string command;
   std::vector<std::string> args;
@@ -101,6 +104,15 @@ void PrintUsage() {
       "  cache-pin <field>          exempt the field's cached entries from\n"
       "                             LRU eviction (--connect only)\n"
       "  cache-unpin <field>        undo cache-pin (--connect only)\n"
+      "  membership                 the mediator's membership view: nodes,\n"
+      "                             roles, range overrides, generation\n"
+      "                             (--connect only)\n"
+      "  decommission <node-id>     drain the node's shard (live range\n"
+      "                             moves) and remove it from routing\n"
+      "                             (--connect only)\n"
+      "  rebalance                  plan and execute up to --max-ranges\n"
+      "                             live range moves toward --to-shard or\n"
+      "                             the least-loaded shard (--connect only)\n"
       "\n"
       "options:\n"
       "  --n N            grid edge / query-box size (default 64)\n"
@@ -134,6 +146,9 @@ void PrintUsage() {
       "                   just its summary row\n"
       "  --topology T     comma-separated host:port list of turbdb_node\n"
       "                   processes (cluster-status)\n"
+      "  --to-shard S     rebalance target shard (default -1 = the\n"
+      "                   least-loaded active shard)\n"
+      "  --max-ranges N   rebalance move budget (default 1)\n"
       "  --replication-factor R\n"
       "                   replica-group width of the topology (default 1)\n"
       "  --help           this message\n"
@@ -243,6 +258,16 @@ bool ParseArgs(int argc, char** argv, CliOptions* options,
       options->min_cluster_size = value;
     } else if (arg == "--members") {
       options->members = true;
+    } else if (arg == "--to-shard") {
+      if (!next(&value)) return false;
+      options->to_shard = static_cast<int>(value);
+    } else if (arg == "--max-ranges") {
+      if (!next(&value)) return false;
+      if (value < 1) {
+        *error = "--max-ranges must be >= 1";
+        return false;
+      }
+      options->max_ranges = value;
     } else if (arg == "--deadline-ms") {
       if (!next(&value)) return false;
       if (value < 0) {
@@ -448,7 +473,14 @@ int RunCommand(const CliOptions& options, const Backend& backend) {
 bool ValidateCommand(const CliOptions& options, std::string* error) {
   const std::string& cmd = options.command;
   if (cmd == "fields" || cmd == "ping" || cmd == "server-stats" ||
-      cmd == "cache-stats") {
+      cmd == "cache-stats" || cmd == "membership" || cmd == "rebalance") {
+    return true;
+  }
+  if (cmd == "decommission") {
+    if (options.args.empty()) {
+      *error = "decommission needs a node-id argument";
+      return false;
+    }
     return true;
   }
   if (cmd == "drop-cache" || cmd == "cache-pin" || cmd == "cache-unpin") {
@@ -509,8 +541,9 @@ int RunClusterStatus(const CliOptions& options) {
     return 2;
   }
   if (!options.json) {
-    std::printf("%-4s %-21s %-6s %-8s %-6s %-12s %s\n", "node", "address",
-                "shard", "role", "state", "epoch", "atoms");
+    std::printf("%-4s %-21s %-6s %-8s %-6s %-12s %-10s %-8s %s\n", "node",
+                "address", "shard", "role", "state", "epoch", "atoms", "gen",
+                "wal-lag");
   }
   int down = 0;
   std::string json_rows;
@@ -527,6 +560,9 @@ int RunClusterStatus(const CliOptions& options) {
     auto hello = client.Hello();
     uint64_t epoch = 0;
     uint64_t atoms = 0;
+    uint64_t generation = 0;
+    uint64_t wal_records = 0;
+    uint64_t wal_bytes = 0;
     const bool up = hello.ok();
     if (!up) {
       ++down;
@@ -538,29 +574,47 @@ int RunClusterStatus(const CliOptions& options) {
           atoms += store.atoms;
         }
       }
+      net::NodeStatsRequest stats_request;  // Empty names: node-wide row.
+      auto node_stats = client.NodeStats(stats_request);
+      if (node_stats.ok()) {
+        generation = node_stats->generation;
+        wal_records = node_stats->wal_pending_records;
+        wal_bytes = node_stats->wal_pending_bytes;
+      }
     }
     if (options.json) {
       // Stable keys (append-only): node, address, shard, role, state,
-      // epoch, atoms.
-      char row[256];
+      // epoch, atoms, generation, wal_pending_records, wal_pending_bytes.
+      char row[384];
       std::snprintf(row, sizeof(row),
                     "%s\n    {\"node\": %zu, \"address\": \"%s\", "
                     "\"shard\": %d, \"role\": \"%s\", \"state\": \"%s\", "
-                    "\"epoch\": %llu, \"atoms\": %llu}",
+                    "\"epoch\": %llu, \"atoms\": %llu, "
+                    "\"generation\": %llu, \"wal_pending_records\": %llu, "
+                    "\"wal_pending_bytes\": %llu}",
                     json_rows.empty() ? "" : ",", i,
                     JsonEscape(address.ToString()).c_str(), shard, role,
                     up ? "up" : "down",
                     static_cast<unsigned long long>(epoch),
-                    static_cast<unsigned long long>(atoms));
+                    static_cast<unsigned long long>(atoms),
+                    static_cast<unsigned long long>(generation),
+                    static_cast<unsigned long long>(wal_records),
+                    static_cast<unsigned long long>(wal_bytes));
       json_rows += row;
     } else if (!up) {
-      std::printf("%-4zu %-21s %-6d %-8s %-6s %-12s %s\n", i,
-                  address.ToString().c_str(), shard, role, "down", "-", "-");
+      std::printf("%-4zu %-21s %-6d %-8s %-6s %-12s %-10s %-8s %s\n", i,
+                  address.ToString().c_str(), shard, role, "down", "-", "-",
+                  "-", "-");
     } else {
-      std::printf("%-4zu %-21s %-6d %-8s %-6s %-12llu %llu\n", i,
+      char wal_lag[48];
+      std::snprintf(wal_lag, sizeof(wal_lag), "%llu rec/%llu B",
+                    static_cast<unsigned long long>(wal_records),
+                    static_cast<unsigned long long>(wal_bytes));
+      std::printf("%-4zu %-21s %-6d %-8s %-6s %-12llu %-10llu %-8llu %s\n", i,
                   address.ToString().c_str(), shard, role, "up",
                   static_cast<unsigned long long>(epoch),
-                  static_cast<unsigned long long>(atoms));
+                  static_cast<unsigned long long>(atoms),
+                  static_cast<unsigned long long>(generation), wal_lag);
     }
   }
   if (options.json) {
@@ -661,7 +715,10 @@ int RunRemote(const CliOptions& options) {
             static_cast<unsigned long long>(tenant.shed),
             static_cast<unsigned long long>(tenant.cap));
       }
-      std::printf("%s]\n}\n", stats->tenants.empty() ? "" : "\n  ");
+      std::printf("%s],\n", stats->tenants.empty() ? "" : "\n  ");
+      std::printf(
+          "  \"membership_generation\": %llu\n}\n",
+          static_cast<unsigned long long>(stats->membership_generation));
       return 0;
     }
     std::printf(
@@ -700,6 +757,8 @@ int RunRemote(const CliOptions& options) {
         static_cast<unsigned long long>(stats->cache_entries),
         static_cast<unsigned long long>(stats->cache_bytes),
         static_cast<unsigned long long>(stats->cache_pinned_bytes));
+    std::printf("membership gen    %llu\n",
+                static_cast<unsigned long long>(stats->membership_generation));
     if (!stats->tenants.empty()) {
       std::printf("%-16s %9s %9s %9s %9s %9s\n", "tenant", "inflight",
                   "peak", "admitted", "shed", "cap");
@@ -713,6 +772,102 @@ int RunRemote(const CliOptions& options) {
                     static_cast<unsigned long long>(tenant.cap));
       }
     }
+    return 0;
+  }
+  if (options.command == "membership") {
+    auto reply = client.MembershipGet();
+    if (!reply.ok()) return ReportFailure(reply.status(), options.deadline_ms);
+    const MembershipView& view = reply->view;
+    if (options.json) {
+      // Stable keys (append-only): generation, replication, base_shards,
+      // nodes[{node,uuid,address,shard,role,joined_generation}],
+      // overrides[{begin,end,shard}].
+      std::printf("{\n  \"generation\": %llu,\n  \"replication\": %d,\n"
+                  "  \"base_shards\": %d,\n  \"nodes\": [",
+                  static_cast<unsigned long long>(view.generation),
+                  view.replication, view.base_shards);
+      for (size_t i = 0; i < view.nodes.size(); ++i) {
+        const NodeRecord& node = view.nodes[i];
+        std::printf("%s\n    {\"node\": %d, \"uuid\": \"%s\", "
+                    "\"address\": \"%s\", \"shard\": %d, \"role\": \"%s\", "
+                    "\"joined_generation\": %llu}",
+                    i == 0 ? "" : ",", node.node_id,
+                    JsonEscape(node.uuid).c_str(),
+                    JsonEscape(node.Address()).c_str(), node.shard,
+                    NodeRoleName(node.role),
+                    static_cast<unsigned long long>(node.joined_generation));
+      }
+      std::printf("%s],\n  \"overrides\": [",
+                  view.nodes.empty() ? "" : "\n  ");
+      for (size_t i = 0; i < view.overrides.size(); ++i) {
+        const RangeOverride& ov = view.overrides[i];
+        std::printf("%s\n    {\"begin\": %llu, \"end\": %llu, \"shard\": %d}",
+                    i == 0 ? "" : ",",
+                    static_cast<unsigned long long>(ov.begin),
+                    static_cast<unsigned long long>(ov.end), ov.shard);
+      }
+      std::printf("%s]\n}\n", view.overrides.empty() ? "" : "\n  ");
+      return 0;
+    }
+    std::printf("generation %llu  replication %d  base shards %d\n",
+                static_cast<unsigned long long>(view.generation),
+                view.replication, view.base_shards);
+    std::printf("%-4s %-21s %-6s %-9s %-10s %s\n", "node", "address", "shard",
+                "role", "joined", "uuid");
+    for (const NodeRecord& node : view.nodes) {
+      std::printf("%-4d %-21s %-6d %-9s %-10llu %s\n", node.node_id,
+                  node.Address().c_str(), node.shard, NodeRoleName(node.role),
+                  static_cast<unsigned long long>(node.joined_generation),
+                  node.uuid.c_str());
+    }
+    for (const RangeOverride& ov : view.overrides) {
+      std::printf("override [%llu, %llu) -> shard %d\n",
+                  static_cast<unsigned long long>(ov.begin),
+                  static_cast<unsigned long long>(ov.end), ov.shard);
+    }
+    return 0;
+  }
+  if (options.command == "decommission") {
+    char* end = nullptr;
+    const long node_id = std::strtol(options.args[0].c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || node_id < 0) {
+      std::fprintf(stderr,
+                   "decommission expects a non-negative node id, got '%s'\n",
+                   options.args[0].c_str());
+      return 2;
+    }
+    net::LeaveRequest request;
+    request.node_id = static_cast<int32_t>(node_id);
+    auto reply = client.Leave(request);
+    if (!reply.ok()) return ReportFailure(reply.status(), options.deadline_ms);
+    std::printf("node %ld decommissioned: %llu ranges moved (%llu atoms "
+                "copied), now at generation %llu\n",
+                node_id,
+                static_cast<unsigned long long>(reply->ranges_moved),
+                static_cast<unsigned long long>(reply->atoms_copied),
+                static_cast<unsigned long long>(reply->view.generation));
+    return 0;
+  }
+  if (options.command == "rebalance") {
+    net::RebalanceRequest request;
+    request.to_shard = options.to_shard;
+    request.max_ranges = static_cast<uint64_t>(options.max_ranges);
+    auto reply = client.Rebalance(request);
+    if (!reply.ok()) return ReportFailure(reply.status(), options.deadline_ms);
+    if (reply->moved.empty()) {
+      std::printf("already balanced (generation %llu)\n",
+                  static_cast<unsigned long long>(reply->generation));
+      return 0;
+    }
+    for (const RangeOverride& move : reply->moved) {
+      std::printf("moved [%llu, %llu) -> shard %d\n",
+                  static_cast<unsigned long long>(move.begin),
+                  static_cast<unsigned long long>(move.end), move.shard);
+    }
+    std::printf("%zu ranges (%llu atoms copied), now at generation %llu\n",
+                reply->moved.size(),
+                static_cast<unsigned long long>(reply->atoms_copied),
+                static_cast<unsigned long long>(reply->generation));
     return 0;
   }
   if (options.command == "fof") {
@@ -915,7 +1070,8 @@ int RunLocal(const CliOptions& options) {
   if (options.command == "ping" || options.command == "server-stats" ||
       options.command == "cache-stats" || options.command == "cache-warm" ||
       options.command == "cache-pin" || options.command == "cache-unpin" ||
-      options.command == "fof") {
+      options.command == "fof" || options.command == "membership" ||
+      options.command == "decommission" || options.command == "rebalance") {
     std::fprintf(stderr, "turbdb_cli: '%s' requires --connect\n",
                  options.command.c_str());
     return 2;

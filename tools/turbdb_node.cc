@@ -16,19 +16,24 @@
 // --port 0 the kernel picks a port; --port-file writes the bound port to
 // a file so a launcher (the multi-process tests) can discover it.
 
+#include <unistd.h>
+
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
 #include <atomic>
 #include <chrono>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <thread>
 
 #include "cluster/node_service.h"
 #include "cluster/topology.h"
 #include "common/fault.h"
+#include "net/client.h"
 #include "net/server.h"
 #include "storage/epoch.h"
 
@@ -54,6 +59,10 @@ struct NodeCliOptions {
   int64_t deadline_ms = 60000;
   int replication_factor = 1;
   bool fsync_ingest = true;
+  std::string join;  ///< Mediator host:port to join a running cluster.
+  std::string uuid;  ///< Stable instance identity for --join re-admits.
+  bool enable_wal = true;
+  std::string wal_fsync = "batch";
   std::string faults;
   bool help = false;
 };
@@ -82,6 +91,14 @@ void PrintUsage() {
       "                   replica-group width: peers [g*R,(g+1)*R) all\n"
       "                   serve shard g (default 1 = unreplicated)\n"
       "  --no-fsync       skip the per-batch fsync of durable ingest\n"
+      "  --join HOST:PORT join a running cluster through its mediator:\n"
+      "                   the node id, shard and peer list come from the\n"
+      "                   membership registry instead of the flags above\n"
+      "  --uuid S         stable instance identity for --join (default:\n"
+      "                   derived from bind address, pid and start time)\n"
+      "  --no-wal         disable the per-node write-ahead log\n"
+      "  --wal-fsync M    when the WAL fsyncs: append | batch | none\n"
+      "                   (default batch = once per acked ingest RPC)\n"
       "  --faults SPEC    arm deterministic fault injection, e.g.\n"
       "                   server.reply.truncate=truncate:8:1 (needs a\n"
       "                   build with -DTURBDB_FAULTS=ON; TURBDB_FAULTS\n"
@@ -168,6 +185,19 @@ bool ParseArgs(int argc, char** argv, NodeCliOptions* options,
       options->replication_factor = static_cast<int>(value);
     } else if (arg == "--no-fsync") {
       options->fsync_ingest = false;
+    } else if (arg == "--join") {
+      if (!next_str(&options->join)) return false;
+    } else if (arg == "--uuid") {
+      if (!next_str(&options->uuid)) return false;
+    } else if (arg == "--no-wal") {
+      options->enable_wal = false;
+    } else if (arg == "--wal-fsync") {
+      if (!next_str(&options->wal_fsync)) return false;
+      if (options->wal_fsync != "append" && options->wal_fsync != "batch" &&
+          options->wal_fsync != "none") {
+        *error = "--wal-fsync expects append, batch or none";
+        return false;
+      }
     } else if (arg == "--faults") {
       if (!next_str(&options->faults)) return false;
     } else {
@@ -207,21 +237,132 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // --join: admit phase against the mediator. The node id, shard and
+  // peer list come out of the membership registry; the activate phase
+  // (after the server binds its real port) makes the mediator dial back
+  // and start routing this shard.
+  const bool joining = !options.join.empty();
+  std::unique_ptr<net::Client> mediator_client;
+  net::JoinReply join_reply;
+  std::string join_uuid;
+  if (joining) {
+    if (!options.peers.empty() || !options.peers_file.empty()) {
+      std::fprintf(stderr,
+                   "--join derives the peer list from the mediator; drop "
+                   "--peers/--peers-file\n");
+      return 2;
+    }
+    auto mediator_or = ParseTopology(options.join);
+    if (!mediator_or.ok() || mediator_or->nodes.size() != 1) {
+      std::fprintf(stderr, "--join expects one mediator host:port\n");
+      return 2;
+    }
+    join_uuid = options.uuid.empty()
+                    ? options.bind + "-" + std::to_string(::getpid()) + "-" +
+                          std::to_string(std::time(nullptr))
+                    : options.uuid;
+    mediator_client = std::make_unique<net::Client>(
+        mediator_or->nodes[0].host, mediator_or->nodes[0].port);
+    net::JoinRequest admit;
+    admit.uuid = join_uuid;
+    admit.host = options.bind;
+    admit.port = static_cast<uint16_t>(options.port);
+    admit.activate = false;
+    auto reply_or = mediator_client->Join(admit);
+    if (!reply_or.ok()) {
+      std::fprintf(stderr, "join admit failed: %s\n",
+                   reply_or.status().ToString().c_str());
+      return 1;
+    }
+    join_reply = std::move(*reply_or);
+    options.node_id = join_reply.record.node_id;
+    std::printf("turbdb_node: admitted as node %d (shard %d) at generation "
+                "%llu\n",
+                join_reply.record.node_id, join_reply.record.shard,
+                static_cast<unsigned long long>(join_reply.view.generation));
+    std::fflush(stdout);
+  }
+
   NodeServiceConfig config;
   config.node_id = options.node_id;
   config.storage_dir = options.storage_dir;
   config.worker_threads = options.node_workers;
   config.replication_factor = options.replication_factor;
   config.fsync_ingest = options.fsync_ingest;
-  // Bump this node's incarnation counter so mediators can tell a restart
-  // from a hiccup (epoch change in the Hello handshake => re-sync).
-  auto epoch_or = BumpEpochFile(options.storage_dir, options.node_id);
-  if (!epoch_or.ok()) {
-    std::fprintf(stderr, "cannot bump epoch file: %s\n",
-                 epoch_or.status().ToString().c_str());
-    return 1;
+  config.enable_wal = options.enable_wal;
+  config.wal_fsync = options.wal_fsync == "append"
+                         ? WalFsyncPolicy::kEveryAppend
+                         : options.wal_fsync == "none" ? WalFsyncPolicy::kNever
+                                                       : WalFsyncPolicy::kEveryBatch;
+  if (joining) {
+    config.shard_override = join_reply.record.shard;
+    config.replication_factor =
+        join_reply.view.replication > 0 ? join_reply.view.replication : 1;
+    int max_id = -1;
+    for (const NodeRecord& record : join_reply.view.nodes) {
+      max_id = std::max(max_id, record.node_id);
+    }
+    config.peers.nodes.assign(static_cast<size_t>(max_id + 1), NodeAddress{});
+    for (const NodeRecord& record : join_reply.view.nodes) {
+      config.peers.nodes[static_cast<size_t>(record.node_id)] =
+          NodeAddress{record.host, record.port};
+    }
+    config.peers.replication_factor = config.replication_factor;
   }
-  config.epoch = *epoch_or;
+
+  // Incarnation epoch. A first boot and a crash restart bump the
+  // counter (the epoch change is what makes mediators re-sync this
+  // node); a restart after a clean drain keeps it — the stores are
+  // known consistent, so a silent bump would only trigger a pointless
+  // re-sync and mask the distinction the lock marker exists to draw.
+  uint64_t epoch = 0;
+  if (options.storage_dir.empty()) {
+    auto epoch_or = BumpEpochFile(options.storage_dir, options.node_id);
+    if (!epoch_or.ok()) {
+      std::fprintf(stderr, "cannot derive epoch: %s\n",
+                   epoch_or.status().ToString().c_str());
+      return 1;
+    }
+    epoch = *epoch_or;
+  } else {
+    auto marker_or = StartMarkerPresent(options.storage_dir, options.node_id);
+    auto prev_or = ReadEpochFile(options.storage_dir, options.node_id);
+    if (!marker_or.ok() || !prev_or.ok()) {
+      std::fprintf(stderr, "cannot inspect storage dir: %s\n",
+                   (!marker_or.ok() ? marker_or.status() : prev_or.status())
+                       .ToString()
+                       .c_str());
+      return 1;
+    }
+    const bool unclean = *marker_or;
+    if (*prev_or != 0 && !unclean) {
+      epoch = *prev_or;  // Clean shutdown: same incarnation.
+    } else {
+      auto epoch_or = BumpEpochFile(options.storage_dir, options.node_id);
+      if (!epoch_or.ok()) {
+        std::fprintf(stderr, "cannot bump epoch file: %s\n",
+                     epoch_or.status().ToString().c_str());
+        return 1;
+      }
+      epoch = *epoch_or;
+      if (unclean) {
+        std::fprintf(stderr,
+                     "turbdb_node %d: unclean shutdown detected (stale "
+                     "node%d.lock); replaying WAL and bumping epoch to %llu "
+                     "so mediators re-sync this node\n",
+                     options.node_id, options.node_id,
+                     static_cast<unsigned long long>(epoch));
+      }
+    }
+    auto marker_status = CreateStartMarker(options.storage_dir,
+                                           options.node_id);
+    if (!marker_status.ok()) {
+      std::fprintf(stderr, "cannot create start marker: %s\n",
+                   marker_status.ToString().c_str());
+      return 1;
+    }
+  }
+  config.epoch = epoch;
   if (!options.peers.empty() || !options.peers_file.empty()) {
     if (!options.peers.empty() && !options.peers_file.empty()) {
       std::fprintf(stderr, "pass either --peers or --peers-file, not both\n");
@@ -243,6 +384,33 @@ int main(int argc, char** argv) {
   }
 
   NodeService service(config);
+  // Replay acknowledged-but-unapplied ingest batches before serving:
+  // after a kill -9 mid-batch the WAL, not the store tail, is the
+  // source of truth for what was acked.
+  Status recover_status = service.RecoverWal();
+  if (!recover_status.ok()) {
+    std::fprintf(stderr, "WAL recovery failed: %s\n",
+                 recover_status.ToString().c_str());
+    return 1;
+  }
+  if (joining) {
+    // Self-register the catalog and install the admit-time view, so the
+    // first query routed here after activation finds its datasets.
+    for (const net::WireDatasetRegistration& reg : join_reply.registrations) {
+      Status status = service.RegisterDatasetSpec(reg);
+      if (!status.ok()) {
+        std::fprintf(stderr, "cannot register dataset %s: %s\n",
+                     reg.info.name.c_str(), status.ToString().c_str());
+        return 1;
+      }
+    }
+    Status status = service.ApplyView(join_reply.view);
+    if (!status.ok()) {
+      std::fprintf(stderr, "cannot install membership view: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
+  }
 
   net::ServerOptions server_options;
   server_options.bind_address = options.bind;
@@ -278,6 +446,34 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (joining) {
+    // Activate phase: re-announce with the real bound port; the mediator
+    // dials back, handshakes and starts routing this shard's ranges.
+    net::JoinRequest activate;
+    activate.uuid = join_uuid;
+    activate.host = options.bind;
+    activate.port = server->port();
+    activate.activate = true;
+    auto reply_or = mediator_client->Join(activate);
+    if (!reply_or.ok()) {
+      std::fprintf(stderr, "join activate failed: %s\n",
+                   reply_or.status().ToString().c_str());
+      server->Stop();
+      return 1;
+    }
+    Status status = service.ApplyView(reply_or->view);
+    if (!status.ok()) {
+      std::fprintf(stderr, "cannot install activation view: %s\n",
+                   status.ToString().c_str());
+      server->Stop();
+      return 1;
+    }
+    std::printf("turbdb_node %d active as shard %d at generation %llu\n",
+                options.node_id, reply_or->record.shard,
+                static_cast<unsigned long long>(reply_or->view.generation));
+    std::fflush(stdout);
+  }
+
   struct sigaction action;
   std::memset(&action, 0, sizeof(action));
   action.sa_handler = HandleSignal;
@@ -290,6 +486,14 @@ int main(int argc, char** argv) {
 
   std::fprintf(stderr, "[node %d shutting down ...]\n", options.node_id);
   server->Stop();
+  // Clean drain: drop the crash marker so the next start keeps this
+  // incarnation's epoch instead of forcing a re-sync.
+  Status marker_status = RemoveStartMarker(options.storage_dir,
+                                           options.node_id);
+  if (!marker_status.ok()) {
+    std::fprintf(stderr, "cannot remove start marker: %s\n",
+                 marker_status.ToString().c_str());
+  }
   const net::ServerStatsReply stats = server->stats();
   std::fprintf(stderr,
                "node %d served %llu ok / %llu errors over %llu connections\n",
