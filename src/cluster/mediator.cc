@@ -1176,6 +1176,24 @@ uint64_t Mediator::affinity_routes() const {
   return total;
 }
 
+uint64_t Mediator::corruption_failovers() const {
+  uint64_t total = 0;
+  for (const auto& backend : backends_) {
+    const auto* group = dynamic_cast<const ReplicaGroup*>(backend.get());
+    if (group != nullptr) total += group->corruption_failovers();
+  }
+  return total;
+}
+
+uint64_t Mediator::read_repairs() const {
+  uint64_t total = 0;
+  for (const auto& backend : backends_) {
+    const auto* group = dynamic_cast<const ReplicaGroup*>(backend.get());
+    if (group != nullptr) total += group->read_repairs();
+  }
+  return total;
+}
+
 std::vector<ClusterNodeStatus> Mediator::ClusterStatus() const {
   std::vector<ClusterNodeStatus> rows;
   const int total = num_nodes();
@@ -1202,6 +1220,10 @@ std::vector<ClusterNodeStatus> Mediator::ClusterStatus() const {
           row.generation = stats->generation;
           row.wal_pending_records = stats->wal_pending_records;
           row.wal_pending_bytes = stats->wal_pending_bytes;
+          row.scrub_passes = stats->scrub_passes;
+          row.scrub_atoms_corrupt = stats->scrub_atoms_corrupt;
+          row.scrub_atoms_repaired = stats->scrub_atoms_repaired;
+          row.atoms_quarantined = stats->atoms_quarantined;
         }
       }
       rows.push_back(std::move(row));

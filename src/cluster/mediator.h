@@ -104,6 +104,11 @@ struct ClusterNodeStatus {
   uint64_t generation = 0;  ///< Membership generation the node serves at.
   uint64_t wal_pending_records = 0;  ///< WAL records not yet checkpointed.
   uint64_t wal_pending_bytes = 0;    ///< WAL payload bytes pending.
+  // v7 self-healing columns (append-only).
+  uint64_t scrub_passes = 0;          ///< Scrub passes completed on the node.
+  uint64_t scrub_atoms_corrupt = 0;   ///< Corrupt atoms scrubs ever found.
+  uint64_t scrub_atoms_repaired = 0;  ///< Atoms healed via anti-entropy.
+  uint64_t atoms_quarantined = 0;     ///< Atoms quarantined right now.
 };
 
 /// The front-end Web-server of Fig. 1: mediates between clients and the
@@ -298,6 +303,12 @@ class Mediator {
   /// Total affinity-preferred replica routing decisions, summed over the
   /// replica groups (always 0 in-process or with affinity off).
   uint64_t affinity_routes() const;
+
+  /// Reads that failed over off a member answering kCorruption, and
+  /// background read-repairs completed — summed over the replica groups
+  /// (always 0 in-process). Surfaced through the ServerStats RPC (v7).
+  uint64_t corruption_failovers() const;
+  uint64_t read_repairs() const;
 
   Result<const DatasetInfo*> GetDataset(const std::string& name) const;
 

@@ -177,6 +177,42 @@ uint64_t DatabaseNode::StoredAtomCount(const std::string& dataset,
   return store == nullptr ? 0 : store->AtomCount();
 }
 
+std::vector<DatabaseNode::StoreHandle> DatabaseNode::OpenStores() {
+  std::vector<StoreHandle> handles;
+  std::lock_guard<std::mutex> lock(stores_mutex_);
+  for (const auto& [key, store] : stores_) {
+    handles.push_back({key.first, key.second, store.get()});
+  }
+  return handles;
+}
+
+Status DatabaseNode::StoreDigestRows(const std::string& dataset,
+                                     const std::string& field,
+                                     std::vector<AtomDigest>* rows) const {
+  const AtomStore* store = FindStore(dataset, field);
+  if (store == nullptr) {
+    return Status::NotFound("node " + std::to_string(id_) +
+                            " stores no field '" + field + "'");
+  }
+  return store->DigestRows(rows);
+}
+
+Status DatabaseNode::RepairAtom(const std::string& dataset,
+                                const std::string& field, const Atom& atom) {
+  return GetOrCreateStore(dataset, field)->Repair(atom);
+}
+
+Result<Atom> DatabaseNode::ReadStoredAtom(const std::string& dataset,
+                                          const std::string& field,
+                                          const AtomKey& key) const {
+  const AtomStore* store = FindStore(dataset, field);
+  if (store == nullptr) {
+    return Status::NotFound("node " + std::to_string(id_) +
+                            " stores no field '" + field + "'");
+  }
+  return store->Get(key);
+}
+
 Result<std::vector<Atom>> DatabaseNode::ServeAtoms(
     const std::string& dataset, const std::string& field, int32_t timestep,
     const std::vector<uint64_t>& codes, int concurrent, double* cost_s,

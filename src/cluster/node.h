@@ -219,6 +219,34 @@ class DatabaseNode {
   uint64_t StoredAtomCount(const std::string& dataset,
                            const std::string& field) const;
 
+  /// Every open store with the raw AtomStore pointer, for the scrubber's
+  /// listing callback. Pointers stay valid for the node's lifetime
+  /// (stores are never closed while the node runs).
+  struct StoreHandle {
+    std::string dataset;
+    std::string field;
+    AtomStore* store = nullptr;
+  };
+  std::vector<StoreHandle> OpenStores();
+
+  /// Content digests of one store's atoms (for a Merkle build); NotFound
+  /// if this node has no such store — but for a durable node the store
+  /// is recovered from disk first, like CollectRange does.
+  Status StoreDigestRows(const std::string& dataset, const std::string& field,
+                         std::vector<AtomDigest>* rows) const;
+
+  /// Overwrites (or inserts) the stored copy of `atom` with known-good
+  /// bytes from a healthy replica, clearing any quarantine on the key.
+  Status RepairAtom(const std::string& dataset, const std::string& field,
+                    const Atom& atom);
+
+  /// Looks up one atom directly in the store (no cache, no cost model):
+  /// the repair driver uses it to compare a peer's copy against local
+  /// bytes. NotFound when missing, kCorruption when quarantined or rotted.
+  Result<Atom> ReadStoredAtom(const std::string& dataset,
+                              const std::string& field,
+                              const AtomKey& key) const;
+
  private:
   struct ChunkOutcome {
     std::vector<ThresholdPoint> points;

@@ -10,6 +10,7 @@
 
 #include "common/logging.h"
 #include "net/protocol.h"
+#include "storage/merkle.h"
 
 namespace turbdb {
 
@@ -69,6 +70,33 @@ NodeService::NodeService(const NodeServiceConfig& config)
         return FetchFromPeer(query, owner, dataset, field, timestep, codes,
                              concurrent, cost_s);
       });
+  Scrubber::Options scrub;
+  scrub.interval_s = config.scrub_interval_s;
+  scrub.rate_mb = config.scrub_rate_mb;
+  scrubber_ = std::make_unique<Scrubber>(
+      std::move(scrub),
+      [this]() {
+        std::vector<Scrubber::StoreRef> refs;
+        for (const DatabaseNode::StoreHandle& handle : node_.OpenStores()) {
+          refs.push_back({handle.dataset, handle.field, handle.store});
+        }
+        return refs;
+      },
+      [this](const std::string& dataset,
+             const std::string& field) -> uint64_t {
+        auto repaired = RepairStoreFromSiblings(dataset, field, /*timestep=*/0,
+                                                /*begin_code=*/0,
+                                                /*end_code=*/0);
+        if (!repaired.ok()) {
+          TURBDB_LOG(Warning)
+              << "node " << config_.node_id << ": anti-entropy repair of "
+              << dataset << "/" << field
+              << " found no healthy sibling: " << repaired.status().ToString();
+          return 0;
+        }
+        return repaired->atoms_repaired;
+      });
+  scrubber_->Start();
 }
 
 net::Server::Handler NodeService::AsHandler() {
@@ -236,7 +264,13 @@ Result<std::vector<Atom>> NodeService::FetchFromPeer(
     last = Status(reply.status().code(),
                   "halo fetch from node " + std::to_string(physical) + ": " +
                       reply.status().message());
-    if (!IsTransportFailure(last)) return last;
+    // A corrupt store on the peer is as failover-worthy as a dead peer:
+    // its replica sibling holds the same atoms, uncorrupted. The owner
+    // heals itself (scrub / read-repair); this read just routes around.
+    if (!IsTransportFailure(last) &&
+        last.code() != StatusCode::kCorruption) {
+      return last;
+    }
     if (r + 1 < replication) {
       TURBDB_LOG(Warning) << "node " << config_.node_id
                           << ": halo fetch failing over off node " << physical
@@ -284,6 +318,15 @@ std::vector<uint8_t> NodeService::Handle(const std::vector<uint8_t>& payload,
       break;
     case net::MsgType::kCutoverRequest:
       response = HandleCutover(payload);
+      break;
+    case net::MsgType::kNodeMerkleRequest:
+      response = HandleMerkle(payload);
+      break;
+    case net::MsgType::kNodeScrubRequest:
+      response = HandleScrub(payload);
+      break;
+    case net::MsgType::kNodeRepairRangeRequest:
+      response = HandleRepairRange(payload);
       break;
     default:
       response = Status::NotSupported(
@@ -589,6 +632,14 @@ Result<std::vector<uint8_t>> NodeService::HandleStats(
     reply.wal_pending_bytes = wal_->pending_bytes();
   }
   reply.generation = generation();
+  const Scrubber::Totals scrub = scrubber_->totals();
+  reply.scrub_passes = scrub.passes;
+  reply.scrub_atoms_verified = scrub.atoms_verified;
+  reply.scrub_atoms_corrupt = scrub.atoms_corrupt;
+  reply.scrub_atoms_repaired = scrub.atoms_repaired;
+  for (const DatabaseNode::StoreHandle& handle : node_.OpenStores()) {
+    reply.atoms_quarantined += handle.store->QuarantinedCount();
+  }
   return net::EncodeNodeStatsResponse(reply);
 }
 
@@ -653,6 +704,203 @@ Result<std::vector<uint8_t>> NodeService::HandleListStores(
     reply.stores.push_back(std::move(info));
   }
   return net::EncodeNodeListStoresResponse(reply);
+}
+
+Result<std::vector<uint8_t>> NodeService::HandleMerkle(
+    const std::vector<uint8_t>& payload) {
+  TURBDB_ASSIGN_OR_RETURN(net::NodeMerkleRequest request,
+                          net::DecodeNodeMerkleRequest(payload));
+  net::NodeMerkleReply reply;
+  reply.node_id = config_.node_id;
+  reply.leaf_shift = request.leaf_shift;
+  std::vector<AtomDigest> rows;
+  Status status = node_.StoreDigestRows(request.dataset, request.field, &rows);
+  // An unknown store answers as an empty tree (root 0): anti-entropy
+  // between replicas where one side has not opened the store yet is a
+  // full divergence, not an error.
+  if (!status.ok() && status.code() != StatusCode::kNotFound) return status;
+  const MerkleTree tree = BuildMerkleTree(rows, request.leaf_shift);
+  reply.root = tree.root;
+  reply.leaves.reserve(tree.leaves.size());
+  for (const MerkleLeaf& leaf : tree.leaves) {
+    net::WireMerkleLeaf wire;
+    wire.timestep = leaf.timestep;
+    wire.leaf = leaf.leaf;
+    wire.digest = leaf.digest;
+    wire.atoms = leaf.atoms;
+    reply.leaves.push_back(wire);
+  }
+  return net::EncodeNodeMerkleResponse(reply);
+}
+
+Result<std::vector<uint8_t>> NodeService::HandleScrub(
+    const std::vector<uint8_t>& payload) {
+  TURBDB_ASSIGN_OR_RETURN(net::NodeScrubRequest request,
+                          net::DecodeNodeScrubRequest(payload));
+  if (request.trigger) (void)scrubber_->RunPass();
+  net::NodeScrubReply reply;
+  reply.node_id = config_.node_id;
+  const Scrubber::Totals totals = scrubber_->totals();
+  reply.passes = totals.passes;
+  reply.atoms_verified = totals.atoms_verified;
+  reply.atoms_corrupt = totals.atoms_corrupt;
+  reply.atoms_repaired = totals.atoms_repaired;
+  reply.last_pass_unix_ms = totals.last_pass_unix_ms;
+  for (const Scrubber::StoreStats& store : scrubber_->Snapshot()) {
+    net::ScrubStoreRow row;
+    row.dataset = store.dataset;
+    row.field = store.field;
+    row.atoms_verified = store.atoms_verified;
+    row.atoms_corrupt = store.atoms_corrupt;
+    row.atoms_repaired = store.atoms_repaired;
+    row.atoms_quarantined = store.atoms_quarantined;
+    row.bytes_verified = store.bytes_verified;
+    row.passes = store.passes;
+    row.merkle_root = store.merkle_root;
+    reply.stores.push_back(std::move(row));
+  }
+  return net::EncodeNodeScrubResponse(reply);
+}
+
+Result<std::vector<uint8_t>> NodeService::HandleRepairRange(
+    const std::vector<uint8_t>& payload) {
+  TURBDB_ASSIGN_OR_RETURN(net::NodeRepairRangeRequest request,
+                          net::DecodeNodeRepairRangeRequest(payload));
+  TURBDB_ASSIGN_OR_RETURN(
+      net::NodeRepairRangeReply reply,
+      RepairStoreFromSiblings(request.dataset, request.field, request.timestep,
+                              request.begin_code, request.end_code));
+  return net::EncodeNodeRepairRangeResponse(reply);
+}
+
+Result<net::NodeRepairRangeReply> NodeService::RepairStoreFromSiblings(
+    const std::string& dataset, const std::string& field, int32_t timestep,
+    uint64_t begin_code, uint64_t end_code) {
+  net::NodeRepairRangeReply reply;
+  reply.node_id = config_.node_id;
+  // The local tree; an unopened store diffs as empty (pull everything).
+  std::vector<AtomDigest> rows;
+  Status status = node_.StoreDigestRows(dataset, field, &rows);
+  if (!status.ok() && status.code() != StatusCode::kNotFound) return status;
+  const MerkleTree mine = BuildMerkleTree(rows);
+
+  const int replication = std::max(1, config_.replication_factor);
+  // Replica siblings are grouped by physical id, not the logical shard
+  // override: group g is physicals [g*R, (g+1)*R).
+  const int group = config_.node_id / replication;
+  Status last = Status::NotFound(
+      "node " + std::to_string(config_.node_id) +
+      " has no replica siblings to repair from (replication factor " +
+      std::to_string(replication) + ")");
+  for (int r = 0; r < replication; ++r) {
+    const int physical = group * replication + r;
+    if (physical == config_.node_id) continue;
+    if (physical < 0 || physical >= static_cast<int>(config_.peers.size())) {
+      continue;
+    }
+    PeerChannel* channel = GetPeerChannel(physical);
+
+    net::NodeMerkleRequest merkle_request;
+    merkle_request.dataset = dataset;
+    merkle_request.field = field;
+    merkle_request.leaf_shift = kDefaultMerkleLeafShift;
+    Result<net::NodeMerkleReply> peer_tree = Status::OK();
+    {
+      std::lock_guard<std::mutex> lock(channel->mutex);
+      peer_tree = channel->client->NodeMerkle(merkle_request);
+    }
+    if (!peer_tree.ok()) {
+      last = Status(peer_tree.status().code(),
+                    "merkle fetch from node " + std::to_string(physical) +
+                        ": " + peer_tree.status().message());
+      continue;  // Sick sibling; try the next one.
+    }
+
+    MerkleTree theirs;
+    theirs.leaf_shift = peer_tree->leaf_shift;
+    theirs.root = peer_tree->root;
+    theirs.leaves.reserve(peer_tree->leaves.size());
+    for (const net::WireMerkleLeaf& wire : peer_tree->leaves) {
+      MerkleLeaf leaf;
+      leaf.timestep = wire.timestep;
+      leaf.leaf = wire.leaf;
+      leaf.digest = wire.digest;
+      leaf.atoms = wire.atoms;
+      theirs.leaves.push_back(leaf);
+    }
+
+    std::vector<MerkleRange> diverged = DiffMerkleTrees(mine, theirs);
+    // Optional confinement to the requested [begin_code, end_code) of
+    // one timestep (begin == end == 0 repairs whatever the diff found).
+    if (!(begin_code == 0 && end_code == 0)) {
+      std::vector<MerkleRange> confined;
+      for (MerkleRange& range : diverged) {
+        if (range.timestep != timestep) continue;
+        range.begin = std::max(range.begin, begin_code);
+        range.end = std::min(range.end, end_code);
+        if (range.begin < range.end) confined.push_back(range);
+      }
+      diverged = std::move(confined);
+    }
+    reply.ranges_diverged = diverged.size();
+
+    for (const MerkleRange& range : diverged) {
+      net::NodeSyncRangeRequest sync;
+      sync.dataset = dataset;
+      sync.field = field;
+      sync.timestep = range.timestep;
+      sync.begin_code = range.begin;
+      sync.end_code = range.end;
+      sync.max_atoms = 256;
+      bool done = false;
+      while (!done) {
+        Result<net::NodeSyncRangeReply> page = Status::OK();
+        {
+          std::lock_guard<std::mutex> lock(channel->mutex);
+          page = channel->client->NodeSyncRange(sync);
+        }
+        // Paging the sibling's copy failed mid-repair: surface it (what
+        // has been rewritten so far is already durable and re-verified
+        // by the next pass — repair is idempotent).
+        TURBDB_RETURN_NOT_OK(page.status());
+        for (const Atom& atom : page->atoms) {
+          ++reply.atoms_examined;
+          Result<Atom> local =
+              node_.ReadStoredAtom(dataset, field, atom.key);
+          const bool rewrite =
+              !local.ok() || local->width != atom.width ||
+              local->ncomp != atom.ncomp || local->data != atom.data;
+          if (!rewrite) continue;
+          TURBDB_RETURN_NOT_OK(node_.RepairAtom(dataset, field, atom));
+          ++reply.atoms_repaired;
+        }
+        done = page->done;
+        sync.begin_code = page->next_code;
+      }
+    }
+
+    if (reply.atoms_repaired > 0) {
+      TURBDB_LOG(Warning) << "node " << config_.node_id << ": repaired "
+                          << reply.atoms_repaired << " atom(s) of " << dataset
+                          << "/" << field << " from node " << physical << " ("
+                          << reply.ranges_diverged << " divergent range(s))";
+    }
+    // One healthy sibling is enough; recompute the local root so the
+    // caller can assert convergence against the peer's.
+    rows.clear();
+    status = node_.StoreDigestRows(dataset, field, &rows);
+    if (!status.ok() && status.code() != StatusCode::kNotFound) return status;
+    reply.root = BuildMerkleTree(rows).root;
+    return reply;
+  }
+  if (replication < 2) {
+    // Unreplicated: nothing to diff against. Answer with the local root
+    // rather than failing — the scrub RPC path treats this as "healthy
+    // by definition of having no peer".
+    reply.root = mine.root;
+    return reply;
+  }
+  return last;
 }
 
 }  // namespace turbdb

@@ -15,6 +15,7 @@
 #include "membership/view.h"
 #include "net/client.h"
 #include "net/server.h"
+#include "storage/scrub.h"
 #include "storage/wal.h"
 
 namespace turbdb {
@@ -58,6 +59,11 @@ struct NodeServiceConfig {
   /// Checkpoint threshold: once the log holds this many payload bytes,
   /// the batch-end path fsyncs every store and truncates the log.
   uint64_t wal_checkpoint_bytes = 64ull << 20;
+  /// Background scrub cadence in seconds; 0 disables the thread (scrub
+  /// passes then run only via the NodeScrub RPC).
+  int scrub_interval_s = 0;
+  /// Scrub read-rate budget in MB/s; 0 = unthrottled.
+  int scrub_rate_mb = 0;
 };
 
 /// Serves one `DatabaseNode` over the node-scoped RPCs: the process body
@@ -118,6 +124,10 @@ class NodeService {
 
   /// Generation of the installed membership view (0 = none installed).
   uint64_t generation() const;
+
+  /// The node's background scrubber (always constructed; the thread only
+  /// runs when scrub_interval_s > 0). Tests trigger passes through it.
+  Scrubber& scrubber() { return *scrubber_; }
 
  private:
   struct DatasetState {
@@ -183,6 +193,25 @@ class NodeService {
       const std::vector<uint8_t>& payload);
   Result<std::vector<uint8_t>> HandleCutover(
       const std::vector<uint8_t>& payload);
+  Result<std::vector<uint8_t>> HandleMerkle(
+      const std::vector<uint8_t>& payload);
+  Result<std::vector<uint8_t>> HandleScrub(
+      const std::vector<uint8_t>& payload);
+  Result<std::vector<uint8_t>> HandleRepairRange(
+      const std::vector<uint8_t>& payload);
+
+  /// Anti-entropy driver: fetches a replica sibling's Merkle tree for
+  /// (dataset, field), diffs it against the local one, pages only the
+  /// divergent z-ranges over SyncRange, and rewrites atoms that are
+  /// missing, quarantined or byte-different locally. Stops after the
+  /// first sibling that answers. `begin_code == end_code == 0` means
+  /// "whatever the diff finds"; otherwise the repair is confined to
+  /// [begin_code, end_code) of `timestep`. Repair is pull-only: atoms
+  /// this node holds that the sibling lacks are left alone (the
+  /// sibling's own scrubber pulls them in the other direction).
+  Result<net::NodeRepairRangeReply> RepairStoreFromSiblings(
+      const std::string& dataset, const std::string& field, int32_t timestep,
+      uint64_t begin_code, uint64_t end_code);
 
   NodeServiceConfig config_;
   DatabaseNode node_;
@@ -213,6 +242,10 @@ class NodeService {
 
   std::map<int, std::unique_ptr<PeerChannel>> peers_;
   std::mutex peers_mutex_;
+
+  /// Declared last so its thread stops before any state it scrubs or
+  /// repairs through (node_, peers_) is torn down.
+  std::unique_ptr<Scrubber> scrubber_;
 };
 
 }  // namespace turbdb

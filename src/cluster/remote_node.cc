@@ -229,6 +229,30 @@ Result<net::NodeStatsReply> RemoteNode::Stats(const std::string& dataset,
   return stats;
 }
 
+Result<net::NodeMerkleReply> RemoteNode::Merkle(
+    const net::NodeMerkleRequest& request) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto reply = client_.NodeMerkle(request);
+  if (!reply.ok()) return Named(reply.status());
+  return reply;
+}
+
+Result<net::NodeScrubReply> RemoteNode::Scrub(
+    const net::NodeScrubRequest& request) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto reply = client_.NodeScrub(request);
+  if (!reply.ok()) return Named(reply.status());
+  return reply;
+}
+
+Result<net::NodeRepairRangeReply> RemoteNode::RepairRange(
+    const net::NodeRepairRangeRequest& request) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto reply = client_.NodeRepairRange(request);
+  if (!reply.ok()) return Named(reply.status());
+  return reply;
+}
+
 Status RemoteNode::PushMembership(const MembershipView& view) {
   net::MembershipUpdateRequest request;
   request.view = view;

@@ -80,6 +80,14 @@ class RemoteNode : public NodeBackend {
   Result<net::NodeStatsReply> Stats(const std::string& dataset,
                                     const std::string& field);
 
+  /// Self-healing RPCs (v7): a store's Merkle digest, a synchronous
+  /// scrub pass (or counter read), and an anti-entropy repair of one
+  /// store from the node's replica siblings.
+  Result<net::NodeMerkleReply> Merkle(const net::NodeMerkleRequest& request);
+  Result<net::NodeScrubReply> Scrub(const net::NodeScrubRequest& request);
+  Result<net::NodeRepairRangeReply> RepairRange(
+      const net::NodeRepairRangeRequest& request);
+
   /// Membership pushes (v6): install a view, announce a handoff window,
   /// apply a cutover. Mediator-to-node control plane.
   Status PushMembership(const MembershipView& view);

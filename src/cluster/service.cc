@@ -275,6 +275,8 @@ Result<std::unique_ptr<net::Server>> ServeMediator(
     reply->cache_bytes = stats.bytes;
     reply->cache_pinned_bytes = stats.pinned_bytes;
     reply->membership_generation = mediator->generation();
+    reply->corruption_failovers = mediator->corruption_failovers();
+    reply->read_repairs = mediator->read_repairs();
   };
   // The cache will charge the server's governor; when the server stops,
   // its governor dies with it, so the resident entries (whose RAII

@@ -28,6 +28,15 @@
 //   client.disconnect_mid_stream the client severs its connection after
 //                               the first received chunk (server-side
 //                               cancel/abort drill)
+//
+// Storage integrity sites (any armed action fires them):
+//   store.bit_flip              XOR one payload byte *on disk* (arg =
+//                               offset within the payload) just before
+//                               the next FileAtomStore record read, so
+//                               checksum verification, quarantine and
+//                               repair run against genuine media damage
+//   scrub.stall                 hold the next scrub pass at its start
+//                               for `arg` ms
 
 #include <cstdint>
 #include <string>

@@ -505,6 +505,31 @@ Result<NodeListStoresReply> Client::NodeListStores() {
   return DecodeNodeListStoresResponse(payload);
 }
 
+Result<NodeMerkleReply> Client::NodeMerkle(const NodeMerkleRequest& request) {
+  const uint64_t budget = request.rpc.deadline_ms != 0 ? request.rpc.deadline_ms
+                                                       : options_.deadline_ms;
+  TURBDB_ASSIGN_OR_RETURN(std::vector<uint8_t> payload,
+                          Call(EncodeRequest(request), budget));
+  return DecodeNodeMerkleResponse(payload);
+}
+
+Result<NodeScrubReply> Client::NodeScrub(const NodeScrubRequest& request) {
+  const uint64_t budget = request.rpc.deadline_ms != 0 ? request.rpc.deadline_ms
+                                                       : options_.deadline_ms;
+  TURBDB_ASSIGN_OR_RETURN(std::vector<uint8_t> payload,
+                          Call(EncodeRequest(request), budget));
+  return DecodeNodeScrubResponse(payload);
+}
+
+Result<NodeRepairRangeReply> Client::NodeRepairRange(
+    const NodeRepairRangeRequest& request) {
+  const uint64_t budget = request.rpc.deadline_ms != 0 ? request.rpc.deadline_ms
+                                                       : options_.deadline_ms;
+  TURBDB_ASSIGN_OR_RETURN(std::vector<uint8_t> payload,
+                          Call(EncodeRequest(request), budget));
+  return DecodeNodeRepairRangeResponse(payload);
+}
+
 Result<JoinReply> Client::Join(const JoinRequest& request) {
   const uint64_t budget = request.rpc.deadline_ms != 0 ? request.rpc.deadline_ms
                                                        : options_.deadline_ms;

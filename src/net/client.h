@@ -131,6 +131,14 @@ class Client {
   Result<NodeSyncRangeReply> NodeSyncRange(const NodeSyncRangeRequest& request);
   Result<NodeListStoresReply> NodeListStores();
 
+  // Self-healing RPCs (v7): Merkle digests, scrub control and targeted
+  // range repair, all read-only or idempotent (repair converges to the
+  // healthy peer's contents however many times it runs).
+  Result<NodeMerkleReply> NodeMerkle(const NodeMerkleRequest& request);
+  Result<NodeScrubReply> NodeScrub(const NodeScrubRequest& request);
+  Result<NodeRepairRangeReply> NodeRepairRange(
+      const NodeRepairRangeRequest& request);
+
   // Elasticity RPCs (v6). Join/Leave/MembershipGet/Rebalance target the
   // mediator-fronting server; MembershipUpdate/BeginHandoff/Cutover are
   // mediator -> turbdb_node pushes.

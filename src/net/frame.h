@@ -60,8 +60,18 @@ namespace net {
 /// Rebalance. The node-stats reply gains WAL-lag counters. A v5 peer
 /// would misparse the generation varint, so the version byte refuses it
 /// at the first frame.
+///
+/// v7 (header layout still unchanged) adds the self-healing RPCs:
+/// NodeMerkle (Morton-range Merkle digest of a store, for anti-entropy
+/// comparison between replicas), NodeScrub (trigger/inspect the
+/// background checksum scrubber) and NodeRepairRange (heal only the
+/// divergent ranges from a healthy sibling, paged over the existing
+/// SyncRange flow). The node-stats reply appends scrub/quarantine
+/// counters and the server-stats reply appends corruption-failover and
+/// read-repair counters. A v6 peer would reject the new message types,
+/// so the version byte refuses it at the first frame.
 constexpr uint32_t kFrameMagic = 0x46424454u;  // "TDBF" read little-endian
-constexpr uint8_t kProtocolVersion = 6;
+constexpr uint8_t kProtocolVersion = 7;
 constexpr size_t kFrameHeaderBytes = 17;
 
 /// Default cap on a frame payload (64 MiB). A peer announcing more than

@@ -761,6 +761,8 @@ std::vector<uint8_t> EncodeResponse(const ServerStatsReply& reply) {
     PutVarint64(&out, tenant.cap);
   }
   PutVarint64(&out, reply.membership_generation);
+  PutVarint64(&out, reply.corruption_failovers);
+  PutVarint64(&out, reply.read_repairs);
   return out;
 }
 
@@ -882,6 +884,9 @@ Result<ServerStatsReply> DecodeServerStatsResponse(
   }
   TURBDB_ASSIGN_OR_RETURN(reply.membership_generation,
                           GetVarint64(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(reply.corruption_failovers,
+                          GetVarint64(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(reply.read_repairs, GetVarint64(payload, &pos));
   TURBDB_RETURN_NOT_OK(CheckConsumed(payload, pos));
   return reply;
 }
@@ -1543,6 +1548,11 @@ std::vector<uint8_t> EncodeNodeStatsResponse(const NodeStatsReply& reply) {
   PutVarint64(&out, reply.wal_pending_records);
   PutVarint64(&out, reply.wal_pending_bytes);
   PutVarint64(&out, reply.generation);
+  PutVarint64(&out, reply.scrub_passes);
+  PutVarint64(&out, reply.scrub_atoms_verified);
+  PutVarint64(&out, reply.scrub_atoms_corrupt);
+  PutVarint64(&out, reply.scrub_atoms_repaired);
+  PutVarint64(&out, reply.atoms_quarantined);
   return out;
 }
 
@@ -1558,6 +1568,14 @@ Result<NodeStatsReply> DecodeNodeStatsResponse(
   TURBDB_ASSIGN_OR_RETURN(reply.wal_pending_records, GetVarint64(payload, &pos));
   TURBDB_ASSIGN_OR_RETURN(reply.wal_pending_bytes, GetVarint64(payload, &pos));
   TURBDB_ASSIGN_OR_RETURN(reply.generation, GetVarint64(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(reply.scrub_passes, GetVarint64(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(reply.scrub_atoms_verified,
+                          GetVarint64(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(reply.scrub_atoms_corrupt,
+                          GetVarint64(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(reply.scrub_atoms_repaired,
+                          GetVarint64(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(reply.atoms_quarantined, GetVarint64(payload, &pos));
   TURBDB_RETURN_NOT_OK(CheckConsumed(payload, pos));
   return reply;
 }
@@ -1616,6 +1634,211 @@ Result<NodeListStoresReply> DecodeNodeListStoresResponse(
     TURBDB_ASSIGN_OR_RETURN(store.atoms, GetVarint64(payload, &pos));
     reply.stores.push_back(std::move(store));
   }
+  TURBDB_RETURN_NOT_OK(CheckConsumed(payload, pos));
+  return reply;
+}
+
+// -- Self-healing messages (v7) ------------------------------------------
+
+std::vector<uint8_t> EncodeRequest(const NodeMerkleRequest& request) {
+  std::vector<uint8_t> out;
+  PutHeader(&out, MsgType::kNodeMerkleRequest, request.rpc);
+  PutString(&out, request.dataset);
+  PutString(&out, request.field);
+  PutVarint64(&out, request.leaf_shift);
+  return out;
+}
+
+Result<NodeMerkleRequest> DecodeNodeMerkleRequest(
+    const std::vector<uint8_t>& payload) {
+  size_t pos = 0;
+  NodeMerkleRequest request;
+  TURBDB_RETURN_NOT_OK(ExpectType(payload, &pos, MsgType::kNodeMerkleRequest));
+  TURBDB_RETURN_NOT_OK(GetRpc(payload, &pos, &request.rpc));
+  TURBDB_ASSIGN_OR_RETURN(request.dataset, GetString(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(request.field, GetString(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(uint64_t shift, GetVarint64(payload, &pos));
+  if (shift > 63) return Status::Corruption("implausible leaf shift");
+  request.leaf_shift = static_cast<uint32_t>(shift);
+  TURBDB_RETURN_NOT_OK(CheckConsumed(payload, pos));
+  return request;
+}
+
+std::vector<uint8_t> EncodeRequest(const NodeScrubRequest& request) {
+  std::vector<uint8_t> out;
+  PutHeader(&out, MsgType::kNodeScrubRequest, request.rpc);
+  PutBool(&out, request.trigger);
+  return out;
+}
+
+Result<NodeScrubRequest> DecodeNodeScrubRequest(
+    const std::vector<uint8_t>& payload) {
+  size_t pos = 0;
+  NodeScrubRequest request;
+  TURBDB_RETURN_NOT_OK(ExpectType(payload, &pos, MsgType::kNodeScrubRequest));
+  TURBDB_RETURN_NOT_OK(GetRpc(payload, &pos, &request.rpc));
+  TURBDB_ASSIGN_OR_RETURN(request.trigger, GetBool(payload, &pos));
+  TURBDB_RETURN_NOT_OK(CheckConsumed(payload, pos));
+  return request;
+}
+
+std::vector<uint8_t> EncodeRequest(const NodeRepairRangeRequest& request) {
+  std::vector<uint8_t> out;
+  PutHeader(&out, MsgType::kNodeRepairRangeRequest, request.rpc);
+  PutString(&out, request.dataset);
+  PutString(&out, request.field);
+  PutZigZag64(&out, request.timestep);
+  PutVarint64(&out, request.begin_code);
+  PutVarint64(&out, request.end_code);
+  return out;
+}
+
+Result<NodeRepairRangeRequest> DecodeNodeRepairRangeRequest(
+    const std::vector<uint8_t>& payload) {
+  size_t pos = 0;
+  NodeRepairRangeRequest request;
+  TURBDB_RETURN_NOT_OK(
+      ExpectType(payload, &pos, MsgType::kNodeRepairRangeRequest));
+  TURBDB_RETURN_NOT_OK(GetRpc(payload, &pos, &request.rpc));
+  TURBDB_ASSIGN_OR_RETURN(request.dataset, GetString(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(request.field, GetString(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(int64_t timestep, GetZigZag64(payload, &pos));
+  request.timestep = static_cast<int32_t>(timestep);
+  TURBDB_ASSIGN_OR_RETURN(request.begin_code, GetVarint64(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(request.end_code, GetVarint64(payload, &pos));
+  TURBDB_RETURN_NOT_OK(CheckConsumed(payload, pos));
+  return request;
+}
+
+std::vector<uint8_t> EncodeNodeMerkleResponse(const NodeMerkleReply& reply) {
+  std::vector<uint8_t> out;
+  PutVarint64(&out, static_cast<uint64_t>(MsgType::kNodeMerkleResponse));
+  PutZigZag64(&out, reply.node_id);
+  PutVarint64(&out, reply.leaf_shift);
+  PutVarint64(&out, reply.root);
+  PutVarint64(&out, reply.leaves.size());
+  for (const WireMerkleLeaf& leaf : reply.leaves) {
+    PutZigZag64(&out, leaf.timestep);
+    PutVarint64(&out, leaf.leaf);
+    PutVarint64(&out, leaf.digest);
+    PutVarint64(&out, leaf.atoms);
+  }
+  return out;
+}
+
+Result<NodeMerkleReply> DecodeNodeMerkleResponse(
+    const std::vector<uint8_t>& payload) {
+  size_t pos = 0;
+  TURBDB_RETURN_NOT_OK(
+      ExpectType(payload, &pos, MsgType::kNodeMerkleResponse));
+  NodeMerkleReply reply;
+  TURBDB_ASSIGN_OR_RETURN(int64_t node_id, GetZigZag64(payload, &pos));
+  reply.node_id = static_cast<int32_t>(node_id);
+  TURBDB_ASSIGN_OR_RETURN(uint64_t shift, GetVarint64(payload, &pos));
+  if (shift > 63) return Status::Corruption("implausible leaf shift");
+  reply.leaf_shift = static_cast<uint32_t>(shift);
+  TURBDB_ASSIGN_OR_RETURN(reply.root, GetVarint64(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(uint64_t count, GetVarint64(payload, &pos));
+  if (count > payload.size() - pos) {
+    return Status::Corruption("implausible leaf count");
+  }
+  reply.leaves.reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    WireMerkleLeaf leaf;
+    TURBDB_ASSIGN_OR_RETURN(int64_t timestep, GetZigZag64(payload, &pos));
+    leaf.timestep = static_cast<int32_t>(timestep);
+    TURBDB_ASSIGN_OR_RETURN(leaf.leaf, GetVarint64(payload, &pos));
+    TURBDB_ASSIGN_OR_RETURN(leaf.digest, GetVarint64(payload, &pos));
+    TURBDB_ASSIGN_OR_RETURN(leaf.atoms, GetVarint64(payload, &pos));
+    reply.leaves.push_back(leaf);
+  }
+  TURBDB_RETURN_NOT_OK(CheckConsumed(payload, pos));
+  return reply;
+}
+
+std::vector<uint8_t> EncodeNodeScrubResponse(const NodeScrubReply& reply) {
+  std::vector<uint8_t> out;
+  PutVarint64(&out, static_cast<uint64_t>(MsgType::kNodeScrubResponse));
+  PutZigZag64(&out, reply.node_id);
+  PutVarint64(&out, reply.passes);
+  PutVarint64(&out, reply.atoms_verified);
+  PutVarint64(&out, reply.atoms_corrupt);
+  PutVarint64(&out, reply.atoms_repaired);
+  PutVarint64(&out, reply.last_pass_unix_ms);
+  PutVarint64(&out, reply.stores.size());
+  for (const ScrubStoreRow& store : reply.stores) {
+    PutString(&out, store.dataset);
+    PutString(&out, store.field);
+    PutVarint64(&out, store.atoms_verified);
+    PutVarint64(&out, store.atoms_corrupt);
+    PutVarint64(&out, store.atoms_repaired);
+    PutVarint64(&out, store.atoms_quarantined);
+    PutVarint64(&out, store.bytes_verified);
+    PutVarint64(&out, store.passes);
+    PutVarint64(&out, store.merkle_root);
+  }
+  return out;
+}
+
+Result<NodeScrubReply> DecodeNodeScrubResponse(
+    const std::vector<uint8_t>& payload) {
+  size_t pos = 0;
+  TURBDB_RETURN_NOT_OK(ExpectType(payload, &pos, MsgType::kNodeScrubResponse));
+  NodeScrubReply reply;
+  TURBDB_ASSIGN_OR_RETURN(int64_t node_id, GetZigZag64(payload, &pos));
+  reply.node_id = static_cast<int32_t>(node_id);
+  TURBDB_ASSIGN_OR_RETURN(reply.passes, GetVarint64(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(reply.atoms_verified, GetVarint64(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(reply.atoms_corrupt, GetVarint64(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(reply.atoms_repaired, GetVarint64(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(reply.last_pass_unix_ms, GetVarint64(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(uint64_t count, GetVarint64(payload, &pos));
+  if (count > payload.size() - pos) {
+    return Status::Corruption("implausible store count");
+  }
+  reply.stores.reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    ScrubStoreRow store;
+    TURBDB_ASSIGN_OR_RETURN(store.dataset, GetString(payload, &pos));
+    TURBDB_ASSIGN_OR_RETURN(store.field, GetString(payload, &pos));
+    TURBDB_ASSIGN_OR_RETURN(store.atoms_verified, GetVarint64(payload, &pos));
+    TURBDB_ASSIGN_OR_RETURN(store.atoms_corrupt, GetVarint64(payload, &pos));
+    TURBDB_ASSIGN_OR_RETURN(store.atoms_repaired, GetVarint64(payload, &pos));
+    TURBDB_ASSIGN_OR_RETURN(store.atoms_quarantined,
+                            GetVarint64(payload, &pos));
+    TURBDB_ASSIGN_OR_RETURN(store.bytes_verified, GetVarint64(payload, &pos));
+    TURBDB_ASSIGN_OR_RETURN(store.passes, GetVarint64(payload, &pos));
+    TURBDB_ASSIGN_OR_RETURN(store.merkle_root, GetVarint64(payload, &pos));
+    reply.stores.push_back(std::move(store));
+  }
+  TURBDB_RETURN_NOT_OK(CheckConsumed(payload, pos));
+  return reply;
+}
+
+std::vector<uint8_t> EncodeNodeRepairRangeResponse(
+    const NodeRepairRangeReply& reply) {
+  std::vector<uint8_t> out;
+  PutVarint64(&out, static_cast<uint64_t>(MsgType::kNodeRepairRangeResponse));
+  PutZigZag64(&out, reply.node_id);
+  PutVarint64(&out, reply.ranges_diverged);
+  PutVarint64(&out, reply.atoms_examined);
+  PutVarint64(&out, reply.atoms_repaired);
+  PutVarint64(&out, reply.root);
+  return out;
+}
+
+Result<NodeRepairRangeReply> DecodeNodeRepairRangeResponse(
+    const std::vector<uint8_t>& payload) {
+  size_t pos = 0;
+  TURBDB_RETURN_NOT_OK(
+      ExpectType(payload, &pos, MsgType::kNodeRepairRangeResponse));
+  NodeRepairRangeReply reply;
+  TURBDB_ASSIGN_OR_RETURN(int64_t node_id, GetZigZag64(payload, &pos));
+  reply.node_id = static_cast<int32_t>(node_id);
+  TURBDB_ASSIGN_OR_RETURN(reply.ranges_diverged, GetVarint64(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(reply.atoms_examined, GetVarint64(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(reply.atoms_repaired, GetVarint64(payload, &pos));
+  TURBDB_ASSIGN_OR_RETURN(reply.root, GetVarint64(payload, &pos));
   TURBDB_RETURN_NOT_OK(CheckConsumed(payload, pos));
   return reply;
 }

@@ -60,6 +60,12 @@ enum class MsgType : uint8_t {
   kCutoverRequest = 30,
   kRebalanceRequest = 31,
 
+  // Self-healing RPCs (v7): Merkle digests, scrub control and targeted
+  // range repair, all node-scoped.
+  kNodeMerkleRequest = 32,
+  kNodeScrubRequest = 33,
+  kNodeRepairRangeRequest = 34,
+
   kThresholdResponse = 65,
   kPdfResponse = 66,
   kTopKResponse = 67,
@@ -101,6 +107,10 @@ enum class MsgType : uint8_t {
   kBeginHandoffResponse = 93,
   kCutoverResponse = 94,
   kRebalanceResponse = 95,
+
+  kNodeMerkleResponse = 96,
+  kNodeScrubResponse = 97,
+  kNodeRepairRangeResponse = 98,
 
   kErrorResponse = 127,
 };
@@ -474,6 +484,13 @@ struct NodeStatsReply {
   uint64_t wal_pending_records = 0;
   uint64_t wal_pending_bytes = 0;
   uint64_t generation = 0;
+  // Scrub health (v7): lifetime counters of the node's background
+  // scrubber plus the count of atoms currently quarantined as corrupt.
+  uint64_t scrub_passes = 0;
+  uint64_t scrub_atoms_verified = 0;
+  uint64_t scrub_atoms_corrupt = 0;
+  uint64_t scrub_atoms_repaired = 0;
+  uint64_t atoms_quarantined = 0;
 };
 
 /// Replica sync: pages atoms of (dataset, field, timestep) inside a
@@ -510,6 +527,88 @@ struct NodeStoreInfo {
 
 struct NodeListStoresReply {
   std::vector<NodeStoreInfo> stores;
+};
+
+// -- Self-healing messages (v7) ------------------------------------------
+
+/// Asks a node for the Morton-range Merkle digest of one store, the
+/// anti-entropy exchange: the caller diffs the leaves against its own
+/// tree and repairs only the divergent ranges.
+struct NodeMerkleRequest {
+  std::string dataset;
+  std::string field;
+  /// Leaf bucket width as a shift (leaf = zindex >> leaf_shift); both
+  /// sides must agree for the diff to line up.
+  uint32_t leaf_shift = 10;
+  RpcOptions rpc;
+};
+
+/// One non-empty leaf of the wire-shipped tree (mirrors
+/// turbdb::MerkleLeaf; the transport does not link the storage layer).
+struct WireMerkleLeaf {
+  int32_t timestep = 0;
+  uint64_t leaf = 0;    ///< Bucket index: zindex >> leaf_shift.
+  uint64_t digest = 0;  ///< CRC-of-CRCs over the bucket's content CRCs.
+  uint64_t atoms = 0;
+};
+
+struct NodeMerkleReply {
+  int32_t node_id = 0;
+  uint32_t leaf_shift = 10;
+  uint64_t root = 0;  ///< 0 iff the store is empty or unknown.
+  std::vector<WireMerkleLeaf> leaves;
+};
+
+/// Triggers a synchronous scrub pass (trigger == true) or just reads
+/// the scrubber's counters.
+struct NodeScrubRequest {
+  bool trigger = true;
+  RpcOptions rpc;
+};
+
+/// Per-store results of the node's most recent scrub pass.
+struct ScrubStoreRow {
+  std::string dataset;
+  std::string field;
+  uint64_t atoms_verified = 0;
+  uint64_t atoms_corrupt = 0;
+  uint64_t atoms_repaired = 0;
+  uint64_t atoms_quarantined = 0;
+  uint64_t bytes_verified = 0;
+  uint64_t passes = 0;
+  uint64_t merkle_root = 0;
+};
+
+struct NodeScrubReply {
+  int32_t node_id = 0;
+  uint64_t passes = 0;  ///< Full passes completed.
+  uint64_t atoms_verified = 0;
+  uint64_t atoms_corrupt = 0;
+  uint64_t atoms_repaired = 0;
+  uint64_t last_pass_unix_ms = 0;
+  std::vector<ScrubStoreRow> stores;
+};
+
+/// Orders a node to repair one store from its replica siblings: it
+/// diffs Merkle trees against a healthy peer, pages only the divergent
+/// ranges over the existing SyncRange flow, and rewrites what differs.
+/// A non-empty range ([begin_code, end_code) of `timestep`) confines
+/// the repair; begin == end == 0 means "whatever the diff finds".
+struct NodeRepairRangeRequest {
+  std::string dataset;
+  std::string field;
+  int32_t timestep = 0;
+  uint64_t begin_code = 0;
+  uint64_t end_code = 0;
+  RpcOptions rpc;
+};
+
+struct NodeRepairRangeReply {
+  int32_t node_id = 0;
+  uint64_t ranges_diverged = 0;  ///< Divergent leaves found in the diff.
+  uint64_t atoms_examined = 0;   ///< Peer atoms compared against local.
+  uint64_t atoms_repaired = 0;   ///< Rewritten (missing/corrupt/different).
+  uint64_t root = 0;             ///< Local Merkle root after the repair.
 };
 
 // -- Elasticity messages (v6) --------------------------------------------
@@ -654,6 +753,11 @@ struct ServerStatsReply {
   /// Membership generation of the mediator behind this server (v6);
   /// 0 when the mediator runs without a membership registry.
   uint64_t membership_generation = 0;
+  // Self-healing counters (v7), summed over the mediator's replica
+  // groups. Zero under R=1 (no sibling to fail over to or repair from).
+  uint64_t corruption_failovers = 0;  ///< kCorruption reads retried on a
+                                      ///< sibling replica.
+  uint64_t read_repairs = 0;          ///< Repairs enqueued for the loser.
 };
 
 // -- Request encoding ----------------------------------------------------
@@ -832,6 +936,32 @@ Result<NodeSyncRangeReply> DecodeNodeSyncRangeResponse(
 std::vector<uint8_t> EncodeNodeListStoresResponse(
     const NodeListStoresReply& reply);
 Result<NodeListStoresReply> DecodeNodeListStoresResponse(
+    const std::vector<uint8_t>& payload);
+
+// -- Self-healing encoding (v7) ------------------------------------------
+
+std::vector<uint8_t> EncodeRequest(const NodeMerkleRequest& request);
+std::vector<uint8_t> EncodeRequest(const NodeScrubRequest& request);
+std::vector<uint8_t> EncodeRequest(const NodeRepairRangeRequest& request);
+
+Result<NodeMerkleRequest> DecodeNodeMerkleRequest(
+    const std::vector<uint8_t>& payload);
+Result<NodeScrubRequest> DecodeNodeScrubRequest(
+    const std::vector<uint8_t>& payload);
+Result<NodeRepairRangeRequest> DecodeNodeRepairRangeRequest(
+    const std::vector<uint8_t>& payload);
+
+std::vector<uint8_t> EncodeNodeMerkleResponse(const NodeMerkleReply& reply);
+Result<NodeMerkleReply> DecodeNodeMerkleResponse(
+    const std::vector<uint8_t>& payload);
+
+std::vector<uint8_t> EncodeNodeScrubResponse(const NodeScrubReply& reply);
+Result<NodeScrubReply> DecodeNodeScrubResponse(
+    const std::vector<uint8_t>& payload);
+
+std::vector<uint8_t> EncodeNodeRepairRangeResponse(
+    const NodeRepairRangeReply& reply);
+Result<NodeRepairRangeReply> DecodeNodeRepairRangeResponse(
     const std::vector<uint8_t>& payload);
 
 // -- Elasticity encoding (v6) --------------------------------------------

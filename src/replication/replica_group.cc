@@ -35,6 +35,64 @@ ReplicaGroup::ReplicaGroup(int group_id,
   }
 }
 
+ReplicaGroup::~ReplicaGroup() {
+  {
+    std::lock_guard<std::mutex> lock(repair_mutex_);
+    repair_stop_ = true;
+  }
+  repair_wake_.notify_all();
+  if (repair_thread_.joinable()) repair_thread_.join();
+}
+
+void ReplicaGroup::EnqueueRepair(const std::string& dataset,
+                                 const std::string& field, size_t member) {
+  std::lock_guard<std::mutex> lock(repair_mutex_);
+  if (repair_stop_) return;
+  for (const RepairTask& queued : repair_queue_) {
+    if (queued.dataset == dataset && queued.field == field &&
+        queued.member == member) {
+      return;  // Same repair already pending.
+    }
+  }
+  repair_queue_.push_back({dataset, field, member});
+  if (!repair_thread_.joinable()) {
+    repair_thread_ = std::thread([this] { RepairLoop(); });
+  }
+  repair_wake_.notify_one();
+}
+
+void ReplicaGroup::RepairLoop() {
+  for (;;) {
+    RepairTask task;
+    {
+      std::unique_lock<std::mutex> lock(repair_mutex_);
+      repair_wake_.wait(
+          lock, [this] { return repair_stop_ || !repair_queue_.empty(); });
+      if (repair_stop_) return;
+      task = std::move(repair_queue_.front());
+      repair_queue_.pop_front();
+    }
+    Member* member = members_[task.member].get();
+    net::NodeRepairRangeRequest request;
+    request.dataset = task.dataset;
+    request.field = task.field;
+    auto reply = member->node->RepairRange(request);
+    if (!reply.ok()) {
+      TURBDB_LOG(Warning) << DebugName() << ": read-repair of "
+                          << task.dataset << "/" << task.field << " on "
+                          << member->node->DebugName()
+                          << " failed: " << reply.status().ToString();
+      continue;
+    }
+    read_repairs_.fetch_add(1, std::memory_order_relaxed);
+    TURBDB_LOG(Warning) << DebugName() << ": read-repair of " << task.dataset
+                        << "/" << task.field << " on "
+                        << member->node->DebugName() << " rewrote "
+                        << reply->atoms_repaired << " atom(s) across "
+                        << reply->ranges_diverged << " divergent range(s)";
+  }
+}
+
 std::string ReplicaGroup::DebugName() const {
   if (members_.size() == 1) return members_.front()->node->DebugName();
   std::string name = "shard " + std::to_string(group_id_) + " (nodes";
@@ -331,6 +389,19 @@ Result<NodeOutcome> ReplicaGroup::Execute(const NodeQuery& query) {
       return outcome;
     }
     last = outcome.status();
+    if (last.code() == StatusCode::kCorruption) {
+      // The member's store is rotting, not its transport: the node stays
+      // up (no breaker trip), the read fails over to a sibling, and a
+      // background read-repair is queued so the rot heals instead of
+      // being re-served.
+      corruption_failovers_.fetch_add(1, std::memory_order_relaxed);
+      TURBDB_LOG(Warning) << DebugName() << ": corrupt read on "
+                          << member->node->DebugName()
+                          << "; failing over and queueing read-repair: "
+                          << last.ToString();
+      EnqueueRepair(query.dataset->name, query.raw_field, index);
+      continue;
+    }
     if (IsTransportFailure(last)) {
       FailMember(member, last);
       continue;
@@ -363,13 +434,19 @@ void ReplicaGroup::Cancel(uint64_t query_id) {
 Result<uint64_t> ReplicaGroup::StoredAtomCount(const std::string& dataset,
                                                const std::string& field) {
   Status last = Status::Unreachable(DebugName() + ": all replicas down");
-  for (auto& member : members_) {
-    if (!EnsureUsable(member.get())) continue;
+  for (size_t index = 0; index < members_.size(); ++index) {
+    Member* member = members_[index].get();
+    if (!EnsureUsable(member)) continue;
     auto count = member->node->StoredAtomCount(dataset, field);
     if (count.ok()) return count;
     last = count.status();
+    if (last.code() == StatusCode::kCorruption) {
+      corruption_failovers_.fetch_add(1, std::memory_order_relaxed);
+      EnqueueRepair(dataset, field, index);
+      continue;
+    }
     if (IsTransportFailure(last)) {
-      FailMember(member.get(), last);
+      FailMember(member, last);
       continue;
     }
     return last;

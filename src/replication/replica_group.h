@@ -1,10 +1,13 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <tuple>
 #include <vector>
 
@@ -46,6 +49,7 @@ class ReplicaGroup : public NodeBackend {
   /// circuit breaker); the default keeps HealthTracker's defaults.
   ReplicaGroup(int group_id, std::vector<std::unique_ptr<RemoteNode>> members,
                const RemoteNodeOptions& options = {});
+  ~ReplicaGroup() override;
 
   /// Handshakes every member and records their epochs. OK as long as at
   /// least one member answers; a single-member group propagates its
@@ -82,6 +86,19 @@ class ReplicaGroup : public NodeBackend {
 
   /// Total reads re-routed off a failed member (test observability).
   uint64_t failover_count() const;
+
+  /// Reads that failed over because a member answered kCorruption (its
+  /// store is rotting, not its transport — the member stays up and a
+  /// read-repair is queued for it instead of tripping the breaker).
+  uint64_t corruption_failovers() const {
+    return corruption_failovers_.load(std::memory_order_relaxed);
+  }
+
+  /// Read-repairs completed by the background worker (each one an
+  /// anti-entropy RepairRange driven on the corrupt member).
+  uint64_t read_repairs() const {
+    return read_repairs_.load(std::memory_order_relaxed);
+  }
 
   /// Cache-affinity routing: when on, a threshold read is first sent to
   /// the member that most recently served a *subsuming* threshold query
@@ -175,6 +192,20 @@ class ReplicaGroup : public NodeBackend {
   /// (so its node-local cache now holds a subsuming entry).
   void RecordAffinity(const NodeQuery& query, size_t index);
 
+  /// One queued read-repair: member `member` served kCorruption for
+  /// (dataset, field) and should heal itself from a sibling.
+  struct RepairTask {
+    std::string dataset;
+    std::string field;
+    size_t member = 0;
+  };
+
+  /// Queues a read-repair of member `member` (deduplicated against
+  /// queued work) and lazily starts the repair worker.
+  void EnqueueRepair(const std::string& dataset, const std::string& field,
+                     size_t member);
+  void RepairLoop();
+
   int group_id_;
   std::vector<std::unique_ptr<Member>> members_;
 
@@ -187,6 +218,16 @@ class ReplicaGroup : public NodeBackend {
   std::atomic<uint64_t> affinity_routes_{0};
   std::mutex affinity_mutex_;
   std::map<AffinityKey, AffinityEntry> affinity_;
+
+  std::atomic<uint64_t> corruption_failovers_{0};
+  std::atomic<uint64_t> read_repairs_{0};
+  /// Read-repair worker: lazily started on the first corrupt read,
+  /// joined by the destructor. Guarded by repair_mutex_.
+  std::mutex repair_mutex_;
+  std::condition_variable repair_wake_;
+  std::deque<RepairTask> repair_queue_;
+  bool repair_stop_ = false;
+  std::thread repair_thread_;
 };
 
 }  // namespace turbdb

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/crc32.h"
+#include "common/fault.h"
 #include "common/logging.h"
 
 namespace turbdb {
@@ -82,7 +83,16 @@ Status FileAtomStore::LoadIndex() {
     entry.payload_bytes = header.payload_bytes;
     entry.width = header.width;
     entry.ncomp = header.ncomp;
-    index_[AtomKey{header.timestep, header.zindex}] = entry;
+    // A later record for the same key wins (Repair appends a fresh copy
+    // and strands the old bytes); keep the byte accounting consistent.
+    const AtomKey key{header.timestep, header.zindex};
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      total_payload_bytes_ -= it->second.payload_bytes;
+      it->second = entry;
+    } else {
+      index_.emplace(key, entry);
+    }
     total_payload_bytes_ += header.payload_bytes;
     offset += record_size;
   }
@@ -90,7 +100,7 @@ Status FileAtomStore::LoadIndex() {
   return Status::OK();
 }
 
-Status FileAtomStore::Put(const Atom& atom) {
+Status FileAtomStore::AppendRecord(const Atom& atom, bool replace) {
   const uint32_t payload_bytes =
       static_cast<uint32_t>(atom.data.size() * sizeof(float));
   RecordHeader header;
@@ -105,7 +115,7 @@ Status FileAtomStore::Put(const Atom& atom) {
   std::lock_guard<std::mutex> write_lock(write_mutex_);
   {
     std::shared_lock index_lock(index_mutex_);
-    if (index_.count(atom.key)) {
+    if (!replace && index_.count(atom.key)) {
       return Status::AlreadyExists("atom already stored");
     }
   }
@@ -127,15 +137,58 @@ Status FileAtomStore::Put(const Atom& atom) {
   entry.ncomp = atom.ncomp;
   {
     std::unique_lock index_lock(index_mutex_);
-    index_[atom.key] = entry;
+    auto it = index_.find(atom.key);
+    if (it != index_.end()) {
+      total_payload_bytes_ -= it->second.payload_bytes;
+      it->second = entry;
+    } else {
+      index_.emplace(atom.key, entry);
+    }
     file_size_ += buffer.size();
     total_payload_bytes_ += payload_bytes;
+    quarantine_.erase(atom.key);
   }
   return Status::OK();
 }
 
+Status FileAtomStore::Put(const Atom& atom) {
+  return AppendRecord(atom, /*replace=*/false);
+}
+
+Status FileAtomStore::Repair(const Atom& atom) {
+  // The old record becomes dead bytes in the file; LoadIndex keeps the
+  // later record for the key on reopen, so the heal survives a restart.
+  return AppendRecord(atom, /*replace=*/true);
+}
+
+Status FileAtomStore::CorruptionAt(const char* what, const AtomKey& key,
+                                   uint64_t offset) const {
+  return Status::Corruption(std::string(what) + " for atom z=" +
+                            std::to_string(key.zindex) + " t=" +
+                            std::to_string(key.timestep) + " at offset " +
+                            std::to_string(offset) + " in " + path_);
+}
+
 Result<Atom> FileAtomStore::ReadRecord(const AtomKey& key,
                                        const IndexEntry& entry) const {
+  if (fault::Enabled()) {
+    // store.bit_flip: corrupt the stored copy for real — XOR one payload
+    // byte on disk (arg = offset within the payload) — then read it back
+    // normally, so the checksum path detects genuine on-media damage.
+    if (auto injected = fault::Check("store.bit_flip")) {
+      const uint64_t at = entry.offset + sizeof(RecordHeader) +
+                          (entry.payload_bytes
+                               ? injected.arg % entry.payload_bytes
+                               : 0);
+      uint8_t byte = 0;
+      if (::pread(fd_, &byte, 1, static_cast<off_t>(at)) == 1) {
+        byte ^= 0xFF;
+        (void)!::pwrite(fd_, &byte, 1, static_cast<off_t>(at));
+        TURBDB_LOG(Warning) << "fault store.bit_flip: flipped byte at offset "
+                            << at << " in " << path_;
+      }
+    }
+  }
   RecordHeader header;
   ssize_t n = ::pread(fd_, &header, sizeof(header),
                       static_cast<off_t>(entry.offset));
@@ -144,8 +197,7 @@ Result<Atom> FileAtomStore::ReadRecord(const AtomKey& key,
   }
   if (header.magic != kRecordMagic || header.timestep != key.timestep ||
       header.zindex != key.zindex) {
-    return Status::Corruption("index/record mismatch at offset " +
-                              std::to_string(entry.offset));
+    return CorruptionAt("index/record mismatch", key, entry.offset);
   }
   Atom atom;
   atom.key = key;
@@ -159,8 +211,7 @@ Result<Atom> FileAtomStore::ReadRecord(const AtomKey& key,
   }
   const uint32_t crc = Crc32(atom.data.data(), header.payload_bytes);
   if (crc != header.crc) {
-    return Status::Corruption("checksum mismatch for atom at offset " +
-                              std::to_string(entry.offset));
+    return CorruptionAt("checksum mismatch", key, entry.offset);
   }
   return atom;
 }
@@ -171,9 +222,18 @@ Result<Atom> FileAtomStore::Get(const AtomKey& key) const {
     std::shared_lock index_lock(index_mutex_);
     auto it = index_.find(key);
     if (it == index_.end()) return Status::NotFound("atom not found");
+    if (quarantine_.count(key)) {
+      return CorruptionAt("quarantined (known corrupt)", key,
+                          it->second.offset);
+    }
     entry = it->second;
   }
-  return ReadRecord(key, entry);
+  auto atom = ReadRecord(key, entry);
+  if (!atom.ok() && atom.status().IsCorruption()) {
+    std::unique_lock index_lock(index_mutex_);
+    quarantine_.insert(key);
+  }
+  return atom;
 }
 
 bool FileAtomStore::Contains(const AtomKey& key) const {
@@ -192,12 +252,23 @@ Status FileAtomStore::Scan(int32_t timestep, const MortonRange& range,
       if (it->first.timestep != timestep || it->first.zindex >= range.hi) {
         break;
       }
+      if (quarantine_.count(it->first)) {
+        return CorruptionAt("quarantined (known corrupt)", it->first,
+                            it->second.offset);
+      }
       entries.push_back(*it);
     }
   }
   for (const auto& [key, entry] : entries) {
-    TURBDB_ASSIGN_OR_RETURN(Atom atom, ReadRecord(key, entry));
-    fn(atom);
+    auto atom = ReadRecord(key, entry);
+    if (!atom.ok()) {
+      if (atom.status().IsCorruption()) {
+        std::unique_lock index_lock(index_mutex_);
+        quarantine_.insert(key);
+      }
+      return atom.status();
+    }
+    fn(*atom);
   }
   return Status::OK();
 }
@@ -215,6 +286,89 @@ uint64_t FileAtomStore::TotalBytes() const {
 Status FileAtomStore::Sync() {
   if (::fsync(fd_) != 0) return ErrnoStatus("fsync");
   return Status::OK();
+}
+
+VerifyReport FileAtomStore::Verify(const std::function<void(uint64_t)>& pace) {
+  // Snapshot the index, then read record-by-record without the lock so
+  // the sweep never blocks queries or ingest.
+  std::vector<std::pair<AtomKey, IndexEntry>> entries;
+  {
+    std::shared_lock index_lock(index_mutex_);
+    entries.assign(index_.begin(), index_.end());
+  }
+  VerifyReport report;
+  std::vector<uint8_t> payload;
+  for (const auto& [key, entry] : entries) {
+    bool clean = false;
+    RecordHeader header;
+    ssize_t n = ::pread(fd_, &header, sizeof(header),
+                        static_cast<off_t>(entry.offset));
+    if (n == static_cast<ssize_t>(sizeof(header)) &&
+        header.magic == kRecordMagic && header.timestep == key.timestep &&
+        header.zindex == key.zindex &&
+        header.payload_bytes == entry.payload_bytes) {
+      payload.resize(header.payload_bytes);
+      n = ::pread(fd_, payload.data(), header.payload_bytes,
+                  static_cast<off_t>(entry.offset + sizeof(header)));
+      clean = n == static_cast<ssize_t>(header.payload_bytes) &&
+              Crc32(payload.data(), header.payload_bytes) == header.crc;
+    }
+    if (clean) {
+      ++report.atoms_verified;
+      report.bytes_verified += entry.payload_bytes;
+    } else {
+      ++report.atoms_corrupt;
+      report.corrupt.push_back(key);
+      TURBDB_LOG(Warning) << "scrub: "
+                          << CorruptionAt("verification failed", key,
+                                          entry.offset)
+                                 .ToString();
+    }
+    {
+      // Verification is the ground truth for quarantine membership: a
+      // repaired (or transiently mis-read) atom that now checks out is
+      // released; a newly rotted one is held.
+      std::unique_lock index_lock(index_mutex_);
+      if (clean) {
+        quarantine_.erase(key);
+      } else {
+        quarantine_.insert(key);
+      }
+    }
+    if (pace) pace(entry.payload_bytes);
+  }
+  return report;
+}
+
+Status FileAtomStore::DigestRows(std::vector<AtomDigest>* rows) const {
+  std::vector<std::pair<AtomKey, IndexEntry>> entries;
+  {
+    std::shared_lock index_lock(index_mutex_);
+    entries.assign(index_.begin(), index_.end());
+  }
+  rows->reserve(rows->size() + entries.size());
+  std::vector<uint8_t> payload;
+  for (const auto& [key, entry] : entries) {
+    payload.resize(entry.payload_bytes);
+    const ssize_t n =
+        ::pread(fd_, payload.data(), entry.payload_bytes,
+                static_cast<off_t>(entry.offset + sizeof(RecordHeader)));
+    if (n != static_cast<ssize_t>(entry.payload_bytes)) {
+      return ErrnoStatus("pread payload");
+    }
+    AtomDigest row;
+    row.timestep = key.timestep;
+    row.zindex = key.zindex;
+    row.bytes = entry.payload_bytes;
+    row.crc = Crc32(payload.data(), entry.payload_bytes);
+    rows->push_back(row);
+  }
+  return Status::OK();
+}
+
+uint64_t FileAtomStore::QuarantinedCount() const {
+  std::shared_lock index_lock(index_mutex_);
+  return quarantine_.size();
 }
 
 }  // namespace turbdb

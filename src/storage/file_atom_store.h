@@ -3,6 +3,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 
 #include "storage/atom_store.h"
@@ -44,6 +45,23 @@ class FileAtomStore : public AtomStore {
   /// fsyncs the data file.
   Status Sync() override;
 
+  /// Full checksum sweep; atoms whose payload no longer matches the
+  /// recorded CRC (or whose header disagrees with the index) are
+  /// quarantined so later reads fast-fail instead of serving bad bytes.
+  VerifyReport Verify(const std::function<void(uint64_t)>& pace = {}) override;
+
+  /// Content digests recomputed from the bytes on disk right now, so a
+  /// rotted payload diverges from a healthy replica's row even though
+  /// both carry the same header CRC.
+  Status DigestRows(std::vector<AtomDigest>* rows) const override;
+
+  /// Appends a fresh record for the atom and repoints the index at it
+  /// (the old record becomes dead bytes; reopen keeps the later record).
+  /// Clears any quarantine on the key.
+  Status Repair(const Atom& atom) override;
+
+  uint64_t QuarantinedCount() const override;
+
   const std::string& path() const { return path_; }
 
  private:
@@ -59,11 +77,24 @@ class FileAtomStore : public AtomStore {
   Status LoadIndex();
   Result<Atom> ReadRecord(const AtomKey& key, const IndexEntry& entry) const;
 
+  /// Detailed kCorruption with the file path, atom z-index and byte
+  /// offset, so an operator can find the bad block without a debugger.
+  Status CorruptionAt(const char* what, const AtomKey& key,
+                      uint64_t offset) const;
+
+  /// Appends a record for `atom` at the current tail and updates the
+  /// index (replacing a prior entry for the key if `replace`). Caller
+  /// must NOT hold write_mutex_.
+  Status AppendRecord(const Atom& atom, bool replace);
+
   std::string path_;
   int fd_ = -1;
   mutable std::mutex write_mutex_;
   mutable std::shared_mutex index_mutex_;
   std::map<AtomKey, IndexEntry> index_;
+  /// Keys confirmed corrupt by a read or a scrub sweep; guarded by
+  /// index_mutex_. Reads fast-fail kCorruption until Repair clears it.
+  mutable std::set<AtomKey> quarantine_;
   uint64_t file_size_ = 0;
   uint64_t total_payload_bytes_ = 0;
 };

@@ -1,0 +1,110 @@
+#include "storage/merkle.h"
+
+#include <algorithm>
+
+#include "common/crc32.h"
+
+namespace turbdb {
+
+namespace {
+
+/// Folds one digest row into a leaf digest. The CRC seed-chaining makes
+/// the leaf a CRC-of-CRCs: order-sensitive, but rows arrive in key
+/// order on every replica, so equal contents give equal leaves.
+uint64_t FoldRow(uint64_t digest, const AtomDigest& row) {
+  uint64_t fields[3] = {row.zindex, row.crc, row.bytes};
+  return Crc32(fields, sizeof(fields), static_cast<uint32_t>(digest));
+}
+
+/// Interior node: hash of the two children (or one, at an odd edge).
+uint64_t FoldPair(uint64_t left, uint64_t right) {
+  uint64_t pair[2] = {left, right};
+  return Crc32(pair, sizeof(pair));
+}
+
+}  // namespace
+
+MerkleTree BuildMerkleTree(const std::vector<AtomDigest>& rows,
+                           uint32_t leaf_shift) {
+  MerkleTree tree;
+  tree.leaf_shift = leaf_shift;
+  for (const AtomDigest& row : rows) {
+    const uint64_t bucket = row.zindex >> leaf_shift;
+    if (tree.leaves.empty() ||
+        tree.leaves.back().timestep != row.timestep ||
+        tree.leaves.back().leaf != bucket) {
+      MerkleLeaf leaf;
+      leaf.timestep = row.timestep;
+      leaf.leaf = bucket;
+      tree.leaves.push_back(leaf);
+    }
+    MerkleLeaf& leaf = tree.leaves.back();
+    // Mix the bucket coordinates in with the first row so an empty-ish
+    // leaf at bucket 0 still differs from one at bucket 1.
+    if (leaf.atoms == 0) {
+      uint64_t coords[2] = {static_cast<uint64_t>(leaf.timestep), leaf.leaf};
+      leaf.digest = Crc32(coords, sizeof(coords));
+    }
+    leaf.digest = FoldRow(leaf.digest, row);
+    ++leaf.atoms;
+  }
+  // Reduce pairwise up to the root; a lone node at the end of a level
+  // is folded with itself so tree shape stays deterministic.
+  std::vector<uint64_t> level;
+  level.reserve(tree.leaves.size());
+  for (const MerkleLeaf& leaf : tree.leaves) level.push_back(leaf.digest);
+  while (level.size() > 1) {
+    std::vector<uint64_t> next;
+    next.reserve((level.size() + 1) / 2);
+    for (size_t i = 0; i < level.size(); i += 2) {
+      const uint64_t right = i + 1 < level.size() ? level[i + 1] : level[i];
+      next.push_back(FoldPair(level[i], right));
+    }
+    level.swap(next);
+  }
+  tree.root = level.empty() ? 0 : level[0];
+  return tree;
+}
+
+std::vector<MerkleRange> DiffMerkleTrees(const MerkleTree& mine,
+                                         const MerkleTree& theirs) {
+  std::vector<MerkleRange> diverged;
+  if (mine.leaf_shift == theirs.leaf_shift && mine.root == theirs.root) {
+    return diverged;
+  }
+  const uint32_t shift = mine.leaf_shift;
+  auto emit = [&](int32_t timestep, uint64_t bucket) {
+    MerkleRange range;
+    range.timestep = timestep;
+    range.begin = bucket << shift;
+    range.end = (bucket + 1) << shift;
+    diverged.push_back(range);
+  };
+  // Merge-walk the two sorted leaf lists; a bucket present on one side
+  // only, or present on both with different digests, is divergent.
+  size_t i = 0, j = 0;
+  auto before = [](const MerkleLeaf& a, const MerkleLeaf& b) {
+    return a.timestep != b.timestep ? a.timestep < b.timestep
+                                    : a.leaf < b.leaf;
+  };
+  while (i < mine.leaves.size() || j < theirs.leaves.size()) {
+    if (j >= theirs.leaves.size() ||
+        (i < mine.leaves.size() && before(mine.leaves[i], theirs.leaves[j]))) {
+      emit(mine.leaves[i].timestep, mine.leaves[i].leaf);
+      ++i;
+    } else if (i >= mine.leaves.size() ||
+               before(theirs.leaves[j], mine.leaves[i])) {
+      emit(theirs.leaves[j].timestep, theirs.leaves[j].leaf);
+      ++j;
+    } else {
+      if (mine.leaves[i].digest != theirs.leaves[j].digest) {
+        emit(mine.leaves[i].timestep, mine.leaves[i].leaf);
+      }
+      ++i;
+      ++j;
+    }
+  }
+  return diverged;
+}
+
+}  // namespace turbdb

@@ -1,0 +1,66 @@
+#pragma once
+
+// Morton-range Merkle digest over a store's atoms, the anti-entropy
+// primitive: two replicas that hold the same logical contents produce
+// the same root, and when the roots differ the per-leaf digests locate
+// the divergent (timestep, z-range) buckets without shipping any atom
+// payloads. A leaf covers a fixed-width z-range (2^leaf_shift Morton
+// codes) of one timestep and digests the *content* CRCs of its atoms —
+// recomputed from the stored bytes, so bit rot that leaves the header
+// CRC intact still diverges the tree.
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/atom_store.h"
+
+namespace turbdb {
+
+/// Default leaf width: 2^10 Morton codes per leaf keeps the leaf count
+/// small (a 64^3 grid of 8^3 atoms has 512 codes per timestep) while
+/// still bounding a repair transfer to a modest bucket.
+constexpr uint32_t kDefaultMerkleLeafShift = 10;
+
+/// One non-empty leaf of the tree.
+struct MerkleLeaf {
+  int32_t timestep = 0;
+  uint64_t leaf = 0;      ///< Bucket index: zindex >> leaf_shift.
+  uint64_t digest = 0;    ///< CRC-of-CRCs over the bucket's atoms.
+  uint64_t atoms = 0;     ///< Atoms digested into this leaf.
+};
+
+/// A divergent z-range between two trees, in SyncRange coordinates
+/// ([begin, end) Morton codes of one timestep).
+struct MerkleRange {
+  int32_t timestep = 0;
+  uint64_t begin = 0;
+  uint64_t end = 0;  ///< Exclusive.
+};
+
+/// The built tree: the root plus the non-empty leaves (interior levels
+/// are recomputable from the leaves, so only these go on the wire).
+struct MerkleTree {
+  uint32_t leaf_shift = kDefaultMerkleLeafShift;
+  uint64_t root = 0;  ///< 0 iff the store is empty.
+  std::vector<MerkleLeaf> leaves;
+
+  uint64_t AtomCount() const {
+    uint64_t n = 0;
+    for (const MerkleLeaf& leaf : leaves) n += leaf.atoms;
+    return n;
+  }
+};
+
+/// Builds the tree from digest rows (must be in key order, as
+/// AtomStore::DigestRows emits them).
+MerkleTree BuildMerkleTree(const std::vector<AtomDigest>& rows,
+                           uint32_t leaf_shift = kDefaultMerkleLeafShift);
+
+/// Leaves whose digests differ between the two trees — including
+/// buckets present on only one side — as repair-ready z-ranges. Both
+/// trees must use the same leaf_shift. Identical roots short-circuit to
+/// an empty list.
+std::vector<MerkleRange> DiffMerkleTrees(const MerkleTree& mine,
+                                         const MerkleTree& theirs);
+
+}  // namespace turbdb

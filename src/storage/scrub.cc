@@ -1,0 +1,145 @@
+#include "storage/scrub.h"
+
+#include <chrono>
+
+#include "common/fault.h"
+#include "common/logging.h"
+#include "storage/merkle.h"
+
+namespace turbdb {
+
+namespace {
+
+uint64_t NowUnixMs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+Scrubber::Scrubber(Options options, ListStoresFn list_stores, RepairFn repair)
+    : options_(options),
+      list_stores_(std::move(list_stores)),
+      repair_(std::move(repair)) {}
+
+Scrubber::~Scrubber() { Stop(); }
+
+void Scrubber::Start() {
+  if (options_.interval_s <= 0) return;
+  std::lock_guard<std::mutex> lock(thread_mutex_);
+  if (thread_.joinable()) return;
+  stop_ = false;
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void Scrubber::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(thread_mutex_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void Scrubber::Loop() {
+  std::unique_lock<std::mutex> lock(thread_mutex_);
+  while (!stop_) {
+    const auto interval = std::chrono::seconds(options_.interval_s);
+    if (wake_.wait_for(lock, interval, [this] { return stop_; })) break;
+    lock.unlock();
+    RunPass();
+    lock.lock();
+  }
+}
+
+void Scrubber::Throttle(uint64_t* window_bytes,
+                        std::chrono::steady_clock::time_point* window_start,
+                        uint64_t bytes) const {
+  if (options_.rate_mb <= 0) return;
+  *window_bytes += bytes;
+  const double budget_per_ms =
+      static_cast<double>(options_.rate_mb) * 1024.0 * 1024.0 / 1000.0;
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - *window_start)
+                           .count();
+  const double earned_ms = static_cast<double>(*window_bytes) / budget_per_ms;
+  if (earned_ms > static_cast<double>(elapsed)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(
+        static_cast<int64_t>(earned_ms) - elapsed));
+  }
+}
+
+Scrubber::Totals Scrubber::RunPass() {
+  std::lock_guard<std::mutex> pass_lock(pass_mutex_);
+  // scrub.stall: chaos hook to hold a pass at its start (arg = ms), so
+  // tests can assert queries stay healthy while the scrubber is wedged.
+  if (auto injected = fault::Check("scrub.stall")) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(injected.arg));
+  }
+  uint64_t window_bytes = 0;
+  auto window_start = std::chrono::steady_clock::now();
+  uint64_t pass_verified = 0, pass_corrupt = 0, pass_repaired = 0;
+  uint64_t pass_bytes = 0;
+  for (const StoreRef& ref : list_stores_()) {
+    if (ref.store == nullptr) continue;
+    VerifyReport report = ref.store->Verify([&](uint64_t bytes) {
+      Throttle(&window_bytes, &window_start, bytes);
+    });
+    uint64_t repaired = 0;
+    if (report.atoms_corrupt > 0) {
+      TURBDB_LOG(Warning) << "scrub: " << report.atoms_corrupt
+                          << " corrupt atom(s) in " << ref.dataset << "/"
+                          << ref.field;
+      if (repair_) repaired = repair_(ref.dataset, ref.field);
+    }
+    // The root reflects the store as the pass leaves it — after any
+    // repair — so converged replicas report identical digests.
+    uint64_t root = 0;
+    std::vector<AtomDigest> rows;
+    if (ref.store->DigestRows(&rows).ok()) {
+      root = BuildMerkleTree(rows).root;
+    }
+    {
+      std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+      StoreStats& stats = stats_[ref.dataset + "/" + ref.field];
+      stats.dataset = ref.dataset;
+      stats.field = ref.field;
+      stats.atoms_verified = report.atoms_verified;
+      stats.atoms_corrupt = report.atoms_corrupt;
+      stats.atoms_repaired += repaired;
+      stats.atoms_quarantined = ref.store->QuarantinedCount();
+      stats.bytes_verified = report.bytes_verified;
+      ++stats.passes;
+      stats.merkle_root = root;
+    }
+    pass_verified += report.atoms_verified;
+    pass_corrupt += report.atoms_corrupt;
+    pass_repaired += repaired;
+    pass_bytes += report.bytes_verified;
+  }
+  std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+  ++totals_.passes;
+  totals_.atoms_verified += pass_verified;
+  totals_.atoms_corrupt += pass_corrupt;
+  totals_.atoms_repaired += pass_repaired;
+  totals_.bytes_verified += pass_bytes;
+  totals_.last_pass_unix_ms = NowUnixMs();
+  return totals_;
+}
+
+Scrubber::Totals Scrubber::totals() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return totals_;
+}
+
+std::vector<Scrubber::StoreStats> Scrubber::Snapshot() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  std::vector<StoreStats> out;
+  out.reserve(stats_.size());
+  for (const auto& [key, stats] : stats_) out.push_back(stats);
+  return out;
+}
+
+}  // namespace turbdb

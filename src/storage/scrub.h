@@ -1,0 +1,115 @@
+#pragma once
+
+// Rate-limited background scrubber: a per-node thread that walks every
+// open store off the query read path, re-verifies atom checksums,
+// quarantines what failed, and (through an injected repair hook) heals
+// corrupt stores from a healthy replica. The scrubber knows nothing of
+// the cluster — callers hand it a store-listing callback and a repair
+// callback, keeping the storage layer free of upward dependencies.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "storage/atom_store.h"
+
+namespace turbdb {
+
+class Scrubber {
+ public:
+  struct Options {
+    /// Seconds between background passes; 0 disables the thread (passes
+    /// then run only on demand, e.g. from the scrub RPC).
+    int interval_s = 0;
+    /// Read-rate budget in MB/s for a pass; 0 = unthrottled.
+    int rate_mb = 0;
+  };
+
+  /// One open store, as reported by the listing callback. The pointer
+  /// must stay valid for the scrubber's lifetime (stores are never
+  /// closed while a node runs).
+  struct StoreRef {
+    std::string dataset;
+    std::string field;
+    AtomStore* store = nullptr;
+  };
+
+  /// Per-store results of the most recent pass, plus lifetime counters.
+  struct StoreStats {
+    std::string dataset;
+    std::string field;
+    uint64_t atoms_verified = 0;     ///< Clean atoms, last pass.
+    uint64_t atoms_corrupt = 0;      ///< Failures found, last pass.
+    uint64_t atoms_repaired = 0;     ///< Healed via the repair hook, ever.
+    uint64_t atoms_quarantined = 0;  ///< Still quarantined right now.
+    uint64_t bytes_verified = 0;     ///< Payload bytes checked, last pass.
+    uint64_t passes = 0;             ///< Passes over this store, ever.
+    uint64_t merkle_root = 0;        ///< Content digest after the pass.
+  };
+
+  struct Totals {
+    uint64_t passes = 0;  ///< Full passes completed (all stores).
+    uint64_t atoms_verified = 0;
+    uint64_t atoms_corrupt = 0;
+    uint64_t atoms_repaired = 0;
+    uint64_t bytes_verified = 0;
+    uint64_t last_pass_unix_ms = 0;  ///< Wall-clock end of the last pass.
+  };
+
+  using ListStoresFn = std::function<std::vector<StoreRef>()>;
+  /// Invoked when a pass leaves (dataset, field) with corrupt atoms;
+  /// returns how many atoms it repaired (0 if no healthy peer).
+  using RepairFn =
+      std::function<uint64_t(const std::string&, const std::string&)>;
+
+  Scrubber(Options options, ListStoresFn list_stores, RepairFn repair = {});
+  ~Scrubber();
+
+  Scrubber(const Scrubber&) = delete;
+  Scrubber& operator=(const Scrubber&) = delete;
+
+  /// Launches the background thread (no-op when interval_s == 0).
+  void Start();
+
+  /// Stops and joins the background thread; idempotent.
+  void Stop();
+
+  /// Runs one synchronous full pass over every listed store (the scrub
+  /// RPC path; also what the background thread calls). Thread-safe, but
+  /// concurrent passes serialize.
+  Totals RunPass();
+
+  Totals totals() const;
+  std::vector<StoreStats> Snapshot() const;
+
+ private:
+  void Loop();
+  /// Pacer handed to AtomStore::Verify; sleeps as needed to keep the
+  /// pass under rate_mb.
+  void Throttle(uint64_t* window_bytes,
+                std::chrono::steady_clock::time_point* window_start,
+                uint64_t bytes) const;
+
+  const Options options_;
+  const ListStoresFn list_stores_;
+  const RepairFn repair_;
+
+  std::mutex pass_mutex_;  ///< Serializes RunPass.
+
+  mutable std::mutex stats_mutex_;
+  std::map<std::string, StoreStats> stats_;  ///< Keyed dataset + "/" + field.
+  Totals totals_;
+
+  std::mutex thread_mutex_;
+  std::condition_variable wake_;
+  std::thread thread_;
+  bool stop_ = false;
+};
+
+}  // namespace turbdb

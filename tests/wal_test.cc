@@ -232,5 +232,47 @@ TEST(WalTest, TruncateCheckpointsAndSurvivesReopen) {
   EXPECT_EQ(replayed, 1u);
 }
 
+// Replay racing a checkpoint Truncate: once the checkpoint lands,
+// replaying the (now empty) log is a clean no-op — zero records, no
+// torn-tail warning — both in the same handle and after a reopen.
+TEST(WalTest, ReplayAfterCheckpointTruncateIsCleanNoOp) {
+  const std::string dir = MakeTempDir();
+  const std::string path = dir + "/node0.wal";
+  auto wal_or = WriteAheadLog::Open(path);
+  ASSERT_TRUE(wal_or.ok()) << wal_or.status().ToString();
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(
+        (*wal_or)->Append("mhd", "velocity", MakeAtom(0, uint64_t(i), i)).ok());
+  }
+  ASSERT_TRUE((*wal_or)->Sync().ok());
+  // The checkpoint wins the race: Truncate drains everything before
+  // replay ever looks at the log.
+  ASSERT_TRUE((*wal_or)->Truncate().ok());
+  size_t replayed = 0;
+  ASSERT_TRUE((*wal_or)
+                  ->Replay([&](const WriteAheadLog::Record&) {
+                    ++replayed;
+                    return Status::OK();
+                  })
+                  .ok());
+  EXPECT_EQ(replayed, 0u);
+  EXPECT_EQ((*wal_or)->pending_records(), 0u);
+  EXPECT_EQ((*wal_or)->pending_bytes(), 0u);
+  wal_or->reset();
+  // A fresh open of the checkpointed log sees a clean, empty tail.
+  auto reopened = WriteAheadLog::Open(path);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_FALSE((*reopened)->tail_truncated_at_open());
+  EXPECT_EQ((*reopened)->pending_records(), 0u);
+  replayed = 0;
+  ASSERT_TRUE((*reopened)
+                  ->Replay([&](const WriteAheadLog::Record&) {
+                    ++replayed;
+                    return Status::OK();
+                  })
+                  .ok());
+  EXPECT_EQ(replayed, 0u);
+}
+
 }  // namespace
 }  // namespace turbdb

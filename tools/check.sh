@@ -272,6 +272,91 @@ if grep -Eq '"(unreachable|protocol_errors|other_errors)": [1-9]' \
 fi
 echo "rebalance drill: ok ($REBAL_JSON)"
 
+# Self-healing bit-flip drill against the real binaries: a replicated
+# (R=2) four-node cluster under open-loop load while one replica's
+# store suffers genuine on-disk bit rot (the store.bit_flip fault site,
+# so this rides the TURBDB_FAULTS build). The load harness must finish
+# with zero failed queries and zero client-visible corruption errors —
+# corrupt reads fail over to the healthy sibling — the mediator must
+# report the corruption failovers, and a triggered scrub must repair
+# the damage: a second `turbdb_cli scrub --json` pass ends fully clean
+# with nothing quarantined.
+HEAL_NODE0_PORT="${HEAL_NODE0_PORT:-7990}"
+HEAL_NODE1_PORT="${HEAL_NODE1_PORT:-7991}"
+HEAL_NODE2_PORT="${HEAL_NODE2_PORT:-7992}"
+HEAL_NODE3_PORT="${HEAL_NODE3_PORT:-7993}"
+HEAL_SERVER_PORT="${HEAL_SERVER_PORT:-7994}"
+HEAL_DIR="$FAULTS_DIR/self_heal_drill"
+HEAL_JSON="$FAULTS_DIR/BENCH_load_self_heal.json"
+rm -rf "$HEAL_DIR" "$HEAL_JSON"
+mkdir -p "$HEAL_DIR"
+HEAL_PEERS="127.0.0.1:$HEAL_NODE0_PORT,127.0.0.1:$HEAL_NODE1_PORT"
+HEAL_PEERS="$HEAL_PEERS,127.0.0.1:$HEAL_NODE2_PORT,127.0.0.1:$HEAL_NODE3_PORT"
+HEAL_NODE_BIN="$FAULTS_DIR/tools/turbdb_node"
+HEAL_PIDS=()
+HEAL_PORTS=("$HEAL_NODE0_PORT" "$HEAL_NODE1_PORT" "$HEAL_NODE2_PORT" \
+  "$HEAL_NODE3_PORT")
+for i in 0 1 2 3; do
+  HEAL_FAULTS=()
+  if [ "$i" -eq 0 ]; then
+    # Node 0 is the primary of replica group 0: its next three record
+    # reads each XOR one stored payload byte on disk before reading.
+    HEAL_FAULTS=(--faults "store.bit_flip=delay:3:3")
+  fi
+  "$HEAL_NODE_BIN" --node-id "$i" --bind 127.0.0.1 \
+    --port "${HEAL_PORTS[$i]}" --peers "$HEAL_PEERS" \
+    --replication-factor 2 --storage-dir "$HEAL_DIR" \
+    "${HEAL_FAULTS[@]}" &
+  HEAL_PIDS+=("$!")
+done
+"$FAULTS_DIR/tools/turbdb_server" --port "$HEAL_SERVER_PORT" --n 32 \
+  --timesteps 1 --topology "$HEAL_PEERS" --replication-factor 2 \
+  --storage-dir "$HEAL_DIR" --mediator-cache-mb 0 &
+HEAL_PIDS+=("$!")
+trap 'kill "${HEAL_PIDS[@]}" 2>/dev/null || true' EXIT
+CLI="$FAULTS_DIR/tools/turbdb_cli"
+for _ in $(seq 1 120); do
+  if "$CLI" --connect "127.0.0.1:$HEAL_SERVER_PORT" ping >/dev/null 2>&1; then
+    break
+  fi
+  sleep 0.5
+done
+# Open-loop load while the rot lands. The harness exits nonzero on any
+# client-visible corruption error, so its exit status is the assertion
+# that every query was served clean off a healthy replica.
+"$FAULTS_DIR/tools/turbdb_loadgen" --connect "127.0.0.1:$HEAL_SERVER_PORT" \
+  --tenant drill=20 --connections 2 --duration-s 10 --n 32 \
+  --deadline-ms 20000 --json "$HEAL_JSON"
+if grep -Eq '"(unreachable|protocol_errors|corruption_errors|other_errors)": [1-9]' \
+    "$HEAL_JSON"; then
+  echo "self-heal drill: failed queries recorded in $HEAL_JSON" >&2
+  exit 1
+fi
+# The failovers the rot caused are visible in the mediator's counters.
+"$CLI" --connect "127.0.0.1:$HEAL_SERVER_PORT" server-stats --json \
+  | grep -Eq '"corruption_failovers": [1-9]' || {
+    echo "self-heal drill: no corruption failovers counted" >&2
+    exit 1
+  }
+# Trigger a scrub everywhere: the damaged replica verifies, quarantines
+# and repairs from its healthy sibling via the Merkle/RepairRange flow.
+"$CLI" --topology "$HEAL_PEERS" scrub --json > "$HEAL_DIR/scrub1.json"
+grep -q '"merkle_root"' "$HEAL_DIR/scrub1.json" || {
+  echo "self-heal drill: scrub --json lacks merkle_root fields" >&2
+  exit 1
+}
+# A second pass must come back fully clean: the repair stuck, nothing
+# is corrupt or quarantined anywhere.
+"$CLI" --topology "$HEAL_PEERS" scrub --json > "$HEAL_DIR/scrub2.json"
+if grep -Eq '"atoms_(corrupt|quarantined)": [1-9]' "$HEAL_DIR/scrub2.json"; then
+  echo "self-heal drill: corruption survived the scrub/repair pass" >&2
+  exit 1
+fi
+kill "${HEAL_PIDS[@]}" 2>/dev/null || true
+wait 2>/dev/null || true
+trap - EXIT
+echo "self-heal drill: ok ($HEAL_JSON)"
+
 # Race-check the failover path: the replica-group health tracking and
 # re-sync run concurrently with scatter-gathered sub-queries, so the
 # replication tests get a dedicated ThreadSanitizer build. Faults stay on
@@ -282,6 +367,8 @@ echo "rebalance drill: ok ($REBAL_JSON)"
 # the tenant fairness drill (governor buckets hit from many workers).
 # The membership/WAL/elasticity suites join them: membership pushes and
 # rebalance cutovers race in-flight scatter-gather queries by design.
+# The scrub/self-heal suites too: the background scrubber and the
+# replica group's read-repair worker run concurrently with live reads.
 if [ "$SANITIZE" != "thread" ]; then
   TSAN_DIR="$ROOT/build-tsan"
   cmake -B "$TSAN_DIR" -S "$ROOT" \
@@ -291,6 +378,6 @@ if [ "$SANITIZE" != "thread" ]; then
     -DTURBDB_BUILD_BENCHMARKS=OFF -DTURBDB_BUILD_EXAMPLES=OFF
   cmake --build "$TSAN_DIR" -j "$JOBS"
   ctest --test-dir "$TSAN_DIR" \
-    -R "ReplicationTest|ChaosTest|AdmissionControlTest|StreamedThreshold|FofClusterTest|TenantFairnessTest|Membership|WalTest|ElasticityTest" \
+    -R "ReplicationTest|ChaosTest|AdmissionControlTest|StreamedThreshold|FofClusterTest|TenantFairnessTest|Membership|WalTest|ElasticityTest|ScrubTest|SelfHealTest" \
     --output-on-failure --timeout 300
 fi

@@ -94,6 +94,10 @@ void PrintUsage() {
       "                             mediator-cache gauges (--connect only)\n"
       "  cluster-status             per-node id/epoch/health/role/atoms\n"
       "                             (--topology only)\n"
+      "  scrub                      trigger a synchronous scrub pass on\n"
+      "                             every node and report per-store\n"
+      "                             verify/corrupt/repair counters and\n"
+      "                             Merkle roots (--topology only)\n"
       "  drop-cache <field>         clear the mediator-tier result cache\n"
       "                             and every node-local cache for the\n"
       "                             field (all timesteps unless --timestep)\n"
@@ -497,9 +501,9 @@ bool ValidateCommand(const CliOptions& options, std::string* error) {
     }
     return true;
   }
-  if (cmd == "cluster-status") {
+  if (cmd == "cluster-status" || cmd == "scrub") {
     if (options.topology.empty()) {
-      *error = "cluster-status needs --topology";
+      *error = cmd + " needs --topology";
       return false;
     }
     return true;
@@ -541,9 +545,9 @@ int RunClusterStatus(const CliOptions& options) {
     return 2;
   }
   if (!options.json) {
-    std::printf("%-4s %-21s %-6s %-8s %-6s %-12s %-10s %-8s %s\n", "node",
-                "address", "shard", "role", "state", "epoch", "atoms", "gen",
-                "wal-lag");
+    std::printf("%-4s %-21s %-6s %-8s %-6s %-12s %-10s %-8s %-6s %s\n",
+                "node", "address", "shard", "role", "state", "epoch", "atoms",
+                "gen", "quar", "wal-lag");
   }
   int down = 0;
   std::string json_rows;
@@ -563,6 +567,10 @@ int RunClusterStatus(const CliOptions& options) {
     uint64_t generation = 0;
     uint64_t wal_records = 0;
     uint64_t wal_bytes = 0;
+    uint64_t scrub_passes = 0;
+    uint64_t scrub_corrupt = 0;
+    uint64_t scrub_repaired = 0;
+    uint64_t quarantined = 0;
     const bool up = hello.ok();
     if (!up) {
       ++down;
@@ -580,18 +588,27 @@ int RunClusterStatus(const CliOptions& options) {
         generation = node_stats->generation;
         wal_records = node_stats->wal_pending_records;
         wal_bytes = node_stats->wal_pending_bytes;
+        scrub_passes = node_stats->scrub_passes;
+        scrub_corrupt = node_stats->scrub_atoms_corrupt;
+        scrub_repaired = node_stats->scrub_atoms_repaired;
+        quarantined = node_stats->atoms_quarantined;
       }
     }
     if (options.json) {
       // Stable keys (append-only): node, address, shard, role, state,
-      // epoch, atoms, generation, wal_pending_records, wal_pending_bytes.
-      char row[384];
+      // epoch, atoms, generation, wal_pending_records, wal_pending_bytes,
+      // scrub_passes, scrub_atoms_corrupt, scrub_atoms_repaired,
+      // atoms_quarantined.
+      char row[512];
       std::snprintf(row, sizeof(row),
                     "%s\n    {\"node\": %zu, \"address\": \"%s\", "
                     "\"shard\": %d, \"role\": \"%s\", \"state\": \"%s\", "
                     "\"epoch\": %llu, \"atoms\": %llu, "
                     "\"generation\": %llu, \"wal_pending_records\": %llu, "
-                    "\"wal_pending_bytes\": %llu}",
+                    "\"wal_pending_bytes\": %llu, \"scrub_passes\": %llu, "
+                    "\"scrub_atoms_corrupt\": %llu, "
+                    "\"scrub_atoms_repaired\": %llu, "
+                    "\"atoms_quarantined\": %llu}",
                     json_rows.empty() ? "" : ",", i,
                     JsonEscape(address.ToString()).c_str(), shard, role,
                     up ? "up" : "down",
@@ -599,22 +616,28 @@ int RunClusterStatus(const CliOptions& options) {
                     static_cast<unsigned long long>(atoms),
                     static_cast<unsigned long long>(generation),
                     static_cast<unsigned long long>(wal_records),
-                    static_cast<unsigned long long>(wal_bytes));
+                    static_cast<unsigned long long>(wal_bytes),
+                    static_cast<unsigned long long>(scrub_passes),
+                    static_cast<unsigned long long>(scrub_corrupt),
+                    static_cast<unsigned long long>(scrub_repaired),
+                    static_cast<unsigned long long>(quarantined));
       json_rows += row;
     } else if (!up) {
-      std::printf("%-4zu %-21s %-6d %-8s %-6s %-12s %-10s %-8s %s\n", i,
+      std::printf("%-4zu %-21s %-6d %-8s %-6s %-12s %-10s %-8s %-6s %s\n", i,
                   address.ToString().c_str(), shard, role, "down", "-", "-",
-                  "-", "-");
+                  "-", "-", "-");
     } else {
       char wal_lag[48];
       std::snprintf(wal_lag, sizeof(wal_lag), "%llu rec/%llu B",
                     static_cast<unsigned long long>(wal_records),
                     static_cast<unsigned long long>(wal_bytes));
-      std::printf("%-4zu %-21s %-6d %-8s %-6s %-12llu %-10llu %-8llu %s\n", i,
-                  address.ToString().c_str(), shard, role, "up",
-                  static_cast<unsigned long long>(epoch),
-                  static_cast<unsigned long long>(atoms),
-                  static_cast<unsigned long long>(generation), wal_lag);
+      std::printf(
+          "%-4zu %-21s %-6d %-8s %-6s %-12llu %-10llu %-8llu %-6llu %s\n", i,
+          address.ToString().c_str(), shard, role, "up",
+          static_cast<unsigned long long>(epoch),
+          static_cast<unsigned long long>(atoms),
+          static_cast<unsigned long long>(generation),
+          static_cast<unsigned long long>(quarantined), wal_lag);
     }
   }
   if (options.json) {
@@ -622,6 +645,117 @@ int RunClusterStatus(const CliOptions& options) {
         "{\n  \"replication_factor\": %d,\n  \"nodes_down\": %d,\n"
         "  \"nodes\": [%s%s]\n}\n",
         replication, down, json_rows.c_str(), json_rows.empty() ? "" : "\n  ");
+  }
+  return down == 0 ? 0 : 3;
+}
+
+/// Dials every turbdb_node in the topology, triggers a synchronous scrub
+/// pass on each, and reports the per-store verify/corrupt/repair
+/// counters and Merkle roots. Exit 3 if any node is unreachable.
+int RunScrub(const CliOptions& options) {
+  auto topology_or = ParseTopology(options.topology);
+  if (!topology_or.ok()) {
+    std::fprintf(stderr, "bad topology: %s\n",
+                 topology_or.status().ToString().c_str());
+    return 2;
+  }
+  ClusterTopology topology = std::move(topology_or).value();
+  int down = 0;
+  std::string json_rows;
+  if (!options.json) {
+    std::printf("%-4s %-24s %-10s %-9s %-9s %-6s %s\n", "node",
+                "store", "verified", "corrupt", "repaired", "quar",
+                "merkle-root");
+  }
+  for (size_t i = 0; i < topology.size(); ++i) {
+    const NodeAddress& address = topology.nodes[i];
+    net::ClientOptions client_options;
+    client_options.connect_timeout_ms = 2000;
+    // A scrub pass reads every stored byte; give it a generous window.
+    client_options.read_timeout_ms = 120000;
+    client_options.deadline_ms = 120000;
+    client_options.max_retries = 0;
+    net::Client client(address.host, address.port, client_options);
+    net::NodeScrubRequest request;
+    request.trigger = true;
+    auto reply = client.NodeScrub(request);
+    if (!reply.ok()) {
+      ++down;
+      if (options.json) {
+        char row[256];
+        std::snprintf(row, sizeof(row),
+                      "%s\n    {\"node\": %zu, \"address\": \"%s\", "
+                      "\"state\": \"down\", \"stores\": []}",
+                      json_rows.empty() ? "" : ",", i,
+                      JsonEscape(address.ToString()).c_str());
+        json_rows += row;
+      } else {
+        std::printf("%-4zu %-24s %s\n", i, "(down)",
+                    reply.status().ToString().c_str());
+      }
+      continue;
+    }
+    if (options.json) {
+      // Stable keys (append-only): node, address, state, passes,
+      // atoms_verified, atoms_corrupt, atoms_repaired, last_pass_unix_ms,
+      // stores[{dataset,field,atoms_verified,atoms_corrupt,atoms_repaired,
+      // atoms_quarantined,bytes_verified,passes,merkle_root}].
+      char head[384];
+      std::snprintf(head, sizeof(head),
+                    "%s\n    {\"node\": %zu, \"address\": \"%s\", "
+                    "\"state\": \"up\", \"passes\": %llu, "
+                    "\"atoms_verified\": %llu, \"atoms_corrupt\": %llu, "
+                    "\"atoms_repaired\": %llu, \"last_pass_unix_ms\": %llu, "
+                    "\"stores\": [",
+                    json_rows.empty() ? "" : ",", i,
+                    JsonEscape(address.ToString()).c_str(),
+                    static_cast<unsigned long long>(reply->passes),
+                    static_cast<unsigned long long>(reply->atoms_verified),
+                    static_cast<unsigned long long>(reply->atoms_corrupt),
+                    static_cast<unsigned long long>(reply->atoms_repaired),
+                    static_cast<unsigned long long>(reply->last_pass_unix_ms));
+      json_rows += head;
+      for (size_t s = 0; s < reply->stores.size(); ++s) {
+        const net::ScrubStoreRow& store = reply->stores[s];
+        char row[512];
+        std::snprintf(
+            row, sizeof(row),
+            "%s\n      {\"dataset\": \"%s\", \"field\": \"%s\", "
+            "\"atoms_verified\": %llu, \"atoms_corrupt\": %llu, "
+            "\"atoms_repaired\": %llu, \"atoms_quarantined\": %llu, "
+            "\"bytes_verified\": %llu, \"passes\": %llu, "
+            "\"merkle_root\": %llu}",
+            s == 0 ? "" : ",", JsonEscape(store.dataset).c_str(),
+            JsonEscape(store.field).c_str(),
+            static_cast<unsigned long long>(store.atoms_verified),
+            static_cast<unsigned long long>(store.atoms_corrupt),
+            static_cast<unsigned long long>(store.atoms_repaired),
+            static_cast<unsigned long long>(store.atoms_quarantined),
+            static_cast<unsigned long long>(store.bytes_verified),
+            static_cast<unsigned long long>(store.passes),
+            static_cast<unsigned long long>(store.merkle_root));
+        json_rows += row;
+      }
+      json_rows += reply->stores.empty() ? "]}" : "\n    ]}";
+    } else {
+      for (const net::ScrubStoreRow& store : reply->stores) {
+        const std::string name = store.dataset + "/" + store.field;
+        std::printf("%-4zu %-24s %-10llu %-9llu %-9llu %-6llu %016llx\n", i,
+                    name.c_str(),
+                    static_cast<unsigned long long>(store.atoms_verified),
+                    static_cast<unsigned long long>(store.atoms_corrupt),
+                    static_cast<unsigned long long>(store.atoms_repaired),
+                    static_cast<unsigned long long>(store.atoms_quarantined),
+                    static_cast<unsigned long long>(store.merkle_root));
+      }
+      if (reply->stores.empty()) {
+        std::printf("%-4zu %-24s (no stores)\n", i, "-");
+      }
+    }
+  }
+  if (options.json) {
+    std::printf("{\n  \"nodes_down\": %d,\n  \"nodes\": [%s%s]\n}\n", down,
+                json_rows.c_str(), json_rows.empty() ? "" : "\n  ");
   }
   return down == 0 ? 0 : 3;
 }
@@ -717,8 +851,13 @@ int RunRemote(const CliOptions& options) {
       }
       std::printf("%s],\n", stats->tenants.empty() ? "" : "\n  ");
       std::printf(
-          "  \"membership_generation\": %llu\n}\n",
+          "  \"membership_generation\": %llu,\n",
           static_cast<unsigned long long>(stats->membership_generation));
+      std::printf(
+          "  \"corruption_failovers\": %llu,\n",
+          static_cast<unsigned long long>(stats->corruption_failovers));
+      std::printf("  \"read_repairs\": %llu\n}\n",
+                  static_cast<unsigned long long>(stats->read_repairs));
       return 0;
     }
     std::printf(
@@ -759,6 +898,10 @@ int RunRemote(const CliOptions& options) {
         static_cast<unsigned long long>(stats->cache_pinned_bytes));
     std::printf("membership gen    %llu\n",
                 static_cast<unsigned long long>(stats->membership_generation));
+    std::printf(
+        "corruption        %llu failovers, %llu read repairs\n",
+        static_cast<unsigned long long>(stats->corruption_failovers),
+        static_cast<unsigned long long>(stats->read_repairs));
     if (!stats->tenants.empty()) {
       std::printf("%-16s %9s %9s %9s %9s %9s\n", "tenant", "inflight",
                   "peak", "admitted", "shed", "cap");
@@ -1147,6 +1290,7 @@ int main(int argc, char** argv) {
     return 2;
   }
   if (options.command == "cluster-status") return RunClusterStatus(options);
+  if (options.command == "scrub") return RunScrub(options);
   if (!options.connect.empty()) return RunRemote(options);
   return RunLocal(options);
 }

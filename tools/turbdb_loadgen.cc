@@ -210,7 +210,8 @@ struct TenantResults {
   uint64_t shed = 0;
   uint64_t deadline = 0;
   uint64_t unreachable = 0;
-  uint64_t protocol_errors = 0;  ///< Corruption / version mismatch.
+  uint64_t protocol_errors = 0;    ///< Version mismatch / framing.
+  uint64_t corruption_errors = 0;  ///< kCorruption served to a client.
   uint64_t other_errors = 0;
 };
 
@@ -374,7 +375,12 @@ int Run(const LoadgenOptions& options) {
             ++local.deadline;
           } else if (status.IsUnreachable()) {
             ++local.unreachable;
-          } else if (status.IsCorruption() || status.IsVersionMismatch()) {
+          } else if (status.IsCorruption()) {
+            // A corrupt atom reached a client read: replication-level
+            // read-repair should have failed the query over to a clean
+            // replica, so any count here is a self-healing gap.
+            ++local.corruption_errors;
+          } else if (status.IsVersionMismatch()) {
             ++local.protocol_errors;
           } else {
             ++local.other_errors;
@@ -389,6 +395,7 @@ int Run(const LoadgenOptions& options) {
         out.deadline += local.deadline;
         out.unreachable += local.unreachable;
         out.protocol_errors += local.protocol_errors;
+        out.corruption_errors += local.corruption_errors;
         out.other_errors += local.other_errors;
         out.latencies_ms.insert(out.latencies_ms.end(),
                                 local.latencies_ms.begin(),
@@ -430,6 +437,7 @@ int Run(const LoadgenOptions& options) {
                100 - options.threshold_pct - options.streamed_pct);
 
   uint64_t total_protocol_errors = 0;
+  uint64_t total_corruption_errors = 0;
   uint64_t total_ok = 0;
   std::printf("\n%-16s %9s %9s %9s %9s %9s %9s %9s %9s\n", "tenant",
               "issued", "ok", "shed", "errors", "qps", "p50ms", "p99ms",
@@ -441,13 +449,14 @@ int Run(const LoadgenOptions& options) {
     const double p99 = Percentile(r.latencies_ms, 0.99);
     const double p999 = Percentile(r.latencies_ms, 0.999);
     const double qps = static_cast<double>(r.ok) / elapsed_s;
-    const uint64_t errors =
-        r.deadline + r.unreachable + r.protocol_errors + r.other_errors;
+    const uint64_t errors = r.deadline + r.unreachable + r.protocol_errors +
+                            r.corruption_errors + r.other_errors;
     const double shed_rate =
         r.issued > 0
             ? static_cast<double>(r.shed) / static_cast<double>(r.issued)
             : 0.0;
     total_protocol_errors += r.protocol_errors;
+    total_corruption_errors += r.corruption_errors;
     total_ok += r.ok;
     std::printf("%-16s %9llu %9llu %9llu %9llu %9.1f %9.2f %9.2f %9.2f\n",
                 options.tenants[t].name.c_str(),
@@ -463,7 +472,7 @@ int Run(const LoadgenOptions& options) {
         "\"deadline\": %llu, \"unreachable\": %llu, "
         "\"protocol_errors\": %llu, \"other_errors\": %llu, "
         "\"throughput_qps\": %.2f, \"p50_ms\": %.3f, \"p99_ms\": %.3f, "
-        "\"p999_ms\": %.3f}%s\n",
+        "\"p999_ms\": %.3f, \"corruption_errors\": %llu}%s\n",
         options.tenants[t].name.c_str(), options.tenants[t].rate,
         static_cast<unsigned long long>(r.issued),
         static_cast<unsigned long long>(r.ok),
@@ -472,7 +481,8 @@ int Run(const LoadgenOptions& options) {
         static_cast<unsigned long long>(r.unreachable),
         static_cast<unsigned long long>(r.protocol_errors),
         static_cast<unsigned long long>(r.other_errors), qps, p50, p99,
-        p999, t + 1 < options.tenants.size() ? "," : "");
+        p999, static_cast<unsigned long long>(r.corruption_errors),
+        t + 1 < options.tenants.size() ? "," : "");
   }
   std::fprintf(json, "  ],\n  \"server_tenants\": [");
   for (size_t i = 0; i < server_tenants.size(); ++i) {
@@ -486,15 +496,25 @@ int Run(const LoadgenOptions& options) {
                  static_cast<unsigned long long>(tenant.peak_in_flight),
                  static_cast<unsigned long long>(tenant.cap));
   }
-  std::fprintf(json, "%s],\n  \"protocol_errors\": %llu\n}\n",
+  std::fprintf(json,
+               "%s],\n  \"protocol_errors\": %llu,\n"
+               "  \"corruption_errors\": %llu\n}\n",
                server_tenants.empty() ? "" : "\n  ",
-               static_cast<unsigned long long>(total_protocol_errors));
+               static_cast<unsigned long long>(total_protocol_errors),
+               static_cast<unsigned long long>(total_corruption_errors));
   std::fclose(json);
   std::printf("\nwrote %s\n", options.json_path.c_str());
 
   if (total_protocol_errors > 0) {
     std::fprintf(stderr, "turbdb_loadgen: %llu protocol error(s)\n",
                  static_cast<unsigned long long>(total_protocol_errors));
+    return 1;
+  }
+  if (total_corruption_errors > 0) {
+    // Self-healing failed open: a rotted atom was served to a client
+    // instead of failing over to a clean replica.
+    std::fprintf(stderr, "turbdb_loadgen: %llu corruption error(s)\n",
+                 static_cast<unsigned long long>(total_corruption_errors));
     return 1;
   }
   if (total_ok == 0) {

@@ -63,6 +63,8 @@ struct NodeCliOptions {
   std::string uuid;  ///< Stable instance identity for --join re-admits.
   bool enable_wal = true;
   std::string wal_fsync = "batch";
+  int scrub_interval_s = 0;
+  int scrub_rate_mb = 0;
   std::string faults;
   bool help = false;
 };
@@ -99,6 +101,12 @@ void PrintUsage() {
       "  --no-wal         disable the per-node write-ahead log\n"
       "  --wal-fsync M    when the WAL fsyncs: append | batch | none\n"
       "                   (default batch = once per acked ingest RPC)\n"
+      "  --scrub-interval-s S\n"
+      "                   background scrub cadence in seconds (default 0\n"
+      "                   = only on demand via `turbdb_cli scrub`)\n"
+      "  --scrub-rate-mb M\n"
+      "                   scrub read-rate budget in MB/s (default 0 =\n"
+      "                   unthrottled)\n"
       "  --faults SPEC    arm deterministic fault injection, e.g.\n"
       "                   server.reply.truncate=truncate:8:1 (needs a\n"
       "                   build with -DTURBDB_FAULTS=ON; TURBDB_FAULTS\n"
@@ -198,6 +206,20 @@ bool ParseArgs(int argc, char** argv, NodeCliOptions* options,
         *error = "--wal-fsync expects append, batch or none";
         return false;
       }
+    } else if (arg == "--scrub-interval-s") {
+      if (!next_int(&value)) return false;
+      if (value < 0) {
+        *error = "--scrub-interval-s must be non-negative";
+        return false;
+      }
+      options->scrub_interval_s = static_cast<int>(value);
+    } else if (arg == "--scrub-rate-mb") {
+      if (!next_int(&value)) return false;
+      if (value < 0) {
+        *error = "--scrub-rate-mb must be non-negative";
+        return false;
+      }
+      options->scrub_rate_mb = static_cast<int>(value);
     } else if (arg == "--faults") {
       if (!next_str(&options->faults)) return false;
     } else {
@@ -290,6 +312,8 @@ int main(int argc, char** argv) {
   config.replication_factor = options.replication_factor;
   config.fsync_ingest = options.fsync_ingest;
   config.enable_wal = options.enable_wal;
+  config.scrub_interval_s = options.scrub_interval_s;
+  config.scrub_rate_mb = options.scrub_rate_mb;
   config.wal_fsync = options.wal_fsync == "append"
                          ? WalFsyncPolicy::kEveryAppend
                          : options.wal_fsync == "none" ? WalFsyncPolicy::kNever
